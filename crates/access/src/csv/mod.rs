@@ -1,0 +1,90 @@
+//! CSV access paths: general-purpose in-situ vs JIT-specialized.
+//!
+//! Both scans produce identical batches; they differ in *where decisions are
+//! made*:
+//!
+//! - [`InSituCsvScan`] re-decides everything **per field, per row**: is this
+//!   column wanted? is it tracked? what type is it? — the "general-purpose,
+//!   query-agnostic scan operator" whose interpretation overhead §4 blames.
+//! - [`JitCsvScan`] resolves all of that **once, at compile time**, into a
+//!   [`CsvProgram`]: an unrolled sequence of field steps with type-specific
+//!   conversion loops and positional-map actions baked in — our stand-in for
+//!   the paper's generated C++ (see crate docs).
+//!
+//! Both scans are vectorized: each batch runs a *locate* pass (tokenize /
+//! jump via positional map), a *convert* pass, and a *build* pass, which is
+//! also what lets the profiler attribute time to the paper's Figure-3
+//! phases.
+
+mod insitu;
+mod jit;
+mod program;
+
+pub use insitu::InSituCsvScan;
+pub use jit::JitCsvScan;
+pub(crate) use jit::convert_spans;
+pub use program::{compile_program, CsvProgram, PosNav, SeqStep};
+
+use raw_columnar::batch::TableTag;
+use raw_formats::file_buffer::FileBytes;
+use raw_posmap::{PosMapBuilder, PositionalMap};
+use std::sync::Arc;
+
+use crate::spec::AccessPathSpec;
+
+/// Everything a CSV scan needs at instantiation time.
+pub struct CsvScanInput {
+    /// The raw file bytes (pre-fetched through the engine's buffer pool).
+    pub buf: FileBytes,
+    /// The access-path specification (schema, wanted fields, tracking).
+    pub spec: AccessPathSpec,
+    /// Provenance tag for emitted batches.
+    pub tag: TableTag,
+    /// Positional map from earlier queries over this file, if any.
+    pub posmap: Option<Arc<PositionalMap>>,
+    /// Rows per emitted batch.
+    pub batch_size: usize,
+}
+
+/// Byte spans of one wanted column across the rows of a batch
+/// (struct-of-arrays; locate pass writes, convert pass reads).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct SpanBuf {
+    pub starts: Vec<u64>,
+    pub lens: Vec<u32>,
+}
+
+impl SpanBuf {
+    pub fn clear(&mut self) {
+        self.starts.clear();
+        self.lens.clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    #[inline]
+    pub fn push(&mut self, start: u64, len: u32) {
+        self.starts.push(start);
+        self.lens.push(len);
+    }
+}
+
+/// Shared result of a finished scan: the positional map it built (if it was
+/// asked to) — harvested by the engine and merged into its registry.
+pub trait PosMapSource {
+    /// Take the built positional map, if any. Call after the scan is
+    /// exhausted; returns `None` if nothing was tracked.
+    fn take_posmap(&mut self) -> Option<PositionalMap>;
+}
+
+/// Finish a posmap builder, tolerating scans that stopped early.
+pub(crate) fn finish_builder(builder: Option<PosMapBuilder>) -> Option<PositionalMap> {
+    let map = builder?.finish().ok()?;
+    if map.is_empty() {
+        None
+    } else {
+        Some(map)
+    }
+}

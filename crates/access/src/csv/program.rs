@@ -1,0 +1,275 @@
+//! The "generated code" of a JIT CSV access path.
+//!
+//! [`compile_program`] plays the role of the paper's code-generation plug-in:
+//! given the access-path spec and what the positional map already knows, it
+//! emits a [`CsvProgram`] — the unrolled per-row field sequence (sequential
+//! mode) and/or per-column navigation directives (positional-map mode), with
+//! all per-field decisions (wanted? tracked? which type?) resolved **now**,
+//! not in the scan loop.
+
+use raw_columnar::DataType;
+use raw_posmap::PositionalMap;
+
+use crate::spec::AccessPathSpec;
+
+/// One step of the unrolled per-row walk (sequential mode).
+///
+/// Compare with the generated pseudo-code in §4.1 of the paper: a run of
+/// `readNextFieldFromFile` / `convertToInteger` / `addToPositionalMap` /
+/// `skipFieldFromFile` calls — this enum is that straight line, with
+/// consecutive skips coalesced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqStep {
+    /// Skip `n` fields without inspecting them.
+    Skip(u16),
+    /// Tokenize the current field into output slot `out`.
+    Read {
+        /// Index into the scan's span buffers (wanted-field order).
+        out: u16,
+    },
+    /// Tokenize into `out` *and* record its position in map slot `slot`.
+    ReadRecord {
+        /// Output slot.
+        out: u16,
+        /// Positional-map builder slot.
+        slot: u16,
+    },
+    /// Tokenize only to record the position (tracked but not wanted).
+    Record {
+        /// Positional-map builder slot.
+        slot: u16,
+    },
+    /// Jump to the start of the next row.
+    SkipRest,
+}
+
+/// Per-wanted-column navigation when a positional map can drive the scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PosNav {
+    /// The map tracks this column: jump straight to (position, length).
+    Exact {
+        /// Source ordinal of the column (for position lookup binding).
+        col: usize,
+    },
+    /// The map tracks a preceding column: jump there, skip `skip` fields,
+    /// then tokenize.
+    Nearest {
+        /// Tracked column to jump to.
+        tracked_col: usize,
+        /// Fields to skip from there.
+        skip: usize,
+    },
+}
+
+/// A compiled CSV access path: the cacheable "generated library".
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvProgram {
+    /// Unrolled per-row steps for sequential scans.
+    pub seq_steps: Vec<SeqStep>,
+    /// Output slot types, in wanted order (drives the monomorphized
+    /// conversion loops).
+    pub out_types: Vec<DataType>,
+    /// Positional-map navigation per wanted column, if the map available at
+    /// compile time could serve every wanted column. `None` means the scan
+    /// must run sequentially.
+    pub posmap_nav: Option<Vec<PosNav>>,
+    /// Positional-map builder slots: tracked source ordinals, ascending
+    /// (compiled from `spec.record_positions`).
+    pub tracked: Vec<usize>,
+    /// Highest source ordinal the sequential walk must visit.
+    pub last_needed_col: usize,
+}
+
+/// Derive the program for `spec`, consulting `posmap` (the map that will be
+/// bound at scan instantiation) to decide between navigation modes.
+pub fn compile_program(spec: &AccessPathSpec, posmap: Option<&PositionalMap>) -> CsvProgram {
+    let out_types: Vec<DataType> = spec.wanted.iter().map(|w| w.data_type).collect();
+
+    let mut tracked: Vec<usize> = spec.record_positions.clone();
+    tracked.sort_unstable();
+    tracked.dedup();
+
+    // Positional-map mode: viable iff a map exists and resolves every wanted
+    // column to Exact or Nearest. (Building new tracked positions is a
+    // sequential-walk concern; map-driven scans don't extend the map here.)
+    if let Some(map) = posmap {
+        if !map.is_empty() {
+            let mut nav = Vec::with_capacity(spec.wanted.len());
+            let mut ok = true;
+            for w in &spec.wanted {
+                match map.lookup(w.source_ordinal) {
+                    raw_posmap::Lookup::Exact { .. } => {
+                        nav.push(PosNav::Exact { col: w.source_ordinal });
+                    }
+                    raw_posmap::Lookup::Nearest { tracked_col, skip_fields, .. } => {
+                        nav.push(PosNav::Nearest { tracked_col, skip: skip_fields });
+                    }
+                    raw_posmap::Lookup::Miss => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                return CsvProgram {
+                    seq_steps: Vec::new(),
+                    out_types,
+                    posmap_nav: Some(nav),
+                    tracked: Vec::new(),
+                    last_needed_col: 0,
+                };
+            }
+        }
+    }
+
+    // Sequential mode: unroll the walk over columns 0..=last_needed.
+    let max_wanted = spec.wanted.iter().map(|w| w.source_ordinal).max();
+    let max_tracked = tracked.last().copied();
+    let last_needed_col = match (max_wanted, max_tracked) {
+        (Some(w), Some(t)) => w.max(t),
+        (Some(w), None) => w,
+        (None, Some(t)) => t,
+        (None, None) => 0,
+    };
+
+    let mut steps = Vec::new();
+    let mut pending_skip: u16 = 0;
+    for col in 0..=last_needed_col {
+        let out = spec
+            .wanted
+            .iter()
+            .position(|w| w.source_ordinal == col)
+            .map(|i| i as u16);
+        let slot = tracked.binary_search(&col).ok().map(|i| i as u16);
+        match (out, slot) {
+            (None, None) => {
+                pending_skip += 1;
+                continue;
+            }
+            (out, slot) => {
+                if pending_skip > 0 {
+                    steps.push(SeqStep::Skip(pending_skip));
+                    pending_skip = 0;
+                }
+                match (out, slot) {
+                    (Some(out), Some(slot)) => steps.push(SeqStep::ReadRecord { out, slot }),
+                    (Some(out), None) => steps.push(SeqStep::Read { out }),
+                    (None, Some(slot)) => steps.push(SeqStep::Record { slot }),
+                    (None, None) => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+    steps.push(SeqStep::SkipRest);
+
+    CsvProgram {
+        seq_steps: steps,
+        out_types,
+        posmap_nav: None,
+        tracked,
+        last_needed_col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AccessPathKind, FileFormat, WantedField};
+    use raw_columnar::Schema;
+    use raw_posmap::PosMapBuilder;
+
+    fn spec(wanted: &[usize], record: &[usize]) -> AccessPathSpec {
+        AccessPathSpec {
+            format: FileFormat::Csv,
+            schema: Schema::uniform(30, DataType::Int64),
+            wanted: wanted
+                .iter()
+                .map(|&c| WantedField { source_ordinal: c, data_type: DataType::Int64 })
+                .collect(),
+            kind: AccessPathKind::FullScan,
+            record_positions: record.to_vec(),
+        }
+    }
+
+    #[test]
+    fn unrolls_paper_example() {
+        // §4.1 example: 3 fields, map tracks col 2 (ordinal 1), query wants
+        // fields 1 and 2 (ordinals 0, 1): read, read+record, skip rest.
+        let s = spec(&[0, 1], &[1]);
+        let p = compile_program(&s, None);
+        assert_eq!(
+            p.seq_steps,
+            vec![
+                SeqStep::Read { out: 0 },
+                SeqStep::ReadRecord { out: 1, slot: 0 },
+                SeqStep::SkipRest,
+            ]
+        );
+        assert_eq!(p.last_needed_col, 1);
+        assert!(p.posmap_nav.is_none());
+    }
+
+    #[test]
+    fn coalesces_skips() {
+        // Want col 10 (0-based) only, track col 0: record, skip 9, read.
+        let s = spec(&[10], &[0]);
+        let p = compile_program(&s, None);
+        assert_eq!(
+            p.seq_steps,
+            vec![
+                SeqStep::Record { slot: 0 },
+                SeqStep::Skip(9),
+                SeqStep::Read { out: 0 },
+                SeqStep::SkipRest,
+            ]
+        );
+    }
+
+    #[test]
+    fn posmap_mode_exact_and_nearest() {
+        let mut b = PosMapBuilder::new(vec![0, 10]);
+        b.record(0, 0, 1);
+        b.record(1, 20, 2);
+        let map = b.finish().unwrap();
+
+        // col 10 tracked → exact; col 13 → nearest from 10 skipping 3.
+        let s = spec(&[10, 13], &[]);
+        let p = compile_program(&s, Some(&map));
+        assert_eq!(
+            p.posmap_nav,
+            Some(vec![
+                PosNav::Exact { col: 10 },
+                PosNav::Nearest { tracked_col: 10, skip: 3 },
+            ])
+        );
+        assert!(p.seq_steps.is_empty());
+    }
+
+    #[test]
+    fn posmap_miss_falls_back_to_sequential() {
+        let mut b = PosMapBuilder::new(vec![10]);
+        b.record(0, 20, 2);
+        let map = b.finish().unwrap();
+        // col 5 precedes the first tracked column → Miss → sequential.
+        let s = spec(&[5], &[]);
+        let p = compile_program(&s, Some(&map));
+        assert!(p.posmap_nav.is_none());
+        assert!(!p.seq_steps.is_empty());
+    }
+
+    #[test]
+    fn empty_posmap_ignored() {
+        let map = PosMapBuilder::new(vec![]).finish().unwrap();
+        let s = spec(&[2], &[]);
+        let p = compile_program(&s, Some(&map));
+        assert!(p.posmap_nav.is_none());
+    }
+
+    #[test]
+    fn tracked_dedup_sorted() {
+        let s = spec(&[1], &[8, 3, 3]);
+        let p = compile_program(&s, None);
+        assert_eq!(p.tracked, vec![3, 8]);
+        assert_eq!(p.last_needed_col, 8);
+    }
+}

@@ -1,0 +1,213 @@
+//! General-purpose in-situ fbin scan.
+//!
+//! "The 'In Situ' version computes the positions of data elements during
+//! query execution" (§4.2): per value it consults the layout's offset tables
+//! (bounds-checked vector indexing + multiplication), dispatches on the data
+//! type from the catalog, materializes a generic [`Value`], and populates
+//! columns from those Datums with one more dispatch — the same generic-engine
+//! profile as [`crate::csv::InSituCsvScan`], minus tokenizing.
+
+use raw_columnar::batch::TableTag;
+use raw_columnar::ops::Operator;
+use raw_columnar::{Batch, Column, ColumnarError, DataType, Value};
+use raw_formats::fbin::{read_bool, read_f32, read_f64, read_i32, read_i64, FbinLayout};
+use raw_formats::file_buffer::FileBytes;
+
+use crate::fbin::FbinScanInput;
+use crate::profiler::{PhaseProfile, PhaseTimer, ScanMetrics};
+
+/// General-purpose in-situ scan over an fbin file.
+pub struct InSituFbinScan {
+    buf: FileBytes,
+    layout: FbinLayout,
+    wanted_ordinals: Vec<usize>,
+    tag: TableTag,
+    batch_size: usize,
+    row: u64,
+    datums: Vec<Vec<Value>>,
+    profile: PhaseProfile,
+    metrics: ScanMetrics,
+    done: bool,
+}
+
+impl InSituFbinScan {
+    /// Build the scan; parses the file header to recover the layout.
+    pub fn new(input: FbinScanInput) -> Result<InSituFbinScan, ColumnarError> {
+        let layout = FbinLayout::parse(&input.buf)
+            .map_err(|e| ColumnarError::External { message: e.to_string() })?;
+        let wanted_ordinals = input.spec.wanted_ordinals();
+        if let Some(&bad) = wanted_ordinals.iter().find(|&&c| c >= layout.num_cols()) {
+            return Err(ColumnarError::ColumnOutOfBounds {
+                index: bad,
+                len: layout.num_cols(),
+            });
+        }
+        let n = wanted_ordinals.len();
+        Ok(InSituFbinScan {
+            buf: input.buf,
+            layout,
+            wanted_ordinals,
+            tag: input.tag,
+            batch_size: input.batch_size.max(1),
+            row: 0,
+            datums: vec![Vec::new(); n],
+            profile: PhaseProfile::default(),
+            metrics: ScanMetrics::default(),
+            done: false,
+        })
+    }
+
+    /// The scan's phase profile so far.
+    pub fn profile(&self) -> PhaseProfile {
+        self.profile
+    }
+
+    /// The scan's volume metrics so far.
+    pub fn metrics(&self) -> ScanMetrics {
+        self.metrics
+    }
+}
+
+impl Operator for InSituFbinScan {
+    fn next_batch(&mut self) -> Result<Option<Batch>, ColumnarError> {
+        if self.done {
+            return Ok(None);
+        }
+        let remaining = self.layout.rows.saturating_sub(self.row) as usize;
+        let n = remaining.min(self.batch_size);
+        if n == 0 {
+            self.done = true;
+            return Ok(None);
+        }
+        let mut timer = PhaseTimer::start();
+        let first_row = self.row;
+        self.row += n as u64;
+
+        // Convert pass: per value — position computed through the layout
+        // tables, type dispatched from the catalog, Datum materialized.
+        let buf: &[u8] = &self.buf;
+        for (slot, datums) in self.datums.iter_mut().enumerate() {
+            let col = self.wanted_ordinals[slot];
+            datums.clear();
+            datums.reserve(n);
+            for r in first_row..first_row + n as u64 {
+                let pos = self.layout.field_position(r, col);
+                let value = match self.layout.types[col] {
+                    DataType::Int32 => Value::Int32(read_i32(buf, pos)),
+                    DataType::Int64 => Value::Int64(read_i64(buf, pos)),
+                    DataType::Float32 => Value::Float32(read_f32(buf, pos)),
+                    DataType::Float64 => Value::Float64(read_f64(buf, pos)),
+                    DataType::Bool => Value::Bool(read_bool(buf, pos)),
+                    DataType::Utf8 => unreachable!("fbin has no utf8"),
+                };
+                datums.push(value);
+            }
+        }
+        self.metrics.values_converted += (n * self.datums.len()) as u64;
+        timer.lap(&mut self.profile.conversion);
+
+        // Build pass: populate columns from Datums (dispatch per value).
+        let mut columns = Vec::with_capacity(self.datums.len());
+        for (slot, datums) in self.datums.iter().enumerate() {
+            let dt = self.layout.types[self.wanted_ordinals[slot]];
+            columns.push(Column::from_values(dt, datums)?);
+        }
+        self.metrics.values_materialized += (n * columns.len()) as u64;
+        let rows: Vec<u64> = (first_row..first_row + n as u64).collect();
+        let batch = Batch::new(columns)?.with_provenance(self.tag, rows)?;
+        self.metrics.rows_scanned += n as u64;
+        timer.lap(&mut self.profile.build_columns);
+        timer.finish(&mut self.profile.total);
+        Ok(Some(batch))
+    }
+
+    fn name(&self) -> &'static str {
+        "InSituFbinScan"
+    }
+
+    fn scan_profile(&self) -> PhaseProfile {
+        self.profile
+    }
+
+    fn scan_metrics(&self) -> ScanMetrics {
+        self.metrics
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AccessPathKind, AccessPathSpec, FileFormat, WantedField};
+    use raw_columnar::ops::collect;
+    use std::sync::Arc;
+
+    fn input(wanted: &[usize], t: &raw_columnar::MemTable) -> FbinScanInput {
+        let bytes = raw_formats::fbin::to_bytes(t).unwrap();
+        FbinScanInput {
+            buf: Arc::new(bytes),
+            spec: AccessPathSpec {
+                format: FileFormat::Fbin,
+                schema: t.schema().clone(),
+                wanted: wanted
+                    .iter()
+                    .map(|&c| WantedField {
+                        source_ordinal: c,
+                        data_type: t
+                            .schema()
+                            .field(c)
+                            .map(|f| f.data_type)
+                            .unwrap_or(DataType::Int64),
+                    })
+                    .collect(),
+                kind: AccessPathKind::FullScan,
+                record_positions: vec![],
+            },
+            tag: TableTag(0),
+            batch_size: 16,
+        }
+    }
+
+    #[test]
+    fn matches_source() {
+        let t = raw_formats::datagen::int_table(4, 60, 4);
+        let mut sc = InSituFbinScan::new(input(&[1, 3], &t)).unwrap();
+        let out = collect(&mut sc).unwrap();
+        assert_eq!(out.column(0).unwrap(), t.column(1).unwrap());
+        assert_eq!(out.column(1).unwrap(), t.column(3).unwrap());
+    }
+
+    #[test]
+    fn agrees_with_jit_scan() {
+        use crate::fbin::{compile_fbin_program, JitFbinScan};
+        let t = raw_formats::datagen::mixed_table(5, 40, 6);
+        let inp = input(&[0, 2, 5], &t);
+        let layout = FbinLayout::parse(&inp.buf).unwrap();
+        let program = Arc::new(compile_fbin_program(&inp.spec, &layout).unwrap());
+        let inp2 = FbinScanInput {
+            buf: Arc::clone(&inp.buf),
+            spec: inp.spec.clone(),
+            tag: inp.tag,
+            batch_size: inp.batch_size,
+        };
+        let mut insitu = InSituFbinScan::new(inp).unwrap();
+        let mut jit = JitFbinScan::new(inp2, program);
+        let a = collect(&mut insitu).unwrap();
+        let b = collect(&mut jit).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_column_rejected_at_build() {
+        let t = raw_formats::datagen::int_table(4, 5, 2);
+        assert!(InSituFbinScan::new(input(&[7], &t)).is_err());
+    }
+
+    #[test]
+    fn corrupt_header_rejected() {
+        let t = raw_formats::datagen::int_table(4, 5, 2);
+        let mut inp = input(&[0], &t);
+        inp.buf = Arc::new(b"garbage".to_vec());
+        assert!(InSituFbinScan::new(inp).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! Fixed-width binary access paths.
+//!
+//! For this format "the location of every data element is known in advance"
+//! (§4.2), so positional maps are pure overhead and are never built. The two
+//! scans differ exactly as the paper describes:
+//!
+//! - [`InSituFbinScan`] "computes the positions of data elements during query
+//!   execution": per value, it consults the layout tables (vector lookups +
+//!   multiplication) and dispatches on the data type.
+//! - [`JitFbinScan`] "hard-codes the positions of data elements into the
+//!   generated code": an [`FbinProgram`] bakes `data_start`, `row_width` and
+//!   each wanted field's offset as constants, and conversion loops are
+//!   monomorphized per column.
+
+mod insitu;
+mod jit;
+mod program;
+
+pub use insitu::InSituFbinScan;
+pub use jit::JitFbinScan;
+pub use program::{compile_fbin_program, FbinProgram};
+
+use raw_columnar::batch::TableTag;
+use raw_formats::file_buffer::FileBytes;
+
+use crate::spec::AccessPathSpec;
+
+/// Everything an fbin scan needs at instantiation time.
+pub struct FbinScanInput {
+    /// File bytes (header + rows).
+    pub buf: FileBytes,
+    /// Access-path specification.
+    pub spec: AccessPathSpec,
+    /// Provenance tag for emitted batches.
+    pub tag: TableTag,
+    /// Rows per emitted batch.
+    pub batch_size: usize,
+}

@@ -1,0 +1,114 @@
+//! The "generated code" of a JIT fbin access path: baked layout constants.
+
+use raw_columnar::DataType;
+use raw_formats::fbin::FbinLayout;
+use raw_formats::FormatError;
+
+use crate::spec::AccessPathSpec;
+
+/// A compiled fbin access path. Every number here is a constant folded in at
+/// "code generation" time — the paper's
+/// `15*tupleSize + 2*dataSize` example, done once instead of per access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FbinProgram {
+    /// Byte offset of the data section.
+    pub data_start: usize,
+    /// Bytes per row.
+    pub row_width: usize,
+    /// Per wanted field (in output order): byte offset within the row and
+    /// the field's type.
+    pub slots: Vec<(usize, DataType)>,
+    /// Total rows in the file.
+    pub rows: u64,
+}
+
+/// Derive the program for `spec` against a concrete file layout.
+pub fn compile_fbin_program(
+    spec: &AccessPathSpec,
+    layout: &FbinLayout,
+) -> Result<FbinProgram, FormatError> {
+    let mut slots = Vec::with_capacity(spec.wanted.len());
+    for w in &spec.wanted {
+        if w.source_ordinal >= layout.num_cols() {
+            return Err(FormatError::SchemaMismatch {
+                message: format!(
+                    "wanted field {} but file has {} columns",
+                    w.source_ordinal,
+                    layout.num_cols()
+                ),
+            });
+        }
+        let file_type = layout.types[w.source_ordinal];
+        if file_type != w.data_type {
+            return Err(FormatError::SchemaMismatch {
+                message: format!(
+                    "field {} declared {}, file stores {file_type}",
+                    w.source_ordinal, w.data_type
+                ),
+            });
+        }
+        slots.push((layout.field_offsets[w.source_ordinal], w.data_type));
+    }
+    Ok(FbinProgram {
+        data_start: layout.data_start,
+        row_width: layout.row_width,
+        slots,
+        rows: layout.rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AccessPathKind, FileFormat, WantedField};
+    use raw_columnar::Schema;
+
+    fn layout() -> FbinLayout {
+        FbinLayout::for_types(vec![DataType::Int64, DataType::Float64, DataType::Int32], 7)
+            .unwrap()
+    }
+
+    fn spec(wanted: Vec<WantedField>) -> AccessPathSpec {
+        AccessPathSpec {
+            format: FileFormat::Fbin,
+            schema: Schema::uniform(3, DataType::Int64),
+            wanted,
+            kind: AccessPathKind::FullScan,
+            record_positions: vec![],
+        }
+    }
+
+    #[test]
+    fn bakes_offsets() {
+        let p = compile_fbin_program(
+            &spec(vec![
+                WantedField { source_ordinal: 2, data_type: DataType::Int32 },
+                WantedField { source_ordinal: 0, data_type: DataType::Int64 },
+            ]),
+            &layout(),
+        )
+        .unwrap();
+        assert_eq!(p.slots, vec![(16, DataType::Int32), (0, DataType::Int64)]);
+        assert_eq!(p.row_width, 20);
+        assert_eq!(p.rows, 7);
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let err = compile_fbin_program(
+            &spec(vec![WantedField { source_ordinal: 1, data_type: DataType::Int64 }]),
+            &layout(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("declared"));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(compile_fbin_program(
+            &spec(vec![WantedField { source_ordinal: 9, data_type: DataType::Int64 }]),
+            &layout(),
+        )
+        .is_err());
+    }
+}

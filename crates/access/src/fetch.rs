@@ -1,0 +1,610 @@
+//! Selection-driven field fetchers: the machinery behind **column shreds**.
+//!
+//! §5: "the (Just-In-Time) scan operators are modified to take as input the
+//! identifiers of qualifying rows from which values should be read … For CSV
+//! files, this selection vector actually contains the closest known binary
+//! position for each value needed, as obtained from the positional map."
+//!
+//! A [`FieldFetcher`] reads the values of its wanted fields for exactly the
+//! rows it is given. [`AttachFieldsOp`] splices a fetcher into a query plan:
+//! it pulls batches from its child, looks up the provenance of its table,
+//! fetches the missing columns for just those rows, and appends them — a
+//! scan operator *pushed up the plan*, attached at the paper's "placeholder"
+//! operator position.
+
+use std::sync::Arc;
+
+use raw_columnar::batch::TableTag;
+use raw_columnar::ops::Operator;
+use raw_columnar::{Batch, Column, ColumnarError, DataType};
+use raw_formats::csv::tokenizer::{next_field, next_field_in_row, skip_fields_in_row};
+use raw_formats::file_buffer::FileBytes;
+use raw_posmap::{Lookup, PositionalMap};
+
+use crate::csv::{PosNav, SpanBuf};
+use crate::fbin::FbinProgram;
+use crate::profiler::{PhaseProfile, PhaseTimer, ScanMetrics};
+
+/// Reads wanted-field values for an explicit set of rows.
+pub trait FieldFetcher: Send {
+    /// Fetch the wanted columns' values for `rows`, in row order.
+    fn fetch(&mut self, rows: &[u64]) -> Result<Vec<Column>, ColumnarError>;
+
+    /// Phase profile accumulated so far.
+    fn profile(&self) -> PhaseProfile;
+
+    /// Volume metrics accumulated so far.
+    fn metrics(&self) -> ScanMetrics;
+}
+
+// ---------------------------------------------------------------------------
+// CSV fetchers
+// ---------------------------------------------------------------------------
+
+/// JIT CSV fetcher: per wanted column, either jump exactly to the recorded
+/// position or jump to the nearest tracked column and parse forward.
+/// Columns are fetched column-at-a-time (one pass over `rows` per column).
+pub struct CsvJitFetcher {
+    buf: FileBytes,
+    posmap: Arc<PositionalMap>,
+    nav: Vec<PosNav>,
+    out_types: Vec<DataType>,
+    spans: SpanBuf,
+    scratch: Vec<Column>,
+    profile: PhaseProfile,
+    metrics: ScanMetrics,
+}
+
+impl CsvJitFetcher {
+    /// Compile a fetcher for `wanted` (source ordinal, type) pairs. Fails if
+    /// the positional map cannot serve some wanted column (the engine then
+    /// falls back to full columns).
+    pub fn compile(
+        buf: FileBytes,
+        posmap: Arc<PositionalMap>,
+        wanted: &[(usize, DataType)],
+    ) -> Result<CsvJitFetcher, ColumnarError> {
+        let mut nav = Vec::with_capacity(wanted.len());
+        for &(col, _) in wanted {
+            match posmap.lookup(col) {
+                Lookup::Exact { .. } => nav.push(PosNav::Exact { col }),
+                Lookup::Nearest { tracked_col, skip_fields, .. } => {
+                    nav.push(PosNav::Nearest { tracked_col, skip: skip_fields });
+                }
+                Lookup::Miss => {
+                    return Err(ColumnarError::Plan {
+                        message: format!(
+                            "positional map cannot reach column {col}; shred fetch impossible"
+                        ),
+                    })
+                }
+            }
+        }
+        let out_types: Vec<DataType> = wanted.iter().map(|&(_, dt)| dt).collect();
+        let scratch = out_types.iter().map(|&dt| Column::empty(dt)).collect();
+        Ok(CsvJitFetcher {
+            buf,
+            posmap,
+            nav,
+            out_types,
+            spans: SpanBuf::default(),
+            scratch,
+            profile: PhaseProfile::default(),
+            metrics: ScanMetrics::default(),
+        })
+    }
+}
+
+impl FieldFetcher for CsvJitFetcher {
+    fn fetch(&mut self, rows: &[u64]) -> Result<Vec<Column>, ColumnarError> {
+        let mut timer = PhaseTimer::start();
+        let buf: &[u8] = &self.buf;
+        let mut out = Vec::with_capacity(self.nav.len());
+        for (slot, nv) in self.nav.iter().enumerate() {
+            // Locate.
+            timer.skip();
+            self.spans.clear();
+            match *nv {
+                PosNav::Exact { col } => {
+                    let Lookup::Exact { positions, lengths } = self.posmap.lookup(col) else {
+                        unreachable!("compiled Exact from this map");
+                    };
+                    for &r in rows {
+                        self.spans.push(positions[r as usize], lengths[r as usize]);
+                    }
+                }
+                PosNav::Nearest { tracked_col, skip } => {
+                    let Lookup::Exact { positions, .. } = self.posmap.lookup(tracked_col)
+                    else {
+                        unreachable!("nearest target is tracked");
+                    };
+                    for &r in rows {
+                        let (at, ended) =
+                            skip_fields_in_row(buf, positions[r as usize] as usize, skip);
+                        if ended {
+                            return Err(ColumnarError::External {
+                                message: format!(
+                                    "corrupt data while row {r} has fewer fields than \
+                                     the positional-map navigation requires at byte {at}"
+                                ),
+                            });
+                        }
+                        let (span, _) = next_field(buf, at);
+                        self.spans.push(span.start as u64, (span.end - span.start) as u32);
+                    }
+                    self.metrics.fields_tokenized += (rows.len() * (skip + 1)) as u64;
+                }
+            }
+            timer.lap(&mut self.profile.parsing);
+
+            // Convert (monomorphized loop per column).
+            crate::csv::convert_spans(buf, &self.spans, &mut self.scratch[slot])?;
+            self.metrics.values_converted += rows.len() as u64;
+            timer.lap(&mut self.profile.conversion);
+
+            // Build.
+            out.push(self.scratch[slot].clone());
+            self.metrics.values_materialized += rows.len() as u64;
+            timer.lap(&mut self.profile.build_columns);
+        }
+        let _ = &self.out_types;
+        self.metrics.rows_scanned += rows.len() as u64;
+        timer.finish(&mut self.profile.total);
+        Ok(out)
+    }
+
+    fn profile(&self) -> PhaseProfile {
+        self.profile
+    }
+
+    fn metrics(&self) -> ScanMetrics {
+        self.metrics
+    }
+}
+
+/// Multi-column CSV fetcher (the §5.3.1 "multi-column shreds"): one pass per
+/// row from a shared nearest tracked position, collecting several columns at
+/// once — trading possibly-unneeded reads for tokenizing locality.
+pub struct CsvMultiFetcher {
+    buf: FileBytes,
+    posmap: Arc<PositionalMap>,
+    /// Tracked column every row jump starts from.
+    base_col: usize,
+    /// Wanted columns relative to the walk, ascending source ordinal:
+    /// (fields to skip from previous grab, output slot).
+    walk: Vec<(usize, usize)>,
+    out_types: Vec<DataType>,
+    spans: Vec<SpanBuf>,
+    scratch: Vec<Column>,
+    profile: PhaseProfile,
+    metrics: ScanMetrics,
+}
+
+impl CsvMultiFetcher {
+    /// Compile a single-pass fetcher for `wanted` (source ordinal, type),
+    /// all reached from one tracked column at or before the smallest ordinal.
+    pub fn compile(
+        buf: FileBytes,
+        posmap: Arc<PositionalMap>,
+        wanted: &[(usize, DataType)],
+    ) -> Result<CsvMultiFetcher, ColumnarError> {
+        if wanted.is_empty() {
+            return Err(ColumnarError::Plan { message: "multi-fetch of zero columns".into() });
+        }
+        let mut order: Vec<(usize, usize)> = wanted
+            .iter()
+            .enumerate()
+            .map(|(slot, &(col, _))| (col, slot))
+            .collect();
+        order.sort_unstable();
+        let first_col = order[0].0;
+        let base_col = match posmap.lookup(first_col) {
+            Lookup::Exact { .. } => first_col,
+            Lookup::Nearest { tracked_col, .. } => tracked_col,
+            Lookup::Miss => {
+                return Err(ColumnarError::Plan {
+                    message: format!("positional map cannot reach column {first_col}"),
+                })
+            }
+        };
+        // Walk plan: from base_col, skip to each wanted column in turn.
+        let mut walk = Vec::with_capacity(order.len());
+        let mut cursor = base_col;
+        for &(col, slot) in &order {
+            if col < cursor {
+                return Err(ColumnarError::Plan {
+                    message: "duplicate wanted column in multi-fetch".into(),
+                });
+            }
+            walk.push((col - cursor, slot));
+            cursor = col + 1; // tokenizing the field advances past it
+        }
+        let out_types: Vec<DataType> = wanted.iter().map(|&(_, dt)| dt).collect();
+        let scratch = out_types.iter().map(|&dt| Column::empty(dt)).collect();
+        Ok(CsvMultiFetcher {
+            buf,
+            posmap,
+            base_col,
+            walk,
+            out_types,
+            spans: vec![SpanBuf::default(); wanted.len()],
+            scratch,
+            profile: PhaseProfile::default(),
+            metrics: ScanMetrics::default(),
+        })
+    }
+}
+
+impl FieldFetcher for CsvMultiFetcher {
+    fn fetch(&mut self, rows: &[u64]) -> Result<Vec<Column>, ColumnarError> {
+        let mut timer = PhaseTimer::start();
+        let buf: &[u8] = &self.buf;
+        for s in &mut self.spans {
+            s.clear();
+        }
+        let Lookup::Exact { positions, .. } = self.posmap.lookup(self.base_col) else {
+            return Err(ColumnarError::Plan {
+                message: format!("column {} no longer tracked", self.base_col),
+            });
+        };
+        let mut tokenized = 0u64;
+        for &r in rows {
+            let mut pos = positions[r as usize] as usize;
+            let mut row_over = false;
+            for &(skip, slot) in &self.walk {
+                let short = |at: usize| ColumnarError::External {
+                    message: format!(
+                        "corrupt data while row {r} has fewer fields than the \
+                         multi-column walk requires at byte {at}"
+                    ),
+                };
+                if row_over {
+                    return Err(short(pos));
+                }
+                let (at, ended) = skip_fields_in_row(buf, pos, skip);
+                if ended {
+                    return Err(short(at));
+                }
+                let (span, next, ended_row) = next_field_in_row(buf, at);
+                row_over = ended_row;
+                self.spans[slot].push(span.start as u64, (span.end - span.start) as u32);
+                pos = next;
+                tokenized += (skip + 1) as u64;
+            }
+        }
+        self.metrics.fields_tokenized += tokenized;
+        timer.lap(&mut self.profile.parsing);
+
+        let mut out = Vec::with_capacity(self.spans.len());
+        for (slot, spans) in self.spans.iter().enumerate() {
+            crate::csv::convert_spans(buf, spans, &mut self.scratch[slot])?;
+            self.metrics.values_converted += rows.len() as u64;
+            out.push(self.scratch[slot].clone());
+            self.metrics.values_materialized += rows.len() as u64;
+        }
+        let _ = &self.out_types;
+        timer.lap(&mut self.profile.conversion);
+        self.metrics.rows_scanned += rows.len() as u64;
+        timer.finish(&mut self.profile.total);
+        Ok(out)
+    }
+
+    fn profile(&self) -> PhaseProfile {
+        self.profile
+    }
+
+    fn metrics(&self) -> ScanMetrics {
+        self.metrics
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fbin fetcher
+// ---------------------------------------------------------------------------
+
+/// JIT fbin fetcher: positions are computed from baked constants, so any row
+/// set is directly addressable — no positional map involved.
+pub struct FbinFetcher {
+    buf: FileBytes,
+    program: Arc<FbinProgram>,
+    scratch: Vec<Column>,
+    profile: PhaseProfile,
+    metrics: ScanMetrics,
+}
+
+impl FbinFetcher {
+    /// Wrap a compiled fbin program as a fetcher.
+    pub fn new(buf: FileBytes, program: Arc<FbinProgram>) -> FbinFetcher {
+        let scratch = program.slots.iter().map(|&(_, dt)| Column::empty(dt)).collect();
+        FbinFetcher {
+            buf,
+            program,
+            scratch,
+            profile: PhaseProfile::default(),
+            metrics: ScanMetrics::default(),
+        }
+    }
+}
+
+impl FieldFetcher for FbinFetcher {
+    fn fetch(&mut self, rows: &[u64]) -> Result<Vec<Column>, ColumnarError> {
+        let mut timer = PhaseTimer::start();
+        let buf: &[u8] = &self.buf;
+        if let Some(&bad) = rows.iter().find(|&&r| r >= self.program.rows) {
+            return Err(ColumnarError::RowOutOfBounds { row: bad, len: self.program.rows });
+        }
+        let data_start = self.program.data_start;
+        let row_width = self.program.row_width;
+        let mut out = Vec::with_capacity(self.program.slots.len());
+        for (slot, &(offset, dt)) in self.program.slots.iter().enumerate() {
+            let col = &mut self.scratch[slot];
+            match (col, dt) {
+                (Column::Int64(v), DataType::Int64) => {
+                    v.clear();
+                    for &r in rows {
+                        v.push(raw_formats::fbin::read_i64(
+                            buf,
+                            data_start + r as usize * row_width + offset,
+                        ));
+                    }
+                }
+                (Column::Int32(v), DataType::Int32) => {
+                    v.clear();
+                    for &r in rows {
+                        v.push(raw_formats::fbin::read_i32(
+                            buf,
+                            data_start + r as usize * row_width + offset,
+                        ));
+                    }
+                }
+                (Column::Float64(v), DataType::Float64) => {
+                    v.clear();
+                    for &r in rows {
+                        v.push(raw_formats::fbin::read_f64(
+                            buf,
+                            data_start + r as usize * row_width + offset,
+                        ));
+                    }
+                }
+                (Column::Float32(v), DataType::Float32) => {
+                    v.clear();
+                    for &r in rows {
+                        v.push(raw_formats::fbin::read_f32(
+                            buf,
+                            data_start + r as usize * row_width + offset,
+                        ));
+                    }
+                }
+                (Column::Bool(v), DataType::Bool) => {
+                    v.clear();
+                    for &r in rows {
+                        v.push(raw_formats::fbin::read_bool(
+                            buf,
+                            data_start + r as usize * row_width + offset,
+                        ));
+                    }
+                }
+                (c, dt) => {
+                    return Err(ColumnarError::TypeMismatch {
+                        expected: dt,
+                        actual: c.data_type(),
+                        context: "FbinFetcher scratch",
+                    })
+                }
+            }
+            self.metrics.values_converted += rows.len() as u64;
+            timer.lap(&mut self.profile.conversion);
+            out.push(self.scratch[slot].clone());
+            self.metrics.values_materialized += rows.len() as u64;
+            timer.lap(&mut self.profile.build_columns);
+        }
+        self.metrics.rows_scanned += rows.len() as u64;
+        timer.finish(&mut self.profile.total);
+        Ok(out)
+    }
+
+    fn profile(&self) -> PhaseProfile {
+        self.profile
+    }
+
+    fn metrics(&self) -> ScanMetrics {
+        self.metrics
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pushed-up scan operator
+// ---------------------------------------------------------------------------
+
+/// A scan operator placed *above* other operators in the plan: for each
+/// incoming batch, fetches the missing columns for exactly the rows that
+/// survived below, and appends them to the batch.
+pub struct AttachFieldsOp {
+    input: Box<dyn Operator>,
+    table: TableTag,
+    fetcher: Box<dyn FieldFetcher>,
+}
+
+impl AttachFieldsOp {
+    /// Attach `fetcher`'s columns for rows of `table` flowing through
+    /// `input`.
+    pub fn new(
+        input: Box<dyn Operator>,
+        table: TableTag,
+        fetcher: Box<dyn FieldFetcher>,
+    ) -> AttachFieldsOp {
+        AttachFieldsOp { input, table, fetcher }
+    }
+
+    /// The fetcher's phase profile.
+    pub fn profile(&self) -> PhaseProfile {
+        self.fetcher.profile()
+    }
+}
+
+impl Operator for AttachFieldsOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>, ColumnarError> {
+        let Some(mut batch) = self.input.next_batch()? else {
+            return Ok(None);
+        };
+        let rows: Vec<u64> = batch
+            .rows_of(self.table)
+            .ok_or_else(|| ColumnarError::Plan {
+                message: format!(
+                    "late scan needs provenance of table {:?}, absent from batch",
+                    self.table
+                ),
+            })?
+            .to_vec();
+        for col in self.fetcher.fetch(&rows)? {
+            batch.push_column(col)?;
+        }
+        Ok(Some(batch))
+    }
+
+    fn name(&self) -> &'static str {
+        "AttachFields"
+    }
+
+    fn scan_profile(&self) -> PhaseProfile {
+        let mut p = self.input.scan_profile();
+        p.merge(&self.fetcher.profile());
+        p
+    }
+
+    fn scan_metrics(&self) -> ScanMetrics {
+        let mut m = self.input.scan_metrics();
+        m.merge(&self.fetcher.metrics());
+        m
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raw_columnar::ops::{collect, BatchSource};
+    use raw_posmap::PosMapBuilder;
+
+    /// CSV: 4 rows × 4 cols with values r*10 + c (two-digit).
+    fn csv() -> FileBytes {
+        Arc::new(b"10,11,12,13\n20,21,22,23\n30,31,32,33\n40,41,42,43\n".to_vec())
+    }
+
+    /// Positional map tracking cols 0 and 2 of `csv()`.
+    fn map() -> Arc<PositionalMap> {
+        let mut b = PosMapBuilder::new(vec![0, 2]);
+        for row in 0..4u64 {
+            let base = row * 12;
+            b.record(0, base, 2);
+            b.record(1, base + 6, 2);
+        }
+        Arc::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn csv_jit_fetch_exact() {
+        let mut f =
+            CsvJitFetcher::compile(csv(), map(), &[(2, DataType::Int64)]).unwrap();
+        let cols = f.fetch(&[3, 0]).unwrap();
+        assert_eq!(cols[0].as_i64().unwrap(), &[42, 12]);
+        assert_eq!(f.metrics().fields_tokenized, 0);
+    }
+
+    #[test]
+    fn csv_jit_fetch_nearest() {
+        let mut f =
+            CsvJitFetcher::compile(csv(), map(), &[(3, DataType::Int64)]).unwrap();
+        let cols = f.fetch(&[1, 2]).unwrap();
+        assert_eq!(cols[0].as_i64().unwrap(), &[23, 33]);
+        assert!(f.metrics().fields_tokenized > 0);
+    }
+
+    #[test]
+    fn csv_jit_fetch_miss_rejected() {
+        // Map starts at col 0, so nothing misses; build a col-2-only map.
+        let mut b = PosMapBuilder::new(vec![2]);
+        for row in 0..4u64 {
+            b.record(0, row * 12 + 6, 2);
+        }
+        let m = Arc::new(b.finish().unwrap());
+        assert!(CsvJitFetcher::compile(csv(), m, &[(1, DataType::Int64)]).is_err());
+    }
+
+    #[test]
+    fn csv_multi_fetch_single_pass() {
+        let mut f = CsvMultiFetcher::compile(
+            csv(),
+            map(),
+            &[(1, DataType::Int64), (3, DataType::Int64)],
+        )
+        .unwrap();
+        let cols = f.fetch(&[0, 2]).unwrap();
+        assert_eq!(cols[0].as_i64().unwrap(), &[11, 31]);
+        assert_eq!(cols[1].as_i64().unwrap(), &[13, 33]);
+        // Walk: jump to col 0, skip 1 → col 1, then skip 1 → col 3: per row
+        // 2 skips + 2 reads = 4 advances.
+        assert_eq!(f.metrics().fields_tokenized, 8);
+    }
+
+    #[test]
+    fn csv_multi_rejects_duplicates() {
+        assert!(CsvMultiFetcher::compile(
+            csv(),
+            map(),
+            &[(1, DataType::Int64), (1, DataType::Int64)],
+        )
+        .is_err());
+        assert!(CsvMultiFetcher::compile(csv(), map(), &[]).is_err());
+    }
+
+    #[test]
+    fn fbin_fetch_random_rows() {
+        let t = raw_formats::datagen::int_table(9, 50, 4);
+        let bytes = raw_formats::fbin::to_bytes(&t).unwrap();
+        let layout = raw_formats::fbin::FbinLayout::parse(&bytes).unwrap();
+        let program = Arc::new(FbinProgram {
+            data_start: layout.data_start,
+            row_width: layout.row_width,
+            slots: vec![(layout.field_offsets[2], DataType::Int64)],
+            rows: layout.rows,
+        });
+        let mut f = FbinFetcher::new(Arc::new(bytes), program);
+        let cols = f.fetch(&[49, 0, 7]).unwrap();
+        let src = t.column(2).unwrap().as_i64().unwrap();
+        assert_eq!(cols[0].as_i64().unwrap(), &[src[49], src[0], src[7]]);
+        assert!(f.fetch(&[50]).is_err(), "row out of range");
+    }
+
+    #[test]
+    fn attach_fields_op_appends_for_survivors() {
+        // A child batch pretending rows 1 and 3 of the CSV survived a filter.
+        let child = Batch::new(vec![vec![20i64, 40].into()])
+            .unwrap()
+            .with_provenance(TableTag(5), vec![1, 3])
+            .unwrap();
+        let fetcher =
+            CsvJitFetcher::compile(csv(), map(), &[(2, DataType::Int64)]).unwrap();
+        let mut op = AttachFieldsOp::new(
+            Box::new(BatchSource::new(vec![child])),
+            TableTag(5),
+            Box::new(fetcher),
+        );
+        let out = collect(&mut op).unwrap();
+        assert_eq!(out.num_columns(), 2);
+        assert_eq!(out.column(1).unwrap().as_i64().unwrap(), &[22, 42]);
+    }
+
+    #[test]
+    fn attach_fields_requires_provenance() {
+        let child = Batch::new(vec![vec![1i64].into()]).unwrap(); // no provenance
+        let fetcher =
+            CsvJitFetcher::compile(csv(), map(), &[(2, DataType::Int64)]).unwrap();
+        let mut op = AttachFieldsOp::new(
+            Box::new(BatchSource::new(vec![child])),
+            TableTag(5),
+            Box::new(fetcher),
+        );
+        assert!(op.next_batch().is_err());
+    }
+}

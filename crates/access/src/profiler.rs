@@ -1,0 +1,8 @@
+//! Phase-level cost attribution for scans (the Figure-3 breakdown).
+//!
+//! The canonical definitions live in [`raw_columnar::profile`] so that the
+//! [`raw_columnar::ops::Operator`] trait can aggregate profiles through
+//! operator trees; this module re-exports them under the historical
+//! `raw_access::profiler` path used throughout the access-path code.
+
+pub use raw_columnar::profile::{Phase, PhaseProfile, PhaseTimer, ScanMetrics};

@@ -1,0 +1,659 @@
+//! JIT access paths over `rootsim` files (the §6 ROOT scenario).
+//!
+//! "The JIT access paths in RAW emit code that calls the ROOT I/O API …
+//! the code generation step queries the ROOT library for internal
+//! ROOT-specific identifiers that uniquely identify each attribute. These
+//! identifiers are placed into the generated code." Compilation here means
+//! resolving branch/collection/field *names* to ids **once** and building
+//! typed programs around them; scans then make only id-based API calls.
+//!
+//! Two relational views are exposed, matching Figure 13:
+//!
+//! - the **event table** (one row per event, scalar branches as columns) via
+//!   [`RootScalarScan`] / [`RootScalarFetcher`];
+//! - **satellite tables** (one row per collection item, with the parent's
+//!   scalar — e.g. `eventID` — replicated per item) via
+//!   [`RootCollectionScan`] / [`RootCollectionFetcher`]. Sub-object access
+//!   by parent id maps to an index-based scan, per §3.
+
+use std::sync::Arc;
+
+use raw_columnar::batch::TableTag;
+use raw_columnar::ops::Operator;
+use raw_columnar::{Batch, Column, ColumnarError, DataType};
+use raw_formats::rootsim::{BranchId, CollectionId, FieldId, RootSimFile};
+
+use crate::fetch::FieldFetcher;
+use crate::profiler::{PhaseProfile, PhaseTimer, ScanMetrics};
+
+/// Compiled program for the event table: wanted scalar branches, by id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootScalarProgram {
+    /// (branch id, type) per wanted column, in output order.
+    pub branches: Vec<(BranchId, DataType)>,
+}
+
+/// One column of a satellite-table program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootColField {
+    /// The owning event's scalar branch value, replicated per item.
+    ParentScalar(BranchId),
+    /// A field of the collection item itself.
+    Item(FieldId),
+}
+
+/// Compiled program for a satellite table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootCollectionProgram {
+    /// The collection backing the table.
+    pub coll: CollectionId,
+    /// (column source, type) per wanted column, in output order.
+    pub fields: Vec<(RootColField, DataType)>,
+}
+
+/// Resolve scalar-branch names to a program (the "code generation" step).
+pub fn compile_scalar_program(
+    file: &RootSimFile,
+    branch_names: &[&str],
+) -> Result<RootScalarProgram, ColumnarError> {
+    let mut branches = Vec::with_capacity(branch_names.len());
+    for name in branch_names {
+        let id = file.scalar_branch(name).ok_or_else(|| ColumnarError::Plan {
+            message: format!("no scalar branch named {name}"),
+        })?;
+        branches.push((id, file.scalar_type(id)));
+    }
+    Ok(RootScalarProgram { branches })
+}
+
+/// Resolve a satellite table: `parent_scalar` (e.g. `"eventID"`) plus item
+/// field names within `collection`.
+pub fn compile_collection_program(
+    file: &RootSimFile,
+    collection: &str,
+    parent_scalar: Option<&str>,
+    field_names: &[&str],
+) -> Result<RootCollectionProgram, ColumnarError> {
+    let coll = file.collection(collection).ok_or_else(|| ColumnarError::Plan {
+        message: format!("no collection named {collection}"),
+    })?;
+    let mut fields = Vec::new();
+    if let Some(name) = parent_scalar {
+        let id = file.scalar_branch(name).ok_or_else(|| ColumnarError::Plan {
+            message: format!("no scalar branch named {name}"),
+        })?;
+        fields.push((RootColField::ParentScalar(id), file.scalar_type(id)));
+    }
+    for name in field_names {
+        let id = file.field(coll, name).ok_or_else(|| ColumnarError::Plan {
+            message: format!("no field named {name} in collection {collection}"),
+        })?;
+        fields.push((RootColField::Item(id), file.field_type(coll, id)));
+    }
+    Ok(RootCollectionProgram { coll, fields })
+}
+
+/// Read one scalar branch for a contiguous range of events into a column.
+fn read_scalar_range(
+    file: &RootSimFile,
+    branch: BranchId,
+    dt: DataType,
+    lo: u64,
+    hi: u64,
+) -> Result<Column, ColumnarError> {
+    let n = (hi - lo) as usize;
+    Ok(match dt {
+        DataType::Int64 => {
+            let mut v = Vec::with_capacity(n);
+            for e in lo..hi {
+                v.push(file.read_scalar_i64(branch, e));
+            }
+            Column::Int64(v)
+        }
+        DataType::Int32 => {
+            let mut v = Vec::with_capacity(n);
+            for e in lo..hi {
+                v.push(file.read_scalar_i32(branch, e));
+            }
+            Column::Int32(v)
+        }
+        DataType::Float32 => {
+            let mut v = Vec::with_capacity(n);
+            for e in lo..hi {
+                v.push(file.read_scalar_f32(branch, e));
+            }
+            Column::Float32(v)
+        }
+        DataType::Float64 => {
+            let mut v = Vec::with_capacity(n);
+            for e in lo..hi {
+                v.push(file.read_scalar_f64(branch, e));
+            }
+            Column::Float64(v)
+        }
+        other => {
+            return Err(ColumnarError::Unsupported {
+                what: format!("rootsim scalar branch of type {other}"),
+            })
+        }
+    })
+}
+
+/// Full scan over the event table.
+pub struct RootScalarScan {
+    file: Arc<RootSimFile>,
+    program: Arc<RootScalarProgram>,
+    tag: TableTag,
+    batch_size: usize,
+    next_event: u64,
+    profile: PhaseProfile,
+    metrics: ScanMetrics,
+}
+
+impl RootScalarScan {
+    /// Instantiate the compiled `program`.
+    pub fn new(
+        file: Arc<RootSimFile>,
+        program: Arc<RootScalarProgram>,
+        tag: TableTag,
+        batch_size: usize,
+    ) -> RootScalarScan {
+        RootScalarScan {
+            file,
+            program,
+            tag,
+            batch_size: batch_size.max(1),
+            next_event: 0,
+            profile: PhaseProfile::default(),
+            metrics: ScanMetrics::default(),
+        }
+    }
+
+    /// The scan's phase profile so far.
+    pub fn profile(&self) -> PhaseProfile {
+        self.profile
+    }
+}
+
+impl Operator for RootScalarScan {
+    fn next_batch(&mut self) -> Result<Option<Batch>, ColumnarError> {
+        let total = self.file.num_events();
+        if self.next_event >= total {
+            return Ok(None);
+        }
+        let mut timer = PhaseTimer::start();
+        let lo = self.next_event;
+        let hi = total.min(lo + self.batch_size as u64);
+        self.next_event = hi;
+
+        let mut columns = Vec::with_capacity(self.program.branches.len());
+        for &(branch, dt) in &self.program.branches {
+            columns.push(read_scalar_range(&self.file, branch, dt, lo, hi)?);
+        }
+        self.metrics.values_converted += (hi - lo) * self.program.branches.len() as u64;
+        timer.lap(&mut self.profile.conversion);
+
+        let rows: Vec<u64> = (lo..hi).collect();
+        self.metrics.rows_scanned += hi - lo;
+        self.metrics.values_materialized += (hi - lo) * columns.len() as u64;
+        let batch = Batch::new(columns)?.with_provenance(self.tag, rows)?;
+        timer.lap(&mut self.profile.build_columns);
+        timer.finish(&mut self.profile.total);
+        Ok(Some(batch))
+    }
+
+    fn name(&self) -> &'static str {
+        "RootScalarScan"
+    }
+
+    fn scan_profile(&self) -> PhaseProfile {
+        self.profile
+    }
+
+    fn scan_metrics(&self) -> ScanMetrics {
+        self.metrics
+    }
+
+}
+
+/// Full scan over a satellite table (one row per collection item).
+pub struct RootCollectionScan {
+    file: Arc<RootSimFile>,
+    program: Arc<RootCollectionProgram>,
+    tag: TableTag,
+    batch_size: usize,
+    next_item: u64,
+    total_items: u64,
+    profile: PhaseProfile,
+    metrics: ScanMetrics,
+}
+
+impl RootCollectionScan {
+    /// Instantiate the compiled `program`.
+    pub fn new(
+        file: Arc<RootSimFile>,
+        program: Arc<RootCollectionProgram>,
+        tag: TableTag,
+        batch_size: usize,
+    ) -> RootCollectionScan {
+        let total_items = file.total_items(program.coll);
+        RootCollectionScan {
+            file,
+            program,
+            tag,
+            batch_size: batch_size.max(1),
+            next_item: 0,
+            total_items,
+            profile: PhaseProfile::default(),
+            metrics: ScanMetrics::default(),
+        }
+    }
+
+    /// The scan's phase profile so far.
+    pub fn profile(&self) -> PhaseProfile {
+        self.profile
+    }
+}
+
+/// Read one item field for a contiguous item range.
+fn read_item_range(
+    file: &RootSimFile,
+    coll: CollectionId,
+    field: FieldId,
+    dt: DataType,
+    lo: u64,
+    hi: u64,
+) -> Result<Column, ColumnarError> {
+    let n = (hi - lo) as usize;
+    Ok(match dt {
+        DataType::Float32 => {
+            let mut v = Vec::with_capacity(n);
+            for i in lo..hi {
+                v.push(file.read_item_f32(coll, field, i));
+            }
+            Column::Float32(v)
+        }
+        DataType::Float64 => {
+            let mut v = Vec::with_capacity(n);
+            for i in lo..hi {
+                v.push(file.read_item_f64(coll, field, i));
+            }
+            Column::Float64(v)
+        }
+        DataType::Int32 => {
+            let mut v = Vec::with_capacity(n);
+            for i in lo..hi {
+                v.push(file.read_item_i32(coll, field, i));
+            }
+            Column::Int32(v)
+        }
+        DataType::Int64 => {
+            let mut v = Vec::with_capacity(n);
+            for i in lo..hi {
+                v.push(file.read_item_i64(coll, field, i));
+            }
+            Column::Int64(v)
+        }
+        other => {
+            return Err(ColumnarError::Unsupported {
+                what: format!("rootsim item field of type {other}"),
+            })
+        }
+    })
+}
+
+/// Replicate the parent scalar per item for a contiguous item range,
+/// walking the offsets table sequentially (no per-item search).
+fn read_parent_range(
+    file: &RootSimFile,
+    coll: CollectionId,
+    branch: BranchId,
+    dt: DataType,
+    lo: u64,
+    hi: u64,
+) -> Result<Column, ColumnarError> {
+    let n = (hi - lo) as usize;
+    let mut event = file.event_of_item(coll, lo);
+    let mut col = Column::with_capacity(dt, n);
+    let mut item = lo;
+    while item < hi {
+        let (_, range_end) = file.item_range(coll, event);
+        let upto = range_end.min(hi);
+        let count = (upto - item) as usize;
+        match (&mut col, dt) {
+            (Column::Int64(v), DataType::Int64) => {
+                let val = file.read_scalar_i64(branch, event);
+                v.extend(std::iter::repeat_n(val, count));
+            }
+            (Column::Int32(v), DataType::Int32) => {
+                let val = file.read_scalar_i32(branch, event);
+                v.extend(std::iter::repeat_n(val, count));
+            }
+            (c, dt) => {
+                return Err(ColumnarError::TypeMismatch {
+                    expected: dt,
+                    actual: c.data_type(),
+                    context: "rootsim parent scalar",
+                })
+            }
+        }
+        item = upto;
+        event += 1;
+    }
+    Ok(col)
+}
+
+impl Operator for RootCollectionScan {
+    fn next_batch(&mut self) -> Result<Option<Batch>, ColumnarError> {
+        if self.next_item >= self.total_items {
+            return Ok(None);
+        }
+        let mut timer = PhaseTimer::start();
+        let lo = self.next_item;
+        let hi = self.total_items.min(lo + self.batch_size as u64);
+        self.next_item = hi;
+
+        let mut columns = Vec::with_capacity(self.program.fields.len());
+        for &(src, dt) in &self.program.fields {
+            let col = match src {
+                RootColField::Item(field) => {
+                    read_item_range(&self.file, self.program.coll, field, dt, lo, hi)?
+                }
+                RootColField::ParentScalar(branch) => {
+                    read_parent_range(&self.file, self.program.coll, branch, dt, lo, hi)?
+                }
+            };
+            columns.push(col);
+        }
+        self.metrics.values_converted += (hi - lo) * self.program.fields.len() as u64;
+        timer.lap(&mut self.profile.conversion);
+
+        let rows: Vec<u64> = (lo..hi).collect();
+        self.metrics.rows_scanned += hi - lo;
+        self.metrics.values_materialized += (hi - lo) * columns.len() as u64;
+        let batch = Batch::new(columns)?.with_provenance(self.tag, rows)?;
+        timer.lap(&mut self.profile.build_columns);
+        timer.finish(&mut self.profile.total);
+        Ok(Some(batch))
+    }
+
+    fn name(&self) -> &'static str {
+        "RootCollectionScan"
+    }
+
+    fn scan_profile(&self) -> PhaseProfile {
+        self.profile
+    }
+
+    fn scan_metrics(&self) -> ScanMetrics {
+        self.metrics
+    }
+
+}
+
+/// Selection-driven fetcher over the event table (rows are event ids).
+pub struct RootScalarFetcher {
+    file: Arc<RootSimFile>,
+    program: Arc<RootScalarProgram>,
+    profile: PhaseProfile,
+    metrics: ScanMetrics,
+}
+
+impl RootScalarFetcher {
+    /// Wrap a compiled program as a fetcher.
+    pub fn new(file: Arc<RootSimFile>, program: Arc<RootScalarProgram>) -> RootScalarFetcher {
+        RootScalarFetcher {
+            file,
+            program,
+            profile: PhaseProfile::default(),
+            metrics: ScanMetrics::default(),
+        }
+    }
+}
+
+impl FieldFetcher for RootScalarFetcher {
+    fn fetch(&mut self, rows: &[u64]) -> Result<Vec<Column>, ColumnarError> {
+        let mut timer = PhaseTimer::start();
+        let total = self.file.num_events();
+        if let Some(&bad) = rows.iter().find(|&&r| r >= total) {
+            return Err(ColumnarError::RowOutOfBounds { row: bad, len: total });
+        }
+        let mut out = Vec::with_capacity(self.program.branches.len());
+        for &(branch, dt) in &self.program.branches {
+            let col = match dt {
+                DataType::Int64 => Column::Int64(
+                    rows.iter().map(|&e| self.file.read_scalar_i64(branch, e)).collect(),
+                ),
+                DataType::Int32 => Column::Int32(
+                    rows.iter().map(|&e| self.file.read_scalar_i32(branch, e)).collect(),
+                ),
+                DataType::Float32 => Column::Float32(
+                    rows.iter().map(|&e| self.file.read_scalar_f32(branch, e)).collect(),
+                ),
+                DataType::Float64 => Column::Float64(
+                    rows.iter().map(|&e| self.file.read_scalar_f64(branch, e)).collect(),
+                ),
+                other => {
+                    return Err(ColumnarError::Unsupported {
+                        what: format!("rootsim scalar branch of type {other}"),
+                    })
+                }
+            };
+            out.push(col);
+        }
+        self.metrics.rows_scanned += rows.len() as u64;
+        self.metrics.values_converted += (rows.len() * out.len()) as u64;
+        self.metrics.values_materialized += (rows.len() * out.len()) as u64;
+        timer.lap(&mut self.profile.conversion);
+        timer.finish(&mut self.profile.total);
+        Ok(out)
+    }
+
+    fn profile(&self) -> PhaseProfile {
+        self.profile
+    }
+
+    fn metrics(&self) -> ScanMetrics {
+        self.metrics
+    }
+}
+
+/// Selection-driven fetcher over a satellite table (rows are item ids).
+/// Parent scalars need a per-item owner search — the id-based random access
+/// the paper maps to index scans.
+pub struct RootCollectionFetcher {
+    file: Arc<RootSimFile>,
+    program: Arc<RootCollectionProgram>,
+    profile: PhaseProfile,
+    metrics: ScanMetrics,
+}
+
+impl RootCollectionFetcher {
+    /// Wrap a compiled program as a fetcher.
+    pub fn new(
+        file: Arc<RootSimFile>,
+        program: Arc<RootCollectionProgram>,
+    ) -> RootCollectionFetcher {
+        RootCollectionFetcher {
+            file,
+            program,
+            profile: PhaseProfile::default(),
+            metrics: ScanMetrics::default(),
+        }
+    }
+}
+
+impl FieldFetcher for RootCollectionFetcher {
+    fn fetch(&mut self, rows: &[u64]) -> Result<Vec<Column>, ColumnarError> {
+        let mut timer = PhaseTimer::start();
+        let coll = self.program.coll;
+        let total = self.file.total_items(coll);
+        if let Some(&bad) = rows.iter().find(|&&r| r >= total) {
+            return Err(ColumnarError::RowOutOfBounds { row: bad, len: total });
+        }
+        let mut out = Vec::with_capacity(self.program.fields.len());
+        for &(src, dt) in &self.program.fields {
+            let col = match (src, dt) {
+                (RootColField::Item(f), DataType::Float32) => Column::Float32(
+                    rows.iter().map(|&i| self.file.read_item_f32(coll, f, i)).collect(),
+                ),
+                (RootColField::Item(f), DataType::Float64) => Column::Float64(
+                    rows.iter().map(|&i| self.file.read_item_f64(coll, f, i)).collect(),
+                ),
+                (RootColField::Item(f), DataType::Int32) => Column::Int32(
+                    rows.iter().map(|&i| self.file.read_item_i32(coll, f, i)).collect(),
+                ),
+                (RootColField::Item(f), DataType::Int64) => Column::Int64(
+                    rows.iter().map(|&i| self.file.read_item_i64(coll, f, i)).collect(),
+                ),
+                (RootColField::ParentScalar(b), DataType::Int64) => Column::Int64(
+                    rows.iter()
+                        .map(|&i| {
+                            let e = self.file.event_of_item(coll, i);
+                            self.file.read_scalar_i64(b, e)
+                        })
+                        .collect(),
+                ),
+                (RootColField::ParentScalar(b), DataType::Int32) => Column::Int32(
+                    rows.iter()
+                        .map(|&i| {
+                            let e = self.file.event_of_item(coll, i);
+                            self.file.read_scalar_i32(b, e)
+                        })
+                        .collect(),
+                ),
+                (_, other) => {
+                    return Err(ColumnarError::Unsupported {
+                        what: format!("rootsim fetch of type {other}"),
+                    })
+                }
+            };
+            out.push(col);
+        }
+        self.metrics.rows_scanned += rows.len() as u64;
+        self.metrics.values_converted += (rows.len() * out.len()) as u64;
+        self.metrics.values_materialized += (rows.len() * out.len()) as u64;
+        timer.lap(&mut self.profile.conversion);
+        timer.finish(&mut self.profile.total);
+        Ok(out)
+    }
+
+    fn profile(&self) -> PhaseProfile {
+        self.profile
+    }
+
+    fn metrics(&self) -> ScanMetrics {
+        self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raw_columnar::ops::collect;
+    use raw_columnar::Value;
+    use raw_formats::rootsim::{RootCollection, RootSchema, RootSimWriter};
+
+    fn sample() -> Arc<RootSimFile> {
+        let schema = RootSchema {
+            scalars: vec![
+                ("eventID".into(), DataType::Int64),
+                ("runNumber".into(), DataType::Int32),
+            ],
+            collections: vec![RootCollection {
+                name: "muons".into(),
+                fields: vec![
+                    ("pt".into(), DataType::Float32),
+                    ("eta".into(), DataType::Float32),
+                ],
+            }],
+        };
+        let mut w = RootSimWriter::new(schema).unwrap();
+        // events with 2, 0, 3 muons
+        w.add_event(
+            &[Value::Int64(100), Value::Int32(1)],
+            &[vec![
+                vec![Value::Float32(10.0), Value::Float32(0.1)],
+                vec![Value::Float32(11.0), Value::Float32(0.2)],
+            ]],
+        )
+        .unwrap();
+        w.add_event(&[Value::Int64(101), Value::Int32(1)], &[vec![]]).unwrap();
+        w.add_event(
+            &[Value::Int64(102), Value::Int32(2)],
+            &[vec![
+                vec![Value::Float32(20.0), Value::Float32(0.3)],
+                vec![Value::Float32(21.0), Value::Float32(0.4)],
+                vec![Value::Float32(22.0), Value::Float32(0.5)],
+            ]],
+        )
+        .unwrap();
+        Arc::new(RootSimFile::open_bytes(Arc::new(w.finish().unwrap())).unwrap())
+    }
+
+    #[test]
+    fn scalar_scan() {
+        let file = sample();
+        let program =
+            Arc::new(compile_scalar_program(&file, &["eventID", "runNumber"]).unwrap());
+        let mut sc = RootScalarScan::new(Arc::clone(&file), program, TableTag(0), 2);
+        let out = collect(&mut sc).unwrap();
+        assert_eq!(out.rows(), 3);
+        assert_eq!(out.column(0).unwrap().as_i64().unwrap(), &[100, 101, 102]);
+        assert_eq!(out.column(1).unwrap().as_i32().unwrap(), &[1, 1, 2]);
+        assert_eq!(out.rows_of(TableTag(0)), Some(&[0u64, 1, 2][..]));
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        let file = sample();
+        assert!(compile_scalar_program(&file, &["nope"]).is_err());
+        assert!(compile_collection_program(&file, "nope", None, &[]).is_err());
+        assert!(compile_collection_program(&file, "muons", Some("zz"), &[]).is_err());
+        assert!(compile_collection_program(&file, "muons", None, &["zz"]).is_err());
+    }
+
+    #[test]
+    fn collection_scan_expands_parent() {
+        let file = sample();
+        let program = Arc::new(
+            compile_collection_program(&file, "muons", Some("eventID"), &["pt"]).unwrap(),
+        );
+        let mut sc = RootCollectionScan::new(Arc::clone(&file), program, TableTag(1), 2);
+        let out = collect(&mut sc).unwrap();
+        assert_eq!(out.rows(), 5);
+        assert_eq!(
+            out.column(0).unwrap().as_i64().unwrap(),
+            &[100, 100, 102, 102, 102],
+            "parent eventID replicated per muon"
+        );
+        assert_eq!(
+            out.column(1).unwrap().as_f32().unwrap(),
+            &[10.0, 11.0, 20.0, 21.0, 22.0]
+        );
+        assert_eq!(out.rows_of(TableTag(1)), Some(&[0u64, 1, 2, 3, 4][..]));
+    }
+
+    #[test]
+    fn scalar_fetcher_random_events() {
+        let file = sample();
+        let program = Arc::new(compile_scalar_program(&file, &["eventID"]).unwrap());
+        let mut f = RootScalarFetcher::new(Arc::clone(&file), program);
+        let cols = f.fetch(&[2, 0]).unwrap();
+        assert_eq!(cols[0].as_i64().unwrap(), &[102, 100]);
+        assert!(f.fetch(&[3]).is_err());
+    }
+
+    #[test]
+    fn collection_fetcher_random_items() {
+        let file = sample();
+        let program = Arc::new(
+            compile_collection_program(&file, "muons", Some("eventID"), &["eta"]).unwrap(),
+        );
+        let mut f = RootCollectionFetcher::new(Arc::clone(&file), program);
+        let cols = f.fetch(&[4, 0]).unwrap();
+        assert_eq!(cols[0].as_i64().unwrap(), &[102, 100]);
+        assert_eq!(cols[1].as_f32().unwrap(), &[0.5, 0.1]);
+        assert!(f.fetch(&[5]).is_err());
+    }
+}

@@ -1,0 +1,253 @@
+//! Property tests: the general-purpose in-situ scans and the JIT-specialized
+//! scans are *different machines that must compute identical answers* — on
+//! arbitrary tables, arbitrary wanted-field sets, arbitrary positional-map
+//! policies, and arbitrary batch sizes.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use raw_access::csv::{compile_program, CsvScanInput, InSituCsvScan, JitCsvScan, PosMapSource};
+use raw_access::fbin::{compile_fbin_program, FbinScanInput, InSituFbinScan, JitFbinScan};
+use raw_access::fetch::{CsvJitFetcher, CsvMultiFetcher, FieldFetcher};
+use raw_access::spec::{AccessPathKind, AccessPathSpec, FileFormat, WantedField};
+use raw_columnar::batch::TableTag;
+use raw_columnar::ops::collect;
+use raw_columnar::{DataType, MemTable, Schema};
+use raw_formats::datagen;
+use raw_posmap::PositionalMap;
+
+/// Generate (table, wanted columns, tracked columns, batch size).
+fn scan_case() -> impl Strategy<Value = (u64, usize, usize, Vec<usize>, Vec<usize>, usize)> {
+    (1u64..1000, 1usize..80, 2usize..8).prop_flat_map(|(seed, rows, cols)| {
+        (
+            Just(seed),
+            Just(rows),
+            Just(cols),
+            proptest::collection::vec(0..cols, 1..cols.min(4)),
+            proptest::collection::vec(0..cols, 0..cols.min(3)),
+            1usize..32,
+        )
+    })
+}
+
+/// Keep the first occurrence of each column (spec invariant: distinct).
+fn unique(cols: &[usize]) -> Vec<usize> {
+    let mut seen = std::collections::HashSet::new();
+    cols.iter().copied().filter(|c| seen.insert(*c)).collect()
+}
+
+fn spec_for(
+    cols: usize,
+    wanted: &[usize],
+    tracked: &[usize],
+    format: FileFormat,
+) -> AccessPathSpec {
+    let wanted_dedup = unique(wanted);
+    AccessPathSpec {
+        format,
+        schema: Schema::uniform(cols, DataType::Int64),
+        wanted: wanted_dedup
+            .iter()
+            .map(|&c| WantedField { source_ordinal: c, data_type: DataType::Int64 })
+            .collect(),
+        kind: AccessPathKind::FullScan,
+        record_positions: tracked.to_vec(),
+    }
+}
+
+fn reference_columns(table: &MemTable, wanted: &[usize]) -> Vec<Vec<i64>> {
+    unique(wanted)
+        .iter()
+        .map(|&c| table.column(c).unwrap().as_i64().unwrap().to_vec())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csv_insitu_equals_jit_sequential(
+        (seed, rows, cols, wanted, tracked, batch) in scan_case(),
+    ) {
+        let table = datagen::int_table(seed, rows, cols);
+        let buf = Arc::new(raw_formats::csv::writer::to_bytes(&table).unwrap());
+        let spec = spec_for(cols, &wanted, &tracked, FileFormat::Csv);
+        let expected = reference_columns(&table, &wanted);
+
+        let mut insitu = InSituCsvScan::new(CsvScanInput {
+            buf: Arc::clone(&buf),
+            spec: spec.clone(),
+            tag: TableTag(0),
+            posmap: None,
+            batch_size: batch,
+        });
+        let a = collect(&mut insitu).unwrap();
+
+        let program = Arc::new(compile_program(&spec, None));
+        let mut jit = JitCsvScan::new(
+            CsvScanInput {
+                buf,
+                spec,
+                tag: TableTag(0),
+                posmap: None,
+                batch_size: batch,
+            },
+            program,
+        );
+        let b = collect(&mut jit).unwrap();
+
+        prop_assert_eq!(&a, &b, "in-situ and JIT disagree");
+        for (i, col) in expected.iter().enumerate() {
+            prop_assert_eq!(a.column(i).unwrap().as_i64().unwrap(), &col[..]);
+        }
+
+        // Both built identical positional maps.
+        let m1 = insitu.take_posmap();
+        let m2 = jit.take_posmap();
+        prop_assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn csv_posmap_modes_equal_sequential(
+        (seed, rows, cols, wanted, mut tracked, batch) in scan_case(),
+    ) {
+        // Ensure something is tracked so a map exists for the second query.
+        tracked.push(0);
+        let table = datagen::int_table(seed, rows, cols);
+        let buf = Arc::new(raw_formats::csv::writer::to_bytes(&table).unwrap());
+        let expected = reference_columns(&table, &wanted);
+
+        // First scan builds the map.
+        let build_spec = spec_for(cols, &[0], &tracked, FileFormat::Csv);
+        let program = Arc::new(compile_program(&build_spec, None));
+        let mut first = JitCsvScan::new(
+            CsvScanInput {
+                buf: Arc::clone(&buf),
+                spec: build_spec,
+                tag: TableTag(0),
+                posmap: None,
+                batch_size: batch,
+            },
+            program,
+        );
+        let _ = collect(&mut first).unwrap();
+        let map: Arc<PositionalMap> = Arc::new(first.take_posmap().unwrap());
+
+        // Second scan navigates via the map (exact and nearest mixes).
+        let spec = spec_for(cols, &wanted, &[], FileFormat::Csv);
+        let program = Arc::new(compile_program(&spec, Some(&map)));
+        let mut second = JitCsvScan::new(
+            CsvScanInput {
+                buf: Arc::clone(&buf),
+                spec: spec.clone(),
+                tag: TableTag(0),
+                posmap: Some(Arc::clone(&map)),
+                batch_size: batch,
+            },
+            program,
+        );
+        let out = collect(&mut second).unwrap();
+        for (i, col) in expected.iter().enumerate() {
+            prop_assert_eq!(out.column(i).unwrap().as_i64().unwrap(), &col[..]);
+        }
+
+        // The in-situ scan over the same map agrees too.
+        let mut insitu = InSituCsvScan::new(CsvScanInput {
+            buf,
+            spec,
+            tag: TableTag(0),
+            posmap: Some(map),
+            batch_size: batch,
+        });
+        let out2 = collect(&mut insitu).unwrap();
+        prop_assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn fbin_insitu_equals_jit(
+        (seed, rows, cols, wanted, _tracked, batch) in scan_case(),
+    ) {
+        let table = datagen::int_table(seed, rows, cols);
+        let bytes = Arc::new(raw_formats::fbin::to_bytes(&table).unwrap());
+        let spec = spec_for(cols, &wanted, &[], FileFormat::Fbin);
+        let expected = reference_columns(&table, &wanted);
+
+        let mut insitu = InSituFbinScan::new(FbinScanInput {
+            buf: Arc::clone(&bytes),
+            spec: spec.clone(),
+            tag: TableTag(0),
+            batch_size: batch,
+        })
+        .unwrap();
+        let a = collect(&mut insitu).unwrap();
+
+        let layout = raw_formats::fbin::FbinLayout::parse(&bytes).unwrap();
+        let program = Arc::new(compile_fbin_program(&spec, &layout).unwrap());
+        let mut jit = JitFbinScan::new(
+            FbinScanInput { buf: bytes, spec, tag: TableTag(0), batch_size: batch },
+            program,
+        );
+        let b = collect(&mut jit).unwrap();
+        prop_assert_eq!(&a, &b);
+        for (i, col) in expected.iter().enumerate() {
+            prop_assert_eq!(a.column(i).unwrap().as_i64().unwrap(), &col[..]);
+        }
+    }
+
+    #[test]
+    fn csv_fetchers_equal_table_lookup(
+        seed in 1u64..500,
+        rows in 1usize..60,
+        pick in proptest::collection::vec(0usize..60, 1..20),
+    ) {
+        let cols = 6;
+        let table = datagen::int_table(seed, rows, cols);
+        let buf = Arc::new(raw_formats::csv::writer::to_bytes(&table).unwrap());
+        let row_ids: Vec<u64> = pick.into_iter().map(|r| (r % rows) as u64).collect();
+
+        // Build a positional map over columns 0 and 3.
+        let build_spec = spec_for(cols, &[0], &[0, 3], FileFormat::Csv);
+        let program = Arc::new(compile_program(&build_spec, None));
+        let mut first = JitCsvScan::new(
+            CsvScanInput {
+                buf: Arc::clone(&buf),
+                spec: build_spec,
+                tag: TableTag(0),
+                posmap: None,
+                batch_size: 7,
+            },
+            program,
+        );
+        let _ = collect(&mut first).unwrap();
+        let map = Arc::new(first.take_posmap().unwrap());
+
+        // Single-column fetcher: exact (col 3) and nearest (col 4).
+        for col in [3usize, 4] {
+            let mut f = CsvJitFetcher::compile(
+                Arc::clone(&buf),
+                Arc::clone(&map),
+                &[(col, DataType::Int64)],
+            )
+            .unwrap();
+            let got = f.fetch(&row_ids).unwrap();
+            let src = table.column(col).unwrap().as_i64().unwrap();
+            let expected: Vec<i64> = row_ids.iter().map(|&r| src[r as usize]).collect();
+            prop_assert_eq!(got[0].as_i64().unwrap(), &expected[..]);
+        }
+
+        // Multi-column fetcher over columns 3..=5 in one pass.
+        let mut mf = CsvMultiFetcher::compile(
+            Arc::clone(&buf),
+            Arc::clone(&map),
+            &[(3, DataType::Int64), (4, DataType::Int64), (5, DataType::Int64)],
+        )
+        .unwrap();
+        let got = mf.fetch(&row_ids).unwrap();
+        for (slot, col) in (3..=5).enumerate() {
+            let src = table.column(col).unwrap().as_i64().unwrap();
+            let expected: Vec<i64> = row_ids.iter().map(|&r| src[r as usize]).collect();
+            prop_assert_eq!(got[slot].as_i64().unwrap(), &expected[..], "col {}", col);
+        }
+    }
+}

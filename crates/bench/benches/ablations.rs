@@ -1,0 +1,77 @@
+//! Criterion versions of the ablation experiments (reduced grid), for
+//! regression tracking: index-aware vs index-blind ibin scans, and the
+//! adaptive strategy against fixed ones.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use raw_bench::experiments::{q1, q2, system_config};
+use raw_bench::{datasets, Scale};
+use raw_engine::{AccessMode, ShredStrategy};
+use raw_formats::datagen::literal_for_selectivity;
+
+fn bench_scale() -> Scale {
+    Scale { narrow_rows: 20_000, ..Scale::default() }
+}
+
+fn index_pruning(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("ablation_index");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for (name, mode) in [("jit_index", AccessMode::Jit), ("insitu_blind", AccessMode::InSitu)]
+    {
+        for sel_pct in [10u32, 90] {
+            let x = literal_for_selectivity(f64::from(sel_pct) / 100.0);
+            group.bench_function(format!("{name}/sel{sel_pct}"), |b| {
+                b.iter_batched(
+                    || {
+                        let mut e = datasets::engine_narrow_ibin(
+                            &scale,
+                            system_config(mode, ShredStrategy::FullColumns, 10),
+                        );
+                        e.query(&q1("file1", x)).unwrap();
+                        e
+                    },
+                    |mut engine| engine.query(&q2("file1", x)).unwrap(),
+                    BatchSize::LargeInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+fn adaptive_strategy(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("ablation_adaptive");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for (name, strat) in [
+        ("full", ShredStrategy::FullColumns),
+        ("shreds", ShredStrategy::ColumnShreds),
+        ("adaptive", ShredStrategy::Adaptive),
+    ] {
+        for sel_pct in [1u32, 100] {
+            let x = literal_for_selectivity(f64::from(sel_pct) / 100.0);
+            group.bench_function(format!("{name}/sel{sel_pct}"), |b| {
+                b.iter_batched(
+                    || {
+                        let mut e = datasets::engine_narrow_csv(
+                            &scale,
+                            system_config(AccessMode::Jit, strat, 10),
+                        );
+                        e.query(&q1("file1", x)).unwrap();
+                        e
+                    },
+                    |mut engine| engine.query(&q2("file1", x)).unwrap(),
+                    BatchSize::LargeInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, index_pruning, adaptive_strategy);
+criterion_main!(benches);

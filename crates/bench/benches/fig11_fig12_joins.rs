@@ -1,0 +1,56 @@
+//! Figures 11/12 (criterion): join projected-column placement — pipelined vs
+//! pipeline-breaking side, Early vs Late, at mid selectivity.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use raw_bench::{datasets, Scale};
+use raw_engine::{EngineConfig, JoinPlacement, ShredStrategy};
+use raw_formats::datagen::literal_for_selectivity;
+
+fn joins(c: &mut Criterion, group_name: &str, projected_table: &str) {
+    let scale = Scale { join_rows: 8_000, ..Scale::default() };
+    let x = literal_for_selectivity(0.4);
+    let query = format!(
+        "SELECT MAX({projected_table}.col11) FROM file1 JOIN file2 \
+         ON file1.col1 = file2.col1 WHERE file2.col2 < {x}"
+    );
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for (name, placement) in [
+        ("early", JoinPlacement::Early),
+        ("late", JoinPlacement::Late),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut e = datasets::engine_join_pair(
+                        &scale,
+                        EngineConfig {
+                            shreds: ShredStrategy::ColumnShreds,
+                            join_placement: placement,
+                            ..EngineConfig::default()
+                        },
+                    );
+                    e.query("SELECT MAX(col1) FROM file1").unwrap();
+                    e.query("SELECT MAX(col1), MAX(col2) FROM file2").unwrap();
+                    e
+                },
+                |mut engine| engine.query(&query).unwrap(),
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn fig11_pipelined(c: &mut Criterion) {
+    joins(c, "fig11_join_pipelined_side", "file1");
+}
+
+fn fig12_breaking(c: &mut Criterion) {
+    joins(c, "fig12_join_breaking_side", "file2");
+}
+
+criterion_group!(benches, fig11_pipelined, fig12_breaking);
+criterion_main!(benches);

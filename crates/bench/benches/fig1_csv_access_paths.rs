@@ -1,0 +1,80 @@
+//! Figure 1 (criterion): CSV access paths — cold Q1 and warm Q2 per system.
+//!
+//! Regression-tracking version of `reproduce fig1a fig1b` at a reduced grid.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use raw_bench::experiments::{q1, q2, system_config};
+use raw_bench::{datasets, Scale};
+use raw_engine::{AccessMode, ShredStrategy};
+use raw_formats::datagen::literal_for_selectivity;
+
+fn bench_scale() -> Scale {
+    Scale { narrow_rows: 20_000, ..Scale::default() }
+}
+
+fn systems() -> Vec<(&'static str, AccessMode)> {
+    vec![
+        ("dbms", AccessMode::Dbms),
+        ("external", AccessMode::ExternalTables),
+        ("insitu", AccessMode::InSitu),
+        ("jit", AccessMode::Jit),
+    ]
+}
+
+fn cold_q1(c: &mut Criterion) {
+    let scale = bench_scale();
+    let x = literal_for_selectivity(0.4);
+    let mut group = c.benchmark_group("fig1a_cold_q1");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for (name, mode) in systems() {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut e = datasets::engine_narrow_csv(
+                        &scale,
+                        system_config(mode, ShredStrategy::FullColumns, 10),
+                    );
+                    e.drop_file_caches();
+                    e
+                },
+                |mut engine| engine.query(&q1("file1", x)).unwrap(),
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn warm_q2(c: &mut Criterion) {
+    let scale = bench_scale();
+    let x = literal_for_selectivity(0.4);
+    let mut group = c.benchmark_group("fig1b_warm_q2");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for (name, mode) in systems() {
+        if mode == AccessMode::ExternalTables {
+            continue; // an order of magnitude slower; excluded as in the paper
+        }
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut e = datasets::engine_narrow_csv(
+                        &scale,
+                        system_config(mode, ShredStrategy::FullColumns, 10),
+                    );
+                    e.query(&q1("file1", x)).unwrap();
+                    e
+                },
+                |mut engine| engine.query(&q2("file1", x)).unwrap(),
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cold_q1, warm_q2);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 2 (criterion): binary-file access paths — warm Q2 per system.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use raw_bench::experiments::{q1, q2, system_config};
+use raw_bench::{datasets, Scale};
+use raw_engine::{AccessMode, ShredStrategy};
+use raw_formats::datagen::literal_for_selectivity;
+
+fn warm_q2_binary(c: &mut Criterion) {
+    let scale = Scale { narrow_rows: 20_000, ..Scale::default() };
+    let x = literal_for_selectivity(0.4);
+    let mut group = c.benchmark_group("fig2_binary_warm_q2");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for (name, mode) in [
+        ("insitu", AccessMode::InSitu),
+        ("jit", AccessMode::Jit),
+        ("dbms", AccessMode::Dbms),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut e = datasets::engine_narrow_fbin(
+                        &scale,
+                        system_config(mode, ShredStrategy::FullColumns, 10),
+                    );
+                    e.query(&q1("file1", x)).unwrap();
+                    e
+                },
+                |mut engine| engine.query(&q2("file1", x)).unwrap(),
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, warm_q2_binary);
+criterion_main!(benches);

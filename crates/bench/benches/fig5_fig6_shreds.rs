@@ -1,0 +1,56 @@
+//! Figures 5/6 (criterion): full vs shredded columns over CSV and binary, at
+//! low (5%) and full (100%) selectivity — the endpoints of the sweep.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use raw_bench::experiments::{q1, q2, system_config};
+use raw_bench::{datasets, Scale};
+use raw_engine::{AccessMode, EngineConfig, RawEngine, ShredStrategy};
+use raw_formats::datagen::literal_for_selectivity;
+
+fn bench(c: &mut Criterion, group_name: &str, binary: bool) {
+    let scale = Scale { narrow_rows: 20_000, ..Scale::default() };
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for (strategy_name, shreds) in [
+        ("full", ShredStrategy::FullColumns),
+        ("shreds", ShredStrategy::ColumnShreds),
+    ] {
+        for sel in [0.05_f64, 1.0] {
+            let x = literal_for_selectivity(sel);
+            let id = format!("{strategy_name}/sel{:.0}%", sel * 100.0);
+            group.bench_function(&id, |b| {
+                b.iter_batched(
+                    || -> RawEngine {
+                        let config = EngineConfig {
+                            cache_shreds: false,
+                            ..system_config(AccessMode::Jit, shreds, 10)
+                        };
+                        let mut e = if binary {
+                            datasets::engine_narrow_fbin(&scale, config)
+                        } else {
+                            datasets::engine_narrow_csv(&scale, config)
+                        };
+                        e.query(&q1("file1", x)).unwrap();
+                        e
+                    },
+                    |mut engine| engine.query(&q2("file1", x)).unwrap(),
+                    BatchSize::PerIteration,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+fn fig5_csv(c: &mut Criterion) {
+    bench(c, "fig5_csv_full_vs_shreds", false);
+}
+
+fn fig6_binary(c: &mut Criterion) {
+    bench(c, "fig6_binary_full_vs_shreds", true);
+}
+
+criterion_group!(benches, fig5_csv, fig6_binary);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figures 7/8 (criterion): 120-column floating-point tables — DBMS vs full
+//! vs shreds at 10% selectivity, CSV and binary.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use raw_bench::experiments::{q1, q2, system_config};
+use raw_bench::{datasets, Scale};
+use raw_engine::{AccessMode, EngineConfig, ShredStrategy};
+use raw_formats::datagen::literal_for_selectivity;
+
+fn bench(c: &mut Criterion, group_name: &str, binary: bool) {
+    let scale = Scale { wide_rows: 4_000, ..Scale::default() };
+    let x = literal_for_selectivity(0.1);
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for (name, mode, shreds) in [
+        ("dbms", AccessMode::Dbms, ShredStrategy::FullColumns),
+        ("full", AccessMode::Jit, ShredStrategy::FullColumns),
+        ("shreds", AccessMode::Jit, ShredStrategy::ColumnShreds),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut e = datasets::engine_wide(
+                        &scale,
+                        EngineConfig {
+                            cache_shreds: false,
+                            ..system_config(mode, shreds, 10)
+                        },
+                        binary,
+                    );
+                    e.query(&q1("wide", x)).unwrap();
+                    e
+                },
+                |mut engine| engine.query(&q2("wide", x)).unwrap(),
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn fig7_wide_csv(c: &mut Criterion) {
+    bench(c, "fig7_wide_csv_float", false);
+}
+
+fn fig8_wide_binary(c: &mut Criterion) {
+    bench(c, "fig8_wide_binary_float", true);
+}
+
+criterion_group!(benches, fig7_wide_csv, fig8_wide_binary);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 9 (criterion): speculative multi-column shreds with two
+//! predicates, at the crossover-relevant selectivities.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use raw_bench::experiments::{q1, system_config};
+use raw_bench::{datasets, Scale};
+use raw_engine::{AccessMode, EngineConfig, ShredStrategy};
+use raw_formats::datagen::literal_for_selectivity;
+
+fn multicolumn(c: &mut Criterion) {
+    let scale = Scale { narrow_rows: 20_000, ..Scale::default() };
+    let mut group = c.benchmark_group("fig9_two_predicates");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for (name, shreds) in [
+        ("full", ShredStrategy::FullColumns),
+        ("shreds", ShredStrategy::ColumnShreds),
+        ("multicolumn", ShredStrategy::MultiColumnShreds),
+    ] {
+        for sel in [0.1_f64, 0.8] {
+            let x = literal_for_selectivity(sel);
+            let query =
+                format!("SELECT MAX(col6) FROM file1 WHERE col1 < {x} AND col5 < {x}");
+            let id = format!("{name}/sel{:.0}%", sel * 100.0);
+            group.bench_function(&id, |b| {
+                b.iter_batched(
+                    || {
+                        let mut e = datasets::engine_narrow_csv(
+                            &scale,
+                            EngineConfig {
+                                cache_shreds: false,
+                                ..system_config(AccessMode::Jit, shreds, 10)
+                            },
+                        );
+                        e.query(&q1("file1", x)).unwrap();
+                        e
+                    },
+                    |mut engine| engine.query(&query).unwrap(),
+                    BatchSize::PerIteration,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, multicolumn);
+criterion_main!(benches);

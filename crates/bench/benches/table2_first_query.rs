@@ -1,0 +1,42 @@
+//! Table 2 (criterion): first-query cost over the 120-column tables —
+//! loading (DBMS) vs in-situ JIT, CSV vs binary.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use raw_bench::experiments::{q1, system_config};
+use raw_bench::{datasets, Scale};
+use raw_engine::{AccessMode, ShredStrategy};
+use raw_formats::datagen::literal_for_selectivity;
+
+fn first_query(c: &mut Criterion) {
+    let scale = Scale { wide_rows: 4_000, ..Scale::default() };
+    let x = literal_for_selectivity(0.4);
+    let mut group = c.benchmark_group("table2_first_query_wide");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for binary in [false, true] {
+        let fmt = if binary { "binary" } else { "csv" };
+        for (name, mode) in [("dbms", AccessMode::Dbms), ("jit", AccessMode::Jit)] {
+            let id = format!("{fmt}/{name}");
+            group.bench_function(&id, |b| {
+                b.iter_batched(
+                    || {
+                        let mut e = datasets::engine_wide(
+                            &scale,
+                            system_config(mode, ShredStrategy::FullColumns, 10),
+                            binary,
+                        );
+                        e.drop_file_caches();
+                        e
+                    },
+                    |mut engine| engine.query(&q1("wide", x)).unwrap(),
+                    BatchSize::PerIteration,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, first_query);
+criterion_main!(benches);

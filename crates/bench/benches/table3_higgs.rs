@@ -1,0 +1,75 @@
+//! Table 3 (criterion): the Higgs analysis — hand-written object-at-a-time
+//! vs RAW, cold and warm.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use raw_bench::{datasets, Scale};
+use raw_engine::EngineConfig;
+use raw_formats::file_buffer::FileBufferPool;
+use raw_higgs::{HandwrittenAnalysis, HiggsCuts, RawHiggsAnalysis};
+
+fn higgs(c: &mut Criterion) {
+    let scale = Scale { higgs_events: 10_000, ..Scale::default() };
+    let dataset = datasets::higgs(&scale);
+    let cuts = HiggsCuts::default();
+    let mut group = c.benchmark_group("table3_higgs");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    group.bench_function("handwritten/cold", |b| {
+        b.iter_batched(
+            || {
+                let files = FileBufferPool::new();
+                HandwrittenAnalysis::open(
+                    &files,
+                    &dataset.root_path,
+                    &dataset.goodruns_path,
+                    cuts,
+                )
+                .unwrap()
+            },
+            |mut analysis| analysis.run(),
+            BatchSize::PerIteration,
+        );
+    });
+    group.bench_function("handwritten/warm", |b| {
+        b.iter_batched(
+            || {
+                let files = FileBufferPool::new();
+                let mut a = HandwrittenAnalysis::open(
+                    &files,
+                    &dataset.root_path,
+                    &dataset.goodruns_path,
+                    cuts,
+                )
+                .unwrap();
+                a.run(); // populate the object pool
+                a
+            },
+            |mut analysis| analysis.run(),
+            BatchSize::PerIteration,
+        );
+    });
+    group.bench_function("raw/cold", |b| {
+        b.iter_batched(
+            || RawHiggsAnalysis::open(&dataset, EngineConfig::default(), cuts),
+            |mut analysis| analysis.run().unwrap(),
+            BatchSize::PerIteration,
+        );
+    });
+    group.bench_function("raw/warm", |b| {
+        b.iter_batched(
+            || {
+                let mut a = RawHiggsAnalysis::open(&dataset, EngineConfig::default(), cuts);
+                a.run().unwrap(); // populate the shred pool
+                a
+            },
+            |mut analysis| analysis.run().unwrap(),
+            BatchSize::PerIteration,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, higgs);
+criterion_main!(benches);

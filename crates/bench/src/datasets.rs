@@ -1,0 +1,175 @@
+//! Benchmark dataset management.
+//!
+//! Files are generated deterministically into a work directory and reused
+//! across runs (the generators are seeded, so a file's name fully determines
+//! its contents).
+
+use std::path::{Path, PathBuf};
+
+use raw_columnar::{DataType, Schema};
+use raw_engine::{EngineConfig, RawEngine, TableDef, TableSource};
+use raw_formats::datagen;
+use raw_higgs::{generate_dataset, DatasetConfig, HiggsDataset};
+
+use crate::Scale;
+
+/// The directory benchmark files live in.
+pub fn data_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join("raw-bench-data");
+    std::fs::create_dir_all(&dir).expect("create bench data dir");
+    dir
+}
+
+/// Ensure a file exists, generating it with `make` when missing.
+fn ensure(path: &Path, make: impl FnOnce(&Path)) -> PathBuf {
+    if !path.exists() {
+        make(path);
+    }
+    path.to_path_buf()
+}
+
+/// The 30-integer-column table as CSV (paper §4.2). Returns the path.
+pub fn narrow_csv(scale: &Scale) -> PathBuf {
+    let path = data_dir().join(format!("narrow_{}x30.csv", scale.narrow_rows));
+    ensure(&path, |p| {
+        let t = datagen::int_table(42, scale.narrow_rows, 30);
+        raw_formats::csv::writer::write_file(&t, p).expect("write csv");
+    })
+}
+
+/// The same table as fixed-width binary.
+pub fn narrow_fbin(scale: &Scale) -> PathBuf {
+    let path = data_dir().join(format!("narrow_{}x30.fbin", scale.narrow_rows));
+    ensure(&path, |p| {
+        let t = datagen::int_table(42, scale.narrow_rows, 30);
+        raw_formats::fbin::write_file(&t, p).expect("write fbin");
+    })
+}
+
+/// The same table as indexed paged binary, sorted by col1 so the embedded
+/// sorted-key index can prune (§4.1's HDF-like regime).
+pub fn narrow_ibin_sorted(scale: &Scale) -> PathBuf {
+    let path = data_dir().join(format!("narrow_{}x30_sorted.ibin", scale.narrow_rows));
+    ensure(&path, |p| {
+        let t = datagen::sorted_copy(&datagen::int_table(42, scale.narrow_rows, 30), 0);
+        raw_formats::ibin::write_file(&t, p, 4096, Some(0)).expect("write ibin");
+    })
+}
+
+/// The 120-column mixed table (int predicate column + float payload, §5.2).
+pub fn wide_csv(scale: &Scale) -> PathBuf {
+    let path = data_dir().join(format!("wide_{}x120.csv", scale.wide_rows));
+    ensure(&path, |p| {
+        let t = datagen::mixed_table(43, scale.wide_rows, 120);
+        raw_formats::csv::writer::write_file(&t, p).expect("write csv");
+    })
+}
+
+/// The 120-column mixed table as binary.
+pub fn wide_fbin(scale: &Scale) -> PathBuf {
+    let path = data_dir().join(format!("wide_{}x120.fbin", scale.wide_rows));
+    ensure(&path, |p| {
+        let t = datagen::mixed_table(43, scale.wide_rows, 120);
+        raw_formats::fbin::write_file(&t, p).expect("write fbin");
+    })
+}
+
+/// The join pair (§5.3.2): file1 CSV + its row-shuffled twin file2.
+pub fn join_pair_csv(scale: &Scale) -> (PathBuf, PathBuf) {
+    let p1 = data_dir().join(format!("join1_{}x30.csv", scale.join_rows));
+    let p2 = data_dir().join(format!("join2_{}x30.csv", scale.join_rows));
+    let make = |p1: &Path, p2: &Path| {
+        let t = datagen::int_table(44, scale.join_rows, 30);
+        raw_formats::csv::writer::write_file(&t, p1).expect("write csv");
+        let shuffled = datagen::shuffled_copy(&t, 45);
+        raw_formats::csv::writer::write_file(&shuffled, p2).expect("write csv");
+    };
+    if !p1.exists() || !p2.exists() {
+        make(&p1, &p2);
+    }
+    (p1, p2)
+}
+
+/// The Higgs dataset (rootsim + good-runs CSV).
+pub fn higgs(scale: &Scale) -> HiggsDataset {
+    let config = DatasetConfig { events: scale.higgs_events, ..Default::default() };
+    // `generate_dataset` derives file names from events/seed, so it reuses
+    // existing files when present.
+    let dir = data_dir();
+    let root = dir.join(format!("atlas_{}_{}.rootsim", config.events, config.seed));
+    let goodruns = dir.join(format!("goodruns_{}_{}.csv", config.runs, config.seed));
+    if root.exists() && goodruns.exists() {
+        HiggsDataset { root_path: root, goodruns_path: goodruns, config }
+    } else {
+        generate_dataset(config, &dir).expect("generate higgs dataset")
+    }
+}
+
+/// Register the narrow table as `file1` (CSV) in a fresh engine.
+pub fn engine_narrow_csv(scale: &Scale, config: EngineConfig) -> RawEngine {
+    let mut engine = RawEngine::new(config);
+    engine.register_table(TableDef {
+        name: "file1".into(),
+        schema: Schema::uniform(30, DataType::Int64),
+        source: TableSource::Csv { path: narrow_csv(scale) },
+    });
+    engine
+}
+
+/// Register the narrow table as `file1` (binary) in a fresh engine.
+pub fn engine_narrow_fbin(scale: &Scale, config: EngineConfig) -> RawEngine {
+    let mut engine = RawEngine::new(config);
+    engine.register_table(TableDef {
+        name: "file1".into(),
+        schema: Schema::uniform(30, DataType::Int64),
+        source: TableSource::Fbin { path: narrow_fbin(scale) },
+    });
+    engine
+}
+
+/// Register the sorted indexed-binary narrow table as `file1` in a fresh
+/// engine. Values are the same multiset as the CSV/fbin twins, but row
+/// order differs (sorted by col1).
+pub fn engine_narrow_ibin(scale: &Scale, config: EngineConfig) -> RawEngine {
+    let mut engine = RawEngine::new(config);
+    engine.register_table(TableDef {
+        name: "file1".into(),
+        schema: Schema::uniform(30, DataType::Int64),
+        source: TableSource::Ibin { path: narrow_ibin_sorted(scale) },
+    });
+    engine
+}
+
+/// Register the wide table (CSV or binary) as `wide` in a fresh engine.
+pub fn engine_wide(scale: &Scale, config: EngineConfig, binary: bool) -> RawEngine {
+    let mut engine = RawEngine::new(config);
+    let schema = {
+        // col1 int + 119 float columns, as `datagen::mixed_table` builds.
+        let mut fields = vec![raw_columnar::Field::new("col1", DataType::Int64)];
+        for i in 2..=120 {
+            fields.push(raw_columnar::Field::new(format!("col{i}"), DataType::Float64));
+        }
+        Schema::new(fields)
+    };
+    let source = if binary {
+        TableSource::Fbin { path: wide_fbin(scale) }
+    } else {
+        TableSource::Csv { path: wide_csv(scale) }
+    };
+    engine.register_table(TableDef { name: "wide".into(), schema, source });
+    engine
+}
+
+/// Register the join pair as `file1`/`file2` (both CSV) in a fresh engine.
+pub fn engine_join_pair(scale: &Scale, config: EngineConfig) -> RawEngine {
+    let (p1, p2) = join_pair_csv(scale);
+    let mut engine = RawEngine::new(config);
+    for (name, path) in [("file1", p1), ("file2", p2)] {
+        engine.register_table(TableDef {
+            name: name.into(),
+            schema: Schema::uniform(30, DataType::Int64),
+            source: TableSource::Csv { path },
+        });
+    }
+    engine
+}

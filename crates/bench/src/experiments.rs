@@ -1,0 +1,615 @@
+//! One function per table/figure of the paper's evaluation.
+//!
+//! Every experiment follows the paper's protocol: the workload is the
+//! two-query sequence Q1 = `SELECT MAX(col1) FROM t WHERE col1 < X` then
+//! Q2 = `SELECT MAX(col11) FROM t WHERE col1 < X`; selectivity is swept by
+//! changing X; caches built by Q1 (positional maps, column shreds, loaded
+//! tables) are available to Q2, exactly as in §4.2: "Intermediate query
+//! results are cached and available for re-use by subsequent queries."
+
+use std::time::Instant;
+
+use raw_columnar::profile::Phase;
+use raw_engine::{
+    AccessMode, EngineConfig, JoinPlacement, QueryResult, RawEngine, ShredStrategy,
+};
+use raw_formats::datagen::literal_for_selectivity;
+use raw_formats::file_buffer::FileBufferPool;
+use raw_higgs::{HandwrittenAnalysis, HiggsCuts, RawHiggsAnalysis};
+use raw_posmap::TrackingPolicy;
+
+use crate::datasets;
+use crate::report::ExpTable;
+
+/// A factory producing a fresh engine per measurement repetition.
+type EngineMaker = Box<dyn Fn() -> RawEngine>;
+use crate::{fmt_duration, time_once, Scale, SELECTIVITIES};
+
+/// Q1 of the microbenchmarks.
+pub fn q1(table: &str, x: i64) -> String {
+    format!("SELECT MAX(col1) FROM {table} WHERE col1 < {x}")
+}
+
+/// Q2 of the microbenchmarks.
+pub fn q2(table: &str, x: i64) -> String {
+    format!("SELECT MAX(col11) FROM {table} WHERE col1 < {x}")
+}
+
+/// Engine config for one of the paper's systems.
+pub fn system_config(
+    mode: AccessMode,
+    shreds: ShredStrategy,
+    stride: usize,
+) -> EngineConfig {
+    EngineConfig {
+        mode,
+        shreds,
+        posmap_policy: TrackingPolicy::EveryK { stride },
+        ..EngineConfig::default()
+    }
+}
+
+fn run(engine: &mut RawEngine, sql: &str) -> QueryResult {
+    engine.query(sql).unwrap_or_else(|e| panic!("query failed: {e}\n  {sql}"))
+}
+
+/// Median wall time of the measured query over `repeats` *fresh* engines
+/// (each repeat replays the warm-up queries first, so caches are in the
+/// same state the paper's protocol prescribes and repeats don't contaminate
+/// each other through the shred pool).
+fn measure_point(
+    repeats: usize,
+    make_engine: &dyn Fn() -> RawEngine,
+    warm_queries: &[String],
+    measured: &str,
+) -> std::time::Duration {
+    let mut times = Vec::with_capacity(repeats.max(1));
+    for _ in 0..repeats.max(1) {
+        let mut engine = make_engine();
+        for w in warm_queries {
+            run(&mut engine, w);
+        }
+        let (_, d) = time_once(|| run(&mut engine, measured));
+        times.push(d);
+    }
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// The §4.2 access-path systems compared in Figure 1.
+fn fig1_systems() -> Vec<(&'static str, EngineConfig)> {
+    vec![
+        ("DBMS", system_config(AccessMode::Dbms, ShredStrategy::FullColumns, 10)),
+        (
+            "External Tables",
+            system_config(AccessMode::ExternalTables, ShredStrategy::FullColumns, 10),
+        ),
+        ("In Situ", system_config(AccessMode::InSitu, ShredStrategy::FullColumns, 10)),
+        ("JIT", system_config(AccessMode::Jit, ShredStrategy::FullColumns, 10)),
+        (
+            "In Situ Col.7",
+            system_config(AccessMode::InSitu, ShredStrategy::FullColumns, 7),
+        ),
+        ("JIT Col.7", system_config(AccessMode::Jit, ShredStrategy::FullColumns, 7)),
+    ]
+}
+
+/// Figure 1a: CSV, cold run, Q1 per system.
+pub fn fig1a(scale: &Scale) -> ExpTable {
+    let x = literal_for_selectivity(0.4);
+    let mut table = ExpTable::new(
+        "Figure 1a — CSV cold run: SELECT MAX(col1) WHERE col1 < X",
+        vec!["system".into(), "Q1 time".into(), "io bytes".into()],
+    );
+    table.note(format!("dataset: {} rows x 30 int columns (CSV), X at 40%", scale.narrow_rows));
+    table.note("expect: in-situ variants <= DBMS/External (fewer conversions); I/O dominates");
+    for (name, config) in fig1_systems() {
+        let mut engine = datasets::engine_narrow_csv(scale, config);
+        engine.drop_file_caches();
+        let (r, d) = time_once(|| run(&mut engine, &q1("file1", x)));
+        table.row(vec![name.into(), fmt_duration(d), r.stats.io_bytes.to_string()]);
+    }
+    table
+}
+
+/// Figure 1b: CSV, warm run, Q2 per system across selectivities.
+pub fn fig1b(scale: &Scale) -> ExpTable {
+    let mut table = ExpTable::new(
+        "Figure 1b — CSV warm run: SELECT MAX(col11) WHERE col1 < X",
+        std::iter::once("system".to_owned())
+            .chain(SELECTIVITIES.iter().map(|s| format!("{:.0}%", s * 100.0)))
+            .collect(),
+    );
+    table.note(format!("dataset: {} rows x 30 int columns (CSV)", scale.narrow_rows));
+    table.note("Q1 runs first (builds positional map, caches col1); Q2 is measured");
+    table.note("expect: DBMS fastest; JIT ~2x faster than In Situ; Col.7 variants slower");
+    let systems: Vec<(&str, EngineConfig)> =
+        fig1_systems().into_iter().filter(|(n, _)| *n != "External Tables").collect();
+    for (name, config) in systems {
+        let mut cells = vec![name.to_owned()];
+        for &sel in SELECTIVITIES {
+            let x = literal_for_selectivity(sel);
+            let s = *scale;
+            let cfg = config.clone();
+            let d = measure_point(
+                scale.repeats,
+                &move || datasets::engine_narrow_csv(&s, cfg.clone()),
+                &[q1("file1", x)],
+                &q2("file1", x),
+            );
+            cells.push(fmt_duration(d));
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// Figure 2: binary file, warm run, Q2 across selectivities.
+pub fn fig2(scale: &Scale) -> ExpTable {
+    let mut table = ExpTable::new(
+        "Figure 2 — binary file: SELECT MAX(col11) WHERE col1 < X",
+        std::iter::once("system".to_owned())
+            .chain(SELECTIVITIES.iter().map(|s| format!("{:.0}%", s * 100.0)))
+            .collect(),
+    );
+    table.note(format!("dataset: {} rows x 30 int columns (fbin)", scale.narrow_rows));
+    table.note("expect: same ordering as CSV with smaller gaps (no conversions)");
+    for (name, mode) in [
+        ("In Situ", AccessMode::InSitu),
+        ("JIT", AccessMode::Jit),
+        ("DBMS", AccessMode::Dbms),
+    ] {
+        let mut cells = vec![name.to_owned()];
+        for &sel in SELECTIVITIES {
+            let x = literal_for_selectivity(sel);
+            let s = *scale;
+            let d = measure_point(
+                scale.repeats,
+                &move || {
+                    datasets::engine_narrow_fbin(
+                        &s,
+                        system_config(mode, ShredStrategy::FullColumns, 10),
+                    )
+                },
+                &[q1("file1", x)],
+                &q2("file1", x),
+            );
+            cells.push(fmt_duration(d));
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// Figure 3: cost breakdown of the warm CSV Q2 at 40% selectivity.
+pub fn fig3(scale: &Scale) -> ExpTable {
+    let x = literal_for_selectivity(0.4);
+    let mut table = ExpTable::new(
+        "Figure 3 — breakdown of query execution costs (CSV Q1, warm file, @40%)",
+        vec![
+            "system".into(),
+            "main loop".into(),
+            "parsing".into(),
+            "conversion".into(),
+            "build columns".into(),
+            "scan total".into(),
+            "query total".into(),
+        ],
+    );
+    table.note("expect: JIT shrinks main loop / parsing / conversion;");
+    table.note("        building columns remains significant for both");
+    for (name, mode) in [("In Situ", AccessMode::InSitu), ("JIT", AccessMode::Jit)] {
+        let mut engine = datasets::engine_narrow_csv(
+            scale,
+            EngineConfig {
+                // Full columns: the §4 comparison predates shreds. No data
+                // caches: the paper profiles Q1 "on a warm system" — warm
+                // file caches, but a sequential tokenizing scan (no
+                // positional map exists before the first query).
+                cache_shreds: false,
+                ..system_config(mode, ShredStrategy::FullColumns, 10)
+            },
+        );
+        // Warm the file buffer without running any query.
+        engine.files().read(&datasets::narrow_csv(scale)).expect("prefetch file");
+        let (r, d) = time_once(|| run(&mut engine, &q1("file1", x)));
+        let p = r.stats.scan;
+        table.row(vec![
+            name.into(),
+            fmt_duration(p.phase(Phase::MainLoop)),
+            fmt_duration(p.phase(Phase::Parsing)),
+            fmt_duration(p.phase(Phase::Conversion)),
+            fmt_duration(p.phase(Phase::BuildColumns)),
+            fmt_duration(p.total),
+            fmt_duration(d),
+        ]);
+    }
+    table
+}
+
+/// Shared driver for the full-vs-shreds sweeps (Figures 5–8).
+fn shreds_sweep(
+    repeats: usize,
+    title: &str,
+    notes: &[String],
+    engines: &[(&str, EngineMaker)],
+    warm_query: &dyn Fn(i64) -> String,
+    measured_query: &dyn Fn(i64) -> String,
+) -> ExpTable {
+    let mut table = ExpTable::new(
+        title,
+        std::iter::once("system".to_owned())
+            .chain(SELECTIVITIES.iter().map(|s| format!("{:.0}%", s * 100.0)))
+            .collect(),
+    );
+    for n in notes {
+        table.note(n.clone());
+    }
+    for (name, make) in engines {
+        let mut cells = vec![(*name).to_owned()];
+        for &sel in SELECTIVITIES {
+            let x = literal_for_selectivity(sel);
+            let d = measure_point(
+                repeats,
+                make,
+                &[warm_query(x)],
+                &measured_query(x),
+            );
+            cells.push(fmt_duration(d));
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// Figure 5: CSV full vs shredded columns (plus Col.7 variants and DBMS).
+pub fn fig5(scale: &Scale) -> ExpTable {
+    let s = *scale;
+    let engines: Vec<(&str, EngineMaker)> = vec![
+        ("Full", engine_maker_csv(s, ShredStrategy::FullColumns, 10)),
+        ("Shreds", engine_maker_csv(s, ShredStrategy::ColumnShreds, 10)),
+        ("Full - Col.7", engine_maker_csv(s, ShredStrategy::FullColumns, 7)),
+        ("Shreds - Col.7", engine_maker_csv(s, ShredStrategy::ColumnShreds, 7)),
+        (
+            "DBMS",
+            Box::new(move || {
+                datasets::engine_narrow_csv(
+                    &s,
+                    system_config(AccessMode::Dbms, ShredStrategy::FullColumns, 10),
+                )
+            }),
+        ),
+    ];
+    shreds_sweep(
+        s.repeats,
+        "Figure 5 — full vs shredded columns (CSV): SELECT MAX(col11) WHERE col1 < X",
+        &[
+            format!("dataset: {} rows x 30 int columns (CSV); Q1 warms caches", s.narrow_rows),
+            "expect: shreds <= full everywhere, ~large gap at 1%, converging at 100%".into(),
+        ],
+        &engines,
+        &|x| q1("file1", x),
+        &|x| q2("file1", x),
+    )
+}
+
+fn engine_maker_csv(
+    scale: Scale,
+    shreds: ShredStrategy,
+    stride: usize,
+) -> EngineMaker {
+    // Caching stays on: the paper's protocol caches Q1's results, so Q2's
+    // predicate column comes from the shred pool and the measured cost is
+    // the per-strategy handling of the aggregated column.
+    Box::new(move || {
+        datasets::engine_narrow_csv(&scale, system_config(AccessMode::Jit, shreds, stride))
+    })
+}
+
+/// Figure 6: binary full vs shredded columns.
+pub fn fig6(scale: &Scale) -> ExpTable {
+    let s = *scale;
+    let make = |shreds: ShredStrategy| -> EngineMaker {
+        Box::new(move || {
+            datasets::engine_narrow_fbin(&s, system_config(AccessMode::Jit, shreds, 10))
+        })
+    };
+    let engines: Vec<(&str, EngineMaker)> = vec![
+        ("Full", make(ShredStrategy::FullColumns)),
+        ("Shreds", make(ShredStrategy::ColumnShreds)),
+    ];
+    shreds_sweep(
+        s.repeats,
+        "Figure 6 — full vs shredded columns (binary): SELECT MAX(col11) WHERE col1 < X",
+        &[
+            format!("dataset: {} rows x 30 int columns (fbin)", s.narrow_rows),
+            "expect: shreds <= full, converging at 100% (no conversion cost here)".into(),
+        ],
+        &engines,
+        &|x| q1("file1", x),
+        &|x| q2("file1", x),
+    )
+}
+
+/// Figures 7/8 shared driver: the 120-column floating-point tables.
+fn wide_sweep(binary: bool, scale: &Scale) -> ExpTable {
+    let s = *scale;
+    let title = if binary {
+        "Figure 8 — 120 columns, floating point (binary): SELECT MAX(col11) WHERE col1 < X"
+    } else {
+        "Figure 7 — 120 columns, floating point (CSV): SELECT MAX(col11) WHERE col1 < X"
+    };
+    let make = move |mode: AccessMode, shreds: ShredStrategy| -> EngineMaker {
+        Box::new(move || {
+            datasets::engine_wide(&s, system_config(mode, shreds, 10), binary)
+        })
+    };
+    let engines: Vec<(&str, EngineMaker)> = vec![
+        ("DBMS", make(AccessMode::Dbms, ShredStrategy::FullColumns)),
+        ("Full Columns", make(AccessMode::Jit, ShredStrategy::FullColumns)),
+        ("Column Shreds", make(AccessMode::Jit, ShredStrategy::ColumnShreds)),
+    ];
+    shreds_sweep(
+        s.repeats,
+        title,
+        &[
+            format!("dataset: {} rows x 120 columns (col1 int, col11 float)", s.wide_rows),
+            if binary {
+                "expect: small absolute differences; shreds competitive with DBMS widely".into()
+            } else {
+                "expect: DBMS clearly faster (float conversion is expensive); \
+                 shreds competitive only at low selectivity"
+                    .into()
+            },
+        ],
+        &engines,
+        &|x| q1("wide", x),
+        &|x| q2("wide", x),
+    )
+}
+
+/// Figure 7: wide CSV with floating-point aggregation column.
+pub fn fig7(scale: &Scale) -> ExpTable {
+    wide_sweep(false, scale)
+}
+
+/// Figure 8: wide binary with floating-point aggregation column.
+pub fn fig8(scale: &Scale) -> ExpTable {
+    wide_sweep(true, scale)
+}
+
+/// Figure 9: speculative multi-column shreds with two predicates.
+pub fn fig9(scale: &Scale) -> ExpTable {
+    let s = *scale;
+    let make = move |shreds: ShredStrategy| -> EngineMaker {
+        Box::new(move || {
+            datasets::engine_narrow_csv(&s, system_config(AccessMode::Jit, shreds, 10))
+        })
+    };
+    let engines: Vec<(&str, EngineMaker)> = vec![
+        ("Full", make(ShredStrategy::FullColumns)),
+        ("Shreds", make(ShredStrategy::ColumnShreds)),
+        ("Multi-column Shreds", make(ShredStrategy::MultiColumnShreds)),
+    ];
+    shreds_sweep(
+        s.repeats,
+        "Figure 9 — full vs shreds vs multi-column shreds: \
+         SELECT MAX(col6) WHERE col1 < X AND col5 < X",
+        &[
+            format!("dataset: {} rows x 30 int columns (CSV); Q1 warms caches", s.narrow_rows),
+            "expect: shreds best at low selectivity; multi-column best of both beyond ~40%"
+                .into(),
+        ],
+        &engines,
+        &|x| q1("file1", x),
+        &|x| format!("SELECT MAX(col6) FROM file1 WHERE col1 < {x} AND col5 < {x}"),
+    )
+}
+
+/// Figures 11/12 shared driver: join with the projected column on the
+/// pipelined (file1) or pipeline-breaking (file2) side.
+fn join_sweep(breaking: bool, scale: &Scale) -> ExpTable {
+    let s = *scale;
+    let title = if breaking {
+        "Figure 12 — join, projected column on the build (pipeline-breaking) side"
+    } else {
+        "Figure 11 — join, projected column on the probe (pipelined) side"
+    };
+    let projected_table = if breaking { "file2" } else { "file1" };
+    let query = move |x: i64| {
+        format!(
+            "SELECT MAX({projected_table}.col11) FROM file1 JOIN file2 \
+             ON file1.col1 = file2.col1 WHERE file2.col2 < {x}"
+        )
+    };
+
+    let mut placements: Vec<(&str, AccessMode, JoinPlacement)> = vec![
+        ("Early", AccessMode::Jit, JoinPlacement::Early),
+        ("Late", AccessMode::Jit, JoinPlacement::Late),
+    ];
+    if breaking {
+        placements.insert(1, ("Intermediate", AccessMode::Jit, JoinPlacement::Intermediate));
+    }
+    placements.push(("DBMS", AccessMode::Dbms, JoinPlacement::Early));
+
+    let mut table = ExpTable::new(
+        title,
+        std::iter::once("placement".to_owned())
+            .chain(SELECTIVITIES.iter().map(|s| format!("{:.0}%", s * 100.0)))
+            .collect(),
+    );
+    table.note(format!(
+        "dataset: file1 = {} rows x 30 cols (CSV); file2 = shuffled twin",
+        s.join_rows
+    ));
+    table.note("query: SELECT MAX(side.col11) FROM file1 JOIN file2 ON col1 WHERE file2.col2 < X");
+    table.note(if breaking {
+        "expect: Late degrades at high selectivity (random access); Early wins there"
+    } else {
+        "expect: Late <= Early everywhere, converging at 100%"
+    });
+
+    for (name, mode, placement) in placements {
+        let mut cells = vec![name.to_owned()];
+        for &sel in SELECTIVITIES {
+            let x = literal_for_selectivity(sel);
+            // Pre-load the filter/key columns as the paper does ("column 1
+            // of file1 and columns 1 and 2 of file2 have been loaded by
+            // previous queries"), building positional maps along the way.
+            let d = measure_point(
+                s.repeats,
+                &move || {
+                    datasets::engine_join_pair(
+                        &s,
+                        EngineConfig {
+                            mode,
+                            shreds: ShredStrategy::ColumnShreds,
+                            join_placement: placement,
+                            ..EngineConfig::default()
+                        },
+                    )
+                },
+                &[
+                    "SELECT MAX(col1) FROM file1".to_owned(),
+                    "SELECT MAX(col1), MAX(col2) FROM file2".to_owned(),
+                ],
+                &query(x),
+            );
+            cells.push(fmt_duration(d));
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// Figure 11: pipelined-side projection.
+pub fn fig11(scale: &Scale) -> ExpTable {
+    join_sweep(false, scale)
+}
+
+/// Figure 12: pipeline-breaking-side projection.
+pub fn fig12(scale: &Scale) -> ExpTable {
+    join_sweep(true, scale)
+}
+
+/// Table 2: first-query times over the 120-column tables.
+pub fn table2(scale: &Scale) -> ExpTable {
+    let x = literal_for_selectivity(0.4);
+    let mut table = ExpTable::new(
+        "Table 2 — 1st query over 120-column tables: SELECT MAX(col1) WHERE col1 < X",
+        vec!["system".into(), "format".into(), "Q1 time".into()],
+    );
+    table.note(format!("dataset: {} rows x 120 columns; cold file caches", scale.wide_rows));
+    table.note("expect: DBMS slowest (loads all 120 columns); Full == Shreds for Q1");
+    for binary in [false, true] {
+        let format = if binary { "Binary" } else { "CSV" };
+        for (name, mode, shreds) in [
+            ("DBMS", AccessMode::Dbms, ShredStrategy::FullColumns),
+            ("Full Columns", AccessMode::Jit, ShredStrategy::FullColumns),
+            ("Column Shreds", AccessMode::Jit, ShredStrategy::ColumnShreds),
+        ] {
+            let mut engine =
+                datasets::engine_wide(scale, system_config(mode, shreds, 10), binary);
+            engine.drop_file_caches();
+            let (_, d) = time_once(|| run(&mut engine, &q1("wide", x)));
+            table.row(vec![name.into(), format.into(), fmt_duration(d)]);
+        }
+    }
+    table
+}
+
+/// Table 3: the Higgs analysis, hand-written vs RAW, cold and warm.
+pub fn table3(scale: &Scale) -> ExpTable {
+    let dataset = datasets::higgs(scale);
+    let cuts = HiggsCuts::default();
+
+    let files = FileBufferPool::new();
+    let mut hw = HandwrittenAnalysis::open(
+        &files,
+        &dataset.root_path,
+        &dataset.goodruns_path,
+        cuts,
+    )
+    .expect("open handwritten analysis");
+    let t = Instant::now();
+    let hw_cold_result = hw.run();
+    let hw_cold = t.elapsed();
+    let t = Instant::now();
+    let hw_warm_result = hw.run();
+    let hw_warm = t.elapsed();
+    assert_eq!(hw_cold_result, hw_warm_result);
+
+    let mut raw = RawHiggsAnalysis::open(&dataset, EngineConfig::default(), cuts);
+    let t = Instant::now();
+    let raw_cold_result = raw.run().expect("RAW cold run");
+    let raw_cold = t.elapsed();
+    let t = Instant::now();
+    let raw_warm_result = raw.run().expect("RAW warm run");
+    let raw_warm = t.elapsed();
+    assert_eq!(raw_cold_result, raw_warm_result);
+    assert_eq!(raw_cold_result, hw_cold_result, "implementations disagree");
+
+    let mut table = ExpTable::new(
+        "Table 3 — Higgs analysis: hand-written vs RAW",
+        vec!["system".into(), "1st query (cold)".into(), "2nd query (warm)".into()],
+    );
+    table.note(format!(
+        "dataset: {} events, {} Higgs candidates found (results verified equal)",
+        scale.higgs_events, raw_cold_result.candidates
+    ));
+    table.note("expect: comparable cold; RAW orders of magnitude faster warm");
+    table.row(vec![
+        "Hand-written (C++-style)".into(),
+        fmt_duration(hw_cold),
+        fmt_duration(hw_warm),
+    ]);
+    table.row(vec!["RAW".into(), fmt_duration(raw_cold), fmt_duration(raw_warm)]);
+    table.row(vec![
+        "warm speedup".into(),
+        String::new(),
+        format!("{:.1}x", hw_warm.as_secs_f64() / raw_warm.as_secs_f64().max(1e-9)),
+    ]);
+    table
+}
+
+/// The hardware/environment note standing in for the paper's Table 1.
+pub fn table1_environment() -> ExpTable {
+    let mut table = ExpTable::new(
+        "Table 1 — experimental environment",
+        vec!["property".into(), "value".into()],
+    );
+    table.note("the paper used dual/octo-socket Xeons with 28-45 GB datasets;");
+    table.note("this reproduction runs laptop-scale and compares shapes, not seconds");
+    table.row(vec!["os".into(), std::env::consts::OS.into()]);
+    table.row(vec!["arch".into(), std::env::consts::ARCH.into()]);
+    table.row(vec![
+        "logical cpus".into(),
+        std::thread::available_parallelism().map(|n| n.to_string()).unwrap_or_default(),
+    ]);
+    table
+}
+
+/// Run every experiment (the `reproduce` binary's payload).
+pub fn all(scale: &Scale) -> Vec<ExpTable> {
+    vec![
+        table1_environment(),
+        fig1a(scale),
+        fig1b(scale),
+        fig2(scale),
+        fig3(scale),
+        table2(scale),
+        fig5(scale),
+        fig6(scale),
+        fig7(scale),
+        fig8(scale),
+        fig9(scale),
+        fig11(scale),
+        fig12(scale),
+        table3(scale),
+    ]
+}
+
+/// Total data rows across a set of experiment tables (used by tests).
+pub fn total_of(tables: &[ExpTable]) -> usize {
+    tables.iter().map(|t| t.rows.len()).sum()
+}

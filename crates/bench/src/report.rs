@@ -1,0 +1,107 @@
+//! Plain-text result tables, in the spirit of the paper's figures.
+
+use std::fmt::Write as _;
+
+/// One reproduced table/figure: a title, column headers, and rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpTable {
+    /// E.g. `"Figure 5 — Full vs Shredded Columns (CSV)"`.
+    pub title: String,
+    /// Notes on setup (dataset, query, what to look for).
+    pub notes: Vec<String>,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ExpTable {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> ExpTable {
+        ExpTable { title: title.into(), notes: Vec::new(), headers, rows: Vec::new() }
+    }
+
+    /// Add a setup note.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    /// Add a data row; pads/truncates to the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        for note in &self.notes {
+            let _ = writeln!(out, "   {note}");
+        }
+        let line = |out: &mut String, cells: &[String]| {
+            let mut s = String::from("  ");
+            for (i, cell) in cells.iter().enumerate().take(ncols) {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                if i == 0 {
+                    // First column left-aligned.
+                    s.push_str(cell);
+                    s.push_str(&" ".repeat(pad));
+                } else {
+                    s.push_str(&" ".repeat(pad));
+                    s.push_str(cell);
+                }
+            }
+            out.push_str(s.trim_end());
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let rule: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        line(&mut out, &rule);
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = ExpTable::new(
+            "Figure X",
+            vec!["system".into(), "time".into()],
+        );
+        t.note("demo note");
+        t.row(vec!["DBMS".into(), "1.0 s".into()]);
+        t.row(vec!["JIT access paths".into(), "0.5 s".into()]);
+        let s = t.render();
+        assert!(s.contains("## Figure X"));
+        assert!(s.contains("demo note"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header + rule + 2 rows after title/note
+        assert_eq!(lines.len(), 6);
+        assert!(lines[3].starts_with("  ------"));
+    }
+
+    #[test]
+    fn rows_are_padded() {
+        let mut t = ExpTable::new("T", vec!["a".into(), "b".into(), "c".into()]);
+        t.row(vec!["x".into()]);
+        assert_eq!(t.rows[0].len(), 3);
+    }
+}

@@ -1,0 +1,284 @@
+//! Batches: the unit of data flow between operators.
+//!
+//! A [`Batch`] owns a set of equal-length dense columns plus *provenance*:
+//! for every raw-data source contributing to the batch, the original row ids
+//! of the rows that survive in it. Provenance is the mechanism behind the
+//! paper's column shreds — a scan operator placed *above* a filter or join
+//! receives the batch, looks up the provenance of its table, and fetches only
+//! those rows from the raw file.
+
+use crate::column::Column;
+use crate::error::{ColumnarError, Result};
+use crate::types::Value;
+
+/// Identifies a raw-data source (table instance) within a query plan.
+/// Assigned by the planner; stable for the duration of one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableTag(pub u32);
+
+/// The original row ids, per source table, of the rows in a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Provenance {
+    /// Which source these row ids refer to.
+    pub table: TableTag,
+    /// For each batch row (in order), the row id in the source table.
+    pub rows: Vec<u64>,
+}
+
+/// A block of rows flowing between operators.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Batch {
+    columns: Vec<Column>,
+    provenance: Vec<Provenance>,
+    rows: usize,
+}
+
+impl Batch {
+    /// Build a batch from columns; all columns must have equal length.
+    pub fn new(columns: Vec<Column>) -> Result<Batch> {
+        let rows = columns.first().map_or(0, Column::len);
+        if columns.iter().any(|c| c.len() != rows) {
+            return Err(ColumnarError::RaggedBatch {
+                lengths: columns.iter().map(Column::len).collect(),
+            });
+        }
+        Ok(Batch { columns, provenance: Vec::new(), rows })
+    }
+
+    /// A batch with zero columns but a definite row count — used by plans
+    /// that start from provenance only (e.g. a late scan feeding all columns).
+    pub fn of_rows(rows: usize) -> Batch {
+        Batch { columns: Vec::new(), provenance: Vec::new(), rows }
+    }
+
+    /// Attach provenance for one source table; must match the row count.
+    pub fn with_provenance(mut self, table: TableTag, rows: Vec<u64>) -> Result<Batch> {
+        if rows.len() != self.rows {
+            return Err(ColumnarError::RaggedBatch { lengths: vec![self.rows, rows.len()] });
+        }
+        self.provenance.retain(|p| p.table != table);
+        self.provenance.push(Provenance { table, rows });
+        Ok(self)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the batch holds zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns, in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column at position `i`.
+    pub fn column(&self, i: usize) -> Result<&Column> {
+        self.columns
+            .get(i)
+            .ok_or(ColumnarError::ColumnOutOfBounds { index: i, len: self.columns.len() })
+    }
+
+    /// All provenance entries.
+    pub fn provenance(&self) -> &[Provenance] {
+        &self.provenance
+    }
+
+    /// Row ids for `table`, if tracked in this batch.
+    pub fn rows_of(&self, table: TableTag) -> Option<&[u64]> {
+        self.provenance.iter().find(|p| p.table == table).map(|p| p.rows.as_slice())
+    }
+
+    /// Append a column (length must match), returning the new column index.
+    pub fn push_column(&mut self, col: Column) -> Result<usize> {
+        if !self.columns.is_empty() || self.rows > 0 {
+            if col.len() != self.rows {
+                return Err(ColumnarError::RaggedBatch { lengths: vec![self.rows, col.len()] });
+            }
+        } else {
+            self.rows = col.len();
+        }
+        self.columns.push(col);
+        Ok(self.columns.len() - 1)
+    }
+
+    /// Keep only rows at `indices` (in that order): compacts every column and
+    /// every provenance vector. This is how filters and joins project
+    /// qualifying rows while keeping provenance consistent.
+    pub fn take(&self, indices: &[usize]) -> Result<Batch> {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| c.gather(indices))
+            .collect::<Result<Vec<_>>>()?;
+        let provenance = self
+            .provenance
+            .iter()
+            .map(|p| {
+                let rows = indices.iter().map(|&i| p.rows[i]).collect();
+                Provenance { table: p.table, rows }
+            })
+            .collect();
+        Ok(Batch { columns, provenance, rows: indices.len() })
+    }
+
+    /// Project to a subset of columns (provenance is preserved untouched).
+    pub fn project(&self, cols: &[usize]) -> Result<Batch> {
+        let columns = cols
+            .iter()
+            .map(|&i| self.column(i).cloned())
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Batch { columns, provenance: self.provenance.clone(), rows: self.rows })
+    }
+
+    /// Scalar view of cell (`row`, `col`) — for tests and result rendering.
+    pub fn value(&self, row: usize, col: usize) -> Result<Value> {
+        self.column(col)?.value(row)
+    }
+
+    /// Vertically concatenate batches of identical shape. Provenance is
+    /// concatenated per table; tables must match across batches.
+    pub fn concat(batches: &[Batch]) -> Result<Batch> {
+        let Some(first) = batches.first() else {
+            return Ok(Batch::default());
+        };
+        let mut columns: Vec<Column> = first
+            .columns
+            .iter()
+            .map(|c| Column::with_capacity(c.data_type(), batches.iter().map(Batch::rows).sum()))
+            .collect();
+        let mut provenance: Vec<Provenance> = first
+            .provenance
+            .iter()
+            .map(|p| Provenance { table: p.table, rows: Vec::new() })
+            .collect();
+        let mut rows = 0;
+        for b in batches {
+            if b.columns.len() != columns.len() || b.provenance.len() != provenance.len() {
+                return Err(ColumnarError::Plan {
+                    message: "concat of differently-shaped batches".into(),
+                });
+            }
+            for (dst, src) in columns.iter_mut().zip(&b.columns) {
+                dst.append(src)?;
+            }
+            for (dst, src) in provenance.iter_mut().zip(&b.provenance) {
+                if dst.table != src.table {
+                    return Err(ColumnarError::Plan {
+                        message: "concat with mismatched provenance tables".into(),
+                    });
+                }
+                dst.rows.extend_from_slice(&src.rows);
+            }
+            rows += b.rows;
+        }
+        Ok(Batch { columns, provenance, rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(n: u32) -> TableTag {
+        TableTag(n)
+    }
+
+    #[test]
+    fn build_checks_lengths() {
+        let ok = Batch::new(vec![vec![1i64, 2].into(), vec![1.0f64, 2.0].into()]);
+        assert!(ok.is_ok());
+        let bad = Batch::new(vec![vec![1i64].into(), vec![1.0f64, 2.0].into()]);
+        assert!(matches!(bad, Err(ColumnarError::RaggedBatch { .. })));
+    }
+
+    #[test]
+    fn provenance_roundtrip() {
+        let b = Batch::new(vec![vec![10i64, 20].into()])
+            .unwrap()
+            .with_provenance(tag(0), vec![100, 200])
+            .unwrap();
+        assert_eq!(b.rows_of(tag(0)), Some(&[100u64, 200][..]));
+        assert_eq!(b.rows_of(tag(1)), None);
+        // replacing provenance for the same tag overwrites
+        let b = b.with_provenance(tag(0), vec![7, 8]).unwrap();
+        assert_eq!(b.rows_of(tag(0)), Some(&[7u64, 8][..]));
+        // wrong length rejected
+        assert!(Batch::new(vec![vec![1i64].into()])
+            .unwrap()
+            .with_provenance(tag(0), vec![1, 2])
+            .is_err());
+    }
+
+    #[test]
+    fn take_compacts_columns_and_provenance() {
+        let b = Batch::new(vec![vec![10i64, 20, 30].into()])
+            .unwrap()
+            .with_provenance(tag(3), vec![5, 6, 7])
+            .unwrap();
+        let t = b.take(&[2, 0]).unwrap();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.column(0).unwrap().as_i64().unwrap(), &[30, 10]);
+        assert_eq!(t.rows_of(tag(3)), Some(&[7u64, 5][..]));
+    }
+
+    #[test]
+    fn push_column_and_project() {
+        let mut b = Batch::new(vec![vec![1i64, 2].into()]).unwrap();
+        let idx = b.push_column(vec![9.0f64, 8.0].into()).unwrap();
+        assert_eq!(idx, 1);
+        assert!(b.push_column(vec![1i64].into()).is_err());
+        let p = b.project(&[1]).unwrap();
+        assert_eq!(p.num_columns(), 1);
+        assert_eq!(p.column(0).unwrap().as_f64().unwrap(), &[9.0, 8.0]);
+        assert!(b.project(&[5]).is_err());
+    }
+
+    #[test]
+    fn push_column_into_rows_only_batch() {
+        let mut b = Batch::of_rows(2).with_provenance(tag(0), vec![4, 9]).unwrap();
+        assert_eq!(b.num_columns(), 0);
+        b.push_column(vec![1i64, 2].into()).unwrap();
+        assert_eq!(b.rows(), 2);
+        assert!(b.push_column(vec![1i64, 2, 3].into()).is_err());
+    }
+
+    #[test]
+    fn concat_batches() {
+        let a = Batch::new(vec![vec![1i64].into()])
+            .unwrap()
+            .with_provenance(tag(0), vec![0])
+            .unwrap();
+        let b = Batch::new(vec![vec![2i64, 3].into()])
+            .unwrap()
+            .with_provenance(tag(0), vec![1, 2])
+            .unwrap();
+        let c = Batch::concat(&[a.clone(), b]).unwrap();
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.column(0).unwrap().as_i64().unwrap(), &[1, 2, 3]);
+        assert_eq!(c.rows_of(tag(0)), Some(&[0u64, 1, 2][..]));
+
+        let mismatched = Batch::new(vec![vec![1i64].into()])
+            .unwrap()
+            .with_provenance(tag(1), vec![0])
+            .unwrap();
+        assert!(Batch::concat(&[a, mismatched]).is_err());
+        assert_eq!(Batch::concat(&[]).unwrap().rows(), 0);
+    }
+
+    #[test]
+    fn cell_access() {
+        let b = Batch::new(vec![vec![1i64, 2].into()]).unwrap();
+        assert_eq!(b.value(1, 0).unwrap(), Value::Int64(2));
+        assert!(b.value(0, 1).is_err());
+    }
+}

@@ -1,0 +1,264 @@
+//! A compact bitmask over row indices.
+//!
+//! Used as the *loaded-row mask* of [`crate::column::SparseColumn`]: the
+//! paper's shred pool caches columns where "data is only available for those
+//! rows that were actually needed during the query execution; the remaining
+//! rows ... are marked as not loaded" (§6).
+
+/// A growable bitmask backed by 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitmask {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmask {
+    /// An all-zeros mask covering `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Bitmask { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// An all-ones mask covering `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut m = Bitmask { words: vec![u64::MAX; len.div_ceil(64)], len };
+        m.clear_tail();
+        m
+    }
+
+    /// Number of bits covered by the mask.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mask covers zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`. Out-of-range reads return `false` rather than panicking:
+    /// callers treat "beyond the mask" as "not loaded".
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i` to `value`, growing the mask (with zeros) if needed.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        if i >= self.len {
+            self.len = i + 1;
+            let needed = self.len.div_ceil(64);
+            if needed > self.words.len() {
+                self.words.resize(needed, 0);
+            }
+        }
+        let word = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        if value {
+            *word |= bit;
+        } else {
+            *word &= !bit;
+        }
+    }
+
+    /// Set bits `[start, end)` to one, growing the mask if needed (bulk path
+    /// for contiguous scans recording into shreds).
+    pub fn set_range(&mut self, start: usize, end: usize) {
+        if end <= start {
+            return;
+        }
+        if end > self.len {
+            self.len = end;
+            let needed = self.len.div_ceil(64);
+            if needed > self.words.len() {
+                self.words.resize(needed, 0);
+            }
+        }
+        let (first_word, first_bit) = (start / 64, start % 64);
+        let (last_word, last_bit) = ((end - 1) / 64, (end - 1) % 64);
+        if first_word == last_word {
+            let mask = (u64::MAX << first_bit)
+                & (u64::MAX >> (63 - last_bit));
+            self.words[first_word] |= mask;
+        } else {
+            self.words[first_word] |= u64::MAX << first_bit;
+            for w in &mut self.words[first_word + 1..last_word] {
+                *w = u64::MAX;
+            }
+            self.words[last_word] |= u64::MAX >> (63 - last_bit);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether every bit in the mask is set.
+    pub fn all(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// True iff every bit set in `other` is also set in `self`.
+    ///
+    /// This is the *subsumption* check the shred pool uses: a cached shred
+    /// can answer a request iff its loaded mask covers the requested rows.
+    pub fn covers(&self, other: &Bitmask) -> bool {
+        let n = other.words.len();
+        for (i, &ow) in other.words.iter().enumerate() {
+            let sw = self.words.get(i).copied().unwrap_or(0);
+            if ow & !sw != 0 {
+                return false;
+            }
+        }
+        // Bits beyond other's words are vacuously covered.
+        let _ = n;
+        true
+    }
+
+    /// In-place union with `other`, growing if needed.
+    pub fn union_with(&mut self, other: &Bitmask) {
+        if other.len > self.len {
+            self.len = other.len;
+            self.words.resize(other.words.len(), 0);
+        }
+        for (sw, &ow) in self.words.iter_mut().zip(other.words.iter()) {
+            *sw |= ow;
+        }
+    }
+
+    /// Iterate the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+
+    /// Zero out bits beyond `len` in the last word (keeps `count_ones` exact).
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl FromIterator<usize> for Bitmask {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut m = Bitmask::default();
+        for i in iter {
+            m.set(i, true);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = Bitmask::zeros(100);
+        assert_eq!(z.len(), 100);
+        assert_eq!(z.count_ones(), 0);
+        assert!(!z.get(0));
+
+        let o = Bitmask::ones(100);
+        assert_eq!(o.count_ones(), 100);
+        assert!(o.all());
+        assert!(o.get(99));
+        assert!(!o.get(100), "out of range reads false");
+    }
+
+    #[test]
+    fn ones_respects_tail() {
+        // 65 bits spans two words; the second word must only have one bit.
+        let o = Bitmask::ones(65);
+        assert_eq!(o.count_ones(), 65);
+    }
+
+    #[test]
+    fn set_get_grow() {
+        let mut m = Bitmask::default();
+        m.set(3, true);
+        m.set(200, true);
+        assert!(m.get(3));
+        assert!(m.get(200));
+        assert!(!m.get(4));
+        assert_eq!(m.len(), 201);
+        assert_eq!(m.count_ones(), 2);
+        m.set(3, false);
+        assert!(!m.get(3));
+        assert_eq!(m.count_ones(), 1);
+    }
+
+    #[test]
+    fn covers_subsumption() {
+        let big: Bitmask = [1usize, 5, 9, 64, 70].into_iter().collect();
+        let small: Bitmask = [5usize, 64].into_iter().collect();
+        assert!(big.covers(&small));
+        assert!(!small.covers(&big));
+        let disjoint: Bitmask = [2usize].into_iter().collect();
+        assert!(!big.covers(&disjoint));
+        // Everything covers the empty mask.
+        assert!(small.covers(&Bitmask::default()));
+        assert!(Bitmask::default().covers(&Bitmask::default()));
+    }
+
+    #[test]
+    fn union() {
+        let mut a: Bitmask = [1usize, 2].into_iter().collect();
+        let b: Bitmask = [2usize, 300].into_iter().collect();
+        a.union_with(&b);
+        assert!(a.get(1) && a.get(2) && a.get(300));
+        assert_eq!(a.count_ones(), 3);
+        assert!(a.covers(&b));
+    }
+
+    #[test]
+    fn set_range_bulk() {
+        let mut m = Bitmask::zeros(10);
+        m.set_range(2, 5);
+        assert_eq!(m.iter_ones().collect::<Vec<_>>(), vec![2, 3, 4]);
+        // Cross-word range with growth.
+        let mut m = Bitmask::default();
+        m.set_range(60, 200);
+        assert_eq!(m.count_ones(), 140);
+        assert!(m.get(60) && m.get(199));
+        assert!(!m.get(59) && !m.get(200));
+        // Single-bit and empty ranges.
+        let mut m = Bitmask::zeros(8);
+        m.set_range(3, 4);
+        assert_eq!(m.count_ones(), 1);
+        m.set_range(5, 5);
+        assert_eq!(m.count_ones(), 1);
+        // Exactly word-aligned.
+        let mut m = Bitmask::default();
+        m.set_range(0, 64);
+        assert_eq!(m.count_ones(), 64);
+        m.set_range(64, 128);
+        assert_eq!(m.count_ones(), 128);
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let m: Bitmask = [0usize, 63, 64, 127, 500].into_iter().collect();
+        let got: Vec<usize> = m.iter_ones().collect();
+        assert_eq!(got, vec![0, 63, 64, 127, 500]);
+    }
+}

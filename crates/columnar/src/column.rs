@@ -1,0 +1,700 @@
+//! Dense typed columns and partially-loaded (sparse) columns.
+//!
+//! [`Column`] is the unit of data flow between operators: a dense, typed
+//! vector of values. [`SparseColumn`] represents a *column shred* as cached
+//! by the engine: a full-length column where only some rows were ever
+//! materialized from the raw file, tracked by a loaded-row [`Bitmask`].
+
+use crate::bitmask::Bitmask;
+use crate::error::{ColumnarError, Result};
+use crate::types::{DataType, Value};
+
+/// A dense, typed column of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 32-bit integers.
+    Int32(Vec<i32>),
+    /// 64-bit integers.
+    Int64(Vec<i64>),
+    /// 32-bit floats.
+    Float32(Vec<f32>),
+    /// 64-bit floats.
+    Float64(Vec<f64>),
+    /// Booleans.
+    Bool(Vec<bool>),
+    /// UTF-8 strings.
+    Utf8(Vec<String>),
+}
+
+/// Applies `$body` with `$v` bound to the inner vector of any column variant.
+macro_rules! with_vec {
+    ($col:expr, $v:ident => $body:expr) => {
+        match $col {
+            Column::Int32($v) => $body,
+            Column::Int64($v) => $body,
+            Column::Float32($v) => $body,
+            Column::Float64($v) => $body,
+            Column::Bool($v) => $body,
+            Column::Utf8($v) => $body,
+        }
+    };
+}
+
+impl Column {
+    /// An empty column of the given type.
+    pub fn empty(data_type: DataType) -> Column {
+        match data_type {
+            DataType::Int32 => Column::Int32(Vec::new()),
+            DataType::Int64 => Column::Int64(Vec::new()),
+            DataType::Float32 => Column::Float32(Vec::new()),
+            DataType::Float64 => Column::Float64(Vec::new()),
+            DataType::Bool => Column::Bool(Vec::new()),
+            DataType::Utf8 => Column::Utf8(Vec::new()),
+        }
+    }
+
+    /// An empty column with reserved capacity, for batch building.
+    pub fn with_capacity(data_type: DataType, cap: usize) -> Column {
+        match data_type {
+            DataType::Int32 => Column::Int32(Vec::with_capacity(cap)),
+            DataType::Int64 => Column::Int64(Vec::with_capacity(cap)),
+            DataType::Float32 => Column::Float32(Vec::with_capacity(cap)),
+            DataType::Float64 => Column::Float64(Vec::with_capacity(cap)),
+            DataType::Bool => Column::Bool(Vec::with_capacity(cap)),
+            DataType::Utf8 => Column::Utf8(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// A column of `len` default-valued entries (0 / 0.0 / false / "").
+    /// Used as the backing store of [`SparseColumn`]s before rows are loaded.
+    pub fn defaults(data_type: DataType, len: usize) -> Column {
+        match data_type {
+            DataType::Int32 => Column::Int32(vec![0; len]),
+            DataType::Int64 => Column::Int64(vec![0; len]),
+            DataType::Float32 => Column::Float32(vec![0.0; len]),
+            DataType::Float64 => Column::Float64(vec![0.0; len]),
+            DataType::Bool => Column::Bool(vec![false; len]),
+            DataType::Utf8 => Column::Utf8(vec![String::new(); len]),
+        }
+    }
+
+    /// Build a column of `data_type` from scalar values. All values must be
+    /// of the column type (after [`Value::cast`]).
+    pub fn from_values(data_type: DataType, values: &[Value]) -> Result<Column> {
+        let mut col = Column::with_capacity(data_type, values.len());
+        for v in values {
+            col.push_value(v)?;
+        }
+        Ok(col)
+    }
+
+    /// The data type of this column.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int32(_) => DataType::Int32,
+            Column::Int64(_) => DataType::Int64,
+            Column::Float32(_) => DataType::Float32,
+            Column::Float64(_) => DataType::Float64,
+            Column::Bool(_) => DataType::Bool,
+            Column::Utf8(_) => DataType::Utf8,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        with_vec!(self, v => v.len())
+    }
+
+    /// Whether the column holds zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of heap memory used by the values (strings count content bytes).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Column::Int32(v) => v.len() * 4,
+            Column::Int64(v) => v.len() * 8,
+            Column::Float32(v) => v.len() * 4,
+            Column::Float64(v) => v.len() * 8,
+            Column::Bool(v) => v.len(),
+            Column::Utf8(v) => v.iter().map(|s| s.len() + std::mem::size_of::<String>()).sum(),
+        }
+    }
+
+    /// Scalar view of row `i`.
+    pub fn value(&self, i: usize) -> Result<Value> {
+        let len = self.len();
+        if i >= len {
+            return Err(ColumnarError::RowOutOfBounds { row: i as u64, len: len as u64 });
+        }
+        Ok(match self {
+            Column::Int32(v) => Value::Int32(v[i]),
+            Column::Int64(v) => Value::Int64(v[i]),
+            Column::Float32(v) => Value::Float32(v[i]),
+            Column::Float64(v) => Value::Float64(v[i]),
+            Column::Bool(v) => Value::Bool(v[i]),
+            Column::Utf8(v) => Value::Utf8(v[i].clone()),
+        })
+    }
+
+    /// Append a scalar, casting if a standard cast exists.
+    pub fn push_value(&mut self, value: &Value) -> Result<()> {
+        let target = self.data_type();
+        let cast = value.cast(target).ok_or(ColumnarError::TypeMismatch {
+            expected: target,
+            actual: value.data_type().unwrap_or(DataType::Utf8),
+            context: "push_value",
+        })?;
+        match (self, cast) {
+            (Column::Int32(v), Value::Int32(x)) => v.push(x),
+            (Column::Int64(v), Value::Int64(x)) => v.push(x),
+            (Column::Float32(v), Value::Float32(x)) => v.push(x),
+            (Column::Float64(v), Value::Float64(x)) => v.push(x),
+            (Column::Bool(v), Value::Bool(x)) => v.push(x),
+            (Column::Utf8(v), Value::Utf8(x)) => v.push(x),
+            (col, Value::Null) => {
+                return Err(ColumnarError::Unsupported {
+                    what: format!("NULL into non-nullable {} column", col.data_type()),
+                })
+            }
+            _ => unreachable!("cast already normalized the type"),
+        }
+        Ok(())
+    }
+
+    /// Gather rows `indices` into a new dense column (selection compaction).
+    #[allow(clippy::clone_on_copy)] // one generic body covers Copy and String columns
+    pub fn gather(&self, indices: &[usize]) -> Result<Column> {
+        let len = self.len();
+        if let Some(&bad) = indices.iter().find(|&&i| i >= len) {
+            return Err(ColumnarError::RowOutOfBounds { row: bad as u64, len: len as u64 });
+        }
+        Ok(with_vec!(self, v => {
+            let gathered: Vec<_> = indices.iter().map(|&i| v[i].clone()).collect();
+            gathered.into()
+        }))
+    }
+
+    /// Append all rows of `other` (must be the same type).
+    pub fn append(&mut self, other: &Column) -> Result<()> {
+        if self.data_type() != other.data_type() {
+            return Err(ColumnarError::TypeMismatch {
+                expected: self.data_type(),
+                actual: other.data_type(),
+                context: "append",
+            });
+        }
+        match (self, other) {
+            (Column::Int32(a), Column::Int32(b)) => a.extend_from_slice(b),
+            (Column::Int64(a), Column::Int64(b)) => a.extend_from_slice(b),
+            (Column::Float32(a), Column::Float32(b)) => a.extend_from_slice(b),
+            (Column::Float64(a), Column::Float64(b)) => a.extend_from_slice(b),
+            (Column::Bool(a), Column::Bool(b)) => a.extend_from_slice(b),
+            (Column::Utf8(a), Column::Utf8(b)) => a.extend_from_slice(b),
+            _ => unreachable!("type equality checked above"),
+        }
+        Ok(())
+    }
+
+    /// Slice rows `[start, start+len)` into a new column.
+    pub fn slice(&self, start: usize, len: usize) -> Result<Column> {
+        let n = self.len();
+        if start + len > n {
+            return Err(ColumnarError::RowOutOfBounds {
+                row: (start + len) as u64,
+                len: n as u64,
+            });
+        }
+        Ok(with_vec!(self, v => v[start..start + len].to_vec().into()))
+    }
+
+    /// Typed slice accessors. Each returns an error if the column is of a
+    /// different type; hot kernels use these once per batch, then run on the
+    /// raw slice.
+    pub fn as_i32(&self) -> Result<&[i32]> {
+        match self {
+            Column::Int32(v) => Ok(v),
+            other => Err(type_err(DataType::Int32, other, "as_i32")),
+        }
+    }
+
+    /// See [`Column::as_i32`].
+    pub fn as_i64(&self) -> Result<&[i64]> {
+        match self {
+            Column::Int64(v) => Ok(v),
+            other => Err(type_err(DataType::Int64, other, "as_i64")),
+        }
+    }
+
+    /// See [`Column::as_i32`].
+    pub fn as_f32(&self) -> Result<&[f32]> {
+        match self {
+            Column::Float32(v) => Ok(v),
+            other => Err(type_err(DataType::Float32, other, "as_f32")),
+        }
+    }
+
+    /// See [`Column::as_i32`].
+    pub fn as_f64(&self) -> Result<&[f64]> {
+        match self {
+            Column::Float64(v) => Ok(v),
+            other => Err(type_err(DataType::Float64, other, "as_f64")),
+        }
+    }
+
+    /// See [`Column::as_i32`].
+    pub fn as_bool(&self) -> Result<&[bool]> {
+        match self {
+            Column::Bool(v) => Ok(v),
+            other => Err(type_err(DataType::Bool, other, "as_bool")),
+        }
+    }
+
+    /// See [`Column::as_i32`].
+    pub fn as_utf8(&self) -> Result<&[String]> {
+        match self {
+            Column::Utf8(v) => Ok(v),
+            other => Err(type_err(DataType::Utf8, other, "as_utf8")),
+        }
+    }
+}
+
+fn type_err(expected: DataType, actual: &Column, context: &'static str) -> ColumnarError {
+    ColumnarError::TypeMismatch { expected, actual: actual.data_type(), context }
+}
+
+impl From<Vec<i32>> for Column {
+    fn from(v: Vec<i32>) -> Self {
+        Column::Int32(v)
+    }
+}
+impl From<Vec<i64>> for Column {
+    fn from(v: Vec<i64>) -> Self {
+        Column::Int64(v)
+    }
+}
+impl From<Vec<f32>> for Column {
+    fn from(v: Vec<f32>) -> Self {
+        Column::Float32(v)
+    }
+}
+impl From<Vec<f64>> for Column {
+    fn from(v: Vec<f64>) -> Self {
+        Column::Float64(v)
+    }
+}
+impl From<Vec<bool>> for Column {
+    fn from(v: Vec<bool>) -> Self {
+        Column::Bool(v)
+    }
+}
+impl From<Vec<String>> for Column {
+    fn from(v: Vec<String>) -> Self {
+        Column::Utf8(v)
+    }
+}
+
+/// A full-length column where only some rows hold real data.
+///
+/// This is the in-memory form of a *column shred* (§5): created as a side
+/// effect of query execution, it records which rows were materialized so a
+/// later query can tell whether the cached data subsumes its needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseColumn {
+    data: Column,
+    loaded: Bitmask,
+}
+
+impl SparseColumn {
+    /// A sparse column of `len` rows, none loaded.
+    pub fn new(data_type: DataType, len: usize) -> SparseColumn {
+        SparseColumn { data: Column::defaults(data_type, len), loaded: Bitmask::zeros(len) }
+    }
+
+    /// Wrap a fully-loaded dense column.
+    pub fn full(data: Column) -> SparseColumn {
+        let len = data.len();
+        SparseColumn { data, loaded: Bitmask::ones(len) }
+    }
+
+    /// Total (logical) length in rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the sparse column covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The column's data type.
+    pub fn data_type(&self) -> DataType {
+        self.data.data_type()
+    }
+
+    /// Number of rows that hold real data.
+    pub fn loaded_count(&self) -> usize {
+        self.loaded.count_ones()
+    }
+
+    /// Whether every row is loaded (the shred is a full column).
+    pub fn is_full(&self) -> bool {
+        self.loaded.all()
+    }
+
+    /// The loaded-rows mask.
+    pub fn loaded_mask(&self) -> &Bitmask {
+        &self.loaded
+    }
+
+    /// Grow the sparse column to cover at least `len` rows (new rows are
+    /// unloaded defaults). Shreds grow lazily because a first sequential scan
+    /// discovers the file's row count as it goes.
+    pub fn grow_to(&mut self, len: usize) {
+        let cur = self.data.len();
+        if len <= cur {
+            return;
+        }
+        match &mut self.data {
+            Column::Int32(v) => v.resize(len, 0),
+            Column::Int64(v) => v.resize(len, 0),
+            Column::Float32(v) => v.resize(len, 0.0),
+            Column::Float64(v) => v.resize(len, 0.0),
+            Column::Bool(v) => v.resize(len, false),
+            Column::Utf8(v) => v.resize(len, String::new()),
+        }
+        self.loaded.set(len - 1, false); // extend the mask without setting bits
+    }
+
+    /// Store `value` at `row`, marking it loaded. Grows the column if `row`
+    /// is beyond the current length.
+    pub fn store(&mut self, row: usize, value: &Value) -> Result<()> {
+        self.grow_to(row + 1);
+        let target = self.data.data_type();
+        let cast = value.cast(target).ok_or(ColumnarError::TypeMismatch {
+            expected: target,
+            actual: value.data_type().unwrap_or(DataType::Utf8),
+            context: "SparseColumn::store",
+        })?;
+        match (&mut self.data, cast) {
+            (Column::Int32(v), Value::Int32(x)) => v[row] = x,
+            (Column::Int64(v), Value::Int64(x)) => v[row] = x,
+            (Column::Float32(v), Value::Float32(x)) => v[row] = x,
+            (Column::Float64(v), Value::Float64(x)) => v[row] = x,
+            (Column::Bool(v), Value::Bool(x)) => v[row] = x,
+            (Column::Utf8(v), Value::Utf8(x)) => v[row] = x,
+            _ => {
+                return Err(ColumnarError::Unsupported {
+                    what: "NULL store into sparse column".into(),
+                })
+            }
+        }
+        self.loaded.set(row, true);
+        Ok(())
+    }
+
+    /// Bulk-store typed i64 values at the given rows (hot path for shred
+    /// population from JIT scans; avoids per-value `Value` boxing). Grows as
+    /// needed.
+    pub fn store_i64(&mut self, rows: &[usize], values: &[i64]) -> Result<()> {
+        if let Some(&max) = rows.iter().max() {
+            self.grow_to(max + 1);
+        }
+        let dst = match &mut self.data {
+            Column::Int64(v) => v,
+            other => {
+                return Err(type_err(DataType::Int64, other, "store_i64"));
+            }
+        };
+        for (&row, &val) in rows.iter().zip(values.iter()) {
+            dst[row] = val;
+            self.loaded.set(row, true);
+        }
+        Ok(())
+    }
+
+    /// Bulk-store typed f64 values at the given rows. Grows as needed.
+    pub fn store_f64(&mut self, rows: &[usize], values: &[f64]) -> Result<()> {
+        if let Some(&max) = rows.iter().max() {
+            self.grow_to(max + 1);
+        }
+        let dst = match &mut self.data {
+            Column::Float64(v) => v,
+            other => {
+                return Err(type_err(DataType::Float64, other, "store_f64"));
+            }
+        };
+        for (&row, &val) in rows.iter().zip(values.iter()) {
+            dst[row] = val;
+            self.loaded.set(row, true);
+        }
+        Ok(())
+    }
+
+    /// Bulk-store a dense column's values at the given rows (any type; used
+    /// by the engine's shred recorder to tee scan output into the pool).
+    pub fn store_column(&mut self, rows: &[u64], values: &Column) -> Result<()> {
+        if self.data_type() != values.data_type() {
+            return Err(type_err(self.data_type(), values, "store_column"));
+        }
+        if rows.len() != values.len() {
+            return Err(ColumnarError::Plan {
+                message: format!(
+                    "store_column: {} rows but {} values",
+                    rows.len(),
+                    values.len()
+                ),
+            });
+        }
+        if let Some(&max) = rows.iter().max() {
+            self.grow_to(max as usize + 1);
+        }
+        // Bulk path: full scans record contiguous row ranges, which reduce
+        // to one slice copy plus one mask-range set.
+        let contiguous = rows
+            .windows(2)
+            .all(|w| w[1] == w[0] + 1);
+        if contiguous && !rows.is_empty() {
+            let start = rows[0] as usize;
+            let end = start + rows.len();
+            macro_rules! blit {
+                ($dst:expr, $src:expr) => {
+                    $dst[start..end].clone_from_slice($src)
+                };
+            }
+            match (&mut self.data, values) {
+                (Column::Int32(d), Column::Int32(s)) => blit!(d, s),
+                (Column::Int64(d), Column::Int64(s)) => blit!(d, s),
+                (Column::Float32(d), Column::Float32(s)) => blit!(d, s),
+                (Column::Float64(d), Column::Float64(s)) => blit!(d, s),
+                (Column::Bool(d), Column::Bool(s)) => blit!(d, s),
+                (Column::Utf8(d), Column::Utf8(s)) => blit!(d, s),
+                _ => unreachable!("type equality checked above"),
+            }
+            self.loaded.set_range(start, end);
+            return Ok(());
+        }
+        macro_rules! scatter {
+            ($dst:expr, $src:expr) => {{
+                for (&row, val) in rows.iter().zip($src.iter()) {
+                    $dst[row as usize] = val.clone();
+                    self.loaded.set(row as usize, true);
+                }
+            }};
+        }
+        match (&mut self.data, values) {
+            (Column::Int32(d), Column::Int32(s)) => scatter!(d, s),
+            (Column::Int64(d), Column::Int64(s)) => scatter!(d, s),
+            (Column::Float32(d), Column::Float32(s)) => scatter!(d, s),
+            (Column::Float64(d), Column::Float64(s)) => scatter!(d, s),
+            (Column::Bool(d), Column::Bool(s)) => scatter!(d, s),
+            (Column::Utf8(d), Column::Utf8(s)) => scatter!(d, s),
+            _ => unreachable!("type equality checked above"),
+        }
+        Ok(())
+    }
+
+    /// Read the value at `row`; errors if the row was never loaded.
+    pub fn get(&self, row: usize) -> Result<Value> {
+        if !self.loaded.get(row) {
+            return Err(ColumnarError::RowNotLoaded { row: row as u64 });
+        }
+        self.data.value(row)
+    }
+
+    /// Whether all of `rows` are loaded — the subsumption test used when a
+    /// query asks the shred pool for these exact rows.
+    pub fn covers_rows(&self, rows: &[usize]) -> bool {
+        rows.iter().all(|&r| self.loaded.get(r))
+    }
+
+    /// Gather the given (loaded) rows into a dense column.
+    pub fn gather(&self, rows: &[usize]) -> Result<Column> {
+        if let Some(&missing) = rows.iter().find(|&&r| !self.loaded.get(r)) {
+            return Err(ColumnarError::RowNotLoaded { row: missing as u64 });
+        }
+        self.data.gather(rows)
+    }
+
+    /// Merge another shred of the same column into this one (union of loaded
+    /// rows; `other` wins on overlap — it is newer). Shreds built by
+    /// different queries may cover different prefixes of the file; the
+    /// receiver grows as needed.
+    pub fn absorb(&mut self, other: &SparseColumn) -> Result<()> {
+        if self.data_type() != other.data_type() {
+            return Err(ColumnarError::Plan { message: "absorb requires same type".into() });
+        }
+        if other.len() > self.len() {
+            self.grow_to(other.len());
+        }
+        for row in other.loaded.iter_ones() {
+            let v = other.data.value(row)?;
+            self.store(row, &v)?;
+        }
+        Ok(())
+    }
+
+    /// View of the full dense backing store (including unloaded defaults).
+    /// Only sound to read through the loaded mask; exposed for vectorized
+    /// kernels that pre-check coverage with [`SparseColumn::covers_rows`].
+    pub fn dense(&self) -> &Column {
+        &self.data
+    }
+
+    /// Consume into the dense backing column (caller checked it is full).
+    pub fn into_dense(self) -> Result<Column> {
+        if !self.is_full() {
+            return Err(ColumnarError::Plan {
+                message: "into_dense on partially loaded shred".into(),
+            });
+        }
+        Ok(self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_read() {
+        let c: Column = vec![1i64, 2, 3].into();
+        assert_eq!(c.data_type(), DataType::Int64);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value(1).unwrap(), Value::Int64(2));
+        assert!(c.value(3).is_err());
+    }
+
+    #[test]
+    fn push_value_casts() {
+        let mut c = Column::empty(DataType::Int64);
+        c.push_value(&Value::Int32(7)).unwrap();
+        c.push_value(&Value::Int64(8)).unwrap();
+        assert_eq!(c.as_i64().unwrap(), &[7, 8]);
+        assert!(c.push_value(&Value::Utf8("x".into())).is_err());
+        assert!(c.push_value(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn gather_and_slice() {
+        let c: Column = vec![10i64, 20, 30, 40].into();
+        let g = c.gather(&[3, 0, 3]).unwrap();
+        assert_eq!(g.as_i64().unwrap(), &[40, 10, 40]);
+        assert!(c.gather(&[4]).is_err());
+        let s = c.slice(1, 2).unwrap();
+        assert_eq!(s.as_i64().unwrap(), &[20, 30]);
+        assert!(c.slice(3, 2).is_err());
+    }
+
+    #[test]
+    fn append_type_checked() {
+        let mut a: Column = vec![1i64].into();
+        a.append(&vec![2i64, 3].into()).unwrap();
+        assert_eq!(a.len(), 3);
+        assert!(a.append(&vec![1.0f64].into()).is_err());
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let c: Column = vec![1.5f64, 2.5].into();
+        assert_eq!(c.as_f64().unwrap(), &[1.5, 2.5]);
+        assert!(c.as_i64().is_err());
+        let b: Column = vec![true, false].into();
+        assert_eq!(b.as_bool().unwrap(), &[true, false]);
+    }
+
+    #[test]
+    fn from_values_roundtrip() {
+        let vals = [Value::Int64(1), Value::Int64(2)];
+        let c = Column::from_values(DataType::Int64, &vals).unwrap();
+        assert_eq!(c.as_i64().unwrap(), &[1, 2]);
+        assert!(Column::from_values(DataType::Int64, &[Value::Utf8("no".into())]).is_err());
+    }
+
+    #[test]
+    fn sparse_store_get() {
+        let mut s = SparseColumn::new(DataType::Int64, 10);
+        assert_eq!(s.loaded_count(), 0);
+        s.store(3, &Value::Int64(42)).unwrap();
+        assert_eq!(s.get(3).unwrap(), Value::Int64(42));
+        assert!(matches!(s.get(4), Err(ColumnarError::RowNotLoaded { row: 4 })));
+        assert_eq!(s.loaded_count(), 1);
+        assert!(!s.is_full());
+        // Storing beyond the current length grows the column.
+        s.store(12, &Value::Int64(7)).unwrap();
+        assert_eq!(s.len(), 13);
+        assert_eq!(s.get(12).unwrap(), Value::Int64(7));
+        assert!(s.get(10).is_err(), "grown rows start unloaded");
+    }
+
+    #[test]
+    fn sparse_covers_and_gather() {
+        let mut s = SparseColumn::new(DataType::Int64, 8);
+        for r in [1usize, 3, 5] {
+            s.store(r, &Value::Int64(r as i64 * 100)).unwrap();
+        }
+        assert!(s.covers_rows(&[1, 5]));
+        assert!(!s.covers_rows(&[1, 2]));
+        let g = s.gather(&[5, 1]).unwrap();
+        assert_eq!(g.as_i64().unwrap(), &[500, 100]);
+        assert!(s.gather(&[0]).is_err());
+    }
+
+    #[test]
+    fn sparse_full_and_into_dense() {
+        let s = SparseColumn::full(vec![1i64, 2].into());
+        assert!(s.is_full());
+        let d = s.into_dense().unwrap();
+        assert_eq!(d.as_i64().unwrap(), &[1, 2]);
+
+        let partial = SparseColumn::new(DataType::Int64, 2);
+        assert!(partial.into_dense().is_err());
+    }
+
+    #[test]
+    fn sparse_absorb_unions() {
+        let mut a = SparseColumn::new(DataType::Int64, 6);
+        a.store(0, &Value::Int64(1)).unwrap();
+        a.store(2, &Value::Int64(2)).unwrap();
+        let mut b = SparseColumn::new(DataType::Int64, 6);
+        b.store(2, &Value::Int64(99)).unwrap();
+        b.store(4, &Value::Int64(3)).unwrap();
+        a.absorb(&b).unwrap();
+        assert_eq!(a.loaded_count(), 3);
+        assert_eq!(a.get(2).unwrap(), Value::Int64(99), "newer shred wins overlap");
+        assert_eq!(a.get(4).unwrap(), Value::Int64(3));
+
+        let wrong = SparseColumn::new(DataType::Float64, 6);
+        assert!(a.absorb(&wrong).is_err());
+    }
+
+    #[test]
+    fn bulk_store_typed() {
+        let mut s = SparseColumn::new(DataType::Int64, 5);
+        s.store_i64(&[0, 4], &[11, 55]).unwrap();
+        assert_eq!(s.get(4).unwrap(), Value::Int64(55));
+        s.store_i64(&[6], &[66]).unwrap();
+        assert_eq!(s.len(), 7, "bulk store grows");
+        assert!(s.store_f64(&[0], &[1.0]).is_err(), "type mismatch");
+
+        let mut f = SparseColumn::new(DataType::Float64, 3);
+        f.store_f64(&[1], &[2.5]).unwrap();
+        assert_eq!(f.get(1).unwrap(), Value::Float64(2.5));
+    }
+
+    #[test]
+    fn store_column_scatters() {
+        let mut s = SparseColumn::new(DataType::Int64, 4);
+        s.store_column(&[3, 1], &vec![30i64, 10].into()).unwrap();
+        assert_eq!(s.get(3).unwrap(), Value::Int64(30));
+        assert_eq!(s.get(1).unwrap(), Value::Int64(10));
+        assert!(s.get(0).is_err());
+        // Grows beyond current length.
+        s.store_column(&[9], &vec![90i64].into()).unwrap();
+        assert_eq!(s.len(), 10);
+        // Arity and type validation.
+        assert!(s.store_column(&[0, 1], &vec![1i64].into()).is_err());
+        assert!(s.store_column(&[0], &vec![1.0f64].into()).is_err());
+    }
+}

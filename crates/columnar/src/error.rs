@@ -1,0 +1,90 @@
+//! Error type shared by the columnar substrate.
+
+use std::fmt;
+
+use crate::types::DataType;
+
+/// Errors produced by columnar data structures and operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnarError {
+    /// An operation received a column of an unexpected data type.
+    TypeMismatch {
+        /// The type the operation required.
+        expected: DataType,
+        /// The type that was actually supplied.
+        actual: DataType,
+        /// What was being attempted.
+        context: &'static str,
+    },
+    /// A column index was out of bounds for the schema/batch at hand.
+    ColumnOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// Number of columns available.
+        len: usize,
+    },
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// The offending row.
+        row: u64,
+        /// Number of rows available.
+        len: u64,
+    },
+    /// Batch construction was attempted from columns of differing lengths.
+    RaggedBatch {
+        /// Lengths encountered, in column order.
+        lengths: Vec<usize>,
+    },
+    /// A value was read from a sparse column row that was never loaded.
+    RowNotLoaded {
+        /// The offending row.
+        row: u64,
+    },
+    /// An aggregate or expression was applied to an unsupported type.
+    Unsupported {
+        /// Description of the unsupported combination.
+        what: String,
+    },
+    /// Operator plumbing error (mis-wired plan), e.g. a join key mismatch.
+    Plan {
+        /// Human-readable description.
+        message: String,
+    },
+    /// An error from a layer above the columnar substrate (raw-file access
+    /// paths implement [`crate::ops::Operator`], so their I/O and parse
+    /// failures cross this boundary as rendered messages).
+    External {
+        /// Rendered upstream error.
+        message: String,
+    },
+}
+
+impl fmt::Display for ColumnarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnarError::TypeMismatch { expected, actual, context } => {
+                write!(f, "type mismatch in {context}: expected {expected}, got {actual}")
+            }
+            ColumnarError::ColumnOutOfBounds { index, len } => {
+                write!(f, "column index {index} out of bounds (have {len} columns)")
+            }
+            ColumnarError::RowOutOfBounds { row, len } => {
+                write!(f, "row {row} out of bounds (have {len} rows)")
+            }
+            ColumnarError::RaggedBatch { lengths } => {
+                write!(f, "batch columns have differing lengths: {lengths:?}")
+            }
+            ColumnarError::RowNotLoaded { row } => {
+                write!(f, "row {row} is not loaded in sparse column")
+            }
+            ColumnarError::Unsupported { what } => write!(f, "unsupported: {what}"),
+            ColumnarError::Plan { message } => write!(f, "plan error: {message}"),
+            ColumnarError::External { message } => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for ColumnarError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ColumnarError>;

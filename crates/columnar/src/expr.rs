@@ -1,0 +1,348 @@
+//! Scalar predicates with vectorized evaluation.
+//!
+//! The paper's microbenchmarks filter with single comparisons against a
+//! literal (`WHERE col1 < X`) and conjunctions thereof (§5.3.1). Predicates
+//! here reference columns by *batch position*; name resolution happens in the
+//! planner.
+
+use crate::batch::Batch;
+use crate::column::Column;
+use crate::error::{ColumnarError, Result};
+use crate::types::{DataType, Value};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+}
+
+impl CmpOp {
+    /// SQL rendering of the operator.
+    pub fn sql(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+        }
+    }
+
+    #[inline]
+    fn holds<T: PartialOrd>(self, a: &T, b: &T) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+}
+
+/// A boolean predicate over batch columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (scan with no filter).
+    True,
+    /// `column <op> literal`.
+    Cmp {
+        /// Batch column position.
+        col: usize,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Literal to compare against (cast to the column type on eval).
+        lit: Value,
+    },
+    /// Conjunction (empty = true).
+    And(Vec<Predicate>),
+    /// Disjunction (empty = false).
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience constructor for `col < lit`-style predicates.
+    pub fn cmp(col: usize, op: CmpOp, lit: impl Into<Value>) -> Predicate {
+        Predicate::Cmp { col, op, lit: lit.into() }
+    }
+
+    /// The batch column positions this predicate touches, ascending, deduped.
+    pub fn referenced_columns(&self) -> Vec<usize> {
+        let mut cols = Vec::new();
+        self.collect_columns(&mut cols);
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Predicate::True => {}
+            Predicate::Cmp { col, .. } => out.push(*col),
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                for p in ps {
+                    p.collect_columns(out);
+                }
+            }
+            Predicate::Not(p) => p.collect_columns(out),
+        }
+    }
+
+    /// Rewrite column references through `mapping` (old position → new
+    /// position). Used when predicates move across projections.
+    pub fn remap_columns(&self, mapping: &dyn Fn(usize) -> usize) -> Predicate {
+        match self {
+            Predicate::True => Predicate::True,
+            Predicate::Cmp { col, op, lit } => {
+                Predicate::Cmp { col: mapping(*col), op: *op, lit: lit.clone() }
+            }
+            Predicate::And(ps) => {
+                Predicate::And(ps.iter().map(|p| p.remap_columns(mapping)).collect())
+            }
+            Predicate::Or(ps) => {
+                Predicate::Or(ps.iter().map(|p| p.remap_columns(mapping)).collect())
+            }
+            Predicate::Not(p) => Predicate::Not(Box::new(p.remap_columns(mapping))),
+        }
+    }
+
+    /// Evaluate over a batch, producing one boolean per row.
+    pub fn evaluate(&self, batch: &Batch) -> Result<Vec<bool>> {
+        match self {
+            Predicate::True => Ok(vec![true; batch.rows()]),
+            Predicate::Cmp { col, op, lit } => {
+                let column = batch.column(*col)?;
+                eval_cmp(column, *op, lit)
+            }
+            Predicate::And(ps) => {
+                let mut acc = vec![true; batch.rows()];
+                for p in ps {
+                    let v = p.evaluate(batch)?;
+                    for (a, b) in acc.iter_mut().zip(v) {
+                        *a &= b;
+                    }
+                }
+                Ok(acc)
+            }
+            Predicate::Or(ps) => {
+                let mut acc = vec![false; batch.rows()];
+                for p in ps {
+                    let v = p.evaluate(batch)?;
+                    for (a, b) in acc.iter_mut().zip(v) {
+                        *a |= b;
+                    }
+                }
+                Ok(acc)
+            }
+            Predicate::Not(p) => {
+                let mut v = p.evaluate(batch)?;
+                for b in &mut v {
+                    *b = !*b;
+                }
+                Ok(v)
+            }
+        }
+    }
+
+    /// Evaluate and return the indices of qualifying rows (selection vector).
+    pub fn selection(&self, batch: &Batch) -> Result<Vec<usize>> {
+        let mask = self.evaluate(batch)?;
+        Ok(mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &keep)| keep.then_some(i))
+            .collect())
+    }
+
+    /// Render as a SQL-ish string (used by plan explain and tests).
+    pub fn sql(&self, col_name: &dyn Fn(usize) -> String) -> String {
+        match self {
+            Predicate::True => "TRUE".to_owned(),
+            Predicate::Cmp { col, op, lit } => {
+                format!("{} {} {}", col_name(*col), op.sql(), lit)
+            }
+            Predicate::And(ps) => {
+                if ps.is_empty() {
+                    "TRUE".to_owned()
+                } else {
+                    ps.iter().map(|p| p.sql(col_name)).collect::<Vec<_>>().join(" AND ")
+                }
+            }
+            Predicate::Or(ps) => {
+                if ps.is_empty() {
+                    "FALSE".to_owned()
+                } else {
+                    format!(
+                        "({})",
+                        ps.iter().map(|p| p.sql(col_name)).collect::<Vec<_>>().join(" OR ")
+                    )
+                }
+            }
+            Predicate::Not(p) => format!("NOT ({})", p.sql(col_name)),
+        }
+    }
+}
+
+/// Vectorized comparison kernel: one tight loop per (type, op) pair. The
+/// operator dispatch happens once per *batch*, not once per row — this is the
+/// columnar analogue of the branch-elimination the paper's JIT scan operators
+/// perform on the raw-data side.
+fn eval_cmp(column: &Column, op: CmpOp, lit: &Value) -> Result<Vec<bool>> {
+    macro_rules! kernel {
+        ($slice:expr, $lit:expr) => {{
+            let s = $slice;
+            let l = $lit;
+            let mut out = Vec::with_capacity(s.len());
+            match op {
+                CmpOp::Lt => out.extend(s.iter().map(|v| *v < l)),
+                CmpOp::Le => out.extend(s.iter().map(|v| *v <= l)),
+                CmpOp::Gt => out.extend(s.iter().map(|v| *v > l)),
+                CmpOp::Ge => out.extend(s.iter().map(|v| *v >= l)),
+                CmpOp::Eq => out.extend(s.iter().map(|v| *v == l)),
+                CmpOp::Ne => out.extend(s.iter().map(|v| *v != l)),
+            }
+            Ok(out)
+        }};
+    }
+
+    let target = column.data_type();
+    let lit = lit.cast(target).ok_or_else(|| ColumnarError::Unsupported {
+        what: format!("comparing {target} column against {lit}"),
+    })?;
+    match (column, lit) {
+        (Column::Int32(v), Value::Int32(l)) => kernel!(v.as_slice(), l),
+        (Column::Int64(v), Value::Int64(l)) => kernel!(v.as_slice(), l),
+        (Column::Float32(v), Value::Float32(l)) => kernel!(v.as_slice(), l),
+        (Column::Float64(v), Value::Float64(l)) => kernel!(v.as_slice(), l),
+        (Column::Bool(v), Value::Bool(l)) => kernel!(v.as_slice(), l),
+        (Column::Utf8(v), Value::Utf8(l)) => {
+            let mut out = Vec::with_capacity(v.len());
+            for s in v {
+                out.push(op.holds(&s.as_str(), &l.as_str()));
+            }
+            Ok(out)
+        }
+        (c, l) => Err(ColumnarError::TypeMismatch {
+            expected: c.data_type(),
+            actual: l.data_type().unwrap_or(DataType::Utf8),
+            context: "eval_cmp",
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> Batch {
+        Batch::new(vec![
+            vec![1i64, 5, 10, 15].into(),
+            vec![1.0f64, 2.0, 3.0, 4.0].into(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn cmp_ops_on_ints() {
+        let b = batch();
+        let lt = Predicate::cmp(0, CmpOp::Lt, 10i64);
+        assert_eq!(lt.evaluate(&b).unwrap(), vec![true, true, false, false]);
+        let ge = Predicate::cmp(0, CmpOp::Ge, 10i64);
+        assert_eq!(ge.evaluate(&b).unwrap(), vec![false, false, true, true]);
+        let eq = Predicate::cmp(0, CmpOp::Eq, 5i64);
+        assert_eq!(eq.evaluate(&b).unwrap(), vec![false, true, false, false]);
+        let ne = Predicate::cmp(0, CmpOp::Ne, 5i64);
+        assert_eq!(ne.evaluate(&b).unwrap(), vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn literal_cast_int_to_float_column() {
+        let b = batch();
+        // int literal against float column: implicit widening
+        let p = Predicate::cmp(1, CmpOp::Gt, 2i64);
+        assert_eq!(p.evaluate(&b).unwrap(), vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let b = batch();
+        let p = Predicate::And(vec![
+            Predicate::cmp(0, CmpOp::Gt, 1i64),
+            Predicate::cmp(1, CmpOp::Lt, 4.0f64),
+        ]);
+        assert_eq!(p.evaluate(&b).unwrap(), vec![false, true, true, false]);
+
+        let q = Predicate::Or(vec![
+            Predicate::cmp(0, CmpOp::Eq, 1i64),
+            Predicate::cmp(0, CmpOp::Eq, 15i64),
+        ]);
+        assert_eq!(q.evaluate(&b).unwrap(), vec![true, false, false, true]);
+
+        let n = Predicate::Not(Box::new(q));
+        assert_eq!(n.evaluate(&b).unwrap(), vec![false, true, true, false]);
+
+        assert_eq!(Predicate::And(vec![]).evaluate(&b).unwrap(), vec![true; 4]);
+        assert_eq!(Predicate::Or(vec![]).evaluate(&b).unwrap(), vec![false; 4]);
+        assert_eq!(Predicate::True.evaluate(&b).unwrap(), vec![true; 4]);
+    }
+
+    #[test]
+    fn selection_vector() {
+        let b = batch();
+        let p = Predicate::cmp(0, CmpOp::Lt, 10i64);
+        assert_eq!(p.selection(&b).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn referenced_and_remap() {
+        let p = Predicate::And(vec![
+            Predicate::cmp(2, CmpOp::Lt, 1i64),
+            Predicate::cmp(0, CmpOp::Gt, 1i64),
+            Predicate::cmp(2, CmpOp::Ne, 7i64),
+        ]);
+        assert_eq!(p.referenced_columns(), vec![0, 2]);
+        let r = p.remap_columns(&|c| c + 10);
+        assert_eq!(r.referenced_columns(), vec![10, 12]);
+    }
+
+    #[test]
+    fn string_comparison() {
+        let b = Batch::new(vec![vec!["a".to_owned(), "b".to_owned()].into()]).unwrap();
+        let p = Predicate::cmp(0, CmpOp::Eq, "b");
+        assert_eq!(p.evaluate(&b).unwrap(), vec![false, true]);
+        let lt = Predicate::cmp(0, CmpOp::Lt, "b");
+        assert_eq!(lt.evaluate(&b).unwrap(), vec![true, false]);
+    }
+
+    #[test]
+    fn incompatible_literal_errors() {
+        let b = batch();
+        let p = Predicate::cmp(0, CmpOp::Lt, "oops");
+        assert!(p.evaluate(&b).is_err());
+    }
+
+    #[test]
+    fn sql_rendering() {
+        let p = Predicate::And(vec![
+            Predicate::cmp(0, CmpOp::Lt, 5i64),
+            Predicate::Or(vec![Predicate::cmp(1, CmpOp::Ge, 2i64), Predicate::True]),
+        ]);
+        let name = |c: usize| format!("col{}", c + 1);
+        assert_eq!(p.sql(&name), "col1 < 5 AND (col2 >= 2 OR TRUE)");
+    }
+}

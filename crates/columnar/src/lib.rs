@@ -1,0 +1,52 @@
+//! # raw-columnar
+//!
+//! Columnar, block-at-a-time relational operator substrate for the RAW query
+//! engine. This crate plays the role that Google's Supersonic library plays in
+//! the paper *Adaptive Query Processing on RAW Data* (Karpathiotakis et al.,
+//! VLDB 2014): a self-contained library of vectorized relational operators
+//! with **no storage manager of its own** — scan operators are supplied by the
+//! layers above (see the `raw-access` and `raw-engine` crates).
+//!
+//! ## Design
+//!
+//! - Data flows in [`Batch`]es of up to [`VECTOR_SIZE`] rows; each batch owns
+//!   its (typed, dense) [`Column`]s.
+//! - Operators implement the pull-based [`ops::Operator`] trait
+//!   (`next_batch()`), i.e. a vectorized Volcano model.
+//! - Batches carry *provenance*: for every source table feeding the batch,
+//!   the original row ids of the surviving rows. Provenance is what allows
+//!   scan operators to be **pushed up the plan** (the paper's *column
+//!   shreds*): a late scan receives the qualifying row ids and reads only
+//!   those rows from the raw file.
+//! - [`column::SparseColumn`] represents partially-loaded columns (shreds
+//!   cached in the engine's shred pool) with an explicit loaded-row mask.
+//!
+//! The crate is deliberately free of I/O: it never touches files.
+
+pub mod batch;
+pub mod bitmask;
+pub mod column;
+pub mod error;
+pub mod expr;
+pub mod fxhash;
+pub mod ops;
+pub mod profile;
+pub mod schema;
+pub mod table;
+pub mod types;
+
+pub use batch::{Batch, Provenance, TableTag};
+pub use bitmask::Bitmask;
+pub use column::{Column, SparseColumn};
+pub use error::{ColumnarError, Result};
+pub use expr::{CmpOp, Predicate};
+pub use schema::{Field, Schema};
+pub use table::MemTable;
+pub use types::{DataType, Value};
+
+/// Number of rows processed per operator invocation.
+///
+/// 1024 keeps a batch of eight `i64` columns comfortably inside L1/L2 while
+/// amortizing per-batch overheads, matching the vectorized execution model of
+/// MonetDB/X100 that the paper builds on.
+pub const VECTOR_SIZE: usize = 1024;

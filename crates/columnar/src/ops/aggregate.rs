@@ -1,0 +1,370 @@
+//! Scalar aggregation (no grouping): MAX / MIN / SUM / COUNT / AVG.
+//!
+//! The paper's microbenchmark queries are all of the form
+//! `SELECT MAX(col) FROM t WHERE …`; the Higgs query adds counting. Grouped
+//! aggregation for histograms lives in [`crate::ops::HistogramOp`].
+
+use crate::batch::Batch;
+use crate::column::Column;
+use crate::error::{ColumnarError, Result};
+use crate::ops::Operator;
+use crate::types::{DataType, Value};
+
+/// Aggregate function kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggKind {
+    /// Maximum value.
+    Max,
+    /// Minimum value.
+    Min,
+    /// Sum.
+    Sum,
+    /// Row count (column is still required, for uniformity).
+    Count,
+    /// Arithmetic mean.
+    Avg,
+}
+
+impl AggKind {
+    /// SQL name.
+    pub fn sql(self) -> &'static str {
+        match self {
+            AggKind::Max => "MAX",
+            AggKind::Min => "MIN",
+            AggKind::Sum => "SUM",
+            AggKind::Count => "COUNT",
+            AggKind::Avg => "AVG",
+        }
+    }
+
+    /// Parse a SQL aggregate name (case-insensitive).
+    pub fn parse(s: &str) -> Option<AggKind> {
+        match s.to_ascii_uppercase().as_str() {
+            "MAX" => Some(AggKind::Max),
+            "MIN" => Some(AggKind::Min),
+            "SUM" => Some(AggKind::Sum),
+            "COUNT" => Some(AggKind::Count),
+            "AVG" => Some(AggKind::Avg),
+            _ => None,
+        }
+    }
+
+    /// Result type of this aggregate over an input of type `input`.
+    pub fn result_type(self, input: DataType) -> Result<DataType> {
+        match self {
+            AggKind::Count => Ok(DataType::Int64),
+            AggKind::Avg => Ok(DataType::Float64),
+            AggKind::Max | AggKind::Min | AggKind::Sum => {
+                if input.is_numeric() {
+                    Ok(match input {
+                        DataType::Int32 => DataType::Int64,
+                        DataType::Float32 => DataType::Float64,
+                        other => other,
+                    })
+                } else {
+                    Err(ColumnarError::Unsupported {
+                        what: format!("{} over {input}", self.sql()),
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// One aggregate expression: `kind(column)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggExpr {
+    /// The aggregate function.
+    pub kind: AggKind,
+    /// Input batch column position.
+    pub col: usize,
+}
+
+/// Running accumulator for one aggregate.
+#[derive(Debug, Clone)]
+enum Acc {
+    /// max/min/sum over integers.
+    Int { cur: Option<i64> },
+    /// max/min/sum over floats.
+    Float { cur: Option<f64> },
+    /// count of rows.
+    Count(u64),
+    /// sum + count, for AVG.
+    Avg { sum: f64, n: u64 },
+}
+
+/// Blocking aggregation operator: drains its child, then emits a single
+/// one-row batch with one column per aggregate expression.
+pub struct AggregateOp {
+    input: Box<dyn Operator>,
+    exprs: Vec<AggExpr>,
+    done: bool,
+}
+
+impl AggregateOp {
+    /// Aggregate `input` with the given expressions.
+    pub fn new(input: Box<dyn Operator>, exprs: Vec<AggExpr>) -> AggregateOp {
+        AggregateOp { input, exprs, done: false }
+    }
+
+    fn make_acc(expr: &AggExpr, dt: DataType) -> Result<Acc> {
+        Ok(match expr.kind {
+            AggKind::Count => Acc::Count(0),
+            AggKind::Avg => Acc::Avg { sum: 0.0, n: 0 },
+            AggKind::Max | AggKind::Min | AggKind::Sum => match dt {
+                DataType::Int32 | DataType::Int64 => Acc::Int { cur: None },
+                DataType::Float32 | DataType::Float64 => Acc::Float { cur: None },
+                other => {
+                    return Err(ColumnarError::Unsupported {
+                        what: format!("{} over {other}", expr.kind.sql()),
+                    })
+                }
+            },
+        })
+    }
+
+    fn update(acc: &mut Acc, kind: AggKind, col: &Column) -> Result<()> {
+        match acc {
+            Acc::Count(n) => *n += col.len() as u64,
+            Acc::Avg { sum, n } => {
+                each_f64(col, |v| {
+                    *sum += v;
+                })?;
+                *n += col.len() as u64;
+            }
+            Acc::Int { cur } => {
+                let mut current = *cur;
+                each_i64(col, |v| {
+                    current = Some(match (current, kind) {
+                        (None, _) => v,
+                        (Some(c), AggKind::Max) => c.max(v),
+                        (Some(c), AggKind::Min) => c.min(v),
+                        (Some(c), AggKind::Sum) => c.wrapping_add(v),
+                        _ => unreachable!("int acc only for max/min/sum"),
+                    });
+                })?;
+                *cur = current;
+            }
+            Acc::Float { cur } => {
+                let mut current = *cur;
+                each_f64(col, |v| {
+                    current = Some(match (current, kind) {
+                        (None, _) => v,
+                        (Some(c), AggKind::Max) => c.max(v),
+                        (Some(c), AggKind::Min) => c.min(v),
+                        (Some(c), AggKind::Sum) => c + v,
+                        _ => unreachable!("float acc only for max/min/sum"),
+                    });
+                })?;
+                *cur = current;
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(acc: Acc) -> Value {
+        match acc {
+            Acc::Count(n) => Value::Int64(n as i64),
+            Acc::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64(sum / n as f64)
+                }
+            }
+            Acc::Int { cur } => cur.map_or(Value::Null, Value::Int64),
+            Acc::Float { cur } => cur.map_or(Value::Null, Value::Float64),
+        }
+    }
+}
+
+/// Apply `f` to every value of a numeric column, widened to `i64`.
+fn each_i64(col: &Column, mut f: impl FnMut(i64)) -> Result<()> {
+    match col {
+        Column::Int32(v) => v.iter().for_each(|&x| f(i64::from(x))),
+        Column::Int64(v) => v.iter().for_each(|&x| f(x)),
+        other => {
+            return Err(ColumnarError::TypeMismatch {
+                expected: DataType::Int64,
+                actual: other.data_type(),
+                context: "integer aggregate",
+            })
+        }
+    }
+    Ok(())
+}
+
+/// Apply `f` to every value of a numeric column, widened to `f64`.
+fn each_f64(col: &Column, mut f: impl FnMut(f64)) -> Result<()> {
+    match col {
+        Column::Int32(v) => v.iter().for_each(|&x| f(f64::from(x))),
+        Column::Int64(v) => v.iter().for_each(|&x| f(x as f64)),
+        Column::Float32(v) => v.iter().for_each(|&x| f(f64::from(x))),
+        Column::Float64(v) => v.iter().for_each(|&x| f(x)),
+        other => {
+            return Err(ColumnarError::TypeMismatch {
+                expected: DataType::Float64,
+                actual: other.data_type(),
+                context: "float aggregate",
+            })
+        }
+    }
+    Ok(())
+}
+
+impl Operator for AggregateOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+
+        let mut accs: Vec<Option<Acc>> = vec![None; self.exprs.len()];
+        while let Some(batch) = self.input.next_batch()? {
+            for (expr, acc) in self.exprs.iter().zip(accs.iter_mut()) {
+                let col = batch.column(expr.col)?;
+                if acc.is_none() {
+                    *acc = Some(Self::make_acc(expr, col.data_type())?);
+                }
+                Self::update(acc.as_mut().expect("just initialized"), expr.kind, col)?;
+            }
+        }
+
+        let mut columns = Vec::with_capacity(self.exprs.len());
+        for (expr, acc) in self.exprs.iter().zip(accs) {
+            let value = match acc {
+                Some(a) => Self::finish(a),
+                // Input produced zero batches: COUNT is 0, others NULL.
+                None => match expr.kind {
+                    AggKind::Count => Value::Int64(0),
+                    _ => Value::Null,
+                },
+            };
+            // Aggregates over zero rows yield NULL (except COUNT); a one-row
+            // Utf8 "NULL" column keeps the result batch rectangular without
+            // introducing nullable columns into the hot path.
+            let col = match &value {
+                Value::Int64(v) => Column::Int64(vec![*v]),
+                Value::Float64(v) => Column::Float64(vec![*v]),
+                Value::Null => Column::Utf8(vec!["NULL".to_owned()]),
+                other => Column::from_values(
+                    other.data_type().unwrap_or(DataType::Utf8),
+                    std::slice::from_ref(&value),
+                )?,
+            };
+            columns.push(col);
+        }
+        Ok(Some(Batch::new(columns)?))
+    }
+
+    fn name(&self) -> &'static str {
+        "Aggregate"
+    }
+
+    fn scan_profile(&self) -> crate::profile::PhaseProfile {
+        self.input.scan_profile()
+    }
+
+    fn scan_metrics(&self) -> crate::profile::ScanMetrics {
+        self.input.scan_metrics()
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::BatchSource;
+
+    fn agg_one(kind: AggKind, data: Vec<Batch>) -> Value {
+        let mut op = AggregateOp::new(Box::new(BatchSource::new(data)), vec![AggExpr { kind, col: 0 }]);
+        let out = op.next_batch().unwrap().unwrap();
+        assert!(op.next_batch().unwrap().is_none(), "aggregate emits exactly one batch");
+        out.value(0, 0).unwrap()
+    }
+
+    fn int_batches() -> Vec<Batch> {
+        vec![
+            Batch::new(vec![vec![5i64, -2, 9].into()]).unwrap(),
+            Batch::new(vec![vec![7i64].into()]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn int_aggregates() {
+        assert_eq!(agg_one(AggKind::Max, int_batches()), Value::Int64(9));
+        assert_eq!(agg_one(AggKind::Min, int_batches()), Value::Int64(-2));
+        assert_eq!(agg_one(AggKind::Sum, int_batches()), Value::Int64(19));
+        assert_eq!(agg_one(AggKind::Count, int_batches()), Value::Int64(4));
+        assert_eq!(agg_one(AggKind::Avg, int_batches()), Value::Float64(4.75));
+    }
+
+    #[test]
+    fn float_aggregates() {
+        let data = vec![Batch::new(vec![vec![1.5f64, 2.5, -1.0].into()]).unwrap()];
+        assert_eq!(agg_one(AggKind::Max, data.clone()), Value::Float64(2.5));
+        assert_eq!(agg_one(AggKind::Min, data.clone()), Value::Float64(-1.0));
+        assert_eq!(agg_one(AggKind::Sum, data.clone()), Value::Float64(3.0));
+        assert_eq!(agg_one(AggKind::Avg, data), Value::Float64(1.0));
+    }
+
+    #[test]
+    fn int32_widen() {
+        let data = vec![Batch::new(vec![vec![3i32, 4].into()]).unwrap()];
+        assert_eq!(agg_one(AggKind::Max, data.clone()), Value::Int64(4));
+        assert_eq!(agg_one(AggKind::Avg, data), Value::Float64(3.5));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(agg_one(AggKind::Count, vec![]), Value::Int64(0));
+        assert_eq!(agg_one(AggKind::Max, vec![]), Value::Utf8("NULL".into()));
+    }
+
+    #[test]
+    fn multiple_aggregates_one_pass() {
+        let batches = vec![Batch::new(vec![
+            vec![1i64, 2, 3].into(),
+            vec![10.0f64, 20.0, 30.0].into(),
+        ])
+        .unwrap()];
+        let mut op = AggregateOp::new(
+            Box::new(BatchSource::new(batches)),
+            vec![
+                AggExpr { kind: AggKind::Max, col: 0 },
+                AggExpr { kind: AggKind::Sum, col: 1 },
+                AggExpr { kind: AggKind::Count, col: 0 },
+            ],
+        );
+        let out = op.next_batch().unwrap().unwrap();
+        assert_eq!(out.value(0, 0).unwrap(), Value::Int64(3));
+        assert_eq!(out.value(0, 1).unwrap(), Value::Float64(60.0));
+        assert_eq!(out.value(0, 2).unwrap(), Value::Int64(3));
+    }
+
+    #[test]
+    fn non_numeric_rejected() {
+        let batches = vec![Batch::new(vec![vec!["a".to_owned()].into()]).unwrap()];
+        let mut op = AggregateOp::new(
+            Box::new(BatchSource::new(batches)),
+            vec![AggExpr { kind: AggKind::Max, col: 0 }],
+        );
+        assert!(op.next_batch().is_err());
+    }
+
+    #[test]
+    fn result_types() {
+        assert_eq!(AggKind::Max.result_type(DataType::Int32).unwrap(), DataType::Int64);
+        assert_eq!(AggKind::Sum.result_type(DataType::Float32).unwrap(), DataType::Float64);
+        assert_eq!(AggKind::Count.result_type(DataType::Utf8).unwrap(), DataType::Int64);
+        assert_eq!(AggKind::Avg.result_type(DataType::Int64).unwrap(), DataType::Float64);
+        assert!(AggKind::Min.result_type(DataType::Utf8).is_err());
+    }
+
+    #[test]
+    fn parse_sql_names() {
+        assert_eq!(AggKind::parse("max"), Some(AggKind::Max));
+        assert_eq!(AggKind::parse("CoUnT"), Some(AggKind::Count));
+        assert_eq!(AggKind::parse("median"), None);
+    }
+}

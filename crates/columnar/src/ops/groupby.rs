@@ -1,0 +1,281 @@
+//! Grouped aggregation on an integer key.
+//!
+//! The Higgs query (§6) needs per-event statistics over satellite tables
+//! ("performs aggregations in each [table] and filters the results of the
+//! aggregations") — e.g. the number of qualifying muons per event. This
+//! operator groups by an integer key column and computes COUNT plus optional
+//! MIN/MAX per group.
+
+use crate::batch::Batch;
+use crate::column::Column;
+use crate::error::{ColumnarError, Result};
+use crate::fxhash::FxHashMap;
+use crate::ops::Operator;
+use crate::types::DataType;
+
+/// Per-group aggregates emitted alongside the count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupExtra {
+    /// Emit only `(key, count)`.
+    None,
+    /// Also emit the group's maximum of a numeric column (as f64).
+    MaxF64 {
+        /// The column to aggregate.
+        col: usize,
+    },
+    /// Also emit the group's minimum of a numeric column (as f64).
+    MinF64 {
+        /// The column to aggregate.
+        col: usize,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct GroupAcc {
+    count: i64,
+    extra: f64,
+}
+
+/// Blocking hash group-by: drains its child, emits one batch of
+/// `(key: i64, count: i64[, extra: f64])` rows sorted by key.
+pub struct GroupCountOp {
+    input: Box<dyn Operator>,
+    key_col: usize,
+    extra: GroupExtra,
+    done: bool,
+}
+
+impl GroupCountOp {
+    /// Group `input` by integer column `key_col`.
+    pub fn new(input: Box<dyn Operator>, key_col: usize, extra: GroupExtra) -> GroupCountOp {
+        GroupCountOp { input, key_col, extra, done: false }
+    }
+}
+
+/// Widen a numeric column into an `f64` scratch buffer (one type dispatch
+/// per batch, not per value).
+fn widen_f64(col: &Column, out: &mut Vec<f64>) -> Result<()> {
+    out.clear();
+    match col {
+        Column::Int32(v) => out.extend(v.iter().map(|&x| f64::from(x))),
+        Column::Int64(v) => out.extend(v.iter().map(|&x| x as f64)),
+        Column::Float32(v) => out.extend(v.iter().map(|&x| f64::from(x))),
+        Column::Float64(v) => out.extend_from_slice(v),
+        other => {
+            return Err(ColumnarError::TypeMismatch {
+                expected: DataType::Float64,
+                actual: other.data_type(),
+                context: "group extra",
+            })
+        }
+    }
+    Ok(())
+}
+
+impl Operator for GroupCountOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+
+        let init_extra = match self.extra {
+            GroupExtra::None => 0.0,
+            GroupExtra::MaxF64 { .. } => f64::NEG_INFINITY,
+            GroupExtra::MinF64 { .. } => f64::INFINITY,
+        };
+        // Adaptive accumulation:
+        // - run-length: repeated keys accumulate in registers, the store is
+        //   only touched on key change (satellite tables cluster by event);
+        // - sorted store: while keys arrive in ascending runs (the common
+        //   case for our sources), groups append to a plain vector — no
+        //   hashing at all. The first out-of-order key migrates everything
+        //   to a hash map; unsorted inputs stay correct, merely slower.
+        let extra_kind = self.extra;
+        let mut sorted: Vec<(i64, GroupAcc)> = Vec::new();
+        let mut hashed: Option<FxHashMap<i64, GroupAcc>> = None;
+        let mut key_scratch: Vec<i64> = Vec::new();
+        let mut extra_scratch: Vec<f64> = Vec::new();
+        let mut run_key: Option<i64> = None;
+        let mut run_acc = GroupAcc { count: 0, extra: init_extra };
+        let merge = move |entry: &mut GroupAcc, acc: GroupAcc| {
+            entry.count += acc.count;
+            entry.extra = match extra_kind {
+                GroupExtra::None => entry.extra,
+                GroupExtra::MaxF64 { .. } => entry.extra.max(acc.extra),
+                GroupExtra::MinF64 { .. } => entry.extra.min(acc.extra),
+            };
+        };
+        let flush = move |sorted: &mut Vec<(i64, GroupAcc)>,
+                              hashed: &mut Option<FxHashMap<i64, GroupAcc>>,
+                              key: Option<i64>,
+                              acc: GroupAcc| {
+            let Some(k) = key else { return };
+            if let Some(map) = hashed.as_mut() {
+                merge(map.entry(k).or_insert(GroupAcc { count: 0, extra: init_extra }), acc);
+                return;
+            }
+            match sorted.last_mut() {
+                Some(&mut (last, ref mut entry)) if last == k => merge(entry, acc),
+                Some(&mut (last, _)) if last > k => {
+                    // Out of order: migrate to hashed mode.
+                    let mut map: FxHashMap<i64, GroupAcc> = FxHashMap::default();
+                    map.reserve(sorted.len() * 2);
+                    for &(key, acc) in sorted.iter() {
+                        map.insert(key, acc);
+                    }
+                    sorted.clear();
+                    merge(
+                        map.entry(k).or_insert(GroupAcc { count: 0, extra: init_extra }),
+                        acc,
+                    );
+                    *hashed = Some(map);
+                }
+                _ => sorted.push((k, acc)),
+            }
+        };
+        while let Some(batch) = self.input.next_batch()? {
+            // Resolve columns and widen once per batch (no per-value
+            // dispatch in the accumulation loop).
+            let keys: &[i64] = match batch.column(self.key_col)? {
+                Column::Int64(v) => v,
+                Column::Int32(v) => {
+                    key_scratch.clear();
+                    key_scratch.extend(v.iter().map(|&x| i64::from(x)));
+                    &key_scratch
+                }
+                other => {
+                    return Err(ColumnarError::TypeMismatch {
+                        expected: DataType::Int64,
+                        actual: other.data_type(),
+                        context: "group key",
+                    })
+                }
+            };
+            let extras: &[f64] = match self.extra {
+                GroupExtra::None => &[],
+                GroupExtra::MaxF64 { col } | GroupExtra::MinF64 { col } => {
+                    widen_f64(batch.column(col)?, &mut extra_scratch)?;
+                    &extra_scratch
+                }
+            };
+            for (i, &key) in keys.iter().enumerate() {
+                if run_key != Some(key) {
+                    flush(&mut sorted, &mut hashed, run_key, run_acc);
+                    run_key = Some(key);
+                    run_acc = GroupAcc { count: 0, extra: init_extra };
+                }
+                run_acc.count += 1;
+                match self.extra {
+                    GroupExtra::None => {}
+                    GroupExtra::MaxF64 { .. } => run_acc.extra = run_acc.extra.max(extras[i]),
+                    GroupExtra::MinF64 { .. } => run_acc.extra = run_acc.extra.min(extras[i]),
+                }
+            }
+        }
+        flush(&mut sorted, &mut hashed, run_key, run_acc);
+
+        let mut items: Vec<(i64, GroupAcc)> = match hashed {
+            Some(map) => map.into_iter().collect(),
+            None => sorted,
+        };
+        items.sort_unstable_by_key(|&(k, _)| k);
+        let keys: Vec<i64> = items.iter().map(|&(k, _)| k).collect();
+        let counts: Vec<i64> = items.iter().map(|&(_, a)| a.count).collect();
+        let mut columns: Vec<Column> = vec![keys.into(), counts.into()];
+        if !matches!(self.extra, GroupExtra::None) {
+            let extras: Vec<f64> = items.iter().map(|&(_, a)| a.extra).collect();
+            columns.push(extras.into());
+        }
+        Ok(Some(Batch::new(columns)?))
+    }
+
+    fn name(&self) -> &'static str {
+        "GroupCount"
+    }
+
+    fn scan_profile(&self) -> crate::profile::PhaseProfile {
+        self.input.scan_profile()
+    }
+
+    fn scan_metrics(&self) -> crate::profile::ScanMetrics {
+        self.input.scan_metrics()
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::BatchSource;
+
+    fn run(op: &mut GroupCountOp) -> Batch {
+        let b = op.next_batch().unwrap().unwrap();
+        assert!(op.next_batch().unwrap().is_none());
+        b
+    }
+
+    #[test]
+    fn counts_per_key_sorted() {
+        let batches = vec![
+            Batch::new(vec![vec![3i64, 1, 3].into()]).unwrap(),
+            Batch::new(vec![vec![1i64, 1, 2].into()]).unwrap(),
+        ];
+        let mut op =
+            GroupCountOp::new(Box::new(BatchSource::new(batches)), 0, GroupExtra::None);
+        let out = run(&mut op);
+        assert_eq!(out.column(0).unwrap().as_i64().unwrap(), &[1, 2, 3]);
+        assert_eq!(out.column(1).unwrap().as_i64().unwrap(), &[3, 1, 2]);
+    }
+
+    #[test]
+    fn max_extra() {
+        let batches = vec![Batch::new(vec![
+            vec![1i64, 2, 1].into(),
+            vec![10.0f64, 5.0, 30.0].into(),
+        ])
+        .unwrap()];
+        let mut op = GroupCountOp::new(
+            Box::new(BatchSource::new(batches)),
+            0,
+            GroupExtra::MaxF64 { col: 1 },
+        );
+        let out = run(&mut op);
+        assert_eq!(out.column(2).unwrap().as_f64().unwrap(), &[30.0, 5.0]);
+    }
+
+    #[test]
+    fn min_extra_and_int_values() {
+        let batches = vec![Batch::new(vec![
+            vec![5i64, 5].into(),
+            vec![7i64, 3].into(),
+        ])
+        .unwrap()];
+        let mut op = GroupCountOp::new(
+            Box::new(BatchSource::new(batches)),
+            0,
+            GroupExtra::MinF64 { col: 1 },
+        );
+        let out = run(&mut op);
+        assert_eq!(out.column(0).unwrap().as_i64().unwrap(), &[5]);
+        assert_eq!(out.column(1).unwrap().as_i64().unwrap(), &[2]);
+        assert_eq!(out.column(2).unwrap().as_f64().unwrap(), &[3.0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut op =
+            GroupCountOp::new(Box::new(BatchSource::new(vec![])), 0, GroupExtra::None);
+        let out = run(&mut op);
+        assert_eq!(out.rows(), 0);
+        assert_eq!(out.num_columns(), 2);
+    }
+
+    #[test]
+    fn non_integer_key_rejected() {
+        let batches = vec![Batch::new(vec![vec![1.5f64].into()]).unwrap()];
+        let mut op =
+            GroupCountOp::new(Box::new(BatchSource::new(batches)), 0, GroupExtra::None);
+        assert!(op.next_batch().is_err());
+    }
+}

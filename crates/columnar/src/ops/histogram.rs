@@ -1,0 +1,125 @@
+//! Fixed-width histogram aggregation.
+//!
+//! The Higgs use case (§6) "usually aggregat[es] the final results into a
+//! histogram". This operator bins a numeric column into fixed-width buckets
+//! and counts occurrences — the terminal operator of the Higgs query.
+
+use std::collections::BTreeMap;
+
+use crate::batch::Batch;
+use crate::error::{ColumnarError, Result};
+use crate::ops::Operator;
+use crate::types::DataType;
+
+/// Blocking histogram operator: bins `col` into buckets of `bin_width`
+/// starting at `origin`, emitting one `(bin_low_edge: f64, count: i64)` row
+/// per non-empty bucket, in ascending bin order.
+pub struct HistogramOp {
+    input: Box<dyn Operator>,
+    col: usize,
+    origin: f64,
+    bin_width: f64,
+    done: bool,
+}
+
+impl HistogramOp {
+    /// Histogram of `input.col(col)` with the given binning.
+    pub fn new(input: Box<dyn Operator>, col: usize, origin: f64, bin_width: f64) -> HistogramOp {
+        assert!(bin_width > 0.0, "bin width must be positive");
+        HistogramOp { input, col, origin, bin_width, done: false }
+    }
+
+    fn bin_of(&self, v: f64) -> i64 {
+        ((v - self.origin) / self.bin_width).floor() as i64
+    }
+}
+
+impl Operator for HistogramOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+
+        let mut bins: BTreeMap<i64, i64> = BTreeMap::new();
+        while let Some(batch) = self.input.next_batch()? {
+            let col = batch.column(self.col)?;
+            let values: Vec<f64> = match col {
+                crate::column::Column::Int32(v) => v.iter().map(|&x| f64::from(x)).collect(),
+                crate::column::Column::Int64(v) => v.iter().map(|&x| x as f64).collect(),
+                crate::column::Column::Float32(v) => v.iter().map(|&x| f64::from(x)).collect(),
+                crate::column::Column::Float64(v) => v.clone(),
+                other => {
+                    return Err(ColumnarError::TypeMismatch {
+                        expected: DataType::Float64,
+                        actual: other.data_type(),
+                        context: "histogram",
+                    })
+                }
+            };
+            for v in values {
+                *bins.entry(self.bin_of(v)).or_insert(0) += 1;
+            }
+        }
+
+        let mut edges = Vec::with_capacity(bins.len());
+        let mut counts = Vec::with_capacity(bins.len());
+        for (bin, count) in bins {
+            edges.push(self.origin + bin as f64 * self.bin_width);
+            counts.push(count);
+        }
+        Ok(Some(Batch::new(vec![edges.into(), counts.into()])?))
+    }
+
+    fn name(&self) -> &'static str {
+        "Histogram"
+    }
+
+    fn scan_profile(&self) -> crate::profile::PhaseProfile {
+        self.input.scan_profile()
+    }
+
+    fn scan_metrics(&self) -> crate::profile::ScanMetrics {
+        self.input.scan_metrics()
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::BatchSource;
+
+    #[test]
+    fn bins_and_counts() {
+        let b = Batch::new(vec![vec![0.1f64, 0.9, 1.5, 2.2, 2.8, -0.5].into()]).unwrap();
+        let mut h = HistogramOp::new(Box::new(BatchSource::new(vec![b])), 0, 0.0, 1.0);
+        let out = h.next_batch().unwrap().unwrap();
+        assert!(h.next_batch().unwrap().is_none());
+        assert_eq!(out.column(0).unwrap().as_f64().unwrap(), &[-1.0, 0.0, 1.0, 2.0]);
+        assert_eq!(out.column(1).unwrap().as_i64().unwrap(), &[1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn integer_input() {
+        let b = Batch::new(vec![vec![1i64, 1, 2, 10].into()]).unwrap();
+        let mut h = HistogramOp::new(Box::new(BatchSource::new(vec![b])), 0, 0.0, 5.0);
+        let out = h.next_batch().unwrap().unwrap();
+        assert_eq!(out.column(0).unwrap().as_f64().unwrap(), &[0.0, 10.0]);
+        assert_eq!(out.column(1).unwrap().as_i64().unwrap(), &[3, 1]);
+    }
+
+    #[test]
+    fn empty_input_empty_histogram() {
+        let mut h = HistogramOp::new(Box::new(BatchSource::new(vec![])), 0, 0.0, 1.0);
+        let out = h.next_batch().unwrap().unwrap();
+        assert_eq!(out.rows(), 0);
+    }
+
+    #[test]
+    fn non_numeric_rejected() {
+        let b = Batch::new(vec![vec!["x".to_owned()].into()]).unwrap();
+        let mut h = HistogramOp::new(Box::new(BatchSource::new(vec![b])), 0, 0.0, 1.0);
+        assert!(h.next_batch().is_err());
+    }
+}

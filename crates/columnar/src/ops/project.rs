@@ -1,0 +1,69 @@
+//! Column projection.
+
+use crate::batch::Batch;
+use crate::error::Result;
+use crate::ops::Operator;
+
+/// Projects each input batch onto a subset (and ordering) of its columns.
+/// Provenance is passed through untouched.
+pub struct ProjectOp {
+    input: Box<dyn Operator>,
+    cols: Vec<usize>,
+}
+
+impl ProjectOp {
+    /// Keep `cols` (input batch positions), in the given order.
+    pub fn new(input: Box<dyn Operator>, cols: Vec<usize>) -> ProjectOp {
+        ProjectOp { input, cols }
+    }
+}
+
+impl Operator for ProjectOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        match self.input.next_batch()? {
+            Some(batch) => Ok(Some(batch.project(&self.cols)?)),
+            None => Ok(None),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Project"
+    }
+
+    fn scan_profile(&self) -> crate::profile::PhaseProfile {
+        self.input.scan_profile()
+    }
+
+    fn scan_metrics(&self) -> crate::profile::ScanMetrics {
+        self.input.scan_metrics()
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::TableTag;
+    use crate::ops::{collect, BatchSource};
+
+    #[test]
+    fn projects_and_reorders() {
+        let b = Batch::new(vec![vec![1i64, 2].into(), vec![10.0f64, 20.0].into()])
+            .unwrap()
+            .with_provenance(TableTag(1), vec![5, 6])
+            .unwrap();
+        let mut p = ProjectOp::new(Box::new(BatchSource::new(vec![b])), vec![1, 0]);
+        let out = collect(&mut p).unwrap();
+        assert_eq!(out.num_columns(), 2);
+        assert_eq!(out.column(0).unwrap().as_f64().unwrap(), &[10.0, 20.0]);
+        assert_eq!(out.column(1).unwrap().as_i64().unwrap(), &[1, 2]);
+        assert_eq!(out.rows_of(TableTag(1)), Some(&[5u64, 6][..]), "provenance kept");
+    }
+
+    #[test]
+    fn bad_index_errors() {
+        let b = Batch::new(vec![vec![1i64].into()]).unwrap();
+        let mut p = ProjectOp::new(Box::new(BatchSource::new(vec![b])), vec![3]);
+        assert!(p.next_batch().is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Provenance stripping.
+//!
+//! Provenance (per-source row ids) exists so that late scans can fetch more
+//! columns for surviving rows. Once a pipeline is past its last late scan,
+//! carrying provenance through joins and filters is pure overhead — every
+//! `take()` gathers those id vectors too. This operator drops it.
+
+use crate::batch::Batch;
+use crate::error::Result;
+use crate::ops::Operator;
+
+/// Drops all provenance from passing batches.
+pub struct StripProvenanceOp {
+    input: Box<dyn Operator>,
+}
+
+impl StripProvenanceOp {
+    /// Strip provenance from `input`'s batches.
+    pub fn new(input: Box<dyn Operator>) -> StripProvenanceOp {
+        StripProvenanceOp { input }
+    }
+}
+
+impl Operator for StripProvenanceOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        match self.input.next_batch()? {
+            Some(batch) => Ok(Some(Batch::new(batch.columns().to_vec())?)),
+            None => Ok(None),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "StripProvenance"
+    }
+
+    fn scan_profile(&self) -> crate::profile::PhaseProfile {
+        self.input.scan_profile()
+    }
+
+    fn scan_metrics(&self) -> crate::profile::ScanMetrics {
+        self.input.scan_metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::TableTag;
+    use crate::ops::{collect, BatchSource};
+
+    #[test]
+    fn strips() {
+        let b = Batch::new(vec![vec![1i64, 2].into()])
+            .unwrap()
+            .with_provenance(TableTag(0), vec![5, 6])
+            .unwrap();
+        let mut op = StripProvenanceOp::new(Box::new(BatchSource::new(vec![b])));
+        let out = collect(&mut op).unwrap();
+        assert_eq!(out.rows(), 2);
+        assert!(out.provenance().is_empty());
+        assert_eq!(out.column(0).unwrap().as_i64().unwrap(), &[1, 2]);
+    }
+}

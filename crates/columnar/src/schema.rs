@@ -1,0 +1,229 @@
+//! Relational schemas.
+//!
+//! RAW accepts *partial* schemas: a user exposing a ROOT file with thousands
+//! of attributes may declare only the handful of fields of interest (§3).
+//! [`Schema`] therefore records, per field, the *source ordinal* — the
+//! field's position (CSV column index, binary field slot, or format-specific
+//! branch id) in the underlying raw file, which may differ from its position
+//! in the schema.
+
+use std::fmt;
+
+use crate::error::{ColumnarError, Result};
+use crate::types::DataType;
+
+/// A named, typed field of a table schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name, unique within its schema.
+    pub name: String,
+    /// Physical data type.
+    pub data_type: DataType,
+    /// Position of the field in the *raw file* (0-based). For a fully
+    /// declared CSV this equals the schema position; for partial schemas it
+    /// points at the real column in the file.
+    pub source_ordinal: usize,
+}
+
+impl Field {
+    /// A field whose source ordinal will be assigned by [`Schema::new`]
+    /// (contiguous declaration).
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field { name: name.into(), data_type, source_ordinal: usize::MAX }
+    }
+
+    /// A field bound to an explicit position in the raw file.
+    pub fn at(name: impl Into<String>, data_type: DataType, source_ordinal: usize) -> Self {
+        Field { name: name.into(), data_type, source_ordinal }
+    }
+}
+
+/// An ordered collection of [`Field`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from fields. Fields created with [`Field::new`] get
+    /// their source ordinal assigned from their position.
+    pub fn new(fields: Vec<Field>) -> Self {
+        let fields = fields
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut f)| {
+                if f.source_ordinal == usize::MAX {
+                    f.source_ordinal = i;
+                }
+                f
+            })
+            .collect();
+        Schema { fields }
+    }
+
+    /// Convenience constructor: `n` columns named `col1..coln` of a uniform
+    /// type, matching the synthetic tables in the paper's microbenchmarks.
+    pub fn uniform(n: usize, data_type: DataType) -> Self {
+        Schema::new(
+            (1..=n)
+                .map(|i| Field::new(format!("col{i}"), data_type))
+                .collect(),
+        )
+    }
+
+    /// The fields, in schema order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Field at schema position `i`.
+    pub fn field(&self, i: usize) -> Result<&Field> {
+        self.fields
+            .get(i)
+            .ok_or(ColumnarError::ColumnOutOfBounds { index: i, len: self.fields.len() })
+    }
+
+    /// Look a field up by name; returns its schema position and the field.
+    pub fn field_by_name(&self, name: &str) -> Option<(usize, &Field)> {
+        self.fields.iter().enumerate().find(|(_, f)| f.name == name)
+    }
+
+    /// Schema position of a field by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.field_by_name(name).map(|(i, _)| i)
+    }
+
+    /// Project the schema onto the given schema positions (in that order).
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(indices.len());
+        for &i in indices {
+            fields.push(self.field(i)?.clone());
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Concatenate two schemas (join output). Duplicate names on the right
+    /// side are disambiguated with a `rhs.` prefix.
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        for f in &right.fields {
+            let name = if self.index_of(&f.name).is_some() {
+                format!("rhs.{}", f.name)
+            } else {
+                f.name.clone()
+            };
+            fields.push(Field { name, ..f.clone() });
+        }
+        Schema { fields }
+    }
+
+    /// A compact fingerprint of the schema (names, types, ordinals), used by
+    /// the access-path template cache to key compiled scan operators.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over a canonical rendering; cheap, deterministic, and stable
+        // across processes (unlike `DefaultHasher`).
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for f in &self.fields {
+            eat(f.name.as_bytes());
+            eat(&[0xfe]);
+            eat(f.data_type.name().as_bytes());
+            eat(&(f.source_ordinal as u64).to_le_bytes());
+        }
+        h
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}:{}", field.name, field.data_type)?;
+            if field.source_ordinal != i {
+                write!(f, "@{}", field.source_ordinal)?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_schema_names_and_ordinals() {
+        let s = Schema::uniform(3, DataType::Int64);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.field(0).unwrap().name, "col1");
+        assert_eq!(s.field(2).unwrap().name, "col3");
+        assert_eq!(s.field(2).unwrap().source_ordinal, 2);
+        assert!(s.field(3).is_err());
+    }
+
+    #[test]
+    fn partial_schema_keeps_explicit_ordinals() {
+        // Declare only two of thousands of ROOT branches, as §3 describes.
+        let s = Schema::new(vec![
+            Field::at("el_eta", DataType::Float32, 4021),
+            Field::at("el_medium", DataType::Int32, 77),
+        ]);
+        assert_eq!(s.field(0).unwrap().source_ordinal, 4021);
+        assert_eq!(s.field(1).unwrap().source_ordinal, 77);
+    }
+
+    #[test]
+    fn lookup_and_project() {
+        let s = Schema::uniform(5, DataType::Int64);
+        assert_eq!(s.index_of("col4"), Some(3));
+        assert_eq!(s.index_of("nope"), None);
+        let p = s.project(&[3, 0]).unwrap();
+        assert_eq!(p.field(0).unwrap().name, "col4");
+        assert_eq!(p.field(1).unwrap().name, "col1");
+        assert!(s.project(&[9]).is_err());
+    }
+
+    #[test]
+    fn join_disambiguates_duplicates() {
+        let a = Schema::uniform(2, DataType::Int64);
+        let b = Schema::uniform(2, DataType::Int64);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.field(2).unwrap().name, "rhs.col1");
+        assert_eq!(j.field(3).unwrap().name, "rhs.col2");
+    }
+
+    #[test]
+    fn fingerprint_sensitivity() {
+        let a = Schema::uniform(3, DataType::Int64);
+        let b = Schema::uniform(3, DataType::Int32);
+        let c = Schema::uniform(4, DataType::Int64);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(a.fingerprint(), Schema::uniform(3, DataType::Int64).fingerprint());
+    }
+
+    #[test]
+    fn display_marks_nondefault_ordinals() {
+        let s = Schema::new(vec![Field::at("x", DataType::Int32, 7)]);
+        assert_eq!(s.to_string(), "(x:int32@7)");
+    }
+}

@@ -1,0 +1,203 @@
+//! Fully-loaded in-memory tables.
+//!
+//! [`MemTable`] is what the "DBMS" baseline of the paper materializes at load
+//! time: every column fully converted into the engine's native columnar
+//! representation. It is also the shape of intermediate results.
+
+use crate::batch::Batch;
+use crate::column::Column;
+use crate::error::{ColumnarError, Result};
+use crate::schema::Schema;
+use crate::types::Value;
+
+/// A fully-loaded, schema-ful columnar table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemTable {
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl MemTable {
+    /// Build from a schema and matching columns.
+    pub fn new(schema: Schema, columns: Vec<Column>) -> Result<MemTable> {
+        if schema.len() != columns.len() {
+            return Err(ColumnarError::Plan {
+                message: format!(
+                    "schema has {} fields but {} columns supplied",
+                    schema.len(),
+                    columns.len()
+                ),
+            });
+        }
+        for (f, c) in schema.fields().iter().zip(&columns) {
+            if f.data_type != c.data_type() {
+                return Err(ColumnarError::TypeMismatch {
+                    expected: f.data_type,
+                    actual: c.data_type(),
+                    context: "MemTable::new",
+                });
+            }
+        }
+        let rows = columns.first().map_or(0, Column::len);
+        if columns.iter().any(|c| c.len() != rows) {
+            return Err(ColumnarError::RaggedBatch {
+                lengths: columns.iter().map(Column::len).collect(),
+            });
+        }
+        Ok(MemTable { schema, columns, rows })
+    }
+
+    /// An empty table with the given schema.
+    pub fn empty(schema: Schema) -> MemTable {
+        let columns = schema.fields().iter().map(|f| Column::empty(f.data_type)).collect();
+        MemTable { schema, columns, rows: 0 }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the table has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The columns in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column at schema position `i`.
+    pub fn column(&self, i: usize) -> Result<&Column> {
+        self.columns
+            .get(i)
+            .ok_or(ColumnarError::ColumnOutOfBounds { index: i, len: self.columns.len() })
+    }
+
+    /// Column by field name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
+        let idx = self.schema.index_of(name).ok_or_else(|| ColumnarError::Plan {
+            message: format!("no column named {name}"),
+        })?;
+        self.column(idx)
+    }
+
+    /// Append one row of scalar values (slow path; used by tests and loaders
+    /// of tiny tables — bulk loaders build columns directly).
+    pub fn push_row(&mut self, row: &[Value]) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(ColumnarError::Plan {
+                message: format!(
+                    "row has {} values for {} columns",
+                    row.len(),
+                    self.columns.len()
+                ),
+            });
+        }
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push_value(v)?;
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Total heap bytes across all columns.
+    pub fn heap_bytes(&self) -> usize {
+        self.columns.iter().map(Column::heap_bytes).sum()
+    }
+
+    /// Assemble the whole table into a single batch (tests, small results).
+    pub fn to_batch(&self) -> Result<Batch> {
+        Batch::new(self.columns.clone())
+    }
+
+    /// Build from the concatenation of batches (schema supplies the types).
+    pub fn from_batches(schema: Schema, batches: &[Batch]) -> Result<MemTable> {
+        let mut columns: Vec<Column> =
+            schema.fields().iter().map(|f| Column::empty(f.data_type)).collect();
+        let mut rows = 0;
+        for b in batches {
+            if b.num_columns() != columns.len() {
+                return Err(ColumnarError::Plan {
+                    message: format!(
+                        "batch has {} columns, schema {}",
+                        b.num_columns(),
+                        columns.len()
+                    ),
+                });
+            }
+            for (dst, src) in columns.iter_mut().zip(b.columns()) {
+                dst.append(src)?;
+            }
+            rows += b.rows();
+        }
+        Ok(MemTable { schema, columns, rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::types::DataType;
+
+    fn schema2() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Float64),
+        ])
+    }
+
+    #[test]
+    fn construction_validates() {
+        let t = MemTable::new(schema2(), vec![vec![1i64, 2].into(), vec![0.5f64, 1.5].into()])
+            .unwrap();
+        assert_eq!(t.rows(), 2);
+        assert!(MemTable::new(schema2(), vec![vec![1i64].into()]).is_err(), "arity");
+        assert!(
+            MemTable::new(
+                schema2(),
+                vec![vec![1i64].into(), vec![2i64].into()] // b should be f64
+            )
+            .is_err(),
+            "types"
+        );
+        assert!(
+            MemTable::new(schema2(), vec![vec![1i64].into(), vec![0.5f64, 1.0].into()]).is_err(),
+            "ragged"
+        );
+    }
+
+    #[test]
+    fn push_row_and_lookup() {
+        let mut t = MemTable::empty(schema2());
+        t.push_row(&[Value::Int64(1), Value::Float64(2.0)]).unwrap();
+        t.push_row(&[Value::Int64(3), Value::Float64(4.0)]).unwrap();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.column_by_name("a").unwrap().as_i64().unwrap(), &[1, 3]);
+        assert!(t.column_by_name("zz").is_err());
+        assert!(t.push_row(&[Value::Int64(1)]).is_err());
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let t = MemTable::new(schema2(), vec![vec![1i64, 2].into(), vec![0.5f64, 1.5].into()])
+            .unwrap();
+        let b = t.to_batch().unwrap();
+        let t2 = MemTable::from_batches(schema2(), &[b]).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn from_batches_checks_shape() {
+        let b = Batch::new(vec![vec![1i64].into()]).unwrap();
+        assert!(MemTable::from_batches(schema2(), &[b]).is_err());
+    }
+}

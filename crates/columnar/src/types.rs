@@ -1,0 +1,278 @@
+//! Scalar data types and values.
+//!
+//! The RAW paper's experiments use integer and floating-point columns; the
+//! Higgs use case adds booleans (quality flags). `Utf8` is included so the
+//! CSV substrate can surface raw text fields without conversion when a query
+//! asks for them verbatim.
+
+use std::fmt;
+
+/// The physical data types understood by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// 32-bit signed integer.
+    Int32,
+    /// 64-bit signed integer.
+    Int64,
+    /// 32-bit IEEE-754 float.
+    Float32,
+    /// 64-bit IEEE-754 float.
+    Float64,
+    /// Boolean.
+    Bool,
+    /// UTF-8 string.
+    Utf8,
+}
+
+impl DataType {
+    /// Width in bytes of the serialized fixed-size representation, or `None`
+    /// for variable-width types. Used by the fixed-width binary format to
+    /// compute field offsets deterministically (the paper's
+    /// `row*tupleSize + col*dataSize` trick).
+    pub fn fixed_width(self) -> Option<usize> {
+        match self {
+            DataType::Int32 | DataType::Float32 => Some(4),
+            DataType::Int64 | DataType::Float64 => Some(8),
+            DataType::Bool => Some(1),
+            DataType::Utf8 => None,
+        }
+    }
+
+    /// Whether this is a numeric type (valid under arithmetic aggregates).
+    pub fn is_numeric(self) -> bool {
+        matches!(
+            self,
+            DataType::Int32 | DataType::Int64 | DataType::Float32 | DataType::Float64
+        )
+    }
+
+    /// Short lowercase name, used by schema (de)serialization and the
+    /// mini-SQL `CREATE`-less catalog registration syntax.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int32 => "int32",
+            DataType::Int64 => "int64",
+            DataType::Float32 => "float32",
+            DataType::Float64 => "float64",
+            DataType::Bool => "bool",
+            DataType::Utf8 => "utf8",
+        }
+    }
+
+    /// Parse a type name as produced by [`DataType::name`].
+    pub fn parse(name: &str) -> Option<DataType> {
+        match name {
+            "int32" => Some(DataType::Int32),
+            "int64" => Some(DataType::Int64),
+            "float32" => Some(DataType::Float32),
+            "float64" => Some(DataType::Float64),
+            "bool" => Some(DataType::Bool),
+            "utf8" => Some(DataType::Utf8),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single scalar value. Used at plan boundaries (literals in predicates,
+/// aggregate results); the hot paths operate on typed column slices instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 32-bit signed integer value.
+    Int32(i32),
+    /// 64-bit signed integer value.
+    Int64(i64),
+    /// 32-bit float value.
+    Float32(f32),
+    /// 64-bit float value.
+    Float64(f64),
+    /// Boolean value.
+    Bool(bool),
+    /// UTF-8 string value.
+    Utf8(String),
+    /// Absent value (e.g. aggregate over zero rows).
+    Null,
+}
+
+impl Value {
+    /// The data type of this value, or `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Int32(_) => Some(DataType::Int32),
+            Value::Int64(_) => Some(DataType::Int64),
+            Value::Float32(_) => Some(DataType::Float32),
+            Value::Float64(_) => Some(DataType::Float64),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Utf8(_) => Some(DataType::Utf8),
+            Value::Null => None,
+        }
+    }
+
+    /// Lossless-enough numeric widening to `i64`, if this value is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int32(v) => Some(i64::from(*v)),
+            Value::Int64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64` (integers widen; floats cast).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int32(v) => Some(f64::from(*v)),
+            Value::Int64(v) => Some(*v as f64),
+            Value::Float32(v) => Some(f64::from(*v)),
+            Value::Float64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Whether this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Cast this value to `target`, when a lossless or standard numeric cast
+    /// exists. Returns `None` for nonsensical casts (e.g. string → float is
+    /// *not* provided here; raw-data parsing lives in `raw-formats`).
+    pub fn cast(&self, target: DataType) -> Option<Value> {
+        match (self, target) {
+            (Value::Null, _) => Some(Value::Null),
+            (v, t) if v.data_type() == Some(t) => Some(v.clone()),
+            (Value::Int32(v), DataType::Int64) => Some(Value::Int64(i64::from(*v))),
+            (Value::Int32(v), DataType::Float32) => Some(Value::Float32(*v as f32)),
+            (Value::Int32(v), DataType::Float64) => Some(Value::Float64(f64::from(*v))),
+            (Value::Int64(v), DataType::Int32) => i32::try_from(*v).ok().map(Value::Int32),
+            (Value::Int64(v), DataType::Float32) => Some(Value::Float32(*v as f32)),
+            (Value::Int64(v), DataType::Float64) => Some(Value::Float64(*v as f64)),
+            (Value::Float32(v), DataType::Float64) => Some(Value::Float64(f64::from(*v))),
+            (Value::Float64(v), DataType::Float32) => Some(Value::Float32(*v as f32)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int32(v) => write!(f, "{v}"),
+            Value::Int64(v) => write!(f, "{v}"),
+            Value::Float32(v) => write!(f, "{v}"),
+            Value::Float64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Utf8(v) => write!(f, "{v}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int32(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int64(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Float32(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Utf8(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Utf8(v.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_widths() {
+        assert_eq!(DataType::Int32.fixed_width(), Some(4));
+        assert_eq!(DataType::Int64.fixed_width(), Some(8));
+        assert_eq!(DataType::Float32.fixed_width(), Some(4));
+        assert_eq!(DataType::Float64.fixed_width(), Some(8));
+        assert_eq!(DataType::Bool.fixed_width(), Some(1));
+        assert_eq!(DataType::Utf8.fixed_width(), None);
+    }
+
+    #[test]
+    fn type_name_roundtrip() {
+        for dt in [
+            DataType::Int32,
+            DataType::Int64,
+            DataType::Float32,
+            DataType::Float64,
+            DataType::Bool,
+            DataType::Utf8,
+        ] {
+            assert_eq!(DataType::parse(dt.name()), Some(dt));
+        }
+        assert_eq!(DataType::parse("decimal"), None);
+    }
+
+    #[test]
+    fn numeric_classification() {
+        assert!(DataType::Int64.is_numeric());
+        assert!(DataType::Float32.is_numeric());
+        assert!(!DataType::Bool.is_numeric());
+        assert!(!DataType::Utf8.is_numeric());
+    }
+
+    #[test]
+    fn value_widening() {
+        assert_eq!(Value::Int32(7).as_i64(), Some(7));
+        assert_eq!(Value::Int64(-3).as_f64(), Some(-3.0));
+        assert_eq!(Value::Float32(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::Utf8("x".into()).as_i64(), None);
+    }
+
+    #[test]
+    fn value_cast() {
+        assert_eq!(Value::Int32(5).cast(DataType::Int64), Some(Value::Int64(5)));
+        assert_eq!(
+            Value::Int64(i64::MAX).cast(DataType::Int32),
+            None,
+            "overflowing narrow must fail"
+        );
+        assert_eq!(
+            Value::Float32(2.0).cast(DataType::Float64),
+            Some(Value::Float64(2.0))
+        );
+        assert_eq!(Value::Null.cast(DataType::Int32), Some(Value::Null));
+        assert_eq!(Value::Utf8("a".into()).cast(DataType::Int64), None);
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Int64(42).to_string(), "42");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+}

@@ -1,0 +1,189 @@
+//! The RAW catalog (§3).
+//!
+//! "Each file exposed to RAW is given a name … RAW maintains a catalog with
+//! information about raw data file instances such as the original filename,
+//! the schema and the file format." Schemas may be *partial* — a ROOT user
+//! declares only the branches of interest. For each table the catalog also
+//! records the access abstractions the format supports (sequential and/or
+//! id-based index scans), which the planner maps to concrete access paths.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use raw_columnar::Schema;
+
+use crate::error::{EngineError, Result};
+
+/// Where a table's rows physically live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableSource {
+    /// A CSV file; one table per file.
+    Csv {
+        /// Path to the raw file.
+        path: PathBuf,
+    },
+    /// A fixed-width binary file; one table per file.
+    Fbin {
+        /// Path to the raw file.
+        path: PathBuf,
+    },
+    /// A paged fixed-width binary file with an embedded zone index (the
+    /// HDF-like family of §4.1); one table per file. JIT access paths push
+    /// predicates into the index; general-purpose scans cannot.
+    Ibin {
+        /// Path to the raw file.
+        path: PathBuf,
+    },
+    /// The event-level view of a rootsim file (scalar branches).
+    RootEvents {
+        /// Path to the raw file.
+        path: PathBuf,
+    },
+    /// A satellite view of a rootsim file: one row per item of `collection`,
+    /// with the owning event's `parent_scalar` branch (if named) exposed as
+    /// a column — the id-based sub-object access of §3.
+    RootCollection {
+        /// Path to the raw file.
+        path: PathBuf,
+        /// Collection name within the file.
+        collection: String,
+        /// Scalar branch replicated per item (typically `"eventID"`).
+        parent_scalar: Option<String>,
+    },
+}
+
+impl TableSource {
+    /// The raw file backing this table.
+    pub fn path(&self) -> &PathBuf {
+        match self {
+            TableSource::Csv { path }
+            | TableSource::Fbin { path }
+            | TableSource::Ibin { path }
+            | TableSource::RootEvents { path }
+            | TableSource::RootCollection { path, .. } => path,
+        }
+    }
+
+    /// Whether this format supports index-based (row-addressable) access
+    /// without a positional map.
+    pub fn directly_addressable(&self) -> bool {
+        !matches!(self, TableSource::Csv { .. })
+    }
+
+    /// Short format name for plan explanations.
+    pub fn format_name(&self) -> &'static str {
+        match self {
+            TableSource::Csv { .. } => "csv",
+            TableSource::Fbin { .. } => "fbin",
+            TableSource::Ibin { .. } => "ibin",
+            TableSource::RootEvents { .. } => "rootsim-events",
+            TableSource::RootCollection { .. } => "rootsim-collection",
+        }
+    }
+}
+
+/// One registered table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDef {
+    /// Table name (unique within the catalog).
+    pub name: String,
+    /// Declared (possibly partial) schema. For flat files, each field's
+    /// `source_ordinal` is its column position in the file; for rootsim
+    /// tables, fields are resolved by *name* against the file.
+    pub schema: Schema,
+    /// Physical source.
+    pub source: TableSource,
+}
+
+/// Name → table registry.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, TableDef>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a table definition.
+    pub fn register(&mut self, def: TableDef) {
+        self.tables.insert(def.name.clone(), def);
+    }
+
+    /// Remove a table; returns whether it existed.
+    pub fn deregister(&mut self, name: &str) -> bool {
+        self.tables.remove(name).is_some()
+    }
+
+    /// Look a table up by name.
+    pub fn get(&self, name: &str) -> Result<&TableDef> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| EngineError::resolution(format!("unknown table {name}")))
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Registered table names (sorted, for stable output).
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raw_columnar::DataType;
+
+    fn def(name: &str) -> TableDef {
+        TableDef {
+            name: name.into(),
+            schema: Schema::uniform(3, DataType::Int64),
+            source: TableSource::Csv { path: PathBuf::from(format!("/data/{name}.csv")) },
+        }
+    }
+
+    #[test]
+    fn register_lookup_deregister() {
+        let mut c = Catalog::new();
+        c.register(def("t1"));
+        c.register(def("t2"));
+        assert!(c.contains("t1"));
+        assert_eq!(c.get("t1").unwrap().source.format_name(), "csv");
+        assert!(c.get("zz").is_err());
+        assert_eq!(c.table_names(), vec!["t1", "t2"]);
+        assert!(c.deregister("t1"));
+        assert!(!c.deregister("t1"));
+    }
+
+    #[test]
+    fn reregister_replaces() {
+        let mut c = Catalog::new();
+        c.register(def("t"));
+        let mut d = def("t");
+        d.source = TableSource::Fbin { path: PathBuf::from("/data/t.bin") };
+        c.register(d);
+        assert_eq!(c.get("t").unwrap().source.format_name(), "fbin");
+    }
+
+    #[test]
+    fn addressability() {
+        assert!(!TableSource::Csv { path: "x".into() }.directly_addressable());
+        assert!(TableSource::Fbin { path: "x".into() }.directly_addressable());
+        assert!(TableSource::RootEvents { path: "x".into() }.directly_addressable());
+        let rc = TableSource::RootCollection {
+            path: "x".into(),
+            collection: "muons".into(),
+            parent_scalar: Some("eventID".into()),
+        };
+        assert!(rc.directly_addressable());
+        assert_eq!(rc.format_name(), "rootsim-collection");
+    }
+}

@@ -1,0 +1,510 @@
+//! The RAW engine facade.
+//!
+//! [`RawEngine`] owns the catalog and all adaptive state — file buffers, the
+//! template cache of compiled access paths, per-table positional maps, the
+//! column-shred pool, and (for the DBMS baseline) fully-loaded tables — and
+//! answers SQL queries through the physical planner. Experiments flip
+//! [`EngineConfig`] knobs to reproduce every system the paper compares:
+//!
+//! | Paper system      | Configuration                                     |
+//! |-------------------|---------------------------------------------------|
+//! | "DBMS"            | `mode: Dbms`                                      |
+//! | "External Tables" | `mode: ExternalTables`                            |
+//! | "In Situ" (NoDB)  | `mode: InSitu`                                    |
+//! | "JIT"             | `mode: Jit, shreds: FullColumns`                  |
+//! | "Column shreds"   | `mode: Jit, shreds: ColumnShreds`                 |
+//! | "Multi-column"    | `mode: Jit, shreds: MultiColumnShreds`            |
+//! | Join Early/Int./Late | `join_placement`                               |
+//! | "Col. 7" variants | `posmap_policy: EveryK { stride: 7 }`             |
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use raw_access::TemplateCache;
+use raw_columnar::batch::TableTag;
+use raw_columnar::ops::{drain, Operator};
+use raw_columnar::{Batch, MemTable, Value};
+use raw_formats::file_buffer::FileBufferPool;
+use raw_formats::rootsim::RootSimFile;
+use raw_posmap::{PositionalMap, TrackingPolicy};
+
+use crate::catalog::{Catalog, TableDef};
+use crate::cost::CostModel;
+use crate::error::{EngineError, Result};
+use crate::physical::{self, Harvests, PlannerCtx};
+use crate::plan::{resolve, ColRef, ResolvedQuery};
+use crate::shreds::ShredPool;
+use crate::sql;
+use crate::stats::QueryStats;
+use crate::table_stats::StatsRegistry;
+
+/// Which access-path family the engine uses (the systems of §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    /// Load raw files fully into native columnar tables, then query those.
+    Dbms,
+    /// Re-parse and convert the whole file on every query.
+    ExternalTables,
+    /// General-purpose in-situ scans (the NoDB baseline).
+    InSitu,
+    /// JIT-specialized access paths (the paper's contribution).
+    Jit,
+}
+
+/// How eagerly columns are materialized (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShredStrategy {
+    /// Read every required column in the bottom scan.
+    FullColumns,
+    /// Push scans up: read non-filter columns only for surviving rows.
+    ColumnShreds,
+    /// Like shreds, but speculatively fetch co-located columns in one pass
+    /// (§5.3.1).
+    MultiColumnShreds,
+    /// Let the cost model pick per query, using histograms harvested from
+    /// earlier queries (the paper's §8 future-work optimizer integration;
+    /// see [`crate::cost`]). Requires [`AccessMode::Jit`]; other modes fall
+    /// back to full columns.
+    Adaptive,
+}
+
+/// Where a join's projected columns are materialized (§5.3.2, Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinPlacement {
+    /// In the bottom scans (full columns).
+    Early,
+    /// After the owning side's filters, before the join.
+    Intermediate,
+    /// Above the join, for qualifying rows only.
+    Late,
+    /// Let the cost model pick per side and per query: the pipelined side
+    /// keeps row order (Fig. 11) while the breaking side pays shuffled
+    /// accesses (Fig. 12), so the right point depends on selectivity.
+    Adaptive,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Access-path family.
+    pub mode: AccessMode,
+    /// Column materialization strategy.
+    pub shreds: ShredStrategy,
+    /// Join projected-column placement.
+    pub join_placement: JoinPlacement,
+    /// Positional-map tracking policy for text formats.
+    pub posmap_policy: TrackingPolicy,
+    /// Rows per batch.
+    pub batch_size: usize,
+    /// Shred-pool budget in bytes.
+    pub shred_pool_bytes: usize,
+    /// Whether scans/fetches populate the shred pool as a side effect.
+    pub cache_shreds: bool,
+    /// Extra latency added to every template-cache miss, modeling the
+    /// paper's external C++ compiler (~2 s at paper scale). Zero by default.
+    pub simulated_compile_latency: Duration,
+    /// The cost model consulted by `Adaptive` strategies/placements.
+    pub cost_model: CostModel,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mode: AccessMode::Jit,
+            shreds: ShredStrategy::ColumnShreds,
+            join_placement: JoinPlacement::Late,
+            posmap_policy: TrackingPolicy::EveryK { stride: 10 },
+            batch_size: raw_columnar::VECTOR_SIZE,
+            shred_pool_bytes: 256 << 20,
+            cache_shreds: true,
+            simulated_compile_latency: Duration::ZERO,
+            cost_model: CostModel::default(),
+        }
+    }
+}
+
+/// A query answer: result rows plus statistics.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// Result rows (concatenated into one batch).
+    pub batch: Batch,
+    /// Output column names.
+    pub column_names: Vec<String>,
+    /// Measurements.
+    pub stats: QueryStats,
+}
+
+impl QueryResult {
+    /// Scalar cell accessor.
+    pub fn value(&self, row: usize, col: usize) -> Result<Value> {
+        Ok(self.batch.value(row, col)?)
+    }
+
+    /// The single value of a one-row, one-column result (typical aggregate).
+    pub fn scalar(&self) -> Result<Value> {
+        if self.batch.rows() != 1 || self.batch.num_columns() < 1 {
+            return Err(EngineError::planning(format!(
+                "scalar() on a {}x{} result",
+                self.batch.rows(),
+                self.batch.num_columns()
+            )));
+        }
+        self.value(0, 0)
+    }
+}
+
+/// A scan built by [`RawEngine::plan_scan`] for hand-assembled plans (the
+/// Higgs pipeline): the operator plus its pending side effects.
+pub struct PlannedScan {
+    /// The scan operator (pool/record/harvest wrappers included).
+    pub op: Box<dyn Operator>,
+    /// Side effects to absorb after the custom plan runs.
+    pub harvests: Harvests,
+}
+
+/// The RAW query engine.
+pub struct RawEngine {
+    catalog: Catalog,
+    config: EngineConfig,
+    files: Arc<FileBufferPool>,
+    templates: TemplateCache,
+    posmaps: HashMap<String, Arc<PositionalMap>>,
+    pool: ShredPool,
+    loaded: HashMap<String, Arc<MemTable>>,
+    root_files: HashMap<PathBuf, Arc<RootSimFile>>,
+    stats: StatsRegistry,
+}
+
+impl RawEngine {
+    /// Create an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> RawEngine {
+        let templates = if config.simulated_compile_latency.is_zero() {
+            TemplateCache::new()
+        } else {
+            TemplateCache::with_simulated_compile_latency(config.simulated_compile_latency)
+        };
+        RawEngine {
+            catalog: Catalog::new(),
+            pool: ShredPool::new(config.shred_pool_bytes),
+            config,
+            files: Arc::new(FileBufferPool::new()),
+            templates,
+            posmaps: HashMap::new(),
+            loaded: HashMap::new(),
+            root_files: HashMap::new(),
+            stats: StatsRegistry::new(),
+        }
+    }
+
+    /// Register a table over a raw file.
+    pub fn register_table(&mut self, def: TableDef) {
+        self.catalog.register(def);
+    }
+
+    /// The catalog (read-only).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The file-buffer pool — experiments use it to insert virtual files and
+    /// to flip between cold and warm runs.
+    pub fn files(&self) -> &FileBufferPool {
+        &self.files
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Replace the configuration (takes effect on the next query).
+    pub fn set_config(&mut self, config: EngineConfig) {
+        self.config = config;
+    }
+
+    /// The positional map known for `table`, if any.
+    pub fn posmap(&self, table: &str) -> Option<&Arc<PositionalMap>> {
+        self.posmaps.get(table)
+    }
+
+    /// Shred-pool statistics.
+    pub fn shred_pool_stats(&self) -> crate::shreds::ShredPoolStats {
+        self.pool.stats()
+    }
+
+    /// Table statistics (histograms and row counts) harvested from earlier
+    /// queries — the input to `Adaptive` planning decisions.
+    pub fn table_stats(&self) -> &StatsRegistry {
+        &self.stats
+    }
+
+    /// Drop compiled access paths only (ablation hook: forces "code
+    /// generation" to rerun on the next query while keeping positional
+    /// maps, shreds, and statistics).
+    pub fn clear_template_cache(&mut self) {
+        self.templates.clear();
+    }
+
+    /// Drop file buffers (and parsed rootsim handles): the next query runs
+    /// cold with respect to I/O, but adaptive state (positional maps,
+    /// shreds, templates) survives — the engine forgets *data*, not
+    /// *structure*.
+    pub fn drop_file_caches(&mut self) {
+        self.files.evict_all();
+        self.root_files.clear();
+    }
+
+    /// Forget all adaptive state: positional maps, shreds, templates,
+    /// harvested statistics, and DBMS-loaded tables. Combined with
+    /// [`RawEngine::drop_file_caches`] this reproduces a fresh engine on
+    /// the same catalog.
+    pub fn reset_adaptive_state(&mut self) {
+        self.posmaps.clear();
+        self.pool.clear();
+        self.templates.clear();
+        self.loaded.clear();
+        self.stats.clear();
+    }
+
+    /// Answer a SQL query.
+    pub fn query(&mut self, sql_text: &str) -> Result<QueryResult> {
+        let stmt = sql::parse(sql_text)?;
+        let resolved = resolve(&stmt, &self.catalog)?;
+        self.execute(&resolved)
+    }
+
+    /// Plan (without executing) and return the plan description.
+    pub fn explain(&mut self, sql_text: &str) -> Result<Vec<String>> {
+        let stmt = sql::parse(sql_text)?;
+        let resolved = resolve(&stmt, &self.catalog)?;
+        let mut ctx = self.planner_ctx();
+        let plan = physical::plan(&mut ctx, &resolved)?;
+        Ok(plan.explain)
+    }
+
+    /// Execute a resolved query.
+    pub fn execute(&mut self, resolved: &ResolvedQuery) -> Result<QueryResult> {
+        let wall_start = Instant::now();
+        let io0 = self.files.bytes_from_disk();
+        let tmpl0 = self.templates.stats();
+        let shred0 = self.pool.stats();
+
+        let plan = {
+            let mut ctx = self.planner_ctx();
+            physical::plan(&mut ctx, resolved)?
+        };
+        let explain = plan.explain.clone();
+        let output_names = plan.output_names.clone();
+
+        let mut root = plan.root;
+        let batches = drain(root.as_mut())?;
+        let scan = root.scan_profile();
+        let metrics = root.scan_metrics();
+        drop(root); // release Arc sinks so side effects unwrap cheaply
+
+        let batch = Batch::concat(&batches)?;
+        let wall = wall_start.elapsed();
+
+        let (posmaps_built, shreds_recorded) = self.absorb_harvests(plan.harvests)?;
+
+        let tmpl1 = self.templates.stats();
+        let shred1 = self.pool.stats();
+        let stats = QueryStats {
+            wall,
+            scan,
+            metrics,
+            io_bytes: self.files.bytes_from_disk() - io0,
+            compile_time: tmpl1.compile_time - tmpl0.compile_time,
+            template_hits: tmpl1.hits - tmpl0.hits,
+            template_misses: tmpl1.misses - tmpl0.misses,
+            shred_hits: shred1.hits - shred0.hits,
+            shred_misses: shred1.misses - shred0.misses,
+            posmaps_built,
+            shreds_recorded,
+            rows_out: batch.rows() as u64,
+            explain,
+        };
+        Ok(QueryResult { batch, column_names: output_names, stats })
+    }
+
+    /// Build a bottom scan over a registered table for a hand-assembled plan
+    /// (respects mode, shred pool, recording, positional maps). `cols` are
+    /// column names; `tag` labels provenance.
+    pub fn plan_scan(&mut self, table: &str, cols: &[&str], tag: u32) -> Result<PlannedScan> {
+        let resolved = self.synthetic_query(table, cols)?;
+        let col_refs: Vec<ColRef> =
+            resolved.outputs.iter().map(|o| o.col.clone()).collect();
+        let mut ctx = self.planner_ctx();
+        let (op, harvests) =
+            physical::standalone_scan(&mut ctx, &resolved, &col_refs, TableTag(tag))?;
+        Ok(PlannedScan { op, harvests })
+    }
+
+    /// Attach `cols` of `table` above an existing operator as a late scan
+    /// (pool-backed when shreds exist; records fetched values). Batches
+    /// flowing through `op` must carry provenance tagged `tag` for this
+    /// table. For CSV tables a positional map must already exist.
+    pub fn plan_attach(
+        &mut self,
+        op: Box<dyn Operator>,
+        table: &str,
+        cols: &[&str],
+        tag: u32,
+    ) -> Result<PlannedScan> {
+        let resolved = self.synthetic_query(table, cols)?;
+        let col_refs: Vec<ColRef> =
+            resolved.outputs.iter().map(|o| o.col.clone()).collect();
+        let mut ctx = self.planner_ctx();
+        let (op, harvests) = physical::standalone_attach(
+            &mut ctx,
+            &resolved,
+            op,
+            &col_refs,
+            /* multi = */ col_refs.len() > 1,
+            TableTag(tag),
+        )?;
+        Ok(PlannedScan { op, harvests })
+    }
+
+    /// Run a hand-assembled operator tree under engine accounting and absorb
+    /// the given side effects afterwards.
+    pub fn run_custom(
+        &mut self,
+        mut root: Box<dyn Operator>,
+        harvests: Harvests,
+        column_names: Vec<String>,
+    ) -> Result<QueryResult> {
+        let wall_start = Instant::now();
+        let io0 = self.files.bytes_from_disk();
+        let batches = drain(root.as_mut())?;
+        let scan = root.scan_profile();
+        let metrics = root.scan_metrics();
+        drop(root);
+        let batch = Batch::concat(&batches)?;
+        let wall = wall_start.elapsed();
+        let (posmaps_built, shreds_recorded) = self.absorb_harvests(harvests)?;
+        let stats = QueryStats {
+            wall,
+            scan,
+            metrics,
+            io_bytes: self.files.bytes_from_disk() - io0,
+            rows_out: batch.rows() as u64,
+            posmaps_built,
+            shreds_recorded,
+            ..Default::default()
+        };
+        Ok(QueryResult { batch, column_names, stats })
+    }
+
+    /// Merge several harvest sets (custom plans with many scans).
+    pub fn absorb_side_effects(&mut self, harvests: Harvests) -> Result<()> {
+        self.absorb_harvests(harvests)?;
+        Ok(())
+    }
+
+    // -- internals -----------------------------------------------------------
+
+    fn planner_ctx(&mut self) -> PlannerCtx<'_> {
+        PlannerCtx {
+            catalog: &self.catalog,
+            config: &self.config,
+            files: &self.files,
+            templates: &self.templates,
+            posmaps: &self.posmaps,
+            pool: &mut self.pool,
+            loaded: &mut self.loaded,
+            root_files: &mut self.root_files,
+            stats: &mut self.stats,
+        }
+    }
+
+    fn synthetic_query(&self, table: &str, cols: &[&str]) -> Result<ResolvedQuery> {
+        let def = self.catalog.get(table)?;
+        let outputs = cols
+            .iter()
+            .map(|c| {
+                def.schema
+                    .field_by_name(c)
+                    .map(|(i, f)| crate::plan::ResolvedOutput {
+                        agg: None,
+                        col: ColRef {
+                            table: 0,
+                            name: (*c).to_owned(),
+                            schema_idx: i,
+                            data_type: f.data_type,
+                        },
+                    })
+                    .ok_or_else(|| {
+                        EngineError::resolution(format!("no column {c} in {table}"))
+                    })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ResolvedQuery {
+            tables: vec![table.to_owned()],
+            join: None,
+            filters: Vec::new(),
+            outputs,
+            group_by: None,
+        })
+    }
+
+    fn absorb_harvests(&mut self, harvests: Harvests) -> Result<(usize, usize)> {
+        let mut posmaps_built = 0;
+        for (table, sink) in harvests.posmaps {
+            let Some(new_map) = sink.lock().take() else { continue };
+            if new_map.is_empty() {
+                continue;
+            }
+            posmaps_built += 1;
+            if new_map.rows() > 0 {
+                self.stats.record_rows(&table, new_map.rows());
+            }
+            match self.posmaps.get_mut(&table) {
+                Some(existing) => {
+                    let merged = Arc::make_mut(existing);
+                    merged.merge(&new_map).map_err(|e| {
+                        EngineError::planning(format!("positional map merge failed: {e}"))
+                    })?;
+                }
+                None => {
+                    self.posmaps.insert(table, Arc::new(new_map));
+                }
+            }
+        }
+        let mut shreds_recorded = 0;
+        for (table, column, sink) in harvests.shreds {
+            let mut shred = match Arc::try_unwrap(sink) {
+                Ok(m) => m.into_inner(),
+                Err(arc) => arc.lock().clone(),
+            };
+            if shred.loaded_count() == 0 {
+                continue;
+            }
+            // A scan that pruned or filtered rows records a *prefix* of the
+            // table; grow the shred to the table's true row count (when
+            // known) so it cannot masquerade as a full column.
+            if let Some(rows) = self.stats.table_rows(&table) {
+                if (shred.len() as u64) < rows {
+                    shred.grow_to(rows as usize);
+                }
+            }
+            shreds_recorded += 1;
+            // A fully-materialized column is a free histogram sample — the
+            // statistics side of "leverage information available at query
+            // time".
+            if shred.is_full() {
+                self.stats.record_column(&table, &column, shred.dense());
+            }
+            self.pool.insert_merge(&table, &column, shred)?;
+        }
+        Ok((posmaps_built, shreds_recorded))
+    }
+}
+
+/// Convenience: the `TableTag` the engine assigns to table index `i` in SQL
+/// plans (custom plans may use any tag).
+pub fn table_tag(i: usize) -> TableTag {
+    TableTag(i as u32)
+}

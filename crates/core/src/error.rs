@@ -1,0 +1,97 @@
+//! Engine-level error type.
+
+use std::fmt;
+
+use raw_columnar::ColumnarError;
+use raw_formats::FormatError;
+
+/// Errors surfaced by the RAW engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// SQL text failed to parse.
+    Sql {
+        /// What went wrong.
+        message: String,
+        /// Byte offset in the query text, when known.
+        offset: Option<usize>,
+    },
+    /// Name resolution failed (unknown table/column, ambiguity…).
+    Resolution {
+        /// Human-readable description.
+        message: String,
+    },
+    /// The planner could not build a physical plan for this configuration.
+    Planning {
+        /// Human-readable description.
+        message: String,
+    },
+    /// Execution failed in the columnar layer.
+    Columnar(ColumnarError),
+    /// Execution failed in the raw-file layer.
+    Format(FormatError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Sql { message, offset } => match offset {
+                Some(o) => write!(f, "SQL error at byte {o}: {message}"),
+                None => write!(f, "SQL error: {message}"),
+            },
+            EngineError::Resolution { message } => write!(f, "resolution error: {message}"),
+            EngineError::Planning { message } => write!(f, "planning error: {message}"),
+            EngineError::Columnar(e) => write!(f, "{e}"),
+            EngineError::Format(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Columnar(e) => Some(e),
+            EngineError::Format(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ColumnarError> for EngineError {
+    fn from(e: ColumnarError) -> Self {
+        EngineError::Columnar(e)
+    }
+}
+
+impl From<FormatError> for EngineError {
+    fn from(e: FormatError) -> Self {
+        EngineError::Format(e)
+    }
+}
+
+impl EngineError {
+    /// Shorthand for resolution errors.
+    pub fn resolution(message: impl Into<String>) -> EngineError {
+        EngineError::Resolution { message: message.into() }
+    }
+
+    /// Shorthand for planning errors.
+    pub fn planning(message: impl Into<String>) -> EngineError {
+        EngineError::Planning { message: message.into() }
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = EngineError::Sql { message: "expected FROM".into(), offset: Some(12) };
+        assert_eq!(e.to_string(), "SQL error at byte 12: expected FROM");
+        assert!(EngineError::resolution("no table t").to_string().contains("no table t"));
+        assert!(EngineError::planning("boom").to_string().starts_with("planning"));
+    }
+}

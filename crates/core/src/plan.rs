@@ -1,0 +1,288 @@
+//! Name resolution: SQL AST + catalog → a resolved logical query.
+//!
+//! The resolved form is what the physical planner consumes: tables numbered
+//! (0 = probe side, 1 = build side), every column reference bound to its
+//! schema position and type, predicates and outputs attributed to their
+//! owning table.
+
+use raw_columnar::ops::AggKind;
+use raw_columnar::{CmpOp, DataType, Value};
+
+use crate::catalog::Catalog;
+use crate::error::{EngineError, Result};
+use crate::sql::{ColName, SelectStmt};
+
+/// A column bound to a table and schema position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColRef {
+    /// Index into [`ResolvedQuery::tables`].
+    pub table: usize,
+    /// Column name (as declared in the schema).
+    pub name: String,
+    /// Position within the table's declared schema.
+    pub schema_idx: usize,
+    /// The column's type.
+    pub data_type: DataType,
+}
+
+/// A resolved filter conjunct.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedFilter {
+    /// Filtered column.
+    pub col: ColRef,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal.
+    pub value: Value,
+}
+
+/// A resolved equi-join (probe = table 0, build = table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedJoin {
+    /// Join key on the probe side.
+    pub probe_col: ColRef,
+    /// Join key on the build side.
+    pub build_col: ColRef,
+}
+
+/// A resolved output expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedOutput {
+    /// Aggregate function, if any.
+    pub agg: Option<AggKind>,
+    /// The referenced column.
+    pub col: ColRef,
+}
+
+/// A fully-resolved query, ready for physical planning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedQuery {
+    /// Table names; index 0 is the FROM (probe) table, index 1 the joined
+    /// (build) table when present.
+    pub tables: Vec<String>,
+    /// The join, if any.
+    pub join: Option<ResolvedJoin>,
+    /// Conjunctive filters.
+    pub filters: Vec<ResolvedFilter>,
+    /// Output expressions.
+    pub outputs: Vec<ResolvedOutput>,
+    /// Grouping key, when the query has a `GROUP BY` clause.
+    pub group_by: Option<ColRef>,
+}
+
+impl ResolvedQuery {
+    /// Whether the query aggregates without grouping (vs. plain projection
+    /// or grouped aggregation).
+    pub fn is_aggregate(&self) -> bool {
+        self.group_by.is_none() && self.outputs.first().is_some_and(|o| o.agg.is_some())
+    }
+}
+
+/// Resolve `stmt` against `catalog`.
+pub fn resolve(stmt: &SelectStmt, catalog: &Catalog) -> Result<ResolvedQuery> {
+    let mut tables = vec![stmt.from.clone()];
+    if let Some(j) = &stmt.join {
+        if j.table == stmt.from {
+            return Err(EngineError::resolution(
+                "self-joins need distinct table registrations",
+            ));
+        }
+        tables.push(j.table.clone());
+    }
+    for t in &tables {
+        catalog.get(t)?; // existence check
+    }
+
+    let lookup = |col: &ColName| -> Result<ColRef> {
+        match &col.table {
+            Some(t) => {
+                let idx = tables
+                    .iter()
+                    .position(|name| name == t)
+                    .ok_or_else(|| {
+                        EngineError::resolution(format!("table {t} not in FROM/JOIN"))
+                    })?;
+                bind(catalog, &tables, idx, &col.column)
+            }
+            None => {
+                let mut found: Option<ColRef> = None;
+                for idx in 0..tables.len() {
+                    if let Ok(r) = bind(catalog, &tables, idx, &col.column) {
+                        if found.is_some() {
+                            return Err(EngineError::resolution(format!(
+                                "column {} is ambiguous",
+                                col.column
+                            )));
+                        }
+                        found = Some(r);
+                    }
+                }
+                found.ok_or_else(|| {
+                    EngineError::resolution(format!("unknown column {}", col.column))
+                })
+            }
+        }
+    };
+
+    let join = match &stmt.join {
+        Some(j) => {
+            let a = lookup(&j.left)?;
+            let b = lookup(&j.right)?;
+            let (probe_col, build_col) = match (a.table, b.table) {
+                (0, 1) => (a, b),
+                (1, 0) => (b, a),
+                _ => {
+                    return Err(EngineError::resolution(
+                        "join keys must reference both tables",
+                    ))
+                }
+            };
+            Some(ResolvedJoin { probe_col, build_col })
+        }
+        None => None,
+    };
+
+    let mut filters = Vec::with_capacity(stmt.predicates.len());
+    for p in &stmt.predicates {
+        filters.push(ResolvedFilter { col: lookup(&p.col)?, op: p.op, value: p.value.clone() });
+    }
+
+    let mut outputs = Vec::with_capacity(stmt.items.len());
+    for item in &stmt.items {
+        outputs.push(ResolvedOutput { agg: item.agg, col: lookup(&item.col)? });
+    }
+    let aggs = outputs.iter().filter(|o| o.agg.is_some()).count();
+
+    let group_by = match &stmt.group_by {
+        Some(g) => {
+            let key = lookup(g)?;
+            // Bare select items must be the grouping key; anything else has
+            // no single value per group.
+            for o in &outputs {
+                if o.agg.is_none()
+                    && (o.col.table != key.table || o.col.schema_idx != key.schema_idx)
+                {
+                    return Err(EngineError::resolution(format!(
+                        "column {} must appear in an aggregate or be the GROUP BY key",
+                        o.col.name
+                    )));
+                }
+            }
+            if aggs == 0 {
+                return Err(EngineError::resolution(
+                    "GROUP BY requires at least one aggregate in the select list",
+                ));
+            }
+            Some(key)
+        }
+        None => {
+            if aggs != 0 && aggs != outputs.len() {
+                return Err(EngineError::resolution(
+                    "cannot mix aggregates and bare columns without GROUP BY",
+                ));
+            }
+            None
+        }
+    };
+
+    Ok(ResolvedQuery { tables, join, filters, outputs, group_by })
+}
+
+fn bind(catalog: &Catalog, tables: &[String], table: usize, column: &str) -> Result<ColRef> {
+    let def = catalog.get(&tables[table])?;
+    let (schema_idx, field) = def.schema.field_by_name(column).ok_or_else(|| {
+        EngineError::resolution(format!("no column {column} in table {}", tables[table]))
+    })?;
+    Ok(ColRef {
+        table,
+        name: column.to_owned(),
+        schema_idx,
+        data_type: field.data_type,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{TableDef, TableSource};
+    use crate::sql::parse;
+    use raw_columnar::Schema;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for name in ["file1", "file2"] {
+            c.register(TableDef {
+                name: name.into(),
+                schema: Schema::uniform(30, DataType::Int64),
+                source: TableSource::Csv { path: format!("/data/{name}.csv").into() },
+            });
+        }
+        c
+    }
+
+    #[test]
+    fn resolves_simple_query() {
+        let stmt = parse("SELECT MAX(col11) FROM file1 WHERE col1 < 42").unwrap();
+        let q = resolve(&stmt, &catalog()).unwrap();
+        assert_eq!(q.tables, vec!["file1"]);
+        assert!(q.is_aggregate());
+        assert_eq!(q.outputs[0].col.schema_idx, 10);
+        assert_eq!(q.filters[0].col.schema_idx, 0);
+        assert_eq!(q.filters[0].col.data_type, DataType::Int64);
+    }
+
+    #[test]
+    fn resolves_join_and_normalizes_sides() {
+        // Keys written build-first still normalize to (probe, build).
+        let stmt = parse(
+            "SELECT MAX(file2.col11) FROM file1 JOIN file2 ON file2.col1 = file1.col1",
+        )
+        .unwrap();
+        let q = resolve(&stmt, &catalog()).unwrap();
+        let j = q.join.unwrap();
+        assert_eq!(j.probe_col.table, 0);
+        assert_eq!(j.build_col.table, 1);
+        assert_eq!(q.outputs[0].col.table, 1);
+    }
+
+    #[test]
+    fn ambiguity_detected() {
+        let stmt =
+            parse("SELECT MAX(col11) FROM file1 JOIN file2 ON file1.col1 = file2.col1").unwrap();
+        let err = resolve(&stmt, &catalog()).unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        let c = catalog();
+        let stmt = parse("SELECT MAX(colX) FROM file1").unwrap();
+        assert!(resolve(&stmt, &c).is_err());
+        let stmt = parse("SELECT MAX(col1) FROM nope").unwrap();
+        assert!(resolve(&stmt, &c).is_err());
+        let stmt = parse("SELECT MAX(zz.col1) FROM file1").unwrap();
+        assert!(resolve(&stmt, &c).is_err());
+    }
+
+    #[test]
+    fn join_keys_must_span_tables() {
+        let stmt = parse(
+            "SELECT MAX(col11) FROM file1 JOIN file2 ON file1.col1 = file1.col2",
+        )
+        .unwrap();
+        assert!(resolve(&stmt, &catalog()).is_err());
+    }
+
+    #[test]
+    fn mixed_select_list_rejected() {
+        let stmt = parse("SELECT MAX(col1), col2 FROM file1").unwrap();
+        assert!(resolve(&stmt, &catalog()).is_err());
+    }
+
+    #[test]
+    fn self_join_rejected() {
+        let stmt =
+            parse("SELECT MAX(col1) FROM file1 JOIN file1 ON file1.col1 = file1.col2").unwrap();
+        assert!(resolve(&stmt, &catalog()).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! The column-shred pool (§3, §5.1).
+//!
+//! "RAW maintains a pool of previously created column shreds. A shred is
+//! used by an upcoming query if the values it contains subsume the values
+//! requested. The replacement policy we use for this cache is LRU."
+//!
+//! Entries are [`SparseColumn`]s keyed by (table, column): full columns are
+//! shreds whose loaded mask is all-ones. Insertions *merge* (the pool
+//! accumulates coverage across queries); eviction is LRU by byte budget.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use raw_columnar::{Column, SparseColumn};
+
+/// Pool statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShredPoolStats {
+    /// Lookups that found a usable shred.
+    pub hits: u64,
+    /// Lookups that found nothing (or insufficient coverage).
+    pub misses: u64,
+    /// Shreds evicted to stay within budget.
+    pub evictions: u64,
+}
+
+struct Entry {
+    shred: Arc<SparseColumn>,
+    last_used: u64,
+    bytes: usize,
+}
+
+/// LRU pool of column shreds.
+pub struct ShredPool {
+    entries: HashMap<(String, String), Entry>,
+    budget_bytes: usize,
+    clock: u64,
+    stats: ShredPoolStats,
+}
+
+fn shred_bytes(s: &SparseColumn) -> usize {
+    s.dense().heap_bytes() + s.len() / 8
+}
+
+impl ShredPool {
+    /// A pool that evicts LRU entries beyond `budget_bytes`.
+    pub fn new(budget_bytes: usize) -> ShredPool {
+        ShredPool {
+            entries: HashMap::new(),
+            budget_bytes,
+            clock: 0,
+            stats: ShredPoolStats::default(),
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> ShredPoolStats {
+        self.stats
+    }
+
+    /// Total bytes held.
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.values().map(|e| e.bytes).sum()
+    }
+
+    /// Number of cached shreds.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Fetch the shred for (`table`, `column`) regardless of coverage,
+    /// touching LRU. Callers check coverage themselves ([`SparseColumn`]
+    /// exposes `covers_rows` / `is_full`).
+    pub fn get(&mut self, table: &str, column: &str) -> Option<Arc<SparseColumn>> {
+        self.clock += 1;
+        let key = (table.to_owned(), column.to_owned());
+        match self.entries.get_mut(&key) {
+            Some(e) => {
+                e.last_used = self.clock;
+                self.stats.hits += 1;
+                Some(Arc::clone(&e.shred))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Fetch only if the shred covers the *entire* column of `len` rows
+    /// (used by bottom scans, which need every row).
+    pub fn get_full(&mut self, table: &str, column: &str, len: u64) -> Option<Arc<SparseColumn>> {
+        let shred = self.get(table, column)?;
+        if shred.len() as u64 >= len && shred.is_full() {
+            Some(shred)
+        } else {
+            // The partial hit is not usable as a full column.
+            self.stats.hits -= 1;
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Merge `incoming` into the pool entry for (`table`, `column`). If an
+    /// entry exists, the union of loaded rows is kept (incoming wins on
+    /// overlap); otherwise the shred is inserted as-is.
+    pub fn insert_merge(
+        &mut self,
+        table: &str,
+        column: &str,
+        incoming: SparseColumn,
+    ) -> raw_columnar::Result<()> {
+        self.clock += 1;
+        let key = (table.to_owned(), column.to_owned());
+        match self.entries.get_mut(&key) {
+            Some(e) => {
+                // Grow the resident shred if the incoming one is longer.
+                let merged = Arc::make_mut(&mut e.shred);
+                if incoming.len() > merged.len() {
+                    merged.grow_to(incoming.len());
+                }
+                merged.absorb(&incoming)?;
+                e.bytes = shred_bytes(merged);
+                e.last_used = self.clock;
+            }
+            None => {
+                let bytes = shred_bytes(&incoming);
+                self.entries.insert(
+                    key,
+                    Entry { shred: Arc::new(incoming), last_used: self.clock, bytes },
+                );
+            }
+        }
+        self.evict_to_budget();
+        Ok(())
+    }
+
+    /// Convenience: cache a fully-loaded column.
+    pub fn insert_full(
+        &mut self,
+        table: &str,
+        column: &str,
+        column_data: Column,
+    ) -> raw_columnar::Result<()> {
+        self.insert_merge(table, column, SparseColumn::full(column_data))
+    }
+
+    fn evict_to_budget(&mut self) {
+        while self.heap_bytes() > self.budget_bytes && !self.entries.is_empty() {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty");
+            self.entries.remove(&victim);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raw_columnar::{DataType, Value};
+
+    fn shred(rows: &[usize], len: usize) -> SparseColumn {
+        let mut s = SparseColumn::new(DataType::Int64, len);
+        for &r in rows {
+            s.store(r, &Value::Int64(r as i64 * 10)).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn insert_get_and_coverage() {
+        let mut pool = ShredPool::new(1 << 20);
+        pool.insert_merge("t", "col11", shred(&[1, 3], 10)).unwrap();
+        let s = pool.get("t", "col11").unwrap();
+        assert!(s.covers_rows(&[1, 3]));
+        assert!(!s.covers_rows(&[2]));
+        assert!(pool.get("t", "colX").is_none());
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(pool.stats().misses, 1);
+    }
+
+    #[test]
+    fn merge_accumulates_coverage() {
+        let mut pool = ShredPool::new(1 << 20);
+        pool.insert_merge("t", "c", shred(&[1], 10)).unwrap();
+        pool.insert_merge("t", "c", shred(&[4, 5], 10)).unwrap();
+        let s = pool.get("t", "c").unwrap();
+        assert!(s.covers_rows(&[1, 4, 5]));
+        assert_eq!(pool.len(), 1, "merged, not duplicated");
+    }
+
+    #[test]
+    fn merge_grows_shorter_entry() {
+        let mut pool = ShredPool::new(1 << 20);
+        pool.insert_merge("t", "c", shred(&[1], 4)).unwrap();
+        pool.insert_merge("t", "c", shred(&[7], 10)).unwrap();
+        let s = pool.get("t", "c").unwrap();
+        assert_eq!(s.len(), 10);
+        assert!(s.covers_rows(&[1, 7]));
+    }
+
+    #[test]
+    fn get_full_requires_full_coverage() {
+        let mut pool = ShredPool::new(1 << 20);
+        pool.insert_merge("t", "c", shred(&[0, 1, 2], 3)).unwrap();
+        assert!(pool.get_full("t", "c", 3).is_some());
+        assert!(pool.get_full("t", "c", 5).is_none(), "file longer than shred");
+        pool.insert_merge("t", "d", shred(&[0], 3)).unwrap();
+        assert!(pool.get_full("t", "d", 3).is_none(), "partial");
+    }
+
+    #[test]
+    fn full_column_roundtrip() {
+        let mut pool = ShredPool::new(1 << 20);
+        pool.insert_full("t", "c", vec![1i64, 2, 3].into()).unwrap();
+        let s = pool.get_full("t", "c", 3).unwrap();
+        assert_eq!(s.dense().as_i64().unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget() {
+        // Each 100-row i64 shred is ~812 bytes; budget of 2000 holds two.
+        let mut pool = ShredPool::new(2000);
+        pool.insert_full("t", "a", vec![0i64; 100].into()).unwrap();
+        pool.insert_full("t", "b", vec![0i64; 100].into()).unwrap();
+        assert_eq!(pool.len(), 2);
+        // Touch "a" so "b" becomes LRU, then insert "c".
+        pool.get("t", "a");
+        pool.insert_full("t", "c", vec![0i64; 100].into()).unwrap();
+        assert_eq!(pool.len(), 2);
+        assert!(pool.get("t", "b").is_none(), "b was evicted");
+        assert!(pool.get("t", "a").is_some());
+        assert!(pool.get("t", "c").is_some());
+        assert_eq!(pool.stats().evictions, 1);
+    }
+
+    #[test]
+    fn type_conflict_on_merge_errors() {
+        let mut pool = ShredPool::new(1 << 20);
+        pool.insert_full("t", "c", vec![1i64].into()).unwrap();
+        let wrong = SparseColumn::full(vec![1.0f64].into());
+        assert!(pool.insert_merge("t", "c", wrong).is_err());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut pool = ShredPool::new(1 << 20);
+        pool.insert_full("t", "c", vec![1i64].into()).unwrap();
+        pool.clear();
+        assert!(pool.is_empty());
+        assert_eq!(pool.heap_bytes(), 0);
+    }
+}

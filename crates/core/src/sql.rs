@@ -1,0 +1,563 @@
+//! A mini-SQL front end covering the paper's query shapes.
+//!
+//! "In an ideal scenario, physicists would write queries in a declarative
+//! query language such as SQL" (§6). The microbenchmark queries are all of
+//! the form
+//!
+//! ```sql
+//! SELECT MAX(col11) FROM file1 WHERE col1 < 5000
+//! SELECT MAX(col11) FROM file1 JOIN file2 ON file1.col1 = file2.col1
+//!     WHERE file2.col2 < 5000
+//! ```
+//!
+//! so the grammar is: one table, an optional equi-join, conjunctive
+//! comparisons against literals, aggregate or bare-column select items, and
+//! an optional `GROUP BY key` (the Higgs use case is histogram-shaped:
+//! grouped counts and extrema per event).
+
+use std::fmt;
+
+use raw_columnar::ops::AggKind;
+use raw_columnar::{CmpOp, Value};
+
+use crate::error::{EngineError, Result};
+
+/// A possibly table-qualified column name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColName {
+    /// Qualifier, when written as `table.column`.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl fmt::Display for ColName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => f.write_str(&self.column),
+        }
+    }
+}
+
+/// One item of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// Aggregate function wrapping the column, if any.
+    pub agg: Option<AggKind>,
+    /// The referenced column.
+    pub col: ColName,
+}
+
+/// `JOIN table ON left = right`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// Joined (build-side) table.
+    pub table: String,
+    /// Left key (resolved to the probe side later).
+    pub left: ColName,
+    /// Right key.
+    pub right: ColName,
+}
+
+/// One conjunct of the WHERE clause: `col op literal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredClause {
+    /// Filtered column.
+    pub col: ColName,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal value.
+    pub value: Value,
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Select-list items.
+    pub items: Vec<SelectItem>,
+    /// Primary (probe-side) table.
+    pub from: String,
+    /// Optional join.
+    pub join: Option<JoinClause>,
+    /// Conjunctive predicates.
+    pub predicates: Vec<PredClause>,
+    /// Optional `GROUP BY` key column.
+    pub group_by: Option<ColName>,
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match item.agg {
+                Some(agg) => write!(f, "{}({})", agg.sql(), item.col)?,
+                None => write!(f, "{}", item.col)?,
+            }
+        }
+        write!(f, " FROM {}", self.from)?;
+        if let Some(j) = &self.join {
+            write!(f, " JOIN {} ON {} = {}", j.table, j.left, j.right)?;
+        }
+        if !self.predicates.is_empty() {
+            write!(f, " WHERE ")?;
+            for (i, p) in self.predicates.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{} {} {}", p.col, p.op.sql(), p.value)?;
+            }
+        }
+        if let Some(g) = &self.group_by {
+            write!(f, " GROUP BY {g}")?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(String),
+    Symbol(&'static str),
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    tokens: Vec<(Token, usize)>,
+}
+
+impl<'a> Lexer<'a> {
+    fn tokenize(src: &'a str) -> Result<Vec<(Token, usize)>> {
+        let mut lx = Lexer { src: src.as_bytes(), pos: 0, tokens: Vec::new() };
+        while lx.pos < lx.src.len() {
+            let start = lx.pos;
+            let b = lx.src[lx.pos];
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    lx.pos += 1;
+                }
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                    while lx.pos < lx.src.len()
+                        && (lx.src[lx.pos].is_ascii_alphanumeric() || lx.src[lx.pos] == b'_')
+                    {
+                        lx.pos += 1;
+                    }
+                    let word = std::str::from_utf8(&lx.src[start..lx.pos])
+                        .expect("ascii")
+                        .to_owned();
+                    lx.tokens.push((Token::Ident(word), start));
+                }
+                b'0'..=b'9' => {
+                    while lx.pos < lx.src.len()
+                        && (lx.src[lx.pos].is_ascii_digit()
+                            || lx.src[lx.pos] == b'.'
+                            || lx.src[lx.pos] == b'e'
+                            || lx.src[lx.pos] == b'E'
+                            || ((lx.src[lx.pos] == b'+' || lx.src[lx.pos] == b'-')
+                                && matches!(lx.src[lx.pos - 1], b'e' | b'E')))
+                    {
+                        lx.pos += 1;
+                    }
+                    let num = std::str::from_utf8(&lx.src[start..lx.pos])
+                        .expect("ascii")
+                        .to_owned();
+                    lx.tokens.push((Token::Number(num), start));
+                }
+                b'<' => {
+                    lx.pos += 1;
+                    let sym = if lx.peek() == Some(b'=') {
+                        lx.pos += 1;
+                        "<="
+                    } else if lx.peek() == Some(b'>') {
+                        lx.pos += 1;
+                        "<>"
+                    } else {
+                        "<"
+                    };
+                    lx.tokens.push((Token::Symbol(sym), start));
+                }
+                b'>' => {
+                    lx.pos += 1;
+                    let sym = if lx.peek() == Some(b'=') {
+                        lx.pos += 1;
+                        ">="
+                    } else {
+                        ">"
+                    };
+                    lx.tokens.push((Token::Symbol(sym), start));
+                }
+                b'!' => {
+                    lx.pos += 1;
+                    if lx.peek() == Some(b'=') {
+                        lx.pos += 1;
+                        lx.tokens.push((Token::Symbol("<>"), start));
+                    } else {
+                        return Err(EngineError::Sql {
+                            message: "expected != ".into(),
+                            offset: Some(start),
+                        });
+                    }
+                }
+                b'=' => {
+                    lx.pos += 1;
+                    lx.tokens.push((Token::Symbol("="), start));
+                }
+                b',' => {
+                    lx.pos += 1;
+                    lx.tokens.push((Token::Symbol(","), start));
+                }
+                b'.' => {
+                    lx.pos += 1;
+                    lx.tokens.push((Token::Symbol("."), start));
+                }
+                b'(' => {
+                    lx.pos += 1;
+                    lx.tokens.push((Token::Symbol("("), start));
+                }
+                b')' => {
+                    lx.pos += 1;
+                    lx.tokens.push((Token::Symbol(")"), start));
+                }
+                b'-' => {
+                    // Negative literal: glue onto the following number.
+                    lx.pos += 1;
+                    let num_start = lx.pos;
+                    while lx.pos < lx.src.len()
+                        && (lx.src[lx.pos].is_ascii_digit() || lx.src[lx.pos] == b'.')
+                    {
+                        lx.pos += 1;
+                    }
+                    if lx.pos == num_start {
+                        return Err(EngineError::Sql {
+                            message: "dangling '-'".into(),
+                            offset: Some(start),
+                        });
+                    }
+                    let num = format!(
+                        "-{}",
+                        std::str::from_utf8(&lx.src[num_start..lx.pos]).expect("ascii")
+                    );
+                    lx.tokens.push((Token::Number(num), start));
+                }
+                other => {
+                    return Err(EngineError::Sql {
+                        message: format!("unexpected character {:?}", other as char),
+                        offset: Some(start),
+                    });
+                }
+            }
+        }
+        Ok(lx.tokens)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, message: impl Into<String>) -> EngineError {
+        EngineError::Sql {
+            message: message.into(),
+            offset: self.tokens.get(self.pos).map(|&(_, o)| o),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(w)) = self.peek() {
+            if w.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw}")))
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<()> {
+        match self.peek() {
+            Some(Token::Symbol(s)) if *s == sym => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.err(format!("expected '{sym}'"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(w)) => Ok(w),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected identifier"))
+            }
+        }
+    }
+
+    fn colref(&mut self) -> Result<ColName> {
+        let first = self.ident()?;
+        if matches!(self.peek(), Some(Token::Symbol("."))) {
+            self.pos += 1;
+            let column = self.ident()?;
+            Ok(ColName { table: Some(first), column })
+        } else {
+            Ok(ColName { table: None, column: first })
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        match self.next() {
+            Some(Token::Number(n)) => {
+                if n.contains('.') || n.contains('e') || n.contains('E') {
+                    n.parse::<f64>()
+                        .map(Value::Float64)
+                        .map_err(|_| self.err(format!("bad float literal {n}")))
+                } else {
+                    n.parse::<i64>()
+                        .map(Value::Int64)
+                        .map_err(|_| self.err(format!("bad int literal {n}")))
+                }
+            }
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected literal"))
+            }
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp> {
+        let op = match self.peek() {
+            Some(Token::Symbol("<")) => CmpOp::Lt,
+            Some(Token::Symbol("<=")) => CmpOp::Le,
+            Some(Token::Symbol(">")) => CmpOp::Gt,
+            Some(Token::Symbol(">=")) => CmpOp::Ge,
+            Some(Token::Symbol("=")) => CmpOp::Eq,
+            Some(Token::Symbol("<>")) => CmpOp::Ne,
+            _ => return Err(self.err("expected comparison operator")),
+        };
+        self.pos += 1;
+        Ok(op)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        // Lookahead: IDENT '(' means aggregate.
+        if let (Some(Token::Ident(w)), Some((Token::Symbol("("), _))) =
+            (self.peek(), self.tokens.get(self.pos + 1))
+        {
+            let Some(agg) = AggKind::parse(w) else {
+                return Err(self.err(format!("unknown aggregate {w}")));
+            };
+            self.pos += 2; // IDENT (
+            let col = self.colref()?;
+            self.expect_symbol(")")?;
+            return Ok(SelectItem { agg: Some(agg), col });
+        }
+        Ok(SelectItem { agg: None, col: self.colref()? })
+    }
+
+    fn statement(&mut self) -> Result<SelectStmt> {
+        self.expect_keyword("SELECT")?;
+        let mut items = vec![self.select_item()?];
+        while matches!(self.peek(), Some(Token::Symbol(","))) {
+            self.pos += 1;
+            items.push(self.select_item()?);
+        }
+        self.expect_keyword("FROM")?;
+        let from = self.ident()?;
+
+        let join = if self.keyword("JOIN") {
+            let table = self.ident()?;
+            self.expect_keyword("ON")?;
+            let left = self.colref()?;
+            self.expect_symbol("=")?;
+            let right = self.colref()?;
+            Some(JoinClause { table, left, right })
+        } else {
+            None
+        };
+
+        let mut predicates = Vec::new();
+        if self.keyword("WHERE") {
+            loop {
+                let col = self.colref()?;
+                let op = self.cmp_op()?;
+                let value = self.literal()?;
+                predicates.push(PredClause { col, op, value });
+                if !self.keyword("AND") {
+                    break;
+                }
+            }
+        }
+        let group_by = if self.keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            Some(self.colref()?)
+        } else {
+            None
+        };
+        if self.pos != self.tokens.len() {
+            return Err(self.err("trailing tokens after statement"));
+        }
+        Ok(SelectStmt { items, from, join, predicates, group_by })
+    }
+}
+
+/// Parse one SELECT statement.
+pub fn parse(sql: &str) -> Result<SelectStmt> {
+    let tokens = Lexer::tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.statement()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_aggregate() {
+        let s = parse("SELECT MAX(col1) FROM t WHERE col1 < 5000").unwrap();
+        assert_eq!(s.from, "t");
+        assert_eq!(s.items.len(), 1);
+        assert_eq!(s.items[0].agg, Some(AggKind::Max));
+        assert_eq!(s.items[0].col.column, "col1");
+        assert_eq!(s.predicates.len(), 1);
+        assert_eq!(s.predicates[0].op, CmpOp::Lt);
+        assert_eq!(s.predicates[0].value, Value::Int64(5000));
+        assert!(s.join.is_none());
+    }
+
+    #[test]
+    fn paper_q2() {
+        let s = parse("SELECT MAX(col11) FROM file1 WHERE col1 < 400000000").unwrap();
+        assert_eq!(s.to_string(), "SELECT MAX(col11) FROM file1 WHERE col1 < 400000000");
+    }
+
+    #[test]
+    fn join_query() {
+        let s = parse(
+            "SELECT MAX(file1.col11) FROM file1 JOIN file2 ON file1.col1 = file2.col1 \
+             WHERE file2.col2 < 100",
+        )
+        .unwrap();
+        let j = s.join.as_ref().unwrap();
+        assert_eq!(j.table, "file2");
+        assert_eq!(j.left.table.as_deref(), Some("file1"));
+        assert_eq!(j.right.column, "col1");
+        assert_eq!(s.predicates[0].col.table.as_deref(), Some("file2"));
+    }
+
+    #[test]
+    fn multiple_items_and_predicates() {
+        let s = parse(
+            "SELECT MAX(col6), COUNT(col1) FROM f WHERE col1 < 10 AND col5 >= 3",
+        )
+        .unwrap();
+        assert_eq!(s.items.len(), 2);
+        assert_eq!(s.items[1].agg, Some(AggKind::Count));
+        assert_eq!(s.predicates.len(), 2);
+        assert_eq!(s.predicates[1].op, CmpOp::Ge);
+    }
+
+    #[test]
+    fn bare_columns() {
+        let s = parse("SELECT col1, col2 FROM t").unwrap();
+        assert!(s.items.iter().all(|i| i.agg.is_none()));
+    }
+
+    #[test]
+    fn literals() {
+        let s = parse("SELECT MAX(a) FROM t WHERE a < -5").unwrap();
+        assert_eq!(s.predicates[0].value, Value::Int64(-5));
+        let s = parse("SELECT MAX(a) FROM t WHERE a < 2.5").unwrap();
+        assert_eq!(s.predicates[0].value, Value::Float64(2.5));
+        let s = parse("SELECT MAX(a) FROM t WHERE a <> 1").unwrap();
+        assert_eq!(s.predicates[0].op, CmpOp::Ne);
+        let s = parse("SELECT MAX(a) FROM t WHERE a != 1").unwrap();
+        assert_eq!(s.predicates[0].op, CmpOp::Ne);
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        assert!(parse("select max(a) from t where a < 1 and a > 0").is_ok());
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let e = parse("SELECT MAX(col1) FRM t").unwrap_err();
+        assert!(e.to_string().contains("expected FROM"), "{e}");
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT MEDIAN(a) FROM t").is_err());
+        assert!(parse("SELECT MAX(a) FROM t WHERE a < ").is_err());
+        assert!(parse("SELECT MAX(a) FROM t extra").is_err());
+        assert!(parse("SELECT MAX(a) FROM t WHERE a ~ 3").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for q in [
+            "SELECT MAX(col11) FROM file1 WHERE col1 < 400",
+            "SELECT MAX(file1.col11) FROM file1 JOIN file2 ON file1.col1 = file2.col1 WHERE file2.col2 < 100",
+            "SELECT col1, col2 FROM t",
+            "SELECT COUNT(a) FROM t WHERE a >= 1 AND b <> 2",
+            "SELECT region, SUM(q) FROM sales WHERE q < 5 GROUP BY region",
+            "SELECT COUNT(s.q) FROM s JOIN d ON s.k = d.k GROUP BY d.tier",
+        ] {
+            let parsed = parse(q).unwrap();
+            assert_eq!(parsed.to_string(), q);
+            assert_eq!(parse(&parsed.to_string()).unwrap(), parsed, "idempotent");
+        }
+    }
+
+    #[test]
+    fn group_by_clause() {
+        let s = parse("SELECT region, COUNT(x) FROM t GROUP BY region").unwrap();
+        assert_eq!(
+            s.group_by,
+            Some(ColName { table: None, column: "region".into() })
+        );
+        let s = parse("SELECT COUNT(x) FROM t WHERE x < 3 GROUP BY t.region").unwrap();
+        assert_eq!(s.group_by.as_ref().unwrap().table.as_deref(), Some("t"));
+        // GROUP without BY, or BY without a column, are errors.
+        assert!(parse("SELECT COUNT(x) FROM t GROUP region").is_err());
+        assert!(parse("SELECT COUNT(x) FROM t GROUP BY").is_err());
+        // GROUP BY must come after WHERE.
+        assert!(parse("SELECT COUNT(x) FROM t GROUP BY r WHERE x < 1").is_err());
+    }
+}

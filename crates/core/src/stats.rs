@@ -1,0 +1,72 @@
+//! Per-query execution statistics.
+
+use std::time::Duration;
+
+use raw_columnar::profile::{PhaseProfile, ScanMetrics};
+
+/// Everything the engine measured while answering one query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// End-to-end wall time (parse + plan + execute + cache recording).
+    pub wall: Duration,
+    /// Aggregated raw-data-access phase profile (Figure-3 categories).
+    pub scan: PhaseProfile,
+    /// Aggregated scan volume counters.
+    pub metrics: ScanMetrics,
+    /// Bytes read from disk during this query (0 on a fully warm run).
+    pub io_bytes: u64,
+    /// Time spent compiling access paths (template-cache misses).
+    pub compile_time: Duration,
+    /// Template-cache hits during planning.
+    pub template_hits: u64,
+    /// Template-cache misses (compilations) during planning.
+    pub template_misses: u64,
+    /// Shred-pool hits during planning.
+    pub shred_hits: u64,
+    /// Shred-pool misses during planning.
+    pub shred_misses: u64,
+    /// Positional maps built (or extended) as a side effect.
+    pub posmaps_built: usize,
+    /// Shreds recorded into the pool as a side effect.
+    pub shreds_recorded: usize,
+    /// Rows in the result.
+    pub rows_out: u64,
+    /// Plan description, one line per step.
+    pub explain: Vec<String>,
+}
+
+impl QueryStats {
+    /// Wall time in seconds (convenience for reports).
+    pub fn wall_secs(&self) -> f64 {
+        self.wall.as_secs_f64()
+    }
+
+    /// Render a compact one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "wall={:?} io={}B compile={:?} tmpl={}H/{}M shreds={}H/{}M rows={}",
+            self.wall,
+            self.io_bytes,
+            self.compile_time,
+            self.template_hits,
+            self.template_misses,
+            self.shred_hits,
+            self.shred_misses,
+            self.rows_out
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_renders() {
+        let s = QueryStats { rows_out: 3, io_bytes: 42, ..Default::default() };
+        let line = s.summary();
+        assert!(line.contains("io=42B"));
+        assert!(line.contains("rows=3"));
+        assert_eq!(s.wall_secs(), 0.0);
+    }
+}

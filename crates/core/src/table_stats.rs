@@ -1,0 +1,362 @@
+//! Adaptive table statistics: per-column histograms harvested from queries.
+//!
+//! The paper's planner decides *where* to place scan operators (full columns
+//! vs. column shreds, join Early/Intermediate/Late) but leaves "a
+//! comprehensive cost model … to enable their integration with existing
+//! query optimizers" as future work (§8). That cost model needs selectivity
+//! estimates, and RAW's design principle — *leverage information available
+//! at query time* — suggests where to get them: as a side effect of earlier
+//! queries, exactly like positional maps and column shreds.
+//!
+//! [`StatsRegistry`] keeps one equi-width [`ColumnHistogram`] per (table,
+//! column) pair. Histograms are built when a query materializes a full
+//! column (the engine already records those into the shred pool, so the
+//! values pass through our hands for free) and from DBMS-mode loads. A
+//! histogram answers "what fraction of rows satisfies `col < X`?" with
+//! linear interpolation inside the boundary bucket — the textbook
+//! Selinger-style estimate, adequate for the coarse regime decisions the
+//! cost model makes (the crossovers in Figures 5–9, 11, 12 move by whole
+//! tens of percent of selectivity).
+
+use std::collections::HashMap;
+
+use raw_columnar::{CmpOp, Column, DataType, Value};
+
+/// Number of equi-width buckets per histogram.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Columns longer than this are sampled with a stride when building
+/// histograms, bounding the build cost for very large shreds.
+const SAMPLE_CAP: usize = 1 << 16;
+
+/// An equi-width histogram over one numeric column.
+#[derive(Debug, Clone)]
+pub struct ColumnHistogram {
+    data_type: DataType,
+    min: f64,
+    max: f64,
+    buckets: Vec<u64>,
+    /// Total values represented (sampled count, not necessarily row count).
+    count: u64,
+    /// Rows in the column the histogram was built from.
+    rows: u64,
+}
+
+impl ColumnHistogram {
+    /// Build a histogram from a dense column. Returns `None` for
+    /// non-numeric columns or empty input.
+    pub fn build(col: &Column) -> Option<ColumnHistogram> {
+        if !col.data_type().is_numeric() || col.is_empty() {
+            return None;
+        }
+        let stride = (col.len() / SAMPLE_CAP).max(1);
+        let values = numeric_values(col, stride);
+        if values.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in &values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if !min.is_finite() || !max.is_finite() {
+            return None;
+        }
+        let width = (max - min).max(f64::MIN_POSITIVE);
+        let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        for &v in &values {
+            let b = (((v - min) / width) * HISTOGRAM_BUCKETS as f64) as usize;
+            buckets[b.min(HISTOGRAM_BUCKETS - 1)] += 1;
+        }
+        Some(ColumnHistogram {
+            data_type: col.data_type(),
+            min,
+            max,
+            buckets,
+            count: values.len() as u64,
+            rows: col.len() as u64,
+        })
+    }
+
+    /// The column type the histogram describes.
+    pub fn data_type(&self) -> DataType {
+        self.data_type
+    }
+
+    /// Rows in the column this histogram was built from.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Observed minimum.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Observed maximum.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Estimated fraction of values strictly below `x` (linear
+    /// interpolation within the boundary bucket).
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if x <= self.min {
+            return 0.0;
+        }
+        if x > self.max {
+            return 1.0;
+        }
+        let width = (self.max - self.min).max(f64::MIN_POSITIVE);
+        let pos = (x - self.min) / width * HISTOGRAM_BUCKETS as f64;
+        let full = (pos.floor() as usize).min(HISTOGRAM_BUCKETS);
+        let frac = pos - pos.floor();
+        let mut below: f64 = self.buckets[..full].iter().map(|&c| c as f64).sum();
+        if full < HISTOGRAM_BUCKETS {
+            below += self.buckets[full] as f64 * frac;
+        }
+        (below / self.count as f64).clamp(0.0, 1.0)
+    }
+
+    /// Estimated selectivity of `col <op> lit`.
+    pub fn selectivity(&self, op: CmpOp, lit: &Value) -> Option<f64> {
+        let x = lit.as_f64()?;
+        let below = self.fraction_below(x);
+        // Equality: assume values spread uniformly within the boundary
+        // bucket; one "distinct value slot" per bucket is the classic
+        // fallback without distinct-count tracking.
+        let eq = if x < self.min || x > self.max {
+            0.0
+        } else {
+            (self.buckets[self.bucket_of(x)] as f64 / self.count as f64)
+                / bucket_slots(self.data_type, self.min, self.max)
+        };
+        let sel = match op {
+            CmpOp::Lt => below,
+            CmpOp::Le => below + eq,
+            CmpOp::Gt => 1.0 - below - eq,
+            CmpOp::Ge => 1.0 - below,
+            CmpOp::Eq => eq,
+            CmpOp::Ne => 1.0 - eq,
+        };
+        Some(sel.clamp(0.0, 1.0))
+    }
+
+    fn bucket_of(&self, x: f64) -> usize {
+        let width = (self.max - self.min).max(f64::MIN_POSITIVE);
+        let b = ((x - self.min) / width * HISTOGRAM_BUCKETS as f64) as usize;
+        b.min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// How many "equality slots" a bucket holds: integer columns narrower than
+/// the bucket width are exact; everything else uses a nominal slot count.
+fn bucket_slots(dt: DataType, min: f64, max: f64) -> f64 {
+    let span = (max - min) / HISTOGRAM_BUCKETS as f64;
+    match dt {
+        DataType::Int32 | DataType::Int64 => span.max(1.0),
+        _ => span.max(100.0),
+    }
+}
+
+fn numeric_values(col: &Column, stride: usize) -> Vec<f64> {
+    fn strided<T: Copy, F: Fn(T) -> f64>(xs: &[T], stride: usize, f: F) -> Vec<f64> {
+        xs.iter().step_by(stride).map(|&v| f(v)).collect()
+    }
+    match col.data_type() {
+        DataType::Int32 => strided(col.as_i32().unwrap_or(&[]), stride, f64::from),
+        DataType::Int64 => strided(col.as_i64().unwrap_or(&[]), stride, |v| v as f64),
+        DataType::Float32 => strided(col.as_f32().unwrap_or(&[]), stride, f64::from),
+        DataType::Float64 => strided(col.as_f64().unwrap_or(&[]), stride, |v| v),
+        _ => Vec::new(),
+    }
+    .into_iter()
+    .filter(|v| v.is_finite())
+    .collect()
+}
+
+/// Registry of histograms and row counts the engine accumulates across
+/// queries. Keys are `(table, column)` names.
+#[derive(Debug, Default)]
+pub struct StatsRegistry {
+    histograms: HashMap<(String, String), ColumnHistogram>,
+    rows: HashMap<String, u64>,
+}
+
+impl StatsRegistry {
+    /// An empty registry.
+    pub fn new() -> StatsRegistry {
+        StatsRegistry::default()
+    }
+
+    /// Record a histogram built from a fully-materialized column, and the
+    /// table's row count along with it.
+    pub fn record_column(&mut self, table: &str, column: &str, col: &Column) {
+        if let Some(h) = ColumnHistogram::build(col) {
+            self.record_rows(table, h.rows());
+            self.histograms.insert((table.to_owned(), column.to_owned()), h);
+        }
+    }
+
+    /// Record (or overwrite) a table's row count.
+    pub fn record_rows(&mut self, table: &str, rows: u64) {
+        self.rows.insert(table.to_owned(), rows);
+    }
+
+    /// The histogram for a column, if one has been harvested.
+    pub fn histogram(&self, table: &str, column: &str) -> Option<&ColumnHistogram> {
+        self.histograms.get(&(table.to_owned(), column.to_owned()))
+    }
+
+    /// Known row count for a table.
+    pub fn table_rows(&self, table: &str) -> Option<u64> {
+        self.rows.get(table).copied()
+    }
+
+    /// Estimated selectivity of `table.column <op> lit`, or `None` when no
+    /// histogram has been harvested yet.
+    pub fn estimate(
+        &self,
+        table: &str,
+        column: &str,
+        op: CmpOp,
+        lit: &Value,
+    ) -> Option<f64> {
+        self.histogram(table, column)?.selectivity(op, lit)
+    }
+
+    /// Number of histograms held.
+    pub fn len(&self) -> usize {
+        self.histograms.len()
+    }
+
+    /// Whether any histogram has been harvested.
+    pub fn is_empty(&self) -> bool {
+        self.histograms.is_empty()
+    }
+
+    /// Forget everything (used by `reset_adaptive_state`).
+    pub fn clear(&mut self) {
+        self.histograms.clear();
+        self.rows.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_i64(n: i64) -> Column {
+        let vals: Vec<Value> = (0..n).map(Value::Int64).collect();
+        Column::from_values(DataType::Int64, &vals).unwrap()
+    }
+
+    #[test]
+    fn uniform_column_estimates_linearly() {
+        let h = ColumnHistogram::build(&uniform_i64(10_000)).unwrap();
+        for pct in [10u32, 25, 50, 75, 90] {
+            let x = Value::Int64(i64::from(pct) * 100);
+            let est = h.selectivity(CmpOp::Lt, &x).unwrap();
+            let truth = f64::from(pct) / 100.0;
+            assert!(
+                (est - truth).abs() < 0.02,
+                "sel(col < {pct}%) = {est}, want ~{truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_literals_clamp() {
+        let h = ColumnHistogram::build(&uniform_i64(1000)).unwrap();
+        assert_eq!(h.selectivity(CmpOp::Lt, &Value::Int64(-5)).unwrap(), 0.0);
+        assert_eq!(h.selectivity(CmpOp::Lt, &Value::Int64(10_000)).unwrap(), 1.0);
+        assert_eq!(h.selectivity(CmpOp::Ge, &Value::Int64(-5)).unwrap(), 1.0);
+        assert_eq!(h.selectivity(CmpOp::Gt, &Value::Int64(10_000)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn complementary_operators_sum_to_one() {
+        let h = ColumnHistogram::build(&uniform_i64(5000)).unwrap();
+        let x = Value::Int64(1234);
+        let lt = h.selectivity(CmpOp::Lt, &x).unwrap();
+        let ge = h.selectivity(CmpOp::Ge, &x).unwrap();
+        assert!((lt + ge - 1.0).abs() < 1e-9);
+        let le = h.selectivity(CmpOp::Le, &x).unwrap();
+        let gt = h.selectivity(CmpOp::Gt, &x).unwrap();
+        assert!((le + gt - 1.0).abs() < 1e-9);
+        let eq = h.selectivity(CmpOp::Eq, &x).unwrap();
+        let ne = h.selectivity(CmpOp::Ne, &x).unwrap();
+        assert!((eq + ne - 1.0).abs() < 1e-9);
+        assert!(eq < 0.01, "point equality on 5000 distinct values, got {eq}");
+    }
+
+    #[test]
+    fn skewed_column_beats_uniform_assumption() {
+        // 90% of the values are 0..100, 10% are 900..1000.
+        let mut vals: Vec<Value> = Vec::new();
+        for i in 0..9000 {
+            vals.push(Value::Int64(i % 100));
+        }
+        for i in 0..1000 {
+            vals.push(Value::Int64(900 + i % 100));
+        }
+        let col = Column::from_values(DataType::Int64, &vals).unwrap();
+        let h = ColumnHistogram::build(&col).unwrap();
+        let est = h.selectivity(CmpOp::Lt, &Value::Int64(500)).unwrap();
+        assert!((est - 0.9).abs() < 0.02, "skew-aware estimate, got {est}");
+    }
+
+    #[test]
+    fn non_numeric_and_empty_rejected() {
+        let utf8 = Column::from_values(
+            DataType::Utf8,
+            &[Value::Utf8("a".into()), Value::Utf8("b".into())],
+        )
+        .unwrap();
+        assert!(ColumnHistogram::build(&utf8).is_none());
+        assert!(ColumnHistogram::build(&Column::empty(DataType::Int64)).is_none());
+    }
+
+    #[test]
+    fn constant_column_handles_zero_width() {
+        let vals: Vec<Value> = (0..100).map(|_| Value::Int64(7)).collect();
+        let col = Column::from_values(DataType::Int64, &vals).unwrap();
+        let h = ColumnHistogram::build(&col).unwrap();
+        assert_eq!(h.selectivity(CmpOp::Lt, &Value::Int64(7)).unwrap(), 0.0);
+        assert_eq!(h.selectivity(CmpOp::Ge, &Value::Int64(7)).unwrap(), 1.0);
+        assert!(h.selectivity(CmpOp::Eq, &Value::Int64(7)).unwrap() > 0.5);
+    }
+
+    #[test]
+    fn large_columns_are_sampled() {
+        let h = ColumnHistogram::build(&uniform_i64(200_000)).unwrap();
+        assert!(h.rows() == 200_000);
+        assert!(h.count <= (SAMPLE_CAP as u64) * 2);
+        let est = h.selectivity(CmpOp::Lt, &Value::Int64(100_000)).unwrap();
+        assert!((est - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn registry_roundtrip_and_reset() {
+        let mut reg = StatsRegistry::new();
+        assert!(reg.is_empty());
+        reg.record_column("t", "col1", &uniform_i64(1000));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.table_rows("t"), Some(1000));
+        let sel = reg.estimate("t", "col1", CmpOp::Lt, &Value::Int64(500)).unwrap();
+        assert!((sel - 0.5).abs() < 0.02);
+        assert!(reg.estimate("t", "other", CmpOp::Lt, &Value::Int64(1)).is_none());
+        assert!(reg.estimate("zz", "col1", CmpOp::Lt, &Value::Int64(1)).is_none());
+        reg.clear();
+        assert!(reg.is_empty());
+        assert_eq!(reg.table_rows("t"), None);
+    }
+
+    #[test]
+    fn utf8_literal_yields_no_estimate() {
+        let mut reg = StatsRegistry::new();
+        reg.record_column("t", "c", &uniform_i64(10));
+        assert!(reg.estimate("t", "c", CmpOp::Eq, &Value::Utf8("x".into())).is_none());
+    }
+}

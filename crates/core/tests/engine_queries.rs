@@ -1,0 +1,452 @@
+//! End-to-end engine tests: every access mode and shred strategy must return
+//! identical answers, caches must behave per the paper, and joins must work
+//! across placements and file formats.
+
+use raw_columnar::{DataType, Schema, Value};
+use raw_engine::{
+    AccessMode, EngineConfig, JoinPlacement, QueryResult, RawEngine, ShredStrategy, TableDef,
+    TableSource,
+};
+use raw_formats::datagen;
+use raw_posmap::TrackingPolicy;
+
+const ROWS: usize = 500;
+const COLS: usize = 12;
+
+/// Register the standard synthetic table as a virtual CSV file.
+fn engine_with_csv(config: EngineConfig) -> RawEngine {
+    let mut engine = RawEngine::new(config);
+    let t = datagen::int_table(42, ROWS, COLS);
+    let bytes = raw_formats::csv::writer::to_bytes(&t).unwrap();
+    engine.files().insert("/virtual/file1.csv", bytes);
+    engine.register_table(TableDef {
+        name: "file1".into(),
+        schema: Schema::uniform(COLS, DataType::Int64),
+        source: TableSource::Csv { path: "/virtual/file1.csv".into() },
+    });
+    engine
+}
+
+/// Register CSV twin + shuffled fbin twin for join tests.
+fn engine_with_twins(config: EngineConfig) -> RawEngine {
+    let mut engine = engine_with_csv(config);
+    let t = datagen::int_table(42, ROWS, COLS);
+    let shuffled = datagen::shuffled_copy(&t, 7);
+    let bytes = raw_formats::fbin::to_bytes(&shuffled).unwrap();
+    engine.files().insert("/virtual/file2.fbin", bytes);
+    engine.register_table(TableDef {
+        name: "file2".into(),
+        schema: Schema::uniform(COLS, DataType::Int64),
+        source: TableSource::Fbin { path: "/virtual/file2.fbin".into() },
+    });
+    engine
+}
+
+/// Ground truth via direct evaluation on the generated table.
+fn expected_max_where_lt(agg_col: usize, pred_col: usize, x: i64) -> Option<i64> {
+    let t = datagen::int_table(42, ROWS, COLS);
+    let pred = t.column(pred_col).unwrap().as_i64().unwrap();
+    let agg = t.column(agg_col).unwrap().as_i64().unwrap();
+    pred.iter()
+        .zip(agg)
+        .filter(|(&p, _)| p < x)
+        .map(|(_, &a)| a)
+        .max()
+}
+
+fn scalar_i64(r: &QueryResult) -> i64 {
+    match r.scalar().unwrap() {
+        Value::Int64(v) => v,
+        other => panic!("expected int64, got {other:?}"),
+    }
+}
+
+fn config(mode: AccessMode, shreds: ShredStrategy) -> EngineConfig {
+    EngineConfig { mode, shreds, ..EngineConfig::default() }
+}
+
+#[test]
+fn all_modes_agree_on_q1_and_q2() {
+    let x = datagen::literal_for_selectivity(0.4);
+    let q1 = format!("SELECT MAX(col1) FROM file1 WHERE col1 < {x}");
+    let q2 = format!("SELECT MAX(col11) FROM file1 WHERE col1 < {x}");
+    let expect1 = expected_max_where_lt(0, 0, x).unwrap();
+    let expect2 = expected_max_where_lt(10, 0, x).unwrap();
+
+    for mode in [
+        AccessMode::Dbms,
+        AccessMode::ExternalTables,
+        AccessMode::InSitu,
+        AccessMode::Jit,
+    ] {
+        for shreds in [
+            ShredStrategy::FullColumns,
+            ShredStrategy::ColumnShreds,
+            ShredStrategy::MultiColumnShreds,
+        ] {
+            let mut engine = engine_with_csv(config(mode, shreds));
+            let r1 = engine.query(&q1).unwrap();
+            assert_eq!(scalar_i64(&r1), expect1, "{mode:?}/{shreds:?} q1");
+            let r2 = engine.query(&q2).unwrap();
+            assert_eq!(scalar_i64(&r2), expect2, "{mode:?}/{shreds:?} q2");
+        }
+    }
+}
+
+#[test]
+fn fbin_modes_agree() {
+    let t = datagen::int_table(42, ROWS, COLS);
+    let bytes = raw_formats::fbin::to_bytes(&t).unwrap();
+    let x = datagen::literal_for_selectivity(0.25);
+    let expect = expected_max_where_lt(5, 0, x).unwrap();
+
+    for mode in [AccessMode::Dbms, AccessMode::InSitu, AccessMode::Jit] {
+        for shreds in [ShredStrategy::FullColumns, ShredStrategy::ColumnShreds] {
+            let mut engine = RawEngine::new(config(mode, shreds));
+            engine.files().insert("/virtual/t.fbin", bytes.clone());
+            engine.register_table(TableDef {
+                name: "t".into(),
+                schema: Schema::uniform(COLS, DataType::Int64),
+                source: TableSource::Fbin { path: "/virtual/t.fbin".into() },
+            });
+            let r = engine
+                .query(&format!("SELECT MAX(col6) FROM t WHERE col1 < {x}"))
+                .unwrap();
+            assert_eq!(scalar_i64(&r), expect, "{mode:?}/{shreds:?}");
+        }
+    }
+}
+
+#[test]
+fn zero_selectivity_yields_null() {
+    let mut engine = engine_with_csv(EngineConfig::default());
+    let r = engine.query("SELECT MAX(col11) FROM file1 WHERE col1 < 0").unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::Utf8("NULL".into()));
+}
+
+#[test]
+fn full_selectivity_reads_everything() {
+    let mut engine = engine_with_csv(EngineConfig::default());
+    let x = datagen::INT_VALUE_RANGE;
+    let r = engine
+        .query(&format!("SELECT MAX(col11) FROM file1 WHERE col1 < {x}"))
+        .unwrap();
+    assert_eq!(scalar_i64(&r), expected_max_where_lt(10, 0, x).unwrap());
+}
+
+#[test]
+fn posmap_is_built_then_used() {
+    let mut engine = engine_with_csv(config(AccessMode::Jit, ShredStrategy::ColumnShreds));
+    assert!(engine.posmap("file1").is_none());
+
+    let x = datagen::literal_for_selectivity(0.2);
+    let r1 = engine
+        .query(&format!("SELECT MAX(col1) FROM file1 WHERE col1 < {x}"))
+        .unwrap();
+    assert_eq!(r1.stats.posmaps_built, 1);
+    let map = engine.posmap("file1").expect("map built by Q1");
+    // Default policy: every 10th column.
+    assert_eq!(map.tracked_columns(), &[0, 10]);
+    assert_eq!(map.rows(), ROWS as u64);
+
+    // Q2 must navigate via the map, not re-tokenize the whole file.
+    let r2 = engine
+        .query(&format!("SELECT MAX(col11) FROM file1 WHERE col1 < {x}"))
+        .unwrap();
+    assert_eq!(r2.stats.posmaps_built, 0, "no rebuild on Q2");
+    assert_eq!(
+        scalar_i64(&r2),
+        expected_max_where_lt(10, 0, x).unwrap()
+    );
+}
+
+#[test]
+fn shred_pool_serves_second_query() {
+    let mut engine = engine_with_csv(config(AccessMode::Jit, ShredStrategy::ColumnShreds));
+    let x = datagen::literal_for_selectivity(0.3);
+    let q = format!("SELECT MAX(col1) FROM file1 WHERE col1 < {x}");
+
+    let r1 = engine.query(&q).unwrap();
+    assert!(r1.stats.shreds_recorded >= 1, "Q1 caches col1");
+    assert!(r1.stats.io_bytes == 0, "virtual file: no disk I/O");
+
+    // Re-running the same query must be served from the pool: no tokenizing,
+    // no conversions from raw bytes.
+    let r2 = engine.query(&q).unwrap();
+    assert_eq!(scalar_i64(&r1), scalar_i64(&r2));
+    assert_eq!(r2.stats.metrics.fields_tokenized, 0, "pool scan tokenizes nothing");
+    assert!(
+        r2.stats.explain.iter().any(|l| l.contains("shred pool")),
+        "plan: {:?}",
+        r2.stats.explain
+    );
+}
+
+#[test]
+fn column_shreds_touch_fewer_values_at_low_selectivity() {
+    let x = datagen::literal_for_selectivity(0.05);
+    let q2 = format!("SELECT MAX(col11) FROM file1 WHERE col1 < {x}");
+    let warmup = format!("SELECT MAX(col1) FROM file1 WHERE col1 < {x}");
+
+    let run = |shreds: ShredStrategy| -> u64 {
+        let mut engine = engine_with_csv(EngineConfig {
+            mode: AccessMode::Jit,
+            shreds,
+            // Cache only positions, not data, so Q2's reads are measurable.
+            cache_shreds: false,
+            ..EngineConfig::default()
+        });
+        engine.query(&warmup).unwrap();
+        let r = engine.query(&q2).unwrap();
+        r.stats.metrics.values_converted
+    };
+
+    let full = run(ShredStrategy::FullColumns);
+    let shred = run(ShredStrategy::ColumnShreds);
+    // Full columns converts all rows of both columns; shreds converts all of
+    // col1 plus only the ~5% survivors of col11.
+    assert!(
+        shred < full * 3 / 4,
+        "expected shreds ({shred}) well below full ({full})"
+    );
+}
+
+#[test]
+fn join_all_placements_agree_csv_fbin() {
+    let x = datagen::literal_for_selectivity(0.3);
+    // col1 values collide across the twins (same multiset), so the equi-join
+    // is selective but non-empty.
+    let q = format!(
+        "SELECT MAX(file1.col11) FROM file1 JOIN file2 ON file1.col1 = file2.col1 \
+         WHERE file2.col2 < {x}"
+    );
+    let mut reference: Option<i64> = None;
+    for placement in [JoinPlacement::Early, JoinPlacement::Intermediate, JoinPlacement::Late] {
+        let mut engine = engine_with_twins(EngineConfig {
+            mode: AccessMode::Jit,
+            shreds: ShredStrategy::ColumnShreds,
+            join_placement: placement,
+            ..EngineConfig::default()
+        });
+        // Warm-up query to build the CSV positional map (late CSV fetches
+        // need it).
+        engine
+            .query(&format!("SELECT MAX(col1) FROM file1 WHERE col1 < {x}"))
+            .unwrap();
+        let r = engine.query(&q).unwrap();
+        let got = scalar_i64(&r);
+        match reference {
+            None => reference = Some(got),
+            Some(v) => assert_eq!(v, got, "{placement:?} diverges"),
+        }
+    }
+    // Cross-check against DBMS mode.
+    let mut engine = engine_with_twins(config(AccessMode::Dbms, ShredStrategy::FullColumns));
+    let r = engine.query(&q).unwrap();
+    assert_eq!(scalar_i64(&r), reference.unwrap());
+}
+
+#[test]
+fn join_projected_column_from_build_side() {
+    let x = datagen::literal_for_selectivity(0.5);
+    let q = format!(
+        "SELECT MAX(file2.col11) FROM file1 JOIN file2 ON file1.col1 = file2.col1 \
+         WHERE file2.col2 < {x}"
+    );
+    let mut results = Vec::new();
+    for placement in [JoinPlacement::Early, JoinPlacement::Intermediate, JoinPlacement::Late] {
+        let mut engine = engine_with_twins(EngineConfig {
+            join_placement: placement,
+            ..EngineConfig::default()
+        });
+        results.push(scalar_i64(&engine.query(&q).unwrap()));
+    }
+    assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
+}
+
+#[test]
+fn multiple_aggregates_single_pass() {
+    let mut engine = engine_with_csv(EngineConfig::default());
+    let x = datagen::literal_for_selectivity(0.6);
+    let r = engine
+        .query(&format!(
+            "SELECT MAX(col11), MIN(col11), COUNT(col1), AVG(col3) FROM file1 WHERE col1 < {x}"
+        ))
+        .unwrap();
+    assert_eq!(r.batch.num_columns(), 4);
+    assert_eq!(r.column_names[0], "MAX(col11)");
+    let count = match r.value(0, 2).unwrap() {
+        Value::Int64(v) => v,
+        other => panic!("{other:?}"),
+    };
+    let t = datagen::int_table(42, ROWS, COLS);
+    let expected =
+        t.column(0).unwrap().as_i64().unwrap().iter().filter(|&&v| v < x).count() as i64;
+    assert_eq!(count, expected);
+}
+
+#[test]
+fn bare_projection() {
+    let mut engine = engine_with_csv(EngineConfig::default());
+    let r = engine
+        .query("SELECT col1, col2 FROM file1 WHERE col1 < 50000000")
+        .unwrap();
+    assert_eq!(r.batch.num_columns(), 2);
+    assert_eq!(r.column_names, vec!["col1", "col2"]);
+    let col1 = r.batch.column(0).unwrap().as_i64().unwrap();
+    assert!(col1.iter().all(|&v| v < 50_000_000));
+    assert_eq!(r.stats.rows_out, col1.len() as u64);
+}
+
+#[test]
+fn speculative_multi_column_shreds_two_predicates() {
+    let x = datagen::literal_for_selectivity(0.5);
+    let q = format!("SELECT MAX(col6) FROM file1 WHERE col1 < {x} AND col5 < {x}");
+
+    let t = datagen::int_table(42, ROWS, COLS);
+    let c1 = t.column(0).unwrap().as_i64().unwrap();
+    let c5 = t.column(4).unwrap().as_i64().unwrap();
+    let c6 = t.column(5).unwrap().as_i64().unwrap();
+    let expect = c1
+        .iter()
+        .zip(c5)
+        .zip(c6)
+        .filter(|((&a, &b), _)| a < x && b < x)
+        .map(|(_, &v)| v)
+        .max()
+        .unwrap();
+
+    for shreds in [
+        ShredStrategy::FullColumns,
+        ShredStrategy::ColumnShreds,
+        ShredStrategy::MultiColumnShreds,
+    ] {
+        let mut engine = engine_with_csv(config(AccessMode::Jit, shreds));
+        // First query builds the positional map.
+        engine.query(&format!("SELECT MAX(col1) FROM file1 WHERE col1 < {x}")).unwrap();
+        let r = engine.query(&q).unwrap();
+        assert_eq!(scalar_i64(&r), expect, "{shreds:?}");
+    }
+}
+
+#[test]
+fn posmap_stride7_nearest_navigation() {
+    let mut engine = engine_with_csv(EngineConfig {
+        posmap_policy: TrackingPolicy::EveryK { stride: 7 },
+        ..EngineConfig::default()
+    });
+    let x = datagen::literal_for_selectivity(0.3);
+    engine.query(&format!("SELECT MAX(col1) FROM file1 WHERE col1 < {x}")).unwrap();
+    let map = engine.posmap("file1").unwrap();
+    assert_eq!(map.tracked_columns(), &[0, 7]);
+    // col11 (ordinal 10) must be reached via nearest (7) + incremental parse.
+    let r = engine
+        .query(&format!("SELECT MAX(col11) FROM file1 WHERE col1 < {x}"))
+        .unwrap();
+    assert_eq!(scalar_i64(&r), expected_max_where_lt(10, 0, x).unwrap());
+    assert!(r.stats.metrics.fields_tokenized > 0, "incremental parsing happened");
+}
+
+#[test]
+fn cold_vs_warm_io_accounting() {
+    // Use a real temp file so disk I/O is observable.
+    let t = datagen::int_table(1, 200, 4);
+    let path = std::env::temp_dir().join(format!("raw_engine_io_{}.csv", std::process::id()));
+    raw_formats::csv::writer::write_file(&t, &path).unwrap();
+
+    let mut engine = RawEngine::new(EngineConfig::default());
+    engine.register_table(TableDef {
+        name: "t".into(),
+        schema: Schema::uniform(4, DataType::Int64),
+        source: TableSource::Csv { path: path.clone() },
+    });
+    let r1 = engine.query("SELECT MAX(col2) FROM t WHERE col1 < 900000000").unwrap();
+    assert!(r1.stats.io_bytes > 0, "cold run reads from disk");
+    let r2 = engine.query("SELECT MAX(col3) FROM t WHERE col1 < 900000000").unwrap();
+    assert_eq!(r2.stats.io_bytes, 0, "warm run is served from the buffer pool");
+
+    engine.drop_file_caches();
+    let r3 = engine.query("SELECT MAX(col4) FROM t WHERE col1 < 900000000").unwrap();
+    assert!(r3.stats.io_bytes > 0, "cold again after eviction");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn template_cache_hits_on_repeat() {
+    // Disable shred caching so repeat queries actually hit the raw file
+    // (with caching on, the pool serves repeats and no template is needed).
+    let mut engine = engine_with_csv(EngineConfig {
+        mode: AccessMode::Jit,
+        shreds: ShredStrategy::FullColumns,
+        cache_shreds: false,
+        ..EngineConfig::default()
+    });
+    let q = "SELECT MAX(col2) FROM file1 WHERE col1 < 100000000";
+    let r1 = engine.query(q).unwrap();
+    assert!(r1.stats.template_misses >= 1, "first run compiles (sequential program)");
+    // The second run sees a positional map, so it compiles the *map-driven*
+    // access path — a different template (the paper: per file & per query
+    // instance). The third run re-uses it.
+    let r2 = engine.query(q).unwrap();
+    assert!(r2.stats.template_misses >= 1, "new access path once the map exists");
+    let r3 = engine.query(q).unwrap();
+    assert_eq!(r3.stats.template_misses, 0, "third run hits the template cache");
+    assert!(r3.stats.template_hits >= 1);
+}
+
+#[test]
+fn reset_adaptive_state_forgets_everything() {
+    let mut engine = engine_with_csv(EngineConfig::default());
+    engine.query("SELECT MAX(col1) FROM file1 WHERE col1 < 400000000").unwrap();
+    assert!(engine.posmap("file1").is_some());
+    engine.reset_adaptive_state();
+    assert!(engine.posmap("file1").is_none());
+    let r = engine.query("SELECT MAX(col1) FROM file1 WHERE col1 < 400000000").unwrap();
+    assert_eq!(r.stats.posmaps_built, 1, "map rebuilt after reset");
+}
+
+#[test]
+fn explain_describes_plan() {
+    let mut engine = engine_with_csv(EngineConfig::default());
+    let lines = engine
+        .query("SELECT MAX(col11) FROM file1 WHERE col1 < 1000")
+        .unwrap()
+        .stats
+        .explain;
+    let text = lines.join("\n");
+    assert!(text.contains("scan file1"), "{text}");
+    assert!(text.contains("filter file1.col1 < 1000"), "{text}");
+    assert!(text.contains("aggregate MAX(col11)"), "{text}");
+}
+
+#[test]
+fn errors_are_clean() {
+    let mut engine = engine_with_csv(EngineConfig::default());
+    assert!(engine.query("SELECT MAX(colX) FROM file1").is_err());
+    assert!(engine.query("SELECT MAX(col1) FROM nope").is_err());
+    assert!(engine.query("not sql at all").is_err());
+
+    // Malformed file contents: error, not panic.
+    let mut engine = RawEngine::new(EngineConfig::default());
+    engine.files().insert("/virtual/bad.csv", b"1,notanint\n".to_vec());
+    engine.register_table(TableDef {
+        name: "bad".into(),
+        schema: Schema::uniform(2, DataType::Int64),
+        source: TableSource::Csv { path: "/virtual/bad.csv".into() },
+    });
+    let err = engine.query("SELECT MAX(col2) FROM bad").unwrap_err();
+    assert!(err.to_string().contains("cannot parse"), "{err}");
+}
+
+#[test]
+fn simulated_compile_latency_charged_once() {
+    let mut engine = engine_with_csv(EngineConfig {
+        simulated_compile_latency: std::time::Duration::from_millis(30),
+        ..EngineConfig::default()
+    });
+    let q = "SELECT MAX(col1) FROM file1 WHERE col1 < 100";
+    let r1 = engine.query(q).unwrap();
+    assert!(r1.stats.compile_time >= std::time::Duration::from_millis(30));
+    let r2 = engine.query(q).unwrap();
+    assert!(r2.stats.compile_time < std::time::Duration::from_millis(30));
+}

@@ -1,0 +1,180 @@
+//! Failure injection at the engine level: malformed raw files, truncated
+//! binaries, schema mismatches, and missing files must surface as typed
+//! errors — never panics — and must not poison the engine for subsequent
+//! queries.
+
+use raw_columnar::{DataType, Schema, Value};
+use raw_engine::{
+    AccessMode, EngineConfig, RawEngine, ShredStrategy, TableDef, TableSource,
+};
+use raw_formats::datagen;
+
+fn engine(config: EngineConfig) -> RawEngine {
+    RawEngine::new(config)
+}
+
+fn register_csv(e: &mut RawEngine, name: &str, cols: usize, bytes: Vec<u8>) {
+    let path = format!("/virtual/{name}.csv");
+    e.files().insert(&path, bytes);
+    e.register_table(TableDef {
+        name: name.into(),
+        schema: Schema::uniform(cols, DataType::Int64),
+        source: TableSource::Csv { path: path.into() },
+    });
+}
+
+#[test]
+fn malformed_csv_field_errors_in_every_mode() {
+    let bytes = b"1,2,3\n4,notanumber,6\n7,8,9\n".to_vec();
+    for mode in [
+        AccessMode::Dbms,
+        AccessMode::ExternalTables,
+        AccessMode::InSitu,
+        AccessMode::Jit,
+    ] {
+        let mut e = engine(EngineConfig { mode, ..EngineConfig::default() });
+        register_csv(&mut e, "t", 3, bytes.clone());
+        let err = e.query("SELECT MAX(col2) FROM t WHERE col1 < 100").unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("int64") || msg.to_lowercase().contains("parse"),
+            "{mode:?}: {msg}"
+        );
+    }
+}
+
+#[test]
+fn malformed_row_only_hurts_queries_that_touch_it() {
+    // The bad value sits in column 3; queries over columns 1-2 must work.
+    let bytes = b"1,2,x\n4,5,y\n".to_vec();
+    let mut e = engine(EngineConfig::default());
+    register_csv(&mut e, "t", 3, bytes);
+    let r = e.query("SELECT MAX(col2) FROM t WHERE col1 < 100").unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::Int64(5));
+    assert!(e.query("SELECT MAX(col3) FROM t").is_err());
+    // And the failed query must not poison the engine.
+    let r = e.query("SELECT MAX(col1) FROM t").unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::Int64(4));
+}
+
+#[test]
+fn ragged_csv_rows_error() {
+    let bytes = b"1,2,3\n4,5\n6,7,8\n".to_vec();
+    let mut e = engine(EngineConfig::default());
+    register_csv(&mut e, "t", 3, bytes);
+    assert!(e.query("SELECT MAX(col3) FROM t").is_err());
+}
+
+#[test]
+fn empty_csv_file_aggregates_to_null() {
+    let mut e = engine(EngineConfig::default());
+    register_csv(&mut e, "t", 3, Vec::new());
+    let r = e.query("SELECT MAX(col1) FROM t").unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::Utf8("NULL".into()));
+}
+
+#[test]
+fn missing_file_is_an_error_not_a_panic() {
+    let mut e = engine(EngineConfig::default());
+    e.register_table(TableDef {
+        name: "ghost".into(),
+        schema: Schema::uniform(2, DataType::Int64),
+        source: TableSource::Csv { path: "/does/not/exist.csv".into() },
+    });
+    let err = e.query("SELECT MAX(col1) FROM ghost").unwrap_err();
+    assert!(!err.to_string().is_empty());
+}
+
+#[test]
+fn truncated_fbin_errors_in_every_mode() {
+    let t = datagen::int_table(5, 50, 4);
+    let mut bytes = raw_formats::fbin::to_bytes(&t).unwrap();
+    bytes.truncate(bytes.len() - 7);
+    for mode in [AccessMode::Dbms, AccessMode::InSitu, AccessMode::Jit] {
+        let mut e = engine(EngineConfig { mode, ..EngineConfig::default() });
+        e.files().insert("/virtual/t.fbin", bytes.clone());
+        e.register_table(TableDef {
+            name: "t".into(),
+            schema: Schema::uniform(4, DataType::Int64),
+            source: TableSource::Fbin { path: "/virtual/t.fbin".into() },
+        });
+        assert!(e.query("SELECT MAX(col1) FROM t").is_err(), "{mode:?}");
+    }
+}
+
+#[test]
+fn truncated_ibin_index_section_errors() {
+    let t = datagen::int_table(5, 50, 4);
+    let mut bytes = raw_formats::ibin::to_bytes_with(&t, 8, None).unwrap();
+    bytes.truncate(bytes.len() - 1); // clip the last zone entry
+    for mode in [AccessMode::Dbms, AccessMode::InSitu, AccessMode::Jit] {
+        let mut e = engine(EngineConfig { mode, ..EngineConfig::default() });
+        e.files().insert("/virtual/t.ibin", bytes.clone());
+        e.register_table(TableDef {
+            name: "t".into(),
+            schema: Schema::uniform(4, DataType::Int64),
+            source: TableSource::Ibin { path: "/virtual/t.ibin".into() },
+        });
+        assert!(e.query("SELECT MAX(col1) FROM t").is_err(), "{mode:?}");
+    }
+}
+
+#[test]
+fn fbin_schema_type_mismatch_rejected() {
+    let t = datagen::int_table(5, 10, 3); // three Int64 columns on disk
+    let bytes = raw_formats::fbin::to_bytes(&t).unwrap();
+    let mut e = engine(EngineConfig::default());
+    e.files().insert("/virtual/t.fbin", bytes);
+    e.register_table(TableDef {
+        name: "t".into(),
+        schema: Schema::uniform(3, DataType::Float64), // lie about the types
+        source: TableSource::Fbin { path: "/virtual/t.fbin".into() },
+    });
+    assert!(e.query("SELECT MAX(col1) FROM t").is_err());
+}
+
+#[test]
+fn wrong_magic_rejected_for_binary_formats() {
+    let mut e = engine(EngineConfig::default());
+    e.files().insert("/virtual/a.fbin", b"NOTMAGIC________".to_vec());
+    e.files().insert("/virtual/b.ibin", b"NOTMAGIC________".to_vec());
+    e.register_table(TableDef {
+        name: "a".into(),
+        schema: Schema::uniform(1, DataType::Int64),
+        source: TableSource::Fbin { path: "/virtual/a.fbin".into() },
+    });
+    e.register_table(TableDef {
+        name: "b".into(),
+        schema: Schema::uniform(1, DataType::Int64),
+        source: TableSource::Ibin { path: "/virtual/b.ibin".into() },
+    });
+    assert!(e.query("SELECT MAX(col1) FROM a").is_err());
+    assert!(e.query("SELECT MAX(col1) FROM b").is_err());
+}
+
+#[test]
+fn engine_survives_a_burst_of_failures_then_answers() {
+    let mut e = engine(EngineConfig::default());
+    register_csv(&mut e, "good", 3, b"1,2,3\n4,5,6\n".to_vec());
+    register_csv(&mut e, "bad", 3, b"1,oops,3\n".to_vec());
+    for _ in 0..5 {
+        assert!(e.query("SELECT MAX(col2) FROM bad").is_err());
+        assert!(e.query("SELECT MAX(colZ) FROM good").is_err());
+        assert!(e.query("SELECT nonsense").is_err());
+    }
+    let r = e.query("SELECT MAX(col2) FROM good WHERE col1 < 100").unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::Int64(5));
+}
+
+#[test]
+fn adaptive_mode_handles_malformed_files_gracefully() {
+    // Adaptive planning must not mask raw-data errors or invent answers.
+    let mut e = engine(EngineConfig {
+        shreds: ShredStrategy::Adaptive,
+        ..EngineConfig::default()
+    });
+    register_csv(&mut e, "t", 3, b"1,2,3\n4,bad,6\n".to_vec());
+    assert!(e.query("SELECT MAX(col2) FROM t WHERE col1 < 10").is_err());
+    let r = e.query("SELECT MAX(col1) FROM t WHERE col1 < 10").unwrap();
+    assert_eq!(r.scalar().unwrap(), Value::Int64(4));
+}

@@ -1,0 +1,317 @@
+//! Property tests at the engine level: every access mode × shred strategy
+//! must return the same answer for arbitrary tables and queries, across
+//! query sequences that exercise the adaptive caches.
+
+use proptest::prelude::*;
+
+use raw_columnar::{DataType, Schema, Value};
+use raw_engine::{
+    AccessMode, EngineConfig, RawEngine, ShredStrategy, TableDef, TableSource,
+};
+use raw_formats::datagen;
+use raw_posmap::TrackingPolicy;
+
+fn engine_for(
+    bytes: &[u8],
+    cols: usize,
+    mode: AccessMode,
+    shreds: ShredStrategy,
+    stride: usize,
+    fbin: bool,
+) -> RawEngine {
+    let mut engine = RawEngine::new(EngineConfig {
+        mode,
+        shreds,
+        posmap_policy: TrackingPolicy::EveryK { stride },
+        batch_size: 64, // small batches stress boundaries
+        ..EngineConfig::default()
+    });
+    let path = if fbin { "/virtual/t.fbin" } else { "/virtual/t.csv" };
+    engine.files().insert(path, bytes.to_vec());
+    engine.register_table(TableDef {
+        name: "t".into(),
+        schema: Schema::uniform(cols, DataType::Int64),
+        source: if fbin {
+            TableSource::Fbin { path: path.into() }
+        } else {
+            TableSource::Csv { path: path.into() }
+        },
+    });
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn histogram_estimates_track_empirical_fractions(
+        values in proptest::collection::vec(-1_000_000i64..1_000_000, 50..2000),
+        x in -1_100_000i64..1_100_000,
+    ) {
+        use raw_columnar::{CmpOp, Column};
+        use raw_engine::ColumnHistogram;
+
+        let col = Column::Int64(values.clone());
+        let h = ColumnHistogram::build(&col).unwrap();
+        let est = h.selectivity(CmpOp::Lt, &Value::Int64(x)).unwrap();
+        let truth = values.iter().filter(|&&v| v < x).count() as f64
+            / values.len() as f64;
+        // Equi-width histograms bound the error by one bucket's mass plus
+        // sampling noise; 64 buckets over adversarial skew can still put
+        // lots of mass in one bucket, so only require a loose band plus
+        // exactness at the extremes.
+        prop_assert!(
+            (est - truth).abs() <= 0.55,
+            "est {est} vs truth {truth} for x={x}"
+        );
+        if x <= *values.iter().min().unwrap() {
+            prop_assert_eq!(est, 0.0);
+        }
+        if x > *values.iter().max().unwrap() {
+            prop_assert_eq!(est, 1.0);
+        }
+        // Complements are exact by construction.
+        let ge = h.selectivity(CmpOp::Ge, &Value::Int64(x)).unwrap();
+        prop_assert!((est + ge - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_fraction_below_is_monotone(
+        values in proptest::collection::vec(any::<i64>(), 2..500),
+        probes in proptest::collection::vec(any::<f64>(), 2..20),
+    ) {
+        use raw_columnar::Column;
+        use raw_engine::ColumnHistogram;
+
+        let h = ColumnHistogram::build(&Column::Int64(values)).unwrap();
+        let mut probes: Vec<f64> = probes.into_iter().filter(|p| p.is_finite()).collect();
+        probes.sort_by(f64::total_cmp);
+        let fracs: Vec<f64> = probes.iter().map(|&p| h.fraction_below(p)).collect();
+        for w in fracs.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12, "monotonicity violated: {fracs:?}");
+        }
+        for f in fracs {
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn cost_model_shred_estimates_monotone_in_selectivity(
+        sels in proptest::collection::vec(0.0f64..=1.0, 2..8),
+    ) {
+        use raw_columnar::DataType;
+        use raw_engine::cost::{CostModel, FilterDesc, PosmapAvail, ScanFormat, StrategyInput};
+
+        let m = CostModel::default();
+        let mut sels = sels;
+        sels.sort_by(f64::total_cmp);
+        let costs: Vec<f64> = sels
+            .iter()
+            .map(|&sel| {
+                let d = m.choose_strategy(&StrategyInput {
+                    format: ScanFormat::Csv(PosmapAvail::Exact),
+                    rows: 1e6,
+                    filters: vec![FilterDesc { data_type: DataType::Int64, selectivity: sel }],
+                    outputs: vec![DataType::Int64],
+                });
+                d.estimates
+                    .iter()
+                    .find(|(l, _)| *l == "shreds")
+                    .map(|(_, c)| *c)
+                    .unwrap_or(f64::INFINITY)
+            })
+            .collect();
+        for w in costs.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-6, "shred cost must grow with selectivity: {costs:?}");
+        }
+    }
+
+    #[test]
+    fn all_modes_agree_on_query_sequences(
+        seed in 1u64..1000,
+        rows in 1usize..120,
+        cols in 3usize..10,
+        stride in 1usize..6,
+        // (aggregated column, predicate column, selectivity percent) triples
+        queries in proptest::collection::vec(
+            (0usize..10, 0usize..10, 0u32..=100),
+            1..4,
+        ),
+        fbin in proptest::bool::ANY,
+    ) {
+        let table = datagen::int_table(seed, rows, cols);
+        let bytes = if fbin {
+            raw_formats::fbin::to_bytes(&table).unwrap()
+        } else {
+            raw_formats::csv::writer::to_bytes(&table).unwrap()
+        };
+
+        // Normalize query columns into range.
+        let queries: Vec<(usize, usize, i64)> = queries
+            .into_iter()
+            .map(|(a, p, s)| {
+                (a % cols, p % cols, datagen::literal_for_selectivity(f64::from(s) / 100.0))
+            })
+            .collect();
+
+        // Ground truth per query.
+        let expected: Vec<Option<i64>> = queries
+            .iter()
+            .map(|&(agg, pred, x)| {
+                let p = table.column(pred).unwrap().as_i64().unwrap();
+                let a = table.column(agg).unwrap().as_i64().unwrap();
+                p.iter().zip(a).filter(|(&pv, _)| pv < x).map(|(_, &av)| av).max()
+            })
+            .collect();
+
+        let configs = [
+            (AccessMode::Dbms, ShredStrategy::FullColumns),
+            (AccessMode::ExternalTables, ShredStrategy::FullColumns),
+            (AccessMode::InSitu, ShredStrategy::FullColumns),
+            (AccessMode::Jit, ShredStrategy::FullColumns),
+            (AccessMode::Jit, ShredStrategy::ColumnShreds),
+            (AccessMode::Jit, ShredStrategy::MultiColumnShreds),
+            (AccessMode::Jit, ShredStrategy::Adaptive),
+            (AccessMode::InSitu, ShredStrategy::Adaptive), // falls back, must agree
+        ];
+        for (mode, shreds) in configs {
+            if fbin && mode == AccessMode::ExternalTables {
+                // fine, supported — keep
+            }
+            let mut engine = engine_for(&bytes, cols, mode, shreds, stride, fbin);
+            // The whole *sequence* runs on one engine so positional maps and
+            // shreds built by earlier queries serve later ones.
+            for (qi, &(agg, pred, x)) in queries.iter().enumerate() {
+                let sql = format!(
+                    "SELECT MAX(col{}) FROM t WHERE col{} < {x}",
+                    agg + 1,
+                    pred + 1
+                );
+                let got = engine.query(&sql).unwrap();
+                let got = got.scalar().unwrap();
+                match expected[qi] {
+                    Some(v) => prop_assert_eq!(
+                        got, Value::Int64(v),
+                        "{:?}/{:?} query {}", mode, shreds, qi
+                    ),
+                    None => prop_assert_eq!(
+                        got, Value::Utf8("NULL".into()),
+                        "{:?}/{:?} query {}", mode, shreds, qi
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ibin_pruning_agrees_with_every_mode(
+        seed in 1u64..500,
+        rows in 1usize..200,
+        page in 1u32..40,
+        sorted in proptest::bool::ANY,
+        queries in proptest::collection::vec(
+            (0usize..6, 0usize..6, 0u32..=100),
+            1..4,
+        ),
+    ) {
+        let cols = 6;
+        let base = datagen::int_table(seed, rows, cols);
+        let table = if sorted { datagen::sorted_copy(&base, 0) } else { base };
+        let bytes = raw_formats::ibin::to_bytes_with(
+            &table,
+            page,
+            if sorted { Some(0) } else { None },
+        )
+        .unwrap();
+
+        let queries: Vec<(usize, usize, i64)> = queries
+            .into_iter()
+            .map(|(a, p, s)| {
+                (a % cols, p % cols, datagen::literal_for_selectivity(f64::from(s) / 100.0))
+            })
+            .collect();
+        let expected: Vec<Option<i64>> = queries
+            .iter()
+            .map(|&(agg, pred, x)| {
+                let p = table.column(pred).unwrap().as_i64().unwrap();
+                let a = table.column(agg).unwrap().as_i64().unwrap();
+                p.iter().zip(a).filter(|(&pv, _)| pv < x).map(|(_, &av)| av).max()
+            })
+            .collect();
+
+        let configs = [
+            (AccessMode::Dbms, ShredStrategy::FullColumns),
+            (AccessMode::ExternalTables, ShredStrategy::FullColumns),
+            (AccessMode::InSitu, ShredStrategy::FullColumns),
+            (AccessMode::Jit, ShredStrategy::FullColumns),
+            (AccessMode::Jit, ShredStrategy::ColumnShreds),
+            (AccessMode::Jit, ShredStrategy::Adaptive),
+        ];
+        for (mode, shreds) in configs {
+            let mut engine = RawEngine::new(EngineConfig {
+                mode,
+                shreds,
+                batch_size: 64,
+                ..EngineConfig::default()
+            });
+            engine.files().insert("/virtual/t.ibin", bytes.clone());
+            engine.register_table(TableDef {
+                name: "t".into(),
+                schema: Schema::uniform(cols, DataType::Int64),
+                source: TableSource::Ibin { path: "/virtual/t.ibin".into() },
+            });
+            for (qi, &(agg, pred, x)) in queries.iter().enumerate() {
+                let sql = format!(
+                    "SELECT MAX(col{}) FROM t WHERE col{} < {x}",
+                    agg + 1,
+                    pred + 1
+                );
+                let got = engine.query(&sql).unwrap().scalar().unwrap();
+                match expected[qi] {
+                    Some(v) => prop_assert_eq!(
+                        got, Value::Int64(v),
+                        "{:?}/{:?} q{} sorted={}", mode, shreds, qi, sorted
+                    ),
+                    None => prop_assert_eq!(
+                        got, Value::Utf8("NULL".into()),
+                        "{:?}/{:?} q{} sorted={}", mode, shreds, qi, sorted
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conjunctions_agree_across_strategies(
+        seed in 1u64..500,
+        rows in 1usize..100,
+        x1 in 0u32..=100,
+        x2 in 0u32..=100,
+    ) {
+        let cols = 8;
+        let table = datagen::int_table(seed, rows, cols);
+        let bytes = raw_formats::csv::writer::to_bytes(&table).unwrap();
+        let l1 = datagen::literal_for_selectivity(f64::from(x1) / 100.0);
+        let l2 = datagen::literal_for_selectivity(f64::from(x2) / 100.0);
+        let sql = format!(
+            "SELECT MAX(col6), COUNT(col1) FROM t WHERE col1 < {l1} AND col5 < {l2}"
+        );
+
+        let mut results = Vec::new();
+        for shreds in [
+            ShredStrategy::FullColumns,
+            ShredStrategy::ColumnShreds,
+            ShredStrategy::MultiColumnShreds,
+            ShredStrategy::Adaptive,
+        ] {
+            let mut engine = engine_for(&bytes, cols, AccessMode::Jit, shreds, 3, false);
+            // Warm-up builds the positional map so shreds can fetch late.
+            engine.query(&format!("SELECT MAX(col1) FROM t WHERE col1 < {l1}")).unwrap();
+            let r = engine.query(&sql).unwrap();
+            results.push((r.value(0, 0).unwrap(), r.value(0, 1).unwrap()));
+        }
+        prop_assert_eq!(&results[0], &results[1]);
+        prop_assert_eq!(&results[1], &results[2]);
+        prop_assert_eq!(&results[2], &results[3]);
+    }
+}

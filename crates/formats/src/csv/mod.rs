@@ -1,0 +1,23 @@
+//! CSV: the text format of the paper's microbenchmarks.
+//!
+//! Split into the primitives the different access paths compose:
+//!
+//! - [`tokenizer`] — byte-level navigation: find delimiters, skip fields,
+//!   locate row boundaries. This is the "tokenizing" cost of the paper.
+//! - [`parse`] — converting field bytes into typed values (the "parsing" /
+//!   "data type conversion" cost), including the custom length-aware `atoi`
+//!   the paper mentions using when field lengths are known from the
+//!   positional map.
+//! - [`reader`] — a general-purpose row-wise reader (external-tables style).
+//! - [`writer`] — serializing columnar tables to CSV (datagen, tests).
+
+pub mod parse;
+pub mod reader;
+pub mod tokenizer;
+pub mod writer;
+
+/// The field delimiter used throughout (the paper's files are comma CSV).
+pub const DELIMITER: u8 = b',';
+
+/// The row terminator.
+pub const NEWLINE: u8 = b'\n';

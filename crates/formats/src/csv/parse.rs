@@ -1,0 +1,233 @@
+//! Converting CSV field bytes to typed values.
+//!
+//! This is the "data type conversion" cost the paper's Figure 3 isolates.
+//! Integer parsing is a hand-rolled `atoi` (the paper: "a custom version of
+//! `atoi` ... is used as the length of the string is stored in the positional
+//! map"); float parsing takes a fast path for plain decimal forms and falls
+//! back to the standard library for scientific notation and edge cases.
+
+use crate::error::{FormatError, Result};
+
+/// Parse a decimal integer from field bytes (optional leading `-`/`+`).
+///
+/// Rejects empty fields, stray characters, and overflow. This is the
+/// length-aware `atoi` of the paper ("a custom version of `atoi` … as the
+/// length of the string is stored in the positional map"): fields of at most
+/// 18 digits cannot overflow, so the hot path runs without checked
+/// arithmetic and longer fields take a checked slow path.
+#[inline]
+pub fn parse_i64(bytes: &[u8]) -> Result<i64> {
+    let (neg, digits) = match bytes.first() {
+        Some(b'-') => (true, &bytes[1..]),
+        Some(b'+') => (false, &bytes[1..]),
+        _ => (false, bytes),
+    };
+    if digits.is_empty() || digits.len() > 18 {
+        return parse_i64_slow(bytes, neg, digits);
+    }
+    let mut acc: i64 = 0;
+    for &b in digits {
+        let d = b.wrapping_sub(b'0');
+        if d > 9 {
+            return Err(FormatError::parse(bytes, "int64"));
+        }
+        acc = acc * 10 + i64::from(d);
+    }
+    Ok(if neg { -acc } else { acc })
+}
+
+/// Checked slow path for empty, over-long, or near-overflow inputs.
+#[cold]
+fn parse_i64_slow(bytes: &[u8], neg: bool, digits: &[u8]) -> Result<i64> {
+    if digits.is_empty() {
+        return Err(FormatError::parse(bytes, "int64"));
+    }
+    // Accumulate in negative space so `i64::MIN` (whose magnitude exceeds
+    // `i64::MAX`) parses without overflow.
+    let mut acc: i64 = 0;
+    for &b in digits {
+        let d = b.wrapping_sub(b'0');
+        if d > 9 {
+            return Err(FormatError::parse(bytes, "int64"));
+        }
+        acc = acc
+            .checked_mul(10)
+            .and_then(|a| a.checked_sub(i64::from(d)))
+            .ok_or_else(|| FormatError::parse(bytes, "int64"))?;
+    }
+    if neg {
+        Ok(acc)
+    } else {
+        acc.checked_neg().ok_or_else(|| FormatError::parse(bytes, "int64"))
+    }
+}
+
+/// Parse a 32-bit integer (via [`parse_i64`] + range check).
+#[inline]
+pub fn parse_i32(bytes: &[u8]) -> Result<i32> {
+    let v = parse_i64(bytes)?;
+    i32::try_from(v).map_err(|_| FormatError::parse(bytes, "int32"))
+}
+
+/// Parse a float. Fast path: `[-+]?digits[.digits]` whose mantissa fits in
+/// 53 bits (so it is exactly representable), computed with integer
+/// arithmetic and a single correctly-rounded divide; anything else
+/// (exponents, long mantissas, inf, nan) falls back to `str::parse::<f64>`.
+#[inline]
+pub fn parse_f64(bytes: &[u8]) -> Result<f64> {
+    if let Some(v) = parse_f64_fast(bytes) {
+        return Ok(v);
+    }
+    let s = std::str::from_utf8(bytes).map_err(|_| FormatError::parse(bytes, "float64"))?;
+    s.trim().parse::<f64>().map_err(|_| FormatError::parse(bytes, "float64"))
+}
+
+/// Parse a 32-bit float.
+#[inline]
+pub fn parse_f32(bytes: &[u8]) -> Result<f32> {
+    parse_f64(bytes).map(|v| v as f32)
+}
+
+/// The no-allocation fast path of [`parse_f64`].
+#[inline]
+fn parse_f64_fast(bytes: &[u8]) -> Option<f64> {
+    let (neg, rest) = match bytes.first() {
+        Some(b'-') => (true, &bytes[1..]),
+        Some(b'+') => (false, &bytes[1..]),
+        _ => (false, bytes),
+    };
+    if rest.is_empty() {
+        return None;
+    }
+    let mut mantissa: u64 = 0;
+    let mut digits = 0usize;
+    let mut frac_digits: Option<usize> = None;
+    for &b in rest {
+        match b {
+            b'0'..=b'9' => {
+                mantissa = mantissa.checked_mul(10)?.checked_add(u64::from(b - b'0'))?;
+                digits += 1;
+                if let Some(fd) = frac_digits.as_mut() {
+                    *fd += 1;
+                }
+            }
+            b'.' => {
+                if frac_digits.is_some() {
+                    return None; // second dot: defer to the strict fallback
+                }
+                frac_digits = Some(0);
+            }
+            _ => return None, // exponent or junk: fallback decides
+        }
+    }
+    // The mantissa must be exactly representable in f64 (< 2^53) and the
+    // scale must be an exact power of ten (10^k is exact for k ≤ 22); then
+    // the divide is the only rounding step, matching strtod. Longer inputs
+    // take the slow path.
+    if digits == 0 || mantissa >= (1u64 << 53) {
+        return None;
+    }
+    let frac = frac_digits.unwrap_or(0);
+    if frac > 22 {
+        return None;
+    }
+    let scale = 10f64.powi(frac as i32);
+    let v = mantissa as f64 / scale;
+    Some(if neg { -v } else { v })
+}
+
+/// Parse a boolean field: `0`/`1`/`true`/`false` (case-insensitive).
+#[inline]
+pub fn parse_bool(bytes: &[u8]) -> Result<bool> {
+    match bytes {
+        b"0" => Ok(false),
+        b"1" => Ok(true),
+        _ => {
+            if bytes.eq_ignore_ascii_case(b"true") {
+                Ok(true)
+            } else if bytes.eq_ignore_ascii_case(b"false") {
+                Ok(false)
+            } else {
+                Err(FormatError::parse(bytes, "bool"))
+            }
+        }
+    }
+}
+
+/// Decode field bytes as UTF-8 text.
+#[inline]
+pub fn parse_utf8(bytes: &[u8]) -> Result<String> {
+    std::str::from_utf8(bytes)
+        .map(str::to_owned)
+        .map_err(|_| FormatError::parse(bytes, "utf8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ints() {
+        assert_eq!(parse_i64(b"0").unwrap(), 0);
+        assert_eq!(parse_i64(b"123456789").unwrap(), 123_456_789);
+        assert_eq!(parse_i64(b"-42").unwrap(), -42);
+        assert_eq!(parse_i64(b"+7").unwrap(), 7);
+        assert_eq!(parse_i64(b"9223372036854775807").unwrap(), i64::MAX);
+        assert_eq!(parse_i64(b"-9223372036854775808").unwrap(), i64::MIN);
+        assert!(parse_i64(b"9223372036854775808").is_err(), "overflow");
+        assert!(parse_i64(b"").is_err());
+        assert!(parse_i64(b"-").is_err());
+        assert!(parse_i64(b"12x").is_err());
+        assert!(parse_i64(b" 12").is_err(), "no implicit trimming");
+    }
+
+    #[test]
+    fn int32_range() {
+        assert_eq!(parse_i32(b"2147483647").unwrap(), i32::MAX);
+        assert!(parse_i32(b"2147483648").is_err());
+    }
+
+    #[test]
+    fn floats_fast_path() {
+        assert_eq!(parse_f64(b"0").unwrap(), 0.0);
+        assert_eq!(parse_f64(b"3.5").unwrap(), 3.5);
+        assert_eq!(parse_f64(b"-0.25").unwrap(), -0.25);
+        assert_eq!(parse_f64(b"1000000").unwrap(), 1_000_000.0);
+        assert_eq!(parse_f64(b"123.456").unwrap(), 123.456);
+    }
+
+    #[test]
+    fn floats_fallback_path() {
+        assert_eq!(parse_f64(b"1e3").unwrap(), 1000.0);
+        assert_eq!(parse_f64(b"-2.5E-2").unwrap(), -0.025);
+        assert_eq!(parse_f64(b"inf").unwrap(), f64::INFINITY);
+        assert!(parse_f64(b"abc").is_err());
+        assert!(parse_f64(b"").is_err());
+        assert!(parse_f64(b"1.2.3").is_err());
+    }
+
+    #[test]
+    fn fast_path_matches_std() {
+        // Exhaustive-ish agreement check on representative forms.
+        for s in ["0.1", "12345.6789", "99999999.5", "-0.0001", "7", "-7", "0.000000001"] {
+            let fast = parse_f64_fast(s.as_bytes()).expect("fast path should handle");
+            let std: f64 = s.parse().unwrap();
+            assert_eq!(fast, std, "mismatch on {s}");
+        }
+    }
+
+    #[test]
+    fn bools() {
+        assert!(!parse_bool(b"0").unwrap());
+        assert!(parse_bool(b"1").unwrap());
+        assert!(parse_bool(b"TRUE").unwrap());
+        assert!(!parse_bool(b"False").unwrap());
+        assert!(parse_bool(b"2").is_err());
+    }
+
+    #[test]
+    fn utf8() {
+        assert_eq!(parse_utf8(b"hello").unwrap(), "hello");
+        assert!(parse_utf8(&[0xff, 0xfe]).is_err());
+    }
+}

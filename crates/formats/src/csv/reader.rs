@@ -1,0 +1,132 @@
+//! General-purpose row-wise CSV reading.
+//!
+//! This is the *external tables* work profile (§2.2): every call tokenizes a
+//! line, parses **all** schema fields, converts each to the engine type, and
+//! forms a full row — repeating that work on every query. The smarter access
+//! paths (in-situ with positional maps, JIT) live in `raw-access`; this
+//! reader is both the baseline and the convenience API for small files.
+
+use raw_columnar::{Column, DataType, MemTable, Schema};
+
+use crate::csv::parse;
+use crate::csv::tokenizer::{next_field, RowIter};
+use crate::error::{FormatError, Result};
+
+/// Parse an entire CSV buffer into a fully-converted [`MemTable`], MySQL
+/// external-table style. The schema's `source_ordinal`s must be the
+/// contiguous prefix `0..n` (full declaration), as external tables convert
+/// every field.
+pub fn read_table(buf: &[u8], schema: &Schema) -> Result<MemTable> {
+    let ncols = schema.len();
+    let mut builders: Vec<Column> = schema
+        .fields()
+        .iter()
+        .map(|f| Column::empty(f.data_type))
+        .collect();
+
+    for (row_idx, (start, end)) in RowIter::new(buf).enumerate() {
+        let line = &buf[start..end];
+        let mut pos = 0;
+        for (col_idx, field) in schema.fields().iter().enumerate() {
+            let (span, next) = next_field(line, pos);
+            // The byte that terminated this field: a delimiter means more
+            // fields follow; none / end-of-line means this was the last one.
+            let terminated_by_delim =
+                span.end < line.len() && line[span.end] == super::DELIMITER;
+            let is_last_col = col_idx + 1 == ncols;
+            if !is_last_col && !terminated_by_delim {
+                return Err(FormatError::Corrupt {
+                    context: format!("row {row_idx} has fewer than {ncols} fields"),
+                    offset: Some(start as u64),
+                });
+            }
+            if is_last_col && terminated_by_delim {
+                return Err(FormatError::Corrupt {
+                    context: format!("row {row_idx} has more than {ncols} fields"),
+                    offset: Some((start + span.end) as u64),
+                });
+            }
+            pos = next;
+            let bytes = span.bytes(line);
+            append_parsed(&mut builders[col_idx], field.data_type, bytes)
+                .map_err(|e| e.at(row_idx as u64, col_idx))?;
+        }
+    }
+    MemTable::new(schema.clone(), builders).map_err(FormatError::from)
+}
+
+/// Parse one field's bytes into `dt` and append to `col`.
+#[inline]
+pub fn append_parsed(col: &mut Column, dt: DataType, bytes: &[u8]) -> Result<()> {
+    match (col, dt) {
+        (Column::Int32(v), DataType::Int32) => v.push(parse::parse_i32(bytes)?),
+        (Column::Int64(v), DataType::Int64) => v.push(parse::parse_i64(bytes)?),
+        (Column::Float32(v), DataType::Float32) => v.push(parse::parse_f32(bytes)?),
+        (Column::Float64(v), DataType::Float64) => v.push(parse::parse_f64(bytes)?),
+        (Column::Bool(v), DataType::Bool) => v.push(parse::parse_bool(bytes)?),
+        (Column::Utf8(v), DataType::Utf8) => v.push(parse::parse_utf8(bytes)?),
+        (col, dt) => {
+            return Err(FormatError::SchemaMismatch {
+                message: format!("column builder is {}, field is {dt}", col.data_type()),
+            })
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raw_columnar::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Float64),
+            Field::new("c", DataType::Utf8),
+        ])
+    }
+
+    #[test]
+    fn parses_full_table() {
+        let t = read_table(b"1,2.5,x\n-3,0,yz\n", &schema()).unwrap();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.column(0).unwrap().as_i64().unwrap(), &[1, -3]);
+        assert_eq!(t.column(1).unwrap().as_f64().unwrap(), &[2.5, 0.0]);
+        assert_eq!(
+            t.column(2).unwrap().as_utf8().unwrap(),
+            &["x".to_owned(), "yz".to_owned()]
+        );
+    }
+
+    #[test]
+    fn unterminated_last_row_ok() {
+        let t = read_table(b"1,2,a\n3,4,b", &schema()).unwrap();
+        assert_eq!(t.rows(), 2);
+    }
+
+    #[test]
+    fn too_few_fields_rejected() {
+        let err = read_table(b"1,2.5\n", &schema()).unwrap_err();
+        assert!(err.to_string().contains("fewer"), "{err}");
+    }
+
+    #[test]
+    fn too_many_fields_rejected() {
+        let err = read_table(b"1,2.5,x,EXTRA\n", &schema()).unwrap_err();
+        assert!(err.to_string().contains("more"), "{err}");
+    }
+
+    #[test]
+    fn parse_error_carries_location() {
+        let err = read_table(b"1,notafloat,x\n", &schema()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("notafloat") && msg.contains("row 0") && msg.contains("column 1"));
+    }
+
+    #[test]
+    fn empty_buffer_empty_table() {
+        let t = read_table(b"", &schema()).unwrap();
+        assert_eq!(t.rows(), 0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Byte-level CSV navigation primitives.
+//!
+//! These functions are the vocabulary that both the general-purpose in-situ
+//! scan and the JIT-generated scan are built from; the difference between
+//! those access paths is *how the calls are composed* (interpreted loop with
+//! per-field branching vs. an unrolled, specialized pipeline), not the
+//! primitives themselves.
+
+use super::{DELIMITER, NEWLINE};
+
+/// A field located within a buffer: byte range `[start, end)` (exclusive of
+/// the delimiter/newline that terminated it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldSpan {
+    /// First byte of the field.
+    pub start: usize,
+    /// One past the last byte of the field.
+    pub end: usize,
+}
+
+impl FieldSpan {
+    /// The field bytes within `buf`.
+    pub fn bytes<'a>(&self, buf: &'a [u8]) -> &'a [u8] {
+        &buf[self.start..self.end]
+    }
+
+    /// Field length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the field is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Scan from `pos` to the end of the current field. Returns the span and the
+/// position *after* the terminating delimiter/newline (or end of buffer).
+#[inline]
+pub fn next_field(buf: &[u8], pos: usize) -> (FieldSpan, usize) {
+    let start = pos;
+    let mut i = pos;
+    while i < buf.len() {
+        let b = buf[i];
+        if b == DELIMITER || b == NEWLINE {
+            let next = i + 1;
+            return (FieldSpan { start, end: i }, next);
+        }
+        i += 1;
+    }
+    (FieldSpan { start, end: i }, i)
+}
+
+/// Like [`next_field`], but also reports whether the field was the row's
+/// last (terminated by a newline or end of buffer). The extra signal costs
+/// one compare on a byte the walk already loaded — it is how scans detect
+/// rows with fewer fields than the schema promises instead of silently
+/// sliding into the next row.
+#[inline]
+pub fn next_field_in_row(buf: &[u8], pos: usize) -> (FieldSpan, usize, bool) {
+    let start = pos;
+    let mut i = pos;
+    while i < buf.len() {
+        let b = buf[i];
+        if b == DELIMITER {
+            return (FieldSpan { start, end: i }, i + 1, false);
+        }
+        if b == NEWLINE {
+            return (FieldSpan { start, end: i }, i + 1, true);
+        }
+        i += 1;
+    }
+    (FieldSpan { start, end: i }, i, true)
+}
+
+/// Skip exactly one field; returns the position after its terminator.
+#[inline]
+pub fn skip_field(buf: &[u8], pos: usize) -> usize {
+    let mut i = pos;
+    while i < buf.len() {
+        let b = buf[i];
+        i += 1;
+        if b == DELIMITER || b == NEWLINE {
+            break;
+        }
+    }
+    i
+}
+
+/// Skip `n` fields; returns the position after the `n`-th terminator.
+#[inline]
+pub fn skip_fields(buf: &[u8], mut pos: usize, n: usize) -> usize {
+    for _ in 0..n {
+        pos = skip_field(buf, pos);
+    }
+    pos
+}
+
+/// Skip `n` fields without crossing a row boundary. Returns the position
+/// after the `n`-th terminator and whether the row (or buffer) ended
+/// before all `n` fields were consumed.
+#[inline]
+pub fn skip_fields_in_row(buf: &[u8], mut pos: usize, n: usize) -> (usize, bool) {
+    for _ in 0..n {
+        let mut ended = true;
+        while pos < buf.len() {
+            let b = buf[pos];
+            pos += 1;
+            if b == DELIMITER {
+                ended = false;
+                break;
+            }
+            if b == NEWLINE {
+                return (pos, true);
+            }
+        }
+        if ended {
+            // Buffer exhausted mid-row.
+            return (pos, true);
+        }
+    }
+    (pos, false)
+}
+
+/// Advance to the start of the next row (one past the next newline), or
+/// `buf.len()` if none remains.
+#[inline]
+pub fn skip_to_next_row(buf: &[u8], pos: usize) -> usize {
+    match memchr(buf, pos, NEWLINE) {
+        Some(nl) => nl + 1,
+        None => buf.len(),
+    }
+}
+
+/// First position of `needle` in `buf[from..]`, if any.
+#[inline]
+pub fn memchr(buf: &[u8], from: usize, needle: u8) -> Option<usize> {
+    buf[from..].iter().position(|&b| b == needle).map(|i| from + i)
+}
+
+/// Count the rows (newline-terminated lines; a trailing unterminated line
+/// counts as a row).
+pub fn count_rows(buf: &[u8]) -> u64 {
+    let newlines = buf.iter().filter(|&&b| b == NEWLINE).count() as u64;
+    match buf.last() {
+        None => 0,
+        Some(&NEWLINE) => newlines,
+        Some(_) => newlines + 1,
+    }
+}
+
+/// Iterator over the rows of a buffer, yielding `(row_start, row_end)` byte
+/// offsets (end excludes the newline).
+pub struct RowIter<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RowIter<'a> {
+    /// Iterate rows of `buf` from the beginning.
+    pub fn new(buf: &'a [u8]) -> Self {
+        RowIter { buf, pos: 0 }
+    }
+
+    /// Current byte position (start of the next row).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+impl<'a> Iterator for RowIter<'a> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        if self.pos >= self.buf.len() {
+            return None;
+        }
+        let start = self.pos;
+        let end = match memchr(self.buf, self.pos, NEWLINE) {
+            Some(nl) => {
+                self.pos = nl + 1;
+                nl
+            }
+            None => {
+                self.pos = self.buf.len();
+                self.buf.len()
+            }
+        };
+        Some((start, end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BUF: &[u8] = b"12,345,6\n7,89,0\n";
+
+    #[test]
+    fn next_field_walks_row() {
+        let (f1, p) = next_field(BUF, 0);
+        assert_eq!(f1.bytes(BUF), b"12");
+        let (f2, p) = next_field(BUF, p);
+        assert_eq!(f2.bytes(BUF), b"345");
+        let (f3, p) = next_field(BUF, p);
+        assert_eq!(f3.bytes(BUF), b"6");
+        assert_eq!(p, 9, "positioned at start of row 2");
+        assert_eq!(f3.len(), 1);
+        assert!(!f3.is_empty());
+    }
+
+    #[test]
+    fn next_field_at_eof_without_newline() {
+        let buf = b"1,2";
+        let p = skip_field(buf, 0);
+        let (f, p2) = next_field(buf, p);
+        assert_eq!(f.bytes(buf), b"2");
+        assert_eq!(p2, 3);
+        // Calling again at EOF yields an empty span.
+        let (f3, p3) = next_field(buf, p2);
+        assert!(f3.is_empty());
+        assert_eq!(p3, 3);
+    }
+
+    #[test]
+    fn skip_fields_and_rows() {
+        assert_eq!(skip_fields(BUF, 0, 2), 7);
+        let (f, _) = next_field(BUF, 7);
+        assert_eq!(f.bytes(BUF), b"6");
+        assert_eq!(skip_to_next_row(BUF, 0), 9);
+        assert_eq!(skip_to_next_row(BUF, 9), BUF.len());
+        assert_eq!(skip_to_next_row(b"abc", 0), 3, "no trailing newline");
+    }
+
+    #[test]
+    fn next_field_in_row_reports_row_ends() {
+        let buf = b"1,2\n3,4";
+        let (f, p, ended) = next_field_in_row(buf, 0);
+        assert_eq!(f.bytes(buf), b"1");
+        assert!(!ended);
+        let (f, p, ended) = next_field_in_row(buf, p);
+        assert_eq!(f.bytes(buf), b"2");
+        assert!(ended, "newline terminates the row");
+        let (_, p, ended) = next_field_in_row(buf, p);
+        assert!(!ended);
+        let (f, _, ended) = next_field_in_row(buf, p);
+        assert_eq!(f.bytes(buf), b"4");
+        assert!(ended, "end of buffer terminates the row");
+    }
+
+    #[test]
+    fn skip_fields_in_row_detects_short_rows() {
+        let buf = b"1,2,3\n4,5\n";
+        // Row 1 has 3 fields: skipping 2 stays inside.
+        assert_eq!(skip_fields_in_row(buf, 0, 2), (4, false));
+        // Skipping 3 consumes the newline: row over.
+        assert_eq!(skip_fields_in_row(buf, 0, 3), (6, true));
+        // Row 2 has 2 fields: skipping 2 crosses its end.
+        let row2 = 6;
+        assert_eq!(skip_fields_in_row(buf, row2, 1).1, false);
+        assert!(skip_fields_in_row(buf, row2, 2).1);
+        assert!(skip_fields_in_row(buf, row2, 5).1);
+        // Zero skips never end a row.
+        assert_eq!(skip_fields_in_row(buf, 0, 0), (0, false));
+        // EOF mid-field.
+        assert!(skip_fields_in_row(b"1,2", 0, 2).1);
+    }
+
+    #[test]
+    fn empty_fields() {
+        let buf = b",,\n";
+        let (f1, p) = next_field(buf, 0);
+        assert!(f1.is_empty());
+        let (f2, p) = next_field(buf, p);
+        assert!(f2.is_empty());
+        let (f3, p) = next_field(buf, p);
+        assert!(f3.is_empty());
+        assert_eq!(p, 3);
+    }
+
+    #[test]
+    fn count_rows_cases() {
+        assert_eq!(count_rows(b""), 0);
+        assert_eq!(count_rows(b"1,2\n"), 1);
+        assert_eq!(count_rows(b"1,2\n3,4"), 2, "unterminated last row counts");
+        assert_eq!(count_rows(BUF), 2);
+    }
+
+    #[test]
+    fn row_iter() {
+        let rows: Vec<_> = RowIter::new(BUF).collect();
+        assert_eq!(rows, vec![(0, 8), (9, 15)]);
+        let rows: Vec<_> = RowIter::new(b"a\nb").collect();
+        assert_eq!(rows, vec![(0, 1), (2, 3)]);
+        assert_eq!(RowIter::new(b"").count(), 0);
+    }
+}

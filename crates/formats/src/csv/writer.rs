@@ -1,0 +1,106 @@
+//! Serializing columnar data to CSV bytes/files.
+
+use std::io::Write;
+use std::path::Path;
+
+use raw_columnar::{Column, MemTable};
+
+use crate::error::{FormatError, Result};
+
+/// Render a table as CSV bytes (no header row — the paper's synthetic files
+/// are headerless, with the schema held in the catalog).
+pub fn to_bytes(table: &MemTable) -> Result<Vec<u8>> {
+    // Rough pre-size: 8 chars per numeric field plus separators.
+    let mut out = Vec::with_capacity(table.rows() * table.schema().len() * 9);
+    write_into(table, &mut out)?;
+    Ok(out)
+}
+
+/// Stream a table as CSV into any writer.
+pub fn write_into<W: Write>(table: &MemTable, out: &mut W) -> Result<()> {
+    let cols = table.columns();
+    let rows = table.rows();
+    let mut line = String::with_capacity(cols.len() * 10);
+    for row in 0..rows {
+        line.clear();
+        for (i, col) in cols.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            append_value(&mut line, col, row);
+        }
+        line.push('\n');
+        out.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Write a table to a CSV file at `path` (buffered).
+pub fn write_file(table: &MemTable, path: &Path) -> Result<()> {
+    let file = std::fs::File::create(path).map_err(|e| FormatError::io(path, e))?;
+    let mut w = std::io::BufWriter::new(file);
+    write_into(table, &mut w)?;
+    w.flush().map_err(|e| FormatError::io(path, e))?;
+    Ok(())
+}
+
+fn append_value(line: &mut String, col: &Column, row: usize) {
+    use std::fmt::Write as _;
+    match col {
+        Column::Int32(v) => {
+            let _ = write!(line, "{}", v[row]);
+        }
+        Column::Int64(v) => {
+            let _ = write!(line, "{}", v[row]);
+        }
+        Column::Float32(v) => {
+            let _ = write!(line, "{}", v[row]);
+        }
+        Column::Float64(v) => {
+            let _ = write!(line, "{}", v[row]);
+        }
+        Column::Bool(v) => line.push(if v[row] { '1' } else { '0' }),
+        Column::Utf8(v) => line.push_str(&v[row]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raw_columnar::{DataType, Schema};
+
+    #[test]
+    fn renders_rows() {
+        let t = MemTable::new(
+            Schema::new(vec![
+                raw_columnar::Field::new("a", DataType::Int64),
+                raw_columnar::Field::new("b", DataType::Float64),
+                raw_columnar::Field::new("c", DataType::Bool),
+            ]),
+            vec![
+                vec![1i64, -2].into(),
+                vec![0.5f64, 2.0].into(),
+                vec![true, false].into(),
+            ],
+        )
+        .unwrap();
+        let bytes = to_bytes(&t).unwrap();
+        assert_eq!(&bytes[..], b"1,0.5,1\n-2,2,0\n");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = MemTable::empty(Schema::uniform(2, DataType::Int64));
+        assert!(to_bytes(&t).unwrap().is_empty());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = MemTable::new(Schema::uniform(1, DataType::Int64), vec![vec![7i64].into()])
+            .unwrap();
+        let path = std::env::temp_dir().join(format!("raw_csvw_{}.csv", std::process::id()));
+        write_file(&t, &path).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"7\n");
+        std::fs::remove_file(&path).ok();
+    }
+}

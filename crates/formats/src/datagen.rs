@@ -1,0 +1,175 @@
+//! Deterministic synthetic data generation for the paper's workloads.
+//!
+//! §4.2: "The same dataset is used to generate the CSV and the binary file,
+//! corresponding to a table with 30 columns of type integer and 100 million
+//! rows. Its values are distributed randomly between 0 and 10⁹." §5.2 adds
+//! the wide variant: "120 columns … Column 1, with the predicate condition,
+//! is an integer as before. The column being aggregated is now a
+//! floating-point number." §5.3.2 uses a shuffled copy of the table as the
+//! join's build side.
+//!
+//! All generators are seeded, so every experiment is reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use raw_columnar::{Column, DataType, Field, MemTable, Schema};
+
+/// Upper bound (exclusive) of generated integer values, per the paper.
+pub const INT_VALUE_RANGE: i64 = 1_000_000_000;
+
+/// The 30-integer-column table of §4.2 (`col1..col30`, uniform `[0, 1e9)`).
+pub fn int_table(seed: u64, rows: usize, cols: usize) -> MemTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = Schema::uniform(cols, DataType::Int64);
+    let columns: Vec<Column> = (0..cols)
+        .map(|_| {
+            let v: Vec<i64> = (0..rows).map(|_| rng.gen_range(0..INT_VALUE_RANGE)).collect();
+            v.into()
+        })
+        .collect();
+    MemTable::new(schema, columns).expect("generated columns match schema")
+}
+
+/// The 120-column mixed table of §5.2: `col1` is an integer (predicate
+/// column); every other column is a `float64` (the aggregated column carries
+/// "a greater data type conversion cost").
+pub fn mixed_table(seed: u64, rows: usize, cols: usize) -> MemTable {
+    assert!(cols >= 1, "need at least the predicate column");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fields = vec![Field::new("col1", DataType::Int64)];
+    for i in 2..=cols {
+        fields.push(Field::new(format!("col{i}"), DataType::Float64));
+    }
+    let schema = Schema::new(fields);
+
+    let mut columns: Vec<Column> = Vec::with_capacity(cols);
+    let ints: Vec<i64> = (0..rows).map(|_| rng.gen_range(0..INT_VALUE_RANGE)).collect();
+    columns.push(ints.into());
+    for _ in 1..cols {
+        let v: Vec<f64> =
+            (0..rows).map(|_| rng.gen_range(0.0..INT_VALUE_RANGE as f64)).collect();
+        columns.push(v.into());
+    }
+    MemTable::new(schema, columns).expect("generated columns match schema")
+}
+
+/// A row-shuffled copy of `table` (§5.3.2: "file2 has been shuffled").
+pub fn shuffled_copy(table: &MemTable, seed: u64) -> MemTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = table.rows();
+    let mut perm: Vec<usize> = (0..rows).collect();
+    // Fisher–Yates.
+    for i in (1..rows).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let columns: Vec<Column> = table
+        .columns()
+        .iter()
+        .map(|c| c.gather(&perm).expect("permutation indices in range"))
+        .collect();
+    MemTable::new(table.schema().clone(), columns).expect("same schema")
+}
+
+/// A copy of `table` sorted ascending by column `key` (used to build
+/// indexed `ibin` files whose sorted-key page index is binary-searchable).
+pub fn sorted_copy(table: &MemTable, key: usize) -> MemTable {
+    let rows = table.rows();
+    let mut perm: Vec<usize> = (0..rows).collect();
+    let keys = table.column(key).expect("key column in range");
+    match keys {
+        Column::Int32(v) => perm.sort_by_key(|&i| v[i]),
+        Column::Int64(v) => perm.sort_by_key(|&i| v[i]),
+        Column::Float32(v) => perm.sort_by(|&a, &b| v[a].total_cmp(&v[b])),
+        Column::Float64(v) => perm.sort_by(|&a, &b| v[a].total_cmp(&v[b])),
+        Column::Bool(v) => perm.sort_by_key(|&i| v[i]),
+        Column::Utf8(v) => perm.sort_by(|&a, &b| v[a].cmp(&v[b])),
+    }
+    let columns: Vec<Column> = table
+        .columns()
+        .iter()
+        .map(|c| c.gather(&perm).expect("permutation indices in range"))
+        .collect();
+    MemTable::new(table.schema().clone(), columns).expect("same schema")
+}
+
+/// Selectivity → predicate literal: with values uniform in `[0, 1e9)`, the
+/// predicate `col1 < x` passes a fraction `x / 1e9` of rows. This is how the
+/// experiments sweep selectivity by "changing the value of X".
+pub fn literal_for_selectivity(selectivity: f64) -> i64 {
+    let clamped = selectivity.clamp(0.0, 1.0);
+    (clamped * INT_VALUE_RANGE as f64).round() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_table_shape_and_range() {
+        let t = int_table(42, 100, 5);
+        assert_eq!(t.rows(), 100);
+        assert_eq!(t.schema().len(), 5);
+        assert_eq!(t.schema().field(0).unwrap().name, "col1");
+        for col in t.columns() {
+            for &v in col.as_i64().unwrap() {
+                assert!((0..INT_VALUE_RANGE).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(int_table(7, 50, 3), int_table(7, 50, 3));
+        assert_ne!(int_table(7, 50, 3), int_table(8, 50, 3));
+    }
+
+    #[test]
+    fn mixed_table_types() {
+        let t = mixed_table(1, 10, 4);
+        assert_eq!(t.schema().field(0).unwrap().data_type, DataType::Int64);
+        for i in 1..4 {
+            assert_eq!(t.schema().field(i).unwrap().data_type, DataType::Float64);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let t = int_table(3, 200, 2);
+        let s = shuffled_copy(&t, 9);
+        assert_eq!(s.rows(), t.rows());
+        let mut a = t.column(0).unwrap().as_i64().unwrap().to_vec();
+        let mut b = s.column(0).unwrap().as_i64().unwrap().to_vec();
+        assert_ne!(a, b, "vanishingly unlikely to be identical");
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "same multiset");
+        // Rows stay aligned across columns.
+        let t0 = t.column(0).unwrap().as_i64().unwrap();
+        let t1 = t.column(1).unwrap().as_i64().unwrap();
+        let pairs: std::collections::HashSet<(i64, i64)> =
+            t0.iter().zip(t1).map(|(&x, &y)| (x, y)).collect();
+        let s0 = s.column(0).unwrap().as_i64().unwrap();
+        let s1 = s.column(1).unwrap().as_i64().unwrap();
+        for (x, y) in s0.iter().zip(s1) {
+            assert!(pairs.contains(&(*x, *y)));
+        }
+    }
+
+    #[test]
+    fn selectivity_literals() {
+        assert_eq!(literal_for_selectivity(0.0), 0);
+        assert_eq!(literal_for_selectivity(1.0), INT_VALUE_RANGE);
+        assert_eq!(literal_for_selectivity(0.5), INT_VALUE_RANGE / 2);
+        assert_eq!(literal_for_selectivity(-3.0), 0, "clamped");
+        assert_eq!(literal_for_selectivity(4.0), INT_VALUE_RANGE, "clamped");
+        // Empirical check: ~30% of generated values pass the 30% literal.
+        let t = int_table(11, 20_000, 1);
+        let x = literal_for_selectivity(0.3);
+        let passing =
+            t.column(0).unwrap().as_i64().unwrap().iter().filter(|&&v| v < x).count();
+        let frac = passing as f64 / 20_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "observed {frac}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Error type for raw file access.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+use raw_columnar::ColumnarError;
+
+/// Errors surfaced while reading or writing raw files.
+#[derive(Debug)]
+pub enum FormatError {
+    /// Underlying I/O failure.
+    Io {
+        /// File involved, when known.
+        path: Option<PathBuf>,
+        /// The OS error.
+        source: io::Error,
+    },
+    /// Malformed content in a raw file.
+    Corrupt {
+        /// What was being parsed.
+        context: String,
+        /// Byte offset of the problem, when known.
+        offset: Option<u64>,
+    },
+    /// A value failed to parse (e.g. non-numeric text in an int CSV column).
+    Parse {
+        /// The raw text (lossily decoded, truncated).
+        raw: String,
+        /// Target type description.
+        target: &'static str,
+        /// Row where the failure happened, when known.
+        row: Option<u64>,
+        /// Column (source ordinal) where the failure happened, when known.
+        column: Option<usize>,
+    },
+    /// The file does not match the declared schema.
+    SchemaMismatch {
+        /// Human-readable description.
+        message: String,
+    },
+    /// Error bubbled up from the columnar layer.
+    Columnar(ColumnarError),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::Io { path, source } => match path {
+                Some(p) => write!(f, "I/O error on {}: {source}", p.display()),
+                None => write!(f, "I/O error: {source}"),
+            },
+            FormatError::Corrupt { context, offset } => match offset {
+                Some(o) => write!(f, "corrupt data while {context} at byte {o}"),
+                None => write!(f, "corrupt data while {context}"),
+            },
+            FormatError::Parse { raw, target, row, column } => {
+                write!(f, "cannot parse {raw:?} as {target}")?;
+                if let Some(r) = row {
+                    write!(f, " (row {r}")?;
+                    if let Some(c) = column {
+                        write!(f, ", column {c}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            FormatError::SchemaMismatch { message } => write!(f, "schema mismatch: {message}"),
+            FormatError::Columnar(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FormatError::Io { source, .. } => Some(source),
+            FormatError::Columnar(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ColumnarError> for FormatError {
+    fn from(e: ColumnarError) -> Self {
+        FormatError::Columnar(e)
+    }
+}
+
+impl From<io::Error> for FormatError {
+    fn from(e: io::Error) -> Self {
+        FormatError::Io { path: None, source: e }
+    }
+}
+
+impl FormatError {
+    /// Attach a path to an I/O error.
+    pub fn io(path: impl Into<PathBuf>, source: io::Error) -> FormatError {
+        FormatError::Io { path: Some(path.into()), source }
+    }
+
+    /// Shorthand constructor for parse failures.
+    pub fn parse(raw: &[u8], target: &'static str) -> FormatError {
+        let mut s = String::from_utf8_lossy(raw).into_owned();
+        s.truncate(64);
+        FormatError::Parse { raw: s, target, row: None, column: None }
+    }
+
+    /// Add row/column context to a parse failure (no-op for other kinds).
+    pub fn at(self, row: u64, column: usize) -> FormatError {
+        match self {
+            FormatError::Parse { raw, target, .. } => {
+                FormatError::Parse { raw, target, row: Some(row), column: Some(column) }
+            }
+            other => other,
+        }
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, FormatError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = FormatError::parse(b"abc", "int64").at(3, 1);
+        assert_eq!(e.to_string(), "cannot parse \"abc\" as int64 (row 3, column 1)");
+        let e = FormatError::Corrupt { context: "reading header".into(), offset: Some(12) };
+        assert_eq!(e.to_string(), "corrupt data while reading header at byte 12");
+        let e = FormatError::io("/tmp/x", io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("/tmp/x"));
+    }
+
+    #[test]
+    fn parse_truncates_long_raw() {
+        let long = vec![b'z'; 500];
+        let e = FormatError::parse(&long, "int64");
+        if let FormatError::Parse { raw, .. } = &e {
+            assert!(raw.len() <= 64);
+        } else {
+            panic!("wrong variant");
+        }
+    }
+}

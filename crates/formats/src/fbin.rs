@@ -1,0 +1,402 @@
+//! `fbin`: the paper's custom fixed-width binary format.
+//!
+//! "Each attribute is serialized from its corresponding C representation …
+//! every field is stored in a fixed-size number of bytes" (§4.2). Because the
+//! layout is deterministic, *no positional map is needed*: the byte position
+//! of any field is `data_start + row * row_width + field_offset[col]` — the
+//! formula the paper's JIT access path folds into generated code as
+//! constants.
+//!
+//! ## On-disk layout (little-endian)
+//!
+//! ```text
+//! magic   : 8 bytes  = "RAWFBIN1"
+//! ncols   : u32
+//! types   : ncols × u8 (type codes below)
+//! nrows   : u64
+//! data    : nrows rows, each row = fields serialized back-to-back
+//! ```
+
+use std::path::Path;
+
+use raw_columnar::{Column, DataType, MemTable, Schema, Value};
+
+use crate::error::{FormatError, Result};
+
+/// File magic.
+pub const MAGIC: &[u8; 8] = b"RAWFBIN1";
+
+/// Type codes used in the header.
+fn type_code(dt: DataType) -> Result<u8> {
+    Ok(match dt {
+        DataType::Int32 => 0,
+        DataType::Int64 => 1,
+        DataType::Float32 => 2,
+        DataType::Float64 => 3,
+        DataType::Bool => 4,
+        DataType::Utf8 => {
+            return Err(FormatError::SchemaMismatch {
+                message: "fbin does not support variable-width utf8 fields".into(),
+            })
+        }
+    })
+}
+
+fn code_type(code: u8) -> Result<DataType> {
+    Ok(match code {
+        0 => DataType::Int32,
+        1 => DataType::Int64,
+        2 => DataType::Float32,
+        3 => DataType::Float64,
+        4 => DataType::Bool,
+        other => {
+            return Err(FormatError::Corrupt {
+                context: format!("unknown fbin type code {other}"),
+                offset: None,
+            })
+        }
+    })
+}
+
+/// The deterministic layout of an fbin file: everything needed to compute
+/// any field's byte position without touching the data section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FbinLayout {
+    /// Field types in file order.
+    pub types: Vec<DataType>,
+    /// Byte offset of each field within a row.
+    pub field_offsets: Vec<usize>,
+    /// Total bytes per row.
+    pub row_width: usize,
+    /// Byte offset where row data begins.
+    pub data_start: usize,
+    /// Number of rows.
+    pub rows: u64,
+}
+
+impl FbinLayout {
+    /// Compute the layout for the given field types and row count (writer
+    /// side; the reader recovers it from the header via [`FbinLayout::parse`]).
+    pub fn for_types(types: Vec<DataType>, rows: u64) -> Result<FbinLayout> {
+        let mut field_offsets = Vec::with_capacity(types.len());
+        let mut row_width = 0usize;
+        for &dt in &types {
+            type_code(dt)?; // validates fixed-width
+            field_offsets.push(row_width);
+            row_width += dt.fixed_width().expect("validated fixed-width");
+        }
+        let data_start = MAGIC.len() + 4 + types.len() + 8;
+        Ok(FbinLayout { types, field_offsets, row_width, data_start, rows })
+    }
+
+    /// Parse and validate a file header.
+    pub fn parse(buf: &[u8]) -> Result<FbinLayout> {
+        let need = |n: usize, what: &str| -> Result<()> {
+            if buf.len() < n {
+                Err(FormatError::Corrupt {
+                    context: format!("fbin header truncated while reading {what}"),
+                    offset: Some(buf.len() as u64),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        need(8, "magic")?;
+        if &buf[..8] != MAGIC {
+            return Err(FormatError::Corrupt { context: "bad fbin magic".into(), offset: Some(0) });
+        }
+        need(12, "column count")?;
+        let ncols = u32::from_le_bytes(buf[8..12].try_into().expect("sized")) as usize;
+        need(12 + ncols, "type codes")?;
+        let mut types = Vec::with_capacity(ncols);
+        for i in 0..ncols {
+            types.push(code_type(buf[12 + i])?);
+        }
+        need(12 + ncols + 8, "row count")?;
+        let rows = u64::from_le_bytes(
+            buf[12 + ncols..12 + ncols + 8].try_into().expect("sized"),
+        );
+        let layout = FbinLayout::for_types(types, rows)?;
+        let expected = layout.data_start as u64 + rows * layout.row_width as u64;
+        if (buf.len() as u64) < expected {
+            return Err(FormatError::Corrupt {
+                context: format!(
+                    "fbin data truncated: need {expected} bytes, have {}",
+                    buf.len()
+                ),
+                offset: Some(buf.len() as u64),
+            });
+        }
+        Ok(layout)
+    }
+
+    /// Byte position of field (`row`, `col`) — the paper's
+    /// `row*tupleSize + col_offset` computation.
+    #[inline]
+    pub fn field_position(&self, row: u64, col: usize) -> usize {
+        self.data_start + row as usize * self.row_width + self.field_offsets[col]
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.types.len()
+    }
+}
+
+/// Typed point reads. Each is a straight `from_le_bytes` at a computed
+/// offset; the *callers* differ in whether the offset arithmetic is
+/// interpreted per value (in-situ) or folded into a specialized pipeline
+/// (JIT).
+#[inline]
+pub fn read_i32(buf: &[u8], pos: usize) -> i32 {
+    i32::from_le_bytes(buf[pos..pos + 4].try_into().expect("sized"))
+}
+
+/// See [`read_i32`].
+#[inline]
+pub fn read_i64(buf: &[u8], pos: usize) -> i64 {
+    i64::from_le_bytes(buf[pos..pos + 8].try_into().expect("sized"))
+}
+
+/// See [`read_i32`].
+#[inline]
+pub fn read_f32(buf: &[u8], pos: usize) -> f32 {
+    f32::from_le_bytes(buf[pos..pos + 4].try_into().expect("sized"))
+}
+
+/// See [`read_i32`].
+#[inline]
+pub fn read_f64(buf: &[u8], pos: usize) -> f64 {
+    f64::from_le_bytes(buf[pos..pos + 8].try_into().expect("sized"))
+}
+
+/// See [`read_i32`].
+#[inline]
+pub fn read_bool(buf: &[u8], pos: usize) -> bool {
+    buf[pos] != 0
+}
+
+/// Generic (slow-path) scalar read — used by error paths and tests.
+pub fn read_value(buf: &[u8], layout: &FbinLayout, row: u64, col: usize) -> Result<Value> {
+    if row >= layout.rows || col >= layout.num_cols() {
+        return Err(FormatError::Corrupt {
+            context: format!("fbin read out of range: row {row}, col {col}"),
+            offset: None,
+        });
+    }
+    let pos = layout.field_position(row, col);
+    Ok(match layout.types[col] {
+        DataType::Int32 => Value::Int32(read_i32(buf, pos)),
+        DataType::Int64 => Value::Int64(read_i64(buf, pos)),
+        DataType::Float32 => Value::Float32(read_f32(buf, pos)),
+        DataType::Float64 => Value::Float64(read_f64(buf, pos)),
+        DataType::Bool => Value::Bool(read_bool(buf, pos)),
+        DataType::Utf8 => unreachable!("fbin layouts never contain utf8"),
+    })
+}
+
+/// Serialize a table to fbin bytes.
+pub fn to_bytes(table: &MemTable) -> Result<Vec<u8>> {
+    let types: Vec<DataType> =
+        table.schema().fields().iter().map(|f| f.data_type).collect();
+    let layout = FbinLayout::for_types(types, table.rows() as u64)?;
+
+    let mut out =
+        Vec::with_capacity(layout.data_start + table.rows() * layout.row_width);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(layout.num_cols() as u32).to_le_bytes());
+    for &dt in &layout.types {
+        out.push(type_code(dt)?);
+    }
+    out.extend_from_slice(&(table.rows() as u64).to_le_bytes());
+
+    for row in 0..table.rows() {
+        for col in table.columns() {
+            match col {
+                Column::Int32(v) => out.extend_from_slice(&v[row].to_le_bytes()),
+                Column::Int64(v) => out.extend_from_slice(&v[row].to_le_bytes()),
+                Column::Float32(v) => out.extend_from_slice(&v[row].to_le_bytes()),
+                Column::Float64(v) => out.extend_from_slice(&v[row].to_le_bytes()),
+                Column::Bool(v) => out.push(u8::from(v[row])),
+                Column::Utf8(_) => {
+                    return Err(FormatError::SchemaMismatch {
+                        message: "fbin does not support utf8".into(),
+                    })
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Write a table to an fbin file.
+pub fn write_file(table: &MemTable, path: &Path) -> Result<()> {
+    let bytes = to_bytes(table)?;
+    std::fs::write(path, bytes).map_err(|e| FormatError::io(path, e))
+}
+
+/// Read an entire fbin buffer into a [`MemTable`] (the "load everything"
+/// DBMS path; granular access paths live in `raw-access`).
+pub fn read_table(buf: &[u8], schema: &Schema) -> Result<MemTable> {
+    let layout = FbinLayout::parse(buf)?;
+    if layout.num_cols() != schema.len() {
+        return Err(FormatError::SchemaMismatch {
+            message: format!(
+                "schema declares {} columns, file has {}",
+                schema.len(),
+                layout.num_cols()
+            ),
+        });
+    }
+    for (f, &dt) in schema.fields().iter().zip(&layout.types) {
+        if f.data_type != dt {
+            return Err(FormatError::SchemaMismatch {
+                message: format!("field {} declared {}, file has {dt}", f.name, f.data_type),
+            });
+        }
+    }
+    let rows = layout.rows;
+    let mut columns = Vec::with_capacity(layout.num_cols());
+    for (col, &dt) in layout.types.iter().enumerate() {
+        let mut c = Column::with_capacity(dt, rows as usize);
+        match &mut c {
+            Column::Int32(v) => {
+                for r in 0..rows {
+                    v.push(read_i32(buf, layout.field_position(r, col)));
+                }
+            }
+            Column::Int64(v) => {
+                for r in 0..rows {
+                    v.push(read_i64(buf, layout.field_position(r, col)));
+                }
+            }
+            Column::Float32(v) => {
+                for r in 0..rows {
+                    v.push(read_f32(buf, layout.field_position(r, col)));
+                }
+            }
+            Column::Float64(v) => {
+                for r in 0..rows {
+                    v.push(read_f64(buf, layout.field_position(r, col)));
+                }
+            }
+            Column::Bool(v) => {
+                for r in 0..rows {
+                    v.push(read_bool(buf, layout.field_position(r, col)));
+                }
+            }
+            Column::Utf8(_) => unreachable!("fbin layouts never contain utf8"),
+        }
+        columns.push(c);
+    }
+    MemTable::new(schema.clone(), columns).map_err(FormatError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raw_columnar::Field;
+
+    fn table() -> MemTable {
+        MemTable::new(
+            Schema::new(vec![
+                Field::new("a", DataType::Int32),
+                Field::new("b", DataType::Int64),
+                Field::new("c", DataType::Float64),
+                Field::new("d", DataType::Bool),
+            ]),
+            vec![
+                vec![1i32, -2].into(),
+                vec![10i64, 20].into(),
+                vec![0.5f64, -1.5].into(),
+                vec![true, false].into(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = table();
+        let bytes = to_bytes(&t).unwrap();
+        let back = read_table(&bytes, t.schema()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn layout_offsets() {
+        let l = FbinLayout::for_types(
+            vec![DataType::Int32, DataType::Int64, DataType::Float64, DataType::Bool],
+            2,
+        )
+        .unwrap();
+        assert_eq!(l.field_offsets, vec![0, 4, 12, 20]);
+        assert_eq!(l.row_width, 21);
+        // header: 8 magic + 4 ncols + 4 codes + 8 nrows
+        assert_eq!(l.data_start, 24);
+        assert_eq!(l.field_position(0, 0), 24);
+        assert_eq!(l.field_position(1, 2), 24 + 21 + 12);
+    }
+
+    #[test]
+    fn point_reads() {
+        let t = table();
+        let bytes = to_bytes(&t).unwrap();
+        let l = FbinLayout::parse(&bytes).unwrap();
+        assert_eq!(read_i32(&bytes, l.field_position(1, 0)), -2);
+        assert_eq!(read_i64(&bytes, l.field_position(0, 1)), 10);
+        assert_eq!(read_f64(&bytes, l.field_position(1, 2)), -1.5);
+        assert!(read_bool(&bytes, l.field_position(0, 3)));
+        assert_eq!(read_value(&bytes, &l, 1, 1).unwrap(), Value::Int64(20));
+        assert!(read_value(&bytes, &l, 2, 0).is_err(), "row out of range");
+        assert!(read_value(&bytes, &l, 0, 4).is_err(), "col out of range");
+    }
+
+    #[test]
+    fn rejects_utf8() {
+        let t = MemTable::new(
+            Schema::new(vec![Field::new("s", DataType::Utf8)]),
+            vec![vec!["x".to_owned()].into()],
+        )
+        .unwrap();
+        assert!(to_bytes(&t).is_err());
+    }
+
+    #[test]
+    fn corrupt_headers() {
+        assert!(FbinLayout::parse(b"short").is_err());
+        assert!(FbinLayout::parse(b"WRONGMAG\x01\x00\x00\x00").is_err());
+        // Valid header but truncated data section.
+        let t = table();
+        let bytes = to_bytes(&t).unwrap();
+        let truncated = &bytes[..bytes.len() - 1];
+        assert!(FbinLayout::parse(truncated).is_err());
+        // Unknown type code.
+        let mut bad = bytes.clone();
+        bad[12] = 99;
+        assert!(FbinLayout::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn schema_mismatch_detected() {
+        let t = table();
+        let bytes = to_bytes(&t).unwrap();
+        let wrong_arity = Schema::uniform(2, DataType::Int64);
+        assert!(read_table(&bytes, &wrong_arity).is_err());
+        let wrong_type = Schema::new(vec![
+            Field::new("a", DataType::Int64), // file says Int32
+            Field::new("b", DataType::Int64),
+            Field::new("c", DataType::Float64),
+            Field::new("d", DataType::Bool),
+        ]);
+        assert!(read_table(&bytes, &wrong_type).is_err());
+    }
+
+    #[test]
+    fn empty_table_roundtrip() {
+        let t = MemTable::empty(Schema::uniform(3, DataType::Int64));
+        let bytes = to_bytes(&t).unwrap();
+        let back = read_table(&bytes, t.schema()).unwrap();
+        assert_eq!(back.rows(), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! In-process file buffers with an explicit cold/warm switch.
+//!
+//! The paper memory-maps raw files and relies on the OS page cache; cold
+//! runs flush the file system caches, warm runs reuse them. Reproducing that
+//! faithfully would make experiments depend on host state, so RAW-rs replaces
+//! it with an explicit pool: files are read once into `Arc<[u8]>` buffers and
+//! shared; [`FileBufferPool::evict_all`] models "cold caches"; repeated reads
+//! hit the pool and cost nothing, modeling "warm".
+//!
+//! All scan paths go through this layer, so cold-run experiments charge the
+//! read (and the pool counts bytes read from disk for reporting).
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{FormatError, Result};
+
+/// Shared, immutable bytes of one file.
+pub type FileBytes = Arc<Vec<u8>>;
+
+/// A pool of file buffers: the stand-in for `mmap` + OS page cache.
+#[derive(Debug, Default)]
+pub struct FileBufferPool {
+    buffers: Mutex<HashMap<PathBuf, FileBytes>>,
+    bytes_from_disk: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl FileBufferPool {
+    /// An empty pool.
+    pub fn new() -> FileBufferPool {
+        FileBufferPool::default()
+    }
+
+    /// Fetch the bytes of `path`, reading from disk on first access.
+    pub fn read(&self, path: &Path) -> Result<FileBytes> {
+        if let Some(buf) = self.buffers.lock().get(path) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(buf));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let data = std::fs::read(path).map_err(|e| FormatError::io(path, e))?;
+        self.bytes_from_disk.fetch_add(data.len() as u64, Ordering::Relaxed);
+        let buf: FileBytes = Arc::new(data);
+        self.buffers.lock().insert(path.to_path_buf(), Arc::clone(&buf));
+        Ok(buf)
+    }
+
+    /// Register in-memory bytes for `path` without touching disk (tests and
+    /// generated-on-the-fly datasets).
+    pub fn insert(&self, path: impl Into<PathBuf>, data: Vec<u8>) -> FileBytes {
+        let buf: FileBytes = Arc::new(data);
+        self.buffers.lock().insert(path.into(), Arc::clone(&buf));
+        buf
+    }
+
+    /// Drop one file's buffer (next read is cold).
+    pub fn evict(&self, path: &Path) {
+        self.buffers.lock().remove(path);
+    }
+
+    /// Drop everything: the "cold caches" switch for experiments.
+    pub fn evict_all(&self) {
+        self.buffers.lock().clear();
+    }
+
+    /// Whether `path` is currently buffered (i.e. a read would be warm).
+    pub fn is_warm(&self, path: &Path) -> bool {
+        self.buffers.lock().contains_key(path)
+    }
+
+    /// Total bytes read from disk since construction.
+    pub fn bytes_from_disk(&self) -> u64 {
+        self.bytes_from_disk.load(Ordering::Relaxed)
+    }
+
+    /// (pool hits, pool misses) since construction.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, content: &[u8]) -> PathBuf {
+        let path = std::env::temp_dir().join(format!("raw_fbp_{}_{name}", std::process::id()));
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(content).unwrap();
+        path
+    }
+
+    #[test]
+    fn read_caches_and_counts() {
+        let path = temp_file("a.csv", b"1,2,3\n");
+        let pool = FileBufferPool::new();
+        let b1 = pool.read(&path).unwrap();
+        assert_eq!(&b1[..], b"1,2,3\n");
+        assert_eq!(pool.bytes_from_disk(), 6);
+        assert!(pool.is_warm(&path));
+
+        let b2 = pool.read(&path).unwrap();
+        assert!(Arc::ptr_eq(&b1, &b2), "second read shares the buffer");
+        assert_eq!(pool.bytes_from_disk(), 6, "no second disk read");
+        assert_eq!(pool.hit_miss(), (1, 1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn evict_makes_cold() {
+        let path = temp_file("b.csv", b"xy");
+        let pool = FileBufferPool::new();
+        pool.read(&path).unwrap();
+        pool.evict(&path);
+        assert!(!pool.is_warm(&path));
+        pool.read(&path).unwrap();
+        assert_eq!(pool.bytes_from_disk(), 4, "read twice from disk");
+        pool.evict_all();
+        assert!(!pool.is_warm(&path));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn insert_without_disk() {
+        let pool = FileBufferPool::new();
+        pool.insert("/virtual/file.bin", vec![1, 2, 3]);
+        let b = pool.read(Path::new("/virtual/file.bin")).unwrap();
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(pool.bytes_from_disk(), 0);
+    }
+
+    #[test]
+    fn missing_file_errors_with_path() {
+        let pool = FileBufferPool::new();
+        let err = pool.read(Path::new("/definitely/not/here")).unwrap_err();
+        assert!(err.to_string().contains("/definitely/not/here"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Property tests for the raw-file formats: round-trips on arbitrary data
+//! and parser agreement with the standard library.
+
+use proptest::prelude::*;
+
+use raw_columnar::{Column, DataType, Field, MemTable, Schema, Value};
+use raw_formats::csv::parse;
+use raw_formats::csv::tokenizer::{count_rows, next_field, skip_fields, RowIter};
+use raw_formats::rootsim::{RootCollection, RootSchema, RootSimFile, RootSimWriter};
+use std::sync::Arc;
+
+/// Arbitrary mixed-type tables (no utf8 so fbin accepts them too).
+fn arb_table() -> impl Strategy<Value = MemTable> {
+    (1usize..6, 0usize..60).prop_flat_map(|(cols, rows)| {
+        let col_strategies: Vec<_> = (0..cols)
+            .map(|c| {
+                let kind = c % 3;
+                match kind {
+                    0 => proptest::collection::vec(any::<i64>(), rows)
+                        .prop_map(Column::Int64)
+                        .boxed(),
+                    1 => proptest::collection::vec(any::<i32>(), rows)
+                        .prop_map(Column::Int32)
+                        .boxed(),
+                    _ => proptest::collection::vec(-1e6f64..1e6, rows)
+                        .prop_map(Column::Float64)
+                        .boxed(),
+                }
+            })
+            .collect();
+        col_strategies.prop_map(move |columns| {
+            let fields: Vec<Field> = columns
+                .iter()
+                .enumerate()
+                .map(|(i, c)| Field::new(format!("c{i}"), c.data_type()))
+                .collect();
+            MemTable::new(Schema::new(fields), columns).expect("consistent")
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn csv_roundtrip(table in arb_table()) {
+        let bytes = raw_formats::csv::writer::to_bytes(&table).unwrap();
+        let back = raw_formats::csv::reader::read_table(&bytes, table.schema()).unwrap();
+        prop_assert_eq!(table, back);
+    }
+
+    #[test]
+    fn fbin_roundtrip(table in arb_table()) {
+        let bytes = raw_formats::fbin::to_bytes(&table).unwrap();
+        let back = raw_formats::fbin::read_table(&bytes, table.schema()).unwrap();
+        prop_assert_eq!(table, back);
+    }
+
+    #[test]
+    fn ibin_roundtrip(table in arb_table(), page in 1u32..32) {
+        let bytes = raw_formats::ibin::to_bytes_with(&table, page, None).unwrap();
+        let back = raw_formats::ibin::read_table(&bytes, table.schema()).unwrap();
+        prop_assert_eq!(table, back);
+    }
+
+    #[test]
+    fn ibin_pruning_never_loses_qualifying_rows(
+        values in proptest::collection::vec(any::<i64>(), 1..150),
+        page in 1u32..16,
+        x in any::<i64>(),
+        op_idx in 0usize..6,
+        sorted in proptest::bool::ANY,
+    ) {
+        use raw_columnar::CmpOp;
+        use raw_formats::ibin::{IbinLayout, PrunePred};
+
+        let mut values = values;
+        if sorted {
+            values.sort_unstable();
+        }
+        let table = MemTable::new(
+            Schema::new(vec![Field::new("k", DataType::Int64)]),
+            vec![Column::Int64(values.clone())],
+        )
+        .unwrap();
+        let bytes = raw_formats::ibin::to_bytes_with(
+            &table,
+            page,
+            sorted.then_some(0),
+        )
+        .unwrap();
+        let layout = IbinLayout::parse(&bytes).unwrap();
+        let op = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne][op_idx];
+        let preds = vec![PrunePred { col: 0, op, value: Value::Int64(x) }];
+        let pages = layout.candidate_pages(&preds);
+
+        // Conservativeness: every qualifying row's page survives.
+        let holds = |v: i64| match op {
+            CmpOp::Lt => v < x,
+            CmpOp::Le => v <= x,
+            CmpOp::Gt => v > x,
+            CmpOp::Ge => v >= x,
+            CmpOp::Eq => v == x,
+            CmpOp::Ne => v != x,
+        };
+        for (r, &v) in values.iter().enumerate() {
+            if holds(v) {
+                let p = r / page as usize;
+                prop_assert!(
+                    pages.contains(&p),
+                    "row {r} (v={v}) qualifies under {op:?} {x} but page {p} was pruned"
+                );
+            }
+        }
+        // Sanity: candidates ascend and stay in range.
+        prop_assert!(pages.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(pages.iter().all(|&p| p < layout.num_pages()));
+    }
+
+    #[test]
+    fn parse_i64_agrees_with_std(v in any::<i64>()) {
+        let s = v.to_string();
+        prop_assert_eq!(parse::parse_i64(s.as_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_i64_rejects_junk(s in "[a-zA-Z +./]{1,12}") {
+        prop_assert!(parse::parse_i64(s.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn parse_f64_agrees_with_std(v in -1e15f64..1e15) {
+        let s = format!("{v}");
+        let parsed = parse::parse_f64(s.as_bytes()).unwrap();
+        let std_parsed: f64 = s.parse().unwrap();
+        prop_assert_eq!(parsed, std_parsed);
+    }
+
+    #[test]
+    fn tokenizer_field_walk_matches_split(
+        fields in proptest::collection::vec("[0-9a-z]{0,6}", 1..12),
+    ) {
+        let line = fields.join(",");
+        let buf = format!("{line}\n");
+        let bytes = buf.as_bytes();
+        let mut pos = 0;
+        for expected in &fields {
+            let (span, next) = next_field(bytes, pos);
+            prop_assert_eq!(span.bytes(bytes), expected.as_bytes());
+            pos = next;
+        }
+        prop_assert_eq!(pos, bytes.len());
+    }
+
+    #[test]
+    fn skip_fields_equals_iterated_tokenize(
+        fields in proptest::collection::vec("[0-9]{1,5}", 2..10),
+        k in 0usize..8,
+    ) {
+        let k = k % fields.len();
+        let line = fields.join(",");
+        let bytes = line.as_bytes();
+        let direct = skip_fields(bytes, 0, k);
+        let mut pos = 0;
+        for _ in 0..k {
+            let (_, next) = next_field(bytes, pos);
+            pos = next;
+        }
+        prop_assert_eq!(direct, pos);
+    }
+
+    #[test]
+    fn row_counting_and_iteration_agree(rows in proptest::collection::vec("[0-9,]{0,12}", 0..20)) {
+        // Build a buffer of newline-terminated lines (lines may contain
+        // commas but not newlines).
+        let buf = rows.iter().map(|r| format!("{r}\n")).collect::<String>();
+        let bytes = buf.as_bytes();
+        prop_assert_eq!(count_rows(bytes) as usize, rows.len());
+        let iterated: Vec<String> = RowIter::new(bytes)
+            .map(|(s, e)| String::from_utf8_lossy(&bytes[s..e]).into_owned())
+            .collect();
+        prop_assert_eq!(iterated, rows);
+    }
+
+    #[test]
+    fn rootsim_roundtrip(
+        events in proptest::collection::vec(
+            (
+                any::<i64>(),
+                any::<i32>(),
+                proptest::collection::vec((-100f32..100.0, -5f32..5.0), 0..5),
+            ),
+            0..20,
+        ),
+    ) {
+        let schema = RootSchema {
+            scalars: vec![
+                ("id".into(), DataType::Int64),
+                ("run".into(), DataType::Int32),
+            ],
+            collections: vec![RootCollection {
+                name: "parts".into(),
+                fields: vec![("pt".into(), DataType::Float32), ("eta".into(), DataType::Float32)],
+            }],
+        };
+        let mut w = RootSimWriter::new(schema).unwrap();
+        for (id, run, parts) in &events {
+            let items: Vec<Vec<Value>> = parts
+                .iter()
+                .map(|&(pt, eta)| vec![Value::Float32(pt), Value::Float32(eta)])
+                .collect();
+            w.add_event(&[Value::Int64(*id), Value::Int32(*run)], &[items]).unwrap();
+        }
+        let file = RootSimFile::open_bytes(Arc::new(w.finish().unwrap())).unwrap();
+        prop_assert_eq!(file.num_events(), events.len() as u64);
+        let id_branch = file.scalar_branch("id").unwrap();
+        let run_branch = file.scalar_branch("run").unwrap();
+        let coll = file.collection("parts").unwrap();
+        let pt = file.field(coll, "pt").unwrap();
+        let eta = file.field(coll, "eta").unwrap();
+        let mut item = 0u64;
+        for (e, (id, run, parts)) in events.iter().enumerate() {
+            let e = e as u64;
+            prop_assert_eq!(file.read_scalar_i64(id_branch, e), *id);
+            prop_assert_eq!(file.read_scalar_i32(run_branch, e), *run);
+            let (lo, hi) = file.item_range(coll, e);
+            prop_assert_eq!(lo, item);
+            prop_assert_eq!((hi - lo) as usize, parts.len());
+            for &(p, t) in parts {
+                prop_assert_eq!(file.read_item_f32(coll, pt, item), p);
+                prop_assert_eq!(file.read_item_f32(coll, eta, item), t);
+                prop_assert_eq!(file.event_of_item(coll, item), e);
+                item += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # raw-higgs
+//!
+//! The paper's real-world use case (§6): the ATLAS "Find the Higgs Boson"
+//! analysis over ROOT files, reproduced over the `rootsim` substrate.
+//!
+//! Two implementations of the *same* analysis:
+//!
+//! - [`handwritten`] — the baseline the paper compares against: a
+//!   "hand-written C++" style program that walks events **object at a
+//!   time** through the ROOT-like I/O API, keeping decoded events in an
+//!   in-memory buffer pool (as the ROOT framework does).
+//! - [`raw_query`] — the RAW version: the analysis expressed as a
+//!   relational pipeline over the event/muon/electron/jet tables (Fig. 13)
+//!   plus the good-runs CSV, executed with JIT access paths and column
+//!   shreds through [`raw_engine::RawEngine`]. Warm re-runs are served from
+//!   the engine's shred pool — the two-orders-of-magnitude effect of
+//!   Table 3.
+//!
+//! [`datagen`] builds deterministic synthetic datasets with ATLAS-like
+//! structure (variable-length particle collections, run numbers, a
+//! good-runs list); [`model`] holds the shared event model and selection
+//! cuts.
+
+pub mod datagen;
+pub mod handwritten;
+pub mod model;
+pub mod raw_query;
+
+pub use datagen::{generate_dataset, DatasetConfig, HiggsDataset};
+pub use handwritten::HandwrittenAnalysis;
+pub use model::{Event, HiggsCuts, HiggsResult, Particle};
+pub use raw_query::RawHiggsAnalysis;

@@ -1,0 +1,145 @@
+//! Shared event model and selection cuts.
+//!
+//! Mirrors Figure 13: a ROOT event owns vectors of muons, electrons and
+//! jets; RAW models the same data as an event table plus satellite tables.
+
+/// One reconstructed particle (muon, electron, or jet).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Particle {
+    /// Transverse momentum (GeV).
+    pub pt: f32,
+    /// Pseudorapidity.
+    pub eta: f32,
+}
+
+/// One collision event, as the hand-written analysis sees it (the C++
+/// object of Fig. 13).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Unique event identifier.
+    pub event_id: i64,
+    /// Run this event was recorded in.
+    pub run_number: i32,
+    /// Muon candidates.
+    pub muons: Vec<Particle>,
+    /// Electron candidates.
+    pub electrons: Vec<Particle>,
+    /// Jets.
+    pub jets: Vec<Particle>,
+}
+
+/// The event-selection cuts of the Higgs query: per-particle kinematic
+/// requirements plus per-event multiplicity requirements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HiggsCuts {
+    /// Minimum muon transverse momentum.
+    pub muon_pt_min: f32,
+    /// Maximum |eta| for muons.
+    pub muon_eta_max: f32,
+    /// Minimum electron transverse momentum.
+    pub electron_pt_min: f32,
+    /// Maximum |eta| for electrons.
+    pub electron_eta_max: f32,
+    /// Minimum jet transverse momentum.
+    pub jet_pt_min: f32,
+    /// Maximum |eta| for jets.
+    pub jet_eta_max: f32,
+    /// Minimum number of qualifying muons per event.
+    pub min_muons: u32,
+    /// Minimum number of qualifying electrons per event.
+    pub min_electrons: u32,
+    /// Minimum number of qualifying jets per event.
+    pub min_jets: u32,
+    /// Histogram bin width (GeV) over the leading qualifying muon pt.
+    pub histogram_bin_width: f64,
+}
+
+impl Default for HiggsCuts {
+    fn default() -> Self {
+        HiggsCuts {
+            muon_pt_min: 20.0,
+            muon_eta_max: 2.5,
+            electron_pt_min: 20.0,
+            electron_eta_max: 2.5,
+            jet_pt_min: 25.0,
+            jet_eta_max: 2.5,
+            min_muons: 1,
+            min_electrons: 1,
+            min_jets: 1,
+            histogram_bin_width: 10.0,
+        }
+    }
+}
+
+impl HiggsCuts {
+    /// Whether a muon passes the kinematic cuts.
+    #[inline]
+    pub fn muon_passes(&self, p: &Particle) -> bool {
+        p.pt > self.muon_pt_min && p.eta.abs() < self.muon_eta_max
+    }
+
+    /// Whether an electron passes the kinematic cuts.
+    #[inline]
+    pub fn electron_passes(&self, p: &Particle) -> bool {
+        p.pt > self.electron_pt_min && p.eta.abs() < self.electron_eta_max
+    }
+
+    /// Whether a jet passes the kinematic cuts.
+    #[inline]
+    pub fn jet_passes(&self, p: &Particle) -> bool {
+        p.pt > self.jet_pt_min && p.eta.abs() < self.jet_eta_max
+    }
+}
+
+/// The analysis output: Higgs-candidate count plus the histogram of the
+/// leading qualifying muon pt across candidate events.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HiggsResult {
+    /// Number of events passing all cuts ("Higgs candidates").
+    pub candidates: u64,
+    /// `(bin lower edge, count)` pairs, ascending, empty bins omitted.
+    pub histogram: Vec<(f64, i64)>,
+}
+
+impl HiggsResult {
+    /// Total entries across histogram bins (must equal `candidates`).
+    pub fn histogram_total(&self) -> i64 {
+        self.histogram.iter().map(|&(_, c)| c).sum()
+    }
+}
+
+/// Histogram binning shared by both implementations (must match
+/// `raw_columnar::ops::HistogramOp`): floor((v - 0) / width) bins.
+#[inline]
+pub fn bin_edge(value: f64, width: f64) -> f64 {
+    (value / width).floor() * width
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cuts_apply() {
+        let cuts = HiggsCuts::default();
+        assert!(cuts.muon_passes(&Particle { pt: 25.0, eta: 1.0 }));
+        assert!(!cuts.muon_passes(&Particle { pt: 15.0, eta: 1.0 }), "low pt");
+        assert!(!cuts.muon_passes(&Particle { pt: 25.0, eta: 3.0 }), "forward");
+        assert!(!cuts.muon_passes(&Particle { pt: 25.0, eta: -3.0 }), "backward");
+        assert!(cuts.jet_passes(&Particle { pt: 30.0, eta: -2.0 }));
+        assert!(!cuts.jet_passes(&Particle { pt: 20.0, eta: 0.0 }));
+    }
+
+    #[test]
+    fn binning() {
+        assert_eq!(bin_edge(25.0, 10.0), 20.0);
+        assert_eq!(bin_edge(30.0, 10.0), 30.0);
+        assert_eq!(bin_edge(9.99, 10.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_total() {
+        let r = HiggsResult { candidates: 5, histogram: vec![(0.0, 2), (10.0, 3)] };
+        assert_eq!(r.histogram_total(), 5);
+    }
+}

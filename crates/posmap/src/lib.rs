@@ -1,0 +1,24 @@
+//! # raw-posmap
+//!
+//! Positional maps: the NoDB-style structural index RAW builds over raw text
+//! files (§2.3). A positional map records, for a subset of *tracked* columns,
+//! the byte position of that column's field in every row. Unlike a database
+//! index it indexes **structure, not values**: it cuts tokenizing/parsing
+//! cost when a later query revisits the file.
+//!
+//! Key behaviours reproduced from the paper:
+//!
+//! - Tracking policies are tunable ("populates the positional map every 10
+//!   columns", "every 7 columns") because the choice trades map size against
+//!   future parsing savings — the Fig. 1b/5 "Col. 7" variants.
+//! - Lookups are **exact** when the requested column is tracked, or
+//!   **nearest** otherwise: "the parser jumps to column 2, and incrementally
+//!   parses the file until it reaches column 4".
+//! - Maps are populated *as a side effect* of scans, never by a dedicated
+//!   pass.
+
+pub mod map;
+pub mod policy;
+
+pub use map::{Lookup, PosMapBuilder, PositionalMap};
+pub use policy::TrackingPolicy;

@@ -1,0 +1,373 @@
+//! The positional map data structure and its builder.
+
+use std::fmt;
+
+/// A populated positional map: per tracked column, the byte position of the
+/// field's first byte in every row, plus (always) each field's length —
+/// storing lengths is what lets the access path run the custom length-aware
+//  `atoi` the paper describes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PositionalMap {
+    /// Tracked source ordinals, ascending.
+    tracked: Vec<usize>,
+    /// `positions[slot][row]` = byte offset of field start.
+    positions: Vec<Vec<u64>>,
+    /// `lengths[slot][row]` = field length in bytes.
+    lengths: Vec<Vec<u32>>,
+    rows: u64,
+}
+
+/// Result of asking the map how to reach a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup<'a> {
+    /// The column is tracked: jump straight to each row's field.
+    Exact {
+        /// Positions of the requested column, one per row.
+        positions: &'a [u64],
+        /// Field lengths, one per row.
+        lengths: &'a [u32],
+    },
+    /// A preceding column is tracked: jump there, then incrementally parse
+    /// `skip_fields` fields forward.
+    Nearest {
+        /// The tracked column the caller should jump to.
+        tracked_col: usize,
+        /// Positions of the tracked column, one per row.
+        positions: &'a [u64],
+        /// Fields to skip from there to reach the requested column.
+        skip_fields: usize,
+    },
+    /// No tracked column at or before the requested one: full parse needed.
+    Miss,
+}
+
+impl PositionalMap {
+    /// Tracked source ordinals.
+    pub fn tracked_columns(&self) -> &[usize] {
+        &self.tracked
+    }
+
+    /// Whether `col` is tracked exactly.
+    pub fn tracks(&self, col: usize) -> bool {
+        self.tracked.binary_search(&col).is_ok()
+    }
+
+    /// Number of rows mapped.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Whether the map tracks no columns (or no rows).
+    pub fn is_empty(&self) -> bool {
+        self.tracked.is_empty() || self.rows == 0
+    }
+
+    /// Approximate heap footprint (the map-size side of the paper's
+    /// "number of positions to track vs future benefits" trade-off).
+    pub fn heap_bytes(&self) -> usize {
+        self.positions.iter().map(|v| v.len() * 8).sum::<usize>()
+            + self.lengths.iter().map(|v| v.len() * 4).sum::<usize>()
+            + self.tracked.len() * std::mem::size_of::<usize>()
+    }
+
+    /// How to reach `col`: exact jump, nearest-then-parse, or miss.
+    pub fn lookup(&self, col: usize) -> Lookup<'_> {
+        match self.tracked.binary_search(&col) {
+            Ok(slot) => Lookup::Exact {
+                positions: &self.positions[slot],
+                lengths: &self.lengths[slot],
+            },
+            Err(0) => Lookup::Miss,
+            Err(ins) => {
+                let slot = ins - 1;
+                let tracked_col = self.tracked[slot];
+                Lookup::Nearest {
+                    tracked_col,
+                    positions: &self.positions[slot],
+                    skip_fields: col - tracked_col,
+                }
+            }
+        }
+    }
+
+    /// Position of `col` (must be tracked) at `row`.
+    pub fn position(&self, col: usize, row: u64) -> Option<u64> {
+        let slot = self.tracked.binary_search(&col).ok()?;
+        self.positions[slot].get(row as usize).copied()
+    }
+
+    /// Field length of `col` (must be tracked) at `row`.
+    pub fn length(&self, col: usize, row: u64) -> Option<u32> {
+        let slot = self.tracked.binary_search(&col).ok()?;
+        self.lengths[slot].get(row as usize).copied()
+    }
+
+    /// Merge another map over the same file: union of tracked columns. On
+    /// overlap the other map's vectors win (they are newer). Both maps must
+    /// cover the same number of rows.
+    pub fn merge(&mut self, other: &PositionalMap) -> Result<(), MergeError> {
+        if self.rows != other.rows && !self.is_empty() && !other.is_empty() {
+            return Err(MergeError { ours: self.rows, theirs: other.rows });
+        }
+        for (i, &col) in other.tracked.iter().enumerate() {
+            match self.tracked.binary_search(&col) {
+                Ok(slot) => {
+                    self.positions[slot] = other.positions[i].clone();
+                    self.lengths[slot] = other.lengths[i].clone();
+                }
+                Err(ins) => {
+                    self.tracked.insert(ins, col);
+                    self.positions.insert(ins, other.positions[i].clone());
+                    self.lengths.insert(ins, other.lengths[i].clone());
+                }
+            }
+        }
+        self.rows = self.rows.max(other.rows);
+        Ok(())
+    }
+}
+
+/// Row-count mismatch while merging two positional maps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeError {
+    /// Rows in the receiving map.
+    pub ours: u64,
+    /// Rows in the incoming map.
+    pub theirs: u64,
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot merge positional maps over different row counts ({} vs {})",
+            self.ours, self.theirs
+        )
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Builds a positional map while a scan walks the file.
+///
+/// The scan calls [`PosMapBuilder::record`] as it passes the start of each
+/// tracked field; the builder checks nothing per call (hot path) and
+/// validates rectangularity at [`PosMapBuilder::finish`].
+#[derive(Debug, Clone)]
+pub struct PosMapBuilder {
+    tracked: Vec<usize>,
+    positions: Vec<Vec<u64>>,
+    lengths: Vec<Vec<u32>>,
+}
+
+impl PosMapBuilder {
+    /// Start building a map over the given tracked columns (will be sorted
+    /// and deduplicated).
+    pub fn new(mut tracked: Vec<usize>) -> PosMapBuilder {
+        tracked.sort_unstable();
+        tracked.dedup();
+        let n = tracked.len();
+        PosMapBuilder {
+            tracked,
+            positions: vec![Vec::new(); n],
+            lengths: vec![Vec::new(); n],
+        }
+    }
+
+    /// Pre-size per-column vectors when the row count is known.
+    pub fn reserve(&mut self, rows: usize) {
+        for v in &mut self.positions {
+            v.reserve(rows);
+        }
+        for v in &mut self.lengths {
+            v.reserve(rows);
+        }
+    }
+
+    /// The tracked columns, ascending (the scan uses this to know *when* to
+    /// call [`PosMapBuilder::record`]).
+    pub fn tracked_columns(&self) -> &[usize] {
+        &self.tracked
+    }
+
+    /// Slot index of `col` within [`PosMapBuilder::tracked_columns`], if
+    /// tracked. Resolved once per scan construction, not per row.
+    pub fn slot_of(&self, col: usize) -> Option<usize> {
+        self.tracked.binary_search(&col).ok()
+    }
+
+    /// Record that tracked slot `slot` starts at byte `pos` with `len` bytes
+    /// in the current row.
+    #[inline]
+    pub fn record(&mut self, slot: usize, pos: u64, len: u32) {
+        self.positions[slot].push(pos);
+        self.lengths[slot].push(len);
+    }
+
+    /// Validate rectangularity and produce the map.
+    pub fn finish(self) -> Result<PositionalMap, BuildError> {
+        let rows = self.positions.first().map_or(0, Vec::len);
+        for (slot, v) in self.positions.iter().enumerate() {
+            if v.len() != rows {
+                return Err(BuildError {
+                    col: self.tracked[slot],
+                    got: v.len() as u64,
+                    expected: rows as u64,
+                });
+            }
+        }
+        Ok(PositionalMap {
+            tracked: self.tracked,
+            positions: self.positions,
+            lengths: self.lengths,
+            rows: rows as u64,
+        })
+    }
+}
+
+/// A tracked column recorded a different number of rows than its peers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildError {
+    /// The offending column.
+    pub col: usize,
+    /// Rows recorded for it.
+    pub got: u64,
+    /// Rows recorded for the first tracked column.
+    pub expected: u64,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "positional map column {} recorded {} rows, expected {}",
+            self.col, self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a small map: cols {1, 4}, 3 rows, positions row*100 + col*10.
+    fn sample() -> PositionalMap {
+        let mut b = PosMapBuilder::new(vec![4, 1, 1]);
+        assert_eq!(b.tracked_columns(), &[1, 4]);
+        b.reserve(3);
+        for row in 0..3u64 {
+            b.record(0, row * 100 + 10, 5);
+            b.record(1, row * 100 + 40, 7);
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn exact_lookup() {
+        let m = sample();
+        assert_eq!(m.rows(), 3);
+        assert!(m.tracks(1));
+        assert!(!m.tracks(2));
+        match m.lookup(4) {
+            Lookup::Exact { positions, lengths } => {
+                assert_eq!(positions, &[40, 140, 240]);
+                assert_eq!(lengths, &[7, 7, 7]);
+            }
+            other => panic!("expected exact, got {other:?}"),
+        }
+        assert_eq!(m.position(4, 1), Some(140));
+        assert_eq!(m.length(1, 2), Some(5));
+        assert_eq!(m.position(2, 0), None, "untracked column");
+        assert_eq!(m.position(4, 9), None, "row out of range");
+    }
+
+    #[test]
+    fn nearest_lookup() {
+        let m = sample();
+        match m.lookup(3) {
+            Lookup::Nearest { tracked_col, positions, skip_fields } => {
+                assert_eq!(tracked_col, 1);
+                assert_eq!(skip_fields, 2);
+                assert_eq!(positions[0], 10);
+            }
+            other => panic!("expected nearest, got {other:?}"),
+        }
+        match m.lookup(6) {
+            Lookup::Nearest { tracked_col, skip_fields, .. } => {
+                assert_eq!(tracked_col, 4);
+                assert_eq!(skip_fields, 2);
+            }
+            other => panic!("expected nearest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn miss_before_first_tracked() {
+        let m = sample();
+        assert_eq!(m.lookup(0), Lookup::Miss);
+    }
+
+    #[test]
+    fn builder_rejects_ragged() {
+        let mut b = PosMapBuilder::new(vec![0, 1]);
+        b.record(0, 0, 1);
+        b.record(1, 5, 1);
+        b.record(0, 10, 1); // col 1 missing for row 2
+        let err = b.finish().unwrap_err();
+        assert_eq!(err.col, 1);
+        assert!(err.to_string().contains("recorded 1 rows, expected 2"));
+    }
+
+    #[test]
+    fn empty_map() {
+        let m = PosMapBuilder::new(vec![]).finish().unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.lookup(3), Lookup::Miss);
+        let m2 = PosMapBuilder::new(vec![2]).finish().unwrap();
+        assert!(m2.is_empty(), "tracked but zero rows");
+    }
+
+    #[test]
+    fn merge_union_and_overlap() {
+        let mut a = sample(); // tracks {1,4}
+        let mut b = PosMapBuilder::new(vec![4, 8]);
+        for row in 0..3u64 {
+            b.record(0, row * 100 + 41, 9); // new positions for col 4
+            b.record(1, row * 100 + 80, 2);
+        }
+        let b = b.finish().unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.tracked_columns(), &[1, 4, 8]);
+        assert_eq!(a.position(4, 0), Some(41), "newer map wins overlap");
+        assert_eq!(a.position(8, 2), Some(280));
+        assert_eq!(a.position(1, 0), Some(10), "old column kept");
+    }
+
+    #[test]
+    fn merge_rejects_row_mismatch() {
+        let mut a = sample();
+        let mut b = PosMapBuilder::new(vec![2]);
+        b.record(0, 0, 1);
+        let b = b.finish().unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn heap_bytes_counts_growth() {
+        let m = sample();
+        // 2 cols × 3 rows × (8 + 4) bytes + tracked overhead
+        assert!(m.heap_bytes() >= 72);
+        let empty = PosMapBuilder::new(vec![]).finish().unwrap();
+        assert_eq!(empty.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn slot_of() {
+        let b = PosMapBuilder::new(vec![3, 1]);
+        assert_eq!(b.slot_of(1), Some(0));
+        assert_eq!(b.slot_of(3), Some(1));
+        assert_eq!(b.slot_of(2), None);
+    }
+}

@@ -1,0 +1,76 @@
+//! Tracking policies: which columns a positional map records.
+
+/// Decides the set of tracked columns (source ordinals) for a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrackingPolicy {
+    /// Track every `stride`-th column starting at 0 (the paper's "every 10
+    /// columns" tracks columns 1, 11, 21, … in its 1-based numbering).
+    EveryK {
+        /// Distance between tracked columns (≥ 1).
+        stride: usize,
+    },
+    /// Track exactly these columns (sorted, deduplicated on resolve).
+    Explicit(Vec<usize>),
+    /// Track every column the query touches (adaptive default).
+    QueryColumns,
+    /// Track nothing (pure re-parsing, external-tables style).
+    None,
+}
+
+impl TrackingPolicy {
+    /// Resolve the tracked set for a file with `ncols` columns, given the
+    /// columns the current query touches (used by `QueryColumns`).
+    pub fn resolve(&self, ncols: usize, query_columns: &[usize]) -> Vec<usize> {
+        let mut cols = match self {
+            TrackingPolicy::EveryK { stride } => {
+                let s = (*stride).max(1);
+                (0..ncols).step_by(s).collect()
+            }
+            TrackingPolicy::Explicit(cols) => {
+                cols.iter().copied().filter(|&c| c < ncols).collect()
+            }
+            TrackingPolicy::QueryColumns => {
+                query_columns.iter().copied().filter(|&c| c < ncols).collect()
+            }
+            TrackingPolicy::None => Vec::new(),
+        };
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_k() {
+        assert_eq!(TrackingPolicy::EveryK { stride: 10 }.resolve(30, &[]), vec![0, 10, 20]);
+        assert_eq!(
+            TrackingPolicy::EveryK { stride: 7 }.resolve(30, &[]),
+            vec![0, 7, 14, 21, 28]
+        );
+        assert_eq!(TrackingPolicy::EveryK { stride: 1 }.resolve(3, &[]), vec![0, 1, 2]);
+        // stride 0 is clamped to 1 rather than looping forever
+        assert_eq!(TrackingPolicy::EveryK { stride: 0 }.resolve(2, &[]), vec![0, 1]);
+    }
+
+    #[test]
+    fn explicit_filters_and_sorts() {
+        let p = TrackingPolicy::Explicit(vec![9, 2, 2, 99]);
+        assert_eq!(p.resolve(10, &[]), vec![2, 9]);
+    }
+
+    #[test]
+    fn query_columns() {
+        let p = TrackingPolicy::QueryColumns;
+        assert_eq!(p.resolve(10, &[4, 1, 4]), vec![1, 4]);
+        assert_eq!(p.resolve(3, &[7]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn none_tracks_nothing() {
+        assert_eq!(TrackingPolicy::None.resolve(10, &[1, 2]), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests: positional-map navigation must agree with full
+//! tokenization on arbitrary CSV-shaped position data.
+
+use proptest::prelude::*;
+
+use raw_posmap::{Lookup, PosMapBuilder, TrackingPolicy};
+
+proptest! {
+    #[test]
+    fn lookup_partitions_columns(
+        tracked in proptest::collection::btree_set(0usize..40, 1..10),
+        probe in 0usize..40,
+    ) {
+        let mut b = PosMapBuilder::new(tracked.iter().copied().collect());
+        // One synthetic row so the map is non-empty.
+        for slot in 0..tracked.len() {
+            b.record(slot, slot as u64 * 10, 3);
+        }
+        let map = b.finish().unwrap();
+
+        match map.lookup(probe) {
+            Lookup::Exact { positions, lengths } => {
+                prop_assert!(tracked.contains(&probe));
+                prop_assert_eq!(positions.len(), 1);
+                prop_assert_eq!(lengths.len(), 1);
+            }
+            Lookup::Nearest { tracked_col, skip_fields, .. } => {
+                prop_assert!(!tracked.contains(&probe));
+                prop_assert!(tracked.contains(&tracked_col));
+                prop_assert!(tracked_col < probe);
+                prop_assert_eq!(skip_fields, probe - tracked_col);
+                // It must be the *greatest* tracked column before the probe.
+                prop_assert!(tracked.iter().all(|&t| t <= tracked_col || t > probe));
+            }
+            Lookup::Miss => {
+                prop_assert!(tracked.iter().all(|&t| t > probe));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_union_with_newer_winning(
+        cols_a in proptest::collection::btree_set(0usize..20, 1..6),
+        cols_b in proptest::collection::btree_set(0usize..20, 1..6),
+        rows in 1usize..30,
+    ) {
+        let build = |cols: &std::collections::BTreeSet<usize>, base: u64| {
+            let mut b = PosMapBuilder::new(cols.iter().copied().collect());
+            for r in 0..rows as u64 {
+                for slot in 0..cols.len() {
+                    b.record(slot, base + r * 100 + slot as u64, 2);
+                }
+            }
+            b.finish().unwrap()
+        };
+        let mut a = build(&cols_a, 0);
+        let b = build(&cols_b, 1_000_000);
+        a.merge(&b).unwrap();
+
+        let expected: std::collections::BTreeSet<usize> =
+            cols_a.union(&cols_b).copied().collect();
+        prop_assert_eq!(
+            a.tracked_columns().iter().copied().collect::<std::collections::BTreeSet<_>>(),
+            expected
+        );
+        // Overlapping columns carry b's (newer) positions.
+        for &c in cols_b.iter() {
+            let pos = a.position(c, 0).unwrap();
+            prop_assert!(pos >= 1_000_000, "column {c} kept stale positions");
+        }
+        for &c in cols_a.difference(&cols_b) {
+            let pos = a.position(c, 0).unwrap();
+            prop_assert!(pos < 1_000_000);
+        }
+    }
+
+    #[test]
+    fn policies_resolve_within_bounds(
+        ncols in 1usize..50,
+        stride in 1usize..12,
+        query_cols in proptest::collection::vec(0usize..60, 0..8),
+    ) {
+        for policy in [
+            TrackingPolicy::EveryK { stride },
+            TrackingPolicy::Explicit(query_cols.clone()),
+            TrackingPolicy::QueryColumns,
+            TrackingPolicy::None,
+        ] {
+            let resolved = policy.resolve(ncols, &query_cols);
+            prop_assert!(resolved.iter().all(|&c| c < ncols), "{policy:?}");
+            prop_assert!(resolved.windows(2).all(|w| w[0] < w[1]), "sorted+dedup");
+        }
+        // EveryK always tracks column 0 (row starts).
+        let every = TrackingPolicy::EveryK { stride }.resolve(ncols, &[]);
+        prop_assert_eq!(every.first().copied(), Some(0));
+    }
+}
