@@ -87,6 +87,10 @@ pub struct InSituCsvScan {
 
     pos: usize,
     row: u64,
+    /// Exclusive byte bound (parallel morsels); `None` = end of buffer.
+    byte_end: Option<usize>,
+    /// Exclusive row bound (parallel morsels, posmap mode); `None` = all.
+    end_row: Option<u64>,
     builder: Option<PosMapBuilder>,
 
     spans: Vec<SpanBuf>,
@@ -129,17 +133,14 @@ impl InSituCsvScan {
         // A general-purpose scan checks whether the map can serve the query;
         // if any wanted column misses, it re-parses sequentially.
         let use_posmap = match input.posmap.as_deref() {
-            Some(map) if !map.is_empty() => wanted_ordinals
-                .iter()
-                .all(|&c| !matches!(map.lookup(c), Lookup::Miss)),
+            Some(map) if !map.is_empty() => {
+                wanted_ordinals.iter().all(|&c| !matches!(map.lookup(c), Lookup::Miss))
+            }
             _ => false,
         };
 
-        let builder = if tracked.is_empty() || use_posmap {
-            None
-        } else {
-            Some(PosMapBuilder::new(tracked))
-        };
+        let builder =
+            if tracked.is_empty() || use_posmap { None } else { Some(PosMapBuilder::new(tracked)) };
         let nslots = wanted_ordinals.len();
         InSituCsvScan {
             buf: input.buf,
@@ -153,6 +154,8 @@ impl InSituCsvScan {
             use_posmap,
             pos: 0,
             row: 0,
+            byte_end: None,
+            end_row: None,
             builder,
             spans: vec![SpanBuf::default(); nslots],
             datums: vec![Vec::new(); nslots],
@@ -160,6 +163,17 @@ impl InSituCsvScan {
             metrics: ScanMetrics::default(),
             done: false,
         }
+    }
+
+    /// Restrict the scan to one record-aligned segment of the file (morsel-
+    /// driven parallelism). Emitted provenance row ids start at the
+    /// segment's `first_row`, so segment outputs compose globally.
+    pub fn with_segment(mut self, segment: crate::spec::ScanSegment) -> InSituCsvScan {
+        self.pos = segment.byte_start;
+        self.row = segment.first_row;
+        self.byte_end = segment.byte_end;
+        self.end_row = segment.end_row;
+        self
     }
 
     /// The scan's phase profile so far.
@@ -176,10 +190,11 @@ impl InSituCsvScan {
     /// column, consulting the action table *per field, per row*.
     fn locate_sequential(&mut self) -> Result<usize, ColumnarError> {
         let buf: &[u8] = &self.buf;
+        let end = self.byte_end.unwrap_or(buf.len()).min(buf.len());
         let mut pos = self.pos;
         let mut rows = 0usize;
         let mut tokenized = 0u64;
-        while rows < self.batch_size && pos < buf.len() {
+        while rows < self.batch_size && pos < end {
             for col in 0..=self.last_needed_col {
                 // The general-purpose scan cannot skip: it tokenizes each
                 // field with the full dialect state machine, then decides
@@ -198,11 +213,7 @@ impl InSituCsvScan {
                 let action = self.actions[col];
                 if let Some(slot) = action.map_slot {
                     if let Some(b) = self.builder.as_mut() {
-                        b.record(
-                            slot as usize,
-                            span.start as u64,
-                            (span.end - span.start) as u32,
-                        );
+                        b.record(slot as usize, span.start as u64, (span.end - span.start) as u32);
                     }
                 }
                 if let Some(slot) = action.wanted_slot {
@@ -240,8 +251,7 @@ impl InSituCsvScan {
                         // for every skipped field too.
                         let mut at = positions[r] as usize;
                         for _ in 0..k {
-                            let (_, next, ended) =
-                                general_next_field(buf, at, b',', b'"', b'\\');
+                            let (_, next, ended) = general_next_field(buf, at, b',', b'"', b'\\');
                             if ended {
                                 return Err(ColumnarError::External {
                                     message: format!(
@@ -327,6 +337,7 @@ impl Operator for InSituCsvScan {
 
         let n = if self.use_posmap {
             let total = self.posmap.as_ref().map_or(0, |m| m.rows());
+            let total = total.min(self.end_row.unwrap_or(u64::MAX));
             let remaining = total.saturating_sub(self.row) as usize;
             let n = remaining.min(self.batch_size);
             if n > 0 {
@@ -366,7 +377,6 @@ impl Operator for InSituCsvScan {
     fn scan_metrics(&self) -> ScanMetrics {
         self.metrics
     }
-
 }
 
 impl PosMapSource for InSituCsvScan {

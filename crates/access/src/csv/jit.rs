@@ -28,7 +28,9 @@ use raw_formats::csv::NEWLINE;
 use raw_formats::file_buffer::FileBytes;
 use raw_posmap::{Lookup, PosMapBuilder, PositionalMap};
 
-use crate::csv::{finish_builder, CsvProgram, CsvScanInput, PosMapSource, PosNav, SeqStep, SpanBuf};
+use crate::csv::{
+    finish_builder, CsvProgram, CsvScanInput, PosMapSource, PosNav, SeqStep, SpanBuf,
+};
 use crate::profiler::{PhaseProfile, PhaseTimer, ScanMetrics};
 
 /// JIT-specialized full scan over a CSV file.
@@ -42,6 +44,10 @@ pub struct JitCsvScan {
     // Sequential-mode cursor.
     pos: usize,
     row: u64,
+    /// Exclusive byte bound (parallel morsels); `None` = end of buffer.
+    byte_end: Option<usize>,
+    /// Exclusive row bound (parallel morsels, posmap mode); `None` = all.
+    end_row: Option<u64>,
     builder: Option<PosMapBuilder>,
     /// Tokenizer advances per row (for metrics), derived from the program.
     tokenizes_per_row: u64,
@@ -81,11 +87,8 @@ impl JitCsvScan {
             .iter()
             .map(|&dt| Column::with_capacity(dt, input.batch_size))
             .collect();
-        let last_consuming_step = program
-            .seq_steps
-            .iter()
-            .rposition(|s| !matches!(s, SeqStep::SkipRest))
-            .unwrap_or(0);
+        let last_consuming_step =
+            program.seq_steps.iter().rposition(|s| !matches!(s, SeqStep::SkipRest)).unwrap_or(0);
         JitCsvScan {
             buf: input.buf,
             program,
@@ -94,6 +97,8 @@ impl JitCsvScan {
             posmap: input.posmap,
             pos: 0,
             row: 0,
+            byte_end: None,
+            end_row: None,
             builder,
             tokenizes_per_row,
             last_consuming_step,
@@ -103,6 +108,17 @@ impl JitCsvScan {
             metrics: ScanMetrics::default(),
             done: false,
         }
+    }
+
+    /// Restrict the scan to one record-aligned segment of the file (morsel-
+    /// driven parallelism). Emitted provenance row ids start at the
+    /// segment's `first_row`, so segment outputs compose globally.
+    pub fn with_segment(mut self, segment: crate::spec::ScanSegment) -> JitCsvScan {
+        self.pos = segment.byte_start;
+        self.row = segment.first_row;
+        self.byte_end = segment.byte_end;
+        self.end_row = segment.end_row;
+        self
     }
 
     /// The scan's phase profile so far.
@@ -121,6 +137,7 @@ impl JitCsvScan {
     /// silent slide into the next row.
     fn locate_sequential(&mut self) -> Result<usize, ColumnarError> {
         let buf: &[u8] = &self.buf;
+        let end = self.byte_end.unwrap_or(buf.len()).min(buf.len());
         let mut pos = self.pos;
         let mut rows = 0usize;
         let short_row = |row: u64, pos: usize| ColumnarError::External {
@@ -129,7 +146,7 @@ impl JitCsvScan {
                  requires at byte {pos}"
             ),
         };
-        while rows < self.batch_size && pos < buf.len() {
+        while rows < self.batch_size && pos < end {
             for (idx, step) in self.program.seq_steps.iter().enumerate() {
                 match *step {
                     SeqStep::Skip(n) => {
@@ -337,6 +354,7 @@ impl Operator for JitCsvScan {
         let n = match self.program.posmap_nav.clone() {
             Some(nav) => {
                 let total = self.posmap.as_ref().map_or(0, |m| m.rows());
+                let total = total.min(self.end_row.unwrap_or(u64::MAX));
                 let remaining = total.saturating_sub(self.row) as usize;
                 let n = remaining.min(self.batch_size);
                 if n > 0 {
@@ -376,7 +394,6 @@ impl Operator for JitCsvScan {
     fn scan_metrics(&self) -> ScanMetrics {
         self.metrics
     }
-
 }
 
 impl PosMapSource for JitCsvScan {

@@ -21,8 +21,8 @@ mod jit;
 mod program;
 
 pub use insitu::InSituCsvScan;
-pub use jit::JitCsvScan;
 pub(crate) use jit::convert_spans;
+pub use jit::JitCsvScan;
 pub use program::{compile_program, CsvProgram, PosNav, SeqStep};
 
 use raw_columnar::batch::TableTag;

@@ -135,11 +135,7 @@ pub fn compile_program(spec: &AccessPathSpec, posmap: Option<&PositionalMap>) ->
     let mut steps = Vec::new();
     let mut pending_skip: u16 = 0;
     for col in 0..=last_needed_col {
-        let out = spec
-            .wanted
-            .iter()
-            .position(|w| w.source_ordinal == col)
-            .map(|i| i as u16);
+        let out = spec.wanted.iter().position(|w| w.source_ordinal == col).map(|i| i as u16);
         let slot = tracked.binary_search(&col).ok().map(|i| i as u16);
         match (out, slot) {
             (None, None) => {
@@ -162,13 +158,7 @@ pub fn compile_program(spec: &AccessPathSpec, posmap: Option<&PositionalMap>) ->
     }
     steps.push(SeqStep::SkipRest);
 
-    CsvProgram {
-        seq_steps: steps,
-        out_types,
-        posmap_nav: None,
-        tracked,
-        last_needed_col,
-    }
+    CsvProgram { seq_steps: steps, out_types, posmap_nav: None, tracked, last_needed_col }
 }
 
 #[cfg(test)]
@@ -237,10 +227,7 @@ mod tests {
         let p = compile_program(&s, Some(&map));
         assert_eq!(
             p.posmap_nav,
-            Some(vec![
-                PosNav::Exact { col: 10 },
-                PosNav::Nearest { tracked_col: 10, skip: 3 },
-            ])
+            Some(vec![PosNav::Exact { col: 10 }, PosNav::Nearest { tracked_col: 10, skip: 3 },])
         );
         assert!(p.seq_steps.is_empty());
     }

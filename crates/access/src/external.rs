@@ -132,7 +132,6 @@ impl Operator for ExternalTableScan {
     fn scan_metrics(&self) -> ScanMetrics {
         self.metrics
     }
-
 }
 
 #[cfg(test)]
@@ -146,8 +145,7 @@ mod tests {
     fn parses_everything_serves_subset() {
         let buf: FileBytes = Arc::new(b"1,2,3\n4,5,6\n".to_vec());
         let schema = Schema::uniform(3, DataType::Int64);
-        let mut sc =
-            ExternalTableScan::new(buf, FileFormat::Csv, schema, vec![2], TableTag(1), 10);
+        let mut sc = ExternalTableScan::new(buf, FileFormat::Csv, schema, vec![2], TableTag(1), 10);
         let out = collect(&mut sc).unwrap();
         assert_eq!(out.column(0).unwrap().as_i64().unwrap(), &[3, 6]);
         assert_eq!(out.rows_of(TableTag(1)), Some(&[0u64, 1][..]));

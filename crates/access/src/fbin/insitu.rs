@@ -24,6 +24,8 @@ pub struct InSituFbinScan {
     tag: TableTag,
     batch_size: usize,
     row: u64,
+    /// Exclusive row bound (parallel morsels); `None` = all rows.
+    end_row: Option<u64>,
     datums: Vec<Vec<Value>>,
     profile: PhaseProfile,
     metrics: ScanMetrics,
@@ -37,10 +39,7 @@ impl InSituFbinScan {
             .map_err(|e| ColumnarError::External { message: e.to_string() })?;
         let wanted_ordinals = input.spec.wanted_ordinals();
         if let Some(&bad) = wanted_ordinals.iter().find(|&&c| c >= layout.num_cols()) {
-            return Err(ColumnarError::ColumnOutOfBounds {
-                index: bad,
-                len: layout.num_cols(),
-            });
+            return Err(ColumnarError::ColumnOutOfBounds { index: bad, len: layout.num_cols() });
         }
         let n = wanted_ordinals.len();
         Ok(InSituFbinScan {
@@ -50,11 +49,20 @@ impl InSituFbinScan {
             tag: input.tag,
             batch_size: input.batch_size.max(1),
             row: 0,
+            end_row: None,
             datums: vec![Vec::new(); n],
             profile: PhaseProfile::default(),
             metrics: ScanMetrics::default(),
             done: false,
         })
+    }
+
+    /// Restrict the scan to a row range (morsel-driven parallelism); fbin
+    /// rows are fixed-width, so segments are pure row arithmetic.
+    pub fn with_segment(mut self, segment: crate::spec::ScanSegment) -> InSituFbinScan {
+        self.row = segment.first_row;
+        self.end_row = segment.end_row;
+        self
     }
 
     /// The scan's phase profile so far.
@@ -73,7 +81,8 @@ impl Operator for InSituFbinScan {
         if self.done {
             return Ok(None);
         }
-        let remaining = self.layout.rows.saturating_sub(self.row) as usize;
+        let total = self.layout.rows.min(self.end_row.unwrap_or(u64::MAX));
+        let remaining = total.saturating_sub(self.row) as usize;
         let n = remaining.min(self.batch_size);
         if n == 0 {
             self.done = true;
@@ -132,7 +141,6 @@ impl Operator for InSituFbinScan {
     fn scan_metrics(&self) -> ScanMetrics {
         self.metrics
     }
-
 }
 
 #[cfg(test)]

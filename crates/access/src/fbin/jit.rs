@@ -18,6 +18,8 @@ pub struct JitFbinScan {
     tag: TableTag,
     batch_size: usize,
     row: u64,
+    /// Exclusive row bound (parallel morsels); `None` = all rows.
+    end_row: Option<u64>,
     scratch: Vec<Column>,
     profile: PhaseProfile,
     metrics: ScanMetrics,
@@ -38,11 +40,20 @@ impl JitFbinScan {
             tag: input.tag,
             batch_size: input.batch_size.max(1),
             row: 0,
+            end_row: None,
             scratch,
             profile: PhaseProfile::default(),
             metrics: ScanMetrics::default(),
             done: false,
         }
+    }
+
+    /// Restrict the scan to a row range (morsel-driven parallelism); fbin
+    /// rows are fixed-width, so segments are pure row arithmetic.
+    pub fn with_segment(mut self, segment: crate::spec::ScanSegment) -> JitFbinScan {
+        self.row = segment.first_row;
+        self.end_row = segment.end_row;
+        self
     }
 
     /// The scan's phase profile so far.
@@ -61,7 +72,8 @@ impl Operator for JitFbinScan {
         if self.done {
             return Ok(None);
         }
-        let remaining = self.program.rows.saturating_sub(self.row) as usize;
+        let total = self.program.rows.min(self.end_row.unwrap_or(u64::MAX));
+        let remaining = total.saturating_sub(self.row) as usize;
         let n = remaining.min(self.batch_size);
         if n == 0 {
             self.done = true;
@@ -154,7 +166,6 @@ impl Operator for JitFbinScan {
     fn scan_metrics(&self) -> ScanMetrics {
         self.metrics
     }
-
 }
 
 #[cfg(test)]

@@ -64,8 +64,7 @@ mod tests {
     use raw_columnar::Schema;
 
     fn layout() -> FbinLayout {
-        FbinLayout::for_types(vec![DataType::Int64, DataType::Float64, DataType::Int32], 7)
-            .unwrap()
+        FbinLayout::for_types(vec![DataType::Int64, DataType::Float64, DataType::Int32], 7).unwrap()
     }
 
     fn spec(wanted: Vec<WantedField>) -> AccessPathSpec {

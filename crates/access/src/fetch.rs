@@ -114,8 +114,7 @@ impl FieldFetcher for CsvJitFetcher {
                     }
                 }
                 PosNav::Nearest { tracked_col, skip } => {
-                    let Lookup::Exact { positions, .. } = self.posmap.lookup(tracked_col)
-                    else {
+                    let Lookup::Exact { positions, .. } = self.posmap.lookup(tracked_col) else {
                         unreachable!("nearest target is tracked");
                     };
                     for &r in rows {
@@ -191,11 +190,8 @@ impl CsvMultiFetcher {
         if wanted.is_empty() {
             return Err(ColumnarError::Plan { message: "multi-fetch of zero columns".into() });
         }
-        let mut order: Vec<(usize, usize)> = wanted
-            .iter()
-            .enumerate()
-            .map(|(slot, &(col, _))| (col, slot))
-            .collect();
+        let mut order: Vec<(usize, usize)> =
+            wanted.iter().enumerate().map(|(slot, &(col, _))| (col, slot)).collect();
         order.sort_unstable();
         let first_col = order[0].0;
         let base_col = match posmap.lookup(first_col) {
@@ -477,7 +473,6 @@ impl Operator for AttachFieldsOp {
         m.merge(&self.fetcher.metrics());
         m
     }
-
 }
 
 #[cfg(test)]
@@ -504,8 +499,7 @@ mod tests {
 
     #[test]
     fn csv_jit_fetch_exact() {
-        let mut f =
-            CsvJitFetcher::compile(csv(), map(), &[(2, DataType::Int64)]).unwrap();
+        let mut f = CsvJitFetcher::compile(csv(), map(), &[(2, DataType::Int64)]).unwrap();
         let cols = f.fetch(&[3, 0]).unwrap();
         assert_eq!(cols[0].as_i64().unwrap(), &[42, 12]);
         assert_eq!(f.metrics().fields_tokenized, 0);
@@ -513,8 +507,7 @@ mod tests {
 
     #[test]
     fn csv_jit_fetch_nearest() {
-        let mut f =
-            CsvJitFetcher::compile(csv(), map(), &[(3, DataType::Int64)]).unwrap();
+        let mut f = CsvJitFetcher::compile(csv(), map(), &[(3, DataType::Int64)]).unwrap();
         let cols = f.fetch(&[1, 2]).unwrap();
         assert_eq!(cols[0].as_i64().unwrap(), &[23, 33]);
         assert!(f.metrics().fields_tokenized > 0);
@@ -533,12 +526,9 @@ mod tests {
 
     #[test]
     fn csv_multi_fetch_single_pass() {
-        let mut f = CsvMultiFetcher::compile(
-            csv(),
-            map(),
-            &[(1, DataType::Int64), (3, DataType::Int64)],
-        )
-        .unwrap();
+        let mut f =
+            CsvMultiFetcher::compile(csv(), map(), &[(1, DataType::Int64), (3, DataType::Int64)])
+                .unwrap();
         let cols = f.fetch(&[0, 2]).unwrap();
         assert_eq!(cols[0].as_i64().unwrap(), &[11, 31]);
         assert_eq!(cols[1].as_i64().unwrap(), &[13, 33]);
@@ -583,8 +573,7 @@ mod tests {
             .unwrap()
             .with_provenance(TableTag(5), vec![1, 3])
             .unwrap();
-        let fetcher =
-            CsvJitFetcher::compile(csv(), map(), &[(2, DataType::Int64)]).unwrap();
+        let fetcher = CsvJitFetcher::compile(csv(), map(), &[(2, DataType::Int64)]).unwrap();
         let mut op = AttachFieldsOp::new(
             Box::new(BatchSource::new(vec![child])),
             TableTag(5),
@@ -598,8 +587,7 @@ mod tests {
     #[test]
     fn attach_fields_requires_provenance() {
         let child = Batch::new(vec![vec![1i64].into()]).unwrap(); // no provenance
-        let fetcher =
-            CsvJitFetcher::compile(csv(), map(), &[(2, DataType::Int64)]).unwrap();
+        let fetcher = CsvJitFetcher::compile(csv(), map(), &[(2, DataType::Int64)]).unwrap();
         let mut op = AttachFieldsOp::new(
             Box::new(BatchSource::new(vec![child])),
             TableTag(5),

@@ -303,10 +303,7 @@ impl InSituIbinScan {
             .map_err(|e| ColumnarError::External { message: e.to_string() })?;
         let wanted_ordinals = input.spec.wanted_ordinals();
         if let Some(&bad) = wanted_ordinals.iter().find(|&&c| c >= layout.num_cols()) {
-            return Err(ColumnarError::ColumnOutOfBounds {
-                index: bad,
-                len: layout.num_cols(),
-            });
+            return Err(ColumnarError::ColumnOutOfBounds { index: bad, len: layout.num_cols() });
         }
         let n = wanted_ordinals.len();
         Ok(InSituIbinScan {
@@ -570,24 +567,10 @@ mod tests {
 
         // Apply the residual predicate: the surviving set must equal the
         // full-table answer.
-        let got: Vec<i64> = out
-            .column(0)
-            .unwrap()
-            .as_i64()
-            .unwrap()
-            .iter()
-            .copied()
-            .filter(|&v| v < x)
-            .collect();
-        let want: Vec<i64> = t
-            .column(0)
-            .unwrap()
-            .as_i64()
-            .unwrap()
-            .iter()
-            .copied()
-            .filter(|&v| v < x)
-            .collect();
+        let got: Vec<i64> =
+            out.column(0).unwrap().as_i64().unwrap().iter().copied().filter(|&v| v < x).collect();
+        let want: Vec<i64> =
+            t.column(0).unwrap().as_i64().unwrap().iter().copied().filter(|&v| v < x).collect();
         assert_eq!(got, want);
     }
 

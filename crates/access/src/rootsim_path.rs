@@ -146,6 +146,8 @@ pub struct RootScalarScan {
     tag: TableTag,
     batch_size: usize,
     next_event: u64,
+    /// Exclusive event bound (parallel morsels); `None` = all events.
+    end_event: Option<u64>,
     profile: PhaseProfile,
     metrics: ScanMetrics,
 }
@@ -164,9 +166,18 @@ impl RootScalarScan {
             tag,
             batch_size: batch_size.max(1),
             next_event: 0,
+            end_event: None,
             profile: PhaseProfile::default(),
             metrics: ScanMetrics::default(),
         }
+    }
+
+    /// Restrict the scan to an event range (morsel-driven parallelism);
+    /// rootsim events are id-addressed, so segments are pure arithmetic.
+    pub fn with_segment(mut self, segment: crate::spec::ScanSegment) -> RootScalarScan {
+        self.next_event = segment.first_row;
+        self.end_event = segment.end_row;
+        self
     }
 
     /// The scan's phase profile so far.
@@ -177,7 +188,7 @@ impl RootScalarScan {
 
 impl Operator for RootScalarScan {
     fn next_batch(&mut self) -> Result<Option<Batch>, ColumnarError> {
-        let total = self.file.num_events();
+        let total = self.file.num_events().min(self.end_event.unwrap_or(u64::MAX));
         if self.next_event >= total {
             return Ok(None);
         }
@@ -213,7 +224,6 @@ impl Operator for RootScalarScan {
     fn scan_metrics(&self) -> ScanMetrics {
         self.metrics
     }
-
 }
 
 /// Full scan over a satellite table (one row per collection item).
@@ -388,7 +398,6 @@ impl Operator for RootCollectionScan {
     fn scan_metrics(&self) -> ScanMetrics {
         self.metrics
     }
-
 }
 
 /// Selection-driven fetcher over the event table (rows are event ids).
@@ -562,10 +571,7 @@ mod tests {
             ],
             collections: vec![RootCollection {
                 name: "muons".into(),
-                fields: vec![
-                    ("pt".into(), DataType::Float32),
-                    ("eta".into(), DataType::Float32),
-                ],
+                fields: vec![("pt".into(), DataType::Float32), ("eta".into(), DataType::Float32)],
             }],
         };
         let mut w = RootSimWriter::new(schema).unwrap();
@@ -594,8 +600,7 @@ mod tests {
     #[test]
     fn scalar_scan() {
         let file = sample();
-        let program =
-            Arc::new(compile_scalar_program(&file, &["eventID", "runNumber"]).unwrap());
+        let program = Arc::new(compile_scalar_program(&file, &["eventID", "runNumber"]).unwrap());
         let mut sc = RootScalarScan::new(Arc::clone(&file), program, TableTag(0), 2);
         let out = collect(&mut sc).unwrap();
         assert_eq!(out.rows(), 3);
@@ -616,9 +621,8 @@ mod tests {
     #[test]
     fn collection_scan_expands_parent() {
         let file = sample();
-        let program = Arc::new(
-            compile_collection_program(&file, "muons", Some("eventID"), &["pt"]).unwrap(),
-        );
+        let program =
+            Arc::new(compile_collection_program(&file, "muons", Some("eventID"), &["pt"]).unwrap());
         let mut sc = RootCollectionScan::new(Arc::clone(&file), program, TableTag(1), 2);
         let out = collect(&mut sc).unwrap();
         assert_eq!(out.rows(), 5);
@@ -627,10 +631,7 @@ mod tests {
             &[100, 100, 102, 102, 102],
             "parent eventID replicated per muon"
         );
-        assert_eq!(
-            out.column(1).unwrap().as_f32().unwrap(),
-            &[10.0, 11.0, 20.0, 21.0, 22.0]
-        );
+        assert_eq!(out.column(1).unwrap().as_f32().unwrap(), &[10.0, 11.0, 20.0, 21.0, 22.0]);
         assert_eq!(out.rows_of(TableTag(1)), Some(&[0u64, 1, 2, 3, 4][..]));
     }
 

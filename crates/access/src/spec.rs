@@ -53,6 +53,42 @@ pub struct WantedField {
     pub data_type: DataType,
 }
 
+/// A record-aligned slice of a raw file assigned to one scan instance — the
+/// unit of morsel-driven parallelism. The default segment covers the whole
+/// file, which is what every serial plan uses.
+///
+/// Invariants the partitioner (`raw-exec`) guarantees and scans rely on:
+/// `byte_start` points at the first byte of the record with global row id
+/// `first_row`, and `byte_end`/`end_row` (when set) are exclusive bounds
+/// landing exactly on a record boundary. Scans emit provenance row ids
+/// starting at `first_row`, so batches, recorded shreds, and positional-map
+/// fragments from different segments of the same file compose globally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanSegment {
+    /// Global row id of the segment's first record.
+    pub first_row: u64,
+    /// Exclusive upper row bound; `None` means to the end of the file.
+    /// Row-addressed formats (fbin, rootsim) partition with this alone.
+    pub end_row: Option<u64>,
+    /// Byte offset of the first record (text formats; 0 for the whole file).
+    pub byte_start: usize,
+    /// Exclusive byte bound on a record boundary (text formats); `None`
+    /// means to the end of the buffer.
+    pub byte_end: Option<usize>,
+}
+
+impl ScanSegment {
+    /// Whether this segment is the whole file (the serial fast path).
+    pub fn is_whole_file(&self) -> bool {
+        *self == ScanSegment::default()
+    }
+
+    /// A row-range segment for row-addressed formats.
+    pub fn rows(first_row: u64, end_row: u64) -> ScanSegment {
+        ScanSegment { first_row, end_row: Some(end_row), byte_start: 0, byte_end: None }
+    }
+}
+
 /// A complete access-path specification.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AccessPathSpec {

@@ -158,8 +158,7 @@ mod tests {
 
     #[test]
     fn simulated_latency_counts_in_compile_time() {
-        let cache =
-            TemplateCache::with_simulated_compile_latency(Duration::from_millis(15));
+        let cache = TemplateCache::with_simulated_compile_latency(Duration::from_millis(15));
         cache.get_or_compile(9, || ());
         assert!(cache.stats().compile_time >= Duration::from_millis(15));
         // Hits pay nothing.

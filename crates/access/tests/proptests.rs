@@ -57,10 +57,7 @@ fn spec_for(
 }
 
 fn reference_columns(table: &MemTable, wanted: &[usize]) -> Vec<Vec<i64>> {
-    unique(wanted)
-        .iter()
-        .map(|&c| table.column(c).unwrap().as_i64().unwrap().to_vec())
-        .collect()
+    unique(wanted).iter().map(|&c| table.column(c).unwrap().as_i64().unwrap().to_vec()).collect()
 }
 
 proptest! {

@@ -18,8 +18,7 @@ fn index_pruning(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(1));
-    for (name, mode) in [("jit_index", AccessMode::Jit), ("insitu_blind", AccessMode::InSitu)]
-    {
+    for (name, mode) in [("jit_index", AccessMode::Jit), ("insitu_blind", AccessMode::InSitu)] {
         for sel_pct in [10u32, 90] {
             let x = literal_for_selectivity(f64::from(sel_pct) / 100.0);
             group.bench_function(format!("{name}/sel{sel_pct}"), |b| {

@@ -17,10 +17,7 @@ fn joins(c: &mut Criterion, group_name: &str, projected_table: &str) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(1));
-    for (name, placement) in [
-        ("early", JoinPlacement::Early),
-        ("late", JoinPlacement::Late),
-    ] {
+    for (name, placement) in [("early", JoinPlacement::Early), ("late", JoinPlacement::Late)] {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || {

@@ -1,0 +1,48 @@
+//! Figure 13 (criterion): morsel-parallel scaling — the fig1 cold CSV
+//! aggregate workload at 1/2/4/8 worker threads.
+//!
+//! Regression-tracking version of `reproduce fig13` at a reduced grid. The
+//! morsel grid depends only on the file, so all thread counts compute the
+//! same answer; wall time should drop toward the physical core count.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use raw_bench::experiments::{q1, system_config};
+use raw_bench::{datasets, Scale};
+use raw_engine::{AccessMode, EngineConfig, ShredStrategy};
+use raw_formats::datagen::literal_for_selectivity;
+
+fn bench_scale() -> Scale {
+    Scale { narrow_rows: 20_000, ..Scale::default() }
+}
+
+fn cold_q1_by_threads(c: &mut Criterion) {
+    let scale = bench_scale();
+    let x = literal_for_selectivity(0.4);
+    let mut group = c.benchmark_group("fig13_parallel_scaling_cold_q1");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut e = datasets::engine_narrow_csv(
+                        &scale,
+                        EngineConfig {
+                            parallelism: threads,
+                            ..system_config(AccessMode::Jit, ShredStrategy::FullColumns, 10)
+                        },
+                    );
+                    e.drop_file_caches();
+                    e
+                },
+                |mut engine| engine.query(&q1("file1", x)).unwrap(),
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cold_q1_by_threads);
+criterion_main!(benches);

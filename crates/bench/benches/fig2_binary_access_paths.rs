@@ -13,11 +13,9 @@ fn warm_q2_binary(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(1));
-    for (name, mode) in [
-        ("insitu", AccessMode::InSitu),
-        ("jit", AccessMode::Jit),
-        ("dbms", AccessMode::Dbms),
-    ] {
+    for (name, mode) in
+        [("insitu", AccessMode::InSitu), ("jit", AccessMode::Jit), ("dbms", AccessMode::Dbms)]
+    {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || {

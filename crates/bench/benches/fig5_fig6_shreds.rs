@@ -13,10 +13,9 @@ fn bench(c: &mut Criterion, group_name: &str, binary: bool) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(1));
-    for (strategy_name, shreds) in [
-        ("full", ShredStrategy::FullColumns),
-        ("shreds", ShredStrategy::ColumnShreds),
-    ] {
+    for (strategy_name, shreds) in
+        [("full", ShredStrategy::FullColumns), ("shreds", ShredStrategy::ColumnShreds)]
+    {
         for sel in [0.05_f64, 1.0] {
             let x = literal_for_selectivity(sel);
             let id = format!("{strategy_name}/sel{:.0}%", sel * 100.0);

@@ -24,10 +24,7 @@ fn bench(c: &mut Criterion, group_name: &str, binary: bool) {
                 || {
                     let mut e = datasets::engine_wide(
                         &scale,
-                        EngineConfig {
-                            cache_shreds: false,
-                            ..system_config(mode, shreds, 10)
-                        },
+                        EngineConfig { cache_shreds: false, ..system_config(mode, shreds, 10) },
                         binary,
                     );
                     e.query(&q1("wide", x)).unwrap();

@@ -20,8 +20,7 @@ fn multicolumn(c: &mut Criterion) {
     ] {
         for sel in [0.1_f64, 0.8] {
             let x = literal_for_selectivity(sel);
-            let query =
-                format!("SELECT MAX(col6) FROM file1 WHERE col1 < {x} AND col5 < {x}");
+            let query = format!("SELECT MAX(col6) FROM file1 WHERE col1 < {x} AND col5 < {x}");
             let id = format!("{name}/sel{:.0}%", sel * 100.0);
             group.bench_function(&id, |b| {
                 b.iter_batched(

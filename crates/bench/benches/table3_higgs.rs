@@ -20,13 +20,8 @@ fn higgs(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let files = FileBufferPool::new();
-                HandwrittenAnalysis::open(
-                    &files,
-                    &dataset.root_path,
-                    &dataset.goodruns_path,
-                    cuts,
-                )
-                .unwrap()
+                HandwrittenAnalysis::open(&files, &dataset.root_path, &dataset.goodruns_path, cuts)
+                    .unwrap()
             },
             |mut analysis| analysis.run(),
             BatchSize::PerIteration,

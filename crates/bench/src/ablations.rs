@@ -54,7 +54,7 @@ pub fn ablation_index(scale: &Scale) -> ExpTable {
     ));
     table.note(
         "expect: JIT time grows with selectivity (pruning shrinks the scan); \
-         in-situ flat (index-blind); DBMS flat after load"
+         in-situ flat (index-blind); DBMS flat after load",
     );
 
     let systems: Vec<(&str, AccessMode)> = vec![
@@ -114,7 +114,7 @@ pub fn ablation_adaptive(scale: &Scale) -> ExpTable {
     ));
     table.note(
         "expect: Adaptive tracks min(Full, Shreds) — shreds at low selectivity, \
-         full at 100%; annotation = chosen plan (F/S/M)"
+         full at 100%; annotation = chosen plan (F/S/M)",
     );
 
     let strategies: Vec<(&str, ShredStrategy)> = vec![
@@ -129,10 +129,8 @@ pub fn ablation_adaptive(scale: &Scale) -> ExpTable {
             let mut times = Vec::new();
             let mut chosen = String::new();
             for _ in 0..s.repeats.max(1) {
-                let mut engine = datasets::engine_narrow_csv(
-                    &s,
-                    system_config(AccessMode::Jit, strat, 10),
-                );
+                let mut engine =
+                    datasets::engine_narrow_csv(&s, system_config(AccessMode::Jit, strat, 10));
                 run(&mut engine, &q1("file1", x));
                 let (r, d) = time_once(|| run(&mut engine, &q2("file1", x)));
                 times.push(d);
@@ -178,7 +176,7 @@ pub fn ablation_posmap(scale: &Scale) -> ExpTable {
     table.note(format!("dataset: {} rows x 30 int columns (CSV)", s.narrow_rows));
     table.note(
         "expect: stride 1 fastest (every column exact) but 30 entries/row of \
-         memory; cost rises with fields to parse past the nearest tracked column"
+         memory; cost rises with fields to parse past the nearest tracked column",
     );
 
     for stride in [1usize, 2, 5, 7, 10, 15, 30] {
@@ -231,7 +229,7 @@ pub fn ablation_compile(scale: &Scale) -> ExpTable {
         "expect: with the cache, compiles happen only while access paths still \
          change (query 1 has no posmap, query 2 gains one → two compiles), then \
          resubmissions hit; clearing the cache re-pays the compile every query \
-         — the paper's library-cache amortization"
+         — the paper's library-cache amortization",
     );
 
     let configs: Vec<(&str, Duration, bool)> = vec![
@@ -277,7 +275,7 @@ pub fn ablation_batch(scale: &Scale) -> ExpTable {
     table.note(format!("dataset: {} rows x 30 int columns (CSV)", s.narrow_rows));
     table.note(
         "expect: a sweet spot around 1k-4k rows — small batches pay per-batch \
-         overhead, huge batches spill the CPU caches (MonetDB/X100 lesson)"
+         overhead, huge batches spill the CPU caches (MonetDB/X100 lesson)",
     );
 
     for batch in [64usize, 256, 1024, 4096, 16384, 65536] {
@@ -317,13 +315,7 @@ mod tests {
     use super::*;
 
     fn tiny() -> Scale {
-        Scale {
-            narrow_rows: 2_000,
-            wide_rows: 500,
-            join_rows: 800,
-            higgs_events: 500,
-            repeats: 1,
-        }
+        Scale { narrow_rows: 2_000, wide_rows: 500, join_rows: 800, higgs_events: 500, repeats: 1 }
     }
 
     #[test]

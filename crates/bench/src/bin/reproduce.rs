@@ -32,6 +32,7 @@ fn registry() -> Vec<(&'static str, Runner)> {
         ("fig9", experiments::fig9),
         ("fig11", experiments::fig11),
         ("fig12", experiments::fig12),
+        ("fig13", experiments::fig13),
         ("table3", experiments::table3),
         // Ablations (not paper figures): isolate one design choice each.
         ("ablation_index", ablations::ablation_index),
@@ -84,8 +85,8 @@ fn main() {
         println!("{rendered}");
         all.push_str(&rendered);
         all.push('\n');
-        let mut f = std::fs::File::create(out_dir.join(format!("{name}.txt")))
-            .expect("create result file");
+        let mut f =
+            std::fs::File::create(out_dir.join(format!("{name}.txt"))).expect("create result file");
         f.write_all(rendered.as_bytes()).expect("write result file");
     }
 

@@ -10,9 +10,7 @@
 use std::time::Instant;
 
 use raw_columnar::profile::Phase;
-use raw_engine::{
-    AccessMode, EngineConfig, JoinPlacement, QueryResult, RawEngine, ShredStrategy,
-};
+use raw_engine::{AccessMode, EngineConfig, JoinPlacement, QueryResult, RawEngine, ShredStrategy};
 use raw_formats::datagen::literal_for_selectivity;
 use raw_formats::file_buffer::FileBufferPool;
 use raw_higgs::{HandwrittenAnalysis, HiggsCuts, RawHiggsAnalysis};
@@ -35,16 +33,15 @@ pub fn q2(table: &str, x: i64) -> String {
     format!("SELECT MAX(col11) FROM {table} WHERE col1 < {x}")
 }
 
-/// Engine config for one of the paper's systems.
-pub fn system_config(
-    mode: AccessMode,
-    shreds: ShredStrategy,
-    stride: usize,
-) -> EngineConfig {
+/// Engine config for one of the paper's systems. The paper's measurements
+/// are single-threaded, so `parallelism` is pinned to 1 here; `fig13`
+/// varies it explicitly to measure morsel-parallel scaling.
+pub fn system_config(mode: AccessMode, shreds: ShredStrategy, stride: usize) -> EngineConfig {
     EngineConfig {
         mode,
         shreds,
         posmap_policy: TrackingPolicy::EveryK { stride },
+        parallelism: 1,
         ..EngineConfig::default()
     }
 }
@@ -86,10 +83,7 @@ fn fig1_systems() -> Vec<(&'static str, EngineConfig)> {
         ),
         ("In Situ", system_config(AccessMode::InSitu, ShredStrategy::FullColumns, 10)),
         ("JIT", system_config(AccessMode::Jit, ShredStrategy::FullColumns, 10)),
-        (
-            "In Situ Col.7",
-            system_config(AccessMode::InSitu, ShredStrategy::FullColumns, 7),
-        ),
+        ("In Situ Col.7", system_config(AccessMode::InSitu, ShredStrategy::FullColumns, 7)),
         ("JIT Col.7", system_config(AccessMode::Jit, ShredStrategy::FullColumns, 7)),
     ]
 }
@@ -154,11 +148,9 @@ pub fn fig2(scale: &Scale) -> ExpTable {
     );
     table.note(format!("dataset: {} rows x 30 int columns (fbin)", scale.narrow_rows));
     table.note("expect: same ordering as CSV with smaller gaps (no conversions)");
-    for (name, mode) in [
-        ("In Situ", AccessMode::InSitu),
-        ("JIT", AccessMode::Jit),
-        ("DBMS", AccessMode::Dbms),
-    ] {
+    for (name, mode) in
+        [("In Situ", AccessMode::InSitu), ("JIT", AccessMode::Jit), ("DBMS", AccessMode::Dbms)]
+    {
         let mut cells = vec![name.to_owned()];
         for &sel in SELECTIVITIES {
             let x = literal_for_selectivity(sel);
@@ -249,12 +241,7 @@ fn shreds_sweep(
         let mut cells = vec![(*name).to_owned()];
         for &sel in SELECTIVITIES {
             let x = literal_for_selectivity(sel);
-            let d = measure_point(
-                repeats,
-                make,
-                &[warm_query(x)],
-                &measured_query(x),
-            );
+            let d = measure_point(repeats, make, &[warm_query(x)], &measured_query(x));
             cells.push(fmt_duration(d));
         }
         table.row(cells);
@@ -293,11 +280,7 @@ pub fn fig5(scale: &Scale) -> ExpTable {
     )
 }
 
-fn engine_maker_csv(
-    scale: Scale,
-    shreds: ShredStrategy,
-    stride: usize,
-) -> EngineMaker {
+fn engine_maker_csv(scale: Scale, shreds: ShredStrategy, stride: usize) -> EngineMaker {
     // Caching stays on: the paper's protocol caches Q1's results, so Q2's
     // predicate column comes from the shred pool and the measured cost is
     // the per-strategy handling of the aggregated column.
@@ -340,9 +323,7 @@ fn wide_sweep(binary: bool, scale: &Scale) -> ExpTable {
         "Figure 7 — 120 columns, floating point (CSV): SELECT MAX(col11) WHERE col1 < X"
     };
     let make = move |mode: AccessMode, shreds: ShredStrategy| -> EngineMaker {
-        Box::new(move || {
-            datasets::engine_wide(&s, system_config(mode, shreds, 10), binary)
-        })
+        Box::new(move || datasets::engine_wide(&s, system_config(mode, shreds, 10), binary))
     };
     let engines: Vec<(&str, EngineMaker)> = vec![
         ("DBMS", make(AccessMode::Dbms, ShredStrategy::FullColumns)),
@@ -397,8 +378,7 @@ pub fn fig9(scale: &Scale) -> ExpTable {
          SELECT MAX(col6) WHERE col1 < X AND col5 < X",
         &[
             format!("dataset: {} rows x 30 int columns (CSV); Q1 warms caches", s.narrow_rows),
-            "expect: shreds best at low selectivity; multi-column best of both beyond ~40%"
-                .into(),
+            "expect: shreds best at low selectivity; multi-column best of both beyond ~40%".into(),
         ],
         &engines,
         &|x| q1("file1", x),
@@ -492,6 +472,51 @@ pub fn fig12(scale: &Scale) -> ExpTable {
     join_sweep(true, scale)
 }
 
+/// Figure 13 (beyond the paper): morsel-parallel scaling of the Figure-1
+/// cold CSV aggregate scan across worker counts — the §8 future-work
+/// multi-core dimension, served by the `raw-exec` subsystem.
+pub fn fig13(scale: &Scale) -> ExpTable {
+    let x = literal_for_selectivity(0.4);
+    let mut table = ExpTable::new(
+        "Figure 13 — morsel-parallel scaling: cold CSV Q1 by worker count",
+        vec!["threads".into(), "Q1 time".into(), "speedup vs 1".into(), "plan".into()],
+    );
+    table.note(format!(
+        "dataset: {} rows x 30 int columns (CSV), X at 40%; JIT full columns",
+        scale.narrow_rows
+    ));
+    table.note("expect: near-linear scaling up to the physical core count");
+    let mut baseline: Option<std::time::Duration> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let config = EngineConfig {
+            parallelism: threads,
+            ..system_config(AccessMode::Jit, ShredStrategy::FullColumns, 10)
+        };
+        let mut times = Vec::with_capacity(scale.repeats.max(1));
+        let mut plan_line = "serial".to_owned();
+        for _ in 0..scale.repeats.max(1) {
+            let mut engine = datasets::engine_narrow_csv(scale, config.clone());
+            engine.drop_file_caches();
+            let (r, d) = time_once(|| run(&mut engine, &q1("file1", x)));
+            if let Some(line) = r.stats.explain.iter().find(|l| l.contains("parallel:")) {
+                plan_line = line.clone();
+            }
+            times.push(d);
+        }
+        times.sort_unstable();
+        let d = times[times.len() / 2];
+        let speedup = match baseline {
+            None => {
+                baseline = Some(d);
+                "1.00x".to_owned()
+            }
+            Some(base) => format!("{:.2}x", base.as_secs_f64() / d.as_secs_f64()),
+        };
+        table.row(vec![threads.to_string(), fmt_duration(d), speedup, plan_line]);
+    }
+    table
+}
+
 /// Table 2: first-query times over the 120-column tables.
 pub fn table2(scale: &Scale) -> ExpTable {
     let x = literal_for_selectivity(0.4);
@@ -508,8 +533,7 @@ pub fn table2(scale: &Scale) -> ExpTable {
             ("Full Columns", AccessMode::Jit, ShredStrategy::FullColumns),
             ("Column Shreds", AccessMode::Jit, ShredStrategy::ColumnShreds),
         ] {
-            let mut engine =
-                datasets::engine_wide(scale, system_config(mode, shreds, 10), binary);
+            let mut engine = datasets::engine_wide(scale, system_config(mode, shreds, 10), binary);
             engine.drop_file_caches();
             let (_, d) = time_once(|| run(&mut engine, &q1("wide", x)));
             table.row(vec![name.into(), format.into(), fmt_duration(d)]);
@@ -524,13 +548,9 @@ pub fn table3(scale: &Scale) -> ExpTable {
     let cuts = HiggsCuts::default();
 
     let files = FileBufferPool::new();
-    let mut hw = HandwrittenAnalysis::open(
-        &files,
-        &dataset.root_path,
-        &dataset.goodruns_path,
-        cuts,
-    )
-    .expect("open handwritten analysis");
+    let mut hw =
+        HandwrittenAnalysis::open(&files, &dataset.root_path, &dataset.goodruns_path, cuts)
+            .expect("open handwritten analysis");
     let t = Instant::now();
     let hw_cold_result = hw.run();
     let hw_cold = t.elapsed();

@@ -82,10 +82,7 @@ mod tests {
 
     #[test]
     fn renders_aligned() {
-        let mut t = ExpTable::new(
-            "Figure X",
-            vec!["system".into(), "time".into()],
-        );
+        let mut t = ExpTable::new("Figure X", vec!["system".into(), "time".into()]);
         t.note("demo note");
         t.row(vec!["DBMS".into(), "1.0 s".into()]);
         t.row(vec!["JIT access paths".into(), "0.5 s".into()]);

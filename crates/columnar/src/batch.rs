@@ -115,11 +115,7 @@ impl Batch {
     /// every provenance vector. This is how filters and joins project
     /// qualifying rows while keeping provenance consistent.
     pub fn take(&self, indices: &[usize]) -> Result<Batch> {
-        let columns = self
-            .columns
-            .iter()
-            .map(|c| c.gather(indices))
-            .collect::<Result<Vec<_>>>()?;
+        let columns = self.columns.iter().map(|c| c.gather(indices)).collect::<Result<Vec<_>>>()?;
         let provenance = self
             .provenance
             .iter()
@@ -133,10 +129,7 @@ impl Batch {
 
     /// Project to a subset of columns (provenance is preserved untouched).
     pub fn project(&self, cols: &[usize]) -> Result<Batch> {
-        let columns = cols
-            .iter()
-            .map(|&i| self.column(i).cloned())
-            .collect::<Result<Vec<_>>>()?;
+        let columns = cols.iter().map(|&i| self.column(i).cloned()).collect::<Result<Vec<_>>>()?;
         Ok(Batch { columns, provenance: self.provenance.clone(), rows: self.rows })
     }
 
@@ -254,10 +247,8 @@ mod tests {
 
     #[test]
     fn concat_batches() {
-        let a = Batch::new(vec![vec![1i64].into()])
-            .unwrap()
-            .with_provenance(tag(0), vec![0])
-            .unwrap();
+        let a =
+            Batch::new(vec![vec![1i64].into()]).unwrap().with_provenance(tag(0), vec![0]).unwrap();
         let b = Batch::new(vec![vec![2i64, 3].into()])
             .unwrap()
             .with_provenance(tag(0), vec![1, 2])
@@ -267,10 +258,8 @@ mod tests {
         assert_eq!(c.column(0).unwrap().as_i64().unwrap(), &[1, 2, 3]);
         assert_eq!(c.rows_of(tag(0)), Some(&[0u64, 1, 2][..]));
 
-        let mismatched = Batch::new(vec![vec![1i64].into()])
-            .unwrap()
-            .with_provenance(tag(1), vec![0])
-            .unwrap();
+        let mismatched =
+            Batch::new(vec![vec![1i64].into()]).unwrap().with_provenance(tag(1), vec![0]).unwrap();
         assert!(Batch::concat(&[a, mismatched]).is_err());
         assert_eq!(Batch::concat(&[]).unwrap().rows(), 0);
     }

@@ -80,8 +80,7 @@ impl Bitmask {
         let (first_word, first_bit) = (start / 64, start % 64);
         let (last_word, last_bit) = ((end - 1) / 64, (end - 1) % 64);
         if first_word == last_word {
-            let mask = (u64::MAX << first_bit)
-                & (u64::MAX >> (63 - last_bit));
+            let mask = (u64::MAX << first_bit) & (u64::MAX >> (63 - last_bit));
             self.words[first_word] |= mask;
         } else {
             self.words[first_word] |= u64::MAX << first_bit;

@@ -201,10 +201,7 @@ impl Column {
     pub fn slice(&self, start: usize, len: usize) -> Result<Column> {
         let n = self.len();
         if start + len > n {
-            return Err(ColumnarError::RowOutOfBounds {
-                row: (start + len) as u64,
-                len: n as u64,
-            });
+            return Err(ColumnarError::RowOutOfBounds { row: (start + len) as u64, len: n as u64 });
         }
         Ok(with_vec!(self, v => v[start..start + len].to_vec().into()))
     }
@@ -440,11 +437,7 @@ impl SparseColumn {
         }
         if rows.len() != values.len() {
             return Err(ColumnarError::Plan {
-                message: format!(
-                    "store_column: {} rows but {} values",
-                    rows.len(),
-                    values.len()
-                ),
+                message: format!("store_column: {} rows but {} values", rows.len(), values.len()),
             });
         }
         if let Some(&max) = rows.iter().max() {
@@ -452,9 +445,7 @@ impl SparseColumn {
         }
         // Bulk path: full scans record contiguous row ranges, which reduce
         // to one slice copy plus one mask-range set.
-        let contiguous = rows
-            .windows(2)
-            .all(|w| w[1] == w[0] + 1);
+        let contiguous = rows.windows(2).all(|w| w[1] == w[0] + 1);
         if contiguous && !rows.is_empty() {
             let start = rows[0] as usize;
             let end = start + rows.len();

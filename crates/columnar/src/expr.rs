@@ -162,11 +162,7 @@ impl Predicate {
     /// Evaluate and return the indices of qualifying rows (selection vector).
     pub fn selection(&self, batch: &Batch) -> Result<Vec<usize>> {
         let mask = self.evaluate(batch)?;
-        Ok(mask
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &keep)| keep.then_some(i))
-            .collect())
+        Ok(mask.iter().enumerate().filter_map(|(i, &keep)| keep.then_some(i)).collect())
     }
 
     /// Render as a SQL-ish string (used by plan explain and tests).
@@ -250,11 +246,7 @@ mod tests {
     use super::*;
 
     fn batch() -> Batch {
-        Batch::new(vec![
-            vec![1i64, 5, 10, 15].into(),
-            vec![1.0f64, 2.0, 3.0, 4.0].into(),
-        ])
-        .unwrap()
+        Batch::new(vec![vec![1i64, 5, 10, 15].into(), vec![1.0f64, 2.0, 3.0, 4.0].into()]).unwrap()
     }
 
     #[test]

@@ -62,9 +62,7 @@ impl AggKind {
                         other => other,
                     })
                 } else {
-                    Err(ColumnarError::Unsupported {
-                        what: format!("{} over {input}", self.sql()),
-                    })
+                    Err(ColumnarError::Unsupported { what: format!("{} over {input}", self.sql()) })
                 }
             }
         }
@@ -93,6 +91,97 @@ enum Acc {
     Avg { sum: f64, n: u64 },
 }
 
+/// Mergeable partial-aggregation state: the unit of work the morsel-driven
+/// parallel executor computes per morsel and combines across morsels.
+///
+/// [`AggregateOp`] is a thin Volcano wrapper over one accumulator; a parallel
+/// plan instead folds each morsel's batches into its own accumulator and
+/// [`AggAccumulator::merge`]s them **in morsel order**, so integer results are
+/// bit-for-bit identical to a serial scan and float results are identical for
+/// any worker count over the same morsel grid (merge order is deterministic).
+#[derive(Debug, Clone)]
+pub struct AggAccumulator {
+    exprs: Vec<AggExpr>,
+    accs: Vec<Option<Acc>>,
+}
+
+impl AggAccumulator {
+    /// An empty accumulator for the given expressions.
+    pub fn new(exprs: Vec<AggExpr>) -> AggAccumulator {
+        let accs = vec![None; exprs.len()];
+        AggAccumulator { exprs, accs }
+    }
+
+    /// The expressions this accumulator computes.
+    pub fn exprs(&self) -> &[AggExpr] {
+        &self.exprs
+    }
+
+    /// Fold one batch into the running state.
+    pub fn update(&mut self, batch: &Batch) -> Result<()> {
+        for (expr, acc) in self.exprs.iter().zip(self.accs.iter_mut()) {
+            let col = batch.column(expr.col)?;
+            if acc.is_none() {
+                *acc = Some(make_acc(expr, col.data_type())?);
+            }
+            update_acc(acc.as_mut().expect("just initialized"), expr.kind, col)?;
+        }
+        Ok(())
+    }
+
+    /// Combine another accumulator (over the same expressions) into this one.
+    /// For SUM/AVG the other state's partial sums are added *after* this
+    /// one's, so callers control float summation order by merge order.
+    pub fn merge(&mut self, other: AggAccumulator) -> Result<()> {
+        if self.exprs != other.exprs {
+            return Err(ColumnarError::Plan {
+                message: format!(
+                    "cannot merge aggregate states over different expressions \
+                     ({:?} vs {:?})",
+                    self.exprs, other.exprs
+                ),
+            });
+        }
+        for ((expr, mine), theirs) in self.exprs.iter().zip(self.accs.iter_mut()).zip(other.accs) {
+            let Some(theirs) = theirs else { continue };
+            match mine.as_mut() {
+                Some(m) => merge_acc(m, theirs, expr.kind)?,
+                None => *mine = Some(theirs),
+            }
+        }
+        Ok(())
+    }
+
+    /// Produce the final one-row result batch (COUNT of zero rows is 0,
+    /// other aggregates over zero rows are NULL).
+    pub fn finish(self) -> Result<Batch> {
+        let mut columns = Vec::with_capacity(self.exprs.len());
+        for (expr, acc) in self.exprs.iter().zip(self.accs) {
+            let value = match acc {
+                Some(a) => finish_acc(a),
+                None => match expr.kind {
+                    AggKind::Count => Value::Int64(0),
+                    _ => Value::Null,
+                },
+            };
+            // Aggregates over zero rows yield NULL (except COUNT); a one-row
+            // Utf8 "NULL" column keeps the result batch rectangular without
+            // introducing nullable columns into the hot path.
+            let col = match &value {
+                Value::Int64(v) => Column::Int64(vec![*v]),
+                Value::Float64(v) => Column::Float64(vec![*v]),
+                Value::Null => Column::Utf8(vec!["NULL".to_owned()]),
+                other => Column::from_values(
+                    other.data_type().unwrap_or(DataType::Utf8),
+                    std::slice::from_ref(&value),
+                )?,
+            };
+            columns.push(col);
+        }
+        Batch::new(columns)
+    }
+}
+
 /// Blocking aggregation operator: drains its child, then emits a single
 /// one-row batch with one column per aggregate expression.
 pub struct AggregateOp {
@@ -106,75 +195,120 @@ impl AggregateOp {
     pub fn new(input: Box<dyn Operator>, exprs: Vec<AggExpr>) -> AggregateOp {
         AggregateOp { input, exprs, done: false }
     }
+}
 
-    fn make_acc(expr: &AggExpr, dt: DataType) -> Result<Acc> {
-        Ok(match expr.kind {
-            AggKind::Count => Acc::Count(0),
-            AggKind::Avg => Acc::Avg { sum: 0.0, n: 0 },
-            AggKind::Max | AggKind::Min | AggKind::Sum => match dt {
-                DataType::Int32 | DataType::Int64 => Acc::Int { cur: None },
-                DataType::Float32 | DataType::Float64 => Acc::Float { cur: None },
-                other => {
-                    return Err(ColumnarError::Unsupported {
-                        what: format!("{} over {other}", expr.kind.sql()),
-                    })
-                }
-            },
-        })
+fn make_acc(expr: &AggExpr, dt: DataType) -> Result<Acc> {
+    Ok(match expr.kind {
+        AggKind::Count => Acc::Count(0),
+        AggKind::Avg => Acc::Avg { sum: 0.0, n: 0 },
+        AggKind::Max | AggKind::Min | AggKind::Sum => match dt {
+            DataType::Int32 | DataType::Int64 => Acc::Int { cur: None },
+            DataType::Float32 | DataType::Float64 => Acc::Float { cur: None },
+            other => {
+                return Err(ColumnarError::Unsupported {
+                    what: format!("{} over {other}", expr.kind.sql()),
+                })
+            }
+        },
+    })
+}
+
+fn update_acc(acc: &mut Acc, kind: AggKind, col: &Column) -> Result<()> {
+    match acc {
+        Acc::Count(n) => *n += col.len() as u64,
+        Acc::Avg { sum, n } => {
+            each_f64(col, |v| {
+                *sum += v;
+            })?;
+            *n += col.len() as u64;
+        }
+        Acc::Int { cur } => {
+            let mut current = *cur;
+            each_i64(col, |v| {
+                current = Some(match (current, kind) {
+                    (None, _) => v,
+                    (Some(c), AggKind::Max) => c.max(v),
+                    (Some(c), AggKind::Min) => c.min(v),
+                    (Some(c), AggKind::Sum) => c.wrapping_add(v),
+                    _ => unreachable!("int acc only for max/min/sum"),
+                });
+            })?;
+            *cur = current;
+        }
+        Acc::Float { cur } => {
+            let mut current = *cur;
+            each_f64(col, |v| {
+                current = Some(match (current, kind) {
+                    (None, _) => v,
+                    (Some(c), AggKind::Max) => c.max(v),
+                    (Some(c), AggKind::Min) => c.min(v),
+                    (Some(c), AggKind::Sum) => c + v,
+                    _ => unreachable!("float acc only for max/min/sum"),
+                });
+            })?;
+            *cur = current;
+        }
     }
+    Ok(())
+}
 
-    fn update(acc: &mut Acc, kind: AggKind, col: &Column) -> Result<()> {
-        match acc {
-            Acc::Count(n) => *n += col.len() as u64,
-            Acc::Avg { sum, n } => {
-                each_f64(col, |v| {
-                    *sum += v;
-                })?;
-                *n += col.len() as u64;
-            }
-            Acc::Int { cur } => {
-                let mut current = *cur;
-                each_i64(col, |v| {
-                    current = Some(match (current, kind) {
-                        (None, _) => v,
-                        (Some(c), AggKind::Max) => c.max(v),
-                        (Some(c), AggKind::Min) => c.min(v),
-                        (Some(c), AggKind::Sum) => c.wrapping_add(v),
-                        _ => unreachable!("int acc only for max/min/sum"),
-                    });
-                })?;
-                *cur = current;
-            }
-            Acc::Float { cur } => {
-                let mut current = *cur;
-                each_f64(col, |v| {
-                    current = Some(match (current, kind) {
-                        (None, _) => v,
-                        (Some(c), AggKind::Max) => c.max(v),
-                        (Some(c), AggKind::Min) => c.min(v),
-                        (Some(c), AggKind::Sum) => c + v,
-                        _ => unreachable!("float acc only for max/min/sum"),
-                    });
-                })?;
-                *cur = current;
+/// Combine `theirs` into `mine` under the aggregate `kind` (both built by
+/// [`update_acc`] for the same expression, so same variant). The merged
+/// state is exactly what a serial scan of mine-then-theirs would have built.
+fn merge_acc(mine: &mut Acc, theirs: Acc, kind: AggKind) -> Result<()> {
+    match (mine, theirs) {
+        (Acc::Count(a), Acc::Count(b)) => *a += b,
+        (Acc::Avg { sum, n }, Acc::Avg { sum: s2, n: n2 }) => {
+            *sum += s2;
+            *n += n2;
+        }
+        (Acc::Int { cur }, Acc::Int { cur: other }) => {
+            *cur = match (*cur, other) {
+                (a, None) => a,
+                (None, b) => b,
+                (Some(a), Some(b)) => Some(match kind {
+                    AggKind::Max => a.max(b),
+                    AggKind::Min => a.min(b),
+                    AggKind::Sum => a.wrapping_add(b),
+                    _ => unreachable!("int acc only for max/min/sum"),
+                }),
+            };
+        }
+        (Acc::Float { cur }, Acc::Float { cur: other }) => {
+            *cur = match (*cur, other) {
+                (a, None) => a,
+                (None, b) => b,
+                (Some(a), Some(b)) => Some(match kind {
+                    AggKind::Max => a.max(b),
+                    AggKind::Min => a.min(b),
+                    AggKind::Sum => a + b,
+                    _ => unreachable!("float acc only for max/min/sum"),
+                }),
+            };
+        }
+        (mine, theirs) => {
+            return Err(ColumnarError::Plan {
+                message: format!(
+                    "cannot merge mismatched aggregate states ({mine:?} vs {theirs:?})"
+                ),
+            })
+        }
+    }
+    Ok(())
+}
+
+fn finish_acc(acc: Acc) -> Value {
+    match acc {
+        Acc::Count(n) => Value::Int64(n as i64),
+        Acc::Avg { sum, n } => {
+            if n == 0 {
+                Value::Null
+            } else {
+                Value::Float64(sum / n as f64)
             }
         }
-        Ok(())
-    }
-
-    fn finish(acc: Acc) -> Value {
-        match acc {
-            Acc::Count(n) => Value::Int64(n as i64),
-            Acc::Avg { sum, n } => {
-                if n == 0 {
-                    Value::Null
-                } else {
-                    Value::Float64(sum / n as f64)
-                }
-            }
-            Acc::Int { cur } => cur.map_or(Value::Null, Value::Int64),
-            Acc::Float { cur } => cur.map_or(Value::Null, Value::Float64),
-        }
+        Acc::Int { cur } => cur.map_or(Value::Null, Value::Int64),
+        Acc::Float { cur } => cur.map_or(Value::Null, Value::Float64),
     }
 }
 
@@ -219,42 +353,11 @@ impl Operator for AggregateOp {
         }
         self.done = true;
 
-        let mut accs: Vec<Option<Acc>> = vec![None; self.exprs.len()];
+        let mut acc = AggAccumulator::new(self.exprs.clone());
         while let Some(batch) = self.input.next_batch()? {
-            for (expr, acc) in self.exprs.iter().zip(accs.iter_mut()) {
-                let col = batch.column(expr.col)?;
-                if acc.is_none() {
-                    *acc = Some(Self::make_acc(expr, col.data_type())?);
-                }
-                Self::update(acc.as_mut().expect("just initialized"), expr.kind, col)?;
-            }
+            acc.update(&batch)?;
         }
-
-        let mut columns = Vec::with_capacity(self.exprs.len());
-        for (expr, acc) in self.exprs.iter().zip(accs) {
-            let value = match acc {
-                Some(a) => Self::finish(a),
-                // Input produced zero batches: COUNT is 0, others NULL.
-                None => match expr.kind {
-                    AggKind::Count => Value::Int64(0),
-                    _ => Value::Null,
-                },
-            };
-            // Aggregates over zero rows yield NULL (except COUNT); a one-row
-            // Utf8 "NULL" column keeps the result batch rectangular without
-            // introducing nullable columns into the hot path.
-            let col = match &value {
-                Value::Int64(v) => Column::Int64(vec![*v]),
-                Value::Float64(v) => Column::Float64(vec![*v]),
-                Value::Null => Column::Utf8(vec!["NULL".to_owned()]),
-                other => Column::from_values(
-                    other.data_type().unwrap_or(DataType::Utf8),
-                    std::slice::from_ref(&value),
-                )?,
-            };
-            columns.push(col);
-        }
-        Ok(Some(Batch::new(columns)?))
+        acc.finish().map(Some)
     }
 
     fn name(&self) -> &'static str {
@@ -268,7 +371,6 @@ impl Operator for AggregateOp {
     fn scan_metrics(&self) -> crate::profile::ScanMetrics {
         self.input.scan_metrics()
     }
-
 }
 
 #[cfg(test)]
@@ -277,7 +379,8 @@ mod tests {
     use crate::ops::BatchSource;
 
     fn agg_one(kind: AggKind, data: Vec<Batch>) -> Value {
-        let mut op = AggregateOp::new(Box::new(BatchSource::new(data)), vec![AggExpr { kind, col: 0 }]);
+        let mut op =
+            AggregateOp::new(Box::new(BatchSource::new(data)), vec![AggExpr { kind, col: 0 }]);
         let out = op.next_batch().unwrap().unwrap();
         assert!(op.next_batch().unwrap().is_none(), "aggregate emits exactly one batch");
         out.value(0, 0).unwrap()
@@ -323,11 +426,9 @@ mod tests {
 
     #[test]
     fn multiple_aggregates_one_pass() {
-        let batches = vec![Batch::new(vec![
-            vec![1i64, 2, 3].into(),
-            vec![10.0f64, 20.0, 30.0].into(),
-        ])
-        .unwrap()];
+        let batches =
+            vec![Batch::new(vec![vec![1i64, 2, 3].into(), vec![10.0f64, 20.0, 30.0].into()])
+                .unwrap()];
         let mut op = AggregateOp::new(
             Box::new(BatchSource::new(batches)),
             vec![

@@ -62,7 +62,6 @@ impl Operator for FilterOp {
     fn scan_metrics(&self) -> crate::profile::ScanMetrics {
         self.input.scan_metrics()
     }
-
 }
 
 #[cfg(test)]

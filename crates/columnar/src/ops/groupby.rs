@@ -107,9 +107,9 @@ impl Operator for GroupCountOp {
             };
         };
         let flush = move |sorted: &mut Vec<(i64, GroupAcc)>,
-                              hashed: &mut Option<FxHashMap<i64, GroupAcc>>,
-                              key: Option<i64>,
-                              acc: GroupAcc| {
+                          hashed: &mut Option<FxHashMap<i64, GroupAcc>>,
+                          key: Option<i64>,
+                          acc: GroupAcc| {
             let Some(k) = key else { return };
             if let Some(map) = hashed.as_mut() {
                 merge(map.entry(k).or_insert(GroupAcc { count: 0, extra: init_extra }), acc);
@@ -125,10 +125,7 @@ impl Operator for GroupCountOp {
                         map.insert(key, acc);
                     }
                     sorted.clear();
-                    merge(
-                        map.entry(k).or_insert(GroupAcc { count: 0, extra: init_extra }),
-                        acc,
-                    );
+                    merge(map.entry(k).or_insert(GroupAcc { count: 0, extra: init_extra }), acc);
                     *hashed = Some(map);
                 }
                 _ => sorted.push((k, acc)),
@@ -201,7 +198,6 @@ impl Operator for GroupCountOp {
     fn scan_metrics(&self) -> crate::profile::ScanMetrics {
         self.input.scan_metrics()
     }
-
 }
 
 #[cfg(test)]
@@ -221,8 +217,7 @@ mod tests {
             Batch::new(vec![vec![3i64, 1, 3].into()]).unwrap(),
             Batch::new(vec![vec![1i64, 1, 2].into()]).unwrap(),
         ];
-        let mut op =
-            GroupCountOp::new(Box::new(BatchSource::new(batches)), 0, GroupExtra::None);
+        let mut op = GroupCountOp::new(Box::new(BatchSource::new(batches)), 0, GroupExtra::None);
         let out = run(&mut op);
         assert_eq!(out.column(0).unwrap().as_i64().unwrap(), &[1, 2, 3]);
         assert_eq!(out.column(1).unwrap().as_i64().unwrap(), &[3, 1, 2]);
@@ -230,11 +225,10 @@ mod tests {
 
     #[test]
     fn max_extra() {
-        let batches = vec![Batch::new(vec![
-            vec![1i64, 2, 1].into(),
-            vec![10.0f64, 5.0, 30.0].into(),
-        ])
-        .unwrap()];
+        let batches =
+            vec![
+                Batch::new(vec![vec![1i64, 2, 1].into(), vec![10.0f64, 5.0, 30.0].into()]).unwrap()
+            ];
         let mut op = GroupCountOp::new(
             Box::new(BatchSource::new(batches)),
             0,
@@ -246,11 +240,7 @@ mod tests {
 
     #[test]
     fn min_extra_and_int_values() {
-        let batches = vec![Batch::new(vec![
-            vec![5i64, 5].into(),
-            vec![7i64, 3].into(),
-        ])
-        .unwrap()];
+        let batches = vec![Batch::new(vec![vec![5i64, 5].into(), vec![7i64, 3].into()]).unwrap()];
         let mut op = GroupCountOp::new(
             Box::new(BatchSource::new(batches)),
             0,
@@ -264,8 +254,7 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        let mut op =
-            GroupCountOp::new(Box::new(BatchSource::new(vec![])), 0, GroupExtra::None);
+        let mut op = GroupCountOp::new(Box::new(BatchSource::new(vec![])), 0, GroupExtra::None);
         let out = run(&mut op);
         assert_eq!(out.rows(), 0);
         assert_eq!(out.num_columns(), 2);
@@ -274,8 +263,7 @@ mod tests {
     #[test]
     fn non_integer_key_rejected() {
         let batches = vec![Batch::new(vec![vec![1.5f64].into()]).unwrap()];
-        let mut op =
-            GroupCountOp::new(Box::new(BatchSource::new(batches)), 0, GroupExtra::None);
+        let mut op = GroupCountOp::new(Box::new(BatchSource::new(batches)), 0, GroupExtra::None);
         assert!(op.next_batch().is_err());
     }
 }

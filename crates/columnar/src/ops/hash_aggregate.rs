@@ -59,11 +59,7 @@ pub struct HashAggregateOp {
 impl HashAggregateOp {
     /// Group `input` by integer column `key_col`, computing `exprs` per
     /// group.
-    pub fn new(
-        input: Box<dyn Operator>,
-        key_col: usize,
-        exprs: Vec<AggExpr>,
-    ) -> HashAggregateOp {
+    pub fn new(input: Box<dyn Operator>, key_col: usize, exprs: Vec<AggExpr>) -> HashAggregateOp {
         HashAggregateOp { input, key_col, exprs, done: false }
     }
 
@@ -72,9 +68,7 @@ impl HashAggregateOp {
             AggKind::Count => AccVec::Count(Vec::new()),
             AggKind::Avg => {
                 if !dt.is_numeric() {
-                    return Err(ColumnarError::Unsupported {
-                        what: format!("AVG over {dt}"),
-                    });
+                    return Err(ColumnarError::Unsupported { what: format!("AVG over {dt}") });
                 }
                 AccVec::Avg(Vec::new())
             }
@@ -236,9 +230,7 @@ impl Operator for HashAggregateOp {
         order.sort_unstable_by_key(|&g| keys_in_order[g as usize]);
 
         let mut columns = Vec::with_capacity(1 + self.exprs.len());
-        columns.push(Column::Int64(
-            order.iter().map(|&g| keys_in_order[g as usize]).collect(),
-        ));
+        columns.push(Column::Int64(order.iter().map(|&g| keys_in_order[g as usize]).collect()));
         for acc in accs {
             let col = match acc {
                 // Zero input batches: emit empty typed columns (n == 0).
@@ -256,16 +248,10 @@ impl Operator for HashAggregateOp {
                         .collect(),
                 ),
                 Some(AccVec::Int(v)) => Column::Int64(
-                    order
-                        .iter()
-                        .map(|&g| v[g as usize].expect("group has ≥1 row"))
-                        .collect(),
+                    order.iter().map(|&g| v[g as usize].expect("group has ≥1 row")).collect(),
                 ),
                 Some(AccVec::Float(v)) => Column::Float64(
-                    order
-                        .iter()
-                        .map(|&g| v[g as usize].expect("group has ≥1 row"))
-                        .collect(),
+                    order.iter().map(|&g| v[g as usize].expect("group has ≥1 row")).collect(),
                 ),
             };
             columns.push(col);
@@ -292,11 +278,7 @@ mod tests {
     use crate::ops::BatchSource;
     use crate::types::Value;
 
-    fn run(
-        batches: Vec<Batch>,
-        key: usize,
-        exprs: Vec<AggExpr>,
-    ) -> Batch {
+    fn run(batches: Vec<Batch>, key: usize, exprs: Vec<AggExpr>) -> Batch {
         let mut op = HashAggregateOp::new(Box::new(BatchSource::new(batches)), key, exprs);
         let out = op.next_batch().unwrap().unwrap();
         assert!(op.next_batch().unwrap().is_none(), "exactly one output batch");
@@ -341,9 +323,7 @@ mod tests {
     fn groups_span_batches() {
         // The same key in every batch must accumulate into one group.
         let batches: Vec<Batch> = (0..5)
-            .map(|i| {
-                Batch::new(vec![vec![7i64].into(), vec![i as i64].into()]).unwrap()
-            })
+            .map(|i| Batch::new(vec![vec![7i64].into(), vec![i as i64].into()]).unwrap())
             .collect();
         let out = run(
             batches,
@@ -363,9 +343,11 @@ mod tests {
 
     #[test]
     fn int32_and_bool_keys_widen() {
-        let batches =
-            vec![Batch::new(vec![vec![true, false, true].into(), vec![1i64, 2, 3].into()])
-                .unwrap()];
+        let batches = vec![Batch::new(vec![
+            vec![true, false, true].into(),
+            vec![1i64, 2, 3].into(),
+        ])
+        .unwrap()];
         let out = run(batches, 0, vec![AggExpr { kind: AggKind::Sum, col: 1 }]);
         assert_eq!(out.column(0).unwrap().as_i64().unwrap(), &[0, 1]);
         assert_eq!(out.column(1).unwrap().as_i64().unwrap(), &[2, 4]);
@@ -385,8 +367,7 @@ mod tests {
 
     #[test]
     fn float_and_utf8_keys_rejected() {
-        let batches =
-            vec![Batch::new(vec![vec![1.0f64].into(), vec![1i64].into()]).unwrap()];
+        let batches = vec![Batch::new(vec![vec![1.0f64].into(), vec![1i64].into()]).unwrap()];
         let mut op = HashAggregateOp::new(
             Box::new(BatchSource::new(batches)),
             0,
@@ -424,17 +405,12 @@ mod tests {
         let batches: Vec<Batch> = keys
             .chunks(17)
             .zip(vals.chunks(17))
-            .map(|(k, v)| {
-                Batch::new(vec![k.to_vec().into(), v.to_vec().into()]).unwrap()
-            })
+            .map(|(k, v)| Batch::new(vec![k.to_vec().into(), v.to_vec().into()]).unwrap())
             .collect();
         let out = run(
             batches,
             0,
-            vec![
-                AggExpr { kind: AggKind::Sum, col: 1 },
-                AggExpr { kind: AggKind::Count, col: 1 },
-            ],
+            vec![AggExpr { kind: AggKind::Sum, col: 1 }, AggExpr { kind: AggKind::Count, col: 1 }],
         );
 
         let mut expect: std::collections::BTreeMap<i64, (i64, i64)> = Default::default();

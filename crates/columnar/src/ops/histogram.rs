@@ -82,7 +82,6 @@ impl Operator for HistogramOp {
     fn scan_metrics(&self) -> crate::profile::ScanMetrics {
         self.input.scan_metrics()
     }
-
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@ mod project;
 mod scan;
 mod strip;
 
-pub use aggregate::{AggExpr, AggKind, AggregateOp};
+pub use aggregate::{AggAccumulator, AggExpr, AggKind, AggregateOp};
 pub use filter::FilterOp;
 pub use groupby::{GroupCountOp, GroupExtra};
 pub use hash_aggregate::HashAggregateOp;
@@ -32,7 +32,11 @@ use crate::error::Result;
 use crate::profile::{PhaseProfile, ScanMetrics};
 
 /// A pull-based vectorized operator.
-pub trait Operator {
+///
+/// `Send` is a supertrait so whole operator pipelines can be shipped to
+/// worker threads — the morsel-driven parallel executor (`raw-exec`) builds
+/// one pipeline per file morsel and drains them concurrently.
+pub trait Operator: Send {
     /// Produce the next batch, or `None` when exhausted.
     fn next_batch(&mut self) -> Result<Option<Batch>>;
 

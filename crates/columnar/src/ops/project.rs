@@ -37,7 +37,6 @@ impl Operator for ProjectOp {
     fn scan_metrics(&self) -> crate::profile::ScanMetrics {
         self.input.scan_metrics()
     }
-
 }
 
 #[cfg(test)]

@@ -210,11 +210,7 @@ mod tests {
     #[test]
     fn metrics_merge() {
         let mut a = ScanMetrics { rows_scanned: 1, fields_tokenized: 2, ..Default::default() };
-        a.merge(&ScanMetrics {
-            rows_scanned: 9,
-            values_converted: 5,
-            ..Default::default()
-        });
+        a.merge(&ScanMetrics { rows_scanned: 9, values_converted: 5, ..Default::default() });
         assert_eq!(a.rows_scanned, 10);
         assert_eq!(a.fields_tokenized, 2);
         assert_eq!(a.values_converted, 5);

@@ -64,11 +64,7 @@ impl Schema {
     /// Convenience constructor: `n` columns named `col1..coln` of a uniform
     /// type, matching the synthetic tables in the paper's microbenchmarks.
     pub fn uniform(n: usize, data_type: DataType) -> Self {
-        Schema::new(
-            (1..=n)
-                .map(|i| Field::new(format!("col{i}"), data_type))
-                .collect(),
-        )
+        Schema::new((1..=n).map(|i| Field::new(format!("col{i}"), data_type)).collect())
     }
 
     /// The fields, in schema order.

@@ -83,9 +83,10 @@ impl MemTable {
 
     /// Column by field name.
     pub fn column_by_name(&self, name: &str) -> Result<&Column> {
-        let idx = self.schema.index_of(name).ok_or_else(|| ColumnarError::Plan {
-            message: format!("no column named {name}"),
-        })?;
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| ColumnarError::Plan { message: format!("no column named {name}") })?;
         self.column(idx)
     }
 
@@ -94,11 +95,7 @@ impl MemTable {
     pub fn push_row(&mut self, row: &[Value]) -> Result<()> {
         if row.len() != self.columns.len() {
             return Err(ColumnarError::Plan {
-                message: format!(
-                    "row has {} values for {} columns",
-                    row.len(),
-                    self.columns.len()
-                ),
+                message: format!("row has {} values for {} columns", row.len(), self.columns.len()),
             });
         }
         for (col, v) in self.columns.iter_mut().zip(row) {
@@ -149,16 +146,13 @@ mod tests {
     use crate::types::DataType;
 
     fn schema2() -> Schema {
-        Schema::new(vec![
-            Field::new("a", DataType::Int64),
-            Field::new("b", DataType::Float64),
-        ])
+        Schema::new(vec![Field::new("a", DataType::Int64), Field::new("b", DataType::Float64)])
     }
 
     #[test]
     fn construction_validates() {
-        let t = MemTable::new(schema2(), vec![vec![1i64, 2].into(), vec![0.5f64, 1.5].into()])
-            .unwrap();
+        let t =
+            MemTable::new(schema2(), vec![vec![1i64, 2].into(), vec![0.5f64, 1.5].into()]).unwrap();
         assert_eq!(t.rows(), 2);
         assert!(MemTable::new(schema2(), vec![vec![1i64].into()]).is_err(), "arity");
         assert!(
@@ -188,8 +182,8 @@ mod tests {
 
     #[test]
     fn batch_roundtrip() {
-        let t = MemTable::new(schema2(), vec![vec![1i64, 2].into(), vec![0.5f64, 1.5].into()])
-            .unwrap();
+        let t =
+            MemTable::new(schema2(), vec![vec![1i64, 2].into(), vec![0.5f64, 1.5].into()]).unwrap();
         let b = t.to_batch().unwrap();
         let t2 = MemTable::from_batches(schema2(), &[b]).unwrap();
         assert_eq!(t, t2);

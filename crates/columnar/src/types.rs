@@ -40,10 +40,7 @@ impl DataType {
 
     /// Whether this is a numeric type (valid under arithmetic aggregates).
     pub fn is_numeric(self) -> bool {
-        matches!(
-            self,
-            DataType::Int32 | DataType::Int64 | DataType::Float32 | DataType::Float64
-        )
+        matches!(self, DataType::Int32 | DataType::Int64 | DataType::Float32 | DataType::Float64)
     }
 
     /// Short lowercase name, used by schema (de)serialization and the
@@ -261,10 +258,7 @@ mod tests {
             None,
             "overflowing narrow must fail"
         );
-        assert_eq!(
-            Value::Float32(2.0).cast(DataType::Float64),
-            Some(Value::Float64(2.0))
-        );
+        assert_eq!(Value::Float32(2.0).cast(DataType::Float64), Some(Value::Float64(2.0)));
         assert_eq!(Value::Null.cast(DataType::Int32), Some(Value::Null));
         assert_eq!(Value::Utf8("a".into()).cast(DataType::Int64), None);
     }

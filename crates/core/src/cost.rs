@@ -235,8 +235,7 @@ impl CostModel {
         let t = Instant::now();
         let mut sum = 0u64;
         for chunk in bin.chunks_exact(8) {
-            sum =
-                sum.wrapping_add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+            sum = sum.wrapping_add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
         }
         let bin_value = t.elapsed().as_nanos() as f64 / (bin.len() / 8) as f64;
         std::hint::black_box(sum);
@@ -306,12 +305,7 @@ impl CostModel {
 
     /// Reading one value of `dt` in a *selection-driven late fetch*
     /// (locate + convert + build), or `None` when infeasible.
-    pub fn late_value_cost(
-        &self,
-        format: ScanFormat,
-        dt: DataType,
-        ordered: bool,
-    ) -> Option<f64> {
+    pub fn late_value_cost(&self, format: ScanFormat, dt: DataType, ordered: bool) -> Option<f64> {
         self.late_locate_cost(format, ordered)
             .map(|l| l + self.convert_cost(format, dt) + self.build_value)
     }
@@ -375,8 +369,8 @@ impl CostModel {
         // speculatively reads all remaining columns (§5.3.1) — cheap
         // adjacent reads, but at the *first* filter's selectivity.
         let mut multi = 0.0;
-        let mut multi_applicable = input.filters.len() + input.outputs.len() > 2
-            && !input.filters.is_empty();
+        let mut multi_applicable =
+            input.filters.len() + input.outputs.len() > 2 && !input.filters.is_empty();
         if let Some(first) = input.filters.first() {
             multi += n * self.bottom_value_cost(input.format, first.data_type);
             let after_first = first.selectivity.clamp(0.0, 1.0);
@@ -410,11 +404,7 @@ impl CostModel {
         if multi_applicable {
             estimates.push(("multi", multi));
         }
-        let choice = match estimates
-            .iter()
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(l, _)| *l)
-        {
+        let choice = match estimates.iter().min_by(|a, b| a.1.total_cmp(&b.1)).map(|(l, _)| *l) {
             Some("shreds") => ShredStrategy::ColumnShreds,
             Some("multi") => ShredStrategy::MultiColumnShreds,
             _ => ShredStrategy::FullColumns,
@@ -435,8 +425,7 @@ impl CostModel {
         let f_sel = input.filter_selectivity.clamp(0.0, 1.0);
         let j_sel = (input.filter_selectivity * input.join_retention).clamp(0.0, 1.0);
 
-        let seq: f64 =
-            input.cols.iter().map(|&dt| self.bottom_value_cost(input.format, dt)).sum();
+        let seq: f64 = input.cols.iter().map(|&dt| self.bottom_value_cost(input.format, dt)).sum();
         let late_ordered: f64 = input
             .cols
             .iter()
@@ -459,13 +448,8 @@ impl CostModel {
             JoinSide::Breaking => n * j_sel * late_shuffled,
         };
 
-        let estimates =
-            vec![("early", early), ("intermediate", intermediate), ("late", late)];
-        let choice = match estimates
-            .iter()
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(l, _)| *l)
-        {
+        let estimates = vec![("early", early), ("intermediate", intermediate), ("late", late)];
+        let choice = match estimates.iter().min_by(|a, b| a.1.total_cmp(&b.1)).map(|(l, _)| *l) {
             Some("early") => JoinPlacement::Early,
             Some("intermediate") => JoinPlacement::Intermediate,
             _ => JoinPlacement::Late,
@@ -507,8 +491,7 @@ mod tests {
         let d = m.choose_strategy(&strategy_input(1.0, csv_exact()));
         assert_eq!(d.choice, ShredStrategy::FullColumns, "{}", d.explain());
         let full = d.estimates.iter().find(|(l, _)| *l == "full").expect("has full").1;
-        let shreds =
-            d.estimates.iter().find(|(l, _)| *l == "shreds").expect("has shreds").1;
+        let shreds = d.estimates.iter().find(|(l, _)| *l == "shreds").expect("has shreds").1;
         assert!((full - shreds).abs() < full * 1e-9, "converged curves at 100%");
     }
 
@@ -546,10 +529,8 @@ mod tests {
                 rows: 100.0,
                 ..strategy_input(sel, csv_exact())
             });
-            let large = m.choose_strategy(&StrategyInput {
-                rows: 1e9,
-                ..strategy_input(sel, csv_exact())
-            });
+            let large =
+                m.choose_strategy(&StrategyInput { rows: 1e9, ..strategy_input(sel, csv_exact()) });
             assert_eq!(small.choice, large.choice, "sel={sel}");
         }
     }

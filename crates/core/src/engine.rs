@@ -107,6 +107,20 @@ pub struct EngineConfig {
     pub simulated_compile_latency: Duration,
     /// The cost model consulted by `Adaptive` strategies/placements.
     pub cost_model: CostModel,
+    /// Worker threads for morsel-parallel raw scans (the `raw-exec`
+    /// subsystem). Defaults to the machine's available cores. `1` disables
+    /// the parallel path entirely and reproduces the serial engine
+    /// bit-for-bit; higher values parallelize eligible queries
+    /// (single-table, non-grouped, over CSV/fbin/rootsim-event sources in
+    /// in-situ or JIT mode) and fall back to serial for everything else.
+    pub parallelism: usize,
+    /// Target bytes per parallel morsel. The morsel grid is derived from
+    /// the file size and this knob only — never from `parallelism` — so
+    /// results are identical for any worker count >= 2 (integer aggregates
+    /// are additionally bit-for-bit serial-identical; float SUM/AVG can
+    /// differ from serial in final-bit rounding since per-morsel partial
+    /// sums reassociate the summation).
+    pub morsel_bytes: usize,
 }
 
 impl Default for EngineConfig {
@@ -121,6 +135,8 @@ impl Default for EngineConfig {
             cache_shreds: true,
             simulated_compile_latency: Duration::ZERO,
             cost_model: CostModel::default(),
+            parallelism: raw_exec::available_threads(),
+            morsel_bytes: 256 << 10,
         }
     }
 }
@@ -291,6 +307,21 @@ impl RawEngine {
         let tmpl0 = self.templates.stats();
         let shred0 = self.pool.stats();
 
+        // Morsel-parallel path: engaged only when configured (> 1 worker)
+        // and the query is eligible; everything else — including
+        // `parallelism == 1`, which must reproduce the serial engine
+        // bit-for-bit — continues below unchanged.
+        if self.config.parallelism > 1 {
+            let parallelism = self.config.parallelism;
+            let maybe = {
+                let mut ctx = self.planner_ctx();
+                physical::parallel::try_plan(&mut ctx, resolved, parallelism)?
+            };
+            if let Some(plan) = maybe {
+                return self.execute_parallel(plan, wall_start, io0, tmpl0, shred0);
+            }
+        }
+
         let plan = {
             let mut ctx = self.planner_ctx();
             physical::plan(&mut ctx, resolved)?
@@ -329,13 +360,92 @@ impl RawEngine {
         Ok(QueryResult { batch, column_names: output_names, stats })
     }
 
+    /// Run a morsel-parallel plan on the `raw-exec` worker pool and absorb
+    /// its side effects: positional-map fragments append in morsel order
+    /// into the file-wide map; shred fragments (disjoint global row ranges)
+    /// merge through the ordinary harvest path.
+    fn execute_parallel(
+        &mut self,
+        plan: physical::parallel::ParallelPlan,
+        wall_start: Instant,
+        io0: u64,
+        tmpl0: raw_access::template_cache::CacheStats,
+        shred0: crate::shreds::ShredPoolStats,
+    ) -> Result<QueryResult> {
+        let physical::parallel::ParallelPlan {
+            pipelines,
+            merge,
+            mut harvests,
+            posmap_sinks,
+            explain,
+            output_names,
+        } = plan;
+
+        let outcome = raw_exec::execute_morsels(pipelines, &merge, self.config.parallelism)?;
+        let batch = Batch::concat(&outcome.batches)?;
+        let wall = wall_start.elapsed();
+
+        // Positional-map fragments: append in morsel order (fragment k+1's
+        // rows follow fragment k's), then hand the file-wide map to the
+        // ordinary absorb path.
+        let mut merged: Vec<(String, PositionalMap)> = Vec::new();
+        for (table, sink) in posmap_sinks {
+            let Some(fragment) = sink.lock().take() else { continue };
+            if fragment.is_empty() {
+                continue;
+            }
+            match merged.iter_mut().find(|(t, _)| *t == table) {
+                Some((_, map)) => map.append(&fragment).map_err(|e| {
+                    EngineError::planning(format!("positional map fragment append: {e}"))
+                })?,
+                None => merged.push((table, fragment)),
+            }
+        }
+        for (table, map) in merged {
+            harvests.posmaps.push((table, Arc::new(parking_lot::Mutex::new(Some(map)))));
+        }
+
+        let shred_columns: Vec<(String, String)> =
+            harvests.shreds.iter().map(|(t, c, _)| (t.clone(), c.clone())).collect();
+        let (posmaps_built, shreds_recorded) = self.absorb_harvests(harvests)?;
+
+        // A column whose fragments now cover the whole table is a complete
+        // histogram sample, exactly like a full-column shred recorded by a
+        // serial scan.
+        for (table, column) in shred_columns {
+            if let Some(shred) = self.pool.get(&table, &column) {
+                if shred.is_full() {
+                    self.stats.record_column(&table, &column, shred.dense());
+                }
+            }
+        }
+
+        let tmpl1 = self.templates.stats();
+        let shred1 = self.pool.stats();
+        let stats = QueryStats {
+            wall,
+            scan: outcome.profile,
+            metrics: outcome.metrics,
+            io_bytes: self.files.bytes_from_disk() - io0,
+            compile_time: tmpl1.compile_time - tmpl0.compile_time,
+            template_hits: tmpl1.hits - tmpl0.hits,
+            template_misses: tmpl1.misses - tmpl0.misses,
+            shred_hits: shred1.hits - shred0.hits,
+            shred_misses: shred1.misses - shred0.misses,
+            posmaps_built,
+            shreds_recorded,
+            rows_out: batch.rows() as u64,
+            explain,
+        };
+        Ok(QueryResult { batch, column_names: output_names, stats })
+    }
+
     /// Build a bottom scan over a registered table for a hand-assembled plan
     /// (respects mode, shred pool, recording, positional maps). `cols` are
     /// column names; `tag` labels provenance.
     pub fn plan_scan(&mut self, table: &str, cols: &[&str], tag: u32) -> Result<PlannedScan> {
         let resolved = self.synthetic_query(table, cols)?;
-        let col_refs: Vec<ColRef> =
-            resolved.outputs.iter().map(|o| o.col.clone()).collect();
+        let col_refs: Vec<ColRef> = resolved.outputs.iter().map(|o| o.col.clone()).collect();
         let mut ctx = self.planner_ctx();
         let (op, harvests) =
             physical::standalone_scan(&mut ctx, &resolved, &col_refs, TableTag(tag))?;
@@ -354,8 +464,7 @@ impl RawEngine {
         tag: u32,
     ) -> Result<PlannedScan> {
         let resolved = self.synthetic_query(table, cols)?;
-        let col_refs: Vec<ColRef> =
-            resolved.outputs.iter().map(|o| o.col.clone()).collect();
+        let col_refs: Vec<ColRef> = resolved.outputs.iter().map(|o| o.col.clone()).collect();
         let mut ctx = self.planner_ctx();
         let (op, harvests) = physical::standalone_attach(
             &mut ctx,
@@ -436,9 +545,7 @@ impl RawEngine {
                             data_type: f.data_type,
                         },
                     })
-                    .ok_or_else(|| {
-                        EngineError::resolution(format!("no column {c} in {table}"))
-                    })
+                    .ok_or_else(|| EngineError::resolution(format!("no column {c} in {table}")))
             })
             .collect::<Result<Vec<_>>>()?;
         Ok(ResolvedQuery {

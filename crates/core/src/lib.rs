@@ -14,7 +14,11 @@
 //! - [`physical`] — adaptive physical planning: per-query access-path
 //!   selection (DBMS / external tables / in-situ / JIT), positional-map and
 //!   shred-pool consultation, and scan-operator placement (column shreds,
-//!   join Early/Intermediate/Late points).
+//!   join Early/Intermediate/Late points). Its `parallel` submodule plans
+//!   morsel-parallel execution (one segment-bounded pipeline per morsel,
+//!   run on the `raw-exec` worker pool) for eligible queries when
+//!   [`engine::EngineConfig::parallelism`] exceeds 1; `parallelism: 1`
+//!   reproduces the serial engine bit-for-bit.
 //! - [`shreds`] — the LRU pool of column shreds populated as a side effect
 //!   of query execution.
 //! - [`cost`] / [`table_stats`] — the paper's §8 future-work cost model
@@ -58,8 +62,7 @@ pub mod table_stats;
 pub use catalog::{Catalog, TableDef, TableSource};
 pub use cost::CostModel;
 pub use engine::{
-    AccessMode, EngineConfig, JoinPlacement, PlannedScan, QueryResult, RawEngine,
-    ShredStrategy,
+    AccessMode, EngineConfig, JoinPlacement, PlannedScan, QueryResult, RawEngine, ShredStrategy,
 };
 pub use error::{EngineError, Result};
 pub use stats::QueryStats;

@@ -187,11 +187,7 @@ impl FieldFetcher for PoolBackedFetcher {
     fn fetch(&mut self, rows: &[u64]) -> Result<Vec<Column>, ColumnarError> {
         if self.covered(rows) {
             let idx: Vec<usize> = rows.iter().map(|&r| r as usize).collect();
-            return self
-                .shreds
-                .iter()
-                .map(|s| s.as_ref().expect("covered").gather(&idx))
-                .collect();
+            return self.shreds.iter().map(|s| s.as_ref().expect("covered").gather(&idx)).collect();
         }
         match self.fallback.as_mut() {
             Some(f) => f.fetch(rows),
@@ -280,8 +276,7 @@ mod tests {
             .with_provenance(TableTag(0), vec![3, 8])
             .unwrap();
         let sink_a: ShredSink = Arc::new(Mutex::new(SparseColumn::new(DataType::Int64, 0)));
-        let sink_b: ShredSink =
-            Arc::new(Mutex::new(SparseColumn::new(DataType::Float64, 0)));
+        let sink_b: ShredSink = Arc::new(Mutex::new(SparseColumn::new(DataType::Float64, 0)));
         let mut op = RecordingOp::new(
             Box::new(BatchSource::new(vec![b])),
             TableTag(0),

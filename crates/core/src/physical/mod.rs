@@ -19,6 +19,7 @@
 //!   engine's caches after execution.
 
 pub mod helpers;
+pub(crate) mod parallel;
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -41,12 +42,11 @@ use raw_access::rootsim_path::{
     RootColField, RootCollectionFetcher, RootCollectionProgram, RootCollectionScan,
     RootScalarFetcher, RootScalarProgram, RootScalarScan,
 };
-use raw_access::spec::{AccessPathKind, AccessPathSpec, FileFormat, WantedField};
+use raw_access::spec::{AccessPathKind, AccessPathSpec, FileFormat, ScanSegment, WantedField};
 use raw_access::TemplateCache;
 use raw_columnar::batch::TableTag;
 use raw_columnar::ops::{
-    AggExpr, AggregateOp, FilterOp, HashAggregateOp, HashJoinOp, MemScanOp, Operator,
-    ProjectOp,
+    AggExpr, AggregateOp, FilterOp, HashAggregateOp, HashJoinOp, MemScanOp, Operator, ProjectOp,
 };
 use raw_columnar::{CmpOp, MemTable, Predicate, SparseColumn};
 use raw_formats::file_buffer::{FileBufferPool, FileBytes};
@@ -62,9 +62,7 @@ use crate::plan::{ColRef, ResolvedFilter, ResolvedQuery};
 use crate::shreds::ShredPool;
 use crate::table_stats::StatsRegistry;
 
-use helpers::{
-    HarvestPosMapOp, PoolBackedFetcher, PoolScanOp, PosMapSink, RecordingOp, ShredSink,
-};
+use helpers::{HarvestPosMapOp, PoolBackedFetcher, PoolScanOp, PosMapSink, RecordingOp, ShredSink};
 
 /// Side effects the engine merges back after execution.
 #[derive(Default)]
@@ -163,12 +161,7 @@ impl Planner<'_, '_> {
 
     /// Resolve the materialization strategy for one table, including the
     /// cost-model-driven `Adaptive` choice.
-    fn resolve_strategy(
-        &mut self,
-        q: &ResolvedQuery,
-        t: usize,
-        tc: &TableCols,
-    ) -> ShredStrategy {
+    fn resolve_strategy(&mut self, q: &ResolvedQuery, t: usize, tc: &TableCols) -> ShredStrategy {
         match (self.ctx.config.mode, self.ctx.config.shreds) {
             (AccessMode::Dbms | AccessMode::ExternalTables, _) => ShredStrategy::FullColumns,
             (AccessMode::InSitu, s) if s != ShredStrategy::FullColumns => {
@@ -228,9 +221,7 @@ impl Planner<'_, '_> {
         };
         match &def.source {
             TableSource::Fbin { .. } | TableSource::Ibin { .. } => ScanFormat::FixedBinary,
-            TableSource::RootEvents { .. } | TableSource::RootCollection { .. } => {
-                ScanFormat::Root
-            }
+            TableSource::RootEvents { .. } | TableSource::RootCollection { .. } => ScanFormat::Root,
             TableSource::Csv { .. } => {
                 let Some(map) = self.ctx.posmaps.get(&q.tables[t]) else {
                     return ScanFormat::Csv(PosmapAvail::None);
@@ -239,12 +230,7 @@ impl Planner<'_, '_> {
                 // would fetch late (every filter after the first, plus
                 // outputs).
                 let mut worst = PosmapAvail::Exact;
-                let late_cols = tc
-                    .filters
-                    .iter()
-                    .skip(1)
-                    .map(|f| &f.col)
-                    .chain(tc.outputs.iter());
+                let late_cols = tc.filters.iter().skip(1).map(|f| &f.col).chain(tc.outputs.iter());
                 for col in late_cols {
                     let Ok(field) = def.schema.field(col.schema_idx) else {
                         return ScanFormat::Csv(PosmapAvail::None);
@@ -254,7 +240,10 @@ impl Planner<'_, '_> {
                         raw_posmap::Lookup::Nearest { skip_fields, .. } => {
                             worst = match worst {
                                 PosmapAvail::Nearest { skip_fields: prev }
-                                    if prev >= skip_fields => worst,
+                                    if prev >= skip_fields =>
+                                {
+                                    worst
+                                }
                                 PosmapAvail::None => PosmapAvail::None,
                                 _ => PosmapAvail::Nearest { skip_fields },
                             };
@@ -269,12 +258,7 @@ impl Planner<'_, '_> {
 
     /// Cost-model choice between full columns, shreds, and multi-column
     /// shreds for one table (§5).
-    fn adaptive_strategy(
-        &mut self,
-        q: &ResolvedQuery,
-        t: usize,
-        tc: &TableCols,
-    ) -> ShredStrategy {
+    fn adaptive_strategy(&mut self, q: &ResolvedQuery, t: usize, tc: &TableCols) -> ShredStrategy {
         if tc.filters.is_empty() {
             // No predicate to shred on: everything is read once anyway.
             return ShredStrategy::FullColumns;
@@ -301,11 +285,8 @@ impl Planner<'_, '_> {
             filters: filters.clone(),
             outputs,
         });
-        let sels = filters
-            .iter()
-            .map(|f| format!("{:.3}", f.selectivity))
-            .collect::<Vec<_>>()
-            .join(",");
+        let sels =
+            filters.iter().map(|f| format!("{:.3}", f.selectivity)).collect::<Vec<_>>().join(",");
         self.note(format!(
             "adaptive strategy for {}: {} [est. sel {sels}]",
             q.tables[t],
@@ -335,12 +316,8 @@ impl Planner<'_, '_> {
         // Join retention for this side ≈ the other side's filter
         // selectivity (equi-join against a filtered key set).
         let other = 1 - t;
-        let other_filters: Vec<ResolvedFilter> = q
-            .filters
-            .iter()
-            .filter(|f| f.col.table == other)
-            .cloned()
-            .collect();
+        let other_filters: Vec<ResolvedFilter> =
+            q.filters.iter().filter(|f| f.col.table == other).cloned().collect();
         let join_retention = self.combined_selectivity(q, &other_filters);
         let own_filters: Vec<ResolvedFilter> =
             q.filters.iter().filter(|f| f.col.table == t).cloned().collect();
@@ -394,21 +371,19 @@ impl Planner<'_, '_> {
 
         // Per-table materialization strategy; the Adaptive case consults
         // the cost model with this query's selectivity estimates.
-        let strategies: Vec<ShredStrategy> = (0..q.tables.len())
-            .map(|t| self.resolve_strategy(q, t, &per_table[t]))
-            .collect();
+        let strategies: Vec<ShredStrategy> =
+            (0..q.tables.len()).map(|t| self.resolve_strategy(q, t, &per_table[t])).collect();
 
         let has_join = q.join.is_some();
         let (mut root, layout) = if has_join {
             // Join-side placement is resolved per side: the probe side is
             // pipelined, the build side pipeline-breaking (§5.3.2).
-            let placements: Vec<AttachWhen> = (0..2)
-                .map(|t| self.resolve_placement(q, t, &per_table[t]))
-                .collect();
+            let placements: Vec<AttachWhen> =
+                (0..2).map(|t| self.resolve_placement(q, t, &per_table[t])).collect();
             let probe =
-                self.build_table_pipeline(q, 0, &per_table[0], strategies[0], placements[0])?;
+                self.build_table_pipeline(q, 0, &per_table[0], strategies[0], placements[0], None)?;
             let build =
-                self.build_table_pipeline(q, 1, &per_table[1], strategies[1], placements[1])?;
+                self.build_table_pipeline(q, 1, &per_table[1], strategies[1], placements[1], None)?;
             let j = q.join.as_ref().expect("has_join");
             let probe_key = probe
                 .layout
@@ -461,7 +436,8 @@ impl Planner<'_, '_> {
                 ShredStrategy::FullColumns => AttachWhen::Early,
                 _ => AttachWhen::AfterFilters,
             };
-            let built = self.build_table_pipeline(q, 0, &per_table[0], strategies[0], when)?;
+            let built =
+                self.build_table_pipeline(q, 0, &per_table[0], strategies[0], when, None)?;
             (built.op, built.layout)
         };
 
@@ -479,9 +455,10 @@ impl Planner<'_, '_> {
             for o in &q.outputs {
                 match o.agg {
                     Some(kind) => {
-                        let pos = layout.position(o.col.table, o.col.schema_idx).ok_or_else(
-                            || EngineError::planning("aggregate column not in layout"),
-                        )?;
+                        let pos =
+                            layout.position(o.col.table, o.col.schema_idx).ok_or_else(|| {
+                                EngineError::planning("aggregate column not in layout")
+                            })?;
                         exprs.push(AggExpr { kind, col: pos });
                         out_positions.push(exprs.len()); // key occupies slot 0
                         output_names.push(format!("{}({})", kind.sql(), o.col.name));
@@ -501,26 +478,13 @@ impl Planner<'_, '_> {
             root = Box::new(HashAggregateOp::new(root, key_pos, exprs));
             root = Box::new(ProjectOp::new(root, out_positions));
         } else if q.is_aggregate() {
-            let mut exprs = Vec::with_capacity(q.outputs.len());
-            for o in &q.outputs {
-                let pos = layout
-                    .position(o.col.table, o.col.schema_idx)
-                    .ok_or_else(|| EngineError::planning("aggregate column not in layout"))?;
-                let kind = o.agg.expect("is_aggregate");
-                exprs.push(AggExpr { kind, col: pos });
-                output_names.push(format!("{}({})", kind.sql(), o.col.name));
-            }
+            let (exprs, names) = aggregate_exprs(q, &layout)?;
+            output_names = names;
             self.note(format!("aggregate {}", output_names.join(", ")));
             root = Box::new(AggregateOp::new(root, exprs));
         } else {
-            let mut cols = Vec::with_capacity(q.outputs.len());
-            for o in &q.outputs {
-                let pos = layout
-                    .position(o.col.table, o.col.schema_idx)
-                    .ok_or_else(|| EngineError::planning("projected column not in layout"))?;
-                cols.push(pos);
-                output_names.push(o.col.name.clone());
-            }
+            let (cols, names) = projection_positions(q, &layout)?;
+            output_names = names;
             self.note(format!("project {}", output_names.join(", ")));
             root = Box::new(ProjectOp::new(root, cols));
         }
@@ -534,7 +498,10 @@ impl Planner<'_, '_> {
     }
 
     /// Build one table's pipeline: bottom scan, staged filters, and output
-    /// columns attached per `when`.
+    /// columns attached per `when`. A `segment` restricts the bottom scan to
+    /// one record-aligned morsel of the file (parallel plans build this
+    /// pipeline once per morsel); `None` scans the whole file.
+    #[allow(clippy::too_many_arguments)]
     fn build_table_pipeline(
         &mut self,
         q: &ResolvedQuery,
@@ -542,11 +509,10 @@ impl Planner<'_, '_> {
         tc: &TableCols,
         strategy: ShredStrategy,
         when: AttachWhen,
+        segment: Option<ScanSegment>,
     ) -> Result<Built> {
         // Columns that cannot be fetched late must ride in the bottom scan.
-        let fetchable = |this: &mut Self, col: &ColRef| -> bool {
-            this.can_fetch_late(q, t, col)
-        };
+        let fetchable = |this: &mut Self, col: &ColRef| -> bool { this.can_fetch_late(q, t, col) };
 
         let mut base: Vec<ColRef> = Vec::new();
         let push_base = |cols: &mut Vec<ColRef>, c: &ColRef| {
@@ -612,25 +578,19 @@ impl Planner<'_, '_> {
         }
 
         let (mut op, mut layout) = {
-            let built = self.make_scan(q, t, &base, TableTag(t as u32))?;
+            let built = self.make_scan(q, t, &base, TableTag(t as u32), segment)?;
             (built.op, built.layout)
         };
 
         let apply_filter = |this: &mut Self,
-                                op: Box<dyn Operator>,
-                                layout: &Layout,
-                                f: &ResolvedFilter|
+                            op: Box<dyn Operator>,
+                            layout: &Layout,
+                            f: &ResolvedFilter|
          -> Result<Box<dyn Operator>> {
             let pos = layout
                 .position(t, f.col.schema_idx)
                 .ok_or_else(|| EngineError::planning("filter column not in layout"))?;
-            this.note(format!(
-                "filter {}.{} {} {}",
-                q.tables[t],
-                f.col.name,
-                f.op.sql(),
-                f.value
-            ));
+            this.note(format!("filter {}.{} {} {}", q.tables[t], f.col.name, f.op.sql(), f.value));
             Ok(Box::new(FilterOp::new(op, predicate(pos, f.op, &f.value))))
         };
 
@@ -759,10 +719,19 @@ impl Planner<'_, '_> {
         t: usize,
         cols: &[ColRef],
         tag: TableTag,
+        segment: Option<ScanSegment>,
     ) -> Result<Built> {
         let name = q.tables[t].clone();
         let def = self.ctx.catalog.get(&name)?.clone();
         let batch = self.ctx.config.batch_size;
+
+        if segment.is_some()
+            && !matches!(self.ctx.config.mode, AccessMode::InSitu | AccessMode::Jit)
+        {
+            return Err(EngineError::planning(
+                "segmented scans exist only for in-situ/JIT access paths",
+            ));
+        }
 
         let mut layout = Layout::default();
 
@@ -797,24 +766,19 @@ impl Planner<'_, '_> {
                     layout.push(t, c.schema_idx);
                 }
                 self.note(format!("scan {name} [external table: full re-parse]"));
-                let op = ExternalTableScan::new(
-                    buf,
-                    format,
-                    def.schema.clone(),
-                    positions,
-                    tag,
-                    batch,
-                );
+                let op =
+                    ExternalTableScan::new(buf, format, def.schema.clone(), positions, tag, batch);
                 Ok(Built { op: Box::new(op), layout })
             }
             AccessMode::InSitu | AccessMode::Jit => {
-                self.make_raw_scan(q, t, &name, &def, cols, tag)
+                self.make_raw_scan(q, t, &name, &def, cols, tag, segment)
             }
         }
     }
 
     /// In-situ / JIT scan with shred-pool integration and side-effect
     /// recording.
+    #[allow(clippy::too_many_arguments)]
     fn make_raw_scan(
         &mut self,
         q: &ResolvedQuery,
@@ -823,16 +787,20 @@ impl Planner<'_, '_> {
         def: &crate::catalog::TableDef,
         cols: &[ColRef],
         tag: TableTag,
+        segment: Option<ScanSegment>,
     ) -> Result<Built> {
         let batch = self.ctx.config.batch_size;
 
         // Split requested columns into pool-served (full shreds) and
-        // file-read columns.
+        // file-read columns. Segmented (per-morsel) scans read everything
+        // from the file: a whole-file PoolScan cannot serve one morsel, and
+        // the parallel planner routes fully-cached queries to the serial
+        // pool path before segmenting.
         let mut pool_cols: Vec<(ColRef, Arc<SparseColumn>)> = Vec::new();
         let mut file_cols: Vec<ColRef> = Vec::new();
         for c in cols {
             match self.ctx.pool.get(name, &c.name) {
-                Some(s) if s.is_full() => pool_cols.push((c.clone(), s)),
+                Some(s) if s.is_full() && segment.is_none() => pool_cols.push((c.clone(), s)),
                 _ => file_cols.push(c.clone()),
             }
         }
@@ -855,7 +823,7 @@ impl Planner<'_, '_> {
         }
 
         // File scan for the uncached columns.
-        op = self.make_file_scan(q, t, name, def, &file_cols, tag)?;
+        op = self.make_file_scan(q, t, name, def, &file_cols, tag, segment)?;
         for c in &file_cols {
             layout.push(t, c.schema_idx);
         }
@@ -864,8 +832,7 @@ impl Planner<'_, '_> {
         if self.ctx.config.cache_shreds {
             let mut recordings = Vec::new();
             for (pos, c) in file_cols.iter().enumerate() {
-                let sink: ShredSink =
-                    Arc::new(Mutex::new(SparseColumn::new(c.data_type, 0)));
+                let sink: ShredSink = Arc::new(Mutex::new(SparseColumn::new(c.data_type, 0)));
                 recordings.push((pos, Arc::clone(&sink)));
                 self.harvests.shreds.push((name.to_owned(), c.name.clone(), sink));
             }
@@ -892,7 +859,10 @@ impl Planner<'_, '_> {
         Ok(Built { op, layout })
     }
 
-    /// The raw-file scan itself (no pool interaction).
+    /// The raw-file scan itself (no pool interaction). With a `segment`, the
+    /// scan covers one record-aligned morsel and emits provenance row ids
+    /// from the segment's global range.
+    #[allow(clippy::too_many_arguments)]
     fn make_file_scan(
         &mut self,
         q: &ResolvedQuery,
@@ -901,9 +871,18 @@ impl Planner<'_, '_> {
         def: &crate::catalog::TableDef,
         cols: &[ColRef],
         tag: TableTag,
+        segment: Option<ScanSegment>,
     ) -> Result<Box<dyn Operator>> {
         let batch = self.ctx.config.batch_size;
         let jit = self.ctx.config.mode == AccessMode::Jit;
+
+        if segment.is_some()
+            && matches!(def.source, TableSource::Ibin { .. } | TableSource::RootCollection { .. })
+        {
+            return Err(EngineError::planning(
+                "segmented scans are not available for ibin/root-collection sources",
+            ));
+        }
 
         match &def.source {
             TableSource::Csv { .. } => {
@@ -915,10 +894,7 @@ impl Planner<'_, '_> {
                 // yet for this table.
                 let record_positions = if posmap.is_none() {
                     let query_cols: Vec<usize> = query_source_ordinals(q, t, def);
-                    self.ctx
-                        .config
-                        .posmap_policy
-                        .resolve(def.schema.len(), &query_cols)
+                    self.ctx.config.posmap_policy.resolve(def.schema.len(), &query_cols)
                 } else {
                     Vec::new()
                 };
@@ -940,24 +916,28 @@ impl Planner<'_, '_> {
                 let sink: PosMapSink = Arc::new(Mutex::new(None));
                 self.harvests.posmaps.push((name.to_owned(), Arc::clone(&sink)));
 
+                let seg = segment.unwrap_or_default();
                 if jit {
                     let key = spec.fingerprint() ^ posmap_fingerprint(posmap.as_deref());
-                    let (program, hit) = self.ctx.templates.get_or_compile(key, || {
-                        compile_program(&spec, posmap.as_deref())
-                    });
+                    let (program, hit) = self
+                        .ctx
+                        .templates
+                        .get_or_compile(key, || compile_program(&spec, posmap.as_deref()));
                     let program: Arc<CsvProgram> = program;
                     self.note(format!(
                         "scan {name} [csv jit{}] cols {:?}",
                         if hit { ", template cache hit" } else { ", compiled" },
                         cols.iter().map(|c| c.name.as_str()).collect::<Vec<_>>()
                     ));
-                    Ok(Box::new(HarvestPosMapOp::new(JitCsvScan::new(input, program), sink)))
+                    let scan = JitCsvScan::new(input, program).with_segment(seg);
+                    Ok(Box::new(HarvestPosMapOp::new(scan, sink)))
                 } else {
                     self.note(format!(
                         "scan {name} [csv in-situ] cols {:?}",
                         cols.iter().map(|c| c.name.as_str()).collect::<Vec<_>>()
                     ));
-                    Ok(Box::new(HarvestPosMapOp::new(InSituCsvScan::new(input), sink)))
+                    let scan = InSituCsvScan::new(input).with_segment(seg);
+                    Ok(Box::new(HarvestPosMapOp::new(scan, sink)))
                 }
             }
             TableSource::Fbin { .. } => {
@@ -965,9 +945,7 @@ impl Planner<'_, '_> {
                 // Deterministic layouts publish the row count for free;
                 // record it so shred-fullness checks and the cost model
                 // have the truth.
-                self.ctx
-                    .stats
-                    .record_rows(name, raw_formats::fbin::FbinLayout::parse(&buf)?.rows);
+                self.ctx.stats.record_rows(name, raw_formats::fbin::FbinLayout::parse(&buf)?.rows);
                 let wanted = wanted_fields(def, cols)?;
                 let spec = AccessPathSpec {
                     format: FileFormat::Fbin,
@@ -976,27 +954,32 @@ impl Planner<'_, '_> {
                     kind: AccessPathKind::FullScan,
                     record_positions: Vec::new(),
                 };
-                let input = FbinScanInput { buf: Arc::clone(&buf), spec: spec.clone(), tag, batch_size: batch };
+                let input = FbinScanInput {
+                    buf: Arc::clone(&buf),
+                    spec: spec.clone(),
+                    tag,
+                    batch_size: batch,
+                };
+                let seg = segment.unwrap_or_default();
                 if jit {
                     let layout = raw_formats::fbin::FbinLayout::parse(&buf)?;
                     let key = spec.fingerprint() ^ layout.rows;
                     let program_res: std::result::Result<FbinProgram, _> =
                         compile_fbin_program(&spec, &layout);
                     let program = program_res.map_err(EngineError::from)?;
-                    let (program, hit) =
-                        self.ctx.templates.get_or_compile(key, move || program);
+                    let (program, hit) = self.ctx.templates.get_or_compile(key, move || program);
                     self.note(format!(
                         "scan {name} [fbin jit{}] cols {:?}",
                         if hit { ", template cache hit" } else { ", compiled" },
                         cols.iter().map(|c| c.name.as_str()).collect::<Vec<_>>()
                     ));
-                    Ok(Box::new(JitFbinScan::new(input, program)))
+                    Ok(Box::new(JitFbinScan::new(input, program).with_segment(seg)))
                 } else {
                     self.note(format!(
                         "scan {name} [fbin in-situ] cols {:?}",
                         cols.iter().map(|c| c.name.as_str()).collect::<Vec<_>>()
                     ));
-                    Ok(Box::new(InSituFbinScan::new(input)?))
+                    Ok(Box::new(InSituFbinScan::new(input)?.with_segment(seg)))
                 }
             }
             TableSource::Ibin { .. } => {
@@ -1027,13 +1010,11 @@ impl Planner<'_, '_> {
                     // above the scan, so pruning is free to be page-
                     // granular.
                     let preds = ibin_prune_preds(q, t, def);
-                    let key =
-                        spec.fingerprint() ^ layout.rows ^ prune_fingerprint(&preds);
-                    let program = compile_ibin_program(&spec, &layout, &preds)
-                        .map_err(EngineError::from)?;
+                    let key = spec.fingerprint() ^ layout.rows ^ prune_fingerprint(&preds);
+                    let program =
+                        compile_ibin_program(&spec, &layout, &preds).map_err(EngineError::from)?;
                     let pruned = program.rows_pruned;
-                    let (program, hit) =
-                        self.ctx.templates.get_or_compile(key, move || program);
+                    let (program, hit) = self.ctx.templates.get_or_compile(key, move || program);
                     self.note(format!(
                         "scan {name} [ibin jit{}, index pruned {pruned} rows] cols {:?}",
                         if hit { ", template cache hit" } else { ", compiled" },
@@ -1057,7 +1038,9 @@ impl Planner<'_, '_> {
                     "scan {name} [rootsim events, id-based] cols {:?}",
                     cols.iter().map(|c| c.name.as_str()).collect::<Vec<_>>()
                 ));
-                Ok(Box::new(RootScalarScan::new(file, program, tag, batch)))
+                let scan = RootScalarScan::new(file, program, tag, batch)
+                    .with_segment(segment.unwrap_or_default());
+                Ok(Box::new(scan))
             }
             TableSource::RootCollection { collection, parent_scalar, .. } => {
                 let file = self.open_root(def)?;
@@ -1131,8 +1114,7 @@ impl Planner<'_, '_> {
         if self.ctx.config.cache_shreds {
             let mut recordings = Vec::new();
             for (i, c) in cols.iter().enumerate() {
-                let sink: ShredSink =
-                    Arc::new(Mutex::new(SparseColumn::new(c.data_type, 0)));
+                let sink: ShredSink = Arc::new(Mutex::new(SparseColumn::new(c.data_type, 0)));
                 recordings.push((attach_base + i, Arc::clone(&sink)));
                 self.harvests.shreds.push((name.clone(), c.name.clone(), sink));
             }
@@ -1338,18 +1320,46 @@ fn predicate(pos: usize, op: CmpOp, value: &raw_columnar::Value) -> Predicate {
     Predicate::Cmp { col: pos, op, lit: value.clone() }
 }
 
-fn wanted_fields(
-    def: &crate::catalog::TableDef,
-    cols: &[ColRef],
-) -> Result<Vec<WantedField>> {
+/// Resolve an all-aggregates select list against a pipeline layout: the
+/// aggregate expressions (batch positions) and the output column names.
+/// Shared by the serial plan top ([`Planner::plan_query`]) and the parallel
+/// plan's merge construction so the two can never drift.
+fn aggregate_exprs(q: &ResolvedQuery, layout: &Layout) -> Result<(Vec<AggExpr>, Vec<String>)> {
+    let mut exprs = Vec::with_capacity(q.outputs.len());
+    let mut names = Vec::with_capacity(q.outputs.len());
+    for o in &q.outputs {
+        let pos = layout
+            .position(o.col.table, o.col.schema_idx)
+            .ok_or_else(|| EngineError::planning("aggregate column not in layout"))?;
+        let kind = o.agg.expect("is_aggregate");
+        exprs.push(AggExpr { kind, col: pos });
+        names.push(format!("{}({})", kind.sql(), o.col.name));
+    }
+    Ok((exprs, names))
+}
+
+/// Resolve a plain select list against a pipeline layout: projected batch
+/// positions and output column names. Shared by the serial and parallel
+/// plan tops.
+fn projection_positions(q: &ResolvedQuery, layout: &Layout) -> Result<(Vec<usize>, Vec<String>)> {
+    let mut cols = Vec::with_capacity(q.outputs.len());
+    let mut names = Vec::with_capacity(q.outputs.len());
+    for o in &q.outputs {
+        let pos = layout
+            .position(o.col.table, o.col.schema_idx)
+            .ok_or_else(|| EngineError::planning("projected column not in layout"))?;
+        cols.push(pos);
+        names.push(o.col.name.clone());
+    }
+    Ok((cols, names))
+}
+
+fn wanted_fields(def: &crate::catalog::TableDef, cols: &[ColRef]) -> Result<Vec<WantedField>> {
     cols.iter()
         .map(|c| {
             def.schema
                 .field(c.schema_idx)
-                .map(|f| WantedField {
-                    source_ordinal: f.source_ordinal,
-                    data_type: f.data_type,
-                })
+                .map(|f| WantedField { source_ordinal: f.source_ordinal, data_type: f.data_type })
                 .map_err(EngineError::from)
         })
         .collect()
@@ -1388,11 +1398,7 @@ fn query_source_ordinals(
 /// This table's filter conjuncts as pushed-down pruning predicates
 /// (file-ordinal column references). Incomparable literals are passed
 /// through; the zone tests simply decline to prune on them.
-fn ibin_prune_preds(
-    q: &ResolvedQuery,
-    t: usize,
-    def: &crate::catalog::TableDef,
-) -> Vec<PrunePred> {
+fn ibin_prune_preds(q: &ResolvedQuery, t: usize, def: &crate::catalog::TableDef) -> Vec<PrunePred> {
     q.filters
         .iter()
         .filter(|f| f.col.table == t)
@@ -1418,12 +1424,7 @@ fn posmap_fingerprint(map: Option<&PositionalMap>) -> u64 {
 }
 
 fn check_contiguous(def: &crate::catalog::TableDef) -> Result<()> {
-    let contiguous = def
-        .schema
-        .fields()
-        .iter()
-        .enumerate()
-        .all(|(i, f)| f.source_ordinal == i);
+    let contiguous = def.schema.fields().iter().enumerate().all(|(i, f)| f.source_ordinal == i);
     if contiguous {
         Ok(())
     } else {
@@ -1477,10 +1478,7 @@ fn root_collection_program(
             fields.push((RootColField::ParentScalar(id), file.scalar_type(id)));
         } else {
             let id = file.field(coll, &field.name).ok_or_else(|| {
-                EngineError::planning(format!(
-                    "no field {} in collection {collection}",
-                    field.name
-                ))
+                EngineError::planning(format!("no field {} in collection {collection}", field.name))
             })?;
             fields.push((RootColField::Item(id), file.field_type(coll, id)));
         }
@@ -1501,7 +1499,7 @@ pub(crate) fn standalone_scan(
     tag: TableTag,
 ) -> Result<(Box<dyn Operator>, Harvests)> {
     let mut planner = Planner { ctx, explain: Vec::new(), harvests: Harvests::default() };
-    let built = planner.make_scan(q, 0, cols, tag)?;
+    let built = planner.make_scan(q, 0, cols, tag, None)?;
     Ok((built.op, std::mem::take(&mut planner.harvests)))
 }
 

@@ -1,0 +1,257 @@
+//! Morsel-parallel physical planning.
+//!
+//! [`try_plan`] decides whether a resolved query is eligible for the
+//! parallel path and, if so, partitions the raw file into record-aligned
+//! morsels (via `raw-exec`) and builds one full scan→filter→attach pipeline
+//! per morsel through the ordinary [`super::Planner`] machinery — the same
+//! access-path selection, shred staging, and side-effect recording as the
+//! serial planner, just bounded to one [`ScanSegment`] each.
+//!
+//! Eligible today: single-table queries without `GROUP BY` over CSV, fbin,
+//! and rootsim-event sources under the in-situ or JIT access modes.
+//! Everything else (joins, grouped aggregation, ibin's pruned scans,
+//! root collections, DBMS/external modes, fully-shred-cached tables) falls
+//! back to the serial plan — correctness first, coverage growing per the
+//! roadmap.
+//!
+//! Determinism: the morsel grid is a function of the file and the
+//! `morsel_bytes` knob only, never of the worker count, so any
+//! `parallelism >= 2` produces identical results (and `parallelism == 1`
+//! never enters this module at all — the serial path is untouched).
+
+use raw_exec::{partition_csv, partition_csv_with_map, partition_rows, MergePlan, Morsel};
+
+use raw_access::spec::ScanSegment;
+use raw_columnar::ops::{Operator, ProjectOp};
+use raw_formats::fbin::FbinLayout;
+
+use crate::catalog::TableSource;
+use crate::engine::{AccessMode, ShredStrategy};
+use crate::error::Result;
+use crate::plan::ResolvedQuery;
+
+use super::helpers::PosMapSink;
+use super::{AttachWhen, Harvests, Planner, PlannerCtx, TableCols};
+
+/// Never split a file into more morsels than this: beyond a few hundred the
+/// per-morsel planning and merge overhead buys no extra load balance.
+const MAX_MORSELS: usize = 256;
+
+/// A ready-to-run parallel plan: one pipeline per morsel plus the merge
+/// recipe and the side-effect channels the engine absorbs after the barrier.
+pub(crate) struct ParallelPlan {
+    /// One operator pipeline per morsel, in morsel order.
+    pub pipelines: Vec<Box<dyn Operator>>,
+    /// How per-morsel outputs combine.
+    pub merge: MergePlan,
+    /// Shred sinks from every morsel (disjoint global row ranges; the
+    /// engine's ordinary absorb path merges them into the shared pool).
+    pub harvests: Harvests,
+    /// Positional-map fragment sinks in morsel order, with the table each
+    /// belongs to; the engine appends fragments in this order to recover the
+    /// file-wide map.
+    pub posmap_sinks: Vec<(String, PosMapSink)>,
+    /// Plan description.
+    pub explain: Vec<String>,
+    /// Output column names.
+    pub output_names: Vec<String>,
+}
+
+/// Plan `q` for morsel-parallel execution, or `None` when the query (or the
+/// engine state) wants the serial path.
+pub(crate) fn try_plan(
+    ctx: &mut PlannerCtx<'_>,
+    q: &ResolvedQuery,
+    threads: usize,
+) -> Result<Option<ParallelPlan>> {
+    if threads < 2
+        || q.tables.len() != 1
+        || q.join.is_some()
+        || q.group_by.is_some()
+        || !matches!(ctx.config.mode, AccessMode::InSitu | AccessMode::Jit)
+    {
+        return Ok(None);
+    }
+    let name = q.tables[0].clone();
+    let def = ctx.catalog.get(&name)?.clone();
+    if !matches!(
+        def.source,
+        TableSource::Csv { .. } | TableSource::Fbin { .. } | TableSource::RootEvents { .. }
+    ) {
+        return Ok(None);
+    }
+
+    // Fully-cached tables: the serial PoolScan path is already memory-speed
+    // and whole-file shaped; don't segment it.
+    let all_pooled =
+        query_columns(q).iter().all(|col| ctx.pool.get(&name, col).is_some_and(|s| s.is_full()));
+    if all_pooled {
+        return Ok(None);
+    }
+
+    let mut planner = Planner { ctx, explain: Vec::new(), harvests: Harvests::default() };
+
+    // Partition the file. The grid depends on the file (and the morsel-size
+    // knob), never on `threads`, so results are thread-count invariant.
+    let morsel_bytes = planner.ctx.config.morsel_bytes.max(1);
+    let morsels: Vec<Morsel> = match &def.source {
+        TableSource::Csv { .. } => {
+            let buf = planner.ctx.files.read(def.source.path())?;
+            let target = (buf.len() / morsel_bytes).clamp(1, MAX_MORSELS);
+            // Positional-map entries double as split hints: column 0's
+            // recorded positions are the record starts, so no probe pass.
+            let hinted = planner
+                .ctx
+                .posmaps
+                .get(&name)
+                .and_then(|m| partition_csv_with_map(m, buf.len(), target));
+            match hinted {
+                Some(ms) => ms,
+                None => {
+                    let p = partition_csv(&buf, target);
+                    // The probe splits on raw newlines (the JIT dialect).
+                    // The general-purpose in-situ scan is quote-aware, so a
+                    // quote-bearing file could hide a newline inside a field
+                    // the probe would treat as a record boundary — decline
+                    // to split and stay serial. (Map-hinted boundaries above
+                    // come from an actual parse, so they stay eligible.)
+                    if p.saw_quote && ctx_mode_is_insitu(planner.ctx) {
+                        return Ok(None);
+                    }
+                    p.morsels
+                }
+            }
+        }
+        TableSource::Fbin { .. } => {
+            let buf = planner.ctx.files.read(def.source.path())?;
+            let layout = FbinLayout::parse(&buf)?;
+            let rows_per_morsel = (morsel_bytes / layout.row_width.max(1)).max(1) as u64;
+            let target = (layout.rows / rows_per_morsel).clamp(1, MAX_MORSELS as u64);
+            partition_rows(layout.rows, target as usize)
+        }
+        TableSource::RootEvents { .. } => {
+            let file = planner.open_root(&def)?;
+            let events = file.num_events();
+            let bytes_per_event = (8 * def.schema.len()).max(1);
+            let rows_per_morsel = (morsel_bytes / bytes_per_event).max(1) as u64;
+            let target = (events / rows_per_morsel).clamp(1, MAX_MORSELS as u64);
+            partition_rows(events, target as usize)
+        }
+        _ => unreachable!("gated above"),
+    };
+    if morsels.len() < 2 {
+        return Ok(None); // nothing to parallelize
+    }
+    let text_format = matches!(def.source, TableSource::Csv { .. });
+
+    // Slice the single table the way the serial planner does.
+    let mut tc = TableCols { filters: Vec::new(), join_key: None, outputs: Vec::new() };
+    for f in &q.filters {
+        tc.filters.push(f.clone());
+    }
+    for o in &q.outputs {
+        if !tc.outputs.iter().any(|c| c.schema_idx == o.col.schema_idx) {
+            tc.outputs.push(o.col.clone());
+        }
+    }
+
+    let strategy = planner.resolve_strategy(q, 0, &tc);
+    let when = match strategy {
+        ShredStrategy::FullColumns => AttachWhen::Early,
+        _ => AttachWhen::AfterFilters,
+    };
+
+    let mut pipelines: Vec<Box<dyn Operator>> = Vec::with_capacity(morsels.len());
+    let mut posmap_sinks: Vec<(String, PosMapSink)> = Vec::new();
+    let mut harvests = Harvests::default();
+    let mut merge: Option<MergePlan> = None;
+    let mut output_names: Vec<String> = Vec::new();
+    let mut explain_len = 0usize;
+
+    for morsel in &morsels {
+        let segment = if text_format {
+            ScanSegment {
+                first_row: morsel.first_row,
+                end_row: Some(morsel.end_row),
+                byte_start: morsel.byte_start,
+                byte_end: Some(morsel.byte_end),
+            }
+        } else {
+            ScanSegment::rows(morsel.first_row, morsel.end_row)
+        };
+        let built = planner.build_table_pipeline(q, 0, &tc, strategy, when, Some(segment))?;
+        let mut op = built.op;
+        let layout = built.layout;
+
+        // The plan top, resolved with the same helpers as the serial
+        // planner: scalar aggregation becomes per-morsel partial state
+        // merged by raw-exec; projections apply per morsel and concatenate.
+        if merge.is_none() {
+            if q.is_aggregate() {
+                let (exprs, names) = super::aggregate_exprs(q, &layout)?;
+                output_names = names;
+                merge = Some(MergePlan::Aggregate(exprs));
+            } else {
+                let (_, names) = super::projection_positions(q, &layout)?;
+                output_names = names;
+                merge = Some(MergePlan::Concat);
+            }
+        }
+        if matches!(merge, Some(MergePlan::Concat)) {
+            let (cols, _) = super::projection_positions(q, &layout)?;
+            op = Box::new(ProjectOp::new(op, cols));
+        }
+        pipelines.push(op);
+
+        // Pull this morsel's posmap sink out so fragments can be appended in
+        // morsel order after execution (the generic merge path would reject
+        // them: fragments have disjoint row ranges, not equal ones).
+        for (table, sink) in planner.harvests.posmaps.drain(..) {
+            posmap_sinks.push((table, sink));
+        }
+        harvests.shreds.append(&mut planner.harvests.shreds);
+
+        // Keep the plan description readable: one morsel's worth of scan
+        // notes describes them all.
+        match explain_len {
+            0 => explain_len = planner.explain.len(),
+            n => planner.explain.truncate(n),
+        }
+    }
+
+    let merge = merge.expect("at least two morsels built");
+    planner.explain.push(format!(
+        "parallel: {} morsels x {} threads [{}]",
+        morsels.len(),
+        threads,
+        match &merge {
+            MergePlan::Concat => "concat in morsel order",
+            MergePlan::Aggregate(_) => "partial aggregates merged in morsel order",
+        }
+    ));
+    let explain = std::mem::take(&mut planner.explain);
+
+    Ok(Some(ParallelPlan { pipelines, merge, harvests, posmap_sinks, explain, output_names }))
+}
+
+/// Whether the engine is in general-purpose in-situ mode (quote-aware CSV
+/// tokenizing, unlike the JIT dialect).
+fn ctx_mode_is_insitu(ctx: &PlannerCtx<'_>) -> bool {
+    ctx.config.mode == AccessMode::InSitu
+}
+
+/// Names of every column the query touches (filters and outputs).
+fn query_columns(q: &ResolvedQuery) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for f in &q.filters {
+        if !out.contains(&f.col.name) {
+            out.push(f.col.name.clone());
+        }
+    }
+    for o in &q.outputs {
+        if !out.contains(&o.col.name) {
+            out.push(o.col.name.clone());
+        }
+    }
+    out
+}

@@ -83,9 +83,7 @@ pub fn resolve(stmt: &SelectStmt, catalog: &Catalog) -> Result<ResolvedQuery> {
     let mut tables = vec![stmt.from.clone()];
     if let Some(j) = &stmt.join {
         if j.table == stmt.from {
-            return Err(EngineError::resolution(
-                "self-joins need distinct table registrations",
-            ));
+            return Err(EngineError::resolution("self-joins need distinct table registrations"));
         }
         tables.push(j.table.clone());
     }
@@ -96,12 +94,9 @@ pub fn resolve(stmt: &SelectStmt, catalog: &Catalog) -> Result<ResolvedQuery> {
     let lookup = |col: &ColName| -> Result<ColRef> {
         match &col.table {
             Some(t) => {
-                let idx = tables
-                    .iter()
-                    .position(|name| name == t)
-                    .ok_or_else(|| {
-                        EngineError::resolution(format!("table {t} not in FROM/JOIN"))
-                    })?;
+                let idx = tables.iter().position(|name| name == t).ok_or_else(|| {
+                    EngineError::resolution(format!("table {t} not in FROM/JOIN"))
+                })?;
                 bind(catalog, &tables, idx, &col.column)
             }
             None => {
@@ -131,11 +126,7 @@ pub fn resolve(stmt: &SelectStmt, catalog: &Catalog) -> Result<ResolvedQuery> {
             let (probe_col, build_col) = match (a.table, b.table) {
                 (0, 1) => (a, b),
                 (1, 0) => (b, a),
-                _ => {
-                    return Err(EngineError::resolution(
-                        "join keys must reference both tables",
-                    ))
-                }
+                _ => return Err(EngineError::resolution("join keys must reference both tables")),
             };
             Some(ResolvedJoin { probe_col, build_col })
         }
@@ -193,12 +184,7 @@ fn bind(catalog: &Catalog, tables: &[String], table: usize, column: &str) -> Res
     let (schema_idx, field) = def.schema.field_by_name(column).ok_or_else(|| {
         EngineError::resolution(format!("no column {column} in table {}", tables[table]))
     })?;
-    Ok(ColRef {
-        table,
-        name: column.to_owned(),
-        schema_idx,
-        data_type: field.data_type,
-    })
+    Ok(ColRef { table, name: column.to_owned(), schema_idx, data_type: field.data_type })
 }
 
 #[cfg(test)]
@@ -234,10 +220,9 @@ mod tests {
     #[test]
     fn resolves_join_and_normalizes_sides() {
         // Keys written build-first still normalize to (probe, build).
-        let stmt = parse(
-            "SELECT MAX(file2.col11) FROM file1 JOIN file2 ON file2.col1 = file1.col1",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT MAX(file2.col11) FROM file1 JOIN file2 ON file2.col1 = file1.col1")
+                .unwrap();
         let q = resolve(&stmt, &catalog()).unwrap();
         let j = q.join.unwrap();
         assert_eq!(j.probe_col.table, 0);
@@ -266,10 +251,8 @@ mod tests {
 
     #[test]
     fn join_keys_must_span_tables() {
-        let stmt = parse(
-            "SELECT MAX(col11) FROM file1 JOIN file2 ON file1.col1 = file1.col2",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT MAX(col11) FROM file1 JOIN file2 ON file1.col1 = file1.col2").unwrap();
         assert!(resolve(&stmt, &catalog()).is_err());
     }
 

@@ -135,10 +135,8 @@ impl ShredPool {
             }
             None => {
                 let bytes = shred_bytes(&incoming);
-                self.entries.insert(
-                    key,
-                    Entry { shred: Arc::new(incoming), last_used: self.clock, bytes },
-                );
+                self.entries
+                    .insert(key, Entry { shred: Arc::new(incoming), last_used: self.clock, bytes });
             }
         }
         self.evict_to_budget();

@@ -151,9 +151,8 @@ impl<'a> Lexer<'a> {
                     {
                         lx.pos += 1;
                     }
-                    let word = std::str::from_utf8(&lx.src[start..lx.pos])
-                        .expect("ascii")
-                        .to_owned();
+                    let word =
+                        std::str::from_utf8(&lx.src[start..lx.pos]).expect("ascii").to_owned();
                     lx.tokens.push((Token::Ident(word), start));
                 }
                 b'0'..=b'9' => {
@@ -167,9 +166,8 @@ impl<'a> Lexer<'a> {
                     {
                         lx.pos += 1;
                     }
-                    let num = std::str::from_utf8(&lx.src[start..lx.pos])
-                        .expect("ascii")
-                        .to_owned();
+                    let num =
+                        std::str::from_utf8(&lx.src[start..lx.pos]).expect("ascii").to_owned();
                     lx.tokens.push((Token::Number(num), start));
                 }
                 b'<' => {
@@ -484,10 +482,8 @@ mod tests {
 
     #[test]
     fn multiple_items_and_predicates() {
-        let s = parse(
-            "SELECT MAX(col6), COUNT(col1) FROM f WHERE col1 < 10 AND col5 >= 3",
-        )
-        .unwrap();
+        let s =
+            parse("SELECT MAX(col6), COUNT(col1) FROM f WHERE col1 < 10 AND col5 >= 3").unwrap();
         assert_eq!(s.items.len(), 2);
         assert_eq!(s.items[1].agg, Some(AggKind::Count));
         assert_eq!(s.predicates.len(), 2);
@@ -548,10 +544,7 @@ mod tests {
     #[test]
     fn group_by_clause() {
         let s = parse("SELECT region, COUNT(x) FROM t GROUP BY region").unwrap();
-        assert_eq!(
-            s.group_by,
-            Some(ColName { table: None, column: "region".into() })
-        );
+        assert_eq!(s.group_by, Some(ColName { table: None, column: "region".into() }));
         let s = parse("SELECT COUNT(x) FROM t WHERE x < 3 GROUP BY t.region").unwrap();
         assert_eq!(s.group_by.as_ref().unwrap().table.as_deref(), Some("t"));
         // GROUP without BY, or BY without a column, are errors.

@@ -216,13 +216,7 @@ impl StatsRegistry {
 
     /// Estimated selectivity of `table.column <op> lit`, or `None` when no
     /// histogram has been harvested yet.
-    pub fn estimate(
-        &self,
-        table: &str,
-        column: &str,
-        op: CmpOp,
-        lit: &Value,
-    ) -> Option<f64> {
+    pub fn estimate(&self, table: &str, column: &str, op: CmpOp, lit: &Value) -> Option<f64> {
         self.histogram(table, column)?.selectivity(op, lit)
     }
 
@@ -259,10 +253,7 @@ mod tests {
             let x = Value::Int64(i64::from(pct) * 100);
             let est = h.selectivity(CmpOp::Lt, &x).unwrap();
             let truth = f64::from(pct) / 100.0;
-            assert!(
-                (est - truth).abs() < 0.02,
-                "sel(col < {pct}%) = {est}, want ~{truth}"
-            );
+            assert!((est - truth).abs() < 0.02, "sel(col < {pct}%) = {est}, want ~{truth}");
         }
     }
 

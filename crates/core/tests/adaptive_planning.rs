@@ -76,9 +76,7 @@ fn statistics_are_harvested_as_side_effects() {
     assert_eq!(h.rows(), ROWS as u64);
 
     // And the estimate is close to the literal's design selectivity.
-    let sel = stats
-        .estimate("file1", "col1", raw_columnar::CmpOp::Lt, &Value::Int64(x))
-        .unwrap();
+    let sel = stats.estimate("file1", "col1", raw_columnar::CmpOp::Lt, &Value::Int64(x)).unwrap();
     assert!((sel - 0.4).abs() < 0.1, "estimated {sel}, designed 0.4");
 }
 
@@ -123,9 +121,7 @@ fn adaptive_picks_shreds_at_low_selectivity_and_full_at_high() {
     let mut engine = engine_with_csv(adaptive_config());
     engine.query(&format!("SELECT MAX(col1) FROM file1 WHERE col1 < {warm}")).unwrap();
     let high = datagen::literal_for_selectivity(1.0);
-    let r = engine
-        .query(&format!("SELECT MAX(col11) FROM file1 WHERE col1 < {high}"))
-        .unwrap();
+    let r = engine.query(&format!("SELECT MAX(col11) FROM file1 WHERE col1 < {high}")).unwrap();
     let line = explain_line(&r, "adaptive strategy").unwrap();
     assert!(line.contains("FullColumns"), "{line}");
 }
@@ -138,15 +134,10 @@ fn adaptive_answers_match_fixed_strategies() {
         let q2 = format!("SELECT MAX(col11) FROM file1 WHERE col1 < {x}");
 
         let mut answers = Vec::new();
-        for shreds in [
-            ShredStrategy::FullColumns,
-            ShredStrategy::ColumnShreds,
-            ShredStrategy::Adaptive,
-        ] {
-            let mut engine = engine_with_csv(EngineConfig {
-                shreds,
-                ..adaptive_config()
-            });
+        for shreds in
+            [ShredStrategy::FullColumns, ShredStrategy::ColumnShreds, ShredStrategy::Adaptive]
+        {
+            let mut engine = engine_with_csv(EngineConfig { shreds, ..adaptive_config() });
             let a1 = engine.query(&q1).unwrap().scalar().unwrap();
             let a2 = engine.query(&q2).unwrap().scalar().unwrap();
             answers.push((a1, a2));
@@ -202,9 +193,7 @@ fn adaptive_join_placement_breaking_side_depends_on_selectivity() {
         let mut engine = engine_with_join_twin(adaptive_config());
         let x = datagen::literal_for_selectivity(sel);
         // Harvest stats for file2.col2 (full scan of the filter column).
-        engine
-            .query(&format!("SELECT MAX(col2) FROM file2 WHERE col2 < {x}"))
-            .unwrap();
+        engine.query(&format!("SELECT MAX(col2) FROM file2 WHERE col2 < {x}")).unwrap();
         let r = engine
             .query(&format!(
                 "SELECT MAX(file2.col11) FROM file1 JOIN file2 ON file1.col1 = file2.col1 \
@@ -222,10 +211,7 @@ fn adaptive_join_placement_breaking_side_depends_on_selectivity() {
     // Late but in order — the model correctly never pays the shuffle
     // (Fig. 12: Intermediate tracks Late at low selectivity and beats it
     // at high selectivity).
-    assert!(
-        low_line.contains("Intermediate") || low_line.contains("Late"),
-        "{low_line}"
-    );
+    assert!(low_line.contains("Intermediate") || low_line.contains("Late"), "{low_line}");
     assert!(!low_line.contains("Early ("), "{low_line}");
 
     let (high_line, high_val) = run(0.98);
@@ -254,19 +240,12 @@ fn adaptive_join_placement_breaking_side_depends_on_selectivity() {
 #[test]
 fn adaptive_in_non_jit_modes_is_safe() {
     for mode in [AccessMode::Dbms, AccessMode::ExternalTables, AccessMode::InSitu] {
-        let mut engine = engine_with_csv(EngineConfig {
-            mode,
-            ..adaptive_config()
-        });
+        let mut engine = engine_with_csv(EngineConfig { mode, ..adaptive_config() });
         let x = datagen::literal_for_selectivity(0.3);
-        let r = engine
-            .query(&format!("SELECT MAX(col11) FROM file1 WHERE col1 < {x}"))
-            .unwrap();
+        let r = engine.query(&format!("SELECT MAX(col11) FROM file1 WHERE col1 < {x}")).unwrap();
         // Same answer as a JIT adaptive engine.
         let mut jit = engine_with_csv(adaptive_config());
-        let want = jit
-            .query(&format!("SELECT MAX(col11) FROM file1 WHERE col1 < {x}"))
-            .unwrap();
+        let want = jit.query(&format!("SELECT MAX(col11) FROM file1 WHERE col1 < {x}")).unwrap();
         assert_eq!(scalar_i64(&r), scalar_i64(&want), "{mode:?}");
     }
 }
@@ -276,16 +255,12 @@ fn adaptive_multi_column_conjunctions_match_fixed() {
     let x1 = datagen::literal_for_selectivity(0.7);
     let x2 = datagen::literal_for_selectivity(0.5);
     let warm = format!("SELECT MAX(col1) FROM file1 WHERE col1 < {x1}");
-    let q = format!(
-        "SELECT MAX(col6) FROM file1 WHERE col1 < {x1} AND col5 < {x2}"
-    );
+    let q = format!("SELECT MAX(col6) FROM file1 WHERE col1 < {x1} AND col5 < {x2}");
 
     let mut answers = Vec::new();
-    for shreds in [
-        ShredStrategy::MultiColumnShreds,
-        ShredStrategy::ColumnShreds,
-        ShredStrategy::Adaptive,
-    ] {
+    for shreds in
+        [ShredStrategy::MultiColumnShreds, ShredStrategy::ColumnShreds, ShredStrategy::Adaptive]
+    {
         let mut engine = engine_with_csv(EngineConfig { shreds, ..adaptive_config() });
         engine.query(&warm).unwrap();
         answers.push(engine.query(&q).unwrap().scalar().unwrap());
@@ -299,13 +274,9 @@ fn explain_shows_cost_estimates() {
     let mut engine = engine_with_csv(adaptive_config());
     let x = datagen::literal_for_selectivity(0.2);
     engine.query(&format!("SELECT MAX(col1) FROM file1 WHERE col1 < {x}")).unwrap();
-    let lines = engine
-        .explain(&format!("SELECT MAX(col11) FROM file1 WHERE col1 < {x}"))
-        .unwrap();
-    let note = lines
-        .iter()
-        .find(|l| l.contains("adaptive strategy"))
-        .expect("adaptive note in explain");
+    let lines = engine.explain(&format!("SELECT MAX(col11) FROM file1 WHERE col1 < {x}")).unwrap();
+    let note =
+        lines.iter().find(|l| l.contains("adaptive strategy")).expect("adaptive note in explain");
     assert!(note.contains("full="), "{note}");
     assert!(note.contains("shreds="), "{note}");
     assert!(note.contains("est. sel"), "{note}");

@@ -47,11 +47,7 @@ fn expected_max_where_lt(agg_col: usize, pred_col: usize, x: i64) -> Option<i64>
     let t = datagen::int_table(42, ROWS, COLS);
     let pred = t.column(pred_col).unwrap().as_i64().unwrap();
     let agg = t.column(agg_col).unwrap().as_i64().unwrap();
-    pred.iter()
-        .zip(agg)
-        .filter(|(&p, _)| p < x)
-        .map(|(_, &a)| a)
-        .max()
+    pred.iter().zip(agg).filter(|(&p, _)| p < x).map(|(_, &a)| a).max()
 }
 
 fn scalar_i64(r: &QueryResult) -> i64 {
@@ -73,12 +69,8 @@ fn all_modes_agree_on_q1_and_q2() {
     let expect1 = expected_max_where_lt(0, 0, x).unwrap();
     let expect2 = expected_max_where_lt(10, 0, x).unwrap();
 
-    for mode in [
-        AccessMode::Dbms,
-        AccessMode::ExternalTables,
-        AccessMode::InSitu,
-        AccessMode::Jit,
-    ] {
+    for mode in [AccessMode::Dbms, AccessMode::ExternalTables, AccessMode::InSitu, AccessMode::Jit]
+    {
         for shreds in [
             ShredStrategy::FullColumns,
             ShredStrategy::ColumnShreds,
@@ -109,9 +101,7 @@ fn fbin_modes_agree() {
                 schema: Schema::uniform(COLS, DataType::Int64),
                 source: TableSource::Fbin { path: "/virtual/t.fbin".into() },
             });
-            let r = engine
-                .query(&format!("SELECT MAX(col6) FROM t WHERE col1 < {x}"))
-                .unwrap();
+            let r = engine.query(&format!("SELECT MAX(col6) FROM t WHERE col1 < {x}")).unwrap();
             assert_eq!(scalar_i64(&r), expect, "{mode:?}/{shreds:?}");
         }
     }
@@ -128,9 +118,7 @@ fn zero_selectivity_yields_null() {
 fn full_selectivity_reads_everything() {
     let mut engine = engine_with_csv(EngineConfig::default());
     let x = datagen::INT_VALUE_RANGE;
-    let r = engine
-        .query(&format!("SELECT MAX(col11) FROM file1 WHERE col1 < {x}"))
-        .unwrap();
+    let r = engine.query(&format!("SELECT MAX(col11) FROM file1 WHERE col1 < {x}")).unwrap();
     assert_eq!(scalar_i64(&r), expected_max_where_lt(10, 0, x).unwrap());
 }
 
@@ -140,9 +128,7 @@ fn posmap_is_built_then_used() {
     assert!(engine.posmap("file1").is_none());
 
     let x = datagen::literal_for_selectivity(0.2);
-    let r1 = engine
-        .query(&format!("SELECT MAX(col1) FROM file1 WHERE col1 < {x}"))
-        .unwrap();
+    let r1 = engine.query(&format!("SELECT MAX(col1) FROM file1 WHERE col1 < {x}")).unwrap();
     assert_eq!(r1.stats.posmaps_built, 1);
     let map = engine.posmap("file1").expect("map built by Q1");
     // Default policy: every 10th column.
@@ -150,14 +136,9 @@ fn posmap_is_built_then_used() {
     assert_eq!(map.rows(), ROWS as u64);
 
     // Q2 must navigate via the map, not re-tokenize the whole file.
-    let r2 = engine
-        .query(&format!("SELECT MAX(col11) FROM file1 WHERE col1 < {x}"))
-        .unwrap();
+    let r2 = engine.query(&format!("SELECT MAX(col11) FROM file1 WHERE col1 < {x}")).unwrap();
     assert_eq!(r2.stats.posmaps_built, 0, "no rebuild on Q2");
-    assert_eq!(
-        scalar_i64(&r2),
-        expected_max_where_lt(10, 0, x).unwrap()
-    );
+    assert_eq!(scalar_i64(&r2), expected_max_where_lt(10, 0, x).unwrap());
 }
 
 #[test]
@@ -205,10 +186,7 @@ fn column_shreds_touch_fewer_values_at_low_selectivity() {
     let shred = run(ShredStrategy::ColumnShreds);
     // Full columns converts all rows of both columns; shreds converts all of
     // col1 plus only the ~5% survivors of col11.
-    assert!(
-        shred < full * 3 / 4,
-        "expected shreds ({shred}) well below full ({full})"
-    );
+    assert!(shred < full * 3 / 4, "expected shreds ({shred}) well below full ({full})");
 }
 
 #[test]
@@ -230,9 +208,7 @@ fn join_all_placements_agree_csv_fbin() {
         });
         // Warm-up query to build the CSV positional map (late CSV fetches
         // need it).
-        engine
-            .query(&format!("SELECT MAX(col1) FROM file1 WHERE col1 < {x}"))
-            .unwrap();
+        engine.query(&format!("SELECT MAX(col1) FROM file1 WHERE col1 < {x}")).unwrap();
         let r = engine.query(&q).unwrap();
         let got = scalar_i64(&r);
         match reference {
@@ -280,17 +256,14 @@ fn multiple_aggregates_single_pass() {
         other => panic!("{other:?}"),
     };
     let t = datagen::int_table(42, ROWS, COLS);
-    let expected =
-        t.column(0).unwrap().as_i64().unwrap().iter().filter(|&&v| v < x).count() as i64;
+    let expected = t.column(0).unwrap().as_i64().unwrap().iter().filter(|&&v| v < x).count() as i64;
     assert_eq!(count, expected);
 }
 
 #[test]
 fn bare_projection() {
     let mut engine = engine_with_csv(EngineConfig::default());
-    let r = engine
-        .query("SELECT col1, col2 FROM file1 WHERE col1 < 50000000")
-        .unwrap();
+    let r = engine.query("SELECT col1, col2 FROM file1 WHERE col1 < 50000000").unwrap();
     assert_eq!(r.batch.num_columns(), 2);
     assert_eq!(r.column_names, vec!["col1", "col2"]);
     let col1 = r.batch.column(0).unwrap().as_i64().unwrap();
@@ -316,11 +289,9 @@ fn speculative_multi_column_shreds_two_predicates() {
         .max()
         .unwrap();
 
-    for shreds in [
-        ShredStrategy::FullColumns,
-        ShredStrategy::ColumnShreds,
-        ShredStrategy::MultiColumnShreds,
-    ] {
+    for shreds in
+        [ShredStrategy::FullColumns, ShredStrategy::ColumnShreds, ShredStrategy::MultiColumnShreds]
+    {
         let mut engine = engine_with_csv(config(AccessMode::Jit, shreds));
         // First query builds the positional map.
         engine.query(&format!("SELECT MAX(col1) FROM file1 WHERE col1 < {x}")).unwrap();
@@ -340,9 +311,7 @@ fn posmap_stride7_nearest_navigation() {
     let map = engine.posmap("file1").unwrap();
     assert_eq!(map.tracked_columns(), &[0, 7]);
     // col11 (ordinal 10) must be reached via nearest (7) + incremental parse.
-    let r = engine
-        .query(&format!("SELECT MAX(col11) FROM file1 WHERE col1 < {x}"))
-        .unwrap();
+    let r = engine.query(&format!("SELECT MAX(col11) FROM file1 WHERE col1 < {x}")).unwrap();
     assert_eq!(scalar_i64(&r), expected_max_where_lt(10, 0, x).unwrap());
     assert!(r.stats.metrics.fields_tokenized > 0, "incremental parsing happened");
 }
@@ -408,11 +377,8 @@ fn reset_adaptive_state_forgets_everything() {
 #[test]
 fn explain_describes_plan() {
     let mut engine = engine_with_csv(EngineConfig::default());
-    let lines = engine
-        .query("SELECT MAX(col11) FROM file1 WHERE col1 < 1000")
-        .unwrap()
-        .stats
-        .explain;
+    let lines =
+        engine.query("SELECT MAX(col11) FROM file1 WHERE col1 < 1000").unwrap().stats.explain;
     let text = lines.join("\n");
     assert!(text.contains("scan file1"), "{text}");
     assert!(text.contains("filter file1.col1 < 1000"), "{text}");

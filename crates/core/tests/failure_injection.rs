@@ -4,9 +4,7 @@
 //! queries.
 
 use raw_columnar::{DataType, Schema, Value};
-use raw_engine::{
-    AccessMode, EngineConfig, RawEngine, ShredStrategy, TableDef, TableSource,
-};
+use raw_engine::{AccessMode, EngineConfig, RawEngine, ShredStrategy, TableDef, TableSource};
 use raw_formats::datagen;
 
 fn engine(config: EngineConfig) -> RawEngine {
@@ -26,20 +24,13 @@ fn register_csv(e: &mut RawEngine, name: &str, cols: usize, bytes: Vec<u8>) {
 #[test]
 fn malformed_csv_field_errors_in_every_mode() {
     let bytes = b"1,2,3\n4,notanumber,6\n7,8,9\n".to_vec();
-    for mode in [
-        AccessMode::Dbms,
-        AccessMode::ExternalTables,
-        AccessMode::InSitu,
-        AccessMode::Jit,
-    ] {
+    for mode in [AccessMode::Dbms, AccessMode::ExternalTables, AccessMode::InSitu, AccessMode::Jit]
+    {
         let mut e = engine(EngineConfig { mode, ..EngineConfig::default() });
         register_csv(&mut e, "t", 3, bytes.clone());
         let err = e.query("SELECT MAX(col2) FROM t WHERE col1 < 100").unwrap_err();
         let msg = err.to_string();
-        assert!(
-            msg.contains("int64") || msg.to_lowercase().contains("parse"),
-            "{mode:?}: {msg}"
-        );
+        assert!(msg.contains("int64") || msg.to_lowercase().contains("parse"), "{mode:?}: {msg}");
     }
 }
 
@@ -169,10 +160,7 @@ fn engine_survives_a_burst_of_failures_then_answers() {
 #[test]
 fn adaptive_mode_handles_malformed_files_gracefully() {
     // Adaptive planning must not mask raw-data errors or invent answers.
-    let mut e = engine(EngineConfig {
-        shreds: ShredStrategy::Adaptive,
-        ..EngineConfig::default()
-    });
+    let mut e = engine(EngineConfig { shreds: ShredStrategy::Adaptive, ..EngineConfig::default() });
     register_csv(&mut e, "t", 3, b"1,2,3\n4,bad,6\n".to_vec());
     assert!(e.query("SELECT MAX(col2) FROM t WHERE col1 < 10").is_err());
     let r = e.query("SELECT MAX(col1) FROM t WHERE col1 < 10").unwrap();

@@ -38,11 +38,7 @@ fn engine_with_sales(config: EngineConfig, fbin: bool) -> RawEngine {
         (p, TableSource::Csv { path: p.into() }, raw_formats::csv::writer::to_bytes(&t).unwrap())
     };
     engine.files().insert(path, bytes);
-    engine.register_table(TableDef {
-        name: "sales".into(),
-        schema: t.schema().clone(),
-        source,
-    });
+    engine.register_table(TableDef { name: "sales".into(), schema: t.schema().clone(), source });
     engine
 }
 
@@ -84,12 +80,9 @@ const Q: &str = "SELECT region, SUM(quantity), COUNT(quantity), MAX(price) \
 fn group_by_agrees_across_modes_and_formats() {
     let expect = reference(None);
     for fbin in [false, true] {
-        for mode in [
-            AccessMode::Dbms,
-            AccessMode::ExternalTables,
-            AccessMode::InSitu,
-            AccessMode::Jit,
-        ] {
+        for mode in
+            [AccessMode::Dbms, AccessMode::ExternalTables, AccessMode::InSitu, AccessMode::Jit]
+        {
             let mut engine =
                 engine_with_sales(EngineConfig { mode, ..EngineConfig::default() }, fbin);
             let r = engine.query(Q).unwrap();
@@ -162,15 +155,10 @@ fn group_by_over_join() {
             Field::new("region", DataType::Int64),
             Field::new("tier", DataType::Int64),
         ]),
-        vec![
-            Column::Int64((0..9).collect()),
-            Column::Int64((0..9).map(|r| r % 3).collect()),
-        ],
+        vec![Column::Int64((0..9).collect()), Column::Int64((0..9).map(|r| r % 3).collect())],
     )
     .unwrap();
-    engine
-        .files()
-        .insert("/virtual/dim.csv", raw_formats::csv::writer::to_bytes(&dim).unwrap());
+    engine.files().insert("/virtual/dim.csv", raw_formats::csv::writer::to_bytes(&dim).unwrap());
     engine.register_table(TableDef {
         name: "dim".into(),
         schema: dim.schema().clone(),
@@ -209,9 +197,7 @@ fn empty_group_by_result_has_zero_rows() {
 fn grouping_rules_enforced() {
     let mut engine = engine_with_sales(EngineConfig::default(), false);
     // Bare column that is not the key.
-    let err = engine
-        .query("SELECT price, COUNT(quantity) FROM sales GROUP BY region")
-        .unwrap_err();
+    let err = engine.query("SELECT price, COUNT(quantity) FROM sales GROUP BY region").unwrap_err();
     assert!(err.to_string().contains("GROUP BY"), "{err}");
     // No aggregate at all.
     assert!(engine.query("SELECT region FROM sales GROUP BY region").is_err());

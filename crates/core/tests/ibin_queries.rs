@@ -23,8 +23,7 @@ fn table(sorted: bool) -> raw_columnar::MemTable {
 fn engine_with_ibin(config: EngineConfig, sorted: bool) -> RawEngine {
     let mut engine = RawEngine::new(config);
     let t = table(sorted);
-    let bytes =
-        raw_formats::ibin::to_bytes_with(&t, PAGE, sorted.then_some(0)).unwrap();
+    let bytes = raw_formats::ibin::to_bytes_with(&t, PAGE, sorted.then_some(0)).unwrap();
     engine.files().insert("/virtual/t.ibin", bytes);
     engine.register_table(TableDef {
         name: "t".into(),
@@ -54,20 +53,16 @@ fn all_modes_agree_on_ibin() {
         for sel in [0.05, 0.5, 1.0] {
             let x = datagen::literal_for_selectivity(sel);
             let expect = expected_max_where_lt(sorted, 4, 0, x).unwrap();
-            for mode in [
-                AccessMode::Dbms,
-                AccessMode::ExternalTables,
-                AccessMode::InSitu,
-                AccessMode::Jit,
-            ] {
+            for mode in
+                [AccessMode::Dbms, AccessMode::ExternalTables, AccessMode::InSitu, AccessMode::Jit]
+            {
                 for shreds in [ShredStrategy::FullColumns, ShredStrategy::ColumnShreds] {
                     let mut engine = engine_with_ibin(
                         EngineConfig { mode, shreds, ..EngineConfig::default() },
                         sorted,
                     );
-                    let r = engine
-                        .query(&format!("SELECT MAX(col5) FROM t WHERE col1 < {x}"))
-                        .unwrap();
+                    let r =
+                        engine.query(&format!("SELECT MAX(col5) FROM t WHERE col1 < {x}")).unwrap();
                     assert_eq!(
                         scalar_i64(&r),
                         expect,
@@ -84,26 +79,16 @@ fn jit_prunes_sorted_files_and_insitu_does_not() {
     let x = datagen::literal_for_selectivity(0.1);
     let q = format!("SELECT MAX(col5) FROM t WHERE col1 < {x}");
 
-    let mut jit = engine_with_ibin(
-        EngineConfig { mode: AccessMode::Jit, ..EngineConfig::default() },
-        true,
-    );
+    let mut jit =
+        engine_with_ibin(EngineConfig { mode: AccessMode::Jit, ..EngineConfig::default() }, true);
     let r = jit.query(&q).unwrap();
     assert!(
         r.stats.metrics.rows_pruned > (ROWS as u64) / 2,
         "10% selectivity on the sort key must prune most pages, pruned {}",
         r.stats.metrics.rows_pruned
     );
-    assert!(
-        r.stats.metrics.rows_scanned < ROWS as u64,
-        "pruned rows must not be scanned"
-    );
-    let note = r
-        .stats
-        .explain
-        .iter()
-        .find(|l| l.contains("ibin jit"))
-        .expect("jit scan note");
+    assert!(r.stats.metrics.rows_scanned < ROWS as u64, "pruned rows must not be scanned");
+    let note = r.stats.explain.iter().find(|l| l.contains("ibin jit")).expect("jit scan note");
     assert!(note.contains("index pruned"), "{note}");
 
     let mut insitu = engine_with_ibin(
@@ -120,10 +105,8 @@ fn unsorted_zone_maps_still_prune_conservatively() {
     // Uniform random data rarely lets zone maps prune (every page spans
     // most of the domain) — but correctness must hold regardless, and an
     // impossible predicate must prune everything.
-    let mut jit = engine_with_ibin(
-        EngineConfig { mode: AccessMode::Jit, ..EngineConfig::default() },
-        false,
-    );
+    let mut jit =
+        engine_with_ibin(EngineConfig { mode: AccessMode::Jit, ..EngineConfig::default() }, false);
     let r = jit.query("SELECT COUNT(col1) FROM t WHERE col1 < -5").unwrap();
     assert_eq!(scalar_i64(&r), 0);
     assert_eq!(r.stats.metrics.rows_pruned, ROWS as u64, "contradiction prunes all pages");
@@ -146,14 +129,10 @@ fn conjunctive_predicates_prune_and_answer_correctly() {
         .max()
         .unwrap();
 
-    let mut engine = engine_with_ibin(
-        EngineConfig { mode: AccessMode::Jit, ..EngineConfig::default() },
-        true,
-    );
+    let mut engine =
+        engine_with_ibin(EngineConfig { mode: AccessMode::Jit, ..EngineConfig::default() }, true);
     let r = engine
-        .query(&format!(
-            "SELECT MAX(col5) FROM t WHERE col1 < {x1} AND col3 < {x2}"
-        ))
+        .query(&format!("SELECT MAX(col5) FROM t WHERE col1 < {x1} AND col3 < {x2}"))
         .unwrap();
     assert_eq!(scalar_i64(&r), expect);
     assert!(r.stats.metrics.rows_pruned > 0, "sort-key conjunct prunes");
@@ -164,19 +143,13 @@ fn pruned_prefix_shreds_never_masquerade_as_full_columns() {
     // Regression: Q1's pruned scan records only a prefix of col1. The pool
     // must treat that shred as *partial* — a widening Q2 must go back to
     // the file (or fall back through the pool) and still see all 800 rows.
-    let mut engine = engine_with_ibin(
-        EngineConfig { mode: AccessMode::Jit, ..EngineConfig::default() },
-        true,
-    );
+    let mut engine =
+        engine_with_ibin(EngineConfig { mode: AccessMode::Jit, ..EngineConfig::default() }, true);
     let x1 = datagen::literal_for_selectivity(0.1);
     let x2 = datagen::literal_for_selectivity(0.9);
     for (x, label) in [(x1, "narrow"), (x2, "wide"), (x1, "narrow again")] {
         let r = engine.query(&format!("SELECT MAX(col5) FROM t WHERE col1 < {x}")).unwrap();
-        assert_eq!(
-            scalar_i64(&r),
-            expected_max_where_lt(true, 4, 0, x).unwrap(),
-            "{label}"
-        );
+        assert_eq!(scalar_i64(&r), expected_max_where_lt(true, 4, 0, x).unwrap(), "{label}");
     }
 }
 
@@ -241,12 +214,8 @@ fn adaptive_strategy_works_over_ibin() {
     engine.query(&format!("SELECT MAX(col1) FROM t WHERE col1 < {x}")).unwrap();
     let r = engine.query(&format!("SELECT MAX(col5) FROM t WHERE col1 < {x}")).unwrap();
     assert_eq!(scalar_i64(&r), expected_max_where_lt(true, 4, 0, x).unwrap());
-    let note = r
-        .stats
-        .explain
-        .iter()
-        .find(|l| l.contains("adaptive strategy"))
-        .expect("adaptive note");
+    let note =
+        r.stats.explain.iter().find(|l| l.contains("adaptive strategy")).expect("adaptive note");
     assert!(note.contains("ColumnShreds"), "binary late fetches are cheap: {note}");
 }
 
@@ -265,10 +234,8 @@ fn corrupt_ibin_file_yields_error_not_panic() {
 #[test]
 fn ibin_joins_with_csv() {
     // Heterogeneous join: indexed binary ⋈ CSV, both raw.
-    let mut engine = engine_with_ibin(
-        EngineConfig { mode: AccessMode::Jit, ..EngineConfig::default() },
-        true,
-    );
+    let mut engine =
+        engine_with_ibin(EngineConfig { mode: AccessMode::Jit, ..EngineConfig::default() }, true);
     let csv_table = datagen::int_table(77, ROWS, COLS); // same data, unsorted
     let bytes = raw_formats::csv::writer::to_bytes(&csv_table).unwrap();
     engine.files().insert("/virtual/u.csv", bytes);
@@ -279,20 +246,11 @@ fn ibin_joins_with_csv() {
     });
     let x = datagen::literal_for_selectivity(0.2);
     let r = engine
-        .query(&format!(
-            "SELECT COUNT(u.col5) FROM u JOIN t ON u.col1 = t.col1 WHERE t.col1 < {x}"
-        ))
+        .query(&format!("SELECT COUNT(u.col5) FROM u JOIN t ON u.col1 = t.col1 WHERE t.col1 < {x}"))
         .unwrap();
     // Same content on both sides: every filtered t row matches exactly one
     // u row (values are unique with overwhelming probability at this seed).
     let t = table(true);
-    let expect = t
-        .column(0)
-        .unwrap()
-        .as_i64()
-        .unwrap()
-        .iter()
-        .filter(|&&v| v < x)
-        .count() as i64;
+    let expect = t.column(0).unwrap().as_i64().unwrap().iter().filter(|&&v| v < x).count() as i64;
     assert_eq!(scalar_i64(&r), expect);
 }

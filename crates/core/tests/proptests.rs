@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 
 use raw_columnar::{DataType, Schema, Value};
-use raw_engine::{
-    AccessMode, EngineConfig, RawEngine, ShredStrategy, TableDef, TableSource,
-};
+use raw_engine::{AccessMode, EngineConfig, RawEngine, ShredStrategy, TableDef, TableSource};
 use raw_formats::datagen;
 use raw_posmap::TrackingPolicy;
 

@@ -1,0 +1,187 @@
+//! The parallel executor and its deterministic merge layer.
+//!
+//! Takes one ready-to-run operator pipeline per morsel, drains them on the
+//! worker pool, and merges the outputs **in morsel order**:
+//!
+//! - [`MergePlan::Concat`] — selection-shaped queries; per-morsel batches
+//!   concatenate in morsel order, reproducing serial row order exactly.
+//! - [`MergePlan::Aggregate`] — aggregate-shaped queries; each worker folds
+//!   its morsel's batches into an [`AggAccumulator`] *as it drains* (no
+//!   post-filter materialization), and partial states merge in morsel order.
+//!   Integer aggregates are bit-for-bit serial-identical; float aggregates
+//!   are identical across any worker count because the morsel grid — and
+//!   therefore the summation tree — never depends on the thread count.
+
+use raw_columnar::ops::{AggAccumulator, AggExpr, Operator};
+use raw_columnar::profile::{PhaseProfile, ScanMetrics};
+use raw_columnar::{Batch, ColumnarError};
+
+use crate::pool::run_jobs;
+
+/// How per-morsel outputs combine into the query result.
+#[derive(Debug, Clone)]
+pub enum MergePlan {
+    /// Concatenate morsel output batches in morsel order.
+    Concat,
+    /// Per-morsel partial aggregation, merged in morsel order.
+    Aggregate(Vec<AggExpr>),
+}
+
+/// The merged result of a parallel run.
+#[derive(Debug)]
+pub struct ParallelOutcome {
+    /// Result batches in deterministic order (one batch for aggregates).
+    pub batches: Vec<Batch>,
+    /// Summed scan phase profile across all morsels (CPU time, which under
+    /// parallelism exceeds wall time).
+    pub profile: PhaseProfile,
+    /// Summed scan volume metrics across all morsels.
+    pub metrics: ScanMetrics,
+    /// Morsels executed.
+    pub morsels: usize,
+}
+
+/// What one worker produces for one morsel.
+enum MorselOutput {
+    Batches(Vec<Batch>),
+    Partial(Box<AggAccumulator>),
+}
+
+type MorselResult = Result<(MorselOutput, PhaseProfile, ScanMetrics), ColumnarError>;
+
+/// Drain every pipeline on up to `threads` workers and merge per `merge`.
+/// Errors surface in morsel order (the first failing morsel wins), matching
+/// what a serial scan of the same file would have reported first.
+pub fn execute_morsels(
+    pipelines: Vec<Box<dyn Operator>>,
+    merge: &MergePlan,
+    threads: usize,
+) -> Result<ParallelOutcome, ColumnarError> {
+    let morsels = pipelines.len();
+    let jobs: Vec<_> = pipelines
+        .into_iter()
+        .map(|mut op| {
+            let merge = merge.clone();
+            move || -> MorselResult {
+                let out = match merge {
+                    MergePlan::Concat => {
+                        let mut batches = Vec::new();
+                        while let Some(b) = op.next_batch()? {
+                            batches.push(b);
+                        }
+                        MorselOutput::Batches(batches)
+                    }
+                    MergePlan::Aggregate(exprs) => {
+                        let mut acc = AggAccumulator::new(exprs);
+                        while let Some(b) = op.next_batch()? {
+                            acc.update(&b)?;
+                        }
+                        MorselOutput::Partial(Box::new(acc))
+                    }
+                };
+                Ok((out, op.scan_profile(), op.scan_metrics()))
+            }
+        })
+        .collect();
+
+    let results = run_jobs(jobs, threads);
+
+    let mut profile = PhaseProfile::default();
+    let mut metrics = ScanMetrics::default();
+    let mut batches = Vec::new();
+    let mut merged_acc: Option<AggAccumulator> = None;
+    for result in results {
+        let (out, p, m) = result?;
+        profile.merge(&p);
+        metrics.merge(&m);
+        match out {
+            MorselOutput::Batches(bs) => batches.extend(bs),
+            MorselOutput::Partial(partial) => match merged_acc.as_mut() {
+                Some(acc) => acc.merge(*partial)?,
+                None => merged_acc = Some(*partial),
+            },
+        }
+    }
+
+    if let MergePlan::Aggregate(exprs) = merge {
+        // Zero morsels (empty file) still yields the canonical empty-input
+        // aggregate row (COUNT 0 / NULL), exactly like a serial AggregateOp.
+        let acc = merged_acc.unwrap_or_else(|| AggAccumulator::new(exprs.clone()));
+        batches = vec![acc.finish()?];
+    }
+
+    Ok(ParallelOutcome { batches, profile, metrics, morsels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raw_columnar::ops::{AggKind, BatchSource};
+    use raw_columnar::Value;
+
+    fn source(values: &[i64]) -> Box<dyn Operator> {
+        let batches =
+            values.chunks(3).map(|c| Batch::new(vec![c.to_vec().into()]).unwrap()).collect();
+        Box::new(BatchSource::new(batches))
+    }
+
+    #[test]
+    fn concat_preserves_morsel_order() {
+        let pipelines: Vec<Box<dyn Operator>> =
+            vec![source(&[1, 2, 3, 4]), source(&[5]), source(&[6, 7])];
+        let out = execute_morsels(pipelines, &MergePlan::Concat, 4).unwrap();
+        let all = Batch::concat(&out.batches).unwrap();
+        let got: Vec<i64> = all.column(0).unwrap().as_i64().unwrap().to_vec();
+        assert_eq!(got, vec![1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(out.morsels, 3);
+    }
+
+    #[test]
+    fn aggregate_merges_partials_like_serial() {
+        for threads in [1, 2, 4, 8] {
+            let pipelines: Vec<Box<dyn Operator>> =
+                vec![source(&[5, -2, 9]), source(&[7, 7]), source(&[0])];
+            let exprs = vec![
+                AggExpr { kind: AggKind::Max, col: 0 },
+                AggExpr { kind: AggKind::Min, col: 0 },
+                AggExpr { kind: AggKind::Sum, col: 0 },
+                AggExpr { kind: AggKind::Count, col: 0 },
+                AggExpr { kind: AggKind::Avg, col: 0 },
+            ];
+            let out = execute_morsels(pipelines, &MergePlan::Aggregate(exprs), threads).unwrap();
+            assert_eq!(out.batches.len(), 1);
+            let b = &out.batches[0];
+            assert_eq!(b.value(0, 0).unwrap(), Value::Int64(9));
+            assert_eq!(b.value(0, 1).unwrap(), Value::Int64(-2));
+            assert_eq!(b.value(0, 2).unwrap(), Value::Int64(26));
+            assert_eq!(b.value(0, 3).unwrap(), Value::Int64(6));
+            assert_eq!(b.value(0, 4).unwrap(), Value::Float64(26.0 / 6.0));
+        }
+    }
+
+    #[test]
+    fn aggregate_of_no_morsels_is_canonical_empty() {
+        let exprs =
+            vec![AggExpr { kind: AggKind::Count, col: 0 }, AggExpr { kind: AggKind::Max, col: 0 }];
+        let out = execute_morsels(Vec::new(), &MergePlan::Aggregate(exprs), 4).unwrap();
+        let b = &out.batches[0];
+        assert_eq!(b.value(0, 0).unwrap(), Value::Int64(0));
+        assert_eq!(b.value(0, 1).unwrap(), Value::Utf8("NULL".into()));
+    }
+
+    #[test]
+    fn first_morsel_error_wins() {
+        struct Boom;
+        impl Operator for Boom {
+            fn next_batch(&mut self) -> Result<Option<Batch>, ColumnarError> {
+                Err(ColumnarError::External { message: "boom".into() })
+            }
+            fn name(&self) -> &'static str {
+                "Boom"
+            }
+        }
+        let pipelines: Vec<Box<dyn Operator>> = vec![source(&[1]), Box::new(Boom)];
+        let err = execute_morsels(pipelines, &MergePlan::Concat, 2).unwrap_err();
+        assert!(err.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,46 @@
+//! # raw-exec
+//!
+//! Morsel-driven parallel in-situ execution over raw files — the multi-core
+//! dimension the RAW paper (§8) leaves as future work, following the
+//! morsel-driven architecture popularized by HyPer and applied to raw files
+//! by OLA-RAW.
+//!
+//! Three pieces compose into a parallel access path:
+//!
+//! - [`morsel`] — a **partitioner** that splits a raw file into
+//!   record-aligned morsels: newline probing for CSV (reusing positional-map
+//!   entries as split hints when one exists), pure row arithmetic for
+//!   fixed-width binary and rootsim event files.
+//! - [`pool`] — a **scoped worker pool** (std threads, morsel-stealing via an
+//!   atomic cursor) that runs one scan→filter→partial-aggregate pipeline per
+//!   morsel. Workers claim morsels dynamically, so skew in morsel cost does
+//!   not idle threads.
+//! - [`executor`] — the **deterministic merge layer**: selection batches
+//!   concatenate in morsel order; partial aggregate states
+//!   ([`raw_columnar::ops::AggAccumulator`]) merge in morsel order. Because
+//!   the morsel grid depends only on the file (never on the thread count),
+//!   results are identical for any worker count.
+//!
+//! Side effects keep the paper's "queries build indexes as a side effect"
+//! semantics under parallelism: every morsel pipeline owns thread-safe sinks
+//! (`Arc<Mutex<…>>`) for the positional-map fragment and column shreds it
+//! builds; after the pool barrier the engine appends posmap fragments in
+//! morsel order and merges shred fragments (disjoint global row ranges) into
+//! its shared pools.
+//!
+//! The crate is engine-agnostic: it sees only [`raw_columnar::ops::Operator`]
+//! pipelines. `raw-engine` plans per-morsel pipelines (via
+//! `ScanSegment`-bounded scans) and owns the side-effect absorption.
+
+pub mod executor;
+pub mod morsel;
+pub mod pool;
+
+pub use executor::{execute_morsels, MergePlan, ParallelOutcome};
+pub use morsel::{partition_csv, partition_csv_with_map, partition_rows, CsvPartition, Morsel};
+pub use pool::run_jobs;
+
+/// The number of worker threads "all cores" resolves to on this host.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}

@@ -1,0 +1,328 @@
+//! The partitioner: split a raw file into record-aligned morsels.
+//!
+//! A morsel is a contiguous run of whole records described both as a byte
+//! range (what text scans walk) and a global row range (what row-addressed
+//! scans walk, and what makes every morsel's outputs — provenance ids,
+//! positional-map fragments, shred fragments — compose globally).
+//!
+//! The morsel grid is a function of the **file only**, never of the worker
+//! count, so merged results are identical for any number of threads.
+
+use raw_posmap::{Lookup, PositionalMap};
+
+/// Row-boundary byte in the workspace CSV dialect (must agree with
+/// `raw_formats::csv::NEWLINE` and the tokenizers built on it: every newline
+/// ends a record; the dialect never embeds newlines in fields).
+const NEWLINE: u8 = b'\n';
+
+/// Quote byte of the general-purpose (in-situ) CSV dialect. The partitioner
+/// does not interpret quotes — it only *reports* their presence so planners
+/// targeting a quote-aware scan can decline to split the file.
+const QUOTE: u8 = b'"';
+
+/// One record-aligned slice of a raw file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Morsel {
+    /// Position in the morsel grid (also the deterministic merge order).
+    pub index: usize,
+    /// Global row id of the first record.
+    pub first_row: u64,
+    /// Exclusive global row bound.
+    pub end_row: u64,
+    /// Byte offset of the first record (text formats; 0 for row-addressed
+    /// formats, which partition purely by row arithmetic).
+    pub byte_start: usize,
+    /// Exclusive byte bound on a record boundary (text formats; 0 for
+    /// row-addressed formats).
+    pub byte_end: usize,
+}
+
+impl Morsel {
+    /// Rows covered.
+    pub fn rows(&self) -> u64 {
+        self.end_row - self.first_row
+    }
+}
+
+/// A partitioned CSV file: the morsel grid plus facts the probe established
+/// on the way.
+#[derive(Debug, Clone)]
+pub struct CsvPartition {
+    /// Record-aligned morsels covering the whole buffer, in file order.
+    pub morsels: Vec<Morsel>,
+    /// Total records in the buffer.
+    pub total_rows: u64,
+    /// Whether the buffer contains any quote (`"`) byte. The partitioner
+    /// splits on raw newlines (the workspace's JIT CSV dialect); a
+    /// quote-aware general-purpose scan may parse a quoted newline as field
+    /// *content*, so callers planning for such a scan must treat a
+    /// quote-bearing file as unsplittable and fall back to serial.
+    pub saw_quote: bool,
+}
+
+/// Split `total_rows` row-addressed records (fbin, rootsim events) into at
+/// most `target` balanced morsels — pure arithmetic, no I/O.
+pub fn partition_rows(total_rows: u64, target: usize) -> Vec<Morsel> {
+    if total_rows == 0 || target == 0 {
+        return Vec::new();
+    }
+    let target = (target as u64).min(total_rows);
+    let base = total_rows / target;
+    let extra = total_rows % target;
+    let mut morsels = Vec::with_capacity(target as usize);
+    let mut row = 0u64;
+    for index in 0..target {
+        let len = base + u64::from(index < extra);
+        morsels.push(Morsel {
+            index: index as usize,
+            first_row: row,
+            end_row: row + len,
+            byte_start: 0,
+            byte_end: 0,
+        });
+        row += len;
+    }
+    morsels
+}
+
+/// Split a CSV buffer into at most `target` morsels by probing newlines.
+///
+/// The probe is one sequential pass (far cheaper than parsing: no
+/// tokenizing, no conversion) that counts records and snaps morsel
+/// boundaries to record starts once a morsel has reached its byte quota.
+/// Newlines inside a morsel's body are bulk-counted over whole slices (a
+/// shape LLVM vectorizes), and only the few bytes around each boundary are
+/// walked individually, so the probe runs at memory speed rather than
+/// tokenizer speed — it must not become the serial Amdahl term of the
+/// parallel scan it enables. A final record without a trailing newline is
+/// still a record, matching the scan operators.
+pub fn partition_csv(buf: &[u8], target: usize) -> CsvPartition {
+    let len = buf.len();
+    if len == 0 || target == 0 {
+        return CsvPartition { morsels: Vec::new(), total_rows: 0, saw_quote: false };
+    }
+    let stride = len.div_ceil(target).max(1);
+
+    let mut morsels = Vec::with_capacity(target);
+    let mut cur_byte = 0usize;
+    let mut newlines = 0u64; // records completed (newline seen) before `pos`
+    let mut saw_quote = false;
+    let mut pos = 0usize;
+    while pos < len {
+        // Bulk-scan up to this morsel's byte quota...
+        let quota = (cur_byte + stride).min(len);
+        if pos < quota {
+            let (n, q) = scan_chunk(&buf[pos..quota]);
+            newlines += n;
+            saw_quote |= q;
+            pos = quota;
+        }
+        if pos >= len {
+            break;
+        }
+        // ...then walk to the next record boundary to snap the cut there.
+        match buf[pos..].iter().position(|&b| b == NEWLINE) {
+            Some(nl) => {
+                saw_quote |= buf[pos..pos + nl].contains(&QUOTE);
+                newlines += 1;
+                let next = pos + nl + 1;
+                pos = next;
+                if next < len {
+                    morsels.push(Morsel {
+                        index: morsels.len(),
+                        first_row: morsels.last().map_or(0, |m: &Morsel| m.end_row),
+                        end_row: newlines,
+                        byte_start: cur_byte,
+                        byte_end: next,
+                    });
+                    cur_byte = next;
+                }
+            }
+            None => {
+                saw_quote |= buf[pos..].contains(&QUOTE);
+                pos = len;
+            }
+        }
+    }
+    // Everything after the last cut is the final morsel; an unterminated
+    // final line is still a record.
+    let total_rows = newlines + u64::from(buf[len - 1] != NEWLINE);
+    let first_row = morsels.last().map_or(0, |m| m.end_row);
+    morsels.push(Morsel {
+        index: morsels.len(),
+        first_row,
+        end_row: total_rows,
+        byte_start: cur_byte,
+        byte_end: len,
+    });
+    CsvPartition { morsels, total_rows, saw_quote }
+}
+
+/// Count newline bytes and detect quote bytes in `chunk` in one pass; the
+/// accumulate-over-compare shape compiles to SIMD in release builds.
+#[inline]
+fn scan_chunk(chunk: &[u8]) -> (u64, bool) {
+    let mut newlines = 0u64;
+    let mut quotes = 0u64;
+    for &b in chunk {
+        newlines += u64::from(b == NEWLINE);
+        quotes += u64::from(b == QUOTE);
+    }
+    (newlines, quotes > 0)
+}
+
+/// Split a CSV buffer using an existing positional map as split hints: when
+/// the map tracks column 0, its positions *are* the record starts, so the
+/// partitioner needs no probe pass at all. Returns `None` when the map
+/// cannot serve (column 0 untracked, or no rows).
+///
+/// Boundaries replay [`partition_csv`]'s byte-quota rule against the
+/// recorded record starts (binary search instead of byte probing), so a
+/// warm run partitions **exactly** like the cold probe did — the morsel
+/// grid, and therefore the float-summation tree of merged partial
+/// aggregates, is identical cold and warm.
+pub fn partition_csv_with_map(
+    map: &PositionalMap,
+    buf_len: usize,
+    target: usize,
+) -> Option<Vec<Morsel>> {
+    let Lookup::Exact { positions, .. } = map.lookup(0) else {
+        return None;
+    };
+    let total_rows = map.rows();
+    if total_rows == 0 || target == 0 || buf_len == 0 {
+        return None;
+    }
+    let stride = buf_len.div_ceil(target).max(1);
+
+    let mut morsels = Vec::with_capacity(target);
+    let mut cur_byte = 0usize;
+    let mut cur_row = 0usize;
+    loop {
+        let quota = cur_byte + stride;
+        if quota >= buf_len {
+            break;
+        }
+        // The probe cuts at the first record start strictly past the quota.
+        let i = positions.partition_point(|&p| (p as usize) <= quota);
+        if i >= positions.len() {
+            break;
+        }
+        let next = positions[i] as usize;
+        morsels.push(Morsel {
+            index: morsels.len(),
+            first_row: cur_row as u64,
+            end_row: i as u64,
+            byte_start: cur_byte,
+            byte_end: next,
+        });
+        cur_byte = next;
+        cur_row = i;
+    }
+    morsels.push(Morsel {
+        index: morsels.len(),
+        first_row: cur_row as u64,
+        end_row: total_rows,
+        byte_start: cur_byte,
+        byte_end: buf_len,
+    });
+    Some(morsels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raw_posmap::PosMapBuilder;
+
+    fn csv(rows: usize, field: &str) -> Vec<u8> {
+        (0..rows).map(|i| format!("{i},{field}\n")).collect::<String>().into_bytes()
+    }
+
+    fn assert_covers(p: &CsvPartition, buf: &[u8]) {
+        let mut byte = 0usize;
+        let mut row = 0u64;
+        for (i, m) in p.morsels.iter().enumerate() {
+            assert_eq!(m.index, i);
+            assert_eq!(m.byte_start, byte, "byte-contiguous");
+            assert_eq!(m.first_row, row, "row-contiguous");
+            assert!(m.end_row > m.first_row, "no empty morsels");
+            assert!(
+                m.byte_start == 0 || buf[m.byte_start - 1] == b'\n',
+                "morsel starts on a record boundary"
+            );
+            byte = m.byte_end;
+            row = m.end_row;
+        }
+        assert_eq!(byte, buf.len(), "morsels cover the buffer");
+        assert_eq!(row, p.total_rows, "morsels cover every row");
+    }
+
+    #[test]
+    fn csv_partition_covers_and_aligns() {
+        let buf = csv(100, "abc,def");
+        let p = partition_csv(&buf, 7);
+        assert_eq!(p.total_rows, 100);
+        assert!(p.morsels.len() >= 2 && p.morsels.len() <= 7);
+        assert_covers(&p, &buf);
+    }
+
+    #[test]
+    fn csv_partition_counts_unterminated_final_row() {
+        let mut buf = csv(10, "x");
+        buf.pop(); // drop the trailing newline
+        let p = partition_csv(&buf, 3);
+        assert_eq!(p.total_rows, 10, "final unterminated line is a record");
+        assert_covers(&p, &buf);
+    }
+
+    #[test]
+    fn csv_partition_short_file_yields_one_morsel() {
+        let buf = csv(2, "y");
+        let p = partition_csv(&buf, 8);
+        assert!(p.morsels.len() <= 2);
+        assert_covers(&p, &buf);
+        let empty = partition_csv(b"", 4);
+        assert!(empty.morsels.is_empty());
+        assert_eq!(empty.total_rows, 0);
+    }
+
+    #[test]
+    fn row_partition_balances() {
+        let ms = partition_rows(10, 4);
+        assert_eq!(ms.len(), 4);
+        let sizes: Vec<u64> = ms.iter().map(Morsel::rows).collect();
+        assert_eq!(sizes.iter().sum::<u64>(), 10);
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3));
+        assert_eq!(ms.last().unwrap().end_row, 10);
+
+        assert_eq!(partition_rows(3, 8).len(), 3, "never more morsels than rows");
+        assert!(partition_rows(0, 4).is_empty());
+    }
+
+    #[test]
+    fn map_hints_reproduce_probe_grid_exactly() {
+        let buf = csv(50, "hello,world");
+        // Build the map a full scan would: col 0 tracked, one entry per row.
+        let mut b = PosMapBuilder::new(vec![0]);
+        let mut pos = 0u64;
+        for i in 0..50 {
+            let line_len = format!("{i},hello,world\n").len() as u64;
+            b.record(0, pos, i.to_string().len() as u32);
+            pos += line_len;
+        }
+        let map = b.finish().unwrap();
+        for target in 1..9 {
+            let probe = partition_csv(&buf, target);
+            let hinted = partition_csv_with_map(&map, buf.len(), target).unwrap();
+            // Cold (probe) and warm (map-hinted) runs must use the *same*
+            // grid, so merged float aggregates are bitwise cold/warm stable.
+            assert_eq!(hinted, probe.morsels, "target {target}");
+        }
+
+        // A map without column 0 cannot hint.
+        let mut odd = PosMapBuilder::new(vec![2]);
+        odd.record(0, 3, 1);
+        let odd = odd.finish().unwrap();
+        assert!(partition_csv_with_map(&odd, buf.len(), 4).is_none());
+    }
+}

@@ -157,9 +157,7 @@ pub fn parse_bool(bytes: &[u8]) -> Result<bool> {
 /// Decode field bytes as UTF-8 text.
 #[inline]
 pub fn parse_utf8(bytes: &[u8]) -> Result<String> {
-    std::str::from_utf8(bytes)
-        .map(str::to_owned)
-        .map_err(|_| FormatError::parse(bytes, "utf8"))
+    std::str::from_utf8(bytes).map(str::to_owned).map_err(|_| FormatError::parse(bytes, "utf8"))
 }
 
 #[cfg(test)]

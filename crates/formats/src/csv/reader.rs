@@ -18,11 +18,8 @@ use crate::error::{FormatError, Result};
 /// every field.
 pub fn read_table(buf: &[u8], schema: &Schema) -> Result<MemTable> {
     let ncols = schema.len();
-    let mut builders: Vec<Column> = schema
-        .fields()
-        .iter()
-        .map(|f| Column::empty(f.data_type))
-        .collect();
+    let mut builders: Vec<Column> =
+        schema.fields().iter().map(|f| Column::empty(f.data_type)).collect();
 
     for (row_idx, (start, end)) in RowIter::new(buf).enumerate() {
         let line = &buf[start..end];
@@ -31,8 +28,7 @@ pub fn read_table(buf: &[u8], schema: &Schema) -> Result<MemTable> {
             let (span, next) = next_field(line, pos);
             // The byte that terminated this field: a delimiter means more
             // fields follow; none / end-of-line means this was the last one.
-            let terminated_by_delim =
-                span.end < line.len() && line[span.end] == super::DELIMITER;
+            let terminated_by_delim = span.end < line.len() && line[span.end] == super::DELIMITER;
             let is_last_col = col_idx + 1 == ncols;
             if !is_last_col && !terminated_by_delim {
                 return Err(FormatError::Corrupt {
@@ -93,10 +89,7 @@ mod tests {
         assert_eq!(t.rows(), 2);
         assert_eq!(t.column(0).unwrap().as_i64().unwrap(), &[1, -3]);
         assert_eq!(t.column(1).unwrap().as_f64().unwrap(), &[2.5, 0.0]);
-        assert_eq!(
-            t.column(2).unwrap().as_utf8().unwrap(),
-            &["x".to_owned(), "yz".to_owned()]
-        );
+        assert_eq!(t.column(2).unwrap().as_utf8().unwrap(), &["x".to_owned(), "yz".to_owned()]);
     }
 
     #[test]

@@ -258,7 +258,7 @@ mod tests {
         assert_eq!(skip_fields_in_row(buf, 0, 3), (6, true));
         // Row 2 has 2 fields: skipping 2 crosses its end.
         let row2 = 6;
-        assert_eq!(skip_fields_in_row(buf, row2, 1).1, false);
+        assert!(!skip_fields_in_row(buf, row2, 1).1);
         assert!(skip_fields_in_row(buf, row2, 2).1);
         assert!(skip_fields_in_row(buf, row2, 5).1);
         // Zero skips never end a row.

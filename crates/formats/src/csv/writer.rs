@@ -77,11 +77,7 @@ mod tests {
                 raw_columnar::Field::new("b", DataType::Float64),
                 raw_columnar::Field::new("c", DataType::Bool),
             ]),
-            vec![
-                vec![1i64, -2].into(),
-                vec![0.5f64, 2.0].into(),
-                vec![true, false].into(),
-            ],
+            vec![vec![1i64, -2].into(), vec![0.5f64, 2.0].into(), vec![true, false].into()],
         )
         .unwrap();
         let bytes = to_bytes(&t).unwrap();
@@ -96,8 +92,8 @@ mod tests {
 
     #[test]
     fn file_roundtrip() {
-        let t = MemTable::new(Schema::uniform(1, DataType::Int64), vec![vec![7i64].into()])
-            .unwrap();
+        let t =
+            MemTable::new(Schema::uniform(1, DataType::Int64), vec![vec![7i64].into()]).unwrap();
         let path = std::env::temp_dir().join(format!("raw_csvw_{}.csv", std::process::id()));
         write_file(&t, &path).unwrap();
         assert_eq!(std::fs::read(&path).unwrap(), b"7\n");

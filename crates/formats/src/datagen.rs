@@ -47,8 +47,7 @@ pub fn mixed_table(seed: u64, rows: usize, cols: usize) -> MemTable {
     let ints: Vec<i64> = (0..rows).map(|_| rng.gen_range(0..INT_VALUE_RANGE)).collect();
     columns.push(ints.into());
     for _ in 1..cols {
-        let v: Vec<f64> =
-            (0..rows).map(|_| rng.gen_range(0.0..INT_VALUE_RANGE as f64)).collect();
+        let v: Vec<f64> = (0..rows).map(|_| rng.gen_range(0.0..INT_VALUE_RANGE as f64)).collect();
         columns.push(v.into());
     }
     MemTable::new(schema, columns).expect("generated columns match schema")
@@ -167,8 +166,7 @@ mod tests {
         // Empirical check: ~30% of generated values pass the 30% literal.
         let t = int_table(11, 20_000, 1);
         let x = literal_for_selectivity(0.3);
-        let passing =
-            t.column(0).unwrap().as_i64().unwrap().iter().filter(|&&v| v < x).count();
+        let passing = t.column(0).unwrap().as_i64().unwrap().iter().filter(|&&v| v < x).count();
         let frac = passing as f64 / 20_000.0;
         assert!((frac - 0.3).abs() < 0.02, "observed {frac}");
     }

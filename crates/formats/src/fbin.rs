@@ -113,17 +113,12 @@ impl FbinLayout {
             types.push(code_type(buf[12 + i])?);
         }
         need(12 + ncols + 8, "row count")?;
-        let rows = u64::from_le_bytes(
-            buf[12 + ncols..12 + ncols + 8].try_into().expect("sized"),
-        );
+        let rows = u64::from_le_bytes(buf[12 + ncols..12 + ncols + 8].try_into().expect("sized"));
         let layout = FbinLayout::for_types(types, rows)?;
         let expected = layout.data_start as u64 + rows * layout.row_width as u64;
         if (buf.len() as u64) < expected {
             return Err(FormatError::Corrupt {
-                context: format!(
-                    "fbin data truncated: need {expected} bytes, have {}",
-                    buf.len()
-                ),
+                context: format!("fbin data truncated: need {expected} bytes, have {}", buf.len()),
                 offset: Some(buf.len() as u64),
             });
         }
@@ -197,12 +192,10 @@ pub fn read_value(buf: &[u8], layout: &FbinLayout, row: u64, col: usize) -> Resu
 
 /// Serialize a table to fbin bytes.
 pub fn to_bytes(table: &MemTable) -> Result<Vec<u8>> {
-    let types: Vec<DataType> =
-        table.schema().fields().iter().map(|f| f.data_type).collect();
+    let types: Vec<DataType> = table.schema().fields().iter().map(|f| f.data_type).collect();
     let layout = FbinLayout::for_types(types, table.rows() as u64)?;
 
-    let mut out =
-        Vec::with_capacity(layout.data_start + table.rows() * layout.row_width);
+    let mut out = Vec::with_capacity(layout.data_start + table.rows() * layout.row_width);
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&(layout.num_cols() as u32).to_le_bytes());
     for &dt in &layout.types {

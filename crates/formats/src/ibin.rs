@@ -196,10 +196,8 @@ impl IbinLayout {
 
     /// Parse and validate a file (header, data extent, and index section).
     pub fn parse(buf: &[u8]) -> Result<IbinLayout> {
-        let corrupt = |context: String, offset: Option<u64>| FormatError::Corrupt {
-            context,
-            offset,
-        };
+        let corrupt =
+            |context: String, offset: Option<u64>| FormatError::Corrupt { context, offset };
         if buf.len() < MAGIC.len() {
             return Err(corrupt("ibin header truncated".into(), Some(buf.len() as u64)));
         }
@@ -244,11 +242,7 @@ impl IbinLayout {
             })?;
         }
         let data_start = hlen;
-        let n_pages = if rows == 0 {
-            0
-        } else {
-            (rows as usize).div_ceil(rows_per_page as usize)
-        };
+        let n_pages = if rows == 0 { 0 } else { (rows as usize).div_ceil(rows_per_page as usize) };
         let index_start = data_start as u64 + rows * row_width as u64;
         let index_len = (n_pages * ncols * 16) as u64;
         if (buf.len() as u64) < index_start + index_len {
@@ -266,9 +260,7 @@ impl IbinLayout {
         let mut zones: Vec<ZoneVec> = types
             .iter()
             .map(|dt| match dt {
-                DataType::Float32 | DataType::Float64 => {
-                    ZoneVec::F64(Vec::with_capacity(n_pages))
-                }
+                DataType::Float32 | DataType::Float64 => ZoneVec::F64(Vec::with_capacity(n_pages)),
                 _ => ZoneVec::I64(Vec::with_capacity(n_pages)),
             })
             .collect();
@@ -332,9 +324,8 @@ impl IbinLayout {
                 if z.len() != n {
                     continue;
                 }
-                match z.page_may_match(page, p.op, &p.value) {
-                    Some(false) => continue 'page,
-                    _ => {}
+                if let Some(false) = z.page_may_match(page, p.op, &p.value) {
+                    continue 'page;
                 }
             }
             survivors.push(page);
@@ -364,9 +355,7 @@ impl IbinLayout {
             CmpOp::Le => (0, mins.partition_point(|&m| m <= x)),
             CmpOp::Gt => (maxs.partition_point(|&m| m <= x), n),
             CmpOp::Ge => (maxs.partition_point(|&m| m < x), n),
-            CmpOp::Eq => {
-                (maxs.partition_point(|&m| m < x), mins.partition_point(|&m| m <= x))
-            }
+            CmpOp::Eq => (maxs.partition_point(|&m| m < x), mins.partition_point(|&m| m <= x)),
             CmpOp::Ne => (0, n),
         })
     }
@@ -384,8 +373,7 @@ pub fn to_bytes_with(
             message: "ibin rows_per_page must be positive".into(),
         });
     }
-    let types: Vec<DataType> =
-        table.schema().fields().iter().map(|f| f.data_type).collect();
+    let types: Vec<DataType> = table.schema().fields().iter().map(|f| f.data_type).collect();
     for &dt in &types {
         type_code(dt)?; // validates fixed-width
     }
@@ -441,18 +429,16 @@ pub fn to_bytes_with(
         let end = (start + rows_per_page as usize).min(rows);
         for col in table.columns() {
             match col {
-                Column::Int32(v) => push_zone_i64(
-                    &mut out,
-                    v[start..end].iter().map(|&x| i64::from(x)),
-                ),
+                Column::Int32(v) => {
+                    push_zone_i64(&mut out, v[start..end].iter().map(|&x| i64::from(x)))
+                }
                 Column::Int64(v) => push_zone_i64(&mut out, v[start..end].iter().copied()),
                 Column::Bool(v) => {
                     push_zone_i64(&mut out, v[start..end].iter().map(|&b| i64::from(b)))
                 }
-                Column::Float32(v) => push_zone_f64(
-                    &mut out,
-                    v[start..end].iter().map(|&x| f64::from(x)),
-                ),
+                Column::Float32(v) => {
+                    push_zone_f64(&mut out, v[start..end].iter().map(|&x| f64::from(x)))
+                }
                 Column::Float64(v) => push_zone_f64(&mut out, v[start..end].iter().copied()),
                 Column::Utf8(_) => unreachable!("validated fixed-width above"),
             }
@@ -621,8 +607,7 @@ mod tests {
         let layout = IbinLayout::parse(&bytes).unwrap();
         let col0 = t.column(0).unwrap().as_i64().unwrap();
         for x in [0, 100_000_000, 500_000_000, 999_999_999] {
-            let preds =
-                vec![PrunePred { col: 0, op: CmpOp::Lt, value: Value::Int64(x) }];
+            let preds = vec![PrunePred { col: 0, op: CmpOp::Lt, value: Value::Int64(x) }];
             let pages = layout.candidate_pages(&preds);
             // Every row that satisfies the predicate must live in a
             // surviving page.

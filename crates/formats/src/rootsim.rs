@@ -152,11 +152,7 @@ impl RootSimWriter {
 
     /// Append one event: its scalar values plus, per collection, a list of
     /// items (each item = one value per field).
-    pub fn add_event(
-        &mut self,
-        scalars: &[Value],
-        collections: &[Vec<Vec<Value>>],
-    ) -> Result<()> {
+    pub fn add_event(&mut self, scalars: &[Value], collections: &[Vec<Vec<Value>>]) -> Result<()> {
         if scalars.len() != self.schema.scalars.len() {
             return Err(FormatError::SchemaMismatch {
                 message: format!(
@@ -458,11 +454,7 @@ impl RootSimFile {
 
     /// Resolve a field within a collection by name.
     pub fn field(&self, coll: CollectionId, name: &str) -> Option<FieldId> {
-        self.schema.collections[coll.0]
-            .fields
-            .iter()
-            .position(|(n, _)| n == name)
-            .map(FieldId)
+        self.schema.collections[coll.0].fields.iter().position(|(n, _)| n == name).map(FieldId)
     }
 
     /// Type of a scalar branch.
@@ -518,9 +510,7 @@ impl RootSimFile {
             DataType::Int64 => Value::Int64(self.read_scalar_i64(branch, event)),
             DataType::Float32 => Value::Float32(self.read_scalar_f32(branch, event)),
             DataType::Float64 => Value::Float64(self.read_scalar_f64(branch, event)),
-            DataType::Bool => {
-                Value::Bool(self.buf[self.scalar_at(branch, event)] != 0)
-            }
+            DataType::Bool => Value::Bool(self.buf[self.scalar_at(branch, event)] != 0),
             DataType::Utf8 => unreachable!("rootsim branches are fixed-width"),
         })
     }
@@ -559,8 +549,7 @@ impl RootSimFile {
         let mut hi = self.events; // invariant: offsets[lo] <= item < offsets[hi+1]
         while lo < hi {
             let mid = (lo + hi) / 2;
-            let upper =
-                crate::fbin::read_i64(&self.buf, base + (mid as usize + 1) * 8) as u64;
+            let upper = crate::fbin::read_i64(&self.buf, base + (mid as usize + 1) * 8) as u64;
             if item < upper {
                 hi = mid;
             } else {
@@ -769,10 +758,7 @@ mod tests {
             "item arity"
         );
         // utf8 schema rejected
-        let bad = RootSchema {
-            scalars: vec![("s".into(), DataType::Utf8)],
-            collections: vec![],
-        };
+        let bad = RootSchema { scalars: vec![("s".into(), DataType::Utf8)], collections: vec![] };
         assert!(RootSimWriter::new(bad).is_err());
     }
 

@@ -109,15 +109,10 @@ pub fn generate_dataset(config: DatasetConfig, dir: &Path) -> Result<HiggsDatase
         let collections: Vec<Vec<Vec<Value>>> = [&e.muons, &e.electrons, &e.jets]
             .iter()
             .map(|ps| {
-                ps.iter()
-                    .map(|p| vec![Value::Float32(p.pt), Value::Float32(p.eta)])
-                    .collect()
+                ps.iter().map(|p| vec![Value::Float32(p.pt), Value::Float32(p.eta)]).collect()
             })
             .collect();
-        writer.add_event(
-            &[Value::Int64(e.event_id), Value::Int32(e.run_number)],
-            &collections,
-        )?;
+        writer.add_event(&[Value::Int64(e.event_id), Value::Int32(e.run_number)], &collections)?;
     }
     let root_path = dir.join(format!("atlas_{}_{}.rootsim", config.events, config.seed));
     writer.write_file(&root_path)?;
@@ -156,10 +151,7 @@ mod tests {
         let mean = total_muons as f64 / 2000.0;
         assert!((1.0..3.5).contains(&mean), "mean multiplicity {mean}");
         assert!(events.iter().all(|e| (1..=cfg.runs as i32).contains(&e.run_number)));
-        assert!(events
-            .iter()
-            .flat_map(|e| &e.jets)
-            .all(|p| p.pt >= 0.0 && p.eta.abs() <= 3.5));
+        assert!(events.iter().flat_map(|e| &e.jets).all(|p| p.pt >= 0.0 && p.eta.abs() <= 3.5));
     }
 
     #[test]

@@ -57,11 +57,10 @@ impl HandwrittenAnalysis {
     ) -> Result<HandwrittenAnalysis> {
         let file = Arc::new(RootSimFile::open_bytes(files.read(root_path)?)?);
         let resolve_coll = |name: &str| -> Result<CollIds> {
-            let coll = file.collection(name).ok_or_else(|| {
-                raw_formats::FormatError::SchemaMismatch {
+            let coll =
+                file.collection(name).ok_or_else(|| raw_formats::FormatError::SchemaMismatch {
                     message: format!("no collection {name}"),
-                }
-            })?;
+                })?;
             let field = |f: &str| {
                 file.field(coll, f).ok_or_else(|| raw_formats::FormatError::SchemaMismatch {
                     message: format!("no field {f} in {name}"),
@@ -209,10 +208,7 @@ mod tests {
         }
         HiggsResult {
             candidates,
-            histogram: histogram
-                .into_iter()
-                .map(|(b, c)| (f64::from_bits(b as u64), c))
-                .collect(),
+            histogram: histogram.into_iter().map(|(b, c)| (f64::from_bits(b as u64), c)).collect(),
         }
     }
 

@@ -242,10 +242,7 @@ mod tests {
         // Warm run: same result, shreds served from the pool.
         let warm = raw.run().unwrap();
         assert_eq!(warm, expected);
-        assert!(
-            raw.engine().shred_pool_stats().hits > 0,
-            "warm run should hit the shred pool"
-        );
+        assert!(raw.engine().shred_pool_stats().hits > 0, "warm run should hit the shred pool");
 
         std::fs::remove_file(&ds.root_path).ok();
         std::fs::remove_file(&ds.goodruns_path).ok();

@@ -20,5 +20,5 @@
 pub mod map;
 pub mod policy;
 
-pub use map::{Lookup, PosMapBuilder, PositionalMap};
+pub use map::{AppendError, Lookup, PosMapBuilder, PositionalMap};
 pub use policy::TrackingPolicy;

@@ -73,10 +73,9 @@ impl PositionalMap {
     /// How to reach `col`: exact jump, nearest-then-parse, or miss.
     pub fn lookup(&self, col: usize) -> Lookup<'_> {
         match self.tracked.binary_search(&col) {
-            Ok(slot) => Lookup::Exact {
-                positions: &self.positions[slot],
-                lengths: &self.lengths[slot],
-            },
+            Ok(slot) => {
+                Lookup::Exact { positions: &self.positions[slot], lengths: &self.lengths[slot] }
+            }
             Err(0) => Lookup::Miss,
             Err(ins) => {
                 let slot = ins - 1;
@@ -125,7 +124,54 @@ impl PositionalMap {
         self.rows = self.rows.max(other.rows);
         Ok(())
     }
+
+    /// Append another map's rows *below* this one's: row-wise concatenation
+    /// over the **same tracked columns**. This is how per-morsel positional-
+    /// map fragments built by parallel scans combine into the file-wide map —
+    /// fragment `k+1` covers the rows immediately following fragment `k`, so
+    /// appending in morsel order reproduces the serially-built map exactly
+    /// (positions are absolute byte offsets and need no rebasing).
+    pub fn append(&mut self, other: &PositionalMap) -> Result<(), AppendError> {
+        if other.rows == 0 {
+            return Ok(());
+        }
+        if self.rows == 0 && self.tracked.is_empty() {
+            *self = other.clone();
+            return Ok(());
+        }
+        if self.tracked != other.tracked {
+            return Err(AppendError { ours: self.tracked.clone(), theirs: other.tracked.clone() });
+        }
+        for (slot, _) in self.tracked.iter().enumerate() {
+            self.positions[slot].extend_from_slice(&other.positions[slot]);
+            self.lengths[slot].extend_from_slice(&other.lengths[slot]);
+        }
+        self.rows += other.rows;
+        Ok(())
+    }
 }
+
+/// Tracked-column mismatch while appending positional-map fragments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppendError {
+    /// Tracked columns of the receiving map.
+    pub ours: Vec<usize>,
+    /// Tracked columns of the incoming fragment.
+    pub theirs: Vec<usize>,
+}
+
+impl fmt::Display for AppendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot append positional-map fragments over different tracked \
+             columns ({:?} vs {:?})",
+            self.ours, self.theirs
+        )
+    }
+}
+
+impl std::error::Error for AppendError {}
 
 /// Row-count mismatch while merging two positional maps.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -167,11 +213,7 @@ impl PosMapBuilder {
         tracked.sort_unstable();
         tracked.dedup();
         let n = tracked.len();
-        PosMapBuilder {
-            tracked,
-            positions: vec![Vec::new(); n],
-            lengths: vec![Vec::new(); n],
-        }
+        PosMapBuilder { tracked, positions: vec![Vec::new(); n], lengths: vec![Vec::new(); n] }
     }
 
     /// Pre-size per-column vectors when the row count is known.
@@ -352,6 +394,38 @@ mod tests {
         b.record(0, 0, 1);
         let b = b.finish().unwrap();
         assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn append_concatenates_fragments_in_order() {
+        let fragment = |base: u64, rows: u64| {
+            let mut b = PosMapBuilder::new(vec![1, 4]);
+            for r in 0..rows {
+                b.record(0, base + r * 100 + 10, 5);
+                b.record(1, base + r * 100 + 40, 7);
+            }
+            b.finish().unwrap()
+        };
+        let mut whole = PositionalMap::default();
+        whole.append(&fragment(0, 3)).unwrap();
+        whole.append(&fragment(300, 2)).unwrap();
+        assert_eq!(whole.rows(), 5);
+        assert_eq!(whole.tracked_columns(), &[1, 4]);
+        assert_eq!(whole.position(1, 0), Some(10));
+        assert_eq!(whole.position(1, 3), Some(310), "fragment 2 rows follow fragment 1");
+        assert_eq!(whole.position(4, 4), Some(440));
+
+        // Appending mismatched tracked columns is an error.
+        let mut odd = PosMapBuilder::new(vec![2]);
+        odd.record(0, 0, 1);
+        let odd = odd.finish().unwrap();
+        let err = whole.append(&odd).unwrap_err();
+        assert!(err.to_string().contains("different tracked columns"));
+
+        // Empty fragments are no-ops.
+        let before = whole.rows();
+        whole.append(&PositionalMap::default()).unwrap();
+        assert_eq!(whole.rows(), before);
     }
 
     #[test]

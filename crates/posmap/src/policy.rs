@@ -26,9 +26,7 @@ impl TrackingPolicy {
                 let s = (*stride).max(1);
                 (0..ncols).step_by(s).collect()
             }
-            TrackingPolicy::Explicit(cols) => {
-                cols.iter().copied().filter(|&c| c < ncols).collect()
-            }
+            TrackingPolicy::Explicit(cols) => cols.iter().copied().filter(|&c| c < ncols).collect(),
             TrackingPolicy::QueryColumns => {
                 query_columns.iter().copied().filter(|&c| c < ncols).collect()
             }
@@ -47,10 +45,7 @@ mod tests {
     #[test]
     fn every_k() {
         assert_eq!(TrackingPolicy::EveryK { stride: 10 }.resolve(30, &[]), vec![0, 10, 20]);
-        assert_eq!(
-            TrackingPolicy::EveryK { stride: 7 }.resolve(30, &[]),
-            vec![0, 7, 14, 21, 28]
-        );
+        assert_eq!(TrackingPolicy::EveryK { stride: 7 }.resolve(30, &[]), vec![0, 7, 14, 21, 28]);
         assert_eq!(TrackingPolicy::EveryK { stride: 1 }.resolve(3, &[]), vec![0, 1, 2]);
         // stride 0 is clamped to 1 rather than looping forever
         assert_eq!(TrackingPolicy::EveryK { stride: 0 }.resolve(2, &[]), vec![0, 1]);

@@ -10,9 +10,7 @@
 //! Run with: `cargo run --release --example cost_based_planning`
 
 use raw::columnar::{DataType, Schema};
-use raw::engine::{
-    AccessMode, EngineConfig, RawEngine, ShredStrategy, TableDef, TableSource,
-};
+use raw::engine::{AccessMode, EngineConfig, RawEngine, ShredStrategy, TableDef, TableSource};
 use raw::formats::datagen;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -39,10 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nquery: {query}\n");
 
     for placement in [JoinPlacement::Early, JoinPlacement::Intermediate, JoinPlacement::Late] {
-        let mut engine = RawEngine::new(EngineConfig {
-            join_placement: placement,
-            ..EngineConfig::default()
-        });
+        let mut engine =
+            RawEngine::new(EngineConfig { join_placement: placement, ..EngineConfig::default() });
         engine.register_table(TableDef {
             name: "file1".into(),
             schema: Schema::uniform(cols, DataType::Int64),
@@ -63,10 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("placement {placement:?}:");
         println!("  answer    : {}", r.scalar()?);
         println!("  wall      : {:?}", r.stats.wall);
-        println!(
-            "  converted : {} values from raw data",
-            r.stats.metrics.values_converted
-        );
+        println!("  converted : {} values from raw data", r.stats.metrics.values_converted);
         for line in &r.stats.explain {
             println!("  plan      | {line}");
         }

@@ -55,10 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== Table 3 (shape) ==");
     println!("{:<28} {:>12} {:>12}", "", "cold", "warm");
-    println!(
-        "{:<28} {:>12.3?} {:>12.3?}",
-        "Hand-written (C++-style)", hw_cold_time, hw_warm_time
-    );
+    println!("{:<28} {:>12.3?} {:>12.3?}", "Hand-written (C++-style)", hw_cold_time, hw_warm_time);
     println!("{:<28} {:>12.3?} {:>12.3?}", "RAW", raw_cold_time, raw_warm_time);
     println!(
         "\nwarm speedup of RAW over hand-written: {:.1}x",

@@ -16,9 +16,7 @@
 //! Run with: `cargo run --release --example indexed_analytics`
 
 use raw::columnar::{DataType, Schema};
-use raw::engine::{
-    AccessMode, EngineConfig, RawEngine, ShredStrategy, TableDef, TableSource,
-};
+use raw::engine::{AccessMode, EngineConfig, RawEngine, ShredStrategy, TableDef, TableSource};
 use raw::formats::datagen;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

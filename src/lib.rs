@@ -13,8 +13,23 @@
 //! | [`formats`] | CSV, fixed-width binary (`fbin`), and ROOT-like (`rootsim`) raw formats |
 //! | [`posmap`] | positional maps (NoDB-style structural indexes) |
 //! | [`access`] | access paths: external tables, in-situ, JIT-specialized; shred fetchers |
+//! | [`exec`] | morsel-driven parallel execution: partitioner, worker pool, merge layer |
 //! | [`engine`] | the RAW engine: catalog, mini-SQL, adaptive planner, shred pool |
 //! | [`higgs`] | the ATLAS Higgs use case: hand-written baseline vs. RAW |
+//!
+//! ## Parallelism
+//!
+//! Eligible queries (single-table, non-grouped, over CSV/fbin/rootsim-event
+//! sources in in-situ or JIT mode) execute morsel-parallel on
+//! [`engine::EngineConfig::parallelism`] worker threads (default: all
+//! cores). The morsel grid depends only on the file, so parallel results
+//! are identical for every worker count >= 2, cold and warm; integer
+//! results also match the serial engine bit-for-bit. Float SUM/AVG are
+//! deterministic per access path but may differ in final-bit rounding when
+//! the path changes (serial vs parallel, or a warm run answered from the
+//! shred pool's serial scan): summation reassociates. `parallelism: 1`
+//! bypasses the subsystem entirely and reproduces the serial engine
+//! bit-for-bit. See [`exec`].
 //!
 //! ## Quick start
 //!
@@ -42,6 +57,8 @@ pub use raw_access as access;
 pub use raw_columnar as columnar;
 /// The RAW engine: catalog, SQL, adaptive physical planning, caches.
 pub use raw_engine as engine;
+/// Morsel-driven parallel execution: partitioner, worker pool, merge layer.
+pub use raw_exec as exec;
 /// Raw file formats: CSV, fbin, rootsim, plus data generators.
 pub use raw_formats as formats;
 /// The ATLAS Higgs-boson use case.

@@ -103,9 +103,8 @@ fn three_format_federation() {
     });
 
     let x = datagen::literal_for_selectivity(0.5);
-    let sql = format!(
-        "SELECT MAX(f1.col5) FROM f1 JOIN f2 ON f1.col1 = f2.col1 WHERE f2.col2 < {x}"
-    );
+    let sql =
+        format!("SELECT MAX(f1.col5) FROM f1 JOIN f2 ON f1.col1 = f2.col1 WHERE f2.col2 < {x}");
     let got = as_i64(engine.query(&sql).unwrap().scalar().unwrap());
 
     // Ground truth: join on col1 (same multiset in both files).
@@ -113,19 +112,10 @@ fn three_format_federation() {
     let t1c5 = t1.column(4).unwrap().as_i64().unwrap();
     let t2c1 = t2.column(0).unwrap().as_i64().unwrap();
     let t2c2 = t2.column(1).unwrap().as_i64().unwrap();
-    let keys: std::collections::HashSet<i64> = t2c1
-        .iter()
-        .zip(t2c2)
-        .filter(|&(_, &c2)| c2 < x)
-        .map(|(&k, _)| k)
-        .collect();
-    let want = t1c1
-        .iter()
-        .zip(t1c5)
-        .filter(|&(k, _)| keys.contains(k))
-        .map(|(_, &v)| v)
-        .max()
-        .unwrap();
+    let keys: std::collections::HashSet<i64> =
+        t2c1.iter().zip(t2c2).filter(|&(_, &c2)| c2 < x).map(|(&k, _)| k).collect();
+    let want =
+        t1c1.iter().zip(t1c5).filter(|&(k, _)| keys.contains(k)).map(|(_, &v)| v).max().unwrap();
     assert_eq!(got, want);
 }
 
@@ -138,8 +128,7 @@ fn higgs_cross_format_pipeline_agrees_with_baseline() {
 
     let files = raw::formats::file_buffer::FileBufferPool::new();
     let mut hw =
-        higgs::HandwrittenAnalysis::open(&files, &ds.root_path, &ds.goodruns_path, cuts)
-            .unwrap();
+        higgs::HandwrittenAnalysis::open(&files, &ds.root_path, &ds.goodruns_path, cuts).unwrap();
     let expected = hw.run();
 
     let mut analysis = higgs::RawHiggsAnalysis::open(&ds, EngineConfig::default(), cuts);
@@ -162,14 +151,10 @@ fn mode_matrix_agrees_on_binary_join() {
     raw::formats::fbin::write_file(&t2, &p2).unwrap();
 
     let x = datagen::literal_for_selectivity(0.4);
-    let sql = format!(
-        "SELECT MAX(b.col11) FROM a JOIN b ON a.col1 = b.col1 WHERE b.col2 < {x}"
-    );
+    let sql = format!("SELECT MAX(b.col11) FROM a JOIN b ON a.col1 = b.col1 WHERE b.col2 < {x}");
     let mut reference = None;
     for mode in [AccessMode::Dbms, AccessMode::InSitu, AccessMode::Jit] {
-        for placement in
-            [JoinPlacement::Early, JoinPlacement::Intermediate, JoinPlacement::Late]
-        {
+        for placement in [JoinPlacement::Early, JoinPlacement::Intermediate, JoinPlacement::Late] {
             let mut engine = RawEngine::new(EngineConfig {
                 mode,
                 shreds: ShredStrategy::ColumnShreds,
@@ -260,26 +245,17 @@ fn four_format_federation_with_adaptive_engine() {
     engine.query(&format!("SELECT MAX(col1) FROM f1 WHERE col1 < {x}")).unwrap();
     engine.query(&format!("SELECT MAX(col2) FROM f2 WHERE col2 < {x}")).unwrap();
 
-    let sql = format!(
-        "SELECT MAX(f1.col5) FROM f1 JOIN f2 ON f1.col1 = f2.col1 WHERE f2.col1 < {x}"
-    );
+    let sql =
+        format!("SELECT MAX(f1.col5) FROM f1 JOIN f2 ON f1.col1 = f2.col1 WHERE f2.col1 < {x}");
     let got = as_i64(engine.query(&sql).unwrap().scalar().unwrap());
     // Same multiset on both sides: the join keeps rows with col1 < x.
     let c1 = t1.column(0).unwrap().as_i64().unwrap();
     let c5 = t1.column(4).unwrap().as_i64().unwrap();
-    let want = c1
-        .iter()
-        .zip(c5)
-        .filter(|&(&k, _)| k < x)
-        .map(|(_, &v)| v)
-        .max()
-        .unwrap();
+    let want = c1.iter().zip(c5).filter(|&(&k, _)| k < x).map(|(_, &v)| v).max().unwrap();
     assert_eq!(got, want);
 
     // The ibin side must have pruned pages (sorted key, 15% selectivity).
-    let r = engine
-        .query(&format!("SELECT COUNT(col5) FROM f2 WHERE col1 < {x}"))
-        .unwrap();
+    let r = engine.query(&format!("SELECT COUNT(col5) FROM f2 WHERE col1 < {x}")).unwrap();
     assert!(r.stats.metrics.rows_pruned > 0, "sorted ibin must prune");
 
     // Grouped aggregation over the same raw files, validated against a
@@ -287,9 +263,7 @@ fn four_format_federation_with_adaptive_engine() {
     // out of grammar, so group by col1 over a tiny filtered domain).
     let tiny = datagen::literal_for_selectivity(0.002);
     let r = engine
-        .query(&format!(
-            "SELECT col1, COUNT(col5) FROM f1 WHERE col1 < {tiny} GROUP BY col1"
-        ))
+        .query(&format!("SELECT col1, COUNT(col5) FROM f1 WHERE col1 < {tiny} GROUP BY col1"))
         .unwrap();
     let want_groups: std::collections::BTreeSet<i64> =
         c1.iter().copied().filter(|&k| k < tiny).collect();

@@ -1,0 +1,252 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! A small but *measuring* harness: each `bench_function` runs its routine
+//! `sample_size` times (after one warm-up call) and prints min / median /
+//! mean wall times. No statistics beyond that, no HTML reports, no CLI
+//! filtering — enough for `cargo bench` to produce honest numbers offline
+//! and for `cargo check --benches` to keep bench code compiling.
+
+use std::time::{Duration, Instant};
+
+/// Batch-size hint for [`Bencher::iter_batched`] (accepted, not acted on:
+/// every iteration gets a fresh setup value either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup values; many per allocation in real criterion.
+    SmallInput,
+    /// Large setup values; one per allocation in real criterion.
+    LargeInput,
+    /// One setup call per iteration.
+    PerIteration,
+}
+
+/// An opaque black box preventing the optimizer from deleting a value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, not recorded
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Time `routine` over a fresh `setup()` value per sample; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up, not recorded
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`], passing the input by reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut warm = setup();
+        black_box(routine(&mut warm));
+        for _ in 0..self.sample_size {
+            let mut input = setup();
+            let t = Instant::now();
+            black_box(routine(&mut input));
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// The benchmark manager: entry point handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the default number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Hook for `criterion_main!`-generated code; no CLI handling here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run `f` as a standalone benchmark named `id`.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        run_one(id.as_ref(), self.sample_size, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size }
+    }
+
+    /// Hook for `criterion_main!`-generated code.
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim always warms up once.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim measures a fixed sample
+    /// count rather than a time budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (throughput reporting is not rendered).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run `f` as a benchmark named `group/id`.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.as_ref()), self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (printing is per-benchmark; nothing buffered).
+    pub fn finish(self) {}
+}
+
+/// Throughput hint (accepted, not rendered).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(id: &str, sample_size: usize, mut f: F) {
+    let mut samples = Vec::with_capacity(sample_size);
+    let mut b = Bencher { samples: &mut samples, sample_size };
+    f(&mut b);
+    if samples.is_empty() {
+        println!("{id:<50} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{id:<50} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+        min,
+        median,
+        mean,
+        samples.len()
+    );
+}
+
+/// Define a benchmark group: `criterion_group!(benches, fn_a, fn_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define the bench entry point: `criterion_main!(benches);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0;
+        c.bench_function("shim_smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert_eq!(runs, 4, "one warm-up + three samples");
+    }
+
+    #[test]
+    fn iter_batched_fresh_input_per_sample() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5).warm_up_time(Duration::from_millis(1));
+        let mut setups = 0;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![0u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::PerIteration,
+            )
+        });
+        group.finish();
+        assert_eq!(setups, 6, "one warm-up + five samples");
+    }
+}

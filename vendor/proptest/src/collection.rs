@@ -1,0 +1,133 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Sizes accepted by collection strategies: an exact `usize`, a half-open
+/// range, or an inclusive range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    /// Inclusive upper bound.
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.hi > self.lo {
+            self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+        } else {
+            self.lo
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+/// Strategy producing a `Vec` of values from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy producing a `BTreeSet`. Draws until the picked size is reached;
+/// with a small element domain it settles for what it could collect (never
+/// fewer than one element when the minimum size is positive, domain
+/// permitting).
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size: size.into() }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        let mut tries = 0usize;
+        let max_tries = target * 25 + 50;
+        while out.len() < target && tries < max_tries {
+            out.insert(self.element.generate(rng));
+            tries += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes_and_elements_in_range() {
+        let mut rng = TestRng::seeded(1);
+        let s = vec(0usize..10, 2..5);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn vec_exact_size() {
+        let mut rng = TestRng::seeded(2);
+        let s = vec(0i64..5, 7usize);
+        assert_eq!(s.generate(&mut rng).len(), 7);
+    }
+
+    #[test]
+    fn btree_set_reaches_target_in_big_domains() {
+        let mut rng = TestRng::seeded(3);
+        let s = btree_set(0usize..1000, 5..6);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut rng).len(), 5);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! A tiny generator for the character-class patterns this workspace uses as
+//! string strategies: `[chars]{m,n}` (with `a-z` ranges inside the class),
+//! optionally repeated/concatenated; anything else is emitted verbatim.
+
+use crate::test_runner::TestRng;
+
+/// Generate a string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let bytes = pattern.as_bytes();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'[' {
+            match parse_class(bytes, i) {
+                Some((alphabet, after_class)) => {
+                    let (lo, hi, next) = parse_repeat(bytes, after_class);
+                    let n =
+                        if hi > lo { lo + (rng.below((hi - lo + 1) as u64) as usize) } else { lo };
+                    for _ in 0..n {
+                        let pick = rng.below(alphabet.len() as u64) as usize;
+                        out.push(alphabet[pick]);
+                    }
+                    i = next;
+                    continue;
+                }
+                None => {
+                    out.push('[');
+                    i += 1;
+                    continue;
+                }
+            }
+        }
+        out.push(bytes[i] as char);
+        i += 1;
+    }
+    out
+}
+
+/// Parse `[...]` starting at `start` (which must point at `[`). Returns the
+/// expanded alphabet and the index just past `]`.
+fn parse_class(bytes: &[u8], start: usize) -> Option<(Vec<char>, usize)> {
+    let mut alphabet = Vec::new();
+    let mut i = start + 1;
+    while i < bytes.len() && bytes[i] != b']' {
+        let c = bytes[i];
+        if i + 2 < bytes.len() && bytes[i + 1] == b'-' && bytes[i + 2] != b']' {
+            let (lo, hi) = (c, bytes[i + 2]);
+            for b in lo..=hi {
+                alphabet.push(b as char);
+            }
+            i += 3;
+        } else {
+            alphabet.push(c as char);
+            i += 1;
+        }
+    }
+    if i >= bytes.len() || alphabet.is_empty() {
+        return None; // unterminated or empty class
+    }
+    Some((alphabet, i + 1))
+}
+
+/// Parse an optional `{m}`, `{m,}` or `{m,n}` repetition at `start`.
+/// Returns (min, max, next index); absent repetition means exactly one.
+fn parse_repeat(bytes: &[u8], start: usize) -> (usize, usize, usize) {
+    if start >= bytes.len() || bytes[start] != b'{' {
+        return (1, 1, start);
+    }
+    let Some(close) = bytes[start..].iter().position(|&b| b == b'}') else {
+        return (1, 1, start);
+    };
+    let inner = &bytes[start + 1..start + close];
+    let text = std::str::from_utf8(inner).unwrap_or("");
+    let next = start + close + 1;
+    match text.split_once(',') {
+        Some((lo, hi)) => {
+            let lo = lo.trim().parse().unwrap_or(0);
+            let hi = hi.trim().parse().unwrap_or(lo + 8);
+            (lo, hi.max(lo), next)
+        }
+        None => {
+            let n = text.trim().parse().unwrap_or(1);
+            (n, n, next)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::seeded(7)
+    }
+
+    #[test]
+    fn class_with_range_and_repeat() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[0-9a-z]{0,6}", &mut r);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| c.is_ascii_digit() || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn class_with_literals() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-zA-Z +./]{1,12}", &mut r);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_alphabetic() || " +./".contains(c)));
+        }
+    }
+
+    #[test]
+    fn digits_and_comma() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[0-9,]{0,12}", &mut r);
+            assert!(s.chars().all(|c| c.is_ascii_digit() || c == ','));
+        }
+    }
+
+    #[test]
+    fn plain_text_verbatim() {
+        let mut r = rng();
+        assert_eq!(generate("abc", &mut r), "abc");
+    }
+}
