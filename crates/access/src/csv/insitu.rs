@@ -19,7 +19,7 @@ use raw_columnar::batch::TableTag;
 use raw_columnar::ops::Operator;
 use raw_columnar::{Batch, Column, ColumnarError, DataType, Value};
 use raw_formats::csv::parse;
-use raw_formats::csv::tokenizer::skip_to_next_row;
+use raw_formats::csv::tokenizer::{general_dialect_step, DialectByte, GeneralDialectState};
 use raw_formats::csv::NEWLINE;
 use raw_formats::file_buffer::FileBytes;
 use raw_posmap::{Lookup, PosMapBuilder, PositionalMap};
@@ -36,10 +36,13 @@ struct FieldAction {
 
 /// The general-purpose field tokenizer: a byte-level state machine that —
 /// unlike the specialized `next_field` the JIT path composes with — must
-/// check for quoting, escapes, and a *configurable* delimiter on every byte,
-/// because a query-agnostic CSV engine cannot assume the simple dialect.
-/// (This mirrors the per-byte branch profile of MySQL's CSV engine and the
-/// NoDB parser the paper measures against.)
+/// check for quoting and escapes on every byte, because a query-agnostic
+/// CSV engine cannot assume the simple dialect. (This mirrors the per-byte
+/// branch profile of MySQL's CSV engine and the NoDB parser the paper
+/// measures against.) The byte classification itself is the shared
+/// [`general_dialect_step`] machine, so this tokenizer, the tail-of-row
+/// skip below, and `raw-exec`'s quote-aware partitioner agree on record
+/// boundaries by construction.
 /// The returned `bool` reports whether the field ended its row (newline or
 /// end of buffer) — the signal the scan uses to reject ragged rows instead
 /// of silently reading across row boundaries.
@@ -47,30 +50,40 @@ struct FieldAction {
 fn general_next_field(
     buf: &[u8],
     pos: usize,
-    delimiter: u8,
-    quote: u8,
-    escape: u8,
 ) -> (raw_formats::csv::tokenizer::FieldSpan, usize, bool) {
     let start = pos;
     let mut i = pos;
-    let mut in_quotes = false;
-    let mut escaped = false;
+    let mut state = GeneralDialectState::default();
     while i < buf.len() {
-        let b = buf[i];
-        if escaped {
-            escaped = false;
-        } else if b == escape {
-            escaped = true;
-        } else if b == quote {
-            in_quotes = !in_quotes;
-        } else if !in_quotes && b == delimiter {
-            return (raw_formats::csv::tokenizer::FieldSpan { start, end: i }, i + 1, false);
-        } else if !in_quotes && b == NEWLINE {
-            return (raw_formats::csv::tokenizer::FieldSpan { start, end: i }, i + 1, true);
+        match general_dialect_step(&mut state, buf[i]) {
+            DialectByte::Delimiter => {
+                return (raw_formats::csv::tokenizer::FieldSpan { start, end: i }, i + 1, false)
+            }
+            DialectByte::RecordEnd => {
+                return (raw_formats::csv::tokenizer::FieldSpan { start, end: i }, i + 1, true)
+            }
+            DialectByte::Content => i += 1,
         }
-        i += 1;
     }
     (raw_formats::csv::tokenizer::FieldSpan { start, end: i }, i, true)
+}
+
+/// Skip to the start of the next record under the general dialect — the
+/// tail-of-row counterpart of [`general_next_field`], so the fields a query
+/// does *not* read obey the same quote/escape rules as the fields it does.
+/// (A raw-newline skip here would end the row inside a quoted trailing
+/// field, desynchronizing the scan from the dialect it parses with.)
+#[inline]
+fn general_skip_to_next_row(buf: &[u8], mut pos: usize) -> usize {
+    let mut state = GeneralDialectState::default();
+    while pos < buf.len() {
+        let b = buf[pos];
+        pos += 1;
+        if general_dialect_step(&mut state, b) == DialectByte::RecordEnd {
+            break;
+        }
+    }
+    pos
 }
 
 /// General-purpose in-situ CSV scan operator.
@@ -199,7 +212,7 @@ impl InSituCsvScan {
                 // The general-purpose scan cannot skip: it tokenizes each
                 // field with the full dialect state machine, then decides
                 // what to do with it.
-                let (span, next, ended) = general_next_field(buf, pos, b',', b'"', b'\\');
+                let (span, next, ended) = general_next_field(buf, pos);
                 if ended && col < self.last_needed_col {
                     return Err(ColumnarError::External {
                         message: format!(
@@ -223,7 +236,7 @@ impl InSituCsvScan {
                 pos = next;
             }
             if pos == 0 || buf[pos - 1] != NEWLINE {
-                pos = skip_to_next_row(buf, pos);
+                pos = general_skip_to_next_row(buf, pos);
             }
             rows += 1;
         }
@@ -251,7 +264,7 @@ impl InSituCsvScan {
                         // for every skipped field too.
                         let mut at = positions[r] as usize;
                         for _ in 0..k {
-                            let (_, next, ended) = general_next_field(buf, at, b',', b'"', b'\\');
+                            let (_, next, ended) = general_next_field(buf, at);
                             if ended {
                                 return Err(ColumnarError::External {
                                     message: format!(
@@ -263,7 +276,7 @@ impl InSituCsvScan {
                             }
                             at = next;
                         }
-                        let (span, _, _) = general_next_field(buf, at, b',', b'"', b'\\');
+                        let (span, _, _) = general_next_field(buf, at);
                         spans.push(span.start as u64, (span.end - span.start) as u32);
                         self.metrics.fields_tokenized += (k + 1) as u64;
                     }
@@ -477,6 +490,32 @@ mod tests {
         let mut sc = scan(&[2], &[], None);
         let _ = collect(&mut sc).unwrap();
         assert_eq!(sc.metrics().fields_tokenized, 4 * 3);
+    }
+
+    #[test]
+    fn quoted_newline_in_unread_trailing_field_skipped_as_content() {
+        // Only col 0 is wanted, so the quoted field in col 1 is never
+        // tokenized — the tail-of-row skip must still treat its embedded
+        // newline as content, yielding two records, not three.
+        let buf: FileBytes = Arc::new(b"1,\"a\nb\"\n2,c\n".to_vec());
+        let mut sc = InSituCsvScan::new(CsvScanInput {
+            buf,
+            spec: AccessPathSpec {
+                format: FileFormat::Csv,
+                schema: Schema::new(vec![
+                    raw_columnar::Field::new("col1", DataType::Int64),
+                    raw_columnar::Field::new("col2", DataType::Utf8),
+                ]),
+                wanted: vec![WantedField { source_ordinal: 0, data_type: DataType::Int64 }],
+                kind: AccessPathKind::FullScan,
+                record_positions: vec![],
+            },
+            tag: TableTag(0),
+            posmap: None,
+            batch_size: 8,
+        });
+        let out = collect(&mut sc).unwrap();
+        assert_eq!(out.column(0).unwrap().as_i64().unwrap(), &[1, 2]);
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! Figure 13 (criterion): morsel-parallel scaling — the fig1 cold CSV
-//! aggregate workload at 1/2/4/8 worker threads.
+//! aggregate workload and a grouped-aggregate workload at 1/2/4/8 worker
+//! threads.
 //!
 //! Regression-tracking version of `reproduce fig13` at a reduced grid. The
 //! morsel grid depends only on the file, so all thread counts compute the
-//! same answer; wall time should drop toward the physical core count.
+//! same answer; wall time should drop toward the physical core count. The
+//! grouped case exercises the per-morsel hash-aggregate partial states and
+//! their morsel-ordered merge.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use raw_bench::experiments::{q1, system_config};
+use raw_bench::experiments::{grouped_q, q1, system_config};
 use raw_bench::{datasets, Scale};
 use raw_engine::{AccessMode, EngineConfig, ShredStrategy};
 use raw_formats::datagen::literal_for_selectivity;
@@ -15,10 +18,14 @@ fn bench_scale() -> Scale {
     Scale { narrow_rows: 20_000, ..Scale::default() }
 }
 
-fn cold_q1_by_threads(c: &mut Criterion) {
+fn bench_cold_query(
+    c: &mut Criterion,
+    group_name: &str,
+    sql: String,
+    make_engine: fn(&raw_bench::Scale, EngineConfig) -> raw_engine::RawEngine,
+) {
     let scale = bench_scale();
-    let x = literal_for_selectivity(0.4);
-    let mut group = c.benchmark_group("fig13_parallel_scaling_cold_q1");
+    let mut group = c.benchmark_group(group_name);
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(1));
@@ -26,7 +33,7 @@ fn cold_q1_by_threads(c: &mut Criterion) {
         group.bench_function(format!("threads_{threads}"), |b| {
             b.iter_batched(
                 || {
-                    let mut e = datasets::engine_narrow_csv(
+                    let mut e = make_engine(
                         &scale,
                         EngineConfig {
                             parallelism: threads,
@@ -36,7 +43,7 @@ fn cold_q1_by_threads(c: &mut Criterion) {
                     e.drop_file_caches();
                     e
                 },
-                |mut engine| engine.query(&q1("file1", x)).unwrap(),
+                |mut engine| engine.query(&sql).unwrap(),
                 BatchSize::PerIteration,
             );
         });
@@ -44,5 +51,27 @@ fn cold_q1_by_threads(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, cold_q1_by_threads);
+fn cold_q1_by_threads(c: &mut Criterion) {
+    let x = literal_for_selectivity(0.4);
+    bench_cold_query(
+        c,
+        "fig13_parallel_scaling_cold_q1",
+        q1("file1", x),
+        datasets::engine_narrow_csv,
+    );
+}
+
+fn cold_grouped_agg_by_threads(c: &mut Criterion) {
+    let x = literal_for_selectivity(0.4);
+    // Bounded-cardinality group key (1024 groups): an all-distinct key
+    // would make the morsel-order state merge O(input) and mask scaling.
+    bench_cold_query(
+        c,
+        "fig13_parallel_scaling_cold_grouped",
+        grouped_q("file1", x),
+        datasets::engine_grouped_csv,
+    );
+}
+
+criterion_group!(benches, cold_q1_by_threads, cold_grouped_agg_by_threads);
 criterion_main!(benches);

@@ -56,6 +56,25 @@ pub fn narrow_ibin_sorted(scale: &Scale) -> PathBuf {
     })
 }
 
+/// The narrow table with `col2` re-keyed to a bounded cardinality (1024
+/// groups): the histogram-shaped GROUP BY workload of the fig13 scaling
+/// study. Grouping the vanilla narrow table's uniform-`[0, 1e9)` `col2`
+/// would make nearly every row its own group, so the single-threaded
+/// morsel-order state merge does O(input) work and masks scan scaling —
+/// a workload artifact, not a parallel-path property.
+pub fn grouped_narrow_csv(scale: &Scale) -> PathBuf {
+    let path = data_dir().join(format!("grouped_{}x30.csv", scale.narrow_rows));
+    ensure(&path, |p| {
+        let t = datagen::int_table(42, scale.narrow_rows, 30);
+        let mut cols = t.columns().to_vec();
+        cols[1] = raw_columnar::Column::Int64(
+            (0..scale.narrow_rows as i64).map(|i| (i * 37 + 11) % 1024).collect(),
+        );
+        let t = raw_columnar::MemTable::new(t.schema().clone(), cols).expect("re-keyed table");
+        raw_formats::csv::writer::write_file(&t, p).expect("write csv");
+    })
+}
+
 /// The 120-column mixed table (int predicate column + float payload, §5.2).
 pub fn wide_csv(scale: &Scale) -> PathBuf {
     let path = data_dir().join(format!("wide_{}x120.csv", scale.wide_rows));
@@ -112,6 +131,18 @@ pub fn engine_narrow_csv(scale: &Scale, config: EngineConfig) -> RawEngine {
         name: "file1".into(),
         schema: Schema::uniform(30, DataType::Int64),
         source: TableSource::Csv { path: narrow_csv(scale) },
+    });
+    engine
+}
+
+/// Register the bounded-cardinality grouped table as `file1` (CSV) in a
+/// fresh engine.
+pub fn engine_grouped_csv(scale: &Scale, config: EngineConfig) -> RawEngine {
+    let mut engine = RawEngine::new(config);
+    engine.register_table(TableDef {
+        name: "file1".into(),
+        schema: Schema::uniform(30, DataType::Int64),
+        source: TableSource::Csv { path: grouped_narrow_csv(scale) },
     });
     engine
 }

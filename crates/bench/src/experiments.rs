@@ -33,6 +33,13 @@ pub fn q2(table: &str, x: i64) -> String {
     format!("SELECT MAX(col11) FROM {table} WHERE col1 < {x}")
 }
 
+/// The grouped-aggregate workload of the fig13 scaling study (shared with
+/// the criterion bench so the regression tracker measures the same query
+/// the experiment table reports).
+pub fn grouped_q(table: &str, x: i64) -> String {
+    format!("SELECT col2, COUNT(col1), SUM(col3) FROM {table} WHERE col1 < {x} GROUP BY col2")
+}
+
 /// Engine config for one of the paper's systems. The paper's measurements
 /// are single-threaded, so `parallelism` is pinned to 1 here; `fig13`
 /// varies it explicitly to measure morsel-parallel scaling.
@@ -473,46 +480,62 @@ pub fn fig12(scale: &Scale) -> ExpTable {
 }
 
 /// Figure 13 (beyond the paper): morsel-parallel scaling of the Figure-1
-/// cold CSV aggregate scan across worker counts — the §8 future-work
-/// multi-core dimension, served by the `raw-exec` subsystem.
+/// cold CSV aggregate scan and a grouped-aggregate workload across worker
+/// counts — the §8 future-work multi-core dimension, served by the
+/// `raw-exec` subsystem (scalar partial states for the scan, per-morsel
+/// hash-aggregate partial states for GROUP BY).
 pub fn fig13(scale: &Scale) -> ExpTable {
     let x = literal_for_selectivity(0.4);
     let mut table = ExpTable::new(
-        "Figure 13 — morsel-parallel scaling: cold CSV Q1 by worker count",
-        vec!["threads".into(), "Q1 time".into(), "speedup vs 1".into(), "plan".into()],
+        "Figure 13 — morsel-parallel scaling: cold CSV by worker count",
+        vec!["query".into(), "threads".into(), "time".into(), "speedup vs 1".into(), "plan".into()],
     );
     table.note(format!(
         "dataset: {} rows x 30 int columns (CSV), X at 40%; JIT full columns",
         scale.narrow_rows
     ));
+    table.note("grouped agg groups a bounded-cardinality key (1024 groups)");
     table.note("expect: near-linear scaling up to the physical core count");
-    let mut baseline: Option<std::time::Duration> = None;
-    for threads in [1usize, 2, 4, 8] {
-        let config = EngineConfig {
-            parallelism: threads,
-            ..system_config(AccessMode::Jit, ShredStrategy::FullColumns, 10)
-        };
-        let mut times = Vec::with_capacity(scale.repeats.max(1));
-        let mut plan_line = "serial".to_owned();
-        for _ in 0..scale.repeats.max(1) {
-            let mut engine = datasets::engine_narrow_csv(scale, config.clone());
-            engine.drop_file_caches();
-            let (r, d) = time_once(|| run(&mut engine, &q1("file1", x)));
-            if let Some(line) = r.stats.explain.iter().find(|l| l.contains("parallel:")) {
-                plan_line = line.clone();
+    type Maker = fn(&Scale, EngineConfig) -> RawEngine;
+    let workloads: [(&str, String, Maker); 2] = [
+        ("scan agg", q1("file1", x), datasets::engine_narrow_csv),
+        ("grouped agg", grouped_q("file1", x), datasets::engine_grouped_csv),
+    ];
+    for (label, sql, make_engine) in &workloads {
+        let mut baseline: Option<std::time::Duration> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let config = EngineConfig {
+                parallelism: threads,
+                ..system_config(AccessMode::Jit, ShredStrategy::FullColumns, 10)
+            };
+            let mut times = Vec::with_capacity(scale.repeats.max(1));
+            let mut plan_line = "serial".to_owned();
+            for _ in 0..scale.repeats.max(1) {
+                let mut engine = make_engine(scale, config.clone());
+                engine.drop_file_caches();
+                let (r, d) = time_once(|| run(&mut engine, sql));
+                if let Some(line) = r.stats.explain.iter().find(|l| l.contains("parallel:")) {
+                    plan_line = line.clone();
+                }
+                times.push(d);
             }
-            times.push(d);
+            times.sort_unstable();
+            let d = times[times.len() / 2];
+            let speedup = match baseline {
+                None => {
+                    baseline = Some(d);
+                    "1.00x".to_owned()
+                }
+                Some(base) => format!("{:.2}x", base.as_secs_f64() / d.as_secs_f64()),
+            };
+            table.row(vec![
+                (*label).to_owned(),
+                threads.to_string(),
+                fmt_duration(d),
+                speedup,
+                plan_line,
+            ]);
         }
-        times.sort_unstable();
-        let d = times[times.len() / 2];
-        let speedup = match baseline {
-            None => {
-                baseline = Some(d);
-                "1.00x".to_owned()
-            }
-            Some(base) => format!("{:.2}x", base.as_secs_f64() / d.as_secs_f64()),
-        };
-        table.row(vec![threads.to_string(), fmt_duration(d), speedup, plan_line]);
     }
     table
 }

@@ -252,6 +252,43 @@ fn update_acc(acc: &mut Acc, kind: AggKind, col: &Column) -> Result<()> {
     Ok(())
 }
 
+/// Combine two integer max/min/sum slots: the state a serial scan of
+/// mine-then-theirs would hold. This (and [`merge_float_slot`]) is the one
+/// implementation of accumulator merging — the scalar [`AggAccumulator`]
+/// merges single slots, the grouped accumulator merges one slot per group,
+/// so the two parallel merge layers can never drift.
+pub(crate) fn merge_int_slot(mine: Option<i64>, theirs: Option<i64>, kind: AggKind) -> Option<i64> {
+    match (mine, theirs) {
+        (a, None) => a,
+        (None, b) => b,
+        (Some(a), Some(b)) => Some(match kind {
+            AggKind::Max => a.max(b),
+            AggKind::Min => a.min(b),
+            AggKind::Sum => a.wrapping_add(b),
+            _ => unreachable!("int slot only for max/min/sum"),
+        }),
+    }
+}
+
+/// Combine two float max/min/sum slots. For SUM, `theirs` is added *after*
+/// `mine`, so callers control float summation order by merge order.
+pub(crate) fn merge_float_slot(
+    mine: Option<f64>,
+    theirs: Option<f64>,
+    kind: AggKind,
+) -> Option<f64> {
+    match (mine, theirs) {
+        (a, None) => a,
+        (None, b) => b,
+        (Some(a), Some(b)) => Some(match kind {
+            AggKind::Max => a.max(b),
+            AggKind::Min => a.min(b),
+            AggKind::Sum => a + b,
+            _ => unreachable!("float slot only for max/min/sum"),
+        }),
+    }
+}
+
 /// Combine `theirs` into `mine` under the aggregate `kind` (both built by
 /// [`update_acc`] for the same expression, so same variant). The merged
 /// state is exactly what a serial scan of mine-then-theirs would have built.
@@ -262,29 +299,9 @@ fn merge_acc(mine: &mut Acc, theirs: Acc, kind: AggKind) -> Result<()> {
             *sum += s2;
             *n += n2;
         }
-        (Acc::Int { cur }, Acc::Int { cur: other }) => {
-            *cur = match (*cur, other) {
-                (a, None) => a,
-                (None, b) => b,
-                (Some(a), Some(b)) => Some(match kind {
-                    AggKind::Max => a.max(b),
-                    AggKind::Min => a.min(b),
-                    AggKind::Sum => a.wrapping_add(b),
-                    _ => unreachable!("int acc only for max/min/sum"),
-                }),
-            };
-        }
+        (Acc::Int { cur }, Acc::Int { cur: other }) => *cur = merge_int_slot(*cur, other, kind),
         (Acc::Float { cur }, Acc::Float { cur: other }) => {
-            *cur = match (*cur, other) {
-                (a, None) => a,
-                (None, b) => b,
-                (Some(a), Some(b)) => Some(match kind {
-                    AggKind::Max => a.max(b),
-                    AggKind::Min => a.min(b),
-                    AggKind::Sum => a + b,
-                    _ => unreachable!("float acc only for max/min/sum"),
-                }),
-            };
+            *cur = merge_float_slot(*cur, other, kind)
         }
         (mine, theirs) => {
             return Err(ColumnarError::Plan {

@@ -8,6 +8,8 @@
 //! build-side provenance arrives in hash-table order (the *pipeline-breaking*
 //! property for columns fetched late from the build side).
 
+use std::sync::Arc;
+
 use crate::batch::Batch;
 use crate::column::Column;
 use crate::error::{ColumnarError, Result};
@@ -20,49 +22,36 @@ const CHAIN_END: u32 = u32::MAX;
 /// Inner hash equi-join on integer keys.
 pub struct HashJoinOp {
     probe: Box<dyn Operator>,
-    build: Box<dyn Operator>,
+    /// The build-side pipeline, drained lazily on first probe; `None` when
+    /// the operator was handed a pre-built shared build side.
+    build: Option<(Box<dyn Operator>, usize)>,
     probe_key: usize,
-    build_key: usize,
-    built: Option<BuildSide>,
+    built: Option<Arc<JoinBuildSide>>,
     /// Total matched output rows (plan statistics).
     emitted: u64,
 }
 
-/// Chained hash index: `head[key]` is the first build row for the key,
-/// `next[row]` links rows sharing it (ascending row order). One flat
-/// allocation for the chains instead of one `Vec` per key.
-struct BuildSide {
+/// The materialized build side of a hash join: the concatenated build
+/// batches plus a chained hash index — `head[key]` is the first build row
+/// for the key, `next[row]` links rows sharing it (ascending row order), one
+/// flat allocation for the chains instead of one `Vec` per key.
+///
+/// Immutable once built, so morsel-parallel plans build it **once**
+/// (serially, or from pooled shreds) and share one `Arc` across every
+/// per-morsel probe pipeline ([`HashJoinOp::with_shared`]).
+pub struct JoinBuildSide {
     batch: Batch,
     head: FxHashMap<i64, u32>,
     next: Vec<u32>,
 }
 
-impl HashJoinOp {
-    /// Join `probe ⋈ build` on `probe.col(probe_key) = build.col(build_key)`.
-    pub fn new(
-        probe: Box<dyn Operator>,
-        build: Box<dyn Operator>,
-        probe_key: usize,
-        build_key: usize,
-    ) -> HashJoinOp {
-        HashJoinOp { probe, build, probe_key, build_key, built: None, emitted: 0 }
-    }
-
-    /// Number of rows emitted so far.
-    pub fn emitted(&self) -> u64 {
-        self.emitted
-    }
-
-    fn ensure_built(&mut self) -> Result<()> {
-        if self.built.is_some() {
-            return Ok(());
-        }
-        let batches = drain(self.build.as_mut())?;
-        let batch = Batch::concat(&batches)?;
+impl JoinBuildSide {
+    /// Index `batch` on integer column `key_col`.
+    pub fn build(batch: Batch, key_col: usize) -> Result<JoinBuildSide> {
         let mut head: FxHashMap<i64, u32> = FxHashMap::default();
         let mut next = Vec::new();
         if batch.num_columns() > 0 {
-            let keys = key_vec(batch.column(self.build_key)?)?;
+            let keys = key_vec(batch.column(key_col)?)?;
             next = vec![CHAIN_END; keys.len()];
             head.reserve(keys.len());
             // Reverse insertion so each chain lists rows in ascending order.
@@ -74,7 +63,50 @@ impl HashJoinOp {
                 }
             }
         }
-        self.built = Some(BuildSide { batch, head, next });
+        Ok(JoinBuildSide { batch, head, next })
+    }
+
+    /// Rows on the build side.
+    pub fn rows(&self) -> usize {
+        self.batch.rows()
+    }
+}
+
+impl HashJoinOp {
+    /// Join `probe ⋈ build` on `probe.col(probe_key) = build.col(build_key)`.
+    pub fn new(
+        probe: Box<dyn Operator>,
+        build: Box<dyn Operator>,
+        probe_key: usize,
+        build_key: usize,
+    ) -> HashJoinOp {
+        HashJoinOp { probe, build: Some((build, build_key)), probe_key, built: None, emitted: 0 }
+    }
+
+    /// Join `probe` against an already-materialized shared build side (the
+    /// morsel-parallel path: one build, many probe pipelines).
+    pub fn with_shared(
+        probe: Box<dyn Operator>,
+        build: Arc<JoinBuildSide>,
+        probe_key: usize,
+    ) -> HashJoinOp {
+        HashJoinOp { probe, build: None, probe_key, built: Some(build), emitted: 0 }
+    }
+
+    /// Number of rows emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn ensure_built(&mut self) -> Result<()> {
+        if self.built.is_some() {
+            return Ok(());
+        }
+        let (build, build_key) =
+            self.build.as_mut().expect("either a build pipeline or a shared build side");
+        let batches = drain(build.as_mut())?;
+        let batch = Batch::concat(&batches)?;
+        self.built = Some(Arc::new(JoinBuildSide::build(batch, *build_key)?));
         Ok(())
     }
 }
@@ -138,13 +170,17 @@ impl Operator for HashJoinOp {
 
     fn scan_profile(&self) -> crate::profile::PhaseProfile {
         let mut p = self.probe.scan_profile();
-        p.merge(&self.build.scan_profile());
+        if let Some((build, _)) = &self.build {
+            p.merge(&build.scan_profile());
+        }
         p
     }
 
     fn scan_metrics(&self) -> crate::profile::ScanMetrics {
         let mut m = self.probe.scan_metrics();
-        m.merge(&self.build.scan_metrics());
+        if let Some((build, _)) = &self.build {
+            m.merge(&build.scan_metrics());
+        }
         m
     }
 }
@@ -233,5 +269,34 @@ mod tests {
         let build = Box::new(BatchSource::new(vec![]));
         let mut j = HashJoinOp::new(probe, build, 0, 0);
         assert!(j.next_batch().unwrap().is_none());
+    }
+
+    /// A shared pre-built build side joined by several probe operators gives
+    /// the same output as each probe owning its own build pipeline.
+    #[test]
+    fn shared_build_side_equals_owned() {
+        let build_batch =
+            Batch::new(vec![vec![4i64, 2, 9, 2].into(), vec![400i64, 200, 900, 201].into()])
+                .unwrap()
+                .with_provenance(TableTag(1), vec![0, 1, 2, 3])
+                .unwrap();
+        let shared = Arc::new(JoinBuildSide::build(build_batch.clone(), 0).unwrap());
+        assert_eq!(shared.rows(), 4);
+
+        for probe_keys in [vec![1i64, 2, 3, 4, 5], vec![2, 2], vec![7]] {
+            let payload: Vec<i64> = probe_keys.iter().map(|k| k * 10).collect();
+            let mut owned = HashJoinOp::new(
+                src(probe_keys.clone(), payload.clone(), 0),
+                Box::new(BatchSource::new(vec![build_batch.clone()])),
+                0,
+                0,
+            );
+            let mut borrowed =
+                HashJoinOp::with_shared(src(probe_keys, payload, 0), Arc::clone(&shared), 0);
+            let a = collect(&mut owned).unwrap();
+            let b = collect(&mut borrowed).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(owned.emitted(), borrowed.emitted());
+        }
     }
 }

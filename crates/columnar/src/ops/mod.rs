@@ -20,9 +20,9 @@ mod strip;
 pub use aggregate::{AggAccumulator, AggExpr, AggKind, AggregateOp};
 pub use filter::FilterOp;
 pub use groupby::{GroupCountOp, GroupExtra};
-pub use hash_aggregate::HashAggregateOp;
+pub use hash_aggregate::{GroupedAccumulator, HashAggregateOp};
 pub use histogram::HistogramOp;
-pub use join::HashJoinOp;
+pub use join::{HashJoinOp, JoinBuildSide};
 pub use project::ProjectOp;
 pub use scan::MemScanOp;
 pub use strip::StripProvenanceOp;

@@ -110,9 +110,11 @@ pub struct EngineConfig {
     /// Worker threads for morsel-parallel raw scans (the `raw-exec`
     /// subsystem). Defaults to the machine's available cores. `1` disables
     /// the parallel path entirely and reproduces the serial engine
-    /// bit-for-bit; higher values parallelize eligible queries
-    /// (single-table, non-grouped, over CSV/fbin/rootsim-event sources in
-    /// in-situ or JIT mode) and fall back to serial for everything else.
+    /// bit-for-bit; higher values parallelize eligible queries — anything
+    /// driven by a CSV/fbin/rootsim-event scan in in-situ or JIT mode,
+    /// including joins (shared build-side hash table, per-morsel probes)
+    /// and grouped aggregation (per-morsel partial states merged in morsel
+    /// order) — and fall back to serial for everything else.
     pub parallelism: usize,
     /// Target bytes per parallel morsel. The morsel grid is derived from
     /// the file size and this knob only — never from `parallelism` — so
@@ -138,6 +140,28 @@ impl Default for EngineConfig {
             parallelism: raw_exec::available_threads(),
             morsel_bytes: 256 << 10,
         }
+    }
+}
+
+impl EngineConfig {
+    /// The default configuration with environment overrides applied:
+    /// `RAW_PARALLELISM` (worker threads; `1` forces the serial path) and
+    /// `RAW_MORSEL_BYTES` (target bytes per morsel). Unset or unparsable
+    /// variables leave the default untouched. Test suites build engines
+    /// through this so CI can exercise the whole suite under a forced
+    /// parallel configuration.
+    pub fn from_env() -> EngineConfig {
+        fn env_usize(key: &str) -> Option<usize> {
+            std::env::var(key).ok()?.trim().parse().ok()
+        }
+        let mut config = EngineConfig::default();
+        if let Some(n) = env_usize("RAW_PARALLELISM") {
+            config.parallelism = n.max(1);
+        }
+        if let Some(n) = env_usize("RAW_MORSEL_BYTES") {
+            config.morsel_bytes = n.max(1);
+        }
+        config
     }
 }
 
@@ -377,11 +401,17 @@ impl RawEngine {
             merge,
             mut harvests,
             posmap_sinks,
+            build_profile,
+            build_metrics,
             explain,
             output_names,
         } = plan;
 
-        let outcome = raw_exec::execute_morsels(pipelines, &merge, self.config.parallelism)?;
+        let mut outcome = raw_exec::execute_morsels(pipelines, &merge, self.config.parallelism)?;
+        // Scan work performed at plan time (a join's serial build-side
+        // drain) belongs to this query's accounting too.
+        outcome.profile.merge(&build_profile);
+        outcome.metrics.merge(&build_metrics);
         let batch = Batch::concat(&outcome.batches)?;
         let wall = wall_start.elapsed();
 

@@ -344,30 +344,7 @@ impl Planner<'_, '_> {
     }
 
     fn plan_query(&mut self, q: &ResolvedQuery) -> Result<PhysicalPlan> {
-        // Slice the query per table.
-        let mut per_table: Vec<TableCols> = (0..q.tables.len())
-            .map(|_| TableCols { filters: Vec::new(), join_key: None, outputs: Vec::new() })
-            .collect();
-        for f in &q.filters {
-            per_table[f.col.table].filters.push(f.clone());
-        }
-        if let Some(j) = &q.join {
-            per_table[0].join_key = Some(j.probe_col.clone());
-            per_table[1].join_key = Some(j.build_col.clone());
-        }
-        for o in &q.outputs {
-            let t = o.col.table;
-            if !per_table[t].outputs.iter().any(|c| c.schema_idx == o.col.schema_idx) {
-                per_table[t].outputs.push(o.col.clone());
-            }
-        }
-        // The grouping key must be materialized even when the select list
-        // only aggregates (`SELECT COUNT(col2) … GROUP BY col1`).
-        if let Some(g) = &q.group_by {
-            if !per_table[g.table].outputs.iter().any(|c| c.schema_idx == g.schema_idx) {
-                per_table[g.table].outputs.push(g.clone());
-            }
-        }
+        let per_table = slice_per_table(q);
 
         // Per-table materialization strategy; the Adaptive case consults
         // the cost model with this query's selectivity estimates.
@@ -442,41 +419,18 @@ impl Planner<'_, '_> {
         };
 
         // Top: grouped aggregation, scalar aggregation, or projection.
-        let mut output_names = Vec::with_capacity(q.outputs.len());
+        let output_names;
         if let Some(g) = &q.group_by {
-            let key_pos = layout
-                .position(g.table, g.schema_idx)
-                .ok_or_else(|| EngineError::planning("group key not in layout"))?;
-            // HashAggregateOp emits [key, agg₀, agg₁, …]; remember where
-            // each select item lands so a projection can restore the
-            // select-list order.
-            let mut exprs = Vec::new();
-            let mut out_positions = Vec::with_capacity(q.outputs.len());
-            for o in &q.outputs {
-                match o.agg {
-                    Some(kind) => {
-                        let pos =
-                            layout.position(o.col.table, o.col.schema_idx).ok_or_else(|| {
-                                EngineError::planning("aggregate column not in layout")
-                            })?;
-                        exprs.push(AggExpr { kind, col: pos });
-                        out_positions.push(exprs.len()); // key occupies slot 0
-                        output_names.push(format!("{}({})", kind.sql(), o.col.name));
-                    }
-                    None => {
-                        out_positions.push(0);
-                        output_names.push(o.col.name.clone());
-                    }
-                }
-            }
+            let top = grouped_top(q, &layout)?;
+            output_names = top.names;
             self.note(format!(
                 "hash aggregate {} GROUP BY {}.{}",
                 output_names.join(", "),
                 q.tables[g.table],
                 g.name
             ));
-            root = Box::new(HashAggregateOp::new(root, key_pos, exprs));
-            root = Box::new(ProjectOp::new(root, out_positions));
+            root = Box::new(HashAggregateOp::new(root, top.key_pos, top.exprs));
+            root = Box::new(ProjectOp::new(root, top.out_positions));
         } else if q.is_aggregate() {
             let (exprs, names) = aggregate_exprs(q, &layout)?;
             output_names = names;
@@ -1318,6 +1272,81 @@ impl Planner<'_, '_> {
 
 fn predicate(pos: usize, op: CmpOp, value: &raw_columnar::Value) -> Predicate {
     Predicate::Cmp { col: pos, op, lit: value.clone() }
+}
+
+/// Slice the query per table: filters, join keys, and deduplicated output
+/// columns attributed to their owning side, with the grouping key forced
+/// into its table's outputs even when the select list only aggregates
+/// (`SELECT COUNT(col2) … GROUP BY col1`). Shared by the serial planner and
+/// the parallel planner so the two can never slice differently.
+fn slice_per_table(q: &ResolvedQuery) -> Vec<TableCols> {
+    let mut per_table: Vec<TableCols> = (0..q.tables.len())
+        .map(|_| TableCols { filters: Vec::new(), join_key: None, outputs: Vec::new() })
+        .collect();
+    for f in &q.filters {
+        per_table[f.col.table].filters.push(f.clone());
+    }
+    if let Some(j) = &q.join {
+        per_table[0].join_key = Some(j.probe_col.clone());
+        per_table[1].join_key = Some(j.build_col.clone());
+    }
+    for o in &q.outputs {
+        let t = o.col.table;
+        if !per_table[t].outputs.iter().any(|c| c.schema_idx == o.col.schema_idx) {
+            per_table[t].outputs.push(o.col.clone());
+        }
+    }
+    if let Some(g) = &q.group_by {
+        if !per_table[g.table].outputs.iter().any(|c| c.schema_idx == g.schema_idx) {
+            per_table[g.table].outputs.push(g.clone());
+        }
+    }
+    per_table
+}
+
+/// The resolved top of a grouped-aggregation plan.
+struct GroupedTop {
+    /// Grouping-key position in the pipeline layout.
+    key_pos: usize,
+    /// Aggregate expressions over pipeline positions.
+    exprs: Vec<AggExpr>,
+    /// Projection over the `[key, agg₀, agg₁, …]` hash-aggregate output
+    /// restoring select-list order.
+    out_positions: Vec<usize>,
+    /// Output column names in select-list order.
+    names: Vec<String>,
+}
+
+/// Resolve a grouped select list against a pipeline layout. Shared by the
+/// serial plan top ([`Planner::plan_query`]) and the parallel plan's
+/// `MergePlan::Grouped` construction so the two can never drift.
+fn grouped_top(q: &ResolvedQuery, layout: &Layout) -> Result<GroupedTop> {
+    let g = q.group_by.as_ref().expect("grouped query");
+    let key_pos = layout
+        .position(g.table, g.schema_idx)
+        .ok_or_else(|| EngineError::planning("group key not in layout"))?;
+    // The hash aggregate emits [key, agg₀, agg₁, …]; remember where each
+    // select item lands so a projection can restore the select-list order.
+    let mut exprs = Vec::new();
+    let mut out_positions = Vec::with_capacity(q.outputs.len());
+    let mut names = Vec::with_capacity(q.outputs.len());
+    for o in &q.outputs {
+        match o.agg {
+            Some(kind) => {
+                let pos = layout
+                    .position(o.col.table, o.col.schema_idx)
+                    .ok_or_else(|| EngineError::planning("aggregate column not in layout"))?;
+                exprs.push(AggExpr { kind, col: pos });
+                out_positions.push(exprs.len()); // key occupies slot 0
+                names.push(format!("{}({})", kind.sql(), o.col.name));
+            }
+            None => {
+                out_positions.push(0);
+                names.push(o.col.name.clone());
+            }
+        }
+    }
+    Ok(GroupedTop { key_pos, exprs, out_positions, names })
 }
 
 /// Resolve an all-aggregates select list against a pipeline layout: the

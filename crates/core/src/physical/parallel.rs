@@ -1,37 +1,57 @@
 //! Morsel-parallel physical planning.
 //!
 //! [`try_plan`] decides whether a resolved query is eligible for the
-//! parallel path and, if so, partitions the raw file into record-aligned
-//! morsels (via `raw-exec`) and builds one full scan→filter→attach pipeline
-//! per morsel through the ordinary [`super::Planner`] machinery — the same
-//! access-path selection, shred staging, and side-effect recording as the
-//! serial planner, just bounded to one [`ScanSegment`] each.
+//! parallel path and, if so, runs four stages that share the serial
+//! [`super::Planner`]'s machinery — the same access-path selection, shred
+//! staging, cost-model consultation, and side-effect recording:
 //!
-//! Eligible today: single-table queries without `GROUP BY` over CSV, fbin,
-//! and rootsim-event sources under the in-situ or JIT access modes.
-//! Everything else (joins, grouped aggregation, ibin's pruned scans,
-//! root collections, DBMS/external modes, fully-shred-cached tables) falls
-//! back to the serial plan — correctness first, coverage growing per the
-//! roadmap.
+//! 1. **eligibility** — which queries can be morsel-parallelized at all;
+//! 2. **partition** — split the probe (driving) table into record-aligned
+//!    morsels via `raw-exec`, choosing the probe dialect the scan will use;
+//! 3. **per-morsel build** — one scan→filter→join→attach pipeline per
+//!    morsel, each bounded to one [`ScanSegment`]. Joins build the
+//!    build-side hash table **once** (serially, or from pooled shreds) and
+//!    share it read-only across every per-morsel probe pipeline; all three
+//!    `JoinPlacement` points are honored, with Late attaches running above
+//!    the join per morsel;
+//! 4. **merge resolution** — how per-morsel outputs combine: concatenation
+//!    for selections, scalar partial-aggregate states for aggregates, and
+//!    grouped partial hash-table states ([`MergePlan::Grouped`]) for
+//!    `GROUP BY`, all merged deterministically in morsel order.
+//!
+//! Eligible today: queries over a CSV, fbin, or rootsim-event driving table
+//! under the in-situ or JIT access modes — including joins (any
+//! serially-scannable build side) and grouped aggregation. Everything else
+//! (ibin's pruned scans and root collections as the *driving* table,
+//! DBMS/external modes, fully-shred-cached driving tables) falls back to
+//! the serial plan — correctness first, coverage growing per the roadmap.
 //!
 //! Determinism: the morsel grid is a function of the file and the
 //! `morsel_bytes` knob only, never of the worker count, so any
 //! `parallelism >= 2` produces identical results (and `parallelism == 1`
 //! never enters this module at all — the serial path is untouched).
 
-use raw_exec::{partition_csv, partition_csv_with_map, partition_rows, MergePlan, Morsel};
+use std::sync::Arc;
+
+use raw_exec::{
+    partition_csv, partition_csv_quoted, partition_csv_with_map, partition_rows, GroupedMerge,
+    MergePlan, Morsel,
+};
 
 use raw_access::spec::ScanSegment;
-use raw_columnar::ops::{Operator, ProjectOp};
+use raw_columnar::batch::TableTag;
+use raw_columnar::ops::{drain, HashJoinOp, JoinBuildSide, Operator, ProjectOp};
+use raw_columnar::profile::{PhaseProfile, ScanMetrics};
+use raw_columnar::Batch;
 use raw_formats::fbin::FbinLayout;
 
-use crate::catalog::TableSource;
+use crate::catalog::{TableDef, TableSource};
 use crate::engine::{AccessMode, ShredStrategy};
-use crate::error::Result;
-use crate::plan::ResolvedQuery;
+use crate::error::{EngineError, Result};
+use crate::plan::{ColRef, ResolvedQuery};
 
 use super::helpers::PosMapSink;
-use super::{AttachWhen, Harvests, Planner, PlannerCtx, TableCols};
+use super::{slice_per_table, AttachWhen, Harvests, Planner, PlannerCtx};
 
 /// Never split a file into more morsels than this: beyond a few hundred the
 /// per-morsel planning and merge overhead buys no extra load balance.
@@ -44,13 +64,20 @@ pub(crate) struct ParallelPlan {
     pub pipelines: Vec<Box<dyn Operator>>,
     /// How per-morsel outputs combine.
     pub merge: MergePlan,
-    /// Shred sinks from every morsel (disjoint global row ranges; the
-    /// engine's ordinary absorb path merges them into the shared pool).
+    /// Shred sinks from the shared build side and from every morsel
+    /// (disjoint or identically-valued global row ranges; the engine's
+    /// ordinary absorb path merges them into the shared pool).
     pub harvests: Harvests,
     /// Positional-map fragment sinks in morsel order, with the table each
     /// belongs to; the engine appends fragments in this order to recover the
-    /// file-wide map.
+    /// file-wide map. (A join's build side contributes its whole-file map as
+    /// the build table's single fragment.)
     pub posmap_sinks: Vec<(String, PosMapSink)>,
+    /// Scan work already performed at plan time (the serial drain of a
+    /// join's build side); the engine merges it into the query's profile.
+    pub build_profile: PhaseProfile,
+    /// Scan volume metrics of the plan-time build-side drain.
+    pub build_metrics: ScanMetrics,
     /// Plan description.
     pub explain: Vec<String>,
     /// Output column names.
@@ -64,111 +91,96 @@ pub(crate) fn try_plan(
     q: &ResolvedQuery,
     threads: usize,
 ) -> Result<Option<ParallelPlan>> {
-    if threads < 2
-        || q.tables.len() != 1
-        || q.join.is_some()
-        || q.group_by.is_some()
-        || !matches!(ctx.config.mode, AccessMode::InSitu | AccessMode::Jit)
-    {
+    // -- stage 1: eligibility ------------------------------------------------
+    if !eligible(ctx, q, threads)? {
         return Ok(None);
     }
-    let name = q.tables[0].clone();
-    let def = ctx.catalog.get(&name)?.clone();
-    if !matches!(
-        def.source,
-        TableSource::Csv { .. } | TableSource::Fbin { .. } | TableSource::RootEvents { .. }
-    ) {
-        return Ok(None);
-    }
-
-    // Fully-cached tables: the serial PoolScan path is already memory-speed
-    // and whole-file shaped; don't segment it.
-    let all_pooled =
-        query_columns(q).iter().all(|col| ctx.pool.get(&name, col).is_some_and(|s| s.is_full()));
-    if all_pooled {
-        return Ok(None);
-    }
-
+    let driving = ctx.catalog.get(&q.tables[0])?.clone();
     let mut planner = Planner { ctx, explain: Vec::new(), harvests: Harvests::default() };
 
-    // Partition the file. The grid depends on the file (and the morsel-size
-    // knob), never on `threads`, so results are thread-count invariant.
-    let morsel_bytes = planner.ctx.config.morsel_bytes.max(1);
-    let morsels: Vec<Morsel> = match &def.source {
-        TableSource::Csv { .. } => {
-            let buf = planner.ctx.files.read(def.source.path())?;
-            let target = (buf.len() / morsel_bytes).clamp(1, MAX_MORSELS);
-            // Positional-map entries double as split hints: column 0's
-            // recorded positions are the record starts, so no probe pass.
-            let hinted = planner
-                .ctx
-                .posmaps
-                .get(&name)
-                .and_then(|m| partition_csv_with_map(m, buf.len(), target));
-            match hinted {
-                Some(ms) => ms,
-                None => {
-                    let p = partition_csv(&buf, target);
-                    // The probe splits on raw newlines (the JIT dialect).
-                    // The general-purpose in-situ scan is quote-aware, so a
-                    // quote-bearing file could hide a newline inside a field
-                    // the probe would treat as a record boundary — decline
-                    // to split and stay serial. (Map-hinted boundaries above
-                    // come from an actual parse, so they stay eligible.)
-                    if p.saw_quote && ctx_mode_is_insitu(planner.ctx) {
-                        return Ok(None);
-                    }
-                    p.morsels
-                }
-            }
-        }
-        TableSource::Fbin { .. } => {
-            let buf = planner.ctx.files.read(def.source.path())?;
-            let layout = FbinLayout::parse(&buf)?;
-            let rows_per_morsel = (morsel_bytes / layout.row_width.max(1)).max(1) as u64;
-            let target = (layout.rows / rows_per_morsel).clamp(1, MAX_MORSELS as u64);
-            partition_rows(layout.rows, target as usize)
-        }
-        TableSource::RootEvents { .. } => {
-            let file = planner.open_root(&def)?;
-            let events = file.num_events();
-            let bytes_per_event = (8 * def.schema.len()).max(1);
-            let rows_per_morsel = (morsel_bytes / bytes_per_event).max(1) as u64;
-            let target = (events / rows_per_morsel).clamp(1, MAX_MORSELS as u64);
-            partition_rows(events, target as usize)
-        }
-        _ => unreachable!("gated above"),
-    };
-    if morsels.len() < 2 {
+    // -- stage 2: partition the driving table --------------------------------
+    let Some(morsels) = partition(&mut planner, &q.tables[0], &driving)? else {
         return Ok(None); // nothing to parallelize
-    }
-    let text_format = matches!(def.source, TableSource::Csv { .. });
+    };
+    let text_format = matches!(driving.source, TableSource::Csv { .. });
 
-    // Slice the single table the way the serial planner does.
-    let mut tc = TableCols { filters: Vec::new(), join_key: None, outputs: Vec::new() };
-    for f in &q.filters {
-        tc.filters.push(f.clone());
-    }
-    for o in &q.outputs {
-        if !tc.outputs.iter().any(|c| c.schema_idx == o.col.schema_idx) {
-            tc.outputs.push(o.col.clone());
+    // Shared planning state, resolved once (not per morsel): the per-table
+    // query slices, materialization strategies, and join-side placements —
+    // the same calls, in the same order, as the serial `plan_query`.
+    let per_table = slice_per_table(q);
+    let strategies: Vec<ShredStrategy> =
+        (0..q.tables.len()).map(|t| planner.resolve_strategy(q, t, &per_table[t])).collect();
+
+    // Join: resolve placements per side and build the build side ONCE —
+    // serially, through the ordinary whole-file pipeline (pool-served when
+    // shreds cover it) — then share the hash table across morsel probes.
+    let mut build_profile = PhaseProfile::default();
+    let mut build_metrics = ScanMetrics::default();
+    let (placements, shared_build, probe_when) = match q.join.as_ref() {
+        Some(j) => {
+            let placements: Vec<AttachWhen> =
+                (0..2).map(|t| planner.resolve_placement(q, t, &per_table[t])).collect();
+            let built = planner.build_table_pipeline(
+                q,
+                1,
+                &per_table[1],
+                strategies[1],
+                placements[1],
+                None,
+            )?;
+            let build_key = built
+                .layout
+                .position(1, j.build_col.schema_idx)
+                .ok_or_else(|| EngineError::planning("build key missing from layout"))?;
+            let mut op = built.op;
+            let batches = drain(op.as_mut())?;
+            build_profile = op.scan_profile();
+            build_metrics = op.scan_metrics();
+            drop(op); // release sinks so fragments unwrap cheaply later
+            let shared = Arc::new(JoinBuildSide::build(Batch::concat(&batches)?, build_key)?);
+            planner.note(format!(
+                "hash join {}.{} = {}.{} (probe left, build right; build side [{} rows] \
+                 built once, shared across {} probe morsels)",
+                q.tables[0],
+                j.probe_col.name,
+                q.tables[1],
+                j.build_col.name,
+                shared.rows(),
+                morsels.len(),
+            ));
+            let probe_when = placements[0];
+            (Some(placements), Some((shared, built.layout)), probe_when)
         }
-    }
-
-    let strategy = planner.resolve_strategy(q, 0, &tc);
-    let when = match strategy {
-        ShredStrategy::FullColumns => AttachWhen::Early,
-        _ => AttachWhen::AfterFilters,
+        None => {
+            let when = match strategies[0] {
+                ShredStrategy::FullColumns => AttachWhen::Early,
+                _ => AttachWhen::AfterFilters,
+            };
+            (None, None, when)
+        }
     };
 
+    // -- stage 3: per-morsel pipeline build ----------------------------------
     let mut pipelines: Vec<Box<dyn Operator>> = Vec::with_capacity(morsels.len());
     let mut posmap_sinks: Vec<(String, PosMapSink)> = Vec::new();
     let mut harvests = Harvests::default();
     let mut merge: Option<MergePlan> = None;
     let mut output_names: Vec<String> = Vec::new();
-    let mut explain_len = 0usize;
 
-    for morsel in &morsels {
+    // The build side's side effects come first (its posmap is the build
+    // table's single whole-file fragment).
+    for (table, sink) in planner.harvests.posmaps.drain(..) {
+        posmap_sinks.push((table, sink));
+    }
+    harvests.shreds.append(&mut planner.harvests.shreds);
+
+    for (i, morsel) in morsels.iter().enumerate() {
+        // Keep the plan description readable: the first morsel's notes
+        // describe them all. Later morsels build against a scratch vec
+        // (swapped in here, dropped below) instead of truncating the
+        // shared one.
+        let kept = (i > 0).then(|| std::mem::take(&mut planner.explain));
+
         let segment = if text_format {
             ScanSegment {
                 first_row: morsel.first_row,
@@ -179,23 +191,63 @@ pub(crate) fn try_plan(
         } else {
             ScanSegment::rows(morsel.first_row, morsel.end_row)
         };
-        let built = planner.build_table_pipeline(q, 0, &tc, strategy, when, Some(segment))?;
+        let built = planner.build_table_pipeline(
+            q,
+            0,
+            &per_table[0],
+            strategies[0],
+            probe_when,
+            Some(segment),
+        )?;
         let mut op = built.op;
-        let layout = built.layout;
+        let mut layout = built.layout;
 
-        // The plan top, resolved with the same helpers as the serial
-        // planner: scalar aggregation becomes per-morsel partial state
-        // merged by raw-exec; projections apply per morsel and concatenate.
-        if merge.is_none() {
-            if q.is_aggregate() {
-                let (exprs, names) = super::aggregate_exprs(q, &layout)?;
-                output_names = names;
-                merge = Some(MergePlan::Aggregate(exprs));
-            } else {
-                let (_, names) = super::projection_positions(q, &layout)?;
-                output_names = names;
-                merge = Some(MergePlan::Concat);
+        // The join above each morsel's probe pipeline, probing the shared
+        // build side; then Late attaches above the join, for the sides
+        // placed there — per morsel, exactly like the serial plan's top.
+        if let Some((shared, build_layout)) = &shared_build {
+            let j = q.join.as_ref().expect("shared build implies a join");
+            let probe_key = layout
+                .position(0, j.probe_col.schema_idx)
+                .ok_or_else(|| EngineError::planning("probe key missing from layout"))?;
+            op = Box::new(HashJoinOp::with_shared(op, Arc::clone(shared), probe_key));
+            layout.extend(build_layout);
+
+            let placements = placements.as_ref().expect("join resolved placements");
+            for (t, tc) in per_table.iter().enumerate() {
+                if placements[t] != AttachWhen::Never {
+                    continue;
+                }
+                let missing: Vec<ColRef> = tc
+                    .outputs
+                    .iter()
+                    .filter(|c| layout.position(t, c.schema_idx).is_none())
+                    .cloned()
+                    .collect();
+                if missing.is_empty() {
+                    continue;
+                }
+                let (next, new_layout) = planner.attach_columns(
+                    q,
+                    op,
+                    layout,
+                    t,
+                    &missing,
+                    /* multi = */ false,
+                    "late (above join)",
+                    TableTag(t as u32),
+                )?;
+                op = next;
+                layout = new_layout;
             }
+        }
+
+        // -- stage 4: merge resolution (first morsel; layouts are
+        // identical across morsels by construction) ------------------------
+        if merge.is_none() {
+            let (resolved, names) = resolve_merge(&mut planner, q, &layout)?;
+            merge = Some(resolved);
+            output_names = names;
         }
         if matches!(merge, Some(MergePlan::Concat)) {
             let (cols, _) = super::projection_positions(q, &layout)?;
@@ -211,11 +263,8 @@ pub(crate) fn try_plan(
         }
         harvests.shreds.append(&mut planner.harvests.shreds);
 
-        // Keep the plan description readable: one morsel's worth of scan
-        // notes describes them all.
-        match explain_len {
-            0 => explain_len = planner.explain.len(),
-            n => planner.explain.truncate(n),
+        if let Some(kept) = kept {
+            planner.explain = kept;
         }
     }
 
@@ -227,31 +276,155 @@ pub(crate) fn try_plan(
         match &merge {
             MergePlan::Concat => "concat in morsel order",
             MergePlan::Aggregate(_) => "partial aggregates merged in morsel order",
+            MergePlan::Grouped(_) => "grouped partial states merged in morsel order",
         }
     ));
     let explain = std::mem::take(&mut planner.explain);
 
-    Ok(Some(ParallelPlan { pipelines, merge, harvests, posmap_sinks, explain, output_names }))
+    Ok(Some(ParallelPlan {
+        pipelines,
+        merge,
+        harvests,
+        posmap_sinks,
+        build_profile,
+        build_metrics,
+        explain,
+        output_names,
+    }))
 }
 
-/// Whether the engine is in general-purpose in-situ mode (quote-aware CSV
-/// tokenizing, unlike the JIT dialect).
-fn ctx_mode_is_insitu(ctx: &PlannerCtx<'_>) -> bool {
-    ctx.config.mode == AccessMode::InSitu
+/// Stage 1: whether the query can take the parallel path at all. The
+/// *driving* table (0) must be partitionable into record-aligned morsels
+/// and not already fully shred-cached; a join's build side only needs an
+/// ordinary serial scan, so any source the mode supports qualifies there.
+fn eligible(ctx: &mut PlannerCtx<'_>, q: &ResolvedQuery, threads: usize) -> Result<bool> {
+    if threads < 2 || !matches!(ctx.config.mode, AccessMode::InSitu | AccessMode::Jit) {
+        return Ok(false);
+    }
+    let def = ctx.catalog.get(&q.tables[0])?;
+    if !matches!(
+        def.source,
+        TableSource::Csv { .. } | TableSource::Fbin { .. } | TableSource::RootEvents { .. }
+    ) {
+        return Ok(false);
+    }
+    // Fully-cached driving table: the serial PoolScan path is already
+    // memory-speed and whole-file shaped; don't segment it.
+    let name = q.tables[0].clone();
+    let all_pooled =
+        table_columns(q, 0).iter().all(|col| ctx.pool.get(&name, col).is_some_and(|s| s.is_full()));
+    Ok(!all_pooled)
 }
 
-/// Names of every column the query touches (filters and outputs).
-fn query_columns(q: &ResolvedQuery) -> Vec<String> {
-    let mut out: Vec<String> = Vec::new();
-    for f in &q.filters {
-        if !out.contains(&f.col.name) {
-            out.push(f.col.name.clone());
+/// Stage 2: split the driving table into morsels, or `None` when the file
+/// is too small to split. The grid depends on the file (and the morsel-size
+/// knob), never on the worker count, so results are thread-count invariant.
+fn partition(
+    planner: &mut Planner<'_, '_>,
+    name: &str,
+    def: &TableDef,
+) -> Result<Option<Vec<Morsel>>> {
+    let morsel_bytes = planner.ctx.config.morsel_bytes.max(1);
+    let morsels: Vec<Morsel> = match &def.source {
+        TableSource::Csv { .. } => {
+            let buf = planner.ctx.files.read(def.source.path())?;
+            let target = (buf.len() / morsel_bytes).clamp(1, MAX_MORSELS);
+            // Positional-map entries double as split hints: column 0's
+            // recorded positions are the record starts (per the dialect the
+            // map was parsed with), so no probe pass.
+            let hinted = planner
+                .ctx
+                .posmaps
+                .get(name)
+                .and_then(|m| partition_csv_with_map(m, buf.len(), target));
+            match hinted {
+                Some(ms) => ms,
+                None => {
+                    // Cold probe: split on the dialect the scan will use.
+                    // The general-purpose in-situ scan is quote-aware (a
+                    // quoted field may contain a newline); the JIT dialect
+                    // treats every newline as a record end.
+                    if planner.ctx.config.mode == AccessMode::InSitu {
+                        partition_csv_quoted(&buf, target).morsels
+                    } else {
+                        partition_csv(&buf, target).morsels
+                    }
+                }
+            }
         }
+        TableSource::Fbin { .. } => {
+            let buf = planner.ctx.files.read(def.source.path())?;
+            let layout = FbinLayout::parse(&buf)?;
+            let rows_per_morsel = (morsel_bytes / layout.row_width.max(1)).max(1) as u64;
+            let target = (layout.rows / rows_per_morsel).clamp(1, MAX_MORSELS as u64);
+            partition_rows(layout.rows, target as usize)
+        }
+        TableSource::RootEvents { .. } => {
+            let file = planner.open_root(def)?;
+            let events = file.num_events();
+            let bytes_per_event = (8 * def.schema.len()).max(1);
+            let rows_per_morsel = (morsel_bytes / bytes_per_event).max(1) as u64;
+            let target = (events / rows_per_morsel).clamp(1, MAX_MORSELS as u64);
+            partition_rows(events, target as usize)
+        }
+        _ => unreachable!("gated by eligibility"),
+    };
+    Ok(if morsels.len() < 2 { None } else { Some(morsels) })
+}
+
+/// Stage 4: how per-morsel outputs combine, resolved against the (shared)
+/// pipeline layout with the same helpers as the serial plan top.
+fn resolve_merge(
+    planner: &mut Planner<'_, '_>,
+    q: &ResolvedQuery,
+    layout: &super::Layout,
+) -> Result<(MergePlan, Vec<String>)> {
+    if let Some(g) = &q.group_by {
+        let top = super::grouped_top(q, layout)?;
+        planner.note(format!(
+            "hash aggregate {} GROUP BY {}.{}",
+            top.names.join(", "),
+            q.tables[g.table],
+            g.name
+        ));
+        let merge = MergePlan::Grouped(GroupedMerge {
+            key_col: top.key_pos,
+            exprs: top.exprs,
+            output: top.out_positions,
+        });
+        Ok((merge, top.names))
+    } else if q.is_aggregate() {
+        let (exprs, names) = super::aggregate_exprs(q, layout)?;
+        planner.note(format!("aggregate {}", names.join(", ")));
+        Ok((MergePlan::Aggregate(exprs), names))
+    } else {
+        let (_, names) = super::projection_positions(q, layout)?;
+        planner.note(format!("project {}", names.join(", ")));
+        Ok((MergePlan::Concat, names))
+    }
+}
+
+/// Names of every column the query touches on table `t` (filters, join key,
+/// and outputs).
+fn table_columns(q: &ResolvedQuery, t: usize) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let mut add = |c: &ColRef| {
+        if c.table == t && !out.contains(&c.name) {
+            out.push(c.name.clone());
+        }
+    };
+    for f in &q.filters {
+        add(&f.col);
+    }
+    if let Some(j) = &q.join {
+        add(&j.probe_col);
+        add(&j.build_col);
     }
     for o in &q.outputs {
-        if !out.contains(&o.col.name) {
-            out.push(o.col.name.clone());
-        }
+        add(&o.col);
+    }
+    if let Some(g) = &q.group_by {
+        add(g);
     }
     out
 }

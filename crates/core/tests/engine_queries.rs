@@ -58,7 +58,7 @@ fn scalar_i64(r: &QueryResult) -> i64 {
 }
 
 fn config(mode: AccessMode, shreds: ShredStrategy) -> EngineConfig {
-    EngineConfig { mode, shreds, ..EngineConfig::default() }
+    EngineConfig { mode, shreds, ..EngineConfig::from_env() }
 }
 
 #[test]
@@ -109,14 +109,14 @@ fn fbin_modes_agree() {
 
 #[test]
 fn zero_selectivity_yields_null() {
-    let mut engine = engine_with_csv(EngineConfig::default());
+    let mut engine = engine_with_csv(EngineConfig::from_env());
     let r = engine.query("SELECT MAX(col11) FROM file1 WHERE col1 < 0").unwrap();
     assert_eq!(r.scalar().unwrap(), Value::Utf8("NULL".into()));
 }
 
 #[test]
 fn full_selectivity_reads_everything() {
-    let mut engine = engine_with_csv(EngineConfig::default());
+    let mut engine = engine_with_csv(EngineConfig::from_env());
     let x = datagen::INT_VALUE_RANGE;
     let r = engine.query(&format!("SELECT MAX(col11) FROM file1 WHERE col1 < {x}")).unwrap();
     assert_eq!(scalar_i64(&r), expected_max_where_lt(10, 0, x).unwrap());
@@ -175,7 +175,7 @@ fn column_shreds_touch_fewer_values_at_low_selectivity() {
             shreds,
             // Cache only positions, not data, so Q2's reads are measurable.
             cache_shreds: false,
-            ..EngineConfig::default()
+            ..EngineConfig::from_env()
         });
         engine.query(&warmup).unwrap();
         let r = engine.query(&q2).unwrap();
@@ -204,7 +204,7 @@ fn join_all_placements_agree_csv_fbin() {
             mode: AccessMode::Jit,
             shreds: ShredStrategy::ColumnShreds,
             join_placement: placement,
-            ..EngineConfig::default()
+            ..EngineConfig::from_env()
         });
         // Warm-up query to build the CSV positional map (late CSV fetches
         // need it).
@@ -233,7 +233,7 @@ fn join_projected_column_from_build_side() {
     for placement in [JoinPlacement::Early, JoinPlacement::Intermediate, JoinPlacement::Late] {
         let mut engine = engine_with_twins(EngineConfig {
             join_placement: placement,
-            ..EngineConfig::default()
+            ..EngineConfig::from_env()
         });
         results.push(scalar_i64(&engine.query(&q).unwrap()));
     }
@@ -242,7 +242,7 @@ fn join_projected_column_from_build_side() {
 
 #[test]
 fn multiple_aggregates_single_pass() {
-    let mut engine = engine_with_csv(EngineConfig::default());
+    let mut engine = engine_with_csv(EngineConfig::from_env());
     let x = datagen::literal_for_selectivity(0.6);
     let r = engine
         .query(&format!(
@@ -262,7 +262,7 @@ fn multiple_aggregates_single_pass() {
 
 #[test]
 fn bare_projection() {
-    let mut engine = engine_with_csv(EngineConfig::default());
+    let mut engine = engine_with_csv(EngineConfig::from_env());
     let r = engine.query("SELECT col1, col2 FROM file1 WHERE col1 < 50000000").unwrap();
     assert_eq!(r.batch.num_columns(), 2);
     assert_eq!(r.column_names, vec!["col1", "col2"]);
@@ -304,7 +304,7 @@ fn speculative_multi_column_shreds_two_predicates() {
 fn posmap_stride7_nearest_navigation() {
     let mut engine = engine_with_csv(EngineConfig {
         posmap_policy: TrackingPolicy::EveryK { stride: 7 },
-        ..EngineConfig::default()
+        ..EngineConfig::from_env()
     });
     let x = datagen::literal_for_selectivity(0.3);
     engine.query(&format!("SELECT MAX(col1) FROM file1 WHERE col1 < {x}")).unwrap();
@@ -323,7 +323,7 @@ fn cold_vs_warm_io_accounting() {
     let path = std::env::temp_dir().join(format!("raw_engine_io_{}.csv", std::process::id()));
     raw_formats::csv::writer::write_file(&t, &path).unwrap();
 
-    let mut engine = RawEngine::new(EngineConfig::default());
+    let mut engine = RawEngine::new(EngineConfig::from_env());
     engine.register_table(TableDef {
         name: "t".into(),
         schema: Schema::uniform(4, DataType::Int64),
@@ -348,7 +348,7 @@ fn template_cache_hits_on_repeat() {
         mode: AccessMode::Jit,
         shreds: ShredStrategy::FullColumns,
         cache_shreds: false,
-        ..EngineConfig::default()
+        ..EngineConfig::from_env()
     });
     let q = "SELECT MAX(col2) FROM file1 WHERE col1 < 100000000";
     let r1 = engine.query(q).unwrap();
@@ -365,7 +365,7 @@ fn template_cache_hits_on_repeat() {
 
 #[test]
 fn reset_adaptive_state_forgets_everything() {
-    let mut engine = engine_with_csv(EngineConfig::default());
+    let mut engine = engine_with_csv(EngineConfig::from_env());
     engine.query("SELECT MAX(col1) FROM file1 WHERE col1 < 400000000").unwrap();
     assert!(engine.posmap("file1").is_some());
     engine.reset_adaptive_state();
@@ -376,7 +376,7 @@ fn reset_adaptive_state_forgets_everything() {
 
 #[test]
 fn explain_describes_plan() {
-    let mut engine = engine_with_csv(EngineConfig::default());
+    let mut engine = engine_with_csv(EngineConfig::from_env());
     let lines =
         engine.query("SELECT MAX(col11) FROM file1 WHERE col1 < 1000").unwrap().stats.explain;
     let text = lines.join("\n");
@@ -387,13 +387,13 @@ fn explain_describes_plan() {
 
 #[test]
 fn errors_are_clean() {
-    let mut engine = engine_with_csv(EngineConfig::default());
+    let mut engine = engine_with_csv(EngineConfig::from_env());
     assert!(engine.query("SELECT MAX(colX) FROM file1").is_err());
     assert!(engine.query("SELECT MAX(col1) FROM nope").is_err());
     assert!(engine.query("not sql at all").is_err());
 
     // Malformed file contents: error, not panic.
-    let mut engine = RawEngine::new(EngineConfig::default());
+    let mut engine = RawEngine::new(EngineConfig::from_env());
     engine.files().insert("/virtual/bad.csv", b"1,notanint\n".to_vec());
     engine.register_table(TableDef {
         name: "bad".into(),
@@ -408,7 +408,7 @@ fn errors_are_clean() {
 fn simulated_compile_latency_charged_once() {
     let mut engine = engine_with_csv(EngineConfig {
         simulated_compile_latency: std::time::Duration::from_millis(30),
-        ..EngineConfig::default()
+        ..EngineConfig::from_env()
     });
     let q = "SELECT MAX(col1) FROM file1 WHERE col1 < 100";
     let r1 = engine.query(q).unwrap();

@@ -84,7 +84,7 @@ fn group_by_agrees_across_modes_and_formats() {
             [AccessMode::Dbms, AccessMode::ExternalTables, AccessMode::InSitu, AccessMode::Jit]
         {
             let mut engine =
-                engine_with_sales(EngineConfig { mode, ..EngineConfig::default() }, fbin);
+                engine_with_sales(EngineConfig { mode, ..EngineConfig::from_env() }, fbin);
             let r = engine.query(Q).unwrap();
             check_against_reference(&r, &expect);
             assert_eq!(
@@ -105,7 +105,7 @@ fn group_by_composes_with_filters_and_shreds() {
         ShredStrategy::Adaptive,
     ] {
         let mut engine = engine_with_sales(
-            EngineConfig { mode: AccessMode::Jit, shreds, ..EngineConfig::default() },
+            EngineConfig { mode: AccessMode::Jit, shreds, ..EngineConfig::from_env() },
             false,
         );
         // Warm-up builds the positional map so shred plans can fetch late.
@@ -122,7 +122,7 @@ fn group_by_composes_with_filters_and_shreds() {
 
 #[test]
 fn aggregate_only_select_list_still_groups() {
-    let mut engine = engine_with_sales(EngineConfig::default(), false);
+    let mut engine = engine_with_sales(EngineConfig::from_env(), false);
     let r = engine.query("SELECT COUNT(quantity) FROM sales GROUP BY region").unwrap();
     let expect = reference(None);
     assert_eq!(r.batch.rows(), expect.len());
@@ -134,7 +134,7 @@ fn aggregate_only_select_list_still_groups() {
 
 #[test]
 fn select_order_is_respected() {
-    let mut engine = engine_with_sales(EngineConfig::default(), false);
+    let mut engine = engine_with_sales(EngineConfig::from_env(), false);
     let r = engine
         .query("SELECT COUNT(quantity), region, SUM(quantity) FROM sales GROUP BY region")
         .unwrap();
@@ -149,7 +149,7 @@ fn select_order_is_respected() {
 #[test]
 fn group_by_over_join() {
     // Join sales with a region-dimension file, group by the key.
-    let mut engine = engine_with_sales(EngineConfig::default(), false);
+    let mut engine = engine_with_sales(EngineConfig::from_env(), false);
     let dim = MemTable::new(
         Schema::new(vec![
             Field::new("region", DataType::Int64),
@@ -186,7 +186,7 @@ fn group_by_over_join() {
 
 #[test]
 fn empty_group_by_result_has_zero_rows() {
-    let mut engine = engine_with_sales(EngineConfig::default(), false);
+    let mut engine = engine_with_sales(EngineConfig::from_env(), false);
     let r = engine
         .query("SELECT region, COUNT(quantity) FROM sales WHERE quantity < -1 GROUP BY region")
         .unwrap();
@@ -195,7 +195,7 @@ fn empty_group_by_result_has_zero_rows() {
 
 #[test]
 fn grouping_rules_enforced() {
-    let mut engine = engine_with_sales(EngineConfig::default(), false);
+    let mut engine = engine_with_sales(EngineConfig::from_env(), false);
     // Bare column that is not the key.
     let err = engine.query("SELECT price, COUNT(quantity) FROM sales GROUP BY region").unwrap_err();
     assert!(err.to_string().contains("GROUP BY"), "{err}");
@@ -205,6 +205,29 @@ fn grouping_rules_enforced() {
     assert!(engine.query("SELECT COUNT(price) FROM sales GROUP BY nope").is_err());
     // Float keys unsupported (typed error, not panic).
     assert!(engine.query("SELECT COUNT(quantity) FROM sales GROUP BY price").is_err());
+}
+
+/// CI canary for the env-forced parallel configuration: when
+/// `RAW_PARALLELISM >= 2` reaches `EngineConfig::from_env`, a grouped
+/// query over a splittable file must actually take the parallel path —
+/// otherwise the `parallel-path` CI job would go green while exercising
+/// nothing but the serial planner. A no-op under default (serial) runs.
+#[test]
+fn env_forced_parallelism_engages_parallel_path() {
+    let mut config = EngineConfig::from_env();
+    if config.parallelism < 2 {
+        return;
+    }
+    // Robust to the job forgetting RAW_MORSEL_BYTES: the sales file is
+    // ~10 KiB, so cap the morsel size to guarantee a multi-morsel grid.
+    config.morsel_bytes = config.morsel_bytes.min(2 << 10);
+    let mut engine = engine_with_sales(config, false);
+    let r = engine.query(Q).unwrap();
+    assert!(
+        r.stats.explain.iter().any(|l| l.contains("parallel:")),
+        "RAW_PARALLELISM >= 2 but the grouped query stayed serial: {:#?}",
+        r.stats.explain
+    );
 }
 
 #[test]

@@ -11,8 +11,15 @@
 //!   Integer aggregates are bit-for-bit serial-identical; float aggregates
 //!   are identical across any worker count because the morsel grid — and
 //!   therefore the summation tree — never depends on the thread count.
+//! - [`MergePlan::Grouped`] — grouped-aggregation queries; each worker folds
+//!   its morsel's batches into a [`GroupedAccumulator`] (per-morsel partial
+//!   hash-table state), states merge in morsel order, and the finished
+//!   `[key, agg₀, agg₁, …]` batch is projected into select-list order.
+//!   Count/sum/min/max over integers merge order-insensitively; AVG (and
+//!   float sums) are deterministic because the merge order is the morsel
+//!   order, which never depends on the thread count.
 
-use raw_columnar::ops::{AggAccumulator, AggExpr, Operator};
+use raw_columnar::ops::{AggAccumulator, AggExpr, GroupedAccumulator, Operator};
 use raw_columnar::profile::{PhaseProfile, ScanMetrics};
 use raw_columnar::{Batch, ColumnarError};
 
@@ -25,6 +32,20 @@ pub enum MergePlan {
     Concat,
     /// Per-morsel partial aggregation, merged in morsel order.
     Aggregate(Vec<AggExpr>),
+    /// Per-morsel partial hash-aggregation, merged in morsel order.
+    Grouped(GroupedMerge),
+}
+
+/// The grouped-aggregation merge recipe.
+#[derive(Debug, Clone)]
+pub struct GroupedMerge {
+    /// Grouping-key position in the morsel pipelines' output batches.
+    pub key_col: usize,
+    /// Aggregate expressions over pipeline output positions.
+    pub exprs: Vec<AggExpr>,
+    /// Final projection over the merged `[key, agg₀, agg₁, …]` batch,
+    /// restoring the query's select-list order.
+    pub output: Vec<usize>,
 }
 
 /// The merged result of a parallel run.
@@ -45,6 +66,7 @@ pub struct ParallelOutcome {
 enum MorselOutput {
     Batches(Vec<Batch>),
     Partial(Box<AggAccumulator>),
+    GroupedPartial(Box<GroupedAccumulator>),
 }
 
 type MorselResult = Result<(MorselOutput, PhaseProfile, ScanMetrics), ColumnarError>;
@@ -78,6 +100,13 @@ pub fn execute_morsels(
                         }
                         MorselOutput::Partial(Box::new(acc))
                     }
+                    MergePlan::Grouped(g) => {
+                        let mut acc = GroupedAccumulator::new(g.key_col, g.exprs);
+                        while let Some(b) = op.next_batch()? {
+                            acc.update(&b)?;
+                        }
+                        MorselOutput::GroupedPartial(Box::new(acc))
+                    }
                 };
                 Ok((out, op.scan_profile(), op.scan_metrics()))
             }
@@ -90,6 +119,7 @@ pub fn execute_morsels(
     let mut metrics = ScanMetrics::default();
     let mut batches = Vec::new();
     let mut merged_acc: Option<AggAccumulator> = None;
+    let mut merged_groups: Option<GroupedAccumulator> = None;
     for result in results {
         let (out, p, m) = result?;
         profile.merge(&p);
@@ -100,14 +130,29 @@ pub fn execute_morsels(
                 Some(acc) => acc.merge(*partial)?,
                 None => merged_acc = Some(*partial),
             },
+            MorselOutput::GroupedPartial(partial) => match merged_groups.as_mut() {
+                Some(acc) => acc.merge(*partial)?,
+                None => merged_groups = Some(*partial),
+            },
         }
     }
 
-    if let MergePlan::Aggregate(exprs) = merge {
-        // Zero morsels (empty file) still yields the canonical empty-input
-        // aggregate row (COUNT 0 / NULL), exactly like a serial AggregateOp.
-        let acc = merged_acc.unwrap_or_else(|| AggAccumulator::new(exprs.clone()));
-        batches = vec![acc.finish()?];
+    match merge {
+        MergePlan::Concat => {}
+        MergePlan::Aggregate(exprs) => {
+            // Zero morsels (empty file) still yields the canonical
+            // empty-input aggregate row (COUNT 0 / NULL), exactly like a
+            // serial AggregateOp.
+            let acc = merged_acc.unwrap_or_else(|| AggAccumulator::new(exprs.clone()));
+            batches = vec![acc.finish()?];
+        }
+        MergePlan::Grouped(g) => {
+            // Zero morsels yields the zero-row grouped batch, exactly like
+            // a serial HashAggregateOp over an empty input.
+            let acc = merged_groups
+                .unwrap_or_else(|| GroupedAccumulator::new(g.key_col, g.exprs.clone()));
+            batches = vec![acc.finish()?.project(&g.output)?];
+        }
     }
 
     Ok(ParallelOutcome { batches, profile, metrics, morsels })
@@ -157,6 +202,58 @@ mod tests {
             assert_eq!(b.value(0, 3).unwrap(), Value::Int64(6));
             assert_eq!(b.value(0, 4).unwrap(), Value::Float64(26.0 / 6.0));
         }
+    }
+
+    fn pair_source(rows: &[(i64, i64)]) -> Box<dyn Operator> {
+        let batches = rows
+            .chunks(3)
+            .map(|c| {
+                let keys: Vec<i64> = c.iter().map(|&(k, _)| k).collect();
+                let vals: Vec<i64> = c.iter().map(|&(_, v)| v).collect();
+                Batch::new(vec![keys.into(), vals.into()]).unwrap()
+            })
+            .collect();
+        Box::new(BatchSource::new(batches))
+    }
+
+    #[test]
+    fn grouped_merges_partials_like_serial() {
+        let merge = MergePlan::Grouped(GroupedMerge {
+            key_col: 0,
+            exprs: vec![
+                AggExpr { kind: AggKind::Count, col: 1 },
+                AggExpr { kind: AggKind::Sum, col: 1 },
+            ],
+            // [key, count, sum] -> select order (sum, key, count).
+            output: vec![2, 0, 1],
+        });
+        for threads in [1, 2, 4, 8] {
+            let pipelines: Vec<Box<dyn Operator>> = vec![
+                pair_source(&[(2, 10), (1, 20), (2, 30)]),
+                pair_source(&[(1, 40), (3, 50)]),
+                pair_source(&[(2, 60)]),
+            ];
+            let out = execute_morsels(pipelines, &merge, threads).unwrap();
+            assert_eq!(out.batches.len(), 1);
+            let b = &out.batches[0];
+            // Keys sorted: 1, 2, 3.
+            assert_eq!(b.column(1).unwrap().as_i64().unwrap(), &[1, 2, 3]);
+            assert_eq!(b.column(2).unwrap().as_i64().unwrap(), &[2, 3, 1]);
+            assert_eq!(b.column(0).unwrap().as_i64().unwrap(), &[60, 100, 50]);
+        }
+    }
+
+    #[test]
+    fn grouped_of_no_morsels_is_empty_batch() {
+        let merge = MergePlan::Grouped(GroupedMerge {
+            key_col: 0,
+            exprs: vec![AggExpr { kind: AggKind::Count, col: 1 }],
+            output: vec![0, 1],
+        });
+        let out = execute_morsels(Vec::new(), &merge, 4).unwrap();
+        assert_eq!(out.batches.len(), 1);
+        assert_eq!(out.batches[0].rows(), 0);
+        assert_eq!(out.batches[0].num_columns(), 2);
     }
 
     #[test]

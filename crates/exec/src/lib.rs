@@ -36,8 +36,11 @@ pub mod executor;
 pub mod morsel;
 pub mod pool;
 
-pub use executor::{execute_morsels, MergePlan, ParallelOutcome};
-pub use morsel::{partition_csv, partition_csv_with_map, partition_rows, CsvPartition, Morsel};
+pub use executor::{execute_morsels, GroupedMerge, MergePlan, ParallelOutcome};
+pub use morsel::{
+    partition_csv, partition_csv_quoted, partition_csv_with_map, partition_rows, CsvPartition,
+    Morsel,
+};
 pub use pool::run_jobs;
 
 /// The number of worker threads "all cores" resolves to on this host.

@@ -5,20 +5,24 @@
 //! scans walk, and what makes every morsel's outputs — provenance ids,
 //! positional-map fragments, shred fragments — compose globally).
 //!
+//! CSV has one probe per dialect: [`partition_csv`] splits on raw newlines
+//! (the JIT dialect, which never embeds newlines in fields) and
+//! [`partition_csv_quoted`] interprets quotes and escapes (the
+//! general-purpose in-situ dialect, where a quoted field may contain a
+//! newline). Planners pick the probe matching the scan they will build.
+//!
 //! The morsel grid is a function of the **file only**, never of the worker
 //! count, so merged results are identical for any number of threads.
 
+use raw_formats::csv::tokenizer::{general_dialect_step, DialectByte, GeneralDialectState};
+use raw_formats::csv::{ESCAPE, NEWLINE, QUOTE};
 use raw_posmap::{Lookup, PositionalMap};
 
-/// Row-boundary byte in the workspace CSV dialect (must agree with
-/// `raw_formats::csv::NEWLINE` and the tokenizers built on it: every newline
-/// ends a record; the dialect never embeds newlines in fields).
-const NEWLINE: u8 = b'\n';
-
-/// Quote byte of the general-purpose (in-situ) CSV dialect. The partitioner
-/// does not interpret quotes — it only *reports* their presence so planners
-/// targeting a quote-aware scan can decline to split the file.
-const QUOTE: u8 = b'"';
+/// Bytes the quote-aware probe bulk-scans per fast-path decision. Within a
+/// chunk free of quote/escape bytes the probe degenerates to the same
+/// accumulate-over-compare newline count as the raw probe, so quote-free
+/// stretches (the common case) still run at memory speed.
+const PROBE_CHUNK: usize = 4096;
 
 /// One record-aligned slice of a raw file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,11 +56,10 @@ pub struct CsvPartition {
     pub morsels: Vec<Morsel>,
     /// Total records in the buffer.
     pub total_rows: u64,
-    /// Whether the buffer contains any quote (`"`) byte. The partitioner
-    /// splits on raw newlines (the workspace's JIT CSV dialect); a
-    /// quote-aware general-purpose scan may parse a quoted newline as field
-    /// *content*, so callers planning for such a scan must treat a
-    /// quote-bearing file as unsplittable and fall back to serial.
+    /// Whether the buffer contains any quote (`"`) byte. [`partition_csv`]
+    /// splits on raw newlines (the workspace's JIT CSV dialect) and only
+    /// reports quotes; callers planning for the quote-aware general-purpose
+    /// scan use [`partition_csv_quoted`], whose grid interprets them.
     pub saw_quote: bool,
 }
 
@@ -169,6 +172,125 @@ fn scan_chunk(chunk: &[u8]) -> (u64, bool) {
         quotes += u64::from(b == QUOTE);
     }
     (newlines, quotes > 0)
+}
+
+/// Advance the shared general-dialect state machine
+/// ([`raw_formats::csv::tokenizer::general_dialect_step`] — the same byte
+/// classifier the in-situ scan tokenizes with, so probe and scan agree on
+/// record boundaries by construction); returns whether the byte ended a
+/// record.
+#[inline]
+fn dialect_step(state: &mut GeneralDialectState, b: u8) -> bool {
+    general_dialect_step(state, b) == DialectByte::RecordEnd
+}
+
+/// Bulk-count newline/quote/escape bytes (same SIMD-friendly shape as
+/// [`scan_chunk`]).
+#[inline]
+fn count_dialect_bytes(chunk: &[u8]) -> (u64, u64, u64) {
+    let (mut newlines, mut quotes, mut escapes) = (0u64, 0u64, 0u64);
+    for &b in chunk {
+        newlines += u64::from(b == NEWLINE);
+        quotes += u64::from(b == QUOTE);
+        escapes += u64::from(b == ESCAPE);
+    }
+    (newlines, quotes, escapes)
+}
+
+/// Split a CSV buffer into at most `target` morsels under the
+/// **general-purpose (in-situ) dialect**: a newline inside a quoted field —
+/// or escaped by `\` — is field content, not a record boundary.
+///
+/// Same boundary-snapping rule as [`partition_csv`] (cut at the end of the
+/// record containing each byte quota), so a warm, positional-map-hinted
+/// partition of the same file replays this probe's grid exactly. Chunks
+/// free of quote/escape bytes take the bulk counting path, so the probe
+/// stays at memory speed on quote-free stretches and only drops to the
+/// byte-at-a-time state machine where the dialect demands it.
+pub fn partition_csv_quoted(buf: &[u8], target: usize) -> CsvPartition {
+    let len = buf.len();
+    if len == 0 || target == 0 {
+        return CsvPartition { morsels: Vec::new(), total_rows: 0, saw_quote: false };
+    }
+    let stride = len.div_ceil(target).max(1);
+
+    let mut morsels = Vec::with_capacity(target);
+    let mut cur_byte = 0usize;
+    let mut records = 0u64; // records completed (boundary seen) before `pos`
+    let mut saw_quote = false;
+    let mut state = GeneralDialectState::default();
+    // Whether the most recently processed byte ended a record (decides if
+    // the file's tail is an unterminated final record).
+    let mut ended_on_boundary = false;
+    let mut pos = 0usize;
+    while pos < len {
+        // Bulk-scan up to this morsel's byte quota...
+        let quota = (cur_byte + stride).min(len);
+        while pos < quota {
+            let chunk_end = quota.min(pos + PROBE_CHUNK);
+            let chunk = &buf[pos..chunk_end];
+            let (newlines, quotes, escapes) = count_dialect_bytes(chunk);
+            saw_quote |= quotes > 0;
+            if quotes == 0 && escapes == 0 && !state.escaped {
+                // Dialect-inert chunk: every newline is a boundary iff we
+                // are at top level; none is if we are inside quotes.
+                if !state.in_quotes {
+                    records += newlines;
+                    ended_on_boundary = chunk[chunk.len() - 1] == NEWLINE;
+                } else {
+                    // Everything in the chunk is quoted field content.
+                    ended_on_boundary = false;
+                }
+            } else {
+                for &b in chunk {
+                    ended_on_boundary = dialect_step(&mut state, b);
+                    records += u64::from(ended_on_boundary);
+                }
+            }
+            pos = chunk_end;
+        }
+        if pos >= len {
+            break;
+        }
+        // ...then walk to the next record boundary to snap the cut there.
+        let mut cut = None;
+        while pos < len {
+            let b = buf[pos];
+            saw_quote |= b == QUOTE;
+            ended_on_boundary = dialect_step(&mut state, b);
+            pos += 1;
+            if ended_on_boundary {
+                records += 1;
+                cut = Some(pos);
+                break;
+            }
+        }
+        match cut {
+            Some(next) if next < len => {
+                morsels.push(Morsel {
+                    index: morsels.len(),
+                    first_row: morsels.last().map_or(0, |m: &Morsel| m.end_row),
+                    end_row: records,
+                    byte_start: cur_byte,
+                    byte_end: next,
+                });
+                cur_byte = next;
+            }
+            _ => break, // boundary at EOF (or none before it): tail below
+        }
+    }
+    // Everything after the last cut is the final morsel; an unterminated
+    // final record (EOF without a closing boundary) is still a record.
+    let total_rows = records + u64::from(!ended_on_boundary);
+    let first_row = morsels.last().map_or(0, |m| m.end_row);
+    morsels.push(Morsel {
+        index: morsels.len(),
+        first_row,
+        end_row: total_rows,
+        byte_start: cur_byte,
+        byte_end: len,
+    });
+    CsvPartition { morsels, total_rows, saw_quote }
 }
 
 /// Split a CSV buffer using an existing positional map as split hints: when
@@ -284,6 +406,71 @@ mod tests {
         let empty = partition_csv(b"", 4);
         assert!(empty.morsels.is_empty());
         assert_eq!(empty.total_rows, 0);
+    }
+
+    #[test]
+    fn quoted_probe_equals_raw_probe_on_quote_free_input() {
+        let buf = csv(100, "abc,def");
+        for target in 1..9 {
+            let raw = partition_csv(&buf, target);
+            let quoted = partition_csv_quoted(&buf, target);
+            assert_eq!(quoted.morsels, raw.morsels, "target {target}");
+            assert_eq!(quoted.total_rows, raw.total_rows);
+            assert!(!quoted.saw_quote);
+        }
+    }
+
+    #[test]
+    fn quoted_probe_keeps_quoted_newlines_inside_records() {
+        // Two records under the general dialect; three raw newlines.
+        let buf = b"1,\"a\nb\"\n2,c\n";
+        let q = partition_csv_quoted(buf, 4);
+        assert_eq!(q.total_rows, 2, "quoted newline is field content");
+        assert!(q.saw_quote);
+        assert_covers(&q, buf);
+        for m in &q.morsels {
+            // Neither cut may land inside the quoted field (bytes 2..7).
+            assert!(m.byte_end <= 2 || m.byte_end >= 8, "cut at {}", m.byte_end);
+        }
+        // The raw probe still counts raw newlines (the JIT dialect).
+        assert_eq!(partition_csv(buf, 4).total_rows, 3);
+    }
+
+    #[test]
+    fn quoted_probe_handles_escapes_and_unterminated_tails() {
+        // `\`-escaped newline outside quotes is content; unterminated
+        // final record still counts.
+        let buf = b"a,b\\\nc\nd,e";
+        let q = partition_csv_quoted(buf, 4);
+        assert_eq!(q.total_rows, 2);
+        assert_covers(&q, buf);
+
+        // Unbalanced quote swallowing the rest of the file: one record.
+        let buf = b"a,\"b\nc\nd";
+        let q = partition_csv_quoted(buf, 4);
+        assert_eq!(q.total_rows, 1);
+        assert_eq!(q.morsels.len(), 1);
+
+        let empty = partition_csv_quoted(b"", 4);
+        assert!(empty.morsels.is_empty());
+        assert_eq!(empty.total_rows, 0);
+    }
+
+    #[test]
+    fn quoted_probe_bulk_path_agrees_with_state_machine_across_chunks() {
+        // A quoted section spanning multiple probe chunks: the bulk path
+        // must stay suppressed until the closing quote.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"head,x\n");
+        buf.extend_from_slice(b"k,\"");
+        buf.resize(buf.len() + 3 * PROBE_CHUNK, b'\n'); // quoted newlines: all content
+        buf.extend_from_slice(b"\"\n");
+        for i in 0..50 {
+            buf.extend_from_slice(format!("{i},tail\n").as_bytes());
+        }
+        let q = partition_csv_quoted(&buf, 6);
+        assert_eq!(q.total_rows, 52);
+        assert_covers(&q, &buf);
     }
 
     #[test]

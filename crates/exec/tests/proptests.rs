@@ -10,9 +10,11 @@ use proptest::prelude::*;
 use raw_access::csv::{CsvScanInput, InSituCsvScan, PosMapSource};
 use raw_access::spec::{AccessPathKind, AccessPathSpec, FileFormat, ScanSegment, WantedField};
 use raw_columnar::batch::TableTag;
-use raw_columnar::ops::collect;
+use raw_columnar::ops::{collect, AggExpr, AggKind, GroupedAccumulator};
 use raw_columnar::{Batch, DataType, Schema};
-use raw_exec::{partition_csv, partition_csv_with_map, partition_rows, Morsel};
+use raw_exec::{
+    partition_csv, partition_csv_quoted, partition_csv_with_map, partition_rows, Morsel,
+};
 
 /// Render rows of (content, quoted?) fields into CSV bytes. The first field
 /// of every row is non-empty so every record occupies at least one byte.
@@ -101,6 +103,36 @@ fn arb_csv() -> impl Strategy<Value = (usize, Vec<Vec<(String, bool)>>)> {
     })
 }
 
+/// Like [`arb_csv`], but quoted fields may embed a newline — the general
+/// dialect construct the raw-newline probe cannot split on.
+fn arb_quoted_csv() -> impl Strategy<Value = (usize, Vec<Vec<(String, bool)>>)> {
+    (1usize..5, 0usize..40).prop_flat_map(|(cols, nrows)| {
+        let mut fields: Vec<BoxedStrategy<(String, bool)>> =
+            vec!["[0-9a-z]{1,5}".prop_map(|s| (s, false)).boxed()];
+        for _ in 1..cols {
+            fields.push(
+                ("[0-9a-z ]{0,5}", proptest::bool::ANY, proptest::bool::ANY)
+                    .prop_map(|(mut s, quoted, embed)| {
+                        if quoted && embed {
+                            let mid = s.len() / 2;
+                            s.insert(mid, '\n');
+                        }
+                        (s, quoted)
+                    })
+                    .boxed(),
+            );
+        }
+        (Just(cols), proptest::collection::vec(fields, nrows))
+    })
+}
+
+/// One `(key, value)` batch from row tuples.
+fn pair_batch(rows: &[(i64, i64)]) -> Batch {
+    let keys: Vec<i64> = rows.iter().map(|&(k, _)| k).collect();
+    let vals: Vec<i64> = rows.iter().map(|&(_, v)| v).collect();
+    Batch::new(vec![keys.into(), vals.into()]).unwrap()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -173,6 +205,137 @@ proptest! {
         prop_assert_eq!(p.saw_quote, any_quoted && !buf.is_empty());
     }
 
+    /// Quote-aware partitioning: quoted fields may embed newlines; the
+    /// quoted probe must still count every rendered row exactly once and
+    /// cut only at general-dialect record boundaries.
+    #[test]
+    fn quoted_partition_neither_loses_nor_duplicates_rows(
+        (_cols, rows) in arb_quoted_csv(),
+        trailing_newline in proptest::bool::ANY,
+        target in 1usize..9,
+    ) {
+        let buf = render(&rows, trailing_newline);
+        let p = partition_csv_quoted(&buf, target);
+        prop_assert_eq!(p.total_rows, rows.len() as u64, "every record counted once");
+        assert_aligned_cover(&p.morsels, &buf, rows.len() as u64);
+        prop_assert!(p.morsels.len() <= target.max(1));
+    }
+
+    /// Per-morsel quote-aware in-situ scans over the quoted probe's grid
+    /// concatenate to exactly the whole-file scan — the parallel path's
+    /// correctness contract for quote-bearing CSV.
+    #[test]
+    fn quoted_segment_scans_concatenate_to_whole_file_scan(
+        (cols, rows) in arb_quoted_csv(),
+        trailing_newline in proptest::bool::ANY,
+        target in 1usize..9,
+    ) {
+        let buf = render(&rows, trailing_newline);
+        let p = partition_csv_quoted(&buf, target);
+
+        let whole = collect(&mut scan_whole(&buf, cols, &[])).unwrap();
+        let parts: Vec<Batch> = p
+            .morsels
+            .iter()
+            .map(|m| collect(&mut scan_morsel(&buf, cols, m)).unwrap())
+            .collect();
+        let merged = Batch::concat(&parts).unwrap();
+        if whole.rows() == 0 {
+            prop_assert_eq!(merged.rows(), 0);
+        } else {
+            prop_assert_eq!(whole, merged, "morsel scans must reassemble the file");
+        }
+    }
+
+    /// Grouped partial-state merge: count/sum/min/max over integers are
+    /// merge-order-insensitive (any rotation of the morsel order yields the
+    /// same finished batch), matching a single-accumulator fold.
+    #[test]
+    fn grouped_merge_is_order_insensitive_for_int_aggregates(
+        rows in proptest::collection::vec((0i64..8, -1000i64..1000), 0..120),
+        chunk in 1usize..17,
+        rotation in 0usize..8,
+    ) {
+        let exprs = vec![
+            AggExpr { kind: AggKind::Count, col: 1 },
+            AggExpr { kind: AggKind::Sum, col: 1 },
+            AggExpr { kind: AggKind::Min, col: 1 },
+            AggExpr { kind: AggKind::Max, col: 1 },
+        ];
+        let mut serial = GroupedAccumulator::new(0, exprs.clone());
+        if !rows.is_empty() {
+            serial.update(&pair_batch(&rows)).unwrap();
+        }
+        let reference = serial.finish().unwrap();
+
+        let partials: Vec<GroupedAccumulator> = rows
+            .chunks(chunk)
+            .map(|c| {
+                let mut acc = GroupedAccumulator::new(0, exprs.clone());
+                acc.update(&pair_batch(c)).unwrap();
+                acc
+            })
+            .collect();
+
+        // Morsel order and every rotation of it agree with the serial fold.
+        for start in [0, rotation % partials.len().max(1)] {
+            let mut merged: Option<GroupedAccumulator> = None;
+            for i in 0..partials.len() {
+                let part = partials[(start + i) % partials.len()].clone();
+                match merged.as_mut() {
+                    Some(m) => m.merge(part).unwrap(),
+                    None => merged = Some(part),
+                }
+            }
+            let out = merged
+                .unwrap_or_else(|| GroupedAccumulator::new(0, exprs.clone()))
+                .finish()
+                .unwrap();
+            prop_assert_eq!(&out, &reference, "merge starting at partial {}", start);
+        }
+    }
+
+    /// AVG partial states are morsel-order-deterministic: replaying the
+    /// same merge order over float sums is bitwise-reproducible (the grid —
+    /// and therefore the merge order — never depends on the worker count).
+    #[test]
+    fn grouped_avg_merge_is_morsel_order_deterministic(
+        rows in proptest::collection::vec((0i64..6, -1000i64..1000), 1..120),
+        chunk in 1usize..17,
+    ) {
+        let exprs = vec![AggExpr { kind: AggKind::Avg, col: 1 }];
+        // Values with fractional parts so float summation order matters.
+        let batches: Vec<Batch> = rows
+            .chunks(chunk)
+            .map(|c| {
+                let keys: Vec<i64> = c.iter().map(|&(k, _)| k).collect();
+                let vals: Vec<f64> = c.iter().map(|&(_, v)| v as f64 / 3.0).collect();
+                Batch::new(vec![keys.into(), vals.into()]).unwrap()
+            })
+            .collect();
+        let partials: Vec<GroupedAccumulator> = batches
+            .iter()
+            .map(|b| {
+                let mut acc = GroupedAccumulator::new(0, exprs.clone());
+                acc.update(b).unwrap();
+                acc
+            })
+            .collect();
+
+        let merge_in_order = || {
+            let mut merged: Option<GroupedAccumulator> = None;
+            for part in partials.clone() {
+                match merged.as_mut() {
+                    Some(m) => m.merge(part).unwrap(),
+                    None => merged = Some(part),
+                }
+            }
+            merged.expect("at least one partial").finish().unwrap()
+        };
+        // Same morsel order twice => identical bits, AVG included.
+        prop_assert_eq!(merge_in_order(), merge_in_order());
+    }
+
     #[test]
     fn row_partition_invariants(total in 0u64..10_000, target in 0usize..40) {
         let ms = partition_rows(total, target);
@@ -196,18 +359,20 @@ proptest! {
     }
 }
 
-/// The one quoted construct the newline probe cannot split correctly: a
-/// newline *inside* a quoted field. The partitioner's contract is to split
-/// on raw newlines (the JIT dialect) and *report* the quote so planners
-/// targeting the quote-aware in-situ scan can decline to split — verify
-/// both halves of that contract on the canonical counterexample.
+/// The canonical dialect-divergence input: a newline *inside* a quoted
+/// field. The raw probe splits on raw newlines (the JIT dialect, where
+/// fields never embed newlines) and merely reports the quote; the quoted
+/// probe interprets it, matching the general-purpose in-situ scan. Planners
+/// pick the probe for the dialect their scan will use.
 #[test]
-fn quoted_newline_is_reported_not_understood() {
+fn probes_diverge_exactly_on_quoted_newlines() {
     let buf = b"x,\"a\nb\"\ny,c\n";
-    let p = partition_csv(buf, 3);
-    assert!(p.saw_quote, "quote byte must be reported");
+    let raw = partition_csv(buf, 3);
+    assert!(raw.saw_quote, "quote byte must be reported");
     // Raw-newline semantics: three newline-delimited records.
-    assert_eq!(p.total_rows, 3);
-    // A quote-aware parse of the same bytes sees only two records; the
-    // planner uses `saw_quote` to route such files to the serial scan.
+    assert_eq!(raw.total_rows, 3);
+    // General-dialect semantics: the quoted newline is field content.
+    let quoted = partition_csv_quoted(buf, 3);
+    assert_eq!(quoted.total_rows, 2);
+    assert!(quoted.saw_quote);
 }

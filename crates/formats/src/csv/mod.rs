@@ -21,3 +21,11 @@ pub const DELIMITER: u8 = b',';
 
 /// The row terminator.
 pub const NEWLINE: u8 = b'\n';
+
+/// Quote byte of the general-purpose (in-situ) dialect: a quoted field may
+/// contain delimiters and newlines as content.
+pub const QUOTE: u8 = b'"';
+
+/// Escape byte of the general-purpose dialect: `\` makes the next byte
+/// field content, inside or outside quoted sections.
+pub const ESCAPE: u8 = b'\\';

@@ -6,7 +6,56 @@
 //! per-field branching vs. an unrolled, specialized pipeline), not the
 //! primitives themselves.
 
-use super::{DELIMITER, NEWLINE};
+use super::{DELIMITER, ESCAPE, NEWLINE, QUOTE};
+
+/// Byte-level state of the **general-purpose (quoted/escaped) dialect**,
+/// carried across [`general_dialect_step`] calls. This state machine is the
+/// single definition of the general dialect: the in-situ scan's field
+/// tokenizer, its tail-of-row skip, and `raw-exec`'s quote-aware morsel
+/// partitioner all step through it, so they can never disagree on what
+/// counts as a record boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GeneralDialectState {
+    /// Inside a quoted section.
+    pub in_quotes: bool,
+    /// The previous byte was an unconsumed escape.
+    pub escaped: bool,
+}
+
+/// What one byte means under the general dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DialectByte {
+    /// Field content (including escapes, quotes, and anything quoted).
+    Content,
+    /// A top-level field delimiter.
+    Delimiter,
+    /// A top-level newline: ends the field and its record.
+    RecordEnd,
+}
+
+/// Advance the general-dialect state machine by one byte. Escapes are
+/// checked before quotes, and both apply inside and outside quoted
+/// sections.
+#[inline]
+pub fn general_dialect_step(state: &mut GeneralDialectState, b: u8) -> DialectByte {
+    if state.escaped {
+        state.escaped = false;
+        return DialectByte::Content;
+    }
+    match b {
+        ESCAPE => {
+            state.escaped = true;
+            DialectByte::Content
+        }
+        QUOTE => {
+            state.in_quotes = !state.in_quotes;
+            DialectByte::Content
+        }
+        DELIMITER if !state.in_quotes => DialectByte::Delimiter,
+        NEWLINE if !state.in_quotes => DialectByte::RecordEnd,
+        _ => DialectByte::Content,
+    }
+}
 
 /// A field located within a buffer: byte range `[start, end)` (exclusive of
 /// the delimiter/newline that terminated it).
@@ -294,5 +343,32 @@ mod tests {
         let rows: Vec<_> = RowIter::new(b"a\nb").collect();
         assert_eq!(rows, vec![(0, 1), (2, 3)]);
         assert_eq!(RowIter::new(b"").count(), 0);
+    }
+
+    #[test]
+    fn general_dialect_classifies_bytes() {
+        use DialectByte::{Content, Delimiter, RecordEnd};
+        // a,"b\n" followed by an escaped quote, then a record end.
+        let buf = b"a,\"b\n\"\\\",c\n";
+        let mut state = GeneralDialectState::default();
+        let classes: Vec<DialectByte> =
+            buf.iter().map(|&b| general_dialect_step(&mut state, b)).collect();
+        assert_eq!(
+            classes,
+            vec![
+                Content,   // a
+                Delimiter, // ,
+                Content,   // " (opens)
+                Content,   // b
+                Content,   // \n inside quotes: content
+                Content,   // " (closes)
+                Content,   // \ (escape)
+                Content,   // " escaped: content, quote state unchanged
+                Delimiter, // ,
+                Content,   // c
+                RecordEnd, // \n at top level
+            ]
+        );
+        assert_eq!(state, GeneralDialectState::default(), "balanced input ends at top level");
     }
 }

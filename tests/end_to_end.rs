@@ -44,7 +44,7 @@ fn exploratory_session_over_real_csv() {
     let csv = dir.path("t.csv");
     raw::formats::csv::writer::write_file(&table, &csv).unwrap();
 
-    let mut engine = RawEngine::new(EngineConfig::default());
+    let mut engine = RawEngine::new(EngineConfig::from_env());
     engine.register_table(TableDef {
         name: "t".into(),
         schema: Schema::uniform(30, DataType::Int64),
@@ -90,7 +90,7 @@ fn three_format_federation() {
     raw::formats::csv::writer::write_file(&t1, &csv).unwrap();
     raw::formats::fbin::write_file(&t2, &fbin).unwrap();
 
-    let mut engine = RawEngine::new(EngineConfig::default());
+    let mut engine = RawEngine::new(EngineConfig::from_env());
     engine.register_table(TableDef {
         name: "f1".into(),
         schema: Schema::uniform(10, DataType::Int64),
@@ -131,7 +131,7 @@ fn higgs_cross_format_pipeline_agrees_with_baseline() {
         higgs::HandwrittenAnalysis::open(&files, &ds.root_path, &ds.goodruns_path, cuts).unwrap();
     let expected = hw.run();
 
-    let mut analysis = higgs::RawHiggsAnalysis::open(&ds, EngineConfig::default(), cuts);
+    let mut analysis = higgs::RawHiggsAnalysis::open(&ds, EngineConfig::from_env(), cuts);
     let cold = analysis.run().unwrap();
     let warm = analysis.run().unwrap();
     assert_eq!(cold, expected);
@@ -159,7 +159,7 @@ fn mode_matrix_agrees_on_binary_join() {
                 mode,
                 shreds: ShredStrategy::ColumnShreds,
                 join_placement: placement,
-                ..EngineConfig::default()
+                ..EngineConfig::from_env()
             });
             engine.register_table(TableDef {
                 name: "a".into(),
@@ -187,7 +187,7 @@ fn partial_schema_over_rootsim() {
     let cfg = higgs::DatasetConfig { events: 500, seed: 77, ..Default::default() };
     let ds = higgs::generate_dataset(cfg, &dir.0).unwrap();
 
-    let mut engine = RawEngine::new(EngineConfig::default());
+    let mut engine = RawEngine::new(EngineConfig::from_env());
     engine.register_table(TableDef {
         name: "muons".into(),
         schema: Schema::new(vec![
@@ -227,7 +227,7 @@ fn four_format_federation_with_adaptive_engine() {
         mode: AccessMode::Jit,
         shreds: ShredStrategy::Adaptive,
         join_placement: JoinPlacement::Adaptive,
-        ..EngineConfig::default()
+        ..EngineConfig::from_env()
     });
     engine.register_table(TableDef {
         name: "f1".into(),
@@ -280,7 +280,7 @@ fn cold_warm_cycles_stay_correct() {
     let csv = dir.path("t.csv");
     raw::formats::csv::writer::write_file(&table, &csv).unwrap();
 
-    let mut engine = RawEngine::new(EngineConfig::default());
+    let mut engine = RawEngine::new(EngineConfig::from_env());
     engine.register_table(TableDef {
         name: "t".into(),
         schema: Schema::uniform(8, DataType::Int64),

@@ -104,6 +104,55 @@ fn flat_queries() -> Vec<(&'static str, String)> {
     qs
 }
 
+/// The join/group-by dataset: the base table with `col2` re-keyed to a
+/// bounded cardinality (23 groups), plus a shuffled 1/4 subset of the base
+/// table as the join's build side.
+fn write_join_group_dataset(dir: &TempDir) {
+    let table = datagen::int_table(97, ROWS, COLS);
+
+    let mut grouped_cols = table.columns().to_vec();
+    grouped_cols[1] =
+        raw::columnar::Column::Int64((0..ROWS as i64).map(|i| (i * 37 + 11) % 23).collect());
+    let grouped = raw::columnar::MemTable::new(table.schema().clone(), grouped_cols).unwrap();
+    raw::formats::csv::writer::write_file(&grouped, &dir.path("g.csv")).unwrap();
+    raw::formats::fbin::write_file(&grouped, &dir.path("g.fbin")).unwrap();
+
+    let shuffled = datagen::shuffled_copy(&table, 5);
+    let dim_cols: Vec<raw::columnar::Column> =
+        shuffled.columns().iter().map(|c| c.slice(0, ROWS / 4).unwrap()).collect();
+    let dim = raw::columnar::MemTable::new(table.schema().clone(), dim_cols).unwrap();
+    raw::formats::csv::writer::write_file(&dim, &dir.path("d.csv")).unwrap();
+    raw::formats::fbin::write_file(&dim, &dir.path("d.fbin")).unwrap();
+}
+
+/// Register the join/group-by tables (on top of the flat-test tables).
+fn engine_with_join_tables(dir: &TempDir, config: EngineConfig) -> RawEngine {
+    let mut engine = RawEngine::new(config);
+    for (name, file) in [("t_csv", "t.csv"), ("g_csv", "g.csv"), ("d_csv", "d.csv")] {
+        engine.register_table(TableDef {
+            name: name.into(),
+            schema: Schema::uniform(COLS, DataType::Int64),
+            source: TableSource::Csv { path: dir.path(file) },
+        });
+    }
+    for (name, file) in [("t_fbin", "t.fbin"), ("g_fbin", "g.fbin"), ("d_fbin", "d.fbin")] {
+        engine.register_table(TableDef {
+            name: name.into(),
+            schema: Schema::uniform(COLS, DataType::Int64),
+            source: TableSource::Fbin { path: dir.path(file) },
+        });
+    }
+    engine.register_table(TableDef {
+        name: "t_root".into(),
+        schema: Schema::new(vec![
+            raw::columnar::Field::new("id", DataType::Int64),
+            raw::columnar::Field::new("run", DataType::Int64),
+        ]),
+        source: TableSource::RootEvents { path: dir.path("t.root") },
+    });
+    engine
+}
+
 /// parallelism 1/2/4/8 produce identical results over CSV, fbin, and
 /// rootsim — cold and warm.
 #[test]
@@ -239,22 +288,31 @@ fn parallel_posmap_serves_later_navigation() {
     assert_eq!(r.scalar().unwrap(), Value::Int64(want));
 }
 
-/// A newline hidden inside a quoted field: the quote-aware in-situ scan
-/// parses it as field content, so the raw-newline partitioner must refuse
-/// to split the file and the engine must fall back to the serial path with
-/// the correct answer.
+/// Newlines hidden inside quoted fields: the quote-aware probe splits on
+/// the general dialect's record boundaries, so quote-bearing files take the
+/// parallel path under in-situ mode and still agree with the serial
+/// quote-aware parse.
 #[test]
-fn insitu_quoted_newline_falls_back_to_serial() {
+fn insitu_quoted_newlines_split_and_agree_with_serial() {
     use raw::engine::AccessMode;
     let dir = TempDir::new("quoted");
     let csv = dir.path("q.csv");
-    std::fs::write(&csv, b"1,\"a\nb\"\n2,c\n").unwrap();
+    // Enough quote-bearing records (some with embedded newlines) to split.
+    let mut data = Vec::new();
+    for i in 0..200 {
+        if i % 3 == 0 {
+            data.extend_from_slice(format!("{i},\"x\ny{i}\"\n").as_bytes());
+        } else {
+            data.extend_from_slice(format!("{i},\"z{i}\"\n").as_bytes());
+        }
+    }
+    std::fs::write(&csv, &data).unwrap();
 
     let make = |parallelism: usize| {
         let mut e = RawEngine::new(EngineConfig {
             mode: AccessMode::InSitu,
             parallelism,
-            morsel_bytes: 2, // force splitting if the planner would allow it
+            morsel_bytes: 128,
             ..EngineConfig::default()
         });
         e.register_table(TableDef {
@@ -268,16 +326,242 @@ fn insitu_quoted_newline_falls_back_to_serial() {
         e
     };
 
-    let serial = make(1).query("SELECT COUNT(col2) FROM q WHERE col1 < 10").unwrap();
-    assert_eq!(serial.scalar().unwrap(), Value::Int64(2), "quote-aware parse: 2 records");
+    let serial = make(1).query("SELECT COUNT(col2) FROM q WHERE col1 < 1000").unwrap();
+    assert_eq!(serial.scalar().unwrap(), Value::Int64(200), "quote-aware parse: 200 records");
 
-    let r = make(4).query("SELECT COUNT(col2) FROM q WHERE col1 < 10").unwrap();
-    assert_eq!(r.batch, serial.batch, "parallel config must match serial");
-    assert!(
-        !r.stats.explain.iter().any(|l| l.contains("parallel:")),
-        "quote-bearing file must not be split for the in-situ dialect: {:#?}",
-        r.stats.explain
+    for parallelism in [2usize, 4, 8] {
+        let mut engine = make(parallelism);
+        let r = engine.query("SELECT COUNT(col2) FROM q WHERE col1 < 1000").unwrap();
+        assert_eq!(r.batch, serial.batch, "parallelism {parallelism} must match serial");
+        assert!(
+            r.stats.explain.iter().any(|l| l.contains("parallel:")),
+            "quote-aware probe must split quote-bearing files under in-situ: {:#?}",
+            r.stats.explain
+        );
+        // Selection shape too: rows in serial order despite quoted newlines.
+        let sel = engine.query("SELECT col1 FROM q WHERE col1 < 50").unwrap();
+        let want = make(1).query("SELECT col1 FROM q WHERE col1 < 50").unwrap();
+        assert_eq!(sel.batch, want.batch);
+    }
+}
+
+/// Join queries under all three placement points: every worker count
+/// produces results bitwise-equal to serial, cold and warm, and the
+/// parallel path actually engages on cold runs.
+#[test]
+fn parallel_joins_agree_across_placements_and_worker_counts() {
+    use raw::engine::JoinPlacement;
+    let dir = TempDir::new("joins");
+    write_dataset(&dir);
+    write_join_group_dataset(&dir);
+
+    let x = datagen::literal_for_selectivity(0.4);
+    let small = datagen::literal_for_selectivity(0.02);
+    let queries = [
+        // Aggregate over the build side, probe-side filter.
+        format!(
+            "SELECT MAX(d_csv.col3), COUNT(d_csv.col3) FROM t_csv \
+             JOIN d_csv ON t_csv.col1 = d_csv.col1 WHERE t_csv.col2 < {x}"
+        ),
+        // Filters on both sides, fbin probe.
+        format!(
+            "SELECT SUM(d_fbin.col5) FROM t_fbin \
+             JOIN d_fbin ON t_fbin.col1 = d_fbin.col1 \
+             WHERE t_fbin.col2 < {x} AND d_fbin.col3 < {x}"
+        ),
+        // Selection shape: joined rows must come back in serial probe order.
+        format!(
+            "SELECT t_csv.col2, d_csv.col5 FROM t_csv \
+             JOIN d_csv ON t_csv.col1 = d_csv.col1 WHERE t_csv.col1 < {small}"
+        ),
+        // Grouped aggregation above the join.
+        format!(
+            "SELECT g_csv.col2, COUNT(d_csv.col3), MAX(d_csv.col4) FROM g_csv \
+             JOIN d_csv ON g_csv.col1 = d_csv.col1 WHERE g_csv.col3 < {x} \
+             GROUP BY g_csv.col2"
+        ),
+    ];
+
+    for placement in [JoinPlacement::Early, JoinPlacement::Intermediate, JoinPlacement::Late] {
+        for sql in &queries {
+            let mut reference: Option<raw::columnar::Batch> = None;
+            for parallelism in [1usize, 2, 4, 8] {
+                let config = EngineConfig { join_placement: placement, ..config(parallelism) };
+                let mut engine = engine_with_join_tables(&dir, config);
+                // Late attaches over CSV need a positional map; warm one up
+                // per table first, as the paper's two-query protocol does.
+                for t in ["t_csv", "d_csv", "g_csv"] {
+                    engine.query(&format!("SELECT MAX(col1) FROM {t} WHERE col1 < {x}")).unwrap();
+                }
+                let cold = engine.query(sql).unwrap();
+                let warm = engine.query(sql).unwrap();
+                assert_eq!(
+                    cold.batch, warm.batch,
+                    "cold/warm disagree ({placement:?}, parallelism {parallelism}): {sql}"
+                );
+                if parallelism > 1 {
+                    assert!(
+                        cold.stats.explain.iter().any(|l| l.contains("parallel:")),
+                        "parallel path did not engage ({placement:?}, parallelism \
+                         {parallelism}): {sql}\n{:#?}",
+                        cold.stats.explain
+                    );
+                    assert!(
+                        cold.stats.explain.iter().any(|l| l.contains("shared across")),
+                        "join must probe a shared build side: {:#?}",
+                        cold.stats.explain
+                    );
+                }
+                match &reference {
+                    None => reference = Some(cold.batch),
+                    Some(batch) => assert_eq!(
+                        batch, &cold.batch,
+                        "parallelism {parallelism} diverges from serial \
+                         ({placement:?}): {sql}"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// GROUP BY queries across formats: identical results for every worker
+/// count, cold and warm, with the parallel path engaging on cold runs.
+#[test]
+fn parallel_group_by_agrees_across_formats_and_worker_counts() {
+    let dir = TempDir::new("groupby");
+    write_dataset(&dir);
+    write_join_group_dataset(&dir);
+
+    let x = datagen::literal_for_selectivity(0.4);
+    let mut queries = Vec::new();
+    for table in ["g_csv", "g_fbin"] {
+        queries.push(format!(
+            "SELECT col2, COUNT(col1), SUM(col3), MIN(col3), MAX(col3), AVG(col3) \
+             FROM {table} WHERE col1 < {x} GROUP BY col2"
+        ));
+        // Aggregate-only select list (key materialized for grouping only).
+        queries.push(format!("SELECT COUNT(col1) FROM {table} GROUP BY col2"));
+        // Empty result across every worker count.
+        queries.push(format!("SELECT col2, COUNT(col1) FROM {table} WHERE col1 < 0 GROUP BY col2"));
+    }
+    queries
+        .push("SELECT run, COUNT(id), MAX(id) FROM t_root WHERE id < 500000 GROUP BY run".into());
+
+    for sql in &queries {
+        let mut reference: Option<raw::columnar::Batch> = None;
+        for parallelism in [1usize, 2, 4, 8] {
+            let mut engine = engine_with_join_tables(&dir, config(parallelism));
+            let cold = engine.query(sql).unwrap();
+            let warm = engine.query(sql).unwrap();
+            assert_eq!(
+                cold.batch, warm.batch,
+                "cold/warm disagree at parallelism {parallelism}: {sql}"
+            );
+            if parallelism > 1 && !sql.contains("t_root") {
+                assert!(
+                    cold.stats.explain.iter().any(|l| l.contains("parallel:")),
+                    "parallel path did not engage at parallelism {parallelism}: {sql}\n{:#?}",
+                    cold.stats.explain
+                );
+            }
+            match &reference {
+                None => reference = Some(cold.batch),
+                Some(batch) => assert_eq!(
+                    batch, &cold.batch,
+                    "parallelism {parallelism} diverges from serial: {sql}"
+                ),
+            }
+        }
+    }
+}
+
+/// Side effects of the join and GROUP BY parallel paths equal serial: the
+/// positional maps built under parallelism match the serially-built maps
+/// (probe fragments appended in morsel order; the build side's whole-file
+/// map), harvested row counts agree, and shreds recorded under parallelism
+/// serve the same follow-up queries.
+#[test]
+fn parallel_join_and_group_side_effects_equal_serial() {
+    let dir = TempDir::new("joinsidefx");
+    write_dataset(&dir);
+    write_join_group_dataset(&dir);
+
+    let x = datagen::literal_for_selectivity(0.4);
+    let join_sql = format!(
+        "SELECT MAX(d_csv.col3) FROM t_csv JOIN d_csv ON t_csv.col1 = d_csv.col1 \
+         WHERE t_csv.col2 < {x}"
     );
+    let group_sql =
+        format!("SELECT col2, COUNT(col1), MAX(col3) FROM g_csv WHERE col1 < {x} GROUP BY col2");
+
+    let mut serial = engine_with_join_tables(&dir, config(1));
+    let mut parallel = engine_with_join_tables(&dir, config(4));
+    for sql in [&join_sql, &group_sql] {
+        let a = serial.query(sql).unwrap();
+        let b = parallel.query(sql).unwrap();
+        assert_eq!(a.batch, b.batch, "{sql}");
+    }
+
+    for table in ["t_csv", "d_csv", "g_csv"] {
+        let map_serial = serial.posmap(table).unwrap_or_else(|| panic!("serial map for {table}"));
+        let map_parallel =
+            parallel.posmap(table).unwrap_or_else(|| panic!("parallel map for {table}"));
+        assert_eq!(map_serial.as_ref(), map_parallel.as_ref(), "posmap for {table}");
+        assert_eq!(
+            serial.table_stats().table_rows(table),
+            parallel.table_stats().table_rows(table),
+            "row stats for {table}"
+        );
+    }
+
+    // Follow-ups served from the parallel-populated shred pool agree too.
+    let hits_before = parallel.shred_pool_stats().hits;
+    for sql in [&join_sql, &group_sql] {
+        let a = serial.query(sql).unwrap();
+        let b = parallel.query(sql).unwrap();
+        assert_eq!(a.batch, b.batch, "warm {sql}");
+    }
+    assert!(parallel.shred_pool_stats().hits > hits_before, "warm runs consult the pool");
+}
+
+/// Spot-check parallel GROUP BY against independently computed ground truth.
+#[test]
+fn parallel_group_by_matches_ground_truth() {
+    use std::collections::BTreeMap;
+    let dir = TempDir::new("grouptruth");
+    write_dataset(&dir);
+    write_join_group_dataset(&dir);
+
+    let table = datagen::int_table(97, ROWS, COLS);
+    let keys: Vec<i64> = (0..ROWS as i64).map(|i| (i * 37 + 11) % 23).collect();
+    let pred = table.column(0).unwrap().as_i64().unwrap();
+    let vals = table.column(2).unwrap().as_i64().unwrap();
+    let x = datagen::literal_for_selectivity(0.4);
+
+    let mut expect: BTreeMap<i64, (i64, i64)> = BTreeMap::new();
+    for ((&k, &p), &v) in keys.iter().zip(pred).zip(vals) {
+        if p < x {
+            let e = expect.entry(k).or_insert((0, i64::MIN));
+            e.0 += 1;
+            e.1 = e.1.max(v);
+        }
+    }
+
+    let mut engine = engine_with_join_tables(&dir, config(4));
+    for table_name in ["g_csv", "g_fbin"] {
+        let sql = format!(
+            "SELECT col2, COUNT(col1), MAX(col3) FROM {table_name} \
+             WHERE col1 < {x} GROUP BY col2"
+        );
+        let r = engine.query(&sql).unwrap();
+        assert_eq!(r.stats.rows_out as usize, expect.len(), "{table_name}");
+        for (i, (&k, &(cnt, max))) in expect.iter().enumerate() {
+            assert_eq!(r.value(i, 0).unwrap(), Value::Int64(k), "{table_name} key row {i}");
+            assert_eq!(r.value(i, 1).unwrap(), Value::Int64(cnt), "{table_name} count({k})");
+            assert_eq!(r.value(i, 2).unwrap(), Value::Int64(max), "{table_name} max({k})");
+        }
+    }
 }
 
 /// Float aggregates are identical cold vs warm at the same parallelism:
