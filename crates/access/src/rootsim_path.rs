@@ -233,7 +233,9 @@ pub struct RootCollectionScan {
     tag: TableTag,
     batch_size: usize,
     next_item: u64,
-    total_items: u64,
+    /// Exclusive global item bound (the whole collection, or one segment's
+    /// item slice under morsel parallelism).
+    end_item: u64,
     profile: PhaseProfile,
     metrics: ScanMetrics,
 }
@@ -246,17 +248,36 @@ impl RootCollectionScan {
         tag: TableTag,
         batch_size: usize,
     ) -> RootCollectionScan {
-        let total_items = file.total_items(program.coll);
+        let end_item = file.total_items(program.coll);
         RootCollectionScan {
             file,
             program,
             tag,
             batch_size: batch_size.max(1),
             next_item: 0,
-            total_items,
+            end_item,
             profile: PhaseProfile::default(),
             metrics: ScanMetrics::default(),
         }
+    }
+
+    /// Restrict the scan to an **event** range (morsel-driven parallelism):
+    /// the segment's rows are event ids — items must stay with their owning
+    /// event — and the scan resolves them to the global item slice
+    /// `offsets[first_event]..offsets[end_event]` through the collection's
+    /// cumulative offsets table. Emitted provenance row ids are global item
+    /// ids, so exploded item rows concatenate deterministically in morsel
+    /// order.
+    pub fn with_segment(mut self, segment: crate::spec::ScanSegment) -> RootCollectionScan {
+        if segment.is_whole_file() {
+            return self;
+        }
+        let events = self.file.num_events();
+        let end_event = segment.end_row.unwrap_or(events).min(events);
+        let first_event = segment.first_row.min(end_event);
+        self.next_item = self.file.items_upto(self.program.coll, first_event);
+        self.end_item = self.file.items_upto(self.program.coll, end_event);
+        self
     }
 
     /// The scan's phase profile so far.
@@ -355,12 +376,12 @@ fn read_parent_range(
 
 impl Operator for RootCollectionScan {
     fn next_batch(&mut self) -> Result<Option<Batch>, ColumnarError> {
-        if self.next_item >= self.total_items {
+        if self.next_item >= self.end_item {
             return Ok(None);
         }
         let mut timer = PhaseTimer::start();
         let lo = self.next_item;
-        let hi = self.total_items.min(lo + self.batch_size as u64);
+        let hi = self.end_item.min(lo + self.batch_size as u64);
         self.next_item = hi;
 
         let mut columns = Vec::with_capacity(self.program.fields.len());
@@ -633,6 +654,39 @@ mod tests {
         );
         assert_eq!(out.column(1).unwrap().as_f32().unwrap(), &[10.0, 11.0, 20.0, 21.0, 22.0]);
         assert_eq!(out.rows_of(TableTag(1)), Some(&[0u64, 1, 2, 3, 4][..]));
+    }
+
+    #[test]
+    fn segmented_collection_scans_concatenate_to_whole_scan() {
+        use crate::spec::ScanSegment;
+        let file = sample();
+        let program = Arc::new(
+            compile_collection_program(&file, "muons", Some("eventID"), &["pt", "eta"]).unwrap(),
+        );
+        let make =
+            || RootCollectionScan::new(Arc::clone(&file), Arc::clone(&program), TableTag(1), 2);
+        let reference = collect(&mut make()).unwrap();
+
+        // Event-range segments, including one covering only the muon-less
+        // event 1 (zero items: the scan is a no-op).
+        let mut parts = Vec::new();
+        for (lo, hi) in [(0u64, 1), (1, 2), (2, 3)] {
+            let out = collect(&mut make().with_segment(ScanSegment::rows(lo, hi))).unwrap();
+            if (lo, hi) == (1, 2) {
+                assert_eq!(out.rows(), 0, "event 1 has no muons");
+            }
+            if out.rows() > 0 {
+                // The executor merges only real batches; a zero-item event
+                // range contributes none.
+                parts.push(out);
+            }
+        }
+        assert_eq!(Batch::concat(&parts).unwrap(), reference);
+
+        // A two-event segment resolves one contiguous item slice.
+        let out = collect(&mut make().with_segment(ScanSegment::rows(0, 2))).unwrap();
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.rows_of(TableTag(1)), Some(&[0u64, 1][..]));
     }
 
     #[test]

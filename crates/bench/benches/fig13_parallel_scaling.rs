@@ -1,12 +1,14 @@
 //! Figure 13 (criterion): morsel-parallel scaling — the fig1 cold CSV
-//! aggregate workload and a grouped-aggregate workload at 1/2/4/8 worker
-//! threads.
+//! aggregate workload, a grouped-aggregate workload, a sorted-ibin pruned
+//! scan, and a rootsim muon-collection aggregate at 1/2/4/8 worker threads.
 //!
 //! Regression-tracking version of `reproduce fig13` at a reduced grid. The
 //! morsel grid depends only on the file, so all thread counts compute the
 //! same answer; wall time should drop toward the physical core count. The
 //! grouped case exercises the per-morsel hash-aggregate partial states and
-//! their morsel-ordered merge.
+//! their morsel-ordered merge; the ibin case exercises page-aligned morsels
+//! with per-morsel zone-index pruning; the collection case exercises
+//! item-sized event-range morsels over exploded item rows.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use raw_bench::experiments::{grouped_q, q1, system_config};
@@ -73,5 +75,32 @@ fn cold_grouped_agg_by_threads(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, cold_q1_by_threads, cold_grouped_agg_by_threads);
+fn cold_ibin_pruned_agg_by_threads(c: &mut Criterion) {
+    let x = literal_for_selectivity(0.4);
+    // Sorted by col1 (B-tree regime): each page-aligned morsel intersects
+    // the compiled candidate ranges, so pruned tails are no-op morsels.
+    bench_cold_query(
+        c,
+        "fig13_parallel_scaling_cold_ibin",
+        q1("file1", x),
+        datasets::engine_narrow_ibin,
+    );
+}
+
+fn cold_collection_agg_by_threads(c: &mut Criterion) {
+    bench_cold_query(
+        c,
+        "fig13_parallel_scaling_cold_collection",
+        "SELECT MAX(pt), COUNT(pt) FROM muons WHERE pt > 20.0".to_owned(),
+        datasets::engine_muon_collection,
+    );
+}
+
+criterion_group!(
+    benches,
+    cold_q1_by_threads,
+    cold_grouped_agg_by_threads,
+    cold_ibin_pruned_agg_by_threads,
+    cold_collection_agg_by_threads
+);
 criterion_main!(benches);

@@ -171,6 +171,29 @@ pub fn engine_narrow_ibin(scale: &Scale, config: EngineConfig) -> RawEngine {
     engine
 }
 
+/// Register the Higgs muon collection as the satellite table `muons` in a
+/// fresh engine: one row per muon, with the owning event's `eventID`
+/// replicated per item. The fig13 collection scaling case drives this with
+/// item-sized event-range morsels.
+pub fn engine_muon_collection(scale: &Scale, config: EngineConfig) -> RawEngine {
+    let ds = higgs(scale);
+    let mut engine = RawEngine::new(config);
+    engine.register_table(TableDef {
+        name: "muons".into(),
+        schema: Schema::new(vec![
+            raw_columnar::Field::new("eventID", DataType::Int64),
+            raw_columnar::Field::new("pt", DataType::Float32),
+            raw_columnar::Field::new("eta", DataType::Float32),
+        ]),
+        source: TableSource::RootCollection {
+            path: ds.root_path,
+            collection: "muons".into(),
+            parent_scalar: Some("eventID".into()),
+        },
+    });
+    engine
+}
+
 /// Register the wide table (CSV or binary) as `wide` in a fresh engine.
 pub fn engine_wide(scale: &Scale, config: EngineConfig, binary: bool) -> RawEngine {
     let mut engine = RawEngine::new(config);

@@ -479,27 +479,41 @@ pub fn fig12(scale: &Scale) -> ExpTable {
     join_sweep(true, scale)
 }
 
-/// Figure 13 (beyond the paper): morsel-parallel scaling of the Figure-1
-/// cold CSV aggregate scan and a grouped-aggregate workload across worker
+/// Figure 13 (beyond the paper): morsel-parallel scaling across worker
 /// counts — the §8 future-work multi-core dimension, served by the
-/// `raw-exec` subsystem (scalar partial states for the scan, per-morsel
-/// hash-aggregate partial states for GROUP BY).
+/// `raw-exec` subsystem. Four workloads, one per segmentation family:
+/// the Figure-1 cold CSV aggregate scan (record-aligned morsels), a
+/// grouped-aggregate workload (same morsels, grouped partial states), a
+/// sorted-ibin pruned scan (page-aligned morsels, per-morsel zone-index
+/// pruning), and a rootsim muon-collection aggregate (item-sized
+/// event-range morsels).
 pub fn fig13(scale: &Scale) -> ExpTable {
     let x = literal_for_selectivity(0.4);
     let mut table = ExpTable::new(
-        "Figure 13 — morsel-parallel scaling: cold CSV by worker count",
+        "Figure 13 — morsel-parallel scaling: cold runs by worker count",
         vec!["query".into(), "threads".into(), "time".into(), "speedup vs 1".into(), "plan".into()],
     );
     table.note(format!(
-        "dataset: {} rows x 30 int columns (CSV), X at 40%; JIT full columns",
+        "dataset: {} rows x 30 int columns (CSV/ibin twins), X at 40%; JIT full columns",
         scale.narrow_rows
     ));
     table.note("grouped agg groups a bounded-cardinality key (1024 groups)");
+    table.note("ibin is sorted by col1 (B-tree regime): the index prunes inside each morsel");
+    table.note(format!(
+        "collection agg explodes the muon items of {} rootsim events",
+        scale.higgs_events
+    ));
     table.note("expect: near-linear scaling up to the physical core count");
     type Maker = fn(&Scale, EngineConfig) -> RawEngine;
-    let workloads: [(&str, String, Maker); 2] = [
+    let workloads: [(&str, String, Maker); 4] = [
         ("scan agg", q1("file1", x), datasets::engine_narrow_csv),
         ("grouped agg", grouped_q("file1", x), datasets::engine_grouped_csv),
+        ("ibin pruned agg", q1("file1", x), datasets::engine_narrow_ibin),
+        (
+            "collection agg",
+            "SELECT MAX(pt), COUNT(pt) FROM muons WHERE pt > 20.0".to_owned(),
+            datasets::engine_muon_collection,
+        ),
     ];
     for (label, sql, make_engine) in &workloads {
         let mut baseline: Option<std::time::Duration> = None;

@@ -111,10 +111,12 @@ pub struct EngineConfig {
     /// subsystem). Defaults to the machine's available cores. `1` disables
     /// the parallel path entirely and reproduces the serial engine
     /// bit-for-bit; higher values parallelize eligible queries — anything
-    /// driven by a CSV/fbin/rootsim-event scan in in-situ or JIT mode,
-    /// including joins (shared build-side hash table, per-morsel probes)
-    /// and grouped aggregation (per-morsel partial states merged in morsel
-    /// order) — and fall back to serial for everything else.
+    /// driven by a CSV, fbin, rootsim-event, ibin (page-aligned morsels,
+    /// per-morsel zone-index pruning), or rootsim-collection (item-sized
+    /// event-range morsels) scan in in-situ or JIT mode, including joins
+    /// (shared build-side hash table, per-morsel probes) and grouped
+    /// aggregation (per-morsel partial states merged in morsel order) —
+    /// and fall back to serial for everything else.
     pub parallelism: usize,
     /// Target bytes per parallel morsel. The morsel grid is derived from
     /// the file size and this knob only — never from `parallelism` — so

@@ -830,14 +830,6 @@ impl Planner<'_, '_> {
         let batch = self.ctx.config.batch_size;
         let jit = self.ctx.config.mode == AccessMode::Jit;
 
-        if segment.is_some()
-            && matches!(def.source, TableSource::Ibin { .. } | TableSource::RootCollection { .. })
-        {
-            return Err(EngineError::planning(
-                "segmented scans are not available for ibin/root-collection sources",
-            ));
-        }
-
         match &def.source {
             TableSource::Csv { .. } => {
                 let buf = self.read_file(def)?;
@@ -957,12 +949,17 @@ impl Planner<'_, '_> {
                     tag,
                     batch_size: batch,
                 };
+                let seg = segment.unwrap_or_default();
                 if jit {
                     // The JIT path is query-aware: push this table's
                     // predicates into program generation so the embedded
                     // page index can prune (§4.1). Exact FilterOps stay
                     // above the scan, so pruning is free to be page-
-                    // granular.
+                    // granular. Segmented (per-morsel) scans share the
+                    // whole-file program — one compile, template-cached —
+                    // and intersect its candidate ranges with their
+                    // page-aligned segment, so per-morsel pruning counters
+                    // sum to exactly the serial scan's.
                     let preds = ibin_prune_preds(q, t, def);
                     let key = spec.fingerprint() ^ layout.rows ^ prune_fingerprint(&preds);
                     let program =
@@ -974,7 +971,7 @@ impl Planner<'_, '_> {
                         if hit { ", template cache hit" } else { ", compiled" },
                         cols.iter().map(|c| c.name.as_str()).collect::<Vec<_>>()
                     ));
-                    Ok(Box::new(JitIbinScan::new(input, program)))
+                    Ok(Box::new(JitIbinScan::new(input, program).with_segment(seg)))
                 } else {
                     // Query-agnostic: the index at the end of the file is
                     // invisible to a general-purpose scan operator.
@@ -982,7 +979,7 @@ impl Planner<'_, '_> {
                         "scan {name} [ibin in-situ, index unused] cols {:?}",
                         cols.iter().map(|c| c.name.as_str()).collect::<Vec<_>>()
                     ));
-                    Ok(Box::new(InSituIbinScan::new(input)?))
+                    Ok(Box::new(InSituIbinScan::new(input)?.with_segment(seg)))
                 }
             }
             TableSource::RootEvents { .. } => {
@@ -1009,7 +1006,11 @@ impl Planner<'_, '_> {
                     "scan {name} [rootsim collection {collection}, id-based] cols {:?}",
                     cols.iter().map(|c| c.name.as_str()).collect::<Vec<_>>()
                 ));
-                Ok(Box::new(RootCollectionScan::new(file, program, tag, batch)))
+                // A segment's rows are *event* ids; the scan resolves them
+                // to its global item slice through the offsets table.
+                let scan = RootCollectionScan::new(file, program, tag, batch)
+                    .with_segment(segment.unwrap_or_default());
+                Ok(Box::new(scan))
             }
         }
     }

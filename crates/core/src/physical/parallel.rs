@@ -19,12 +19,18 @@
 //!    grouped partial hash-table states ([`MergePlan::Grouped`]) for
 //!    `GROUP BY`, all merged deterministically in morsel order.
 //!
-//! Eligible today: queries over a CSV, fbin, or rootsim-event driving table
-//! under the in-situ or JIT access modes — including joins (any
-//! serially-scannable build side) and grouped aggregation. Everything else
-//! (ibin's pruned scans and root collections as the *driving* table,
-//! DBMS/external modes, fully-shred-cached driving tables) falls back to
-//! the serial plan — correctness first, coverage growing per the roadmap.
+//! Eligible today: queries over a CSV, fbin, rootsim-event, ibin, or
+//! rootsim-collection driving table under the in-situ or JIT access modes —
+//! including joins (any serially-scannable build side) and grouped
+//! aggregation. Each format partitions on its native granularity (see
+//! `raw_exec::morsel`): CSV on probed record boundaries, fbin/root-events
+//! by row arithmetic, ibin on **page boundaries** (so per-morsel
+//! zone-index pruning tiles the serial candidate set and its counters
+//! exactly, and an all-pruned morsel is a no-op), and collections on
+//! **event boundaries sized by the offsets table's item counts** (so
+//! exploded item rows balance across morsels and concatenate in morsel
+//! order). Everything else (DBMS/external modes, fully-shred-cached
+//! driving tables) falls back to the serial plan.
 //!
 //! Determinism: the morsel grid is a function of the file and the
 //! `morsel_bytes` knob only, never of the worker count, so any
@@ -34,8 +40,8 @@
 use std::sync::Arc;
 
 use raw_exec::{
-    partition_csv, partition_csv_quoted, partition_csv_with_map, partition_rows, GroupedMerge,
-    MergePlan, Morsel,
+    partition_csv, partition_csv_quoted, partition_csv_with_map, partition_items, partition_pages,
+    partition_rows, GroupedMerge, MergePlan, Morsel,
 };
 
 use raw_access::spec::ScanSegment;
@@ -44,6 +50,7 @@ use raw_columnar::ops::{drain, HashJoinOp, JoinBuildSide, Operator, ProjectOp};
 use raw_columnar::profile::{PhaseProfile, ScanMetrics};
 use raw_columnar::Batch;
 use raw_formats::fbin::FbinLayout;
+use raw_formats::ibin::IbinLayout;
 
 use crate::catalog::{TableDef, TableSource};
 use crate::engine::{AccessMode, ShredStrategy};
@@ -304,7 +311,11 @@ fn eligible(ctx: &mut PlannerCtx<'_>, q: &ResolvedQuery, threads: usize) -> Resu
     let def = ctx.catalog.get(&q.tables[0])?;
     if !matches!(
         def.source,
-        TableSource::Csv { .. } | TableSource::Fbin { .. } | TableSource::RootEvents { .. }
+        TableSource::Csv { .. }
+            | TableSource::Fbin { .. }
+            | TableSource::Ibin { .. }
+            | TableSource::RootEvents { .. }
+            | TableSource::RootCollection { .. }
     ) {
         return Ok(false);
     }
@@ -359,15 +370,54 @@ fn partition(
             let target = (layout.rows / rows_per_morsel).clamp(1, MAX_MORSELS as u64);
             partition_rows(layout.rows, target as usize)
         }
+        TableSource::Ibin { .. } => {
+            // Page-aligned morsels: each owns whole pages, so per-morsel
+            // zone-index pruning (the scan intersects the compiled
+            // candidate ranges with its segment) tiles the serial
+            // candidate set — and the pruning counters — exactly.
+            let buf = planner.ctx.files.read(def.source.path())?;
+            let layout = IbinLayout::parse(&buf)?;
+            let rows_per_morsel = (morsel_bytes / layout.row_width.max(1)).max(1) as u64;
+            let target = (layout.rows / rows_per_morsel).clamp(1, MAX_MORSELS as u64);
+            partition_pages(layout.rows, layout.rows_per_page, target as usize)
+        }
         TableSource::RootEvents { .. } => {
+            // Size from the file's actual per-event payload (scalars,
+            // offsets tables, and collection items) — the declared scalar
+            // schema alone wildly undercounts collection-heavy files.
             let file = planner.open_root(def)?;
             let events = file.num_events();
-            let bytes_per_event = (8 * def.schema.len()).max(1);
+            let bytes_per_event = file.bytes_per_event().max(1) as usize;
             let rows_per_morsel = (morsel_bytes / bytes_per_event).max(1) as u64;
             let target = (events / rows_per_morsel).clamp(1, MAX_MORSELS as u64);
             partition_rows(events, target as usize)
         }
-        _ => unreachable!("gated by eligibility"),
+        TableSource::RootCollection { collection, .. } => {
+            // Event-aligned morsels sized by the items they actually cover:
+            // the offsets table says how many exploded item rows each event
+            // contributes, so item-heavy events do not skew morsel cost.
+            let file = planner.open_root(def)?;
+            let coll = file.collection(collection).ok_or_else(|| {
+                EngineError::planning(format!("no collection named {collection}"))
+            })?;
+            let events = file.num_events();
+            let item_bytes: usize = def
+                .schema
+                .fields()
+                .iter()
+                .map(|f| f.data_type.fixed_width().unwrap_or(8))
+                .sum::<usize>()
+                .max(1);
+            let items_per_morsel = (morsel_bytes / item_bytes).max(1) as u64;
+            let total_items = file.total_items(coll);
+            let target = (total_items / items_per_morsel).clamp(1, MAX_MORSELS as u64);
+            if target < 2 || events < 2 {
+                // Too small to split; skip materializing the offsets table.
+                return Ok(None);
+            }
+            let offsets: Vec<u64> = (0..=events).map(|e| file.items_upto(coll, e)).collect();
+            partition_items(&offsets, target as usize)
+        }
     };
     Ok(if morsels.len() < 2 { None } else { Some(morsels) })
 }

@@ -1,5 +1,10 @@
 //! End-to-end queries over the indexed binary format: every access mode
 //! must agree, and only the JIT path may exploit the embedded page index.
+//!
+//! Engines are configured through [`EngineConfig::from_env`], so the CI
+//! `RAW_PARALLELISM=4` job runs this whole suite on the page-aligned
+//! morsel-parallel path — pruning counters, explain notes, and template
+//! cache behavior must hold there too.
 
 use raw_columnar::{DataType, Schema, Value};
 use raw_engine::{
@@ -58,7 +63,7 @@ fn all_modes_agree_on_ibin() {
             {
                 for shreds in [ShredStrategy::FullColumns, ShredStrategy::ColumnShreds] {
                     let mut engine = engine_with_ibin(
-                        EngineConfig { mode, shreds, ..EngineConfig::default() },
+                        EngineConfig { mode, shreds, ..EngineConfig::from_env() },
                         sorted,
                     );
                     let r =
@@ -80,7 +85,7 @@ fn jit_prunes_sorted_files_and_insitu_does_not() {
     let q = format!("SELECT MAX(col5) FROM t WHERE col1 < {x}");
 
     let mut jit =
-        engine_with_ibin(EngineConfig { mode: AccessMode::Jit, ..EngineConfig::default() }, true);
+        engine_with_ibin(EngineConfig { mode: AccessMode::Jit, ..EngineConfig::from_env() }, true);
     let r = jit.query(&q).unwrap();
     assert!(
         r.stats.metrics.rows_pruned > (ROWS as u64) / 2,
@@ -92,7 +97,7 @@ fn jit_prunes_sorted_files_and_insitu_does_not() {
     assert!(note.contains("index pruned"), "{note}");
 
     let mut insitu = engine_with_ibin(
-        EngineConfig { mode: AccessMode::InSitu, ..EngineConfig::default() },
+        EngineConfig { mode: AccessMode::InSitu, ..EngineConfig::from_env() },
         true,
     );
     let r = insitu.query(&q).unwrap();
@@ -106,7 +111,7 @@ fn unsorted_zone_maps_still_prune_conservatively() {
     // most of the domain) — but correctness must hold regardless, and an
     // impossible predicate must prune everything.
     let mut jit =
-        engine_with_ibin(EngineConfig { mode: AccessMode::Jit, ..EngineConfig::default() }, false);
+        engine_with_ibin(EngineConfig { mode: AccessMode::Jit, ..EngineConfig::from_env() }, false);
     let r = jit.query("SELECT COUNT(col1) FROM t WHERE col1 < -5").unwrap();
     assert_eq!(scalar_i64(&r), 0);
     assert_eq!(r.stats.metrics.rows_pruned, ROWS as u64, "contradiction prunes all pages");
@@ -130,7 +135,7 @@ fn conjunctive_predicates_prune_and_answer_correctly() {
         .unwrap();
 
     let mut engine =
-        engine_with_ibin(EngineConfig { mode: AccessMode::Jit, ..EngineConfig::default() }, true);
+        engine_with_ibin(EngineConfig { mode: AccessMode::Jit, ..EngineConfig::from_env() }, true);
     let r = engine
         .query(&format!("SELECT MAX(col5) FROM t WHERE col1 < {x1} AND col3 < {x2}"))
         .unwrap();
@@ -144,7 +149,7 @@ fn pruned_prefix_shreds_never_masquerade_as_full_columns() {
     // must treat that shred as *partial* — a widening Q2 must go back to
     // the file (or fall back through the pool) and still see all 800 rows.
     let mut engine =
-        engine_with_ibin(EngineConfig { mode: AccessMode::Jit, ..EngineConfig::default() }, true);
+        engine_with_ibin(EngineConfig { mode: AccessMode::Jit, ..EngineConfig::from_env() }, true);
     let x1 = datagen::literal_for_selectivity(0.1);
     let x2 = datagen::literal_for_selectivity(0.9);
     for (x, label) in [(x1, "narrow"), (x2, "wide"), (x1, "narrow again")] {
@@ -162,7 +167,7 @@ fn template_cache_distinguishes_predicates() {
             mode: AccessMode::Jit,
             shreds: ShredStrategy::FullColumns,
             cache_shreds: false,
-            ..EngineConfig::default()
+            ..EngineConfig::from_env()
         },
         true,
     );
@@ -185,7 +190,7 @@ fn column_shreds_work_over_ibin() {
         EngineConfig {
             mode: AccessMode::Jit,
             shreds: ShredStrategy::ColumnShreds,
-            ..EngineConfig::default()
+            ..EngineConfig::from_env()
         },
         true,
     );
@@ -206,7 +211,7 @@ fn adaptive_strategy_works_over_ibin() {
         EngineConfig {
             mode: AccessMode::Jit,
             shreds: ShredStrategy::Adaptive,
-            ..EngineConfig::default()
+            ..EngineConfig::from_env()
         },
         true,
     );
@@ -235,7 +240,7 @@ fn corrupt_ibin_file_yields_error_not_panic() {
 fn ibin_joins_with_csv() {
     // Heterogeneous join: indexed binary ⋈ CSV, both raw.
     let mut engine =
-        engine_with_ibin(EngineConfig { mode: AccessMode::Jit, ..EngineConfig::default() }, true);
+        engine_with_ibin(EngineConfig { mode: AccessMode::Jit, ..EngineConfig::from_env() }, true);
     let csv_table = datagen::int_table(77, ROWS, COLS); // same data, unsorted
     let bytes = raw_formats::csv::writer::to_bytes(&csv_table).unwrap();
     engine.files().insert("/virtual/u.csv", bytes);

@@ -10,7 +10,9 @@
 //! - [`morsel`] — a **partitioner** that splits a raw file into
 //!   record-aligned morsels: newline probing for CSV (reusing positional-map
 //!   entries as split hints when one exists), pure row arithmetic for
-//!   fixed-width binary and rootsim event files.
+//!   fixed-width binary and rootsim event files, page-aligned splitting for
+//!   ibin's zone-indexed pages, and item-balanced event ranges for rootsim
+//!   collections (see the [`morsel`] docs for the per-format contract).
 //! - [`pool`] — a **scoped worker pool** (std threads, morsel-stealing via an
 //!   atomic cursor) that runs one scan→filter→partial-aggregate pipeline per
 //!   morsel. Workers claim morsels dynamically, so skew in morsel cost does
@@ -38,8 +40,8 @@ pub mod pool;
 
 pub use executor::{execute_morsels, GroupedMerge, MergePlan, ParallelOutcome};
 pub use morsel::{
-    partition_csv, partition_csv_quoted, partition_csv_with_map, partition_rows, CsvPartition,
-    Morsel,
+    partition_csv, partition_csv_quoted, partition_csv_with_map, partition_items, partition_pages,
+    partition_rows, CsvPartition, Morsel,
 };
 pub use pool::run_jobs;
 

@@ -5,11 +5,32 @@
 //! scans walk, and what makes every morsel's outputs — provenance ids,
 //! positional-map fragments, shred fragments — compose globally).
 //!
-//! CSV has one probe per dialect: [`partition_csv`] splits on raw newlines
-//! (the JIT dialect, which never embeds newlines in fields) and
-//! [`partition_csv_quoted`] interprets quotes and escapes (the
-//! general-purpose in-situ dialect, where a quoted field may contain a
-//! newline). Planners pick the probe matching the scan they will build.
+//! ## The per-format segmentation contract
+//!
+//! Morsel boundaries must respect the format's native granularity, so each
+//! format family gets its own partitioner:
+//!
+//! - **Record-aligned** (CSV): boundaries snap to record starts discovered
+//!   by a dialect-matched probe. [`partition_csv`] splits on raw newlines
+//!   (the JIT dialect, which never embeds newlines in fields) and
+//!   [`partition_csv_quoted`] interprets quotes and escapes (the
+//!   general-purpose in-situ dialect, where a quoted field may contain a
+//!   newline). Planners pick the probe matching the scan they will build;
+//!   [`partition_csv_with_map`] replays the probe's grid from a positional
+//!   map without re-reading the file.
+//! - **Row-arithmetic** (fbin, rootsim events): positions are deterministic,
+//!   so [`partition_rows`] splits by pure arithmetic — no I/O.
+//! - **Page-aligned** (ibin): boundaries snap to multiples of the file's
+//!   `rows_per_page` via [`partition_pages`], so every morsel owns whole
+//!   pages and per-morsel zone-index pruning over a partition of the pages
+//!   reproduces the whole-file candidate set (and pruning counters) exactly.
+//! - **Item-range** (rootsim collections): morsel row ranges are **event**
+//!   ranges — items must stay with their owning event — but sizing walks
+//!   the collection's cumulative offsets table via [`partition_items`] so
+//!   each morsel covers a balanced share of the exploded *item* rows, not
+//!   of the (possibly empty) events. Scans resolve each event range to its
+//!   global item slice from the same offsets, so item rows concatenate
+//!   deterministically in morsel order.
 //!
 //! The morsel grid is a function of the **file only**, never of the worker
 //! count, so merged results are identical for any number of threads.
@@ -85,6 +106,84 @@ pub fn partition_rows(total_rows: u64, target: usize) -> Vec<Morsel> {
         });
         row += len;
     }
+    morsels
+}
+
+/// Split `total_rows` rows stored in fixed-size pages of `rows_per_page`
+/// rows into at most `target` **page-aligned** morsels: every boundary
+/// except the final row count lands on a page boundary, so each morsel owns
+/// whole pages (the last page may be short). Page counts per morsel are
+/// balanced (they differ by at most one), which keeps morsel sizes balanced
+/// too.
+pub fn partition_pages(total_rows: u64, rows_per_page: u32, target: usize) -> Vec<Morsel> {
+    if total_rows == 0 || rows_per_page == 0 || target == 0 {
+        return Vec::new();
+    }
+    let rpp = u64::from(rows_per_page);
+    let pages = total_rows.div_ceil(rpp);
+    partition_rows(pages, target)
+        .into_iter()
+        .map(|m| Morsel {
+            index: m.index,
+            first_row: m.first_row * rpp,
+            end_row: (m.end_row * rpp).min(total_rows),
+            byte_start: 0,
+            byte_end: 0,
+        })
+        .collect()
+}
+
+/// Split the events of a variable-length collection into at most `target`
+/// morsels of roughly equal **item** counts. `offsets` is the collection's
+/// cumulative offsets table (`offsets[e]` = items before event `e`, length
+/// `events + 1`, `offsets[0] == 0`) — the same structure the scan resolves
+/// item slices from, so sizing charges what the scan will actually read.
+///
+/// Morsel row ranges are **event** ranges: an event's items never split
+/// across morsels, so parent-scalar replication and item provenance stay
+/// whole per morsel, and consecutive morsels cover consecutive global item
+/// slices `offsets[first_row]..offsets[end_row]`.
+pub fn partition_items(offsets: &[u64], target: usize) -> Vec<Morsel> {
+    let Some((&total_items, _)) = offsets.split_last() else { return Vec::new() };
+    let events = (offsets.len() - 1) as u64;
+    if events == 0 || target == 0 {
+        return Vec::new();
+    }
+    if total_items == 0 {
+        // Nothing to balance by; fall back to balanced event counts.
+        return partition_rows(events, target);
+    }
+    let stride = total_items.div_ceil(target as u64).max(1);
+
+    let mut morsels = Vec::new();
+    let mut first_event = 0u64;
+    loop {
+        // Cut at the first event boundary at or past this morsel's item
+        // quota. `offsets[first_event] < quota` always (stride >= 1), so the
+        // cut advances by at least one event.
+        let quota = offsets[first_event as usize] + stride;
+        let next = offsets.partition_point(|&o| o < quota) as u64;
+        if next >= events || morsels.len() + 1 >= target {
+            break;
+        }
+        morsels.push(Morsel {
+            index: morsels.len(),
+            first_row: first_event,
+            end_row: next,
+            byte_start: 0,
+            byte_end: 0,
+        });
+        first_event = next;
+    }
+    // Everything after the last cut — including any trailing empty events —
+    // is the final morsel.
+    morsels.push(Morsel {
+        index: morsels.len(),
+        first_row: first_event,
+        end_row: events,
+        byte_start: 0,
+        byte_end: 0,
+    });
     morsels
 }
 
@@ -484,6 +583,62 @@ mod tests {
 
         assert_eq!(partition_rows(3, 8).len(), 3, "never more morsels than rows");
         assert!(partition_rows(0, 4).is_empty());
+    }
+
+    #[test]
+    fn page_partition_snaps_to_page_boundaries() {
+        // 100 rows in pages of 16: 7 pages (last one short).
+        let ms = partition_pages(100, 16, 3);
+        assert_eq!(ms.len(), 3);
+        let mut row = 0u64;
+        for (i, m) in ms.iter().enumerate() {
+            assert_eq!(m.index, i);
+            assert_eq!(m.first_row, row, "row-contiguous");
+            assert_eq!(m.first_row % 16, 0, "starts on a page boundary");
+            row = m.end_row;
+        }
+        assert_eq!(row, 100, "covers every row");
+        for m in &ms[..ms.len() - 1] {
+            assert_eq!(m.end_row % 16, 0, "interior cut on a page boundary");
+        }
+        // Never more morsels than pages.
+        assert_eq!(partition_pages(100, 16, 50).len(), 7);
+        assert!(partition_pages(0, 16, 4).is_empty());
+        assert!(partition_pages(100, 0, 4).is_empty());
+        assert!(partition_pages(100, 16, 0).is_empty());
+    }
+
+    #[test]
+    fn item_partition_balances_items_not_events() {
+        // 6 events with item counts [0, 10, 0, 0, 10, 0]: cuts must land
+        // where the items are, keeping empty events attached.
+        let counts = [0u64, 10, 0, 0, 10, 0];
+        let mut offsets = vec![0u64];
+        for c in counts {
+            offsets.push(offsets.last().unwrap() + c);
+        }
+        let ms = partition_items(&offsets, 2);
+        assert_eq!(ms.len(), 2);
+        let items = |m: &Morsel| offsets[m.end_row as usize] - offsets[m.first_row as usize];
+        assert_eq!(items(&ms[0]), 10);
+        assert_eq!(items(&ms[1]), 10);
+        let mut event = 0u64;
+        for (i, m) in ms.iter().enumerate() {
+            assert_eq!(m.index, i);
+            assert_eq!(m.first_row, event, "event-contiguous");
+            assert!(m.end_row > m.first_row, "at least one event per morsel");
+            event = m.end_row;
+        }
+        assert_eq!(event, 6, "covers every event, trailing empties included");
+
+        // All-empty collections fall back to balanced event counts.
+        let empty_items = partition_items(&[0, 0, 0, 0, 0], 2);
+        assert_eq!(empty_items.len(), 2);
+        assert_eq!(empty_items.last().unwrap().end_row, 4);
+
+        assert!(partition_items(&[0], 4).is_empty(), "zero events");
+        assert!(partition_items(&[], 4).is_empty());
+        assert!(partition_items(&[0, 5], 0).is_empty());
     }
 
     #[test]

@@ -13,7 +13,8 @@ use raw_columnar::batch::TableTag;
 use raw_columnar::ops::{collect, AggExpr, AggKind, GroupedAccumulator};
 use raw_columnar::{Batch, DataType, Schema};
 use raw_exec::{
-    partition_csv, partition_csv_quoted, partition_csv_with_map, partition_rows, Morsel,
+    partition_csv, partition_csv_quoted, partition_csv_with_map, partition_items, partition_pages,
+    partition_rows, Morsel,
 };
 
 /// Render rows of (content, quoted?) fields into CSV bytes. The first field
@@ -334,6 +335,88 @@ proptest! {
         };
         // Same morsel order twice => identical bits, AVG included.
         prop_assert_eq!(merge_in_order(), merge_in_order());
+    }
+
+    /// Page-aligned partitioning: morsels cover every row exactly once, do
+    /// not overlap, and every boundary except the file's final row count is
+    /// a `rows_per_page` multiple — each morsel owns whole pages, the
+    /// contract per-morsel zone-index pruning relies on.
+    #[test]
+    fn page_partition_aligns_covers_and_never_overlaps(
+        total in 0u64..20_000,
+        rows_per_page in 1u32..512,
+        target in 0usize..40,
+    ) {
+        let ms = partition_pages(total, rows_per_page, target);
+        if total == 0 || target == 0 {
+            prop_assert!(ms.is_empty());
+        } else {
+            let rpp = u64::from(rows_per_page);
+            let pages = total.div_ceil(rpp);
+            prop_assert!(ms.len() as u64 <= (target as u64).min(pages));
+            let mut row = 0u64;
+            for (i, m) in ms.iter().enumerate() {
+                prop_assert_eq!(m.index, i);
+                prop_assert_eq!(m.first_row, row, "contiguous => no overlap, no gap");
+                prop_assert!(m.end_row > m.first_row, "no empty morsels");
+                prop_assert_eq!(m.first_row % rpp, 0, "starts on a page boundary");
+                row = m.end_row;
+            }
+            prop_assert_eq!(row, total, "full cover");
+            for m in &ms[..ms.len() - 1] {
+                prop_assert_eq!(m.end_row % rpp, 0, "interior cuts on page boundaries");
+            }
+            // Balanced page counts: morsels differ by at most one page.
+            let page_counts: Vec<u64> =
+                ms.iter().map(|m| m.end_row.div_ceil(rpp) - m.first_row / rpp).collect();
+            let (lo, hi) = (page_counts.iter().min().unwrap(), page_counts.iter().max().unwrap());
+            prop_assert!(hi - lo <= 1, "balanced pages: {page_counts:?}");
+        }
+    }
+
+    /// Item-range partitioning: morsels cover every event exactly once
+    /// (items stay with their owning event), the item slices they resolve
+    /// from the offsets table are contiguous, and no morsel except the last
+    /// stops short of its item quota.
+    #[test]
+    fn item_partition_covers_events_and_balances_items(
+        counts in proptest::collection::vec(0u64..9, 0..200),
+        target in 1usize..17,
+    ) {
+        let mut offsets = vec![0u64];
+        for &c in &counts {
+            offsets.push(offsets.last().unwrap() + c);
+        }
+        let ms = partition_items(&offsets, target);
+        let events = counts.len() as u64;
+        if events == 0 {
+            prop_assert!(ms.is_empty());
+        } else {
+            prop_assert!(ms.len() <= target);
+            let total_items = *offsets.last().unwrap();
+            let stride = total_items.div_ceil(target as u64).max(1);
+            let mut event = 0u64;
+            let mut item = 0u64;
+            for (i, m) in ms.iter().enumerate() {
+                prop_assert_eq!(m.index, i);
+                prop_assert_eq!(m.first_row, event, "event-contiguous");
+                prop_assert!(m.end_row > m.first_row, "at least one event per morsel");
+                // The item slice the scan will resolve is contiguous.
+                prop_assert_eq!(offsets[m.first_row as usize], item);
+                item = offsets[m.end_row as usize];
+                // Interior morsels reach their item quota: the cut is the
+                // first event boundary at or past it.
+                if total_items > 0 && i + 1 < ms.len() {
+                    prop_assert!(
+                        item - offsets[m.first_row as usize] >= stride,
+                        "interior morsel below quota"
+                    );
+                }
+                event = m.end_row;
+            }
+            prop_assert_eq!(event, events, "every event covered exactly once");
+            prop_assert_eq!(item, total_items, "item slices tile the collection");
+        }
     }
 
     #[test]

@@ -43,11 +43,21 @@ impl FileBufferPool {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(buf));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let data = std::fs::read(path).map_err(|e| FormatError::io(path, e))?;
+        // Two workers can both find the pool cold and read the same file;
+        // re-check under the lock so the first insert wins, every caller
+        // shares that buffer, and the losing read is discarded — served from
+        // the pool, so counted as a hit, with no second disk read charged.
+        // Counters stay consistent: one miss per charged read.
+        let mut buffers = self.buffers.lock();
+        if let Some(existing) = buffers.get(path) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(existing));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         self.bytes_from_disk.fetch_add(data.len() as u64, Ordering::Relaxed);
         let buf: FileBytes = Arc::new(data);
-        self.buffers.lock().insert(path.to_path_buf(), Arc::clone(&buf));
+        buffers.insert(path.to_path_buf(), Arc::clone(&buf));
         Ok(buf)
     }
 
@@ -134,6 +144,34 @@ mod tests {
         let b = pool.read(Path::new("/virtual/file.bin")).unwrap();
         assert_eq!(&b[..], &[1, 2, 3]);
         assert_eq!(pool.bytes_from_disk(), 0);
+    }
+
+    #[test]
+    fn concurrent_cold_reads_share_one_buffer_and_one_disk_read() {
+        let content = vec![7u8; 4096];
+        let path = temp_file("race.bin", &content);
+        let pool = FileBufferPool::new();
+        let barrier = std::sync::Barrier::new(8);
+        let buffers: Vec<FileBytes> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait(); // maximize cold-read overlap
+                        pool.read(&path).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for b in &buffers {
+            assert_eq!(&b[..], &content[..]);
+            assert!(Arc::ptr_eq(&buffers[0], b), "all workers share the winning buffer");
+        }
+        assert_eq!(pool.bytes_from_disk(), content.len() as u64, "exactly one disk read counted");
+        let (hits, misses) = pool.hit_miss();
+        assert_eq!(misses, 1, "one miss per charged disk read");
+        assert_eq!(hits + misses, 8, "every reader accounted for");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -100,7 +100,11 @@ impl ZoneVec {
     }
 
     /// Whether page `p` could contain a value satisfying `op lit`.
-    /// `None` when the literal is incomparable with this column.
+    /// `None` when the literal is incomparable with this column — including
+    /// float NaN in the zone bounds or the literal: NaN makes every ordered
+    /// comparison false, so a NaN-tainted zone test would claim "cannot
+    /// match" for pages that may hold qualifying rows. Such zones decline
+    /// to prune instead.
     pub fn page_may_match(&self, p: usize, op: CmpOp, lit: &Value) -> Option<bool> {
         match self {
             ZoneVec::I64(v) => {
@@ -111,6 +115,9 @@ impl ZoneVec {
             ZoneVec::F64(v) => {
                 let x = lit.as_f64()?;
                 let (lo, hi) = v[p];
+                if lo.is_nan() || hi.is_nan() || x.is_nan() {
+                    return None;
+                }
                 Some(range_may_match(lo, hi, op, x))
             }
         }
@@ -303,12 +310,26 @@ impl IbinLayout {
     /// answered by binary search over the page index (contiguous range);
     /// other predicates fall back to per-page zone tests.
     pub fn candidate_pages(&self, preds: &[PrunePred]) -> Vec<usize> {
+        self.candidate_pages_in(preds, 0, self.num_pages())
+    }
+
+    /// [`IbinLayout::candidate_pages`] restricted to the page window
+    /// `[page_lo, page_hi)` — the per-morsel form: because every page's
+    /// zones are tested independently (and the sorted-key binary search is
+    /// intersected, not replaced), the union of windowed candidate sets
+    /// over a partition of the pages equals the whole-file candidate set.
+    pub fn candidate_pages_in(
+        &self,
+        preds: &[PrunePred],
+        page_lo: usize,
+        page_hi: usize,
+    ) -> Vec<usize> {
         let n = self.num_pages();
-        let mut survivors: Vec<usize> = Vec::with_capacity(n);
+        let mut survivors: Vec<usize> = Vec::new();
 
         // Sorted-key fast path: intersect a binary-searched range first.
-        let mut lo = 0usize;
-        let mut hi = n;
+        let mut lo = page_lo.min(n);
+        let mut hi = page_hi.min(n);
         for p in preds {
             if Some(p.col) == self.sorted_key {
                 if let Some((a, b)) = self.sorted_range(p) {
@@ -335,7 +356,8 @@ impl IbinLayout {
 
     /// Binary search over the sorted key's page zones: the `[lo, hi)` page
     /// range that could satisfy `pred`. `None` when the literal is
-    /// incomparable.
+    /// incomparable — including NaN bounds or literals, which would make
+    /// the partition points meaningless (every NaN comparison is false).
     fn sorted_range(&self, pred: &PrunePred) -> Option<(usize, usize)> {
         let n = self.num_pages();
         let z = self.zones.get(pred.col)?;
@@ -349,6 +371,9 @@ impl IbinLayout {
             ZoneVec::I64(_) => pred.value.as_i64()? as f64,
             ZoneVec::F64(_) => pred.value.as_f64()?,
         };
+        if x.is_nan() || mins.iter().chain(&maxs).any(|m| m.is_nan()) {
+            return None;
+        }
         Some(match pred.op {
             // Ranges of pages whose [min,max] may intersect the predicate.
             CmpOp::Lt => (0, mins.partition_point(|&m| m < x)),
@@ -666,6 +691,114 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn windowed_candidates_partition_to_whole_file_set() {
+        for (sorted_key, key_col) in [(None, 0), (Some(1), 1)] {
+            let base = datagen::int_table(5, 200, 3);
+            let t = if sorted_key.is_some() { datagen::sorted_copy(&base, 1) } else { base };
+            let bytes = to_bytes_with(&t, 16, sorted_key).unwrap();
+            let layout = IbinLayout::parse(&bytes).unwrap();
+            let n = layout.num_pages();
+            for sel in [0.0, 0.3, 1.0] {
+                let preds = vec![PrunePred {
+                    col: key_col,
+                    op: CmpOp::Lt,
+                    value: Value::Int64(datagen::literal_for_selectivity(sel)),
+                }];
+                let whole = layout.candidate_pages(&preds);
+                for split in [1usize, 3, 7] {
+                    let mut unioned = Vec::new();
+                    let mut lo = 0usize;
+                    while lo < n {
+                        let hi = (lo + split).min(n);
+                        unioned.extend(layout.candidate_pages_in(&preds, lo, hi));
+                        lo = hi;
+                    }
+                    assert_eq!(unioned, whole, "sorted={sorted_key:?} sel={sel} split={split}");
+                }
+                // Out-of-range windows are clamped, not panicking.
+                assert!(layout.candidate_pages_in(&preds, n, n + 5).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn nan_zone_bounds_decline_to_prune() {
+        // A foreign writer could store NaN zone bounds; every ordered
+        // comparison against NaN is false, so a naive zone test would prune
+        // pages that may contain qualifying rows. NaN must disable pruning
+        // for the affected page instead.
+        let layout = IbinLayout {
+            types: vec![DataType::Float64],
+            field_offsets: vec![0],
+            row_width: 8,
+            data_start: 0,
+            rows: 20,
+            rows_per_page: 10,
+            sorted_key: None,
+            zones: vec![ZoneVec::F64(vec![(f64::NAN, f64::NAN), (100.0, 200.0)])],
+        };
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+            assert_eq!(
+                layout.zones[0].page_may_match(0, op, &Value::Float64(0.5)),
+                None,
+                "NaN bounds must decline to answer for {op:?}"
+            );
+            let preds = vec![PrunePred { col: 0, op, value: Value::Float64(0.5) }];
+            assert!(
+                layout.candidate_pages(&preds).contains(&0),
+                "NaN-bounded page must survive {op:?}"
+            );
+        }
+        // Page 1 has ordinary bounds and still prunes normally.
+        let preds = vec![PrunePred { col: 0, op: CmpOp::Lt, value: Value::Float64(0.5) }];
+        assert_eq!(layout.candidate_pages(&preds), vec![0], "finite zones keep pruning");
+    }
+
+    #[test]
+    fn nan_literals_decline_to_prune() {
+        for sorted_key in [None, Some(0)] {
+            let layout = IbinLayout {
+                types: vec![DataType::Float64],
+                field_offsets: vec![0],
+                row_width: 8,
+                data_start: 0,
+                rows: 20,
+                rows_per_page: 10,
+                sorted_key,
+                zones: vec![ZoneVec::F64(vec![(0.0, 1.0), (2.0, 3.0)])],
+            };
+            for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+                let preds = vec![PrunePred { col: 0, op, value: Value::Float64(f64::NAN) }];
+                assert_eq!(
+                    layout.candidate_pages(&preds),
+                    vec![0, 1],
+                    "NaN literal must not prune ({op:?}, sorted={sorted_key:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nan_zone_bounds_disable_sorted_binary_search() {
+        // A NaN min/max breaks partition_point monotonicity on the sorted
+        // fast path; the whole predicate must decline rather than return a
+        // wrong page window.
+        let layout = IbinLayout {
+            types: vec![DataType::Float64],
+            field_offsets: vec![0],
+            row_width: 8,
+            data_start: 0,
+            rows: 30,
+            rows_per_page: 10,
+            sorted_key: Some(0),
+            zones: vec![ZoneVec::F64(vec![(0.0, 1.0), (f64::NAN, f64::NAN), (4.0, 5.0)])],
+        };
+        let preds = vec![PrunePred { col: 0, op: CmpOp::Gt, value: Value::Float64(10.0) }];
+        let pages = layout.candidate_pages(&preds);
+        assert!(pages.contains(&1), "NaN page must survive: {pages:?}");
     }
 
     #[test]

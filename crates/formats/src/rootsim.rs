@@ -541,6 +541,39 @@ impl RootSimFile {
         crate::fbin::read_i64(&self.buf, base + self.events as usize * 8) as u64
     }
 
+    /// Cumulative item count of `coll` before `event` — the offsets-table
+    /// entry `offsets[event]`, valid for `0..=num_events`. `items_upto(0)`
+    /// is 0 and `items_upto(num_events)` is [`RootSimFile::total_items`].
+    /// Event-aligned partitioners use consecutive values to resolve each
+    /// segment's global item slice.
+    pub fn items_upto(&self, coll: CollectionId, event: u64) -> u64 {
+        debug_assert!(event <= self.events, "offsets table has num_events + 1 entries");
+        let base = self.colls[coll.0].offsets_pos;
+        crate::fbin::read_i64(&self.buf, base + event as usize * 8) as u64
+    }
+
+    /// Average on-disk payload bytes per event, counting scalar branches,
+    /// collection offsets tables, and collection item data. This is what
+    /// event-range partitioners should charge per event: collection-heavy
+    /// files carry most of their bytes outside the scalar branches.
+    pub fn bytes_per_event(&self) -> u64 {
+        if self.events == 0 {
+            return 1;
+        }
+        let mut total: u64 = 0;
+        for &(_, dt) in &self.schema.scalars {
+            total += self.events * width(dt) as u64;
+        }
+        for (c, coll) in self.schema.collections.iter().enumerate() {
+            total += (self.events + 1) * 8; // offsets table
+            let items = self.total_items(CollectionId(c));
+            for &(_, dt) in &coll.fields {
+                total += items * width(dt) as u64;
+            }
+        }
+        (total / self.events).max(1)
+    }
+
     /// The event owning global item `item` of `coll` (binary search over the
     /// offsets table).
     pub fn event_of_item(&self, coll: CollectionId, item: u64) -> u64 {
@@ -710,6 +743,40 @@ mod tests {
         assert_eq!(f.read_item_f32(muons, eta, 2), 1.5);
         assert_eq!(f.read_item(muons, pt, 2).unwrap(), Value::Float32(30.0));
         assert!(f.read_item(muons, pt, 3).is_err());
+    }
+
+    #[test]
+    fn items_upto_walks_the_offsets_table() {
+        let f = sample_file();
+        let muons = f.collection("muons").unwrap();
+        assert_eq!(f.items_upto(muons, 0), 0);
+        assert_eq!(f.items_upto(muons, 1), 2);
+        assert_eq!(f.items_upto(muons, 2), 2, "event 1 has no muons");
+        assert_eq!(f.items_upto(muons, 3), f.total_items(muons));
+        let jets = f.collection("jets").unwrap();
+        assert_eq!(f.items_upto(jets, 2), 3);
+    }
+
+    #[test]
+    fn bytes_per_event_charges_collection_payload() {
+        let f = sample_file();
+        // 3 events: scalars = 3*(8+4); offsets = 2 tables * 4 entries * 8;
+        // items = (3 muons * 2 f32 fields + 3 jets * 1 f32 field) * 4.
+        let total = 3 * 12 + 2 * 4 * 8 + (3 * 2 + 3) * 4;
+        assert_eq!(f.bytes_per_event(), total / 3);
+
+        // Scalars-only files charge just the scalar widths.
+        let schema =
+            RootSchema { scalars: vec![("id".into(), DataType::Int64)], collections: vec![] };
+        let mut w = RootSimWriter::new(schema).unwrap();
+        w.add_event(&[Value::Int64(1)], &[]).unwrap();
+        let f = RootSimFile::open_bytes(Arc::new(w.finish().unwrap())).unwrap();
+        assert_eq!(f.bytes_per_event(), 8);
+
+        // Empty files fall back to a positive default.
+        let w = RootSimWriter::new(two_collection_schema()).unwrap();
+        let f = RootSimFile::open_bytes(Arc::new(w.finish().unwrap())).unwrap();
+        assert_eq!(f.bytes_per_event(), 1);
     }
 
     #[test]

@@ -345,6 +345,243 @@ fn insitu_quoted_newlines_split_and_agree_with_serial() {
     }
 }
 
+/// Write the ibin twins: `s.ibin` sorted by col1 with a declared sort key
+/// (the B-tree regime: candidate pages come from binary search) and
+/// `z.ibin` unsorted (the zone-map regime: every page's zones are tested
+/// independently). Small pages so test-sized files have many.
+fn write_ibin_dataset(dir: &TempDir) {
+    let table = datagen::int_table(97, ROWS, COLS);
+    let sorted = datagen::sorted_copy(&table, 0);
+    raw::formats::ibin::write_file(&sorted, &dir.path("s.ibin"), 64, Some(0)).unwrap();
+    raw::formats::ibin::write_file(&table, &dir.path("z.ibin"), 64, None).unwrap();
+}
+
+fn engine_with_ibin_tables(dir: &TempDir, parallelism: usize) -> RawEngine {
+    let mut engine = RawEngine::new(config(parallelism));
+    for (name, file) in [("s_ibin", "s.ibin"), ("z_ibin", "z.ibin")] {
+        engine.register_table(TableDef {
+            name: name.into(),
+            schema: Schema::uniform(COLS, DataType::Int64),
+            source: TableSource::Ibin { path: dir.path(file) },
+        });
+    }
+    engine
+}
+
+/// ibin queries under both index regimes: every worker count produces
+/// results bitwise-equal to serial with **identical zone-pruning counters**
+/// (page-aligned morsels tile the candidate set exactly), including the
+/// pruned-to-empty case where whole morsels become no-ops.
+#[test]
+fn parallel_ibin_agrees_and_prunes_identically() {
+    let dir = TempDir::new("ibin");
+    write_ibin_dataset(&dir);
+
+    let x = datagen::literal_for_selectivity(0.15);
+    let y = datagen::literal_for_selectivity(0.7);
+    let mut queries = Vec::new();
+    for table in ["s_ibin", "z_ibin"] {
+        // Selective filter on the (sort-key) column: the B-tree regime
+        // prunes most pages, so trailing morsels are entirely no-ops.
+        queries.push(format!("SELECT MAX(col5) FROM {table} WHERE col1 < {x}"));
+        queries.push(format!("SELECT SUM(col3), COUNT(col3) FROM {table} WHERE col1 < {y}"));
+        // Selection shape: row order must match serial exactly.
+        queries.push(format!("SELECT col2, col6 FROM {table} WHERE col1 < {}", x / 8));
+        // Contradiction: every page pruned, every morsel a no-op.
+        queries.push(format!("SELECT COUNT(col4) FROM {table} WHERE col1 < -1"));
+        // Conjunctive predicates prune on both columns' zones.
+        queries.push(format!("SELECT MAX(col6) FROM {table} WHERE col1 < {y} AND col3 < {y}"));
+    }
+
+    for sql in &queries {
+        let mut reference: Option<(raw::columnar::Batch, u64, u64)> = None;
+        for parallelism in [1usize, 2, 4, 8] {
+            let mut engine = engine_with_ibin_tables(&dir, parallelism);
+            let cold = engine.query(sql).unwrap();
+            let warm = engine.query(sql).unwrap();
+            assert_eq!(
+                cold.batch, warm.batch,
+                "cold/warm disagree at parallelism {parallelism}: {sql}"
+            );
+            if parallelism > 1 {
+                assert!(
+                    cold.stats.explain.iter().any(|l| l.contains("parallel:")),
+                    "parallel path did not engage at parallelism {parallelism}: {sql}\n{:#?}",
+                    cold.stats.explain
+                );
+            }
+            let pruned = cold.stats.metrics.rows_pruned;
+            let scanned = cold.stats.metrics.rows_scanned;
+            match &reference {
+                None => reference = Some((cold.batch, pruned, scanned)),
+                Some((batch, ref_pruned, ref_scanned)) => {
+                    assert_eq!(
+                        batch, &cold.batch,
+                        "parallelism {parallelism} diverges from serial: {sql}"
+                    );
+                    assert_eq!(
+                        pruned, *ref_pruned,
+                        "zone-pruning counters diverge at parallelism {parallelism}: {sql}"
+                    );
+                    assert_eq!(
+                        scanned, *ref_scanned,
+                        "scanned-row counters diverge at parallelism {parallelism}: {sql}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Canary for the CI parallel job: an ibin driving table must actually take
+/// the parallel path (not fall back to serial) — and on the sorted regime
+/// the index must still prune under it.
+#[test]
+fn parallel_path_engages_for_ibin_driving_table() {
+    let dir = TempDir::new("ibincanary");
+    write_ibin_dataset(&dir);
+    let x = datagen::literal_for_selectivity(0.15);
+    let mut engine = engine_with_ibin_tables(&dir, 4);
+    let r = engine.query(&format!("SELECT MAX(col5) FROM s_ibin WHERE col1 < {x}")).unwrap();
+    assert!(
+        r.stats.explain.iter().any(|l| l.contains("parallel:")),
+        "ibin must take the parallel path: {:#?}",
+        r.stats.explain
+    );
+    assert!(r.stats.metrics.rows_pruned > 0, "index pruning must survive parallelism");
+}
+
+/// Write a rootsim file with a muon collection whose per-event item counts
+/// vary (including zero-muon events and item-heavy events), register the
+/// satellite table, and return an engine.
+fn write_collection_dataset(path: &std::path::Path, events: usize) {
+    let schema = RootSchema {
+        scalars: vec![("eventID".into(), DataType::Int64), ("run".into(), DataType::Int32)],
+        collections: vec![raw::formats::rootsim::RootCollection {
+            name: "muons".into(),
+            fields: vec![("pt".into(), DataType::Float32), ("eta".into(), DataType::Float32)],
+        }],
+    };
+    let mut w = RootSimWriter::new(schema).unwrap();
+    for i in 0..events as i64 {
+        // Deterministic but lumpy: stretches of empty events next to
+        // item-heavy ones, so item-sized partitioning actually matters.
+        let muons = match i % 11 {
+            0..=4 => 0,
+            5..=8 => (i % 3 + 1) as usize,
+            _ => 9,
+        };
+        let items: Vec<Vec<Value>> = (0..muons)
+            .map(|j| {
+                let pt = ((i * 13 + j as i64 * 5) % 1000) as f32 / 10.0;
+                let eta = ((i * 7 + j as i64 * 3) % 600) as f32 / 100.0 - 3.0;
+                vec![Value::Float32(pt), Value::Float32(eta)]
+            })
+            .collect();
+        w.add_event(&[Value::Int64(1000 + i), Value::Int32((i % 9) as i32)], &[items]).unwrap();
+    }
+    w.write_file(path).unwrap();
+}
+
+fn engine_with_collection(dir: &TempDir, parallelism: usize) -> RawEngine {
+    let mut engine = RawEngine::new(config(parallelism));
+    engine.register_table(TableDef {
+        name: "muons".into(),
+        schema: Schema::new(vec![
+            raw::columnar::Field::new("eventID", DataType::Int64),
+            raw::columnar::Field::new("pt", DataType::Float32),
+            raw::columnar::Field::new("eta", DataType::Float32),
+        ]),
+        source: TableSource::RootCollection {
+            path: dir.path("m.root"),
+            collection: "muons".into(),
+            parent_scalar: Some("eventID".into()),
+        },
+    });
+    engine
+}
+
+/// Root-collection queries: every worker count produces results
+/// bitwise-equal to serial — exploded item rows concatenate in morsel
+/// order, parent scalars replicate correctly across event-aligned morsel
+/// boundaries — and the parallel path actually engages.
+#[test]
+fn parallel_collection_agrees_across_worker_counts() {
+    let dir = TempDir::new("collection");
+    write_collection_dataset(&dir.path("m.root"), 4_000);
+
+    let queries = [
+        "SELECT MAX(pt), COUNT(pt) FROM muons WHERE pt > 50.0".to_owned(),
+        // Selection shape: item rows (with replicated parents) must come
+        // back in serial item order.
+        "SELECT eventID, pt FROM muons WHERE pt < 3.0".to_owned(),
+        // Empty result across every worker count.
+        "SELECT COUNT(eta) FROM muons WHERE pt < -1.0".to_owned(),
+        // Grouped aggregation keyed on the replicated parent scalar.
+        "SELECT eventID, COUNT(pt), MAX(pt) FROM muons WHERE pt > 80.0 GROUP BY eventID".to_owned(),
+    ];
+
+    for sql in &queries {
+        let mut reference: Option<raw::columnar::Batch> = None;
+        for parallelism in [1usize, 2, 4, 8] {
+            let mut engine = engine_with_collection(&dir, parallelism);
+            let cold = engine.query(sql).unwrap();
+            let warm = engine.query(sql).unwrap();
+            assert_eq!(
+                cold.batch, warm.batch,
+                "cold/warm disagree at parallelism {parallelism}: {sql}"
+            );
+            if parallelism > 1 {
+                assert!(
+                    cold.stats.explain.iter().any(|l| l.contains("parallel:")),
+                    "parallel path did not engage at parallelism {parallelism}: {sql}\n{:#?}",
+                    cold.stats.explain
+                );
+            }
+            match &reference {
+                None => reference = Some(cold.batch),
+                Some(batch) => assert_eq!(
+                    batch, &cold.batch,
+                    "parallelism {parallelism} diverges from serial: {sql}"
+                ),
+            }
+        }
+    }
+}
+
+/// Spot-check the parallel collection path against ground truth computed
+/// from the generator formula.
+#[test]
+fn parallel_collection_matches_ground_truth() {
+    let dir = TempDir::new("colltruth");
+    let events = 4_000usize;
+    write_collection_dataset(&dir.path("m.root"), events);
+
+    // Replay the generator.
+    let mut want_count = 0i64;
+    let mut want_max = f32::MIN;
+    for i in 0..events as i64 {
+        let muons = match i % 11 {
+            0..=4 => 0,
+            5..=8 => (i % 3 + 1) as usize,
+            _ => 9,
+        };
+        for j in 0..muons {
+            let pt = ((i * 13 + j as i64 * 5) % 1000) as f32 / 10.0;
+            if pt > 50.0 {
+                want_count += 1;
+                want_max = want_max.max(pt);
+            }
+        }
+    }
+
+    let mut engine = engine_with_collection(&dir, 4);
+    let r = engine.query("SELECT MAX(pt), COUNT(pt) FROM muons WHERE pt > 50.0").unwrap();
+    // Aggregates over f32 columns widen to f64.
+    assert_eq!(r.value(0, 0).unwrap(), Value::Float64(f64::from(want_max)));
+    assert_eq!(r.value(0, 1).unwrap(), Value::Int64(want_count));
+}
+
 /// Join queries under all three placement points: every worker count
 /// produces results bitwise-equal to serial, cold and warm, and the
 /// parallel path actually engages on cold runs.
