@@ -404,9 +404,10 @@ mod tests {
     use crate::spec::{AccessPathKind, AccessPathSpec, FileFormat, WantedField};
     use raw_columnar::ops::collect;
     use raw_columnar::Schema;
+    use raw_formats::file_buffer::file_bytes;
 
     fn csv_bytes() -> FileBytes {
-        Arc::new(b"10,20,30,40\n11,21,31,41\n12,22,32,42\n13,23,33,43\n".to_vec())
+        file_bytes(b"10,20,30,40\n11,21,31,41\n12,22,32,42\n13,23,33,43\n".to_vec())
     }
 
     fn spec(wanted: &[usize], record: &[usize]) -> AccessPathSpec {
@@ -497,7 +498,7 @@ mod tests {
         // Only col 0 is wanted, so the quoted field in col 1 is never
         // tokenized — the tail-of-row skip must still treat its embedded
         // newline as content, yielding two records, not three.
-        let buf: FileBytes = Arc::new(b"1,\"a\nb\"\n2,c\n".to_vec());
+        let buf: FileBytes = file_bytes(b"1,\"a\nb\"\n2,c\n".to_vec());
         let mut sc = InSituCsvScan::new(CsvScanInput {
             buf,
             spec: AccessPathSpec {
@@ -520,7 +521,7 @@ mod tests {
 
     #[test]
     fn parse_error_surfaces() {
-        let buf: FileBytes = Arc::new(b"1,zz,3,4\n".to_vec());
+        let buf: FileBytes = file_bytes(b"1,zz,3,4\n".to_vec());
         let mut sc = InSituCsvScan::new(CsvScanInput {
             buf,
             spec: spec(&[1], &[]),

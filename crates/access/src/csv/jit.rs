@@ -409,10 +409,11 @@ mod tests {
     use crate::spec::{AccessPathKind, AccessPathSpec, FileFormat, WantedField};
     use raw_columnar::ops::collect;
     use raw_columnar::{DataType, Schema};
+    use raw_formats::file_buffer::file_bytes;
 
     fn csv_bytes() -> FileBytes {
         // 4 rows × 4 cols
-        Arc::new(b"10,20,30,40\n11,21,31,41\n12,22,32,42\n13,23,33,43\n".to_vec())
+        file_bytes(b"10,20,30,40\n11,21,31,41\n12,22,32,42\n13,23,33,43\n".to_vec())
     }
 
     fn spec(wanted: &[usize], record: &[usize]) -> AccessPathSpec {
@@ -499,7 +500,7 @@ mod tests {
 
     #[test]
     fn unterminated_final_row() {
-        let buf: FileBytes = Arc::new(b"1,2,3,4\n5,6,7,8".to_vec());
+        let buf: FileBytes = file_bytes(b"1,2,3,4\n5,6,7,8".to_vec());
         let s = spec(&[3], &[]);
         let program = Arc::new(compile_program(&s, None));
         let mut sc = JitCsvScan::new(
@@ -514,7 +515,7 @@ mod tests {
     fn ragged_row_is_an_error_not_a_silent_slide() {
         // Row 2 has 2 fields where 4 are declared: reading col 3 must error
         // rather than consume row 3's fields.
-        let buf: FileBytes = Arc::new(b"1,2,3,4\n5,6\n7,8,9,10\n".to_vec());
+        let buf: FileBytes = file_bytes(b"1,2,3,4\n5,6\n7,8,9,10\n".to_vec());
         let s = spec(&[2], &[]);
         let program = Arc::new(compile_program(&s, None));
         let mut sc = JitCsvScan::new(
@@ -527,7 +528,7 @@ mod tests {
 
     #[test]
     fn malformed_field_is_an_error_not_a_panic() {
-        let buf: FileBytes = Arc::new(b"1,x,3,4\n".to_vec());
+        let buf: FileBytes = file_bytes(b"1,x,3,4\n".to_vec());
         let s = spec(&[1], &[]);
         let program = Arc::new(compile_program(&s, None));
         let mut sc = JitCsvScan::new(
@@ -551,7 +552,7 @@ mod tests {
 
     #[test]
     fn float_columns_convert() {
-        let buf: FileBytes = Arc::new(b"1.5,2\n-0.25,3\n".to_vec());
+        let buf: FileBytes = file_bytes(b"1.5,2\n-0.25,3\n".to_vec());
         let s = AccessPathSpec {
             format: FileFormat::Csv,
             schema: Schema::new(vec![

@@ -139,11 +139,11 @@ mod tests {
     use super::*;
     use raw_columnar::ops::collect;
     use raw_columnar::DataType;
-    use std::sync::Arc;
+    use raw_formats::file_buffer::file_bytes;
 
     #[test]
     fn parses_everything_serves_subset() {
-        let buf: FileBytes = Arc::new(b"1,2,3\n4,5,6\n".to_vec());
+        let buf: FileBytes = file_bytes(b"1,2,3\n4,5,6\n".to_vec());
         let schema = Schema::uniform(3, DataType::Int64);
         let mut sc = ExternalTableScan::new(buf, FileFormat::Csv, schema, vec![2], TableTag(1), 10);
         let out = collect(&mut sc).unwrap();
@@ -158,7 +158,7 @@ mod tests {
         let t = raw_formats::datagen::int_table(5, 10, 3);
         let bytes = raw_formats::fbin::to_bytes(&t).unwrap();
         let mut sc = ExternalTableScan::new(
-            Arc::new(bytes),
+            file_bytes(bytes),
             FileFormat::Fbin,
             t.schema().clone(),
             vec![0, 1, 2],
@@ -173,7 +173,7 @@ mod tests {
     #[test]
     fn rootsim_unsupported() {
         let mut sc = ExternalTableScan::new(
-            Arc::new(vec![]),
+            file_bytes(vec![]),
             FileFormat::RootSim,
             Schema::uniform(1, DataType::Int64),
             vec![0],
@@ -185,7 +185,7 @@ mod tests {
 
     #[test]
     fn malformed_file_errors() {
-        let buf: FileBytes = Arc::new(b"1,2\n".to_vec());
+        let buf: FileBytes = file_bytes(b"1,2\n".to_vec());
         let schema = Schema::uniform(3, DataType::Int64);
         let mut sc = ExternalTableScan::new(buf, FileFormat::Csv, schema, vec![0], TableTag(0), 4);
         assert!(sc.next_batch().is_err());

@@ -148,12 +148,13 @@ mod tests {
     use super::*;
     use crate::spec::{AccessPathKind, AccessPathSpec, FileFormat, WantedField};
     use raw_columnar::ops::collect;
+    use raw_formats::file_buffer::file_bytes;
     use std::sync::Arc;
 
     fn input(wanted: &[usize], t: &raw_columnar::MemTable) -> FbinScanInput {
         let bytes = raw_formats::fbin::to_bytes(t).unwrap();
         FbinScanInput {
-            buf: Arc::new(bytes),
+            buf: file_bytes(bytes),
             spec: AccessPathSpec {
                 format: FileFormat::Fbin,
                 schema: t.schema().clone(),
@@ -215,7 +216,7 @@ mod tests {
     fn corrupt_header_rejected() {
         let t = raw_formats::datagen::int_table(4, 5, 2);
         let mut inp = input(&[0], &t);
-        inp.buf = Arc::new(b"garbage".to_vec());
+        inp.buf = file_bytes(b"garbage".to_vec());
         assert!(InSituFbinScan::new(inp).is_err());
     }
 }

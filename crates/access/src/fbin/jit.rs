@@ -175,6 +175,7 @@ mod tests {
     use crate::spec::{AccessPathKind, AccessPathSpec, FileFormat, WantedField};
     use raw_columnar::ops::collect;
     use raw_formats::fbin::FbinLayout;
+    use raw_formats::file_buffer::file_bytes;
 
     fn setup(wanted: &[usize]) -> JitFbinScan {
         let t = raw_formats::datagen::int_table(1, 100, 5);
@@ -192,7 +193,7 @@ mod tests {
         };
         let program = Arc::new(compile_fbin_program(&spec, &layout).unwrap());
         JitFbinScan::new(
-            FbinScanInput { buf: Arc::new(bytes), spec, tag: TableTag(0), batch_size: 32 },
+            FbinScanInput { buf: file_bytes(bytes), spec, tag: TableTag(0), batch_size: 32 },
             program,
         )
     }
@@ -238,7 +239,7 @@ mod tests {
         };
         let program = Arc::new(compile_fbin_program(&spec, &layout).unwrap());
         let mut sc = JitFbinScan::new(
-            FbinScanInput { buf: Arc::new(bytes), spec, tag: TableTag(0), batch_size: 16 },
+            FbinScanInput { buf: file_bytes(bytes), spec, tag: TableTag(0), batch_size: 16 },
             program,
         );
         let out = collect(&mut sc).unwrap();

@@ -479,11 +479,12 @@ impl Operator for AttachFieldsOp {
 mod tests {
     use super::*;
     use raw_columnar::ops::{collect, BatchSource};
+    use raw_formats::file_buffer::file_bytes;
     use raw_posmap::PosMapBuilder;
 
     /// CSV: 4 rows × 4 cols with values r*10 + c (two-digit).
     fn csv() -> FileBytes {
-        Arc::new(b"10,11,12,13\n20,21,22,23\n30,31,32,33\n40,41,42,43\n".to_vec())
+        file_bytes(b"10,11,12,13\n20,21,22,23\n30,31,32,33\n40,41,42,43\n".to_vec())
     }
 
     /// Positional map tracking cols 0 and 2 of `csv()`.
@@ -559,7 +560,7 @@ mod tests {
             slots: vec![(layout.field_offsets[2], DataType::Int64)],
             rows: layout.rows,
         });
-        let mut f = FbinFetcher::new(Arc::new(bytes), program);
+        let mut f = FbinFetcher::new(file_bytes(bytes), program);
         let cols = f.fetch(&[49, 0, 7]).unwrap();
         let src = t.column(2).unwrap().as_i64().unwrap();
         assert_eq!(cols[0].as_i64().unwrap(), &[src[49], src[0], src[7]]);

@@ -546,6 +546,7 @@ mod tests {
     use raw_columnar::ops::collect;
     use raw_columnar::{CmpOp, MemTable};
     use raw_formats::datagen;
+    use raw_formats::file_buffer::file_bytes;
 
     fn spec_for(t: &MemTable, wanted: &[usize]) -> AccessPathSpec {
         AccessPathSpec {
@@ -573,7 +574,7 @@ mod tests {
         let spec = spec_for(t, wanted);
         let program = Arc::new(compile_ibin_program(&spec, &layout, preds).unwrap());
         JitIbinScan::new(
-            IbinScanInput { buf: Arc::new(bytes), spec, tag: TableTag(0), batch_size: 13 },
+            IbinScanInput { buf: file_bytes(bytes), spec, tag: TableTag(0), batch_size: 13 },
             program,
         )
     }
@@ -596,7 +597,7 @@ mod tests {
         let bytes = raw_formats::ibin::to_bytes_with(&t, 11, None).unwrap();
         let spec = spec_for(&t, &[0, 2, 5]);
         let mut insitu = InSituIbinScan::new(IbinScanInput {
-            buf: Arc::new(bytes.clone()),
+            buf: file_bytes(bytes.clone()),
             spec: spec.clone(),
             tag: TableTag(0),
             batch_size: 13,
@@ -719,7 +720,7 @@ mod tests {
         let spec = spec_for(&t, &[0, 2, 5]);
         let make = |segment: Option<ScanSegment>| {
             let scan = InSituIbinScan::new(IbinScanInput {
-                buf: Arc::new(bytes.clone()),
+                buf: file_bytes(bytes.clone()),
                 spec: spec.clone(),
                 tag: TableTag(0),
                 batch_size: 13,
@@ -745,7 +746,7 @@ mod tests {
         let layout = IbinLayout::parse(&bytes).unwrap();
         let spec = spec_for(&t, &[1, 4]);
         let program = Arc::new(compile_ibin_program(&spec, &layout, &[]).unwrap());
-        let mut f = IbinFetcher::new(Arc::new(bytes), program);
+        let mut f = IbinFetcher::new(file_bytes(bytes), program);
         let rows: Vec<u64> = vec![3, 17, 17, 69, 0];
         let cols = f.fetch(&rows).unwrap();
         for (slot, &src) in [1usize, 4].iter().enumerate() {

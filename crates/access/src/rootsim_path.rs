@@ -615,7 +615,10 @@ mod tests {
             ]],
         )
         .unwrap();
-        Arc::new(RootSimFile::open_bytes(Arc::new(w.finish().unwrap())).unwrap())
+        Arc::new(
+            RootSimFile::open_bytes(raw_formats::file_buffer::file_bytes(w.finish().unwrap()))
+                .unwrap(),
+        )
     }
 
     #[test]

@@ -15,6 +15,7 @@ use raw_columnar::batch::TableTag;
 use raw_columnar::ops::collect;
 use raw_columnar::{DataType, MemTable, Schema};
 use raw_formats::datagen;
+use raw_formats::file_buffer::file_bytes;
 use raw_posmap::PositionalMap;
 
 /// Generate (table, wanted columns, tracked columns, batch size).
@@ -68,7 +69,7 @@ proptest! {
         (seed, rows, cols, wanted, tracked, batch) in scan_case(),
     ) {
         let table = datagen::int_table(seed, rows, cols);
-        let buf = Arc::new(raw_formats::csv::writer::to_bytes(&table).unwrap());
+        let buf = file_bytes(raw_formats::csv::writer::to_bytes(&table).unwrap());
         let spec = spec_for(cols, &wanted, &tracked, FileFormat::Csv);
         let expected = reference_columns(&table, &wanted);
 
@@ -112,7 +113,7 @@ proptest! {
         // Ensure something is tracked so a map exists for the second query.
         tracked.push(0);
         let table = datagen::int_table(seed, rows, cols);
-        let buf = Arc::new(raw_formats::csv::writer::to_bytes(&table).unwrap());
+        let buf = file_bytes(raw_formats::csv::writer::to_bytes(&table).unwrap());
         let expected = reference_columns(&table, &wanted);
 
         // First scan builds the map.
@@ -166,7 +167,7 @@ proptest! {
         (seed, rows, cols, wanted, _tracked, batch) in scan_case(),
     ) {
         let table = datagen::int_table(seed, rows, cols);
-        let bytes = Arc::new(raw_formats::fbin::to_bytes(&table).unwrap());
+        let bytes = file_bytes(raw_formats::fbin::to_bytes(&table).unwrap());
         let spec = spec_for(cols, &wanted, &[], FileFormat::Fbin);
         let expected = reference_columns(&table, &wanted);
 
@@ -200,7 +201,7 @@ proptest! {
     ) {
         let cols = 6;
         let table = datagen::int_table(seed, rows, cols);
-        let buf = Arc::new(raw_formats::csv::writer::to_bytes(&table).unwrap());
+        let buf = file_bytes(raw_formats::csv::writer::to_bytes(&table).unwrap());
         let row_ids: Vec<u64> = pick.into_iter().map(|r| (r % rows) as u64).collect();
 
         // Build a positional map over columns 0 and 3.

@@ -1,0 +1,65 @@
+//! Figure 14 (criterion): cold-scan overlap — chunk-streamed cold reads
+//! (reader thread + availability-gated morsel dispatch) against the
+//! blocking cold read, on the fig1 CSV and fbin aggregate workloads.
+//!
+//! Regression-tracking version of `reproduce fig14`. Each iteration builds
+//! a fresh engine and drops file caches, so every measured query pays the
+//! cold read; the chunk-size axis sweeps blocking (0) against streamed
+//! chunk sizes. Results are asserted identical across read paths by the
+//! `cold_equivalence` suite — this bench tracks only the wall-time effect
+//! of overlapping the read with the scan.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use raw_bench::experiments::{q1, system_config};
+use raw_bench::{datasets, Scale};
+use raw_engine::{AccessMode, EngineConfig, RawEngine, ShredStrategy};
+use raw_formats::datagen::literal_for_selectivity;
+
+fn bench_scale() -> Scale {
+    Scale { narrow_rows: 20_000, ..Scale::default() }
+}
+
+fn bench_cold_read_paths(
+    c: &mut Criterion,
+    group_name: &str,
+    make_engine: fn(&Scale, EngineConfig) -> RawEngine,
+) {
+    let scale = bench_scale();
+    let sql = q1("file1", literal_for_selectivity(0.4));
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for (label, chunk) in [("blocking", 0usize), ("stream_4m", 4 << 20), ("stream_64k", 64 << 10)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut e = make_engine(
+                        &scale,
+                        EngineConfig {
+                            parallelism: 4,
+                            read_chunk_bytes: chunk,
+                            ..system_config(AccessMode::Jit, ShredStrategy::FullColumns, 10)
+                        },
+                    );
+                    e.drop_file_caches();
+                    e
+                },
+                |mut engine| engine.query(&sql).unwrap(),
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn cold_overlap_csv(c: &mut Criterion) {
+    bench_cold_read_paths(c, "fig14_cold_overlap_csv", datasets::engine_narrow_csv);
+}
+
+fn cold_overlap_fbin(c: &mut Criterion) {
+    bench_cold_read_paths(c, "fig14_cold_overlap_fbin", datasets::engine_narrow_fbin);
+}
+
+criterion_group!(benches, cold_overlap_csv, cold_overlap_fbin);
+criterion_main!(benches);

@@ -33,6 +33,7 @@ fn registry() -> Vec<(&'static str, Runner)> {
         ("fig11", experiments::fig11),
         ("fig12", experiments::fig12),
         ("fig13", experiments::fig13),
+        ("fig14", experiments::fig14),
         ("table3", experiments::table3),
         // Ablations (not paper figures): isolate one design choice each.
         ("ablation_index", ablations::ablation_index),

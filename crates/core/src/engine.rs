@@ -125,6 +125,16 @@ pub struct EngineConfig {
     /// differ from serial in final-bit rounding since per-morsel partial
     /// sums reassociate the summation).
     pub morsel_bytes: usize,
+    /// Chunk size for the overlapped cold-read path, in bytes (default
+    /// 4 MiB; env `RAW_READ_CHUNK_BYTES`). On cold parallel runs over flat
+    /// files, a dedicated reader thread fills the buffer in chunks of this
+    /// size and morsels dispatch as soon as their byte ranges are resident,
+    /// overlapping disk I/O with scanning. `0` disables streaming: cold
+    /// reads block for the whole file before any worker starts (the
+    /// pre-overlap behavior, and the baseline the `cold_equivalence` suite
+    /// compares against). Results and I/O counters are identical either
+    /// way; only the overlap changes.
+    pub read_chunk_bytes: usize,
 }
 
 impl Default for EngineConfig {
@@ -141,17 +151,20 @@ impl Default for EngineConfig {
             cost_model: CostModel::default(),
             parallelism: raw_exec::available_threads(),
             morsel_bytes: 256 << 10,
+            read_chunk_bytes: 4 << 20,
         }
     }
 }
 
 impl EngineConfig {
     /// The default configuration with environment overrides applied:
-    /// `RAW_PARALLELISM` (worker threads; `1` forces the serial path) and
-    /// `RAW_MORSEL_BYTES` (target bytes per morsel). Unset or unparsable
-    /// variables leave the default untouched. Test suites build engines
-    /// through this so CI can exercise the whole suite under a forced
-    /// parallel configuration.
+    /// `RAW_PARALLELISM` (worker threads; `1` forces the serial path),
+    /// `RAW_MORSEL_BYTES` (target bytes per morsel), and
+    /// `RAW_READ_CHUNK_BYTES` (cold-read streaming chunk; `0` disables
+    /// streaming entirely). Unset or unparsable variables leave the default
+    /// untouched. Test suites build engines through this so CI can exercise
+    /// the whole suite under a forced parallel (and forced tiny-chunk
+    /// streaming) configuration.
     pub fn from_env() -> EngineConfig {
         fn env_usize(key: &str) -> Option<usize> {
             std::env::var(key).ok()?.trim().parse().ok()
@@ -162,6 +175,9 @@ impl EngineConfig {
         }
         if let Some(n) = env_usize("RAW_MORSEL_BYTES") {
             config.morsel_bytes = n.max(1);
+        }
+        if let Some(n) = env_usize("RAW_READ_CHUNK_BYTES") {
+            config.read_chunk_bytes = n; // 0 = streaming off
         }
         config
     }
@@ -405,11 +421,15 @@ impl RawEngine {
             posmap_sinks,
             build_profile,
             build_metrics,
+            gates,
             explain,
             output_names,
         } = plan;
 
-        let mut outcome = raw_exec::execute_morsels(pipelines, &merge, self.config.parallelism)?;
+        // Availability-gated dispatch: on cold streamed runs each morsel
+        // waits for its byte range (not the whole file) before draining.
+        let mut outcome =
+            raw_exec::execute_morsels_when(pipelines, gates, &merge, self.config.parallelism)?;
         // Scan work performed at plan time (a join's serial build-side
         // drain) belongs to this query's accounting too.
         outcome.profile.merge(&build_profile);

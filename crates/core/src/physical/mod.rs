@@ -144,7 +144,8 @@ struct TableCols {
 }
 
 pub(crate) fn plan(ctx: &mut PlannerCtx<'_>, q: &ResolvedQuery) -> Result<PhysicalPlan> {
-    let mut planner = Planner { ctx, explain: Vec::new(), harvests: Harvests::default() };
+    let mut planner =
+        Planner { ctx, explain: Vec::new(), harvests: Harvests::default(), stream: None };
     planner.plan_query(q)
 }
 
@@ -152,6 +153,28 @@ struct Planner<'a, 'b> {
     ctx: &'a mut PlannerCtx<'b>,
     explain: Vec<String>,
     harvests: Harvests,
+    /// When the parallel planner is streaming the driving table's cold read
+    /// (chunked prefetch), the in-flight buffer serving that path:
+    /// [`Planner::read_file`] hands out its bytes without blocking — morsel
+    /// execution is availability-gated downstream — instead of `read`'s
+    /// wait-for-everything contract. `None` everywhere else (the serial
+    /// planner never streams).
+    stream: Option<StreamHandle>,
+}
+
+/// The in-flight streaming read of the parallel plan's driving table.
+pub(crate) struct StreamHandle {
+    path: std::path::PathBuf,
+    chunked: Arc<raw_formats::file_buffer::ChunkedFileBuffer>,
+}
+
+impl StreamHandle {
+    pub(crate) fn new(
+        path: std::path::PathBuf,
+        chunked: Arc<raw_formats::file_buffer::ChunkedFileBuffer>,
+    ) -> StreamHandle {
+        StreamHandle { path, chunked }
+    }
 }
 
 impl Planner<'_, '_> {
@@ -1166,6 +1189,17 @@ impl Planner<'_, '_> {
     // -- file plumbing ---------------------------------------------------------
 
     fn read_file(&mut self, def: &crate::catalog::TableDef) -> Result<FileBytes> {
+        if let Some(stream) = &self.stream {
+            if *def.source.path() == stream.path {
+                // Served from the in-flight streaming read the parallel
+                // planner started: same buffer every morsel, counted as the
+                // pool hit the blocking path would have charged, and no
+                // full-residency wait — the availability gates downstream
+                // guarantee a morsel only reads resident bytes.
+                self.ctx.files.note_stream_hit();
+                return Ok(Arc::clone(stream.chunked.bytes()));
+            }
+        }
         Ok(self.ctx.files.read(def.source.path())?)
     }
 
@@ -1528,7 +1562,8 @@ pub(crate) fn standalone_scan(
     cols: &[ColRef],
     tag: TableTag,
 ) -> Result<(Box<dyn Operator>, Harvests)> {
-    let mut planner = Planner { ctx, explain: Vec::new(), harvests: Harvests::default() };
+    let mut planner =
+        Planner { ctx, explain: Vec::new(), harvests: Harvests::default(), stream: None };
     let built = planner.make_scan(q, 0, cols, tag, None)?;
     Ok((built.op, std::mem::take(&mut planner.harvests)))
 }
@@ -1543,7 +1578,8 @@ pub(crate) fn standalone_attach(
     multi: bool,
     tag: TableTag,
 ) -> Result<(Box<dyn Operator>, Harvests)> {
-    let mut planner = Planner { ctx, explain: Vec::new(), harvests: Harvests::default() };
+    let mut planner =
+        Planner { ctx, explain: Vec::new(), harvests: Harvests::default(), stream: None };
     let layout = Layout::default();
     let (next, _) = planner.attach_columns(q, op, layout, 0, cols, multi, "custom attach", tag)?;
     Ok((next, std::mem::take(&mut planner.harvests)))

@@ -40,16 +40,18 @@
 use std::sync::Arc;
 
 use raw_exec::{
-    partition_csv, partition_csv_quoted, partition_csv_with_map, partition_items, partition_pages,
-    partition_rows, GroupedMerge, MergePlan, Morsel,
+    partition_csv, partition_csv_quoted, partition_csv_quoted_streaming, partition_csv_streaming,
+    partition_csv_with_map, partition_items, partition_pages, partition_rows, GroupedMerge,
+    MergePlan, Morsel, MorselGate,
 };
 
 use raw_access::spec::ScanSegment;
 use raw_columnar::batch::TableTag;
 use raw_columnar::ops::{drain, HashJoinOp, JoinBuildSide, Operator, ProjectOp};
 use raw_columnar::profile::{PhaseProfile, ScanMetrics};
-use raw_columnar::Batch;
+use raw_columnar::{Batch, ColumnarError};
 use raw_formats::fbin::FbinLayout;
+use raw_formats::file_buffer::ChunkedFileBuffer;
 use raw_formats::ibin::IbinLayout;
 
 use crate::catalog::{TableDef, TableSource};
@@ -58,7 +60,7 @@ use crate::error::{EngineError, Result};
 use crate::plan::{ColRef, ResolvedQuery};
 
 use super::helpers::PosMapSink;
-use super::{slice_per_table, AttachWhen, Harvests, Planner, PlannerCtx};
+use super::{slice_per_table, AttachWhen, Harvests, Planner, PlannerCtx, StreamHandle};
 
 /// Never split a file into more morsels than this: beyond a few hundred the
 /// per-morsel planning and merge overhead buys no extra load balance.
@@ -85,6 +87,11 @@ pub(crate) struct ParallelPlan {
     pub build_profile: PhaseProfile,
     /// Scan volume metrics of the plan-time build-side drain.
     pub build_metrics: ScanMetrics,
+    /// Per-morsel availability gates (empty on warm/blocking runs): on cold
+    /// streamed runs, morsel `i` dispatches only once gate `i` reports its
+    /// byte range resident, so early morsels scan while later chunks are
+    /// still on disk.
+    pub gates: Vec<Option<MorselGate>>,
     /// Plan description.
     pub explain: Vec<String>,
     /// Output column names.
@@ -103,13 +110,33 @@ pub(crate) fn try_plan(
         return Ok(None);
     }
     let driving = ctx.catalog.get(&q.tables[0])?.clone();
-    let mut planner = Planner { ctx, explain: Vec::new(), harvests: Harvests::default() };
+    let mut planner =
+        Planner { ctx, explain: Vec::new(), harvests: Harvests::default(), stream: None };
 
     // -- stage 2: partition the driving table --------------------------------
-    let Some(morsels) = partition(&mut planner, &q.tables[0], &driving)? else {
+    let Some(parted) = partition(&mut planner, &q.tables[0], &driving)? else {
         return Ok(None); // nothing to parallelize
     };
+    let Partitioned { morsels, stream, ready } = parted;
     let text_format = matches!(driving.source, TableSource::Csv { .. });
+
+    // Cold streamed run still in flight: per-morsel pipelines read from the
+    // in-flight buffer (no full-residency wait at plan time); the
+    // availability gates built below keep execution correct.
+    if let Some(st) = &stream {
+        planner.note("cold stream in flight: availability-gated morsel dispatch".to_owned());
+        planner.stream = Some(StreamHandle::new(driving.source.path().clone(), Arc::clone(st)));
+        // A self-join builds (and drains) the build side over the same file
+        // at plan time; that read needs full residency now.
+        if let Some(_j) = q.join.as_ref() {
+            if q.tables.len() > 1 {
+                let build_def = planner.ctx.catalog.get(&q.tables[1])?;
+                if build_def.source.path() == driving.source.path() {
+                    st.wait_all().map_err(EngineError::from)?;
+                }
+            }
+        }
+    }
 
     // Shared planning state, resolved once (not per morsel): the per-table
     // query slices, materialization strategies, and join-side placements —
@@ -288,6 +315,24 @@ pub(crate) fn try_plan(
     ));
     let explain = std::mem::take(&mut planner.explain);
 
+    // Availability gates: morsel i runs once bytes ..ready[i] are resident.
+    // The reader fills sequentially, so waiting on the prefix is exact; a
+    // reader I/O failure surfaces through the gate as this morsel's error.
+    let gates: Vec<Option<MorselGate>> = match &stream {
+        Some(st) => ready
+            .iter()
+            .map(|&upto| {
+                let st = Arc::clone(st);
+                let gate: MorselGate = Box::new(move || {
+                    st.wait_available(0..upto)
+                        .map_err(|e| ColumnarError::External { message: e.to_string() })
+                });
+                Some(gate)
+            })
+            .collect(),
+        None => Vec::new(),
+    };
+
     Ok(Some(ParallelPlan {
         pipelines,
         merge,
@@ -295,6 +340,7 @@ pub(crate) fn try_plan(
         posmap_sinks,
         build_profile,
         build_metrics,
+        gates,
         explain,
         output_names,
     }))
@@ -327,56 +373,167 @@ fn eligible(ctx: &mut PlannerCtx<'_>, q: &ResolvedQuery, threads: usize) -> Resu
     Ok(!all_pooled)
 }
 
+/// Stage 2's product: the morsel grid plus the cold-stream context needed
+/// to gate execution on availability.
+struct Partitioned {
+    morsels: Vec<Morsel>,
+    /// The in-flight streaming read of the driving file — `Some` only on
+    /// cold runs of flat formats with streaming enabled
+    /// (`read_chunk_bytes > 0`). `None` means everything the pipelines
+    /// touch is resident by plan time (warm, blocking, or root formats).
+    stream: Option<Arc<ChunkedFileBuffer>>,
+    /// Per-morsel resident-prefix requirement, aligned with `morsels`:
+    /// morsel `i` may dispatch once bytes `..ready[i]` are resident. The
+    /// reader is sequential, so a prefix bound is exact even for formats
+    /// whose morsels read several disjoint ranges. Empty when `stream` is
+    /// `None`.
+    ready: Vec<usize>,
+}
+
+/// Wait until the fbin header (magic + ncols + types + nrows) is resident,
+/// so `FbinLayout::parse` reads real bytes — fbin's parse touches nothing
+/// past the header, unlike ibin's (which decodes the tail zone index and
+/// therefore needs the whole file). Short files skip straight to parse's
+/// truncation error.
+fn wait_fbin_header(st: &ChunkedFileBuffer) -> Result<()> {
+    let len = st.len();
+    st.wait_available(0..12.min(len)).map_err(EngineError::from)?;
+    if len < 12 {
+        return Ok(());
+    }
+    let ncols = u32::from_le_bytes(st.bytes()[8..12].try_into().expect("sized")) as usize;
+    st.wait_available(0..(12 + ncols + 8).min(len)).map_err(EngineError::from)?;
+    Ok(())
+}
+
 /// Stage 2: split the driving table into morsels, or `None` when the file
 /// is too small to split. The grid depends on the file (and the morsel-size
-/// knob), never on the worker count, so results are thread-count invariant.
+/// knob), never on the worker count — and never on whether the bytes
+/// arrived streamed or blocking (the streamed probes are the same code over
+/// the same bytes) — so results are thread-count and cold-path invariant.
+///
+/// On cold runs of flat formats (CSV, fbin, ibin) with streaming enabled,
+/// the read is started as a chunked stream and only the bytes partitioning
+/// itself needs are awaited: the CSV probe follows the reader chunk by
+/// chunk, fbin/ibin wait for their headers. Rootsim formats parse a
+/// directory at open time and keep the blocking read.
 fn partition(
     planner: &mut Planner<'_, '_>,
     name: &str,
     def: &TableDef,
-) -> Result<Option<Vec<Morsel>>> {
+) -> Result<Option<Partitioned>> {
     let morsel_bytes = planner.ctx.config.morsel_bytes.max(1);
+    let chunk_bytes = planner.ctx.config.read_chunk_bytes;
+    let stream: Option<Arc<ChunkedFileBuffer>> = if chunk_bytes > 0
+        && matches!(
+            def.source,
+            TableSource::Csv { .. } | TableSource::Fbin { .. } | TableSource::Ibin { .. }
+        ) {
+        let cold = !planner.ctx.files.is_warm(def.source.path());
+        let st = planner.ctx.files.read_streaming(def.source.path(), chunk_bytes)?;
+        if cold {
+            // Deterministic observability: the read went through the chunked
+            // reader thread (whether or not it is still in flight by the
+            // time planning finishes — small files often complete first).
+            planner.note(format!(
+                "cold stream: {} chunks x {} bytes",
+                ChunkedFileBuffer::chunk_count(st.len(), st.chunk_bytes()),
+                st.chunk_bytes(),
+            ));
+        }
+        Some(st)
+    } else {
+        None
+    };
+
+    let mut ready: Vec<usize> = Vec::new();
     let morsels: Vec<Morsel> = match &def.source {
         TableSource::Csv { .. } => {
-            let buf = planner.ctx.files.read(def.source.path())?;
-            let target = (buf.len() / morsel_bytes).clamp(1, MAX_MORSELS);
+            // Streamed reads probe the in-flight buffer; blocking reads a
+            // resident one. The hint lookup and target sizing are shared so
+            // both paths partition identically by construction.
+            let resident = match &stream {
+                Some(_) => None,
+                None => Some(planner.ctx.files.read(def.source.path())?),
+            };
+            let len = stream
+                .as_ref()
+                .map_or_else(|| resident.as_ref().expect("read").len(), |st| st.len());
+            let target = (len / morsel_bytes).clamp(1, MAX_MORSELS);
             // Positional-map entries double as split hints: column 0's
             // recorded positions are the record starts (per the dialect the
-            // map was parsed with), so no probe pass.
-            let hinted = planner
-                .ctx
-                .posmaps
-                .get(name)
-                .and_then(|m| partition_csv_with_map(m, buf.len(), target));
-            match hinted {
-                Some(ms) => ms,
-                None => {
-                    // Cold probe: split on the dialect the scan will use.
-                    // The general-purpose in-situ scan is quote-aware (a
-                    // quoted field may contain a newline); the JIT dialect
-                    // treats every newline as a record end.
-                    if planner.ctx.config.mode == AccessMode::InSitu {
-                        partition_csv_quoted(&buf, target).morsels
-                    } else {
-                        partition_csv(&buf, target).morsels
-                    }
+            // map was parsed with), so no probe pass — and on a cold
+            // streamed run, no plan-time wait at all: maximal read/scan
+            // overlap.
+            let hinted =
+                planner.ctx.posmaps.get(name).and_then(|m| partition_csv_with_map(m, len, target));
+            // Cold probe otherwise: split on the dialect the scan will use.
+            // The general-purpose in-situ scan is quote-aware (a quoted
+            // field may contain a newline); the JIT dialect treats every
+            // newline as a record end.
+            let quote_aware = planner.ctx.config.mode == AccessMode::InSitu;
+            let morsels = match (hinted, &stream, &resident) {
+                (Some(ms), _, _) => ms,
+                (None, Some(st), _) if quote_aware => {
+                    partition_csv_quoted_streaming(st, target).map_err(EngineError::from)?.morsels
                 }
+                (None, Some(st), _) => {
+                    partition_csv_streaming(st, target).map_err(EngineError::from)?.morsels
+                }
+                (None, None, Some(buf)) if quote_aware => partition_csv_quoted(buf, target).morsels,
+                (None, None, Some(buf)) => partition_csv(buf, target).morsels,
+                (None, None, None) => unreachable!("blocking path always reads the buffer"),
+            };
+            if stream.is_some() {
+                // A morsel reads its own byte range only (scans, posmap
+                // tracking, and late posmap-navigated fetches all address
+                // record positions inside the segment).
+                ready = morsels.iter().map(|m| m.byte_end).collect();
             }
+            morsels
         }
         TableSource::Fbin { .. } => {
-            let buf = planner.ctx.files.read(def.source.path())?;
-            let layout = FbinLayout::parse(&buf)?;
+            let layout = match &stream {
+                Some(st) => {
+                    wait_fbin_header(st)?;
+                    FbinLayout::parse(st.bytes())?
+                }
+                None => FbinLayout::parse(&planner.ctx.files.read(def.source.path())?)?,
+            };
             let rows_per_morsel = (morsel_bytes / layout.row_width.max(1)).max(1) as u64;
             let target = (layout.rows / rows_per_morsel).clamp(1, MAX_MORSELS as u64);
-            partition_rows(layout.rows, target as usize)
+            let morsels = partition_rows(layout.rows, target as usize);
+            if stream.is_some() {
+                // Rows are fixed-width and contiguous: morsel i's bytes end
+                // at data_start + end_row * row_width.
+                ready = morsels
+                    .iter()
+                    .map(|m| layout.data_start + m.end_row as usize * layout.row_width)
+                    .collect();
+            }
+            morsels
         }
         TableSource::Ibin { .. } => {
             // Page-aligned morsels: each owns whole pages, so per-morsel
             // zone-index pruning (the scan intersects the compiled
             // candidate ranges with its segment) tiles the serial
             // candidate set — and the pruning counters — exactly.
-            let buf = planner.ctx.files.read(def.source.path())?;
-            let layout = IbinLayout::parse(&buf)?;
+            //
+            // `IbinLayout::parse` eagerly decodes the zone index at the
+            // file's *tail* (every plan-time parse does — scans, JIT
+            // compiles, fetch compiles), so a streamed ibin read must be
+            // fully resident before the first parse: with a sequential
+            // reader the tail is last, which means ibin gets no
+            // read/scan overlap and morsels run ungated. The streamed
+            // path still exists so the read itself, the counters, and the
+            // buffer-identity rules match the other flat formats.
+            let layout = match &stream {
+                Some(st) => {
+                    st.wait_all().map_err(EngineError::from)?;
+                    IbinLayout::parse(st.bytes())?
+                }
+                None => IbinLayout::parse(&planner.ctx.files.read(def.source.path())?)?,
+            };
             let rows_per_morsel = (morsel_bytes / layout.row_width.max(1)).max(1) as u64;
             let target = (layout.rows / rows_per_morsel).clamp(1, MAX_MORSELS as u64);
             partition_pages(layout.rows, layout.rows_per_page, target as usize)
@@ -419,7 +576,17 @@ fn partition(
             partition_items(&offsets, target as usize)
         }
     };
-    Ok(if morsels.len() < 2 { None } else { Some(morsels) })
+    if morsels.len() < 2 {
+        // Too small to parallelize. A just-started stream keeps filling in
+        // the background; the serial fallback's `read` joins it (one disk
+        // read, identical counters to the blocking path).
+        return Ok(None);
+    }
+    // An already-complete stream (tiny file, warm wrapper, or the JIT-ibin
+    // full wait) needs no gates; an in-flight one gates every morsel.
+    let stream = stream.filter(|st| !st.is_complete());
+    let ready = if stream.is_some() { ready } else { Vec::new() };
+    Ok(Some(Partitioned { morsels, stream, ready }))
 }
 
 /// Stage 4: how per-morsel outputs combine, resolved against the (shared)

@@ -23,7 +23,13 @@ use raw_columnar::ops::{AggAccumulator, AggExpr, GroupedAccumulator, Operator};
 use raw_columnar::profile::{PhaseProfile, ScanMetrics};
 use raw_columnar::{Batch, ColumnarError};
 
-use crate::pool::run_jobs;
+use crate::pool::run_jobs_when;
+
+/// An availability gate for one morsel: blocks until the morsel's inputs
+/// are resident (its byte range has streamed in from disk), or reports the
+/// stream's terminal failure. `None` means "always ready" (warm buffers,
+/// formats that blocked at plan time).
+pub type MorselGate = Box<dyn FnOnce() -> Result<(), ColumnarError> + Send>;
 
 /// How per-morsel outputs combine into the query result.
 #[derive(Debug, Clone)]
@@ -79,12 +85,40 @@ pub fn execute_morsels(
     merge: &MergePlan,
     threads: usize,
 ) -> Result<ParallelOutcome, ColumnarError> {
+    execute_morsels_when(pipelines, Vec::new(), merge, threads)
+}
+
+/// [`execute_morsels`] with availability-driven dispatch: morsel `i` is
+/// gated on `gates[i]` (missing or `None` entries mean "always ready"), so
+/// on cold streamed runs a worker drains a morsel as soon as its byte range
+/// is resident instead of after the whole file. A gate failure (the reader
+/// thread hit an I/O error) becomes that morsel's error without running its
+/// pipeline; the merge loop then surfaces it in morsel order like any scan
+/// error.
+pub fn execute_morsels_when(
+    pipelines: Vec<Box<dyn Operator>>,
+    mut gates: Vec<Option<MorselGate>>,
+    merge: &MergePlan,
+    threads: usize,
+) -> Result<ParallelOutcome, ColumnarError> {
     let morsels = pipelines.len();
+    gates.resize_with(morsels, || None);
     let jobs: Vec<_> = pipelines
         .into_iter()
-        .map(|mut op| {
+        .zip(gates)
+        .map(|(mut op, gate)| {
             let merge = merge.clone();
-            move || -> MorselResult {
+            // The gate's Err *is* the morsel's terminal result (an error
+            // MorselResult), so the pool can record it without running the
+            // pipeline — the size is the point, not an accident.
+            #[allow(clippy::result_large_err)]
+            let admit = move || -> Result<(), MorselResult> {
+                match gate {
+                    None => Ok(()),
+                    Some(g) => g().map_err(Err),
+                }
+            };
+            let drain = move || -> MorselResult {
                 let out = match merge {
                     MergePlan::Concat => {
                         let mut batches = Vec::new();
@@ -109,11 +143,12 @@ pub fn execute_morsels(
                     }
                 };
                 Ok((out, op.scan_profile(), op.scan_metrics()))
-            }
+            };
+            (admit, drain)
         })
         .collect();
 
-    let results = run_jobs(jobs, threads);
+    let results = run_jobs_when(jobs, threads);
 
     let mut profile = PhaseProfile::default();
     let mut metrics = ScanMetrics::default();

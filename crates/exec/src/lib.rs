@@ -16,7 +16,12 @@
 //! - [`pool`] — a **scoped worker pool** (std threads, morsel-stealing via an
 //!   atomic cursor) that runs one scan→filter→partial-aggregate pipeline per
 //!   morsel. Workers claim morsels dynamically, so skew in morsel cost does
-//!   not idle threads.
+//!   not idle threads. On cold streamed runs, [`run_jobs_when`] gates each
+//!   morsel on the availability of its byte range
+//!   ([`raw_formats::file_buffer::ChunkedFileBuffer::wait_available`]), so
+//!   early morsels scan while the reader thread is still pulling later
+//!   chunks off disk — the overlap that lets cold throughput scale past the
+//!   memory-resident case.
 //! - [`executor`] — the **deterministic merge layer**: selection batches
 //!   concatenate in morsel order; partial aggregate states
 //!   ([`raw_columnar::ops::AggAccumulator`]) merge in morsel order. Because
@@ -38,12 +43,14 @@ pub mod executor;
 pub mod morsel;
 pub mod pool;
 
-pub use executor::{execute_morsels, GroupedMerge, MergePlan, ParallelOutcome};
-pub use morsel::{
-    partition_csv, partition_csv_quoted, partition_csv_with_map, partition_items, partition_pages,
-    partition_rows, CsvPartition, Morsel,
+pub use executor::{
+    execute_morsels, execute_morsels_when, GroupedMerge, MergePlan, MorselGate, ParallelOutcome,
 };
-pub use pool::run_jobs;
+pub use morsel::{
+    partition_csv, partition_csv_quoted, partition_csv_quoted_streaming, partition_csv_streaming,
+    partition_csv_with_map, partition_items, partition_pages, partition_rows, CsvPartition, Morsel,
+};
+pub use pool::{run_jobs, run_jobs_when};
 
 /// The number of worker threads "all cores" resolves to on this host.
 pub fn available_threads() -> usize {

@@ -17,7 +17,11 @@
 //!   general-purpose in-situ dialect, where a quoted field may contain a
 //!   newline). Planners pick the probe matching the scan they will build;
 //!   [`partition_csv_with_map`] replays the probe's grid from a positional
-//!   map without re-reading the file.
+//!   map without re-reading the file. On cold streamed reads the
+//!   `_streaming` probe variants run **chunk-incrementally** over the
+//!   in-flight [`raw_formats::file_buffer::ChunkedFileBuffer`], following
+//!   the reader thread instead of starting after it — the same probe code
+//!   over the same bytes, so the grid is identical by construction.
 //! - **Row-arithmetic** (fbin, rootsim events): positions are deterministic,
 //!   so [`partition_rows`] splits by pure arithmetic — no I/O.
 //! - **Page-aligned** (ibin): boundaries snap to multiples of the file's
@@ -37,6 +41,8 @@
 
 use raw_formats::csv::tokenizer::{general_dialect_step, DialectByte, GeneralDialectState};
 use raw_formats::csv::{ESCAPE, NEWLINE, QUOTE};
+use raw_formats::error::FormatError;
+use raw_formats::file_buffer::ChunkedFileBuffer;
 use raw_posmap::{Lookup, PositionalMap};
 
 /// Bytes the quote-aware probe bulk-scans per fast-path decision. Within a
@@ -187,6 +193,56 @@ pub fn partition_items(offsets: &[u64], target: usize) -> Vec<Morsel> {
     morsels
 }
 
+/// Sequentially-consumed probe input. `ensure(upto)` blocks until bytes
+/// `..upto` are readable — a no-op for fully-resident slices, a
+/// [`ChunkedFileBuffer::wait_available`] for cold streamed buffers. The
+/// probes guarantee by construction that they never read a byte position
+/// they have not ensured, which is what makes the streaming and resident
+/// variants produce identical grids: they are the *same* code.
+trait ProbeBytes {
+    /// Block until bytes `..upto` (clamped to the file) are readable.
+    fn ensure(&mut self, upto: usize) -> Result<(), FormatError>;
+    /// The underlying bytes. Positions `>= ensured` must not be read.
+    fn bytes(&self) -> &[u8];
+}
+
+/// Fully-resident input: every byte readable, `ensure` free.
+struct Resident<'a>(&'a [u8]);
+
+impl ProbeBytes for Resident<'_> {
+    #[inline]
+    fn ensure(&mut self, _upto: usize) -> Result<(), FormatError> {
+        Ok(())
+    }
+    #[inline]
+    fn bytes(&self) -> &[u8] {
+        self.0
+    }
+}
+
+/// Cold streamed input: `ensure` waits on the chunk grid, with a watermark
+/// so re-ensuring an already-available prefix costs one comparison.
+struct Streamed<'a> {
+    chunked: &'a ChunkedFileBuffer,
+    ensured: usize,
+}
+
+impl ProbeBytes for Streamed<'_> {
+    #[inline]
+    fn ensure(&mut self, upto: usize) -> Result<(), FormatError> {
+        let upto = upto.min(self.chunked.len());
+        if upto > self.ensured {
+            self.chunked.wait_available(self.ensured..upto)?;
+            self.ensured = upto;
+        }
+        Ok(())
+    }
+    #[inline]
+    fn bytes(&self) -> &[u8] {
+        self.chunked.bytes()
+    }
+}
+
 /// Split a CSV buffer into at most `target` morsels by probing newlines.
 ///
 /// The probe is one sequential pass (far cheaper than parsing: no
@@ -199,9 +255,28 @@ pub fn partition_items(offsets: &[u64], target: usize) -> Vec<Morsel> {
 /// parallel scan it enables. A final record without a trailing newline is
 /// still a record, matching the scan operators.
 pub fn partition_csv(buf: &[u8], target: usize) -> CsvPartition {
-    let len = buf.len();
+    partition_csv_impl(&mut Resident(buf), buf.len(), target).expect("resident probe cannot fail")
+}
+
+/// [`partition_csv`] over a cold, still-streaming buffer: the probe follows
+/// the reader thread chunk by chunk (waiting only when it catches up), so
+/// probing overlaps the disk read instead of starting after it. The grid is
+/// byte-identical to [`partition_csv`] on the finished file — both run the
+/// same probe over the same bytes. Errors surface the reader's I/O failure.
+pub fn partition_csv_streaming(
+    chunked: &ChunkedFileBuffer,
+    target: usize,
+) -> Result<CsvPartition, FormatError> {
+    partition_csv_impl(&mut Streamed { chunked, ensured: 0 }, chunked.len(), target)
+}
+
+fn partition_csv_impl<B: ProbeBytes>(
+    input: &mut B,
+    len: usize,
+    target: usize,
+) -> Result<CsvPartition, FormatError> {
     if len == 0 || target == 0 {
-        return CsvPartition { morsels: Vec::new(), total_rows: 0, saw_quote: false };
+        return Ok(CsvPartition { morsels: Vec::new(), total_rows: 0, saw_quote: false });
     }
     let stride = len.div_ceil(target).max(1);
 
@@ -214,7 +289,8 @@ pub fn partition_csv(buf: &[u8], target: usize) -> CsvPartition {
         // Bulk-scan up to this morsel's byte quota...
         let quota = (cur_byte + stride).min(len);
         if pos < quota {
-            let (n, q) = scan_chunk(&buf[pos..quota]);
+            input.ensure(quota)?;
+            let (n, q) = scan_chunk(&input.bytes()[pos..quota]);
             newlines += n;
             saw_quote |= q;
             pos = quota;
@@ -222,33 +298,45 @@ pub fn partition_csv(buf: &[u8], target: usize) -> CsvPartition {
         if pos >= len {
             break;
         }
-        // ...then walk to the next record boundary to snap the cut there.
-        match buf[pos..].iter().position(|&b| b == NEWLINE) {
-            Some(nl) => {
-                saw_quote |= buf[pos..pos + nl].contains(&QUOTE);
-                newlines += 1;
-                let next = pos + nl + 1;
-                pos = next;
-                if next < len {
-                    morsels.push(Morsel {
-                        index: morsels.len(),
-                        first_row: morsels.last().map_or(0, |m: &Morsel| m.end_row),
-                        end_row: newlines,
-                        byte_start: cur_byte,
-                        byte_end: next,
-                    });
-                    cur_byte = next;
+        // ...then walk to the next record boundary to snap the cut there,
+        // in bounded windows so a streamed probe never waits past the
+        // boundary it needs.
+        let mut cut = None;
+        while pos < len {
+            let wend = (pos + PROBE_CHUNK).min(len);
+            input.ensure(wend)?;
+            let window = &input.bytes()[pos..wend];
+            match window.iter().position(|&b| b == NEWLINE) {
+                Some(nl) => {
+                    saw_quote |= window[..nl].contains(&QUOTE);
+                    newlines += 1;
+                    cut = Some(pos + nl + 1);
+                    pos += nl + 1;
+                    break;
+                }
+                None => {
+                    saw_quote |= window.contains(&QUOTE);
+                    pos = wend;
                 }
             }
-            None => {
-                saw_quote |= buf[pos..].contains(&QUOTE);
-                pos = len;
+        }
+        if let Some(next) = cut {
+            if next < len {
+                morsels.push(Morsel {
+                    index: morsels.len(),
+                    first_row: morsels.last().map_or(0, |m: &Morsel| m.end_row),
+                    end_row: newlines,
+                    byte_start: cur_byte,
+                    byte_end: next,
+                });
+                cur_byte = next;
             }
         }
     }
     // Everything after the last cut is the final morsel; an unterminated
     // final line is still a record.
-    let total_rows = newlines + u64::from(buf[len - 1] != NEWLINE);
+    input.ensure(len)?;
+    let total_rows = newlines + u64::from(input.bytes()[len - 1] != NEWLINE);
     let first_row = morsels.last().map_or(0, |m| m.end_row);
     morsels.push(Morsel {
         index: morsels.len(),
@@ -257,7 +345,7 @@ pub fn partition_csv(buf: &[u8], target: usize) -> CsvPartition {
         byte_start: cur_byte,
         byte_end: len,
     });
-    CsvPartition { morsels, total_rows, saw_quote }
+    Ok(CsvPartition { morsels, total_rows, saw_quote })
 }
 
 /// Count newline bytes and detect quote bytes in `chunk` in one pass; the
@@ -307,9 +395,26 @@ fn count_dialect_bytes(chunk: &[u8]) -> (u64, u64, u64) {
 /// stays at memory speed on quote-free stretches and only drops to the
 /// byte-at-a-time state machine where the dialect demands it.
 pub fn partition_csv_quoted(buf: &[u8], target: usize) -> CsvPartition {
-    let len = buf.len();
+    partition_csv_quoted_impl(&mut Resident(buf), buf.len(), target)
+        .expect("resident probe cannot fail")
+}
+
+/// [`partition_csv_quoted`] over a cold, still-streaming buffer — the
+/// general-dialect twin of [`partition_csv_streaming`], same guarantees.
+pub fn partition_csv_quoted_streaming(
+    chunked: &ChunkedFileBuffer,
+    target: usize,
+) -> Result<CsvPartition, FormatError> {
+    partition_csv_quoted_impl(&mut Streamed { chunked, ensured: 0 }, chunked.len(), target)
+}
+
+fn partition_csv_quoted_impl<B: ProbeBytes>(
+    input: &mut B,
+    len: usize,
+    target: usize,
+) -> Result<CsvPartition, FormatError> {
     if len == 0 || target == 0 {
-        return CsvPartition { morsels: Vec::new(), total_rows: 0, saw_quote: false };
+        return Ok(CsvPartition { morsels: Vec::new(), total_rows: 0, saw_quote: false });
     }
     let stride = len.div_ceil(target).max(1);
 
@@ -327,7 +432,8 @@ pub fn partition_csv_quoted(buf: &[u8], target: usize) -> CsvPartition {
         let quota = (cur_byte + stride).min(len);
         while pos < quota {
             let chunk_end = quota.min(pos + PROBE_CHUNK);
-            let chunk = &buf[pos..chunk_end];
+            input.ensure(chunk_end)?;
+            let chunk = &input.bytes()[pos..chunk_end];
             let (newlines, quotes, escapes) = count_dialect_bytes(chunk);
             saw_quote |= quotes > 0;
             if quotes == 0 && escapes == 0 && !state.escaped {
@@ -351,10 +457,13 @@ pub fn partition_csv_quoted(buf: &[u8], target: usize) -> CsvPartition {
         if pos >= len {
             break;
         }
-        // ...then walk to the next record boundary to snap the cut there.
+        // ...then walk to the next record boundary to snap the cut there
+        // (ensuring ahead one probe window at a time; the watermark makes
+        // repeated ensures free).
         let mut cut = None;
         while pos < len {
-            let b = buf[pos];
+            input.ensure((pos + PROBE_CHUNK).min(len))?;
+            let b = input.bytes()[pos];
             saw_quote |= b == QUOTE;
             ended_on_boundary = dialect_step(&mut state, b);
             pos += 1;
@@ -389,7 +498,7 @@ pub fn partition_csv_quoted(buf: &[u8], target: usize) -> CsvPartition {
         byte_start: cur_byte,
         byte_end: len,
     });
-    CsvPartition { morsels, total_rows, saw_quote }
+    Ok(CsvPartition { morsels, total_rows, saw_quote })
 }
 
 /// Split a CSV buffer using an existing positional map as split hints: when
@@ -639,6 +748,61 @@ mod tests {
         assert!(partition_items(&[0], 4).is_empty(), "zero events");
         assert!(partition_items(&[], 4).is_empty());
         assert!(partition_items(&[0, 5], 0).is_empty());
+    }
+
+    /// In-memory [`raw_formats::file_buffer::ChunkSource`] serving `data`,
+    /// so a live reader thread can race the streamed probes.
+    struct VecSource(Vec<u8>);
+
+    impl raw_formats::file_buffer::ChunkSource for VecSource {
+        fn read_chunk(&mut self, offset: u64, dst: &mut [u8]) -> std::io::Result<()> {
+            let start = offset as usize;
+            dst.copy_from_slice(&self.0[start..start + dst.len()]);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn streaming_probes_match_resident_probes() {
+        // Content variants: plain, quoted newlines, unterminated tail. The
+        // streamed probe races a live reader thread filling tiny chunks and
+        // must land on the identical grid.
+        let mut quoted = csv(300, "aa,bb");
+        quoted.extend_from_slice(b"1,\"x\ny\"\n2,z");
+        for content in [csv(500, "abc,def"), quoted] {
+            for chunk in [7usize, 64, 4096] {
+                for target in [1usize, 3, 8] {
+                    let chunked = ChunkedFileBuffer::spawn(
+                        "/virtual/probe",
+                        VecSource(content.clone()),
+                        content.len(),
+                        chunk,
+                    );
+                    let raw = partition_csv(&content, target);
+                    let raw_streamed = partition_csv_streaming(&chunked, target).unwrap();
+                    assert_eq!(raw_streamed.morsels, raw.morsels, "raw chunk={chunk}");
+                    assert_eq!(raw_streamed.total_rows, raw.total_rows);
+                    assert_eq!(raw_streamed.saw_quote, raw.saw_quote);
+
+                    let q = partition_csv_quoted(&content, target);
+                    let q_streamed = partition_csv_quoted_streaming(&chunked, target).unwrap();
+                    assert_eq!(q_streamed.morsels, q.morsels, "quoted chunk={chunk}");
+                    assert_eq!(q_streamed.total_rows, q.total_rows);
+                    assert_eq!(q_streamed.saw_quote, q.saw_quote);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_probe_surfaces_reader_failure() {
+        let buf = ChunkedFileBuffer::new_manual("/virtual/probefail", 1 << 20, 4096);
+        buf.complete_chunk(0);
+        buf.fail(std::io::Error::other("disk gone"));
+        let err = partition_csv_streaming(&buf, 8).unwrap_err();
+        assert!(err.to_string().contains("disk gone"), "{err}");
+        let err = partition_csv_quoted_streaming(&buf, 8).unwrap_err();
+        assert!(err.to_string().contains("disk gone"), "{err}");
     }
 
     #[test]

@@ -6,6 +6,14 @@
 //! whose rows all pass the filter, a cold stretch of the file) never idle a
 //! thread while work remains. Results land in job order regardless of which
 //! worker ran what — the executor's merge layer depends on that.
+//!
+//! [`run_jobs_when`] adds **availability-driven dispatch** for cold runs:
+//! each job carries a gate that blocks until the job's inputs are resident
+//! (a morsel's byte range still streaming in from disk). A claimed job's
+//! closure runs only after its gate admits it, so early morsels scan while
+//! the reader thread is still filling later chunks; a gate that fails
+//! (reader I/O error) short-circuits the job into the gate's terminal
+//! result without running it.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -20,13 +28,45 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
+    type ReadyGate<T> = fn() -> Result<(), T>;
+    fn ready<T>() -> Result<(), T> {
+        Ok(())
+    }
+    let gated: Vec<(ReadyGate<T>, F)> =
+        jobs.into_iter().map(|j| (ready::<T> as ReadyGate<T>, j)).collect();
+    run_jobs_when(gated, threads)
+}
+
+/// Like [`run_jobs`], but each job is dispatched through a gate: the gate
+/// blocks until the job may start (its inputs are resident) and the job
+/// closure runs only once the gate returns `Ok`. A gate returning `Err(t)`
+/// makes `t` the job's result directly — the job closure never runs (the
+/// path a failed streaming read takes to surface its error to every
+/// dependent morsel).
+///
+/// Workers still claim jobs through the shared cursor, so dispatch order
+/// respects availability whenever availability is monotone in job order
+/// (the sequential-reader case); a worker blocked in one gate never
+/// prevents other workers from claiming and finishing later jobs.
+pub fn run_jobs_when<T, G, F>(jobs: Vec<(G, F)>, threads: usize) -> Vec<T>
+where
+    T: Send,
+    G: FnOnce() -> Result<(), T> + Send,
+    F: FnOnce() -> T + Send,
+{
     let n = jobs.len();
     let threads = threads.max(1).min(n);
     if threads <= 1 {
-        return jobs.into_iter().map(|job| job()).collect();
+        return jobs
+            .into_iter()
+            .map(|(gate, job)| match gate() {
+                Ok(()) => job(),
+                Err(t) => t,
+            })
+            .collect();
     }
 
-    let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let slots: Vec<Mutex<Option<(G, F)>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
     let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
 
@@ -37,8 +77,11 @@ where
                 if i >= n {
                     break;
                 }
-                let job = slots[i].lock().take().expect("each job claimed exactly once");
-                let out = job();
+                let (gate, job) = slots[i].lock().take().expect("each job claimed exactly once");
+                let out = match gate() {
+                    Ok(()) => job(),
+                    Err(t) => t,
+                };
                 *results[i].lock() = Some(out);
             });
         }
@@ -110,5 +153,67 @@ mod tests {
     fn empty_job_list() {
         let jobs: Vec<fn() -> u32> = Vec::new();
         assert!(run_jobs(jobs, 4).is_empty());
+    }
+
+    #[test]
+    fn gated_jobs_wait_for_admission_and_keep_job_order() {
+        // A monotone availability watermark (the sequential-reader shape):
+        // gates spin until the watermark covers their job. A background
+        // "reader" advances it, so workers genuinely block and results must
+        // still land in job order.
+        let watermark = AtomicU64::new(0);
+        for threads in [1usize, 4] {
+            watermark.store(0, Ordering::SeqCst);
+            std::thread::scope(|s| {
+                let watermark = &watermark;
+                s.spawn(|| {
+                    for w in 1..=16u64 {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                        watermark.store(w, Ordering::SeqCst);
+                    }
+                });
+                let jobs: Vec<_> = (0..16u64)
+                    .map(|i| {
+                        (
+                            move || -> Result<(), u64> {
+                                while watermark.load(Ordering::SeqCst) <= i {
+                                    std::hint::spin_loop();
+                                }
+                                Ok(())
+                            },
+                            move || {
+                                // The gate admitted us: availability covers i.
+                                assert!(watermark.load(Ordering::SeqCst) > i);
+                                i * 3
+                            },
+                        )
+                    })
+                    .collect();
+                assert_eq!(
+                    run_jobs_when(jobs, threads),
+                    (0..16u64).map(|i| i * 3).collect::<Vec<_>>()
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn failed_gate_short_circuits_without_running_the_job() {
+        type BoxedGate = Box<dyn FnOnce() -> Result<(), i64> + Send>;
+        let ran = AtomicU64::new(0);
+        let jobs: Vec<(BoxedGate, _)> = (0..6i64)
+            .map(|i| {
+                let ran = &ran;
+                let gate: BoxedGate =
+                    if i % 2 == 0 { Box::new(move || Err(-i)) } else { Box::new(|| Ok(())) };
+                (gate, move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    i
+                })
+            })
+            .collect();
+        let results = run_jobs_when(jobs, 3);
+        assert_eq!(results, vec![0, 1, -2, 3, -4, 5]);
+        assert_eq!(ran.load(Ordering::SeqCst), 3, "only odd jobs ran");
     }
 }

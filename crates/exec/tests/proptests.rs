@@ -3,8 +3,6 @@
 //! variations, short files smaller than a morsel — and per-morsel segment
 //! scans concatenate to exactly the whole-file scan.
 
-use std::sync::Arc;
-
 use proptest::prelude::*;
 
 use raw_access::csv::{CsvScanInput, InSituCsvScan, PosMapSource};
@@ -16,6 +14,7 @@ use raw_exec::{
     partition_csv, partition_csv_quoted, partition_csv_with_map, partition_items, partition_pages,
     partition_rows, Morsel,
 };
+use raw_formats::file_buffer::file_bytes;
 
 /// Render rows of (content, quoted?) fields into CSV bytes. The first field
 /// of every row is non-empty so every record occupies at least one byte.
@@ -46,7 +45,7 @@ fn render(rows: &[Vec<(String, bool)>], trailing_newline: bool) -> Vec<u8> {
 
 fn scan_whole(buf: &[u8], cols: usize, record: &[usize]) -> InSituCsvScan {
     InSituCsvScan::new(CsvScanInput {
-        buf: Arc::new(buf.to_vec()),
+        buf: file_bytes(buf.to_vec()),
         spec: AccessPathSpec {
             format: FileFormat::Csv,
             schema: Schema::uniform(cols, DataType::Utf8),
@@ -458,4 +457,150 @@ fn probes_diverge_exactly_on_quoted_newlines() {
     let quoted = partition_csv_quoted(buf, 3);
     assert_eq!(quoted.total_rows, 2);
     assert!(quoted.saw_quote);
+}
+
+// ---------------------------------------------------------------------------
+// Chunk bookkeeping: the streaming cold path's availability accounting.
+// ---------------------------------------------------------------------------
+
+use raw_exec::run_jobs_when;
+use raw_formats::file_buffer::ChunkedFileBuffer;
+
+/// Deterministic pseudo-shuffle of `0..n` (xorshift-seeded Fisher–Yates), so
+/// completion-order properties need no strategy support for permutations.
+fn shuffled(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        v.swap(i, (seed as usize) % (i + 1));
+    }
+    v
+}
+
+/// The chunks covering `range` in a `len`-byte file — the model the buffer's
+/// own bookkeeping must agree with.
+fn model_covering(len: usize, chunk: usize, range: &std::ops::Range<usize>) -> Vec<usize> {
+    let start = range.start.min(len);
+    let end = range.end.min(len);
+    if start >= end {
+        return Vec::new();
+    }
+    (start / chunk..(end - 1) / chunk + 1).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The chunk grid tiles the file exactly once: contiguous, non-empty,
+    /// covering, and consistent with `chunk_count`.
+    #[test]
+    fn chunk_grid_tiles_file_exactly_once(len in 0usize..100_000, chunk in 1usize..9_000) {
+        let n = ChunkedFileBuffer::chunk_count(len, chunk);
+        let mut covered = 0usize;
+        for i in 0..n {
+            let span = ChunkedFileBuffer::chunk_span(len, chunk, i);
+            prop_assert_eq!(span.start, covered, "contiguous");
+            prop_assert!(!span.is_empty(), "non-empty");
+            prop_assert!(span.len() <= chunk);
+            covered = span.end;
+        }
+        prop_assert_eq!(covered, len, "covers the file");
+        // Every byte maps into exactly one chunk of the grid.
+        if len > 0 {
+            prop_assert_eq!(ChunkedFileBuffer::chunk_span(len, chunk, n - 1).end, len);
+        }
+    }
+
+    /// `is_available(range)` (the non-blocking face of `wait_available`)
+    /// reports `true` exactly when every covering chunk has completed, for
+    /// arbitrary completion orders and arbitrary ranges — so a wait can
+    /// never return before its covering chunks complete.
+    #[test]
+    fn availability_tracks_covering_chunks_exactly(
+        len in 1usize..50_000,
+        chunk in 1usize..4_096,
+        seed in 0u64..u64::MAX,
+        ranges in proptest::collection::vec((0usize..60_000, 0usize..60_000), 1..8),
+    ) {
+        let buf = ChunkedFileBuffer::new_manual("/virtual/bookkeeping", len, chunk);
+        let n = ChunkedFileBuffer::chunk_count(len, chunk);
+        let mut done = vec![false; n];
+        let order = shuffled(n, seed | 1);
+        // Check before any completion, after each completion, and at the end.
+        for step in 0..=n {
+            if step > 0 {
+                let i = order[step - 1];
+                buf.complete_chunk(i);
+                done[i] = true;
+            }
+            for &(a, b) in &ranges {
+                let range = a.min(b)..a.max(b);
+                let expect = model_covering(len, chunk, &range).iter().all(|&c| done[c]);
+                prop_assert_eq!(
+                    buf.is_available(range.clone()),
+                    expect,
+                    "range {:?} at step {} (done {:?})", range, step, done
+                );
+                if expect {
+                    // A blocking wait on an available range returns at once.
+                    prop_assert!(buf.wait_available(range).is_ok());
+                }
+            }
+        }
+        prop_assert!(buf.is_complete());
+    }
+
+    /// Availability-gated dispatch: every job's closure runs only once its
+    /// byte range is resident, for arbitrary morsel grids racing a live
+    /// completer thread — and results still land in job order.
+    #[test]
+    fn gated_dispatch_respects_availability(
+        len in 1usize..20_000,
+        chunk in 1usize..2_048,
+        cuts in proptest::collection::vec(0usize..20_000, 1..6),
+        threads in 1usize..5,
+    ) {
+        let buf = std::sync::Arc::new(ChunkedFileBuffer::new_manual("/virtual/gated", len, chunk));
+        // Morsel grid from the sorted cuts: contiguous ranges over the file.
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % len).collect();
+        bounds.push(0);
+        bounds.push(len);
+        bounds.sort_unstable();
+        bounds.dedup();
+        let ranges: Vec<std::ops::Range<usize>> =
+            bounds.windows(2).map(|w| w[0]..w[1]).collect();
+
+        let completer = {
+            let buf = std::sync::Arc::clone(&buf);
+            std::thread::spawn(move || {
+                for i in 0..ChunkedFileBuffer::chunk_count(buf.len(), buf.chunk_bytes()) {
+                    buf.complete_chunk(i);
+                }
+            })
+        };
+        let jobs: Vec<_> = ranges
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(idx, range)| {
+                let gate_buf = std::sync::Arc::clone(&buf);
+                let run_buf = std::sync::Arc::clone(&buf);
+                let gate_range = range.clone();
+                (
+                    move || gate_buf.wait_available(gate_range).map_err(|_| usize::MAX),
+                    move || {
+                        // The gate admitted us: the range must be resident
+                        // (chunks never un-complete, so this is exact).
+                        assert!(run_buf.is_available(range.clone()));
+                        idx
+                    },
+                )
+            })
+            .collect();
+        let results = run_jobs_when(jobs, threads);
+        completer.join().unwrap();
+        prop_assert_eq!(results, (0..ranges.len()).collect::<Vec<_>>());
+    }
 }

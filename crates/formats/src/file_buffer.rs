@@ -1,32 +1,450 @@
-//! In-process file buffers with an explicit cold/warm switch.
+//! In-process file buffers with an explicit cold/warm switch and an
+//! overlapped (chunk-streamed) cold path.
 //!
 //! The paper memory-maps raw files and relies on the OS page cache; cold
-//! runs flush the file system caches, warm runs reuse them. Reproducing that
-//! faithfully would make experiments depend on host state, so RAW-rs replaces
-//! it with an explicit pool: files are read once into `Arc<[u8]>` buffers and
-//! shared; [`FileBufferPool::evict_all`] models "cold caches"; repeated reads
-//! hit the pool and cost nothing, modeling "warm".
+//! runs flush the file system caches, warm runs reuse them — and, crucially,
+//! mmap'd scans *overlap* I/O with processing: early pages fault in and are
+//! tokenized while later pages are still on disk. Reproducing the page cache
+//! faithfully would make experiments depend on host state, so RAW-rs
+//! replaces it with an explicit pool, and reproduces the overlap explicitly:
+//!
+//! - **Warm**: files live in the pool as shared [`FileBytes`] buffers;
+//!   repeated reads hit the pool and cost nothing.
+//! - **Cold, blocking** ([`FileBufferPool::read`]): the whole file is read
+//!   before the call returns — the pre-streaming model, still the serial
+//!   engine's path and the baseline the equivalence suites compare against.
+//! - **Cold, streamed** ([`FileBufferPool::read_streaming`]): a dedicated
+//!   reader thread fills the buffer in fixed-size chunks (the
+//!   `read_chunk_bytes` / `RAW_READ_CHUNK_BYTES` knob) and publishes each
+//!   chunk's completion through [`ChunkedFileBuffer`]; consumers call
+//!   [`ChunkedFileBuffer::wait_available`] for the byte ranges they are
+//!   about to scan, so early morsels run while later chunks are still on
+//!   disk. `read` on an in-flight path joins the stream (waits for full
+//!   availability) instead of issuing a second disk read, keeping the
+//!   `bytes_from_disk` and hit/miss counters identical to the blocking
+//!   path.
 //!
 //! All scan paths go through this layer, so cold-run experiments charge the
 //! read (and the pool counts bytes read from disk for reporting).
+//!
+//! ## The cold/warm model, post-streaming
+//!
+//! "Cold" now means *chunk-streamed*, not whole-file-blocking: a cold
+//! parallel run's reader thread and scan workers proceed concurrently, and
+//! only [`FileBufferPool::read`]'s contract ("the returned bytes are fully
+//! resident") forces a full wait. The buffer identity rules are unchanged:
+//! one path has at most one live buffer, every consumer shares it, and a
+//! completed stream publishes into the warm pool — unless an
+//! [`insert`](FileBufferPool::insert) raced it, in which case the insert
+//! wins (see `read_streaming` for the full race contract).
 
+use std::cell::UnsafeCell;
 use std::collections::HashMap;
+use std::io::{Read, Seek, SeekFrom};
+use std::ops::Range;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::error::{FormatError, Result};
 
-/// Shared, immutable bytes of one file.
-pub type FileBytes = Arc<Vec<u8>>;
+/// Shared, immutable-once-published bytes of one file.
+pub type FileBytes = Arc<FileBuf>;
+
+/// Build a [`FileBytes`] from owned bytes (tests, generated datasets).
+pub fn file_bytes(data: Vec<u8>) -> FileBytes {
+    Arc::new(FileBuf::from(data))
+}
+
+/// The byte storage behind [`FileBytes`].
+///
+/// Behaves as `[u8]` (via `Deref`) for every consumer. The bytes live in
+/// `UnsafeCell`s for exactly one writer: a [`ChunkedFileBuffer`]'s reader
+/// thread, which fills chunks in place before publishing their completion
+/// through the chunk state (a `Mutex` release/acquire pair, so completed
+/// bytes happen-before any reader that waited on them). Cell-per-byte
+/// storage keeps the writer's `&mut` views confined to the chunk being
+/// filled — never the whole buffer. Safety protocol:
+///
+/// - only the owning reader thread ever writes, and only to chunks it has
+///   not yet marked complete;
+/// - consumers read only byte ranges whose covering chunks are complete
+///   (enforced by `wait_available` / the availability-gated scheduler);
+/// - once every chunk is complete (or for buffers built from a `Vec`),
+///   the bytes are immutable forever.
+///
+/// Residual caveat, shared with the `mmap` model this layer stands in
+/// for: `Deref` hands out a whole-buffer `&[u8]`, so during an in-flight
+/// stream a consumer's slice *spans* unpublished bytes it must not read.
+/// The protocol prevents any dynamic race on bytes actually accessed, but
+/// a whole-span shared slice coexisting with the writer's chunk `&mut` is
+/// not something the strictest aliasing models bless — exactly the
+/// long-standing status of `&[u8]` over a concurrently-faulted mmap. A
+/// fully blessed design would thread ensured-range views through every
+/// scan operator; revisit if tooling starts exploiting it.
+pub struct FileBuf {
+    data: Box<[UnsafeCell<u8>]>,
+}
+
+// SAFETY: mutation happens only through `chunk_mut` under the protocol
+// documented on the type; all other access is read-only.
+unsafe impl Send for FileBuf {}
+unsafe impl Sync for FileBuf {}
+
+impl FileBuf {
+    /// A zero-filled buffer of `len` bytes (the streaming reader's target).
+    fn zeroed(len: usize) -> FileBuf {
+        FileBuf::from(vec![0u8; len])
+    }
+
+    /// Writable view of `range`, for the streaming reader thread only.
+    ///
+    /// # Safety
+    /// The caller must be the buffer's single writer and must not have
+    /// published (marked complete) any chunk overlapping `range`.
+    // The &self → &mut shape is the point: the one writer mutates through
+    // the cells while readers hold the same Arc, under the protocol
+    // documented on the type; the &mut covers only the unpublished range.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn chunk_mut(&self, range: Range<usize>) -> &mut [u8] {
+        let cells = &self.data[range];
+        std::slice::from_raw_parts_mut(cells.as_ptr() as *mut u8, cells.len())
+    }
+}
+
+impl std::ops::Deref for FileBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        // SAFETY: `UnsafeCell<u8>` is layout-identical to `u8`. Readers
+        // only dereference byte positions whose chunks are complete (see
+        // the type-level protocol); completed bytes are never written
+        // again.
+        unsafe { std::slice::from_raw_parts(self.data.as_ptr().cast::<u8>(), self.data.len()) }
+    }
+}
+
+impl From<Vec<u8>> for FileBuf {
+    fn from(data: Vec<u8>) -> FileBuf {
+        // `UnsafeCell<u8>` is `repr(transparent)` over `u8`, so the boxed
+        // slice can be reinterpreted in place — no copy.
+        let raw = Box::into_raw(data.into_boxed_slice());
+        FileBuf { data: unsafe { Box::from_raw(raw as *mut [UnsafeCell<u8>]) } }
+    }
+}
+
+impl std::fmt::Debug for FileBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FileBuf({} bytes)", self.len())
+    }
+}
+
+/// Where a streaming read's bytes come from: the production implementation
+/// is a plain file ([`FileChunkSource`]); tests inject throttled or failing
+/// sources to prove overlap and error propagation deterministically.
+pub trait ChunkSource: Send + 'static {
+    /// Fill `dst` with the file bytes at `offset`. Called sequentially,
+    /// in offset order, by the single reader thread.
+    fn read_chunk(&mut self, offset: u64, dst: &mut [u8]) -> std::io::Result<()>;
+}
+
+/// [`ChunkSource`] over a real file.
+pub struct FileChunkSource {
+    file: std::fs::File,
+}
+
+impl FileChunkSource {
+    /// Open `path` for chunked reading.
+    pub fn open(path: &Path) -> std::io::Result<FileChunkSource> {
+        Ok(FileChunkSource { file: std::fs::File::open(path)? })
+    }
+}
+
+impl ChunkSource for FileChunkSource {
+    fn read_chunk(&mut self, offset: u64, dst: &mut [u8]) -> std::io::Result<()> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.read_exact(dst)
+    }
+}
+
+/// A failure recorded by the reader thread, replayed to every waiter.
+#[derive(Debug, Clone)]
+struct StreamFailure {
+    kind: std::io::ErrorKind,
+    message: String,
+}
+
+#[derive(Debug, Default)]
+struct ChunkState {
+    /// Per-chunk completion flags.
+    done: Vec<bool>,
+    /// Number of `true` entries in `done` (cheap all-complete check).
+    completed: usize,
+    /// Set once by the reader on I/O failure; terminal.
+    failed: Option<StreamFailure>,
+}
+
+/// A file buffer being filled in fixed-size chunks by a reader thread,
+/// with per-chunk completion tracking and a `wait_available` primitive.
+///
+/// The chunk grid tiles the file exactly once: chunk `i` covers bytes
+/// `i*chunk_bytes .. min((i+1)*chunk_bytes, len)`. Consumers wait on byte
+/// ranges; the buffer resolves them to covering chunks. A reader failure is
+/// terminal and surfaces as [`FormatError::Io`] to every current and future
+/// waiter — no waiter hangs, none sees partial data as success.
+pub struct ChunkedFileBuffer {
+    bytes: FileBytes,
+    chunk_bytes: usize,
+    path: PathBuf,
+    state: Mutex<ChunkState>,
+    available: Condvar,
+    /// Byte counter credited as chunks complete (the pool's
+    /// `bytes_from_disk`): a successful stream charges exactly the file
+    /// length, like a blocking read, while a failed stream charges only
+    /// what was actually read. `None` for manual/warm buffers.
+    charge: Option<Arc<AtomicU64>>,
+}
+
+impl std::fmt::Debug for ChunkedFileBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        write!(
+            f,
+            "ChunkedFileBuffer({} bytes, {}/{} chunks, failed: {})",
+            self.bytes.len(),
+            st.completed,
+            st.done.len(),
+            st.failed.is_some()
+        )
+    }
+}
+
+impl ChunkedFileBuffer {
+    /// Number of chunks a `len`-byte file splits into at `chunk_bytes` per
+    /// chunk (0 for an empty file).
+    pub fn chunk_count(len: usize, chunk_bytes: usize) -> usize {
+        len.div_ceil(chunk_bytes.max(1))
+    }
+
+    /// The half-open byte range of chunk `i` in a `len`-byte file.
+    pub fn chunk_span(len: usize, chunk_bytes: usize, i: usize) -> Range<usize> {
+        let chunk_bytes = chunk_bytes.max(1);
+        (i * chunk_bytes).min(len)..((i + 1) * chunk_bytes).min(len)
+    }
+
+    /// A buffer with no reader thread whose chunks are completed manually
+    /// via [`ChunkedFileBuffer::complete_chunk`] — the test seam behind the
+    /// chunk-bookkeeping proptests and the scheduler's overlap proofs.
+    pub fn new_manual(
+        path: impl Into<PathBuf>,
+        len: usize,
+        chunk_bytes: usize,
+    ) -> ChunkedFileBuffer {
+        let chunk_bytes = chunk_bytes.max(1);
+        ChunkedFileBuffer {
+            bytes: Arc::new(FileBuf::zeroed(len)),
+            chunk_bytes,
+            path: path.into(),
+            state: Mutex::new(ChunkState {
+                done: vec![false; ChunkedFileBuffer::chunk_count(len, chunk_bytes)],
+                completed: 0,
+                failed: None,
+            }),
+            available: Condvar::new(),
+            charge: None,
+        }
+    }
+
+    /// Wrap already-resident bytes as a fully-complete buffer (warm hits).
+    pub fn completed(
+        path: impl Into<PathBuf>,
+        bytes: FileBytes,
+        chunk_bytes: usize,
+    ) -> ChunkedFileBuffer {
+        let chunk_bytes = chunk_bytes.max(1);
+        let chunks = ChunkedFileBuffer::chunk_count(bytes.len(), chunk_bytes);
+        ChunkedFileBuffer {
+            bytes,
+            chunk_bytes,
+            path: path.into(),
+            state: Mutex::new(ChunkState {
+                done: vec![true; chunks],
+                completed: chunks,
+                failed: None,
+            }),
+            available: Condvar::new(),
+            charge: None,
+        }
+    }
+
+    /// Start a streaming read: allocate the buffer and spawn the dedicated
+    /// reader thread pulling `len` bytes from `source` chunk by chunk.
+    pub fn spawn(
+        path: impl Into<PathBuf>,
+        source: impl ChunkSource,
+        len: usize,
+        chunk_bytes: usize,
+    ) -> Arc<ChunkedFileBuffer> {
+        ChunkedFileBuffer::spawn_charged(path, source, len, chunk_bytes, None)
+    }
+
+    /// [`ChunkedFileBuffer::spawn`] with a byte counter credited per
+    /// completed chunk (the pool's `bytes_from_disk` accounting), so a
+    /// failed stream charges only the bytes actually read.
+    pub fn spawn_charged(
+        path: impl Into<PathBuf>,
+        mut source: impl ChunkSource,
+        len: usize,
+        chunk_bytes: usize,
+        charge: Option<Arc<AtomicU64>>,
+    ) -> Arc<ChunkedFileBuffer> {
+        let mut buf = ChunkedFileBuffer::new_manual(path, len, chunk_bytes);
+        buf.charge = charge;
+        let buf = Arc::new(buf);
+        let reader = Arc::clone(&buf);
+        std::thread::spawn(move || {
+            for i in 0..ChunkedFileBuffer::chunk_count(len, reader.chunk_bytes) {
+                let span = ChunkedFileBuffer::chunk_span(len, reader.chunk_bytes, i);
+                // SAFETY: this thread is the single writer and chunk `i` is
+                // not yet complete (chunks complete in order, below).
+                let dst = unsafe { reader.bytes.chunk_mut(span.clone()) };
+                match source.read_chunk(span.start as u64, dst) {
+                    Ok(()) => reader.complete_chunk(i),
+                    Err(e) => {
+                        reader.fail(e);
+                        return;
+                    }
+                }
+            }
+        });
+        buf
+    }
+
+    /// The underlying shared bytes. Full deref is only sound once the
+    /// ranges being read are available — schedule against
+    /// [`ChunkedFileBuffer::wait_available`].
+    pub fn bytes(&self) -> &FileBytes {
+        &self.bytes
+    }
+
+    /// Total file length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.len() == 0
+    }
+
+    /// The configured chunk size in bytes.
+    pub fn chunk_bytes(&self) -> usize {
+        self.chunk_bytes
+    }
+
+    /// Mark chunk `i` complete and wake waiters (reader thread; manual
+    /// buffers' tests). Completing a chunk twice is a no-op.
+    pub fn complete_chunk(&self, i: usize) {
+        let mut st = self.state.lock();
+        if let Some(flag) = st.done.get_mut(i) {
+            if !*flag {
+                *flag = true;
+                st.completed += 1;
+                if let Some(charge) = &self.charge {
+                    let span = ChunkedFileBuffer::chunk_span(self.bytes.len(), self.chunk_bytes, i);
+                    charge.fetch_add(span.len() as u64, Ordering::Relaxed);
+                }
+            }
+        }
+        drop(st);
+        self.available.notify_all();
+    }
+
+    /// Record a terminal reader failure and wake every waiter.
+    pub fn fail(&self, error: std::io::Error) {
+        let mut st = self.state.lock();
+        if st.failed.is_none() {
+            st.failed = Some(StreamFailure { kind: error.kind(), message: error.to_string() });
+        }
+        drop(st);
+        self.available.notify_all();
+    }
+
+    fn covering_chunks(&self, range: &Range<usize>) -> Range<usize> {
+        let len = self.bytes.len();
+        let start = range.start.min(len);
+        let end = range.end.min(len);
+        if start >= end {
+            return 0..0;
+        }
+        (start / self.chunk_bytes)..(end - 1) / self.chunk_bytes + 1
+    }
+
+    fn failure_error(&self, f: &StreamFailure) -> FormatError {
+        FormatError::io(&self.path, std::io::Error::new(f.kind, f.message.clone()))
+    }
+
+    /// Block until every chunk covering `range` (clamped to the file) is
+    /// complete, or surface the reader's I/O failure. Never returns `Ok`
+    /// before the covering chunks have all completed.
+    pub fn wait_available(&self, range: Range<usize>) -> Result<()> {
+        let chunks = self.covering_chunks(&range);
+        let mut st = self.state.lock();
+        loop {
+            if let Some(f) = &st.failed {
+                return Err(self.failure_error(f));
+            }
+            if chunks.clone().all(|i| st.done[i]) {
+                return Ok(());
+            }
+            self.available.wait(&mut st);
+        }
+    }
+
+    /// Non-blocking availability probe for `range` (clamped to the file).
+    /// A failed stream reports `false` — the range will never arrive.
+    pub fn is_available(&self, range: Range<usize>) -> bool {
+        let chunks = self.covering_chunks(&range);
+        let st = self.state.lock();
+        st.failed.is_none() && chunks.clone().all(|i| st.done[i])
+    }
+
+    /// Number of chunks completed so far.
+    pub fn chunks_completed(&self) -> usize {
+        self.state.lock().completed
+    }
+
+    /// Whether every chunk has completed (the reader is finished).
+    pub fn is_complete(&self) -> bool {
+        let st = self.state.lock();
+        st.completed == st.done.len() && st.failed.is_none()
+    }
+
+    /// Whether the reader failed.
+    pub fn is_failed(&self) -> bool {
+        self.state.lock().failed.is_some()
+    }
+
+    /// Block until the whole file is resident and return the shared bytes —
+    /// the bridge back to [`FileBufferPool::read`] semantics.
+    pub fn wait_all(&self) -> Result<FileBytes> {
+        self.wait_available(0..self.bytes.len())?;
+        Ok(Arc::clone(&self.bytes))
+    }
+}
 
 /// A pool of file buffers: the stand-in for `mmap` + OS page cache.
 #[derive(Debug, Default)]
 pub struct FileBufferPool {
     buffers: Mutex<HashMap<PathBuf, FileBytes>>,
-    bytes_from_disk: AtomicU64,
+    /// Streaming reads in flight (or completed but not yet published —
+    /// publication happens lazily when the next access observes
+    /// completion).
+    streams: Mutex<HashMap<PathBuf, Arc<ChunkedFileBuffer>>>,
+    /// Shared with each stream's reader thread, which credits it per
+    /// completed chunk.
+    bytes_from_disk: Arc<AtomicU64>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -37,11 +455,26 @@ impl FileBufferPool {
         FileBufferPool::default()
     }
 
-    /// Fetch the bytes of `path`, reading from disk on first access.
+    /// Fetch the bytes of `path`, reading from disk on first access. The
+    /// returned bytes are fully resident: a streaming read in flight for
+    /// `path` is joined (waited to completion) rather than duplicated, so
+    /// one cold access costs exactly one disk read no matter how callers
+    /// mix `read` and `read_streaming`.
     pub fn read(&self, path: &Path) -> Result<FileBytes> {
         if let Some(buf) = self.buffers.lock().get(path) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(buf));
+        }
+        if let Some(stream) = self.stream_for(path) {
+            let bytes = match stream.wait_all() {
+                Ok(bytes) => bytes,
+                Err(e) => {
+                    self.drop_failed_stream(path, &stream);
+                    return Err(e);
+                }
+            };
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(self.publish_stream(path, &stream, bytes));
         }
         let data = std::fs::read(path).map_err(|e| FormatError::io(path, e))?;
         // Two workers can both find the pool cold and read the same file;
@@ -56,32 +489,171 @@ impl FileBufferPool {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.bytes_from_disk.fetch_add(data.len() as u64, Ordering::Relaxed);
-        let buf: FileBytes = Arc::new(data);
+        let buf = file_bytes(data);
         buffers.insert(path.to_path_buf(), Arc::clone(&buf));
         Ok(buf)
     }
 
+    /// Start (or join) a chunk-streamed read of `path`: returns immediately
+    /// with the in-flight [`ChunkedFileBuffer`], whose bytes fill in the
+    /// background in `chunk_bytes`-sized units.
+    ///
+    /// - A warm path returns an already-complete buffer (counted as a hit,
+    ///   like `read`).
+    /// - A stream already in flight for `path` is shared (hit) — one disk
+    ///   read, one buffer, identical counters to the blocking path.
+    /// - Otherwise the stream starts: one miss, `len` bytes charged.
+    ///
+    /// **Race contract with [`FileBufferPool::insert`]:** if `insert(path,
+    /// …)` lands while a stream of the same path is in flight, the *insert
+    /// wins* — it is served to every subsequent `read`/`read_streaming`,
+    /// and the completed stream declines to publish over it. Holders of the
+    /// in-flight buffer keep their (internally consistent) bytes; the pool
+    /// never exposes two live buffers for one path going forward.
+    pub fn read_streaming(
+        &self,
+        path: &Path,
+        chunk_bytes: usize,
+    ) -> Result<Arc<ChunkedFileBuffer>> {
+        if let Some(buf) = self.buffers.lock().get(path) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::new(ChunkedFileBuffer::completed(path, Arc::clone(buf), chunk_bytes)));
+        }
+        if let Some(stream) = self.stream_for(path) {
+            if stream.is_failed() {
+                // Terminal: drop it so the retry below starts fresh.
+                self.drop_failed_stream(path, &stream);
+            } else if stream.is_complete() {
+                // Lazily publish to the warm pool and serve the winner.
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                let bytes = self.publish_stream(path, &stream, Arc::clone(stream.bytes()));
+                return Ok(Arc::new(ChunkedFileBuffer::completed(path, bytes, chunk_bytes)));
+            } else {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(stream);
+            }
+        }
+        // Open and stat before taking the streams lock — blocking I/O must
+        // not stall unrelated streams — then re-check under the lock, like
+        // `read` does for the warm map: the first starter wins and later
+        // racers join its stream.
+        let source = FileChunkSource::open(path).map_err(|e| FormatError::io(path, e))?;
+        let len = std::fs::metadata(path).map_err(|e| FormatError::io(path, e))?.len() as usize;
+        let mut streams = self.streams.lock();
+        if let Some(existing) = streams.get(path) {
+            if !existing.is_failed() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(existing));
+            }
+            streams.remove(path);
+        }
+        // The reader thread credits `bytes_from_disk` per completed chunk:
+        // a successful stream charges exactly `len` (identical to the
+        // blocking path), a failed one only what it actually read.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let stream = ChunkedFileBuffer::spawn_charged(
+            path,
+            source,
+            len,
+            chunk_bytes,
+            Some(Arc::clone(&self.bytes_from_disk)),
+        );
+        streams.insert(path.to_path_buf(), Arc::clone(&stream));
+        Ok(stream)
+    }
+
+    /// Account one consumer served from an in-flight streaming buffer it
+    /// already holds (the planner handing the stream's bytes to a morsel
+    /// pipeline). Equivalent to the pool hit the blocking path would have
+    /// charged for the same access, keeping cold-streaming and
+    /// cold-blocking counters identical.
+    pub fn note_stream_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn stream_for(&self, path: &Path) -> Option<Arc<ChunkedFileBuffer>> {
+        self.streams.lock().get(path).map(Arc::clone)
+    }
+
+    /// Move a completed stream's bytes into the warm pool. The insert-wins
+    /// rule: if a buffer is already registered for `path` (an `insert`
+    /// raced the stream), that buffer stays and is returned.
+    fn publish_stream(
+        &self,
+        path: &Path,
+        stream: &Arc<ChunkedFileBuffer>,
+        bytes: FileBytes,
+    ) -> FileBytes {
+        let mut buffers = self.buffers.lock();
+        let winner = match buffers.get(path) {
+            Some(existing) => Arc::clone(existing),
+            None => {
+                buffers.insert(path.to_path_buf(), Arc::clone(&bytes));
+                bytes
+            }
+        };
+        drop(buffers);
+        let mut streams = self.streams.lock();
+        if let Some(current) = streams.get(path) {
+            if Arc::ptr_eq(current, stream) {
+                streams.remove(path);
+            }
+        }
+        winner
+    }
+
+    /// Forget a failed stream so the next read retries from scratch.
+    fn drop_failed_stream(&self, path: &Path, stream: &Arc<ChunkedFileBuffer>) {
+        let mut streams = self.streams.lock();
+        if let Some(current) = streams.get(path) {
+            if Arc::ptr_eq(current, stream) {
+                streams.remove(path);
+            }
+        }
+    }
+
     /// Register in-memory bytes for `path` without touching disk (tests and
-    /// generated-on-the-fly datasets).
+    /// generated-on-the-fly datasets). Wins over any streaming read of the
+    /// same path currently in flight (see [`FileBufferPool::read_streaming`]).
     pub fn insert(&self, path: impl Into<PathBuf>, data: Vec<u8>) -> FileBytes {
-        let buf: FileBytes = Arc::new(data);
-        self.buffers.lock().insert(path.into(), Arc::clone(&buf));
+        let path = path.into();
+        let buf = file_bytes(data);
+        self.buffers.lock().insert(path.clone(), Arc::clone(&buf));
+        // Forget any stream for the path: with the insert in the warm map
+        // no access would ever reach it again, so keeping it would pin the
+        // whole in-flight buffer for the pool's lifetime. Its holders keep
+        // their bytes; its reader thread finishes into the dropped buffer.
+        self.streams.lock().remove(&path);
         buf
     }
 
-    /// Drop one file's buffer (next read is cold).
+    /// Drop one file's buffer (next read is cold). An in-flight stream for
+    /// the path is forgotten too (its holders keep their bytes).
     pub fn evict(&self, path: &Path) {
         self.buffers.lock().remove(path);
+        self.streams.lock().remove(path);
     }
 
     /// Drop everything: the "cold caches" switch for experiments.
     pub fn evict_all(&self) {
         self.buffers.lock().clear();
+        self.streams.lock().clear();
     }
 
     /// Whether `path` is currently buffered (i.e. a read would be warm).
+    /// A completed-but-unpublished stream counts as warm — and is published
+    /// on observation, so the answer stays truthful afterwards too.
     pub fn is_warm(&self, path: &Path) -> bool {
-        self.buffers.lock().contains_key(path)
+        if self.buffers.lock().contains_key(path) {
+            return true;
+        }
+        match self.stream_for(path) {
+            Some(stream) if stream.is_complete() => {
+                self.publish_stream(path, &stream, Arc::clone(stream.bytes()));
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Total bytes read from disk since construction.
@@ -179,5 +751,222 @@ mod tests {
         let pool = FileBufferPool::new();
         let err = pool.read(Path::new("/definitely/not/here")).unwrap_err();
         assert!(err.to_string().contains("/definitely/not/here"));
+    }
+
+    // -- streaming ----------------------------------------------------------
+
+    #[test]
+    fn chunk_grid_tiles_the_file() {
+        for (len, chunk) in [(0usize, 16usize), (1, 16), (16, 16), (17, 16), (100, 7)] {
+            let n = ChunkedFileBuffer::chunk_count(len, chunk);
+            let mut covered = 0usize;
+            for i in 0..n {
+                let span = ChunkedFileBuffer::chunk_span(len, chunk, i);
+                assert_eq!(span.start, covered, "chunks contiguous ({len},{chunk})");
+                assert!(!span.is_empty(), "no empty chunks ({len},{chunk})");
+                covered = span.end;
+            }
+            assert_eq!(covered, len, "chunks cover the file ({len},{chunk})");
+        }
+    }
+
+    #[test]
+    fn streaming_read_matches_disk_and_counts_once() {
+        let content: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let path = temp_file("stream.bin", &content);
+        let pool = FileBufferPool::new();
+        let stream = pool.read_streaming(&path, 4096).unwrap();
+        assert_eq!(stream.len(), content.len());
+        // Joining via `read` waits for completion and shares the buffer.
+        let bytes = pool.read(&path).unwrap();
+        assert_eq!(&bytes[..], &content[..]);
+        assert!(Arc::ptr_eq(&bytes, stream.bytes()), "read joins the stream's buffer");
+        assert_eq!(pool.bytes_from_disk(), content.len() as u64, "one disk read");
+        assert_eq!(pool.hit_miss(), (1, 1), "stream = miss, join = hit");
+        assert!(pool.is_warm(&path), "completed stream published to the warm pool");
+        // A second streaming read is warm: complete immediately, a hit.
+        let again = pool.read_streaming(&path, 4096).unwrap();
+        assert!(again.is_complete());
+        assert_eq!(pool.hit_miss(), (2, 1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wait_available_serves_partial_ranges_in_flight() {
+        let buf = ChunkedFileBuffer::new_manual("/virtual/wa", 100, 10);
+        assert!(!buf.is_available(0..1));
+        buf.complete_chunk(0);
+        buf.complete_chunk(1);
+        assert!(buf.is_available(0..20));
+        assert!(buf.is_available(5..15));
+        assert!(!buf.is_available(15..25), "chunk 2 incomplete");
+        buf.wait_available(0..20).unwrap();
+        // Ranges past EOF clamp to the file.
+        buf.wait_available(0..0).unwrap();
+        for i in 2..10 {
+            buf.complete_chunk(i);
+        }
+        assert!(buf.is_complete());
+        buf.wait_available(0..1000).unwrap();
+        assert_eq!(&buf.wait_all().unwrap()[..], &[0u8; 100][..]);
+    }
+
+    /// The fault-injection seam: a source failing mid-file surfaces
+    /// `FormatError::Io` to every waiter — no hang, no partial success.
+    struct FailingSource {
+        fail_at: usize,
+        served: usize,
+    }
+
+    impl ChunkSource for FailingSource {
+        fn read_chunk(&mut self, _offset: u64, dst: &mut [u8]) -> std::io::Result<()> {
+            if self.served == self.fail_at {
+                return Err(std::io::Error::other("injected fault"));
+            }
+            self.served += 1;
+            dst.fill(b'x');
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn reader_failure_surfaces_to_every_waiter() {
+        let source = FailingSource { fail_at: 2, served: 0 };
+        let buf = ChunkedFileBuffer::spawn("/virtual/fail.bin", source, 100, 10);
+        // Waiters on ranges past the failure point all error; none hangs.
+        let errors: Vec<String> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let buf = &buf;
+                    s.spawn(move || {
+                        buf.wait_available(30 * i..30 * i + 30).unwrap_err().to_string()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for e in &errors {
+            assert!(e.contains("injected fault"), "waiter sees the I/O failure: {e}");
+            assert!(e.contains("/virtual/fail.bin"), "failure names the file: {e}");
+        }
+        assert!(buf.is_failed());
+        assert!(!buf.is_available(0..100), "failed stream never reports availability");
+        // Completed chunks before the failure remain readable facts, but
+        // wait_all refuses to bless the buffer.
+        assert!(buf.wait_all().is_err());
+    }
+
+    #[test]
+    fn insert_during_streaming_read_wins_for_future_reads() {
+        let content = vec![1u8; 50_000];
+        let path = temp_file("insert_race.bin", &content);
+        let pool = FileBufferPool::new();
+
+        let stream = pool.read_streaming(&path, 1024).unwrap();
+        // An insert lands while the stream is (possibly) still in flight.
+        let inserted = pool.insert(path.clone(), vec![9u8; 8]);
+        // Streaming holders keep their internally-consistent buffer…
+        let streamed = stream.wait_all().unwrap();
+        assert_eq!(&streamed[..], &content[..]);
+        // …but the pool serves the insert from now on: the completed stream
+        // must not overwrite it (re-checked at publish time).
+        let served = pool.read(&path).unwrap();
+        assert!(Arc::ptr_eq(&served, &inserted), "insert wins over the completed stream");
+        assert_eq!(&served[..], &[9u8; 8][..]);
+        let served_again = pool.read_streaming(&path, 1024).unwrap();
+        assert!(Arc::ptr_eq(served_again.bytes(), &inserted));
+        // The insert also evicted the orphaned stream entry — nothing pins
+        // the superseded in-flight buffer in the pool.
+        assert!(pool.streams.lock().is_empty(), "no orphaned stream retained");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn threaded_insert_stream_race_leaves_one_winner() {
+        // Regression companion to
+        // `concurrent_cold_reads_share_one_buffer_and_one_disk_read`: mixed
+        // insert/stream/read traffic on one path must converge on a single
+        // buffer for all future reads.
+        let content = vec![3u8; 100_000];
+        let path = temp_file("race2.bin", &content);
+        let pool = FileBufferPool::new();
+        let barrier = std::sync::Barrier::new(3);
+        std::thread::scope(|s| {
+            let (p, path, barrier) = (&pool, &path, &barrier);
+            s.spawn(move || {
+                barrier.wait();
+                let st = p.read_streaming(path, 512).unwrap();
+                st.wait_all().unwrap();
+            });
+            s.spawn(move || {
+                barrier.wait();
+                p.insert(path.clone(), vec![5u8; 16]);
+            });
+            s.spawn(move || {
+                barrier.wait();
+                let _ = p.read(path);
+            });
+        });
+        // Whatever interleaving happened, the pool now has exactly one
+        // buffer and every reader shares it.
+        let a = pool.read(&path).unwrap();
+        let b = pool.read(&path).unwrap();
+        let c = pool.read_streaming(&path, 512).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, c.bytes()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_stream_charges_only_bytes_actually_read() {
+        // Per-chunk charging: a stream failing at chunk 2 of a 100-byte
+        // file (10-byte chunks) credits exactly the 20 completed bytes —
+        // no whole-file overcount, and a later successful read charges its
+        // own full length on top.
+        let counter = Arc::new(AtomicU64::new(0));
+        let buf = ChunkedFileBuffer::spawn_charged(
+            "/virtual/partial.bin",
+            FailingSource { fail_at: 2, served: 0 },
+            100,
+            10,
+            Some(Arc::clone(&counter)),
+        );
+        assert!(buf.wait_all().is_err());
+        assert_eq!(counter.load(Ordering::Relaxed), 20, "only completed chunks charged");
+    }
+
+    #[test]
+    fn completed_stream_publishes_lazily_and_is_warm_tells_the_truth() {
+        let content = vec![4u8; 10_000];
+        let path = temp_file("lazypub.bin", &content);
+        let pool = FileBufferPool::new();
+        let stream = pool.read_streaming(&path, 512).unwrap();
+        // Drain the stream without ever calling `read` (the gated-run
+        // shape: every consumer goes through the in-flight buffer).
+        stream.wait_all().unwrap();
+        // is_warm observes completion, publishes, and answers truthfully.
+        assert!(pool.is_warm(&path), "completed stream counts as warm");
+        let served = pool.read(&path).unwrap();
+        assert!(Arc::ptr_eq(&served, stream.bytes()), "published buffer is the stream's");
+        assert_eq!(pool.bytes_from_disk(), content.len() as u64, "one disk read");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_stream_is_forgotten_and_read_retries() {
+        // Pre-seed a failing stream under a real path, then check `read`
+        // reports the failure once and succeeds on retry.
+        let content = vec![8u8; 4096];
+        let path = temp_file("retry.bin", &content);
+        let pool = FileBufferPool::new();
+        let failing =
+            ChunkedFileBuffer::spawn(&path, FailingSource { fail_at: 0, served: 0 }, 4096, 1024);
+        pool.streams.lock().insert(path.clone(), Arc::clone(&failing));
+        let err = pool.read(&path).unwrap_err();
+        assert!(err.to_string().contains("injected fault"));
+        // The failed stream was dropped; a fresh read succeeds from disk.
+        let ok = pool.read(&path).unwrap();
+        assert_eq!(&ok[..], &content[..]);
+        std::fs::remove_file(&path).ok();
     }
 }

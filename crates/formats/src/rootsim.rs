@@ -43,7 +43,7 @@ use std::sync::Arc;
 use raw_columnar::{Column, DataType, Value};
 
 use crate::error::{FormatError, Result};
-use crate::file_buffer::FileBytes;
+use crate::file_buffer::{file_bytes, FileBytes};
 
 /// File magic.
 pub const MAGIC: &[u8; 8] = b"ROOTSIM1";
@@ -401,7 +401,7 @@ impl RootSimFile {
     /// Open directly from a path (unpooled; experiments use the pool).
     pub fn open(path: &Path) -> Result<RootSimFile> {
         let data = std::fs::read(path).map_err(|e| FormatError::io(path, e))?;
-        RootSimFile::open_bytes(Arc::new(data))
+        RootSimFile::open_bytes(file_bytes(data))
     }
 
     fn validate_extents(&self) -> Result<()> {
@@ -694,7 +694,7 @@ mod tests {
         )
         .unwrap();
         let bytes = w.finish().unwrap();
-        RootSimFile::open_bytes(Arc::new(bytes)).unwrap()
+        RootSimFile::open_bytes(file_bytes(bytes)).unwrap()
     }
 
     #[test]
@@ -770,12 +770,12 @@ mod tests {
             RootSchema { scalars: vec![("id".into(), DataType::Int64)], collections: vec![] };
         let mut w = RootSimWriter::new(schema).unwrap();
         w.add_event(&[Value::Int64(1)], &[]).unwrap();
-        let f = RootSimFile::open_bytes(Arc::new(w.finish().unwrap())).unwrap();
+        let f = RootSimFile::open_bytes(file_bytes(w.finish().unwrap())).unwrap();
         assert_eq!(f.bytes_per_event(), 8);
 
         // Empty files fall back to a positive default.
         let w = RootSimWriter::new(two_collection_schema()).unwrap();
-        let f = RootSimFile::open_bytes(Arc::new(w.finish().unwrap())).unwrap();
+        let f = RootSimFile::open_bytes(file_bytes(w.finish().unwrap())).unwrap();
         assert_eq!(f.bytes_per_event(), 1);
     }
 
@@ -794,8 +794,8 @@ mod tests {
 
     #[test]
     fn corrupt_files_rejected() {
-        assert!(RootSimFile::open_bytes(Arc::new(b"short".to_vec())).is_err());
-        assert!(RootSimFile::open_bytes(Arc::new(b"WRONGMAG________".to_vec())).is_err());
+        assert!(RootSimFile::open_bytes(file_bytes(b"short".to_vec())).is_err());
+        assert!(RootSimFile::open_bytes(file_bytes(b"WRONGMAG________".to_vec())).is_err());
         // Truncate a valid file inside the data section.
         let mut w = RootSimWriter::new(two_collection_schema()).unwrap();
         w.add_event(
@@ -805,7 +805,7 @@ mod tests {
         .unwrap();
         let bytes = w.finish().unwrap();
         let truncated = bytes[..bytes.len() - 2].to_vec();
-        assert!(RootSimFile::open_bytes(Arc::new(truncated)).is_err());
+        assert!(RootSimFile::open_bytes(file_bytes(truncated)).is_err());
     }
 
     #[test]
@@ -833,7 +833,7 @@ mod tests {
     fn empty_file() {
         let w = RootSimWriter::new(two_collection_schema()).unwrap();
         let bytes = w.finish().unwrap();
-        let f = RootSimFile::open_bytes(Arc::new(bytes)).unwrap();
+        let f = RootSimFile::open_bytes(file_bytes(bytes)).unwrap();
         assert_eq!(f.num_events(), 0);
         assert_eq!(f.total_items(CollectionId(0)), 0);
     }

@@ -6,8 +6,8 @@ use proptest::prelude::*;
 use raw_columnar::{Column, DataType, Field, MemTable, Schema, Value};
 use raw_formats::csv::parse;
 use raw_formats::csv::tokenizer::{count_rows, next_field, skip_fields, RowIter};
+use raw_formats::file_buffer::file_bytes;
 use raw_formats::rootsim::{RootCollection, RootSchema, RootSimFile, RootSimWriter};
-use std::sync::Arc;
 
 /// Arbitrary mixed-type tables (no utf8 so fbin accepts them too).
 fn arb_table() -> impl Strategy<Value = MemTable> {
@@ -209,7 +209,7 @@ proptest! {
                 .collect();
             w.add_event(&[Value::Int64(*id), Value::Int32(*run)], &[items]).unwrap();
         }
-        let file = RootSimFile::open_bytes(Arc::new(w.finish().unwrap())).unwrap();
+        let file = RootSimFile::open_bytes(file_bytes(w.finish().unwrap())).unwrap();
         prop_assert_eq!(file.num_events(), events.len() as u64);
         let id_branch = file.scalar_branch("id").unwrap();
         let run_branch = file.scalar_branch("run").unwrap();

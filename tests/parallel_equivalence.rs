@@ -34,7 +34,7 @@ const COLS: usize = 8;
 
 /// Small morsels so even test-sized files split into many.
 fn config(parallelism: usize) -> EngineConfig {
-    EngineConfig { parallelism, morsel_bytes: 2 << 10, ..EngineConfig::default() }
+    EngineConfig { parallelism, morsel_bytes: 2 << 10, ..EngineConfig::from_env() }
 }
 
 fn write_rootsim_events(path: &std::path::Path, events: usize, seed: i64) {
@@ -313,7 +313,7 @@ fn insitu_quoted_newlines_split_and_agree_with_serial() {
             mode: AccessMode::InSitu,
             parallelism,
             morsel_bytes: 128,
-            ..EngineConfig::default()
+            ..EngineConfig::from_env()
         });
         e.register_table(TableDef {
             name: "q".into(),
@@ -817,7 +817,7 @@ fn float_aggregates_stable_across_cold_and_warm_runs() {
         parallelism: 4,
         morsel_bytes: 2 << 10,
         cache_shreds: false,
-        ..EngineConfig::default()
+        ..EngineConfig::from_env()
     });
     engine.register_table(TableDef {
         name: "f".into(),

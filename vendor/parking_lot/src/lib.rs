@@ -2,10 +2,10 @@
 //!
 //! Wraps `std::sync` primitives behind parking_lot's non-poisoning API: a
 //! panicked holder simply releases the lock instead of poisoning it. Only the
-//! surface this workspace uses is provided (`Mutex`, `RwLock`).
+//! surface this workspace uses is provided (`Mutex`, `RwLock`, `Condvar`).
 
 use std::sync::{
-    Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
+    Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
     RwLockReadGuard as StdRwLockReadGuard, RwLockWriteGuard as StdRwLockWriteGuard,
 };
 
@@ -16,8 +16,12 @@ pub struct Mutex<T: ?Sized> {
 }
 
 /// RAII guard for [`Mutex`].
+///
+/// The inner std guard lives in an `Option` only so [`Condvar::wait`] can
+/// move it through std's by-value wait and put the reacquired guard back; it
+/// is `Some` at every other moment of the guard's life.
 pub struct MutexGuard<'a, T: ?Sized> {
-    inner: StdMutexGuard<'a, T>,
+    inner: Option<StdMutexGuard<'a, T>>,
 }
 
 impl<T> Mutex<T> {
@@ -36,14 +40,16 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until available. Never poisons.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        MutexGuard { inner: guard }
+        MutexGuard { inner: Some(guard) }
     }
 
     /// Try to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: g }),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard { inner: e.into_inner() }),
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                Some(MutexGuard { inner: Some(e.into_inner()) })
+            }
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -57,13 +63,57 @@ impl<T: ?Sized> Mutex<T> {
 impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.inner
+        self.inner.as_deref().expect("guard holds the lock")
     }
 }
 
 impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        self.inner.as_deref_mut().expect("guard holds the lock")
+    }
+}
+
+/// A condition variable paired with [`Mutex`] (parking_lot's `&mut guard`
+/// wait surface over std's by-value one). Never poisons.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// Create a condition variable.
+    pub const fn new() -> Condvar {
+        Condvar { inner: StdCondvar::new() }
+    }
+
+    /// Atomically release the guard's lock and block until notified; the
+    /// lock is reacquired (through the same guard) before returning.
+    /// Spurious wakeups are possible, exactly as with parking_lot.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard holds the lock");
+        let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(inner);
+    }
+
+    /// Block on `self` until `condition` returns `false` (re-checked on
+    /// every wakeup, spurious or not).
+    pub fn wait_while<T, F>(&self, guard: &mut MutexGuard<'_, T>, mut condition: F)
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        while condition(&mut *guard) {
+            self.wait(guard);
+        }
+    }
+
+    /// Wake one blocked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every blocked waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
     }
 }
 
@@ -164,5 +214,24 @@ mod tests {
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_wait_while_sees_notified_update() {
+        use std::sync::Arc;
+        let state = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let state2 = Arc::clone(&state);
+        let waiter = std::thread::spawn(move || {
+            let (lock, cond) = &*state2;
+            let mut guard = lock.lock();
+            cond.wait_while(&mut guard, |v| *v < 3);
+            *guard
+        });
+        for _ in 0..3 {
+            let (lock, cond) = &*state;
+            *lock.lock() += 1;
+            cond.notify_all();
+        }
+        assert_eq!(waiter.join().unwrap(), 3);
     }
 }
