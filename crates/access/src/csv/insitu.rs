@@ -25,7 +25,7 @@ use raw_formats::file_buffer::FileBytes;
 use raw_posmap::{Lookup, PosMapBuilder, PositionalMap};
 
 use crate::csv::{finish_builder, CsvScanInput, PosMapSource, SpanBuf};
-use crate::profiler::{PhaseProfile, PhaseTimer, ScanMetrics};
+use raw_columnar::profile::{PhaseProfile, PhaseTimer, ScanMetrics};
 
 /// What the interpreted scan must do with one source column.
 #[derive(Debug, Clone, Copy, Default)]

@@ -31,7 +31,7 @@ use raw_posmap::{Lookup, PosMapBuilder, PositionalMap};
 use crate::csv::{
     finish_builder, CsvProgram, CsvScanInput, PosMapSource, PosNav, SeqStep, SpanBuf,
 };
-use crate::profiler::{PhaseProfile, PhaseTimer, ScanMetrics};
+use raw_columnar::profile::{PhaseProfile, PhaseTimer, ScanMetrics};
 
 /// JIT-specialized full scan over a CSV file.
 pub struct JitCsvScan {

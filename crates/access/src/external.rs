@@ -13,8 +13,8 @@ use raw_columnar::ops::Operator;
 use raw_columnar::{Batch, ColumnarError, MemTable, Schema};
 use raw_formats::file_buffer::FileBytes;
 
-use crate::profiler::{PhaseProfile, PhaseTimer, ScanMetrics};
 use crate::spec::FileFormat;
+use raw_columnar::profile::{PhaseProfile, PhaseTimer, ScanMetrics};
 
 /// A MySQL-storage-engine-style external table scan.
 pub struct ExternalTableScan {

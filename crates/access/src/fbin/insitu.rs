@@ -14,7 +14,7 @@ use raw_formats::fbin::{read_bool, read_f32, read_f64, read_i32, read_i64, FbinL
 use raw_formats::file_buffer::FileBytes;
 
 use crate::fbin::FbinScanInput;
-use crate::profiler::{PhaseProfile, PhaseTimer, ScanMetrics};
+use raw_columnar::profile::{PhaseProfile, PhaseTimer, ScanMetrics};
 
 /// General-purpose in-situ scan over an fbin file.
 pub struct InSituFbinScan {

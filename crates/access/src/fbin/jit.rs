@@ -9,7 +9,7 @@ use raw_formats::fbin::{read_bool, read_f32, read_f64, read_i32, read_i64};
 use raw_formats::file_buffer::FileBytes;
 
 use crate::fbin::{FbinProgram, FbinScanInput};
-use crate::profiler::{PhaseProfile, PhaseTimer, ScanMetrics};
+use raw_columnar::profile::{PhaseProfile, PhaseTimer, ScanMetrics};
 
 /// JIT full scan over an fbin file.
 pub struct JitFbinScan {

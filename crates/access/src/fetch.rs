@@ -23,7 +23,7 @@ use raw_posmap::{Lookup, PositionalMap};
 
 use crate::csv::{PosNav, SpanBuf};
 use crate::fbin::FbinProgram;
-use crate::profiler::{PhaseProfile, PhaseTimer, ScanMetrics};
+use raw_columnar::profile::{PhaseProfile, PhaseTimer, ScanMetrics};
 
 /// Reads wanted-field values for an explicit set of rows.
 pub trait FieldFetcher: Send {

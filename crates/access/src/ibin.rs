@@ -31,8 +31,8 @@ use raw_formats::file_buffer::FileBytes;
 use raw_formats::ibin::{IbinLayout, PrunePred};
 use raw_formats::FormatError;
 
-use crate::profiler::{PhaseProfile, PhaseTimer, ScanMetrics};
 use crate::spec::AccessPathSpec;
+use raw_columnar::profile::{PhaseProfile, PhaseTimer, ScanMetrics};
 
 /// Everything an ibin scan needs at instantiation time.
 pub struct IbinScanInput {

@@ -30,13 +30,12 @@
 //! cost — is preserved; see DESIGN.md §2.
 //!
 //! All scans implement [`raw_columnar::ops::Operator`], produce batches with
-//! provenance (row ids), and report a [`profiler::PhaseProfile`] splitting
+//! provenance (row ids), and report a [`raw_columnar::profile::PhaseProfile`] splitting
 //! time into the paper's Figure-3 categories.
 
 pub mod external;
 pub mod fetch;
 pub mod ibin;
-pub mod profiler;
 pub mod rootsim_path;
 pub mod spec;
 pub mod template_cache;
@@ -44,6 +43,6 @@ pub mod template_cache;
 pub mod csv;
 pub mod fbin;
 
-pub use profiler::{Phase, PhaseProfile, ScanMetrics};
+pub use raw_columnar::profile::{Phase, PhaseProfile, ScanMetrics};
 pub use spec::{AccessPathKind, AccessPathSpec, FileFormat, WantedField};
 pub use template_cache::TemplateCache;

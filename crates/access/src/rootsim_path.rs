@@ -24,7 +24,7 @@ use raw_columnar::{Batch, Column, ColumnarError, DataType};
 use raw_formats::rootsim::{BranchId, CollectionId, FieldId, RootSimFile};
 
 use crate::fetch::FieldFetcher;
-use crate::profiler::{PhaseProfile, PhaseTimer, ScanMetrics};
+use raw_columnar::profile::{PhaseProfile, PhaseTimer, ScanMetrics};
 
 /// Compiled program for the event table: wanted scalar branches, by id.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,296 @@
+//! Persisted performance baselines: `BENCH_<key>.json` artifacts.
+//!
+//! Each baseline runs one representative paper workload cold on a fresh
+//! engine under a **pinned** configuration — explicitly NOT
+//! [`raw_engine::EngineConfig::from_env`], so `RAW_PARALLELISM`-style knobs
+//! cannot silently change what gets committed — and serializes the query's
+//! measurements with the dependency-free `raw_trace::json` writer.
+//!
+//! The artifact separates two kinds of numbers:
+//!
+//! - `counters` — deterministic at a given [`Scale`]: scan/prune/tokenize
+//!   volumes, I/O bytes, morsel count, cache traffic, output rows. The
+//!   morsel grid derives from the file and `morsel_bytes` only, and
+//!   parallel counters tile the serial run exactly (the
+//!   `stats_equivalence` suite), so these are bitwise-stable across runs
+//!   and machines and are diffed **exactly** by `check_bench`.
+//! - `times_s` — wall/scan/compile/gate-wait seconds: machine- and
+//!   scheduling-dependent, recorded for trend inspection and treated as
+//!   **advisory** by `check_bench` (a 1-CPU CI runner legitimately runs
+//!   several times slower than a laptop).
+
+use std::path::PathBuf;
+
+use raw_engine::{AccessMode, EngineConfig, JoinPlacement, QueryStats, RawEngine, ShredStrategy};
+use raw_formats::datagen::literal_for_selectivity;
+use raw_posmap::TrackingPolicy;
+use raw_trace::Json;
+
+use crate::experiments::{grouped_q, q1};
+use crate::report::ExpTable;
+use crate::{datasets, Scale};
+
+/// One baseline workload: a stable key (the artifact is `BENCH_<key>.json`)
+/// plus the engine and query that produce it.
+pub struct Workload {
+    /// Stable artifact key.
+    pub key: &'static str,
+    /// What the workload reproduces.
+    pub description: &'static str,
+    /// Fresh-engine factory (fresh = cold: the file pool starts empty).
+    pub maker: fn(&Scale, EngineConfig) -> RawEngine,
+    /// The measured query.
+    pub sql: String,
+}
+
+/// The pinned engine configuration baselines run under. Every knob that
+/// affects the deterministic counters (mode, morsel grid, chunk size,
+/// posmap stride) is fixed here; the environment is deliberately ignored.
+pub fn pinned_config() -> EngineConfig {
+    EngineConfig {
+        mode: AccessMode::Jit,
+        shreds: ShredStrategy::ColumnShreds,
+        join_placement: JoinPlacement::Late,
+        posmap_policy: TrackingPolicy::EveryK { stride: 10 },
+        parallelism: 4,
+        morsel_bytes: 64 << 10,
+        read_chunk_bytes: 1 << 20,
+        ..EngineConfig::default()
+    }
+}
+
+/// The baseline workload set: one per figure family the repo reproduces —
+/// flat scans (CSV/fbin), the join, and the three fig13 scaling shapes
+/// (grouped aggregation, index-pruned ibin, exploded collection).
+pub fn workloads() -> Vec<Workload> {
+    let x = literal_for_selectivity(0.4);
+    vec![
+        Workload {
+            key: "fig1_csv",
+            description: "fig1 cold CSV scan aggregate",
+            maker: datasets::engine_narrow_csv,
+            sql: q1("file1", x),
+        },
+        Workload {
+            key: "fig2_fbin",
+            description: "fig2 cold fbin scan aggregate",
+            maker: datasets::engine_narrow_fbin,
+            sql: q1("file1", x),
+        },
+        Workload {
+            key: "fig9_join",
+            description: "fig9 join (probe file1, build file2)",
+            maker: datasets::engine_join_pair,
+            sql: format!(
+                "SELECT MAX(file1.col11) FROM file1 JOIN file2 \
+                 ON file1.col1 = file2.col1 WHERE file2.col2 < {x}"
+            ),
+        },
+        Workload {
+            key: "fig13_grouped",
+            description: "fig13 grouped aggregation (1024 groups)",
+            maker: datasets::engine_grouped_csv,
+            sql: grouped_q("file1", x),
+        },
+        Workload {
+            key: "fig13_ibin",
+            description: "fig13 index-pruned ibin aggregate",
+            maker: datasets::engine_narrow_ibin,
+            sql: q1("file1", x),
+        },
+        Workload {
+            key: "fig13_collection",
+            description: "fig13 exploded rootsim collection aggregate",
+            maker: datasets::engine_muon_collection,
+            sql: "SELECT MAX(pt), COUNT(pt) FROM muons WHERE pt > 20.0".to_owned(),
+        },
+    ]
+}
+
+/// The deterministic counters of one run, in fixed key order (the exact-
+/// match surface of `check_bench`). Scheduling-dependent numbers — times,
+/// gate waits, chunk waits — are deliberately absent.
+pub fn counters_of(stats: &QueryStats) -> Vec<(&'static str, u64)> {
+    vec![
+        ("rows_scanned", stats.metrics.rows_scanned),
+        ("rows_pruned", stats.metrics.rows_pruned),
+        ("fields_tokenized", stats.metrics.fields_tokenized),
+        ("values_converted", stats.metrics.values_converted),
+        ("values_materialized", stats.metrics.values_materialized),
+        ("io_bytes", stats.io_bytes),
+        ("rows_out", stats.rows_out),
+        ("workers", stats.workers as u64),
+        ("morsels", stats.morsels as u64),
+        ("template_hits", stats.template_hits),
+        ("template_misses", stats.template_misses),
+        ("shred_hits", stats.shred_hits),
+        ("shred_misses", stats.shred_misses),
+        ("posmaps_built", stats.posmaps_built as u64),
+        ("shreds_recorded", stats.shreds_recorded as u64),
+    ]
+}
+
+/// Run one workload cold under the pinned configuration and serialize it.
+pub fn run_one(scale: &Scale, w: &Workload) -> Json {
+    let mut engine = (w.maker)(scale, pinned_config());
+    let result = engine
+        .query(&w.sql)
+        .unwrap_or_else(|e| panic!("baseline {} failed: {e}\n  {}", w.key, w.sql));
+    let stats = &result.stats;
+    let counters = Json::Obj(
+        counters_of(stats).into_iter().map(|(k, v)| (k.to_owned(), Json::UInt(v))).collect(),
+    );
+    let times = Json::obj(vec![
+        ("wall_s", Json::Float(stats.wall.as_secs_f64())),
+        ("scan_s", Json::Float(stats.scan.total.as_secs_f64())),
+        ("compile_s", Json::Float(stats.compile_time.as_secs_f64())),
+        ("gate_wait_s", Json::Float(stats.gate_wait.as_secs_f64())),
+    ]);
+    Json::obj(vec![
+        ("key", Json::Str(w.key.to_owned())),
+        ("description", Json::Str(w.description.to_owned())),
+        ("query", Json::Str(w.sql.clone())),
+        (
+            "scale",
+            Json::obj(vec![
+                ("narrow_rows", Json::UInt(scale.narrow_rows as u64)),
+                ("wide_rows", Json::UInt(scale.wide_rows as u64)),
+                ("join_rows", Json::UInt(scale.join_rows as u64)),
+                ("higgs_events", Json::UInt(scale.higgs_events as u64)),
+            ]),
+        ),
+        (
+            "config",
+            Json::obj(vec![
+                ("parallelism", Json::UInt(pinned_config().parallelism as u64)),
+                ("morsel_bytes", Json::UInt(pinned_config().morsel_bytes as u64)),
+                ("read_chunk_bytes", Json::UInt(pinned_config().read_chunk_bytes as u64)),
+            ]),
+        ),
+        ("counters", counters),
+        ("times_s", times),
+    ])
+}
+
+/// Where baseline artifacts live: `RAW_BENCH_BASELINE_DIR`, default the
+/// current directory (the repo root when run from it, so artifacts are
+/// committed alongside the code they describe).
+pub fn baseline_dir() -> PathBuf {
+    std::env::var("RAW_BENCH_BASELINE_DIR").map_or_else(|_| PathBuf::from("."), PathBuf::from)
+}
+
+/// The artifact path for a workload key.
+pub fn baseline_path(key: &str) -> PathBuf {
+    baseline_dir().join(format!("BENCH_{key}.json"))
+}
+
+/// Run every workload and write `BENCH_<key>.json` artifacts. Returns the
+/// written paths.
+pub fn write_baselines(scale: &Scale) -> Vec<PathBuf> {
+    workloads()
+        .iter()
+        .map(|w| {
+            let doc = run_one(scale, w);
+            let path = baseline_path(w.key);
+            std::fs::write(&path, doc.render_pretty(2))
+                .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+            path
+        })
+        .collect()
+}
+
+/// The `reproduce` registry entry: write all baselines and summarize them.
+pub fn baselines(scale: &Scale) -> ExpTable {
+    let mut table = ExpTable::new(
+        "Perf baselines — BENCH_<key>.json artifacts",
+        vec![
+            "key".into(),
+            "rows_scanned".into(),
+            "io_bytes".into(),
+            "morsels".into(),
+            "wall".into(),
+            "artifact".into(),
+        ],
+    );
+    table.note("counters are deterministic at this scale and diffed exactly by check_bench");
+    table.note("times are machine-dependent and advisory");
+    for w in &workloads() {
+        let doc = run_one(scale, w);
+        let path = baseline_path(w.key);
+        std::fs::write(&path, doc.render_pretty(2))
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        let counter = |name: &str| {
+            doc.get("counters")
+                .and_then(|c| c.get(name))
+                .and_then(Json::as_u64)
+                .expect("counter present")
+        };
+        let wall = doc
+            .get("times_s")
+            .and_then(|t| t.get("wall_s"))
+            .and_then(Json::as_f64)
+            .expect("wall time present");
+        table.row(vec![
+            w.key.to_owned(),
+            counter("rows_scanned").to_string(),
+            counter("io_bytes").to_string(),
+            counter("morsels").to_string(),
+            format!("{wall:.3} s"),
+            path.display().to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_scale() -> Scale {
+        Scale {
+            narrow_rows: 4_000,
+            wide_rows: 1_000,
+            join_rows: 2_000,
+            higgs_events: 1_500,
+            repeats: 1,
+        }
+    }
+
+    /// The acceptance property: at a fixed scale, the deterministic
+    /// counters of two independent runs render bitwise-identically.
+    #[test]
+    fn counters_are_bitwise_stable_across_runs() {
+        let scale = test_scale();
+        for w in &workloads() {
+            let a = run_one(&scale, w);
+            let b = run_one(&scale, w);
+            assert_eq!(
+                a.get("counters").expect("counters").render(),
+                b.get("counters").expect("counters").render(),
+                "counters drift across runs: {}",
+                w.key
+            );
+            // Everything except times is stable, not just the counters.
+            let strip = |doc: &Json| match doc {
+                Json::Obj(pairs) => {
+                    Json::Obj(pairs.iter().filter(|(k, _)| k != "times_s").cloned().collect())
+                }
+                other => other.clone(),
+            };
+            assert_eq!(strip(&a).render(), strip(&b).render(), "non-time fields drift: {}", w.key);
+        }
+    }
+
+    #[test]
+    fn every_workload_produces_all_counter_keys() {
+        let scale = test_scale();
+        let w = &workloads()[0];
+        let doc = run_one(&scale, w);
+        let counters = doc.get("counters").and_then(Json::as_obj).expect("counters object");
+        let keys: Vec<&str> = counters.iter().map(|(k, _)| k.as_str()).collect();
+        for (expected, _) in counters_of(&QueryStats::default()) {
+            assert!(keys.contains(&expected), "missing counter key {expected}");
+        }
+        assert!(doc.get("counters").unwrap().get("rows_scanned").unwrap().as_u64().unwrap() > 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! `check_bench` — diff the committed `BENCH_<key>.json` perf baselines
+//! against a fresh run at the same scale.
+//!
+//! ```text
+//! RAW_BENCH_SCALE=tiny cargo run --release -p raw-bench --bin check_bench
+//! ```
+//!
+//! Verdicts:
+//!
+//! - a missing artifact, a missing counter key (either direction), or a
+//!   counter value mismatch **fails** (exit 1) — the deterministic
+//!   counters are bitwise-stable at a given scale, so any drift is a real
+//!   behavior change that must be re-baselined deliberately
+//!   (`reproduce baselines`);
+//! - a recorded scale different from the current one fails with a
+//!   re-baseline hint (counters are scale-dependent; comparing across
+//!   scales is meaningless);
+//! - times are **advisory** by default: ratios print but never fail (a
+//!   1-CPU CI runner is legitimately many times slower than the machine
+//!   that committed the baseline). `CHECK_BENCH_TIMES=strict` turns a
+//!   >25x wall-time regression into a failure.
+
+use raw_bench::baseline;
+use raw_bench::Scale;
+use raw_trace::{json, Json};
+
+/// Strict-mode wall-time tolerance: generous enough to absorb any machine
+/// difference, tight enough to catch order-of-magnitude regressions.
+const STRICT_TIME_RATIO: f64 = 25.0;
+
+fn main() {
+    let scale = Scale::from_env();
+    let strict_times = std::env::var("CHECK_BENCH_TIMES").as_deref() == Ok("strict");
+    let mut failures: Vec<String> = Vec::new();
+
+    for w in &baseline::workloads() {
+        let path = baseline::baseline_path(w.key);
+        let committed = match std::fs::read_to_string(&path) {
+            Ok(text) => match json::parse(&text) {
+                Ok(doc) => doc,
+                Err(e) => {
+                    failures.push(format!("{}: unparsable baseline: {e}", w.key));
+                    continue;
+                }
+            },
+            Err(e) => {
+                failures.push(format!("{}: missing baseline {}: {e}", w.key, path.display()));
+                continue;
+            }
+        };
+
+        eprintln!("checking {}…", w.key);
+        let fresh = baseline::run_one(&scale, w);
+
+        // Scale must match: counters are a function of it.
+        if committed.get("scale").map(Json::render) != fresh.get("scale").map(Json::render) {
+            failures.push(format!(
+                "{}: baseline recorded at a different scale; re-run `reproduce baselines` \
+                 at the current scale (committed {:?}, current {:?})",
+                w.key,
+                committed.get("scale").map(Json::render),
+                fresh.get("scale").map(Json::render),
+            ));
+            continue;
+        }
+
+        let committed_counters = committed.get("counters").and_then(Json::as_obj);
+        let fresh_counters = fresh.get("counters").and_then(Json::as_obj);
+        let (Some(old), Some(new)) = (committed_counters, fresh_counters) else {
+            failures.push(format!("{}: counters object missing", w.key));
+            continue;
+        };
+
+        // Every key must exist on both sides (a vanished metric is a
+        // regression in observability, not just in value), and values
+        // match exactly.
+        for (key, old_value) in old {
+            match new.iter().find(|(k, _)| k == key) {
+                None => failures.push(format!(
+                    "{}: counter {key} present in baseline but no longer produced",
+                    w.key
+                )),
+                Some((_, new_value)) if new_value != old_value => failures.push(format!(
+                    "{}: counter {key} changed: baseline {} vs fresh {}",
+                    w.key,
+                    old_value.render(),
+                    new_value.render()
+                )),
+                Some(_) => {}
+            }
+        }
+        for (key, _) in new {
+            if !old.iter().any(|(k, _)| k == key) {
+                failures.push(format!(
+                    "{}: new counter {key} not in baseline; re-run `reproduce baselines`",
+                    w.key
+                ));
+            }
+        }
+
+        // Times: advisory report, strict only on request.
+        let wall =
+            |doc: &Json| doc.get("times_s").and_then(|t| t.get("wall_s")).and_then(Json::as_f64);
+        if let (Some(old_wall), Some(new_wall)) = (wall(&committed), wall(&fresh)) {
+            if old_wall > 0.0 {
+                let ratio = new_wall / old_wall;
+                eprintln!("  wall {:.4}s vs baseline {:.4}s ({ratio:.2}x)", new_wall, old_wall);
+                if strict_times && ratio > STRICT_TIME_RATIO {
+                    failures.push(format!(
+                        "{}: wall time regressed {ratio:.1}x (> {STRICT_TIME_RATIO}x, strict mode)",
+                        w.key
+                    ));
+                }
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        eprintln!("check_bench: all baselines match");
+    } else {
+        eprintln!("check_bench: {} failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

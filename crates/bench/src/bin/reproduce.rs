@@ -13,7 +13,7 @@ use std::io::Write as _;
 
 use raw_bench::report::ExpTable;
 use raw_bench::Scale;
-use raw_bench::{ablations, experiments};
+use raw_bench::{ablations, baseline, experiments};
 
 type Runner = fn(&Scale) -> ExpTable;
 
@@ -35,6 +35,9 @@ fn registry() -> Vec<(&'static str, Runner)> {
         ("fig13", experiments::fig13),
         ("fig14", experiments::fig14),
         ("table3", experiments::table3),
+        // Perf baselines: BENCH_<key>.json artifacts with deterministic
+        // counters (diffed exactly by `check_bench`) and advisory times.
+        ("baselines", baseline::baselines),
         // Ablations (not paper figures): isolate one design choice each.
         ("ablation_index", ablations::ablation_index),
         ("ablation_adaptive", ablations::ablation_adaptive),

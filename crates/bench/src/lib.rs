@@ -18,6 +18,7 @@
 //! curves cross — are.
 
 pub mod ablations;
+pub mod baseline;
 pub mod datasets;
 pub mod experiments;
 pub mod report;

@@ -29,6 +29,7 @@ use raw_columnar::{Batch, MemTable, Value};
 use raw_formats::file_buffer::FileBufferPool;
 use raw_formats::rootsim::RootSimFile;
 use raw_posmap::{PositionalMap, TrackingPolicy};
+use raw_trace::EngineMetrics;
 
 use crate::catalog::{Catalog, TableDef};
 use crate::cost::CostModel;
@@ -37,7 +38,7 @@ use crate::physical::{self, Harvests, PlannerCtx};
 use crate::plan::{resolve, ColRef, ResolvedQuery};
 use crate::shreds::ShredPool;
 use crate::sql;
-use crate::stats::QueryStats;
+use crate::stats::{QueryStats, QueryTrace};
 use crate::table_stats::StatsRegistry;
 
 /// Which access-path family the engine uses (the systems of §4.2).
@@ -233,6 +234,7 @@ pub struct RawEngine {
     loaded: HashMap<String, Arc<MemTable>>,
     root_files: HashMap<PathBuf, Arc<RootSimFile>>,
     stats: StatsRegistry,
+    metrics: Arc<EngineMetrics>,
 }
 
 impl RawEngine {
@@ -243,16 +245,18 @@ impl RawEngine {
         } else {
             TemplateCache::with_simulated_compile_latency(config.simulated_compile_latency)
         };
+        let metrics = Arc::new(EngineMetrics::new());
         RawEngine {
             catalog: Catalog::new(),
             pool: ShredPool::new(config.shred_pool_bytes),
             config,
-            files: Arc::new(FileBufferPool::new()),
+            files: Arc::new(FileBufferPool::with_metrics(Arc::clone(&metrics))),
             templates,
             posmaps: HashMap::new(),
             loaded: HashMap::new(),
             root_files: HashMap::new(),
             stats: StatsRegistry::new(),
+            metrics,
         }
     }
 
@@ -270,6 +274,14 @@ impl RawEngine {
     /// to flip between cold and warm runs.
     pub fn files(&self) -> &FileBufferPool {
         &self.files
+    }
+
+    /// The engine-lifetime metrics registry: monotonic atomic counters for
+    /// file-pool traffic, chunk-stream completions/waits/failures, cache
+    /// hits, morsel dispatch, and the resident-buffer gauge. Never reset by
+    /// a query; see `raw_trace::metrics` for the charge contract.
+    pub fn metrics(&self) -> &Arc<EngineMetrics> {
+        &self.metrics
     }
 
     /// Current configuration.
@@ -342,6 +354,17 @@ impl RawEngine {
         Ok(plan.explain)
     }
 
+    /// EXPLAIN ANALYZE: execute the query and render its plan annotated
+    /// with measured actuals — per-operator rows/time/prune counts, the
+    /// parallel run shape, the totals line, and (for parallel runs) the
+    /// per-morsel worker/gate-wait table. The result rows are discarded;
+    /// callers that want both run [`RawEngine::query`] and render
+    /// `stats.explain_analyze(..)` themselves.
+    pub fn explain_analyze(&mut self, sql_text: &str) -> Result<String> {
+        let result = self.query(sql_text)?;
+        Ok(result.stats.explain_analyze(true))
+    }
+
     /// Execute a resolved query.
     pub fn execute(&mut self, resolved: &ResolvedQuery) -> Result<QueryResult> {
         let wall_start = Instant::now();
@@ -397,8 +420,13 @@ impl RawEngine {
             posmaps_built,
             shreds_recorded,
             rows_out: batch.rows() as u64,
+            workers: 1,
+            morsels: 0,
+            gate_wait: Duration::ZERO,
             explain,
+            trace: None,
         };
+        self.charge_query(&stats, /* parallel = */ false);
         Ok(QueryResult { batch, column_names: output_names, stats })
     }
 
@@ -424,12 +452,22 @@ impl RawEngine {
             gates,
             explain,
             output_names,
+            morsel_meta,
         } = plan;
 
         // Availability-gated dispatch: on cold streamed runs each morsel
         // waits for its byte range (not the whole file) before draining.
+        let dispatched = pipelines.len() as u64;
+        self.metrics.morsels(dispatched);
         let mut outcome =
-            raw_exec::execute_morsels_when(pipelines, gates, &merge, self.config.parallelism)?;
+            match raw_exec::execute_morsels_when(pipelines, gates, &merge, self.config.parallelism)
+            {
+                Ok(outcome) => outcome,
+                Err(e) => {
+                    self.metrics.morsel_failed();
+                    return Err(e.into());
+                }
+            };
         // Scan work performed at plan time (a join's serial build-side
         // drain) belongs to this query's accounting too.
         outcome.profile.merge(&build_profile);
@@ -472,6 +510,15 @@ impl RawEngine {
             }
         }
 
+        // Zip the runtime morsel traces (worker, gate-wait, drain time) with
+        // the planner's morsel metadata into the query's trace.
+        let trace = QueryTrace {
+            workers: self.config.parallelism,
+            morsels: std::mem::take(&mut outcome.traces),
+            meta: morsel_meta,
+        };
+        let gate_wait = trace.total_gate_wait();
+
         let tmpl1 = self.templates.stats();
         let shred1 = self.pool.stats();
         let stats = QueryStats {
@@ -487,8 +534,13 @@ impl RawEngine {
             posmaps_built,
             shreds_recorded,
             rows_out: batch.rows() as u64,
+            workers: self.config.parallelism,
+            morsels: outcome.morsels,
+            gate_wait,
             explain,
+            trace: Some(trace),
         };
+        self.charge_query(&stats, /* parallel = */ true);
         Ok(QueryResult { batch, column_names: output_names, stats })
     }
 
@@ -554,8 +606,10 @@ impl RawEngine {
             rows_out: batch.rows() as u64,
             posmaps_built,
             shreds_recorded,
+            workers: 1,
             ..Default::default()
         };
+        self.charge_query(&stats, /* parallel = */ false);
         Ok(QueryResult { batch, column_names, stats })
     }
 
@@ -566,6 +620,14 @@ impl RawEngine {
     }
 
     // -- internals -----------------------------------------------------------
+
+    /// Mirror a finished query's cache traffic into the engine-lifetime
+    /// registry (the per-query deltas sum to the engine totals).
+    fn charge_query(&self, stats: &QueryStats, parallel: bool) {
+        self.metrics.query(parallel);
+        self.metrics.template_traffic(stats.template_hits, stats.template_misses);
+        self.metrics.shred_traffic(stats.shred_hits, stats.shred_misses);
+    }
 
     fn planner_ctx(&mut self) -> PlannerCtx<'_> {
         PlannerCtx {

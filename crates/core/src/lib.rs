@@ -65,5 +65,5 @@ pub use engine::{
     AccessMode, EngineConfig, JoinPlacement, PlannedScan, QueryResult, RawEngine, ShredStrategy,
 };
 pub use error::{EngineError, Result};
-pub use stats::QueryStats;
+pub use stats::{MorselMeta, QueryStats, QueryTrace};
 pub use table_stats::{ColumnHistogram, StatsRegistry};

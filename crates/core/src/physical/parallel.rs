@@ -58,6 +58,7 @@ use crate::catalog::{TableDef, TableSource};
 use crate::engine::{AccessMode, ShredStrategy};
 use crate::error::{EngineError, Result};
 use crate::plan::{ColRef, ResolvedQuery};
+use crate::stats::MorselMeta;
 
 use super::helpers::PosMapSink;
 use super::{slice_per_table, AttachWhen, Harvests, Planner, PlannerCtx, StreamHandle};
@@ -96,6 +97,10 @@ pub(crate) struct ParallelPlan {
     pub explain: Vec<String>,
     /// Output column names.
     pub output_names: Vec<String>,
+    /// Static morsel metadata (driving format, byte/row ranges), aligned
+    /// with `pipelines`; the engine zips it with the runtime morsel traces
+    /// into the query's [`crate::stats::QueryTrace`].
+    pub morsel_meta: Vec<MorselMeta>,
 }
 
 /// Plan `q` for morsel-parallel execution, or `None` when the query (or the
@@ -119,6 +124,17 @@ pub(crate) fn try_plan(
     };
     let Partitioned { morsels, stream, ready } = parted;
     let text_format = matches!(driving.source, TableSource::Csv { .. });
+    let format = source_format(&driving.source);
+    let morsel_meta: Vec<MorselMeta> = morsels
+        .iter()
+        .map(|m| MorselMeta {
+            format,
+            byte_start: m.byte_start,
+            byte_end: m.byte_end,
+            first_row: m.first_row,
+            end_row: m.end_row,
+        })
+        .collect();
 
     // Cold streamed run still in flight: per-morsel pipelines read from the
     // in-flight buffer (no full-residency wait at plan time); the
@@ -343,7 +359,19 @@ pub(crate) fn try_plan(
         gates,
         explain,
         output_names,
+        morsel_meta,
     }))
+}
+
+/// Stable format label for morsel metadata (trace artifacts key on it).
+fn source_format(source: &TableSource) -> &'static str {
+    match source {
+        TableSource::Csv { .. } => "csv",
+        TableSource::Fbin { .. } => "fbin",
+        TableSource::Ibin { .. } => "ibin",
+        TableSource::RootEvents { .. } => "root-events",
+        TableSource::RootCollection { .. } => "root-collection",
+    }
 }
 
 /// Stage 1: whether the query can take the parallel path at all. The

@@ -19,11 +19,14 @@
 //!   float sums) are deterministic because the merge order is the morsel
 //!   order, which never depends on the thread count.
 
+use std::time::Instant;
+
 use raw_columnar::ops::{AggAccumulator, AggExpr, GroupedAccumulator, Operator};
 use raw_columnar::profile::{PhaseProfile, ScanMetrics};
 use raw_columnar::{Batch, ColumnarError};
+use raw_trace::{merge_worker_sinks, MorselTrace};
 
-use crate::pool::run_jobs_when;
+use crate::pool::{run_jobs_traced, JobCtx};
 
 /// An availability gate for one morsel: blocks until the morsel's inputs
 /// are resident (its byte range has streamed in from disk), or reports the
@@ -66,6 +69,11 @@ pub struct ParallelOutcome {
     pub metrics: ScanMetrics,
     /// Morsels executed.
     pub morsels: usize,
+    /// Per-morsel execution records, in morsel order. One record per
+    /// *successfully drained* morsel (a failed gate leaves a gap), appended
+    /// by the draining worker into its private sink — so trace volume is
+    /// O(morsels), never O(rows) — and merged after the pool barrier.
+    pub traces: Vec<MorselTrace>,
 }
 
 /// What one worker produces for one morsel.
@@ -106,7 +114,8 @@ pub fn execute_morsels_when(
     let jobs: Vec<_> = pipelines
         .into_iter()
         .zip(gates)
-        .map(|(mut op, gate)| {
+        .enumerate()
+        .map(|(morsel, (mut op, gate))| {
             let merge = merge.clone();
             // The gate's Err *is* the morsel's terminal result (an error
             // MorselResult), so the pool can record it without running the
@@ -118,11 +127,14 @@ pub fn execute_morsels_when(
                     Some(g) => g().map_err(Err),
                 }
             };
-            let drain = move || -> MorselResult {
+            let drain = move |ctx: JobCtx<'_, MorselTrace>| -> MorselResult {
+                let started = Instant::now();
+                let mut rows_out = 0u64;
                 let out = match merge {
                     MergePlan::Concat => {
                         let mut batches = Vec::new();
                         while let Some(b) = op.next_batch()? {
+                            rows_out += b.rows() as u64;
                             batches.push(b);
                         }
                         MorselOutput::Batches(batches)
@@ -130,6 +142,7 @@ pub fn execute_morsels_when(
                     MergePlan::Aggregate(exprs) => {
                         let mut acc = AggAccumulator::new(exprs);
                         while let Some(b) = op.next_batch()? {
+                            rows_out += b.rows() as u64;
                             acc.update(&b)?;
                         }
                         MorselOutput::Partial(Box::new(acc))
@@ -137,18 +150,32 @@ pub fn execute_morsels_when(
                     MergePlan::Grouped(g) => {
                         let mut acc = GroupedAccumulator::new(g.key_col, g.exprs);
                         while let Some(b) = op.next_batch()? {
+                            rows_out += b.rows() as u64;
                             acc.update(&b)?;
                         }
                         MorselOutput::GroupedPartial(Box::new(acc))
                     }
                 };
-                Ok((out, op.scan_profile(), op.scan_metrics()))
+                let (profile, metrics) = (op.scan_profile(), op.scan_metrics());
+                // One trace event per morsel — recorded after the drain so
+                // the scan loop itself carries zero tracing work.
+                ctx.sink.push(MorselTrace {
+                    morsel,
+                    worker: ctx.worker,
+                    gate_wait: ctx.gate_wait,
+                    exec: started.elapsed(),
+                    rows_out,
+                    profile,
+                    metrics,
+                });
+                Ok((out, profile, metrics))
             };
             (admit, drain)
         })
         .collect();
 
-    let results = run_jobs_when(jobs, threads);
+    let (results, sinks) = run_jobs_traced(jobs, threads);
+    let traces = merge_worker_sinks(sinks);
 
     let mut profile = PhaseProfile::default();
     let mut metrics = ScanMetrics::default();
@@ -190,7 +217,7 @@ pub fn execute_morsels_when(
         }
     }
 
-    Ok(ParallelOutcome { batches, profile, metrics, morsels })
+    Ok(ParallelOutcome { batches, profile, metrics, morsels, traces })
 }
 
 #[cfg(test)]
@@ -299,6 +326,35 @@ mod tests {
         let b = &out.batches[0];
         assert_eq!(b.value(0, 0).unwrap(), Value::Int64(0));
         assert_eq!(b.value(0, 1).unwrap(), Value::Utf8("NULL".into()));
+    }
+
+    #[test]
+    fn trace_volume_is_bounded_by_morsels_not_rows() {
+        // 3 morsels, 7 rows total: the trace layer must emit exactly one
+        // event per morsel regardless of row count — the overhead contract.
+        for threads in [1, 4] {
+            let pipelines: Vec<Box<dyn Operator>> =
+                vec![source(&[1, 2, 3, 4]), source(&[5]), source(&[6, 7])];
+            let out = execute_morsels(pipelines, &MergePlan::Concat, threads).unwrap();
+            assert_eq!(out.traces.len(), out.morsels);
+            assert_eq!(out.traces.len(), 3);
+            let order: Vec<usize> = out.traces.iter().map(|t| t.morsel).collect();
+            assert_eq!(order, vec![0, 1, 2], "traces merge in morsel order");
+            let rows: Vec<u64> = out.traces.iter().map(|t| t.rows_out).collect();
+            assert_eq!(rows, vec![4, 1, 2]);
+            for t in &out.traces {
+                assert!(t.worker < threads.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_traces_count_folded_rows() {
+        let pipelines: Vec<Box<dyn Operator>> = vec![source(&[5, -2, 9]), source(&[7, 7])];
+        let exprs = vec![AggExpr { kind: AggKind::Sum, col: 0 }];
+        let out = execute_morsels(pipelines, &MergePlan::Aggregate(exprs), 2).unwrap();
+        let rows: Vec<u64> = out.traces.iter().map(|t| t.rows_out).collect();
+        assert_eq!(rows, vec![3, 2]);
     }
 
     #[test]

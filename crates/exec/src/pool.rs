@@ -14,10 +14,47 @@
 //! the reader thread is still filling later chunks; a gate that fails
 //! (reader I/O error) short-circuits the job into the gate's terminal
 //! result without running it.
+//!
+//! ## Cold-path chunk-wait semantics
+//!
+//! The time a worker spends blocked inside a gate is *overlap slack*, not
+//! engine work: it measures how far scan speed outruns the reader thread.
+//! [`run_jobs_traced`] stamps that duration per job (`JobCtx::gate_wait`),
+//! and `ChunkedFileBuffer::wait_available` separately charges each blocking
+//! wait to `EngineMetrics::{chunk_waits, chunk_wait_nanos}`. Both are
+//! scheduling-dependent — two identical cold runs legitimately differ — so
+//! equivalence tests must treat them as advisory, never exact. The
+//! deterministic invariant is elsewhere: *which* chunks complete and how
+//! many bytes they charge is identical across runs; only *who waited and
+//! for how long* varies. A worker blocked in a gate holds no lock and
+//! parks on the chunk condvar, so it never prevents other workers from
+//! claiming later (already-resident) morsels.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+
+/// Per-job execution context handed to a [`run_jobs_traced`] job closure:
+/// which pool worker claimed the job, how long that worker was blocked in
+/// the job's availability gate, and the worker's private trace sink.
+///
+/// The sink is the no-lock hot path of the tracing layer: each spawned
+/// worker owns one `Vec<E>` for its whole lifetime (single writer, no
+/// sharing), jobs append into it through this context, and the pool hands
+/// all sinks back only after the scope barrier. Jobs append at most O(1)
+/// events each, so sink volume is bounded by the job count (one morsel =
+/// one job), never by row count.
+pub struct JobCtx<'s, E> {
+    /// Index of the pool worker running this job (`0..threads`; the serial
+    /// inline path is worker `0`).
+    pub worker: usize,
+    /// How long this worker was blocked in the job's gate before the job
+    /// ran. Zero for ungated jobs and for gates that admit immediately.
+    pub gate_wait: Duration,
+    /// The claiming worker's private event sink.
+    pub sink: &'s mut Vec<E>,
+}
 
 /// Run every job, using up to `threads` OS threads, and return the results
 /// in job order. `threads <= 1` (or a single job) runs inline on the caller
@@ -54,43 +91,92 @@ where
     G: FnOnce() -> Result<(), T> + Send,
     F: FnOnce() -> T + Send,
 {
+    let traced: Vec<(G, _)> =
+        jobs.into_iter().map(|(gate, job)| (gate, move |_ctx: JobCtx<'_, ()>| job())).collect();
+    run_jobs_traced(traced, threads).0
+}
+
+/// The fully-instrumented dispatch path: like [`run_jobs_when`], but each
+/// job closure receives a [`JobCtx`] carrying the claiming worker's id, the
+/// measured gate-wait, and that worker's private event sink.
+///
+/// Returns `(results, sinks)`: results in job order (as always), and one
+/// event sink per spawned worker in worker order. Sinks are per-worker, so
+/// event order *within* a sink is that worker's claim order and the
+/// cross-worker interleaving is scheduling-dependent; callers that need a
+/// deterministic view must merge on an order key the events carry (the
+/// executor sorts morsel traces by morsel index). A failed gate
+/// short-circuits as in [`run_jobs_when`] — the job closure never runs, so
+/// it records no events.
+pub fn run_jobs_traced<T, E, G, F>(jobs: Vec<(G, F)>, threads: usize) -> (Vec<T>, Vec<Vec<E>>)
+where
+    T: Send,
+    E: Send,
+    G: FnOnce() -> Result<(), T> + Send,
+    F: for<'s> FnOnce(JobCtx<'s, E>) -> T + Send,
+{
     let n = jobs.len();
     let threads = threads.max(1).min(n);
     if threads <= 1 {
-        return jobs
+        let mut sink: Vec<E> = Vec::new();
+        let results = jobs
             .into_iter()
-            .map(|(gate, job)| match gate() {
-                Ok(()) => job(),
-                Err(t) => t,
+            .map(|(gate, job)| {
+                let start = Instant::now();
+                match gate() {
+                    Ok(()) => {
+                        job(JobCtx { worker: 0, gate_wait: start.elapsed(), sink: &mut sink })
+                    }
+                    Err(t) => t,
+                }
             })
             .collect();
+        return (results, vec![sink]);
     }
 
     let slots: Vec<Mutex<Option<(G, F)>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
     let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let sinks: Vec<Mutex<Vec<E>>> = (0..threads).map(|_| Mutex::new(Vec::new())).collect();
     let cursor = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        for worker in 0..threads {
+            let sinks = &sinks;
+            let slots = &slots;
+            let results = &results;
+            let cursor = &cursor;
+            scope.spawn(move || {
+                // The worker's private sink: appended to lock-free for the
+                // worker's whole run, published into the shared slot once at
+                // the end (the only synchronized touch).
+                let mut sink: Vec<E> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let (gate, job) =
+                        slots[i].lock().take().expect("each job claimed exactly once");
+                    let start = Instant::now();
+                    let out = match gate() {
+                        Ok(()) => {
+                            job(JobCtx { worker, gate_wait: start.elapsed(), sink: &mut sink })
+                        }
+                        Err(t) => t,
+                    };
+                    *results[i].lock() = Some(out);
                 }
-                let (gate, job) = slots[i].lock().take().expect("each job claimed exactly once");
-                let out = match gate() {
-                    Ok(()) => job(),
-                    Err(t) => t,
-                };
-                *results[i].lock() = Some(out);
+                *sinks[worker].lock() = sink;
             });
         }
     });
 
-    results
+    let results = results
         .into_iter()
         .map(|slot| slot.into_inner().expect("scope joined, every job ran"))
-        .collect()
+        .collect();
+    let sinks = sinks.into_iter().map(|s| s.into_inner()).collect();
+    (results, sinks)
 }
 
 #[cfg(test)]
@@ -195,6 +281,84 @@ mod tests {
                 );
             });
         }
+    }
+
+    #[test]
+    fn traced_jobs_stamp_worker_and_collect_sink_events() {
+        for threads in [1usize, 4] {
+            let jobs: Vec<_> = (0..16u64)
+                .map(|i| {
+                    (
+                        || -> Result<(), u64> { Ok(()) },
+                        move |ctx: JobCtx<'_, (usize, u64)>| {
+                            ctx.sink.push((ctx.worker, i));
+                            i
+                        },
+                    )
+                })
+                .collect();
+            let (results, sinks) = run_jobs_traced(jobs, threads);
+            assert_eq!(results, (0..16u64).collect::<Vec<_>>());
+            assert_eq!(sinks.len(), threads.clamp(1, 16));
+            // Every job recorded exactly one event, each stamped with the
+            // sink-owning worker's id.
+            let mut seen: Vec<u64> = Vec::new();
+            for (w, sink) in sinks.iter().enumerate() {
+                for &(worker, i) in sink {
+                    assert_eq!(worker, w, "event landed in its own worker's sink");
+                    seen.push(i);
+                }
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, (0..16u64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn traced_failed_gate_records_no_events() {
+        type BoxedGate = Box<dyn FnOnce() -> Result<(), i64> + Send>;
+        let jobs: Vec<(BoxedGate, _)> = (0..8i64)
+            .map(|i| {
+                let gate: BoxedGate =
+                    if i % 2 == 0 { Box::new(move || Err(-100 - i)) } else { Box::new(|| Ok(())) };
+                (gate, move |ctx: JobCtx<'_, i64>| {
+                    ctx.sink.push(i);
+                    i
+                })
+            })
+            .collect();
+        let (results, sinks) = run_jobs_traced(jobs, 3);
+        assert_eq!(results, vec![-100, 1, -102, 3, -104, 5, -106, 7]);
+        let mut events: Vec<i64> = sinks.into_iter().flatten().collect();
+        events.sort_unstable();
+        assert_eq!(events, vec![1, 3, 5, 7], "short-circuited jobs left no trace");
+    }
+
+    #[test]
+    fn traced_gate_wait_measures_blocking_time() {
+        let release = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            let release = &release;
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                release.store(1, Ordering::SeqCst);
+            });
+            let jobs = vec![(
+                move || -> Result<(), std::time::Duration> {
+                    while release.load(Ordering::SeqCst) == 0 {
+                        std::hint::spin_loop();
+                    }
+                    Ok(())
+                },
+                |ctx: JobCtx<'_, ()>| ctx.gate_wait,
+            )];
+            let (results, _) = run_jobs_traced(jobs, 1);
+            assert!(
+                results[0] >= std::time::Duration::from_millis(10),
+                "gate_wait {:?} should reflect the blocked interval",
+                results[0]
+            );
+        });
     }
 
     #[test]

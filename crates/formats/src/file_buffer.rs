@@ -45,8 +45,10 @@ use std::ops::Range;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
+use raw_trace::EngineMetrics;
 
 use crate::error::{FormatError, Result};
 
@@ -181,6 +183,9 @@ struct ChunkState {
     done: Vec<bool>,
     /// Number of `true` entries in `done` (cheap all-complete check).
     completed: usize,
+    /// Bytes covered by completed chunks — the "partial prefix" a failed
+    /// stream reports to the metrics registry.
+    bytes_done: u64,
     /// Set once by the reader on I/O failure; terminal.
     failed: Option<StreamFailure>,
 }
@@ -204,6 +209,11 @@ pub struct ChunkedFileBuffer {
     /// length, like a blocking read, while a failed stream charges only
     /// what was actually read. `None` for manual/warm buffers.
     charge: Option<Arc<AtomicU64>>,
+    /// Engine-lifetime observability: chunk completions, blocking
+    /// chunk-waits, and terminal stream failures (with the partial byte
+    /// prefix) are recorded here. `None` for manual/warm buffers and
+    /// pools without a registry.
+    metrics: Option<Arc<EngineMetrics>>,
 }
 
 impl std::fmt::Debug for ChunkedFileBuffer {
@@ -249,10 +259,12 @@ impl ChunkedFileBuffer {
             state: Mutex::new(ChunkState {
                 done: vec![false; ChunkedFileBuffer::chunk_count(len, chunk_bytes)],
                 completed: 0,
+                bytes_done: 0,
                 failed: None,
             }),
             available: Condvar::new(),
             charge: None,
+            metrics: None,
         }
     }
 
@@ -264,6 +276,7 @@ impl ChunkedFileBuffer {
     ) -> ChunkedFileBuffer {
         let chunk_bytes = chunk_bytes.max(1);
         let chunks = ChunkedFileBuffer::chunk_count(bytes.len(), chunk_bytes);
+        let bytes_done = bytes.len() as u64;
         ChunkedFileBuffer {
             bytes,
             chunk_bytes,
@@ -271,10 +284,12 @@ impl ChunkedFileBuffer {
             state: Mutex::new(ChunkState {
                 done: vec![true; chunks],
                 completed: chunks,
+                bytes_done,
                 failed: None,
             }),
             available: Condvar::new(),
             charge: None,
+            metrics: None,
         }
     }
 
@@ -294,13 +309,29 @@ impl ChunkedFileBuffer {
     /// failed stream charges only the bytes actually read.
     pub fn spawn_charged(
         path: impl Into<PathBuf>,
-        mut source: impl ChunkSource,
+        source: impl ChunkSource,
         len: usize,
         chunk_bytes: usize,
         charge: Option<Arc<AtomicU64>>,
     ) -> Arc<ChunkedFileBuffer> {
+        ChunkedFileBuffer::spawn_observed(path, source, len, chunk_bytes, charge, None)
+    }
+
+    /// [`ChunkedFileBuffer::spawn_charged`] with an engine-metrics handle:
+    /// chunk completions, blocking waits, and terminal failures (with the
+    /// completed byte prefix) are recorded into the registry as they
+    /// happen.
+    pub fn spawn_observed(
+        path: impl Into<PathBuf>,
+        mut source: impl ChunkSource,
+        len: usize,
+        chunk_bytes: usize,
+        charge: Option<Arc<AtomicU64>>,
+        metrics: Option<Arc<EngineMetrics>>,
+    ) -> Arc<ChunkedFileBuffer> {
         let mut buf = ChunkedFileBuffer::new_manual(path, len, chunk_bytes);
         buf.charge = charge;
+        buf.metrics = metrics;
         let buf = Arc::new(buf);
         let reader = Arc::clone(&buf);
         std::thread::spawn(move || {
@@ -351,9 +382,13 @@ impl ChunkedFileBuffer {
             if !*flag {
                 *flag = true;
                 st.completed += 1;
+                let span = ChunkedFileBuffer::chunk_span(self.bytes.len(), self.chunk_bytes, i);
+                st.bytes_done += span.len() as u64;
                 if let Some(charge) = &self.charge {
-                    let span = ChunkedFileBuffer::chunk_span(self.bytes.len(), self.chunk_bytes, i);
                     charge.fetch_add(span.len() as u64, Ordering::Relaxed);
+                }
+                if let Some(m) = &self.metrics {
+                    m.chunk_completed(span.len() as u64);
                 }
             }
         }
@@ -361,11 +396,17 @@ impl ChunkedFileBuffer {
         self.available.notify_all();
     }
 
-    /// Record a terminal reader failure and wake every waiter.
+    /// Record a terminal reader failure and wake every waiter. The metrics
+    /// registry (when attached) records the failure together with the
+    /// partial byte prefix the stream had completed — fault observability,
+    /// not just propagation.
     pub fn fail(&self, error: std::io::Error) {
         let mut st = self.state.lock();
         if st.failed.is_none() {
             st.failed = Some(StreamFailure { kind: error.kind(), message: error.to_string() });
+            if let Some(m) = &self.metrics {
+                m.stream_failed(st.bytes_done);
+            }
         }
         drop(st);
         self.available.notify_all();
@@ -388,18 +429,30 @@ impl ChunkedFileBuffer {
     /// Block until every chunk covering `range` (clamped to the file) is
     /// complete, or surface the reader's I/O failure. Never returns `Ok`
     /// before the covering chunks have all completed.
+    ///
+    /// A call that actually blocks charges one `chunk_waits` event (and the
+    /// blocked nanoseconds) to the attached metrics registry; a call whose
+    /// range is already resident charges nothing — so the counter measures
+    /// real overlap stalls, not polling traffic.
     pub fn wait_available(&self, range: Range<usize>) -> Result<()> {
         let chunks = self.covering_chunks(&range);
         let mut st = self.state.lock();
-        loop {
+        let mut blocked_at: Option<Instant> = None;
+        let outcome = loop {
             if let Some(f) = &st.failed {
-                return Err(self.failure_error(f));
+                break Err(self.failure_error(f));
             }
             if chunks.clone().all(|i| st.done[i]) {
-                return Ok(());
+                break Ok(());
             }
+            blocked_at.get_or_insert_with(Instant::now);
             self.available.wait(&mut st);
+        };
+        drop(st);
+        if let (Some(m), Some(t0)) = (&self.metrics, blocked_at) {
+            m.chunk_wait(t0.elapsed().as_nanos() as u64);
         }
+        outcome
     }
 
     /// Non-blocking availability probe for `range` (clamped to the file).
@@ -447,12 +500,56 @@ pub struct FileBufferPool {
     bytes_from_disk: Arc<AtomicU64>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Engine-lifetime registry mirroring the pool counters and tracking
+    /// the resident-buffer gauge. Set at construction
+    /// ([`FileBufferPool::with_metrics`]); `None` means unobserved (the
+    /// pool's own counters still work).
+    metrics: Option<Arc<EngineMetrics>>,
 }
 
 impl FileBufferPool {
     /// An empty pool.
     pub fn new() -> FileBufferPool {
         FileBufferPool::default()
+    }
+
+    /// An empty pool recording into `metrics`: every hit/miss/disk-byte the
+    /// pool counts is mirrored into the registry, streams spawned by this
+    /// pool record chunk completions / waits / failures, and the
+    /// `resident_bytes` gauge tracks the bytes held by the warm map plus
+    /// in-flight streams (peak kept in `peak_resident_bytes`).
+    pub fn with_metrics(metrics: Arc<EngineMetrics>) -> FileBufferPool {
+        FileBufferPool { metrics: Some(metrics), ..FileBufferPool::default() }
+    }
+
+    /// One pool hit: the pool's own counter plus the registry mirror.
+    fn count_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.file_hit();
+        }
+    }
+
+    /// One pool miss: the pool's own counter plus the registry mirror.
+    fn count_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.file_miss();
+        }
+    }
+
+    /// Gauge bookkeeping: `n` buffer bytes entered a pool map.
+    fn gauge_add(&self, n: usize) {
+        if let Some(m) = &self.metrics {
+            m.resident_add(n as u64);
+        }
+    }
+
+    /// Gauge bookkeeping: `n` buffer bytes left a pool map.
+    fn gauge_sub(&self, n: usize) {
+        if let Some(m) = &self.metrics {
+            m.resident_sub(n as u64);
+        }
     }
 
     /// Fetch the bytes of `path`, reading from disk on first access. The
@@ -462,7 +559,7 @@ impl FileBufferPool {
     /// mix `read` and `read_streaming`.
     pub fn read(&self, path: &Path) -> Result<FileBytes> {
         if let Some(buf) = self.buffers.lock().get(path) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.count_hit();
             return Ok(Arc::clone(buf));
         }
         if let Some(stream) = self.stream_for(path) {
@@ -473,7 +570,7 @@ impl FileBufferPool {
                     return Err(e);
                 }
             };
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.count_hit();
             return Ok(self.publish_stream(path, &stream, bytes));
         }
         let data = std::fs::read(path).map_err(|e| FormatError::io(path, e))?;
@@ -484,13 +581,17 @@ impl FileBufferPool {
         // Counters stay consistent: one miss per charged read.
         let mut buffers = self.buffers.lock();
         if let Some(existing) = buffers.get(path) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.count_hit();
             return Ok(Arc::clone(existing));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.count_miss();
         self.bytes_from_disk.fetch_add(data.len() as u64, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.disk_bytes(data.len() as u64);
+        }
         let buf = file_bytes(data);
         buffers.insert(path.to_path_buf(), Arc::clone(&buf));
+        self.gauge_add(buf.len());
         Ok(buf)
     }
 
@@ -516,7 +617,7 @@ impl FileBufferPool {
         chunk_bytes: usize,
     ) -> Result<Arc<ChunkedFileBuffer>> {
         if let Some(buf) = self.buffers.lock().get(path) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.count_hit();
             return Ok(Arc::new(ChunkedFileBuffer::completed(path, Arc::clone(buf), chunk_bytes)));
         }
         if let Some(stream) = self.stream_for(path) {
@@ -525,11 +626,11 @@ impl FileBufferPool {
                 self.drop_failed_stream(path, &stream);
             } else if stream.is_complete() {
                 // Lazily publish to the warm pool and serve the winner.
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.count_hit();
                 let bytes = self.publish_stream(path, &stream, Arc::clone(stream.bytes()));
                 return Ok(Arc::new(ChunkedFileBuffer::completed(path, bytes, chunk_bytes)));
             } else {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.count_hit();
                 return Ok(stream);
             }
         }
@@ -542,7 +643,7 @@ impl FileBufferPool {
         let mut streams = self.streams.lock();
         if let Some(existing) = streams.get(path) {
             if !existing.is_failed() {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.count_hit();
                 return Ok(Arc::clone(existing));
             }
             streams.remove(path);
@@ -550,15 +651,17 @@ impl FileBufferPool {
         // The reader thread credits `bytes_from_disk` per completed chunk:
         // a successful stream charges exactly `len` (identical to the
         // blocking path), a failed one only what it actually read.
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let stream = ChunkedFileBuffer::spawn_charged(
+        self.count_miss();
+        let stream = ChunkedFileBuffer::spawn_observed(
             path,
             source,
             len,
             chunk_bytes,
             Some(Arc::clone(&self.bytes_from_disk)),
+            self.metrics.clone(),
         );
         streams.insert(path.to_path_buf(), Arc::clone(&stream));
+        self.gauge_add(len);
         Ok(stream)
     }
 
@@ -568,7 +671,7 @@ impl FileBufferPool {
     /// charged for the same access, keeping cold-streaming and
     /// cold-blocking counters identical.
     pub fn note_stream_hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.count_hit();
     }
 
     fn stream_for(&self, path: &Path) -> Option<Arc<ChunkedFileBuffer>> {
@@ -585,11 +688,15 @@ impl FileBufferPool {
         bytes: FileBytes,
     ) -> FileBytes {
         let mut buffers = self.buffers.lock();
-        let winner = match buffers.get(path) {
-            Some(existing) => Arc::clone(existing),
+        // Gauge: when the stream's bytes become the warm buffer this is a
+        // *move* between maps (no add, no sub — the bytes stay resident);
+        // when an insert already won, the stream's superseded bytes leave
+        // the gauge with the stream entry below.
+        let (winner, moved) = match buffers.get(path) {
+            Some(existing) => (Arc::clone(existing), false),
             None => {
                 buffers.insert(path.to_path_buf(), Arc::clone(&bytes));
-                bytes
+                (bytes, true)
             }
         };
         drop(buffers);
@@ -597,6 +704,9 @@ impl FileBufferPool {
         if let Some(current) = streams.get(path) {
             if Arc::ptr_eq(current, stream) {
                 streams.remove(path);
+                if !moved {
+                    self.gauge_sub(stream.len());
+                }
             }
         }
         winner
@@ -608,6 +718,7 @@ impl FileBufferPool {
         if let Some(current) = streams.get(path) {
             if Arc::ptr_eq(current, stream) {
                 streams.remove(path);
+                self.gauge_sub(stream.len());
             }
         }
     }
@@ -618,26 +729,43 @@ impl FileBufferPool {
     pub fn insert(&self, path: impl Into<PathBuf>, data: Vec<u8>) -> FileBytes {
         let path = path.into();
         let buf = file_bytes(data);
-        self.buffers.lock().insert(path.clone(), Arc::clone(&buf));
+        if let Some(old) = self.buffers.lock().insert(path.clone(), Arc::clone(&buf)) {
+            self.gauge_sub(old.len());
+        }
+        self.gauge_add(buf.len());
         // Forget any stream for the path: with the insert in the warm map
         // no access would ever reach it again, so keeping it would pin the
         // whole in-flight buffer for the pool's lifetime. Its holders keep
         // their bytes; its reader thread finishes into the dropped buffer.
-        self.streams.lock().remove(&path);
+        if let Some(stream) = self.streams.lock().remove(&path) {
+            self.gauge_sub(stream.len());
+        }
         buf
     }
 
     /// Drop one file's buffer (next read is cold). An in-flight stream for
     /// the path is forgotten too (its holders keep their bytes).
     pub fn evict(&self, path: &Path) {
-        self.buffers.lock().remove(path);
-        self.streams.lock().remove(path);
+        if let Some(old) = self.buffers.lock().remove(path) {
+            self.gauge_sub(old.len());
+        }
+        if let Some(stream) = self.streams.lock().remove(path) {
+            self.gauge_sub(stream.len());
+        }
     }
 
     /// Drop everything: the "cold caches" switch for experiments.
     pub fn evict_all(&self) {
-        self.buffers.lock().clear();
-        self.streams.lock().clear();
+        let mut buffers = self.buffers.lock();
+        let dropped: usize = buffers.values().map(|b| b.len()).sum();
+        buffers.clear();
+        drop(buffers);
+        self.gauge_sub(dropped);
+        let mut streams = self.streams.lock();
+        let dropped: usize = streams.values().map(|s| s.len()).sum();
+        streams.clear();
+        drop(streams);
+        self.gauge_sub(dropped);
     }
 
     /// Whether `path` is currently buffered (i.e. a read would be warm).
@@ -949,6 +1077,105 @@ mod tests {
         let served = pool.read(&path).unwrap();
         assert!(Arc::ptr_eq(&served, stream.bytes()), "published buffer is the stream's");
         assert_eq!(pool.bytes_from_disk(), content.len() as u64, "one disk read");
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn metric(m: &EngineMetrics, name: &str) -> u64 {
+        m.snapshot().into_iter().find(|(n, _)| *n == name).unwrap().1
+    }
+
+    #[test]
+    fn observed_pool_mirrors_counters_and_tracks_residency() {
+        let content: Vec<u8> = (0..50_000u32).map(|i| (i % 253) as u8).collect();
+        let path = temp_file("observed.bin", &content);
+        let metrics = Arc::new(EngineMetrics::new());
+        let pool = FileBufferPool::with_metrics(Arc::clone(&metrics));
+
+        let stream = pool.read_streaming(&path, 4096).unwrap();
+        stream.wait_all().unwrap();
+        let joined = pool.read(&path).unwrap();
+        assert_eq!(&joined[..], &content[..]);
+
+        // Registry mirrors the pool's own counters exactly.
+        let (hits, misses) = pool.hit_miss();
+        assert_eq!(metric(&metrics, "file_pool_hits"), hits);
+        assert_eq!(metric(&metrics, "file_pool_misses"), misses);
+        assert_eq!(metric(&metrics, "bytes_from_disk"), pool.bytes_from_disk());
+        assert_eq!(metric(&metrics, "bytes_from_disk"), content.len() as u64);
+        assert_eq!(
+            metric(&metrics, "chunks_completed"),
+            ChunkedFileBuffer::chunk_count(content.len(), 4096) as u64
+        );
+
+        // The published buffer is resident (once — publish moves it from
+        // the stream map to the warm map without double counting).
+        assert_eq!(metric(&metrics, "resident_bytes"), content.len() as u64);
+        assert_eq!(metric(&metrics, "peak_resident_bytes"), content.len() as u64);
+        pool.evict_all();
+        assert_eq!(metric(&metrics, "resident_bytes"), 0, "eviction empties the gauge");
+        assert_eq!(metric(&metrics, "peak_resident_bytes"), content.len() as u64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn observed_wait_charges_only_blocking_waits() {
+        let metrics = Arc::new(EngineMetrics::new());
+        let mut buf = ChunkedFileBuffer::new_manual("/virtual/waits", 100, 10);
+        buf.metrics = Some(Arc::clone(&metrics));
+        let buf = Arc::new(buf);
+        buf.complete_chunk(0);
+        // Already-resident range: no wait charged.
+        buf.wait_available(0..10).unwrap();
+        assert_eq!(metric(&metrics, "chunk_waits"), 0);
+        // A genuinely blocking wait is charged once, with its duration.
+        std::thread::scope(|s| {
+            let b = Arc::clone(&buf);
+            s.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                b.complete_chunk(1);
+            });
+            buf.wait_available(10..20).unwrap();
+        });
+        assert_eq!(metric(&metrics, "chunk_waits"), 1);
+        assert!(metric(&metrics, "chunk_wait_nanos") > 0);
+    }
+
+    #[test]
+    fn observed_failed_stream_records_failure_and_partial_bytes() {
+        let metrics = Arc::new(EngineMetrics::new());
+        let buf = ChunkedFileBuffer::spawn_observed(
+            "/virtual/obsfail.bin",
+            FailingSource { fail_at: 3, served: 0 },
+            100,
+            10,
+            None,
+            Some(Arc::clone(&metrics)),
+        );
+        assert!(buf.wait_all().is_err());
+        assert_eq!(metric(&metrics, "stream_failures"), 1);
+        assert_eq!(metric(&metrics, "stream_failed_bytes"), 30, "three 10-byte chunks completed");
+        assert_eq!(
+            metric(&metrics, "bytes_from_disk"),
+            30,
+            "failed stream charges the prefix only"
+        );
+    }
+
+    #[test]
+    fn insert_wins_race_keeps_gauge_consistent() {
+        let content = vec![2u8; 30_000];
+        let path = temp_file("gauge_race.bin", &content);
+        let metrics = Arc::new(EngineMetrics::new());
+        let pool = FileBufferPool::with_metrics(Arc::clone(&metrics));
+        let stream = pool.read_streaming(&path, 1024).unwrap();
+        // Insert during the stream: the stream's bytes are superseded and
+        // leave the gauge; only the insert's bytes stay resident.
+        pool.insert(path.clone(), vec![9u8; 8]);
+        stream.wait_all().unwrap();
+        let _ = pool.read(&path).unwrap(); // observes completion, must not re-add
+        assert_eq!(metric(&metrics, "resident_bytes"), 8);
+        pool.evict(&path);
+        assert_eq!(metric(&metrics, "resident_bytes"), 0);
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,0 +1,443 @@
+//! A dependency-free JSON writer and parser.
+//!
+//! The workspace builds fully offline (no serde); baselines and query
+//! reports need a diffable interchange format, so this module hand-rolls
+//! the small JSON subset they use: objects, arrays, strings, booleans,
+//! null, unsigned integers, and floats. Object key order is preserved
+//! exactly as built, so callers that emit keys in a fixed order get
+//! byte-stable output for stable values — the property the committed
+//! `BENCH_*.json` baselines rely on.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Unsigned counters get their own variant so they render
+/// as exact integers (never through float formatting).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An exact unsigned integer (counters).
+    UInt(u64),
+    /// A float (timings); rendered with Rust's shortest-roundtrip format.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved (insertion order).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Object member by key (objects only).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact unsigned integer (also accepts integral
+    /// floats, the round-trip through parsers that don't distinguish).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(n) => Some(*n),
+            Json::Float(f) if *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a float.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(n) => Some(*n as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as object members.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Render compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Render with `indent`-space indentation — the committed-artifact
+    /// format (diff-friendly, one leaf per line).
+    pub fn render_pretty(&self, indent: usize) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(indent), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let pad = |out: &mut String, d: usize| {
+            if let Some(n) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(n * d));
+            }
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f:?}");
+                } else {
+                    // JSON has no NaN/Inf; null is the conventional stand-in.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                if !items.is_empty() {
+                    pad(out, depth);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                if !pairs.is_empty() {
+                    pad(out, depth);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a JSON document (the subset [`Json`] renders, plus standard
+/// escapes). Errors carry a byte offset for diagnostics.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(format!("trailing input at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        if !float {
+            if let Ok(n) = s.parse::<u64>() {
+                return Ok(Json::UInt(n));
+            }
+        }
+        s.parse::<f64>().map(Json::Float).map_err(|e| format!("bad number {s:?}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            // Surrogate pairs are not emitted by this
+                            // writer; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected , or ] got {other:?} at {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                other => return Err(format!("expected , or }} got {other:?} at {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_reparses() {
+        let doc = Json::obj(vec![
+            ("name", Json::Str("fig1 \"cold\"\n".into())),
+            ("counters", Json::obj(vec![("rows", Json::UInt(12345)), ("io", Json::UInt(0))])),
+            ("times", Json::Arr(vec![Json::Float(0.125), Json::Float(3.0)])),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+        ]);
+        let compact = doc.render();
+        assert_eq!(parse(&compact).unwrap(), doc);
+        let pretty = doc.render_pretty(2);
+        assert_eq!(parse(&pretty).unwrap(), doc);
+        assert!(pretty.contains("  \"rows\": 12345"));
+    }
+
+    #[test]
+    fn exact_integers_never_float_format() {
+        let n = Json::UInt(u64::MAX);
+        assert_eq!(n.render(), u64::MAX.to_string());
+        assert_eq!(parse(&n.render()).unwrap().as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        for f in [0.1, 1e-9, 123456.75, -2.5] {
+            let s = Json::Float(f).render();
+            assert_eq!(parse(&s).unwrap().as_f64(), Some(f), "{s}");
+        }
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn object_key_order_is_stable() {
+        let doc = Json::obj(vec![("z", Json::UInt(1)), ("a", Json::UInt(2))]);
+        assert_eq!(doc.render(), "{\"z\":1,\"a\":2}");
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = parse(r#"{"a": {"b": [1, 2.5, "x"]}}"#).unwrap();
+        let arr = doc.get("a").unwrap().get("b").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2].as_str(), Some("x"));
+        assert!(doc.get("missing").is_none());
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        assert!(parse("{\"a\":").unwrap_err().contains("byte"));
+        assert!(parse("[1, 2").unwrap_err().contains("expected"));
+        assert!(parse("{} trailing").unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let s = Json::Str("tab\t nl\n quote\" back\\ ctrl\u{1}".into());
+        assert_eq!(parse(&s.render()).unwrap(), s);
+    }
+}

@@ -1,0 +1,118 @@
+//! # raw-trace
+//!
+//! The observability layer of the RAW reproduction: the paper's whole
+//! argument is measurement-driven (Figure 3's cost breakdown is what
+//! justifies JIT access paths, positional maps, and shreds), and the
+//! *Resource Utilization Monitoring for Raw Data Query Processing* follow-up
+//! folds CPU/IO utilization counters into the same per-query report. This
+//! crate provides the three pieces every other layer records into:
+//!
+//! - [`metrics::EngineMetrics`] — an engine-lifetime registry of atomic
+//!   counters and gauges (file-pool traffic, chunk-stream waits, cache
+//!   hits, morsel dispatch, resident-buffer footprint). Writers bump
+//!   relaxed atomics; there are no locks anywhere on a recording path.
+//! - [`MorselTrace`] — the per-morsel execution record (worker id,
+//!   gate-wait, drain time, scan profile and volume counters). Each pool
+//!   worker appends to its own `Vec` sink — single writer per sink, no
+//!   shared lock on the hot path — and the sinks merge in morsel order
+//!   after the pool barrier. Recording is per *morsel*, never per row, so
+//!   tracing adds no work inside scan loops.
+//! - [`json`] — a dependency-free JSON writer/parser (the workspace vendors
+//!   no serde), used to persist `BENCH_*.json` perf baselines and query
+//!   reports as diffable artifacts.
+//!
+//! Layering: `raw-formats` records file/chunk traffic, `raw-exec` records
+//! morsel dispatch, `raw-engine` aggregates both into `QueryStats` /
+//! `QueryTrace`, and `raw-bench` serializes them into committed baselines.
+
+pub mod json;
+pub mod metrics;
+
+use std::time::Duration;
+
+use raw_columnar::profile::{PhaseProfile, ScanMetrics};
+
+pub use json::Json;
+pub use metrics::EngineMetrics;
+
+/// One morsel's execution record, appended by the worker that drained it
+/// into that worker's private sink and merged (in morsel order) after the
+/// pool barrier. One record per morsel — per-morsel granularity is the
+/// overhead contract: a scan of a million rows in eight morsels produces
+/// eight records.
+#[derive(Debug, Clone, Default)]
+pub struct MorselTrace {
+    /// Morsel index in the plan's morsel grid (merge order).
+    pub morsel: usize,
+    /// Pool worker that claimed and drained the morsel.
+    pub worker: usize,
+    /// Time the worker spent blocked in the morsel's availability gate
+    /// (cold streamed runs: waiting for the byte range to arrive from the
+    /// reader thread; ~0 on warm/ungated runs).
+    pub gate_wait: Duration,
+    /// Wall time draining the morsel's pipeline (after the gate admitted
+    /// it).
+    pub exec: Duration,
+    /// Rows the morsel's pipeline emitted (pre-merge: selection rows, or
+    /// rows folded into the morsel's partial aggregate state).
+    pub rows_out: u64,
+    /// The morsel scan's Figure-3 phase profile.
+    pub profile: PhaseProfile,
+    /// The morsel scan's volume counters.
+    pub metrics: ScanMetrics,
+}
+
+impl MorselTrace {
+    /// Serialize for the query-report artifact.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("morsel", Json::UInt(self.morsel as u64)),
+            ("worker", Json::UInt(self.worker as u64)),
+            ("gate_wait_s", Json::Float(self.gate_wait.as_secs_f64())),
+            ("exec_s", Json::Float(self.exec.as_secs_f64())),
+            ("rows_out", Json::UInt(self.rows_out)),
+            ("scan_s", Json::Float(self.profile.total.as_secs_f64())),
+            ("rows_scanned", Json::UInt(self.metrics.rows_scanned)),
+            ("rows_pruned", Json::UInt(self.metrics.rows_pruned)),
+            ("fields_tokenized", Json::UInt(self.metrics.fields_tokenized)),
+        ])
+    }
+}
+
+/// Merge per-worker sinks into one list ordered by morsel index (the
+/// deterministic post-barrier view; workers claim morsels dynamically, so
+/// sink order is scheduling-dependent but the merged order never is).
+pub fn merge_worker_sinks(sinks: Vec<Vec<MorselTrace>>) -> Vec<MorselTrace> {
+    let mut all: Vec<MorselTrace> = sinks.into_iter().flatten().collect();
+    all.sort_by_key(|t| t.morsel);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sinks_merge_in_morsel_order() {
+        let a = vec![
+            MorselTrace { morsel: 3, worker: 0, ..Default::default() },
+            MorselTrace { morsel: 0, worker: 0, ..Default::default() },
+        ];
+        let b = vec![
+            MorselTrace { morsel: 2, worker: 1, ..Default::default() },
+            MorselTrace { morsel: 1, worker: 1, ..Default::default() },
+        ];
+        let merged = merge_worker_sinks(vec![a, b]);
+        let order: Vec<usize> = merged.iter().map(|t| t.morsel).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert_eq!(merged[1].worker, 1);
+    }
+
+    #[test]
+    fn morsel_trace_serializes() {
+        let t = MorselTrace { morsel: 2, rows_out: 7, ..Default::default() };
+        let s = t.to_json().render();
+        assert!(s.contains("\"morsel\":2"));
+        assert!(s.contains("\"rows_out\":7"));
+    }
+}

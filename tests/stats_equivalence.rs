@@ -1,0 +1,253 @@
+//! Counter-tiling equivalence: the morsel grid partitions the file, so a
+//! parallel run's `QueryStats`/`ScanMetrics` volume counters must sum to
+//! exactly the serial run's — per format, per worker count, warm and cold —
+//! and the per-morsel trace must itself tile the query totals. Times and
+//! gate-waits are scheduling-dependent and deliberately not compared.
+//!
+//! Matrix: five formats (csv, fbin, ibin, root-events, root-collection) ×
+//! parallelism 1/2/4/8 × { cold-streamed (tiny chunks), warm re-run }.
+
+use raw::columnar::{DataType, Schema, Value};
+use raw::engine::{AccessMode, EngineConfig, QueryStats, RawEngine, TableDef, TableSource};
+use raw::formats::datagen;
+use raw::formats::rootsim::{RootSchema, RootSimWriter};
+
+/// A scratch directory with automatic cleanup.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("raw_statseq_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> std::path::PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+const ROWS: usize = 4_000;
+const COLS: usize = 6;
+
+/// Small morsels + small chunks so test-sized files split into many morsels;
+/// `cache_shreds: false` keeps warm re-runs on the (parallel) file path
+/// instead of collapsing to the serial pool scan.
+fn config(parallelism: usize) -> EngineConfig {
+    EngineConfig {
+        parallelism,
+        mode: AccessMode::Jit,
+        morsel_bytes: 2 << 10,
+        read_chunk_bytes: 4096,
+        cache_shreds: false,
+        ..EngineConfig::from_env()
+    }
+}
+
+fn write_rootsim(dir: &TempDir) {
+    let schema = RootSchema {
+        scalars: vec![("id".into(), DataType::Int64), ("run".into(), DataType::Int64)],
+        collections: vec![raw::formats::rootsim::RootCollection {
+            name: "muons".into(),
+            fields: vec![("pt".into(), DataType::Float32)],
+        }],
+    };
+    let mut w = RootSimWriter::new(schema).unwrap();
+    for i in 0..ROWS as i64 {
+        let id = (i * 7919 + 13) % 1_000_000;
+        let run = (i * 104_729) % 9_973;
+        let muons = (i % 5) as usize;
+        let items: Vec<Vec<Value>> = (0..muons)
+            .map(|j| vec![Value::Float32(((i * 13 + j as i64 * 5) % 1000) as f32 / 10.0)])
+            .collect();
+        w.add_event(&[Value::Int64(id), Value::Int64(run)], &[items]).unwrap();
+    }
+    w.write_file(&dir.path("t.root")).unwrap();
+}
+
+fn write_dataset(dir: &TempDir) {
+    let table = datagen::int_table(97, ROWS, COLS);
+    raw::formats::csv::writer::write_file(&table, &dir.path("t.csv")).unwrap();
+    raw::formats::fbin::write_file(&table, &dir.path("t.fbin")).unwrap();
+    let sorted = datagen::sorted_copy(&table, 0);
+    raw::formats::ibin::write_file(&sorted, &dir.path("t.ibin"), 64, Some(0)).unwrap();
+    write_rootsim(dir);
+}
+
+fn engine_over(dir: &TempDir, config: EngineConfig) -> RawEngine {
+    let mut engine = RawEngine::new(config);
+    engine.register_table(TableDef {
+        name: "t_csv".into(),
+        schema: Schema::uniform(COLS, DataType::Int64),
+        source: TableSource::Csv { path: dir.path("t.csv") },
+    });
+    engine.register_table(TableDef {
+        name: "t_fbin".into(),
+        schema: Schema::uniform(COLS, DataType::Int64),
+        source: TableSource::Fbin { path: dir.path("t.fbin") },
+    });
+    engine.register_table(TableDef {
+        name: "t_ibin".into(),
+        schema: Schema::uniform(COLS, DataType::Int64),
+        source: TableSource::Ibin { path: dir.path("t.ibin") },
+    });
+    engine.register_table(TableDef {
+        name: "t_root".into(),
+        schema: Schema::new(vec![
+            raw::columnar::Field::new("id", DataType::Int64),
+            raw::columnar::Field::new("run", DataType::Int64),
+        ]),
+        source: TableSource::RootEvents { path: dir.path("t.root") },
+    });
+    engine.register_table(TableDef {
+        name: "muons".into(),
+        schema: Schema::new(vec![
+            raw::columnar::Field::new("id", DataType::Int64),
+            raw::columnar::Field::new("pt", DataType::Float32),
+        ]),
+        source: TableSource::RootCollection {
+            path: dir.path("t.root"),
+            collection: "muons".into(),
+            parent_scalar: Some("id".into()),
+        },
+    });
+    engine
+}
+
+/// The deterministic counters compared across regimes. Times, gate-waits,
+/// and chunk-wait counters are scheduling-dependent and excluded by design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Counters {
+    rows_scanned: u64,
+    rows_pruned: u64,
+    fields_tokenized: u64,
+    values_converted: u64,
+    values_materialized: u64,
+    io_bytes: u64,
+    rows_out: u64,
+}
+
+impl Counters {
+    fn of(stats: &QueryStats) -> Counters {
+        Counters {
+            rows_scanned: stats.metrics.rows_scanned,
+            rows_pruned: stats.metrics.rows_pruned,
+            fields_tokenized: stats.metrics.fields_tokenized,
+            values_converted: stats.metrics.values_converted,
+            values_materialized: stats.metrics.values_materialized,
+            io_bytes: stats.io_bytes,
+            rows_out: stats.rows_out,
+        }
+    }
+}
+
+/// One engine, one query, cold then warm: the compared counters plus the
+/// file-pool hit/miss totals after the cold run.
+struct Observation {
+    cold: Counters,
+    warm: Counters,
+    cold_misses: u64,
+    cold_stats: QueryStats,
+}
+
+fn observe(dir: &TempDir, config: EngineConfig, sql: &str) -> Observation {
+    let mut engine = engine_over(dir, config);
+    let cold = engine.query(sql).unwrap();
+    let (_, cold_misses) = engine.files().hit_miss();
+    let warm = engine.query(sql).unwrap();
+    assert_eq!(warm.stats.io_bytes, 0, "warm run reads nothing: {sql}");
+    Observation {
+        cold: Counters::of(&cold.stats),
+        warm: Counters::of(&warm.stats),
+        cold_misses,
+        cold_stats: cold.stats,
+    }
+}
+
+fn queries() -> Vec<String> {
+    let x = datagen::literal_for_selectivity(0.4);
+    let small = datagen::literal_for_selectivity(0.05);
+    let mut qs = Vec::new();
+    for table in ["t_csv", "t_fbin", "t_ibin"] {
+        qs.push(format!("SELECT MAX(col3), COUNT(col2) FROM {table} WHERE col1 < {x}"));
+        qs.push(format!("SELECT col2, col5 FROM {table} WHERE col1 < {small}"));
+    }
+    qs.push("SELECT MAX(id), COUNT(run) FROM t_root WHERE id < 500000".into());
+    qs.push("SELECT MAX(pt), COUNT(pt) FROM muons WHERE pt > 30.0".into());
+    qs
+}
+
+/// Every format, every worker count, cold-streamed and warm: the volume
+/// counters of a parallel run equal the serial run's exactly — the morsel
+/// grid tiles the file, so the sums are invariant — and the disk-miss count
+/// is identical (each file is charged from disk exactly once).
+#[test]
+fn parallel_counters_tile_serial_exactly() {
+    let dir = TempDir::new("tile");
+    write_dataset(&dir);
+
+    for sql in queries() {
+        let serial = observe(&dir, config(1), &sql);
+        assert!(serial.cold.rows_scanned > 0, "reference run scanned something: {sql}");
+
+        for parallelism in [2usize, 4, 8] {
+            let parallel = observe(&dir, config(parallelism), &sql);
+            assert_eq!(
+                parallel.cold, serial.cold,
+                "cold counters diverge at parallelism {parallelism}: {sql}"
+            );
+            assert_eq!(
+                parallel.warm, serial.warm,
+                "warm counters diverge at parallelism {parallelism}: {sql}"
+            );
+            assert_eq!(
+                parallel.cold_misses, serial.cold_misses,
+                "disk-miss count diverges at parallelism {parallelism}: {sql}"
+            );
+        }
+    }
+}
+
+/// The per-morsel trace tiles its own query: summing the morsel records'
+/// scan counters and output rows reproduces the query totals, every morsel
+/// is present exactly once (in order), and trace volume is O(morsels).
+#[test]
+fn morsel_traces_tile_the_query_totals() {
+    let dir = TempDir::new("trace");
+    write_dataset(&dir);
+    let x = datagen::literal_for_selectivity(0.4);
+
+    for table in ["t_csv", "t_fbin", "t_ibin"] {
+        let sql = format!("SELECT col2, col5 FROM {table} WHERE col1 < {x}");
+        let obs = observe(&dir, config(4), &sql);
+        let stats = &obs.cold_stats;
+        let trace = stats.trace.as_ref().expect("parallel run records a trace");
+        assert_eq!(trace.morsels.len(), stats.morsels, "one record per morsel: {sql}");
+        assert!(stats.morsels >= 2, "file split into multiple morsels: {sql}");
+        assert_eq!(trace.meta.len(), stats.morsels, "planner metadata aligned: {sql}");
+
+        let order: Vec<usize> = trace.morsels.iter().map(|t| t.morsel).collect();
+        assert_eq!(order, (0..stats.morsels).collect::<Vec<_>>(), "morsel order: {sql}");
+
+        let scanned: u64 = trace.morsels.iter().map(|t| t.metrics.rows_scanned).sum();
+        let pruned: u64 = trace.morsels.iter().map(|t| t.metrics.rows_pruned).sum();
+        let rows: u64 = trace.morsels.iter().map(|t| t.rows_out).sum();
+        assert_eq!(scanned, stats.metrics.rows_scanned, "scanned rows tile: {sql}");
+        assert_eq!(pruned, stats.metrics.rows_pruned, "pruned rows tile: {sql}");
+        assert_eq!(rows, stats.rows_out, "output rows tile: {sql}");
+
+        // Row ranges in the metadata tile the table without gaps.
+        let mut next = 0u64;
+        for m in &trace.meta {
+            assert_eq!(m.first_row, next, "contiguous morsel rows: {sql}");
+            assert!(m.end_row > m.first_row, "non-empty morsel: {sql}");
+            next = m.end_row;
+        }
+    }
+}
