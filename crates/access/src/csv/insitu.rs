@@ -19,7 +19,7 @@ use raw_columnar::batch::TableTag;
 use raw_columnar::ops::Operator;
 use raw_columnar::{Batch, Column, ColumnarError, DataType, Value};
 use raw_formats::csv::parse;
-use raw_formats::csv::tokenizer::{general_dialect_step, DialectByte, GeneralDialectState};
+use raw_formats::csv::tokenizer::{general_next_field, general_skip_to_next_row};
 use raw_formats::csv::NEWLINE;
 use raw_formats::file_buffer::FileBytes;
 use raw_posmap::{Lookup, PosMapBuilder, PositionalMap};
@@ -34,57 +34,13 @@ struct FieldAction {
     map_slot: Option<u16>,
 }
 
-/// The general-purpose field tokenizer: a byte-level state machine that —
-/// unlike the specialized `next_field` the JIT path composes with — must
-/// check for quoting and escapes on every byte, because a query-agnostic
-/// CSV engine cannot assume the simple dialect. (This mirrors the per-byte
-/// branch profile of MySQL's CSV engine and the NoDB parser the paper
-/// measures against.) The byte classification itself is the shared
-/// [`general_dialect_step`] machine, so this tokenizer, the tail-of-row
-/// skip below, and `raw-exec`'s quote-aware partitioner agree on record
-/// boundaries by construction.
-/// The returned `bool` reports whether the field ended its row (newline or
-/// end of buffer) — the signal the scan uses to reject ragged rows instead
-/// of silently reading across row boundaries.
-#[inline]
-fn general_next_field(
-    buf: &[u8],
-    pos: usize,
-) -> (raw_formats::csv::tokenizer::FieldSpan, usize, bool) {
-    let start = pos;
-    let mut i = pos;
-    let mut state = GeneralDialectState::default();
-    while i < buf.len() {
-        match general_dialect_step(&mut state, buf[i]) {
-            DialectByte::Delimiter => {
-                return (raw_formats::csv::tokenizer::FieldSpan { start, end: i }, i + 1, false)
-            }
-            DialectByte::RecordEnd => {
-                return (raw_formats::csv::tokenizer::FieldSpan { start, end: i }, i + 1, true)
-            }
-            DialectByte::Content => i += 1,
-        }
-    }
-    (raw_formats::csv::tokenizer::FieldSpan { start, end: i }, i, true)
-}
-
-/// Skip to the start of the next record under the general dialect — the
-/// tail-of-row counterpart of [`general_next_field`], so the fields a query
-/// does *not* read obey the same quote/escape rules as the fields it does.
-/// (A raw-newline skip here would end the row inside a quoted trailing
-/// field, desynchronizing the scan from the dialect it parses with.)
-#[inline]
-fn general_skip_to_next_row(buf: &[u8], mut pos: usize) -> usize {
-    let mut state = GeneralDialectState::default();
-    while pos < buf.len() {
-        let b = buf[pos];
-        pos += 1;
-        if general_dialect_step(&mut state, b) == DialectByte::RecordEnd {
-            break;
-        }
-    }
-    pos
-}
+// The general-dialect field tokenizer and tail-of-row skip now live in
+// `raw_formats::csv::tokenizer` (`general_next_field` /
+// `general_skip_to_next_row`): SWAR-accelerated walks that are
+// observationally identical to stepping the shared `general_dialect_step`
+// state machine byte by byte, so this scan, the JIT path's simple-dialect
+// walks, and `raw-exec`'s quote-aware partitioner all stand on one set of
+// kernels and agree on record boundaries by construction.
 
 /// General-purpose in-situ CSV scan operator.
 pub struct InSituCsvScan {

@@ -91,6 +91,52 @@ impl Bitmask {
         }
     }
 
+    /// Reset to an all-zeros mask of `len` bits, reusing the word buffer.
+    ///
+    /// Scratch-path primitive: predicate evaluation re-targets one mask per
+    /// batch without a fresh allocation (`words` keeps its capacity).
+    pub fn reset_zeros(&mut self, len: usize) {
+        self.len = len;
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+    }
+
+    /// Reset to an all-ones mask of `len` bits, reusing the word buffer.
+    pub fn reset_ones(&mut self, len: usize) {
+        self.len = len;
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), u64::MAX);
+        self.clear_tail();
+    }
+
+    /// In-place intersection with `other`. Bits of `self` beyond `other`'s
+    /// words are cleared (absent bits read as zero, matching [`Bitmask::get`]).
+    pub fn intersect_with(&mut self, other: &Bitmask) {
+        let shared = other.words.len().min(self.words.len());
+        for (sw, &ow) in self.words[..shared].iter_mut().zip(&other.words) {
+            *sw &= ow;
+        }
+        for sw in &mut self.words[shared..] {
+            *sw = 0;
+        }
+    }
+
+    /// Flip every bit in `[0, len)` in place.
+    pub fn invert(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.clear_tail();
+    }
+
+    /// Mutable view of the backing words, least-significant bit = lowest row.
+    /// Writers must not set bits at or beyond `len` (use [`Bitmask::reset_zeros`]
+    /// first and write whole words; the tail word's high bits stay zero as long
+    /// as only in-range bits are produced).
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()

@@ -6,6 +6,7 @@
 //! planner.
 
 use crate::batch::Batch;
+use crate::bitmask::Bitmask;
 use crate::column::Column;
 use crate::error::{ColumnarError, Result};
 use crate::types::{DataType, Value};
@@ -122,47 +123,84 @@ impl Predicate {
     }
 
     /// Evaluate over a batch, producing one boolean per row.
+    ///
+    /// Convenience wrapper over [`Predicate::eval_mask`]; the mask path is the
+    /// only evaluation kernel, so both agree bit-for-bit by construction.
     pub fn evaluate(&self, batch: &Batch) -> Result<Vec<bool>> {
+        let mut scratch = SelectionScratch::default();
+        self.eval_mask(batch, &mut scratch)?;
+        Ok((0..batch.rows()).map(|i| scratch.mask.get(i)).collect())
+    }
+
+    /// Evaluate into `scratch.mask` (one bit per row), reusing the scratch's
+    /// word buffers across batches instead of allocating per call.
+    ///
+    /// This is the filter hot-loop entry point: a flat predicate (a `Cmp`, or
+    /// an `And`/`Or` of `Cmp`s — the shapes every benchmark query uses) is
+    /// evaluated with zero heap allocation after the first batch. Only
+    /// children nested two boolean levels deep fall back to a local mask.
+    pub fn eval_mask(&self, batch: &Batch, scratch: &mut SelectionScratch) -> Result<()> {
+        let SelectionScratch { mask, tmp } = scratch;
+        self.eval_mask_inner(batch, mask, tmp)
+    }
+
+    fn eval_mask_inner(&self, batch: &Batch, mask: &mut Bitmask, tmp: &mut Bitmask) -> Result<()> {
         match self {
-            Predicate::True => Ok(vec![true; batch.rows()]),
-            Predicate::Cmp { col, op, lit } => {
-                let column = batch.column(*col)?;
-                eval_cmp(column, *op, lit)
+            Predicate::True => {
+                mask.reset_ones(batch.rows());
+                Ok(())
             }
+            Predicate::Cmp { col, op, lit } => eval_cmp_mask(batch.column(*col)?, *op, lit, mask),
             Predicate::And(ps) => {
-                let mut acc = vec![true; batch.rows()];
+                mask.reset_ones(batch.rows());
                 for p in ps {
-                    let v = p.evaluate(batch)?;
-                    for (a, b) in acc.iter_mut().zip(v) {
-                        *a &= b;
-                    }
+                    // `nested` only touches the heap if `p` is itself a
+                    // combinator; leaf children evaluate straight into `tmp`.
+                    let mut nested = Bitmask::default();
+                    p.eval_mask_inner(batch, tmp, &mut nested)?;
+                    mask.intersect_with(tmp);
                 }
-                Ok(acc)
+                Ok(())
             }
             Predicate::Or(ps) => {
-                let mut acc = vec![false; batch.rows()];
+                mask.reset_zeros(batch.rows());
                 for p in ps {
-                    let v = p.evaluate(batch)?;
-                    for (a, b) in acc.iter_mut().zip(v) {
-                        *a |= b;
-                    }
+                    let mut nested = Bitmask::default();
+                    p.eval_mask_inner(batch, tmp, &mut nested)?;
+                    mask.union_with(tmp);
                 }
-                Ok(acc)
+                Ok(())
             }
             Predicate::Not(p) => {
-                let mut v = p.evaluate(batch)?;
-                for b in &mut v {
-                    *b = !*b;
-                }
-                Ok(v)
+                p.eval_mask_inner(batch, mask, tmp)?;
+                mask.invert();
+                Ok(())
             }
         }
     }
 
     /// Evaluate and return the indices of qualifying rows (selection vector).
     pub fn selection(&self, batch: &Batch) -> Result<Vec<usize>> {
-        let mask = self.evaluate(batch)?;
-        Ok(mask.iter().enumerate().filter_map(|(i, &keep)| keep.then_some(i)).collect())
+        let mut scratch = SelectionScratch::default();
+        let mut out = Vec::new();
+        self.selection_into(batch, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Scratch-buffer variant of [`Predicate::selection`]: evaluates into the
+    /// caller's reusable mask words and rewrites `out` (cleared first) with the
+    /// qualifying row indices. Selects exactly the same rows as `selection`,
+    /// without the per-batch `Vec<bool>` + `Vec<usize>` allocations.
+    pub fn selection_into(
+        &self,
+        batch: &Batch,
+        scratch: &mut SelectionScratch,
+        out: &mut Vec<usize>,
+    ) -> Result<()> {
+        self.eval_mask(batch, scratch)?;
+        out.clear();
+        out.extend(scratch.mask.iter_ones());
+        Ok(())
     }
 
     /// Render as a SQL-ish string (used by plan explain and tests).
@@ -194,25 +232,59 @@ impl Predicate {
     }
 }
 
-/// Vectorized comparison kernel: one tight loop per (type, op) pair. The
-/// operator dispatch happens once per *batch*, not once per row — this is the
-/// columnar analogue of the branch-elimination the paper's JIT scan operators
-/// perform on the raw-data side.
-fn eval_cmp(column: &Column, op: CmpOp, lit: &Value) -> Result<Vec<bool>> {
+/// Reusable word buffers for [`Predicate::eval_mask`] /
+/// [`Predicate::selection_into`]. One per filter operator; zero-sized until
+/// first use.
+#[derive(Debug, Default)]
+pub struct SelectionScratch {
+    /// Result mask: bit `i` set iff row `i` qualifies.
+    mask: Bitmask,
+    /// Child scratch for `And`/`Or` combinators.
+    tmp: Bitmask,
+}
+
+impl SelectionScratch {
+    /// The mask produced by the last [`Predicate::eval_mask`] call.
+    pub fn mask(&self) -> &Bitmask {
+        &self.mask
+    }
+}
+
+/// Pack `pred(values[i])` into `mask`, 64 rows per word write.
+///
+/// The tail chunk only produces in-range bits, so the mask's tail invariant
+/// (high bits of the last word zero) holds without a separate clear.
+fn fill_mask<T: Copy>(values: &[T], pred: impl Fn(T) -> bool, mask: &mut Bitmask) {
+    mask.reset_zeros(values.len());
+    let words = mask.words_mut();
+    for (word, chunk) in words.iter_mut().zip(values.chunks(64)) {
+        let mut w = 0u64;
+        for (bit, &v) in chunk.iter().enumerate() {
+            w |= u64::from(pred(v)) << bit;
+        }
+        *word = w;
+    }
+}
+
+/// Vectorized comparison kernel: one tight loop per (type, op) pair, writing
+/// straight into bitmask words. The operator dispatch happens once per
+/// *batch*, not once per row — this is the columnar analogue of the
+/// branch-elimination the paper's JIT scan operators perform on the raw-data
+/// side.
+fn eval_cmp_mask(column: &Column, op: CmpOp, lit: &Value, mask: &mut Bitmask) -> Result<()> {
     macro_rules! kernel {
         ($slice:expr, $lit:expr) => {{
             let s = $slice;
             let l = $lit;
-            let mut out = Vec::with_capacity(s.len());
             match op {
-                CmpOp::Lt => out.extend(s.iter().map(|v| *v < l)),
-                CmpOp::Le => out.extend(s.iter().map(|v| *v <= l)),
-                CmpOp::Gt => out.extend(s.iter().map(|v| *v > l)),
-                CmpOp::Ge => out.extend(s.iter().map(|v| *v >= l)),
-                CmpOp::Eq => out.extend(s.iter().map(|v| *v == l)),
-                CmpOp::Ne => out.extend(s.iter().map(|v| *v != l)),
+                CmpOp::Lt => fill_mask(s, |v| v < l, mask),
+                CmpOp::Le => fill_mask(s, |v| v <= l, mask),
+                CmpOp::Gt => fill_mask(s, |v| v > l, mask),
+                CmpOp::Ge => fill_mask(s, |v| v >= l, mask),
+                CmpOp::Eq => fill_mask(s, |v| v == l, mask),
+                CmpOp::Ne => fill_mask(s, |v| v != l, mask),
             }
-            Ok(out)
+            Ok(())
         }};
     }
 
@@ -227,11 +299,13 @@ fn eval_cmp(column: &Column, op: CmpOp, lit: &Value) -> Result<Vec<bool>> {
         (Column::Float64(v), Value::Float64(l)) => kernel!(v.as_slice(), l),
         (Column::Bool(v), Value::Bool(l)) => kernel!(v.as_slice(), l),
         (Column::Utf8(v), Value::Utf8(l)) => {
-            let mut out = Vec::with_capacity(v.len());
-            for s in v {
-                out.push(op.holds(&s.as_str(), &l.as_str()));
+            mask.reset_zeros(v.len());
+            for (i, s) in v.iter().enumerate() {
+                if op.holds(&s.as_str(), &l.as_str()) {
+                    mask.set(i, true);
+                }
             }
-            Ok(out)
+            Ok(())
         }
         (c, l) => Err(ColumnarError::TypeMismatch {
             expected: c.data_type(),
@@ -298,6 +372,35 @@ mod tests {
         let b = batch();
         let p = Predicate::cmp(0, CmpOp::Lt, 10i64);
         assert_eq!(p.selection(&b).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch() {
+        // `selection`/`evaluate` build a fresh scratch per call; driving one
+        // scratch through batches that shrink and then grow (crossing the
+        // 64-row word boundary both ways) must select identical rows, or the
+        // reset paths are leaking state between batches.
+        let small = batch(); // 4 rows
+        let big = Batch::new(vec![
+            (0..130i64).collect::<Vec<_>>().into(),
+            (0..130).map(|i| i as f64 / 10.0).collect::<Vec<_>>().into(),
+        ])
+        .unwrap();
+        let p = Predicate::Or(vec![
+            Predicate::And(vec![
+                Predicate::cmp(0, CmpOp::Gt, 1i64),
+                Predicate::cmp(1, CmpOp::Lt, 4.0f64),
+            ]),
+            Predicate::Not(Box::new(Predicate::cmp(0, CmpOp::Ne, 127i64))),
+        ]);
+        let mut scratch = SelectionScratch::default();
+        let mut out = Vec::new();
+        for b in [&big, &small, &big] {
+            p.selection_into(b, &mut scratch, &mut out).unwrap();
+            assert_eq!(out, p.selection(b).unwrap());
+            assert_eq!(scratch.mask().count_ones(), out.len());
+            assert_eq!(scratch.mask().len(), b.rows());
+        }
     }
 
     #[test]

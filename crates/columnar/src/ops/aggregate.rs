@@ -213,43 +213,110 @@ fn make_acc(expr: &AggExpr, dt: DataType) -> Result<Acc> {
     })
 }
 
+/// Fold one whole column into the accumulator. Updates are **batched**: the
+/// aggregate kind and column type are dispatched once per slice, and the
+/// remaining loop is a tight typed fold with no per-value enum matching or
+/// `Option` bookkeeping — integer max/min/wrapping-sum folds auto-vectorize.
+/// The float folds run left to right seeded from the current slot, the exact
+/// operation sequence the per-value loop performed, so results (and the
+/// merge-order determinism [`AggAccumulator::merge`] documents) are
+/// preserved bitwise.
 fn update_acc(acc: &mut Acc, kind: AggKind, col: &Column) -> Result<()> {
     match acc {
         Acc::Count(n) => *n += col.len() as u64,
         Acc::Avg { sum, n } => {
-            each_f64(col, |v| {
-                *sum += v;
-            })?;
+            *sum = sum_f64_from(col, *sum)?;
             *n += col.len() as u64;
         }
-        Acc::Int { cur } => {
-            let mut current = *cur;
-            each_i64(col, |v| {
-                current = Some(match (current, kind) {
-                    (None, _) => v,
-                    (Some(c), AggKind::Max) => c.max(v),
-                    (Some(c), AggKind::Min) => c.min(v),
-                    (Some(c), AggKind::Sum) => c.wrapping_add(v),
-                    _ => unreachable!("int acc only for max/min/sum"),
-                });
-            })?;
-            *cur = current;
-        }
-        Acc::Float { cur } => {
-            let mut current = *cur;
-            each_f64(col, |v| {
-                current = Some(match (current, kind) {
-                    (None, _) => v,
-                    (Some(c), AggKind::Max) => c.max(v),
-                    (Some(c), AggKind::Min) => c.min(v),
-                    (Some(c), AggKind::Sum) => c + v,
-                    _ => unreachable!("float acc only for max/min/sum"),
-                });
-            })?;
-            *cur = current;
-        }
+        Acc::Int { cur } => *cur = fold_int(col, *cur, kind)?,
+        Acc::Float { cur } => *cur = fold_float(col, *cur, kind)?,
     }
     Ok(())
+}
+
+/// Batched integer max/min/sum over a widened column slice.
+fn fold_int(col: &Column, cur: Option<i64>, kind: AggKind) -> Result<Option<i64>> {
+    match col {
+        Column::Int32(v) => Ok(fold_int_values(cur, kind, v.iter().map(|&x| i64::from(x)))),
+        Column::Int64(v) => Ok(fold_int_values(cur, kind, v.iter().copied())),
+        other => Err(ColumnarError::TypeMismatch {
+            expected: DataType::Int64,
+            actual: other.data_type(),
+            context: "integer aggregate",
+        }),
+    }
+}
+
+fn fold_int_values(
+    cur: Option<i64>,
+    kind: AggKind,
+    mut values: impl Iterator<Item = i64>,
+) -> Option<i64> {
+    let mut acc = match cur {
+        Some(c) => c,
+        // Empty slice with no prior state: the slot stays unset.
+        None => values.next()?,
+    };
+    match kind {
+        AggKind::Max => values.for_each(|v| acc = acc.max(v)),
+        AggKind::Min => values.for_each(|v| acc = acc.min(v)),
+        AggKind::Sum => values.for_each(|v| acc = acc.wrapping_add(v)),
+        _ => unreachable!("int acc only for max/min/sum"),
+    }
+    Some(acc)
+}
+
+/// Batched float max/min/sum over a widened column slice (left-to-right,
+/// seeded from the current slot — see [`update_acc`]).
+fn fold_float(col: &Column, cur: Option<f64>, kind: AggKind) -> Result<Option<f64>> {
+    match col {
+        Column::Int32(v) => Ok(fold_float_values(cur, kind, v.iter().map(|&x| f64::from(x)))),
+        Column::Int64(v) => Ok(fold_float_values(cur, kind, v.iter().map(|&x| x as f64))),
+        Column::Float32(v) => Ok(fold_float_values(cur, kind, v.iter().map(|&x| f64::from(x)))),
+        Column::Float64(v) => Ok(fold_float_values(cur, kind, v.iter().copied())),
+        other => Err(ColumnarError::TypeMismatch {
+            expected: DataType::Float64,
+            actual: other.data_type(),
+            context: "float aggregate",
+        }),
+    }
+}
+
+fn fold_float_values(
+    cur: Option<f64>,
+    kind: AggKind,
+    mut values: impl Iterator<Item = f64>,
+) -> Option<f64> {
+    let mut acc = match cur {
+        Some(c) => c,
+        None => values.next()?,
+    };
+    match kind {
+        AggKind::Max => values.for_each(|v| acc = acc.max(v)),
+        AggKind::Min => values.for_each(|v| acc = acc.min(v)),
+        AggKind::Sum => values.for_each(|v| acc += v),
+        _ => unreachable!("float acc only for max/min/sum"),
+    }
+    Some(acc)
+}
+
+/// Left-to-right float sum of a widened column, seeded at `sum` (the AVG
+/// accumulator's batched update).
+fn sum_f64_from(col: &Column, mut sum: f64) -> Result<f64> {
+    match col {
+        Column::Int32(v) => v.iter().for_each(|&x| sum += f64::from(x)),
+        Column::Int64(v) => v.iter().for_each(|&x| sum += x as f64),
+        Column::Float32(v) => v.iter().for_each(|&x| sum += f64::from(x)),
+        Column::Float64(v) => v.iter().for_each(|&x| sum += x),
+        other => {
+            return Err(ColumnarError::TypeMismatch {
+                expected: DataType::Float64,
+                actual: other.data_type(),
+                context: "float aggregate",
+            })
+        }
+    }
+    Ok(sum)
 }
 
 /// Combine two integer max/min/sum slots: the state a serial scan of
@@ -327,40 +394,6 @@ fn finish_acc(acc: Acc) -> Value {
         Acc::Int { cur } => cur.map_or(Value::Null, Value::Int64),
         Acc::Float { cur } => cur.map_or(Value::Null, Value::Float64),
     }
-}
-
-/// Apply `f` to every value of a numeric column, widened to `i64`.
-fn each_i64(col: &Column, mut f: impl FnMut(i64)) -> Result<()> {
-    match col {
-        Column::Int32(v) => v.iter().for_each(|&x| f(i64::from(x))),
-        Column::Int64(v) => v.iter().for_each(|&x| f(x)),
-        other => {
-            return Err(ColumnarError::TypeMismatch {
-                expected: DataType::Int64,
-                actual: other.data_type(),
-                context: "integer aggregate",
-            })
-        }
-    }
-    Ok(())
-}
-
-/// Apply `f` to every value of a numeric column, widened to `f64`.
-fn each_f64(col: &Column, mut f: impl FnMut(f64)) -> Result<()> {
-    match col {
-        Column::Int32(v) => v.iter().for_each(|&x| f(f64::from(x))),
-        Column::Int64(v) => v.iter().for_each(|&x| f(x as f64)),
-        Column::Float32(v) => v.iter().for_each(|&x| f(f64::from(x))),
-        Column::Float64(v) => v.iter().for_each(|&x| f(x)),
-        other => {
-            return Err(ColumnarError::TypeMismatch {
-                expected: DataType::Float64,
-                actual: other.data_type(),
-                context: "float aggregate",
-            })
-        }
-    }
-    Ok(())
 }
 
 impl Operator for AggregateOp {

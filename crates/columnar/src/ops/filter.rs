@@ -2,7 +2,7 @@
 
 use crate::batch::Batch;
 use crate::error::Result;
-use crate::expr::Predicate;
+use crate::expr::{Predicate, SelectionScratch};
 use crate::ops::Operator;
 
 /// Filters batches by a [`Predicate`], compacting qualifying rows (columns
@@ -14,13 +14,25 @@ pub struct FilterOp {
     /// Rows seen / rows passed, for plan statistics (observed selectivity).
     seen: u64,
     passed: u64,
+    /// Reusable predicate-evaluation mask words (hot loop: zero allocations
+    /// per batch after the first).
+    scratch: SelectionScratch,
+    /// Reusable selection vector for the compaction path.
+    sel: Vec<usize>,
 }
 
 impl FilterOp {
     /// Filter `input` by `predicate` (column positions refer to the input
     /// batch layout).
     pub fn new(input: Box<dyn Operator>, predicate: Predicate) -> FilterOp {
-        FilterOp { input, predicate, seen: 0, passed: 0 }
+        FilterOp {
+            input,
+            predicate,
+            seen: 0,
+            passed: 0,
+            scratch: SelectionScratch::default(),
+            sel: Vec::new(),
+        }
     }
 
     /// Observed selectivity so far, in `[0, 1]` (1 if nothing seen yet).
@@ -39,13 +51,16 @@ impl Operator for FilterOp {
         // highly selective predicates don't flood downstream with empties.
         while let Some(batch) = self.input.next_batch()? {
             self.seen += batch.rows() as u64;
-            let sel = self.predicate.selection(&batch)?;
-            self.passed += sel.len() as u64;
-            if sel.len() == batch.rows() {
+            self.predicate.eval_mask(&batch, &mut self.scratch)?;
+            let hits = self.scratch.mask().count_ones();
+            self.passed += hits as u64;
+            if hits == batch.rows() {
                 return Ok(Some(batch)); // fast path: nothing filtered
             }
-            if !sel.is_empty() {
-                return Ok(Some(batch.take(&sel)?));
+            if hits > 0 {
+                self.sel.clear();
+                self.sel.extend(self.scratch.mask().iter_ones());
+                return Ok(Some(batch.take(&self.sel)?));
             }
         }
         Ok(None)

@@ -179,20 +179,48 @@ impl GroupedAccumulator {
                         slot.1 += 1;
                     }
                 }
+                // Batched per-slot updates: each arm is exactly
+                // `merge_*_slot(*slot, Some(x), kind)` with the kind
+                // dispatch hoisted out of the row loop, so the inner loop
+                // is one branch-free fold per row and the slot semantics
+                // (including float operand order: current, then new) stay
+                // bitwise identical to the shared merge primitives.
                 AccVec::Int(v) => {
                     widen_i64(col, &mut self.i64_scratch)?;
-                    let kind = expr.kind;
-                    for (&g, &x) in self.gid_scratch.iter().zip(&self.i64_scratch) {
-                        let slot = &mut v[g as usize];
-                        *slot = merge_int_slot(*slot, Some(x), kind);
+                    let rows = self.gid_scratch.iter().zip(&self.i64_scratch);
+                    match expr.kind {
+                        AggKind::Max => rows.for_each(|(&g, &x)| {
+                            let slot = &mut v[g as usize];
+                            *slot = Some(slot.map_or(x, |c| c.max(x)));
+                        }),
+                        AggKind::Min => rows.for_each(|(&g, &x)| {
+                            let slot = &mut v[g as usize];
+                            *slot = Some(slot.map_or(x, |c| c.min(x)));
+                        }),
+                        AggKind::Sum => rows.for_each(|(&g, &x)| {
+                            let slot = &mut v[g as usize];
+                            *slot = Some(slot.map_or(x, |c| c.wrapping_add(x)));
+                        }),
+                        _ => unreachable!("int acc only for max/min/sum"),
                     }
                 }
                 AccVec::Float(v) => {
                     widen_f64(col, &mut self.f64_scratch)?;
-                    let kind = expr.kind;
-                    for (&g, &x) in self.gid_scratch.iter().zip(&self.f64_scratch) {
-                        let slot = &mut v[g as usize];
-                        *slot = merge_float_slot(*slot, Some(x), kind);
+                    let rows = self.gid_scratch.iter().zip(&self.f64_scratch);
+                    match expr.kind {
+                        AggKind::Max => rows.for_each(|(&g, &x)| {
+                            let slot = &mut v[g as usize];
+                            *slot = Some(slot.map_or(x, |c| c.max(x)));
+                        }),
+                        AggKind::Min => rows.for_each(|(&g, &x)| {
+                            let slot = &mut v[g as usize];
+                            *slot = Some(slot.map_or(x, |c| c.min(x)));
+                        }),
+                        AggKind::Sum => rows.for_each(|(&g, &x)| {
+                            let slot = &mut v[g as usize];
+                            *slot = Some(slot.map_or(x, |c| c + x));
+                        }),
+                        _ => unreachable!("float acc only for max/min/sum"),
                     }
                 }
             }

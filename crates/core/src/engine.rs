@@ -136,6 +136,19 @@ pub struct EngineConfig {
     /// compares against). Results and I/O counters are identical either
     /// way; only the overlap changes.
     pub read_chunk_bytes: usize,
+    /// Skew-resistance grid refinement: multiply the natural morsel target
+    /// by this factor (default `1` = off; env `RAW_SKEW_SPLIT`). A finer
+    /// grid is the deterministic defense against long-tail morsels (an ibin
+    /// morsel whose pages all survive pruning, a collection morsel of heavy
+    /// events): smaller sub-morsels let the pool's dynamic claiming
+    /// rebalance around the expensive region, and their results still merge
+    /// in morsel order. The refined grid stays a pure function of
+    /// `(file, morsel_bytes, skew_split)` — never the worker count or
+    /// runtime timing — so every counter and cross-parallelism equivalence
+    /// invariant holds at any setting. (Committed bench baselines pin their
+    /// morsel counters at the default, which is why refinement is opt-in
+    /// rather than always-on.)
+    pub skew_split: usize,
 }
 
 impl Default for EngineConfig {
@@ -153,6 +166,7 @@ impl Default for EngineConfig {
             parallelism: raw_exec::available_threads(),
             morsel_bytes: 256 << 10,
             read_chunk_bytes: 4 << 20,
+            skew_split: 1,
         }
     }
 }
@@ -160,9 +174,10 @@ impl Default for EngineConfig {
 impl EngineConfig {
     /// The default configuration with environment overrides applied:
     /// `RAW_PARALLELISM` (worker threads; `1` forces the serial path),
-    /// `RAW_MORSEL_BYTES` (target bytes per morsel), and
+    /// `RAW_MORSEL_BYTES` (target bytes per morsel),
     /// `RAW_READ_CHUNK_BYTES` (cold-read streaming chunk; `0` disables
-    /// streaming entirely). Unset or unparsable variables leave the default
+    /// streaming entirely), and `RAW_SKEW_SPLIT` (morsel-grid refinement
+    /// factor; `1` = natural grid). Unset or unparsable variables leave the default
     /// untouched. Test suites build engines through this so CI can exercise
     /// the whole suite under a forced parallel (and forced tiny-chunk
     /// streaming) configuration.
@@ -179,6 +194,9 @@ impl EngineConfig {
         }
         if let Some(n) = env_usize("RAW_READ_CHUNK_BYTES") {
             config.read_chunk_bytes = n; // 0 = streaming off
+        }
+        if let Some(n) = env_usize("RAW_SKEW_SPLIT") {
+            config.skew_split = n.max(1);
         }
         config
     }
@@ -456,18 +474,30 @@ impl RawEngine {
         } = plan;
 
         // Availability-gated dispatch: on cold streamed runs each morsel
-        // waits for its byte range (not the whole file) before draining.
+        // waits for its byte range (not the whole file) before draining. On
+        // warm (ungated) runs the executor claims predicted-heavy morsels
+        // first, using the plan-time byte/row span as the cost hint, so a
+        // long-tail morsel cannot land last when no rebalancing is possible.
+        // Results, counters, and traces are claim-order invariant.
         let dispatched = pipelines.len() as u64;
         self.metrics.morsels(dispatched);
-        let mut outcome =
-            match raw_exec::execute_morsels_when(pipelines, gates, &merge, self.config.parallelism)
-            {
-                Ok(outcome) => outcome,
-                Err(e) => {
-                    self.metrics.morsel_failed();
-                    return Err(e.into());
-                }
-            };
+        let weights: Vec<u64> = morsel_meta
+            .iter()
+            .map(|m| ((m.byte_end - m.byte_start) as u64).max(m.end_row - m.first_row).max(1))
+            .collect();
+        let mut outcome = match raw_exec::execute_morsels_scheduled(
+            pipelines,
+            gates,
+            &merge,
+            self.config.parallelism,
+            Some(&weights),
+        ) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                self.metrics.morsel_failed();
+                return Err(e.into());
+            }
+        };
         // Scan work performed at plan time (a join's serial build-side
         // drain) belongs to this query's accounting too.
         outcome.profile.merge(&build_profile);

@@ -33,9 +33,13 @@
 //! driving tables) falls back to the serial plan.
 //!
 //! Determinism: the morsel grid is a function of the file and the
-//! `morsel_bytes` knob only, never of the worker count, so any
-//! `parallelism >= 2` produces identical results (and `parallelism == 1`
-//! never enters this module at all — the serial path is untouched).
+//! `morsel_bytes` / `skew_split` knobs only, never of the worker count, so
+//! any `parallelism >= 2` produces identical results (and
+//! `parallelism == 1` never enters this module at all — the serial path is
+//! untouched). Skew resistance is deterministic by construction: the
+//! `skew_split` knob refines the grid at *plan* time (finer sub-morsels the
+//! pool can rebalance around a long tail), and the executor's heavy-first
+//! claim ordering reorders only *dispatch*, never results or counters.
 
 use std::sync::Arc;
 
@@ -66,6 +70,17 @@ use super::{slice_per_table, AttachWhen, Harvests, Planner, PlannerCtx, StreamHa
 /// Never split a file into more morsels than this: beyond a few hundred the
 /// per-morsel planning and merge overhead buys no extra load balance.
 const MAX_MORSELS: usize = 256;
+
+/// Skew-resistance refinement of a format's natural morsel target: multiply
+/// by the `skew_split` knob (1 = off), capped at [`MAX_MORSELS`]. Finer
+/// sub-morsels let the pool's dynamic claiming rebalance around a long-tail
+/// morsel, and their results merge in the same deterministic morsel order.
+/// The refined target is a pure function of the natural target and the knob
+/// — never the worker count or runtime timing — so the grid invariant
+/// documented on this module is preserved at any setting.
+fn refine_target(natural: usize, skew_split: usize) -> usize {
+    natural.saturating_mul(skew_split.max(1)).clamp(1, MAX_MORSELS)
+}
 
 /// A ready-to-run parallel plan: one pipeline per morsel plus the merge
 /// recipe and the side-effect channels the engine absorbs after the barrier.
@@ -452,6 +467,10 @@ fn partition(
 ) -> Result<Option<Partitioned>> {
     let morsel_bytes = planner.ctx.config.morsel_bytes.max(1);
     let chunk_bytes = planner.ctx.config.read_chunk_bytes;
+    let skew = planner.ctx.config.skew_split.max(1);
+    if skew > 1 {
+        planner.note(format!("skew split x{skew}: refined morsel grid"));
+    }
     let stream: Option<Arc<ChunkedFileBuffer>> = if chunk_bytes > 0
         && matches!(
             def.source,
@@ -487,7 +506,7 @@ fn partition(
             let len = stream
                 .as_ref()
                 .map_or_else(|| resident.as_ref().expect("read").len(), |st| st.len());
-            let target = (len / morsel_bytes).clamp(1, MAX_MORSELS);
+            let target = refine_target((len / morsel_bytes).clamp(1, MAX_MORSELS), skew);
             // Positional-map entries double as split hints: column 0's
             // recorded positions are the record starts (per the dialect the
             // map was parsed with), so no probe pass — and on a cold
@@ -529,8 +548,11 @@ fn partition(
                 None => FbinLayout::parse(&planner.ctx.files.read(def.source.path())?)?,
             };
             let rows_per_morsel = (morsel_bytes / layout.row_width.max(1)).max(1) as u64;
-            let target = (layout.rows / rows_per_morsel).clamp(1, MAX_MORSELS as u64);
-            let morsels = partition_rows(layout.rows, target as usize);
+            let target = refine_target(
+                (layout.rows / rows_per_morsel).clamp(1, MAX_MORSELS as u64) as usize,
+                skew,
+            );
+            let morsels = partition_rows(layout.rows, target);
             if stream.is_some() {
                 // Rows are fixed-width and contiguous: morsel i's bytes end
                 // at data_start + end_row * row_width.
@@ -563,8 +585,11 @@ fn partition(
                 None => IbinLayout::parse(&planner.ctx.files.read(def.source.path())?)?,
             };
             let rows_per_morsel = (morsel_bytes / layout.row_width.max(1)).max(1) as u64;
-            let target = (layout.rows / rows_per_morsel).clamp(1, MAX_MORSELS as u64);
-            partition_pages(layout.rows, layout.rows_per_page, target as usize)
+            let target = refine_target(
+                (layout.rows / rows_per_morsel).clamp(1, MAX_MORSELS as u64) as usize,
+                skew,
+            );
+            partition_pages(layout.rows, layout.rows_per_page, target)
         }
         TableSource::RootEvents { .. } => {
             // Size from the file's actual per-event payload (scalars,
@@ -574,8 +599,11 @@ fn partition(
             let events = file.num_events();
             let bytes_per_event = file.bytes_per_event().max(1) as usize;
             let rows_per_morsel = (morsel_bytes / bytes_per_event).max(1) as u64;
-            let target = (events / rows_per_morsel).clamp(1, MAX_MORSELS as u64);
-            partition_rows(events, target as usize)
+            let target = refine_target(
+                (events / rows_per_morsel).clamp(1, MAX_MORSELS as u64) as usize,
+                skew,
+            );
+            partition_rows(events, target)
         }
         TableSource::RootCollection { collection, .. } => {
             // Event-aligned morsels sized by the items they actually cover:
@@ -595,13 +623,16 @@ fn partition(
                 .max(1);
             let items_per_morsel = (morsel_bytes / item_bytes).max(1) as u64;
             let total_items = file.total_items(coll);
-            let target = (total_items / items_per_morsel).clamp(1, MAX_MORSELS as u64);
+            let target = refine_target(
+                (total_items / items_per_morsel).clamp(1, MAX_MORSELS as u64) as usize,
+                skew,
+            );
             if target < 2 || events < 2 {
                 // Too small to split; skip materializing the offsets table.
                 return Ok(None);
             }
             let offsets: Vec<u64> = (0..=events).map(|e| file.items_upto(coll, e)).collect();
-            partition_items(&offsets, target as usize)
+            partition_items(&offsets, target)
         }
     };
     if morsels.len() < 2 {

@@ -26,7 +26,7 @@ use raw_columnar::profile::{PhaseProfile, ScanMetrics};
 use raw_columnar::{Batch, ColumnarError};
 use raw_trace::{merge_worker_sinks, MorselTrace};
 
-use crate::pool::{run_jobs_traced, JobCtx};
+use crate::pool::{run_jobs_traced_ordered, JobCtx};
 
 /// An availability gate for one morsel: blocks until the morsel's inputs
 /// are resident (its byte range has streamed in from disk), or reports the
@@ -105,12 +105,47 @@ pub fn execute_morsels(
 /// error.
 pub fn execute_morsels_when(
     pipelines: Vec<Box<dyn Operator>>,
-    mut gates: Vec<Option<MorselGate>>,
+    gates: Vec<Option<MorselGate>>,
     merge: &MergePlan,
     threads: usize,
 ) -> Result<ParallelOutcome, ColumnarError> {
+    execute_morsels_scheduled(pipelines, gates, merge, threads, None)
+}
+
+/// [`execute_morsels_when`] with a **cost hint** per morsel: when every
+/// morsel is ungated (warm buffers — no availability ordering to respect),
+/// workers claim morsels in descending-weight order
+/// (longest-processing-time-first, ties broken by morsel index) instead of
+/// index order, so a predicted-heavy morsel starts early rather than
+/// becoming the long tail after the job list drains.
+///
+/// Results, merges, traces, and every counter are **identical for any claim
+/// order**: results slot by morsel index, partial states merge in morsel
+/// order, and traces sort by morsel index after the barrier. Only the
+/// wall-clock completion schedule moves — which is why the hint is safe to
+/// derive from plan-time metadata alone and never from runtime timing.
+///
+/// On gated (cold streamed) runs the hint is ignored: gates admit prefix
+/// byte ranges of a sequential read, so index order *is* availability order
+/// and heavy-first claiming would park workers on nearly the whole file.
+pub fn execute_morsels_scheduled(
+    pipelines: Vec<Box<dyn Operator>>,
+    mut gates: Vec<Option<MorselGate>>,
+    merge: &MergePlan,
+    threads: usize,
+    weights: Option<&[u64]>,
+) -> Result<ParallelOutcome, ColumnarError> {
     let morsels = pipelines.len();
     gates.resize_with(morsels, || None);
+    let ungated = gates.iter().all(Option::is_none);
+    let claim: Option<Vec<usize>> = match weights {
+        Some(w) if ungated && w.len() == morsels && morsels > 1 => {
+            let mut order: Vec<usize> = (0..morsels).collect();
+            order.sort_by_key(|&i| (std::cmp::Reverse(w[i]), i));
+            Some(order)
+        }
+        _ => None,
+    };
     let jobs: Vec<_> = pipelines
         .into_iter()
         .zip(gates)
@@ -174,7 +209,7 @@ pub fn execute_morsels_when(
         })
         .collect();
 
-    let (results, sinks) = run_jobs_traced(jobs, threads);
+    let (results, sinks) = run_jobs_traced_ordered(jobs, threads, claim);
     let traces = merge_worker_sinks(sinks);
 
     let mut profile = PhaseProfile::default();
@@ -326,6 +361,41 @@ mod tests {
         let b = &out.batches[0];
         assert_eq!(b.value(0, 0).unwrap(), Value::Int64(0));
         assert_eq!(b.value(0, 1).unwrap(), Value::Utf8("NULL".into()));
+    }
+
+    #[test]
+    fn weighted_scheduling_is_result_invariant() {
+        // Heavy-first claim order must not move results, trace order, or
+        // rows_out — only the dispatch schedule.
+        for threads in [1, 2, 8] {
+            let make = || -> Vec<Box<dyn Operator>> {
+                vec![source(&[1, 2]), source(&[3, 4, 5, 6, 7]), source(&[8])]
+            };
+            let weights = [2u64, 5, 1];
+            let plain = execute_morsels(make(), &MergePlan::Concat, threads).unwrap();
+            let scheduled = execute_morsels_scheduled(
+                make(),
+                Vec::new(),
+                &MergePlan::Concat,
+                threads,
+                Some(&weights),
+            )
+            .unwrap();
+            let a = Batch::concat(&plain.batches).unwrap();
+            let b = Batch::concat(&scheduled.batches).unwrap();
+            assert_eq!(
+                a.column(0).unwrap().as_i64().unwrap(),
+                b.column(0).unwrap().as_i64().unwrap()
+            );
+            assert_eq!(
+                scheduled.traces.iter().map(|t| t.morsel).collect::<Vec<_>>(),
+                vec![0, 1, 2]
+            );
+            assert_eq!(
+                scheduled.traces.iter().map(|t| t.rows_out).collect::<Vec<_>>(),
+                vec![2, 5, 1]
+            );
+        }
     }
 
     #[test]

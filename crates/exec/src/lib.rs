@@ -44,13 +44,14 @@ pub mod morsel;
 pub mod pool;
 
 pub use executor::{
-    execute_morsels, execute_morsels_when, GroupedMerge, MergePlan, MorselGate, ParallelOutcome,
+    execute_morsels, execute_morsels_scheduled, execute_morsels_when, GroupedMerge, MergePlan,
+    MorselGate, ParallelOutcome,
 };
 pub use morsel::{
     partition_csv, partition_csv_quoted, partition_csv_quoted_streaming, partition_csv_streaming,
     partition_csv_with_map, partition_items, partition_pages, partition_rows, CsvPartition, Morsel,
 };
-pub use pool::{run_jobs, run_jobs_when};
+pub use pool::{run_jobs, run_jobs_traced_ordered, run_jobs_when};
 
 /// The number of worker threads "all cores" resolves to on this host.
 pub fn available_threads() -> usize {

@@ -39,6 +39,7 @@
 //! The morsel grid is a function of the **file only**, never of the worker
 //! count, so merged results are identical for any number of threads.
 
+use raw_formats::csv::kernels;
 use raw_formats::csv::tokenizer::{general_dialect_step, DialectByte, GeneralDialectState};
 use raw_formats::csv::{ESCAPE, NEWLINE, QUOTE};
 use raw_formats::error::FormatError;
@@ -306,16 +307,16 @@ fn partition_csv_impl<B: ProbeBytes>(
             let wend = (pos + PROBE_CHUNK).min(len);
             input.ensure(wend)?;
             let window = &input.bytes()[pos..wend];
-            match window.iter().position(|&b| b == NEWLINE) {
+            match kernels::memchr(NEWLINE, window) {
                 Some(nl) => {
-                    saw_quote |= window[..nl].contains(&QUOTE);
+                    saw_quote |= kernels::memchr(QUOTE, &window[..nl]).is_some();
                     newlines += 1;
                     cut = Some(pos + nl + 1);
                     pos += nl + 1;
                     break;
                 }
                 None => {
-                    saw_quote |= window.contains(&QUOTE);
+                    saw_quote |= kernels::memchr(QUOTE, window).is_some();
                     pos = wend;
                 }
             }
@@ -348,16 +349,14 @@ fn partition_csv_impl<B: ProbeBytes>(
     Ok(CsvPartition { morsels, total_rows, saw_quote })
 }
 
-/// Count newline bytes and detect quote bytes in `chunk` in one pass; the
-/// accumulate-over-compare shape compiles to SIMD in release builds.
+/// Count newline bytes and detect quote bytes in `chunk` in one pass — a
+/// thin wrapper over the shared SWAR classifier
+/// ([`raw_formats::csv::kernels::count2`]), the same kernel the scans
+/// tokenize with, so probe and scan can never disagree on what counts as a
+/// newline or quote byte.
 #[inline]
 fn scan_chunk(chunk: &[u8]) -> (u64, bool) {
-    let mut newlines = 0u64;
-    let mut quotes = 0u64;
-    for &b in chunk {
-        newlines += u64::from(b == NEWLINE);
-        quotes += u64::from(b == QUOTE);
-    }
+    let (newlines, quotes) = kernels::count2(NEWLINE, QUOTE, chunk);
     (newlines, quotes > 0)
 }
 
@@ -371,17 +370,12 @@ fn dialect_step(state: &mut GeneralDialectState, b: u8) -> bool {
     general_dialect_step(state, b) == DialectByte::RecordEnd
 }
 
-/// Bulk-count newline/quote/escape bytes (same SIMD-friendly shape as
-/// [`scan_chunk`]).
+/// Bulk-count newline/quote/escape bytes via the shared SWAR classifier
+/// ([`raw_formats::csv::kernels::count3`]) — the one newline/quote/escape
+/// counting kernel in the tree.
 #[inline]
 fn count_dialect_bytes(chunk: &[u8]) -> (u64, u64, u64) {
-    let (mut newlines, mut quotes, mut escapes) = (0u64, 0u64, 0u64);
-    for &b in chunk {
-        newlines += u64::from(b == NEWLINE);
-        quotes += u64::from(b == QUOTE);
-        escapes += u64::from(b == ESCAPE);
-    }
-    (newlines, quotes, escapes)
+    kernels::count3(NEWLINE, QUOTE, ESCAPE, chunk)
 }
 
 /// Split a CSV buffer into at most `target` morsels under the

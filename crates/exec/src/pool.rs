@@ -6,6 +6,9 @@
 //! whose rows all pass the filter, a cold stretch of the file) never idle a
 //! thread while work remains. Results land in job order regardless of which
 //! worker ran what — the executor's merge layer depends on that.
+//! [`run_jobs_traced_ordered`] additionally lets the caller pick the *claim*
+//! order (heavy jobs first, say) without moving results out of job order —
+//! the skew-resistance lever for ungated runs.
 //!
 //! [`run_jobs_when`] adds **availability-driven dispatch** for cold runs:
 //! each job carries a gate that blocks until the job's inputs are resident
@@ -115,22 +118,62 @@ where
     G: FnOnce() -> Result<(), T> + Send,
     F: for<'s> FnOnce(JobCtx<'s, E>) -> T + Send,
 {
+    run_jobs_traced_ordered(jobs, threads, None)
+}
+
+/// [`run_jobs_traced`] with an explicit **claim order**: workers pull jobs
+/// through the shared cursor in `claim` order (a permutation of
+/// `0..jobs.len()`) instead of index order. Results still land in *job*
+/// order and sinks are unchanged, so for independent jobs any claim order
+/// produces identical output — only the completion schedule moves.
+///
+/// This is the skew-resistance lever: claiming predicted-heavy jobs first
+/// (longest-processing-time-first) stops one long-tail morsel from landing
+/// on a worker after the rest of the list has drained, which is exactly
+/// when no rebalancing is possible. Callers must pass `None` when jobs
+/// carry blocking gates whose availability is monotone in job order (the
+/// sequential-reader cold path): claiming late jobs first would park every
+/// worker on nearly the whole file.
+///
+/// Panics if `claim` is not a permutation of `0..jobs.len()`.
+pub fn run_jobs_traced_ordered<T, E, G, F>(
+    jobs: Vec<(G, F)>,
+    threads: usize,
+    claim: Option<Vec<usize>>,
+) -> (Vec<T>, Vec<Vec<E>>)
+where
+    T: Send,
+    E: Send,
+    G: FnOnce() -> Result<(), T> + Send,
+    F: for<'s> FnOnce(JobCtx<'s, E>) -> T + Send,
+{
     let n = jobs.len();
+    if let Some(order) = &claim {
+        let mut seen = vec![false; n];
+        assert_eq!(order.len(), n, "claim order must cover every job");
+        for &i in order {
+            assert!(i < n && !seen[i], "claim order must be a permutation");
+            seen[i] = true;
+        }
+    }
+    let claim_of = |k: usize| claim.as_ref().map_or(k, |order| order[k]);
+
     let threads = threads.max(1).min(n);
     if threads <= 1 {
         let mut sink: Vec<E> = Vec::new();
-        let results = jobs
-            .into_iter()
-            .map(|(gate, job)| {
-                let start = Instant::now();
-                match gate() {
-                    Ok(()) => {
-                        job(JobCtx { worker: 0, gate_wait: start.elapsed(), sink: &mut sink })
-                    }
-                    Err(t) => t,
-                }
-            })
-            .collect();
+        let mut slots: Vec<Option<(G, F)>> = jobs.into_iter().map(Some).collect();
+        let mut results: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+        for k in 0..n {
+            let i = claim_of(k);
+            let (gate, job) = slots[i].take().expect("each job claimed exactly once");
+            let start = Instant::now();
+            let out = match gate() {
+                Ok(()) => job(JobCtx { worker: 0, gate_wait: start.elapsed(), sink: &mut sink }),
+                Err(t) => t,
+            };
+            results[i] = Some(out);
+        }
+        let results = results.into_iter().map(|r| r.expect("every job ran")).collect();
         return (results, vec![sink]);
     }
 
@@ -145,16 +188,18 @@ where
             let slots = &slots;
             let results = &results;
             let cursor = &cursor;
+            let claim_of = &claim_of;
             scope.spawn(move || {
                 // The worker's private sink: appended to lock-free for the
                 // worker's whole run, published into the shared slot once at
                 // the end (the only synchronized touch).
                 let mut sink: Vec<E> = Vec::new();
                 loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= n {
                         break;
                     }
+                    let i = claim_of(k);
                     let (gate, job) =
                         slots[i].lock().take().expect("each job claimed exactly once");
                     let start = Instant::now();
@@ -239,6 +284,45 @@ mod tests {
     fn empty_job_list() {
         let jobs: Vec<fn() -> u32> = Vec::new();
         assert!(run_jobs(jobs, 4).is_empty());
+    }
+
+    #[test]
+    fn claim_order_reorders_dispatch_but_not_results() {
+        for threads in [1usize, 4] {
+            // Heavy-first permutation over 9 jobs; results must stay in job
+            // order and every job must run exactly once.
+            let ran = Mutex::new(Vec::new());
+            let jobs: Vec<_> = (0..9usize)
+                .map(|i| {
+                    let ran = &ran;
+                    (
+                        || -> Result<(), usize> { Ok(()) },
+                        move |_ctx: JobCtx<'_, ()>| {
+                            ran.lock().push(i);
+                            i * 10
+                        },
+                    )
+                })
+                .collect();
+            let claim = vec![8, 6, 4, 2, 0, 1, 3, 5, 7];
+            let (results, _) = run_jobs_traced_ordered(jobs, threads, Some(claim.clone()));
+            assert_eq!(results, (0..9).map(|i| i * 10).collect::<Vec<_>>());
+            let mut seen = ran.into_inner();
+            if threads == 1 {
+                assert_eq!(seen, claim, "serial path honors the claim order exactly");
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, (0..9).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn claim_order_must_be_a_permutation() {
+        let jobs: Vec<_> = (0..3)
+            .map(|i| (|| -> Result<(), i32> { Ok(()) }, move |_: JobCtx<'_, ()>| i))
+            .collect();
+        run_jobs_traced_ordered(jobs, 2, Some(vec![0, 0, 1]));
     }
 
     #[test]

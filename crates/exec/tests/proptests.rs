@@ -604,3 +604,147 @@ proptest! {
         prop_assert_eq!(results, (0..ranges.len()).collect::<Vec<_>>());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Skew-resistant dispatch: refined morsel grids and caller-ordered claims.
+// ---------------------------------------------------------------------------
+
+use raw_exec::pool::{run_jobs_traced_ordered, JobCtx};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The `skew_split` knob refines the plan-time grid by multiplying the
+    /// partition target. The refined grid must tile the file exactly like
+    /// the natural one — same bytes, same rows, record-aligned cuts — only
+    /// finer, for both the raw-newline and quote-aware probes. This is the
+    /// contract that makes refinement safe: sub-morsels are a retiling of
+    /// the parent coverage, never a reinterpretation of it.
+    #[test]
+    fn refined_csv_grids_retile_the_same_coverage(
+        (_cols, rows) in arb_quoted_csv(),
+        trailing_newline in proptest::bool::ANY,
+        target in 1usize..7,
+        skew in 2usize..5,
+    ) {
+        let buf = render(&rows, trailing_newline);
+        let total = rows.len() as u64;
+
+        let natural = partition_csv_quoted(&buf, target);
+        let refined = partition_csv_quoted(&buf, target * skew);
+        prop_assert_eq!(refined.total_rows, natural.total_rows, "same record count");
+        prop_assert_eq!(refined.saw_quote, natural.saw_quote);
+        assert_aligned_cover(&natural.morsels, &buf, total);
+        assert_aligned_cover(&refined.morsels, &buf, total);
+
+        // The raw-newline probe obeys the same retiling contract (its row
+        // notion differs on embedded newlines, so it pins its own total).
+        let raw_natural = partition_csv(&buf, target);
+        let raw_refined = partition_csv(&buf, target * skew);
+        prop_assert_eq!(raw_refined.total_rows, raw_natural.total_rows);
+        assert_aligned_cover(&raw_natural.morsels, &buf, raw_natural.total_rows);
+        assert_aligned_cover(&raw_refined.morsels, &buf, raw_refined.total_rows);
+    }
+
+    /// Refined arithmetic grids (fixed-width rows and zone-indexed pages)
+    /// tile the same row space strictly more finely: row-contiguous, full
+    /// cover, and never fewer morsels than the natural grid.
+    #[test]
+    fn refined_arithmetic_grids_retile_the_same_rows(
+        total in 1u64..20_000,
+        rows_per_page in 1u32..512,
+        target in 1usize..12,
+        skew in 2usize..5,
+    ) {
+        let tile = |ms: &[Morsel], span: u64| {
+            let mut row = 0u64;
+            for m in ms {
+                assert_eq!(m.first_row, row, "row-contiguous");
+                assert!(m.end_row > m.first_row, "no empty morsels");
+                row = m.end_row;
+            }
+            assert_eq!(row, span, "full cover");
+        };
+
+        let natural = partition_rows(total, target);
+        let refined = partition_rows(total, target * skew);
+        tile(&natural, total);
+        tile(&refined, total);
+        prop_assert!(refined.len() >= natural.len(), "refinement never coarsens");
+
+        let natural = partition_pages(total, rows_per_page, target);
+        let refined = partition_pages(total, rows_per_page, target * skew);
+        tile(&natural, total);
+        tile(&refined, total);
+        prop_assert!(refined.len() >= natural.len(), "refinement never coarsens");
+    }
+
+    /// Refined item-balanced grids (rootsim collections) keep every event in
+    /// exactly one morsel and resolve the same contiguous item tiling.
+    #[test]
+    fn refined_item_grids_retile_the_same_events(
+        counts in proptest::collection::vec(0u64..9, 1..120),
+        target in 1usize..9,
+        skew in 2usize..5,
+    ) {
+        let mut offsets = vec![0u64];
+        for &c in &counts {
+            offsets.push(offsets.last().unwrap() + c);
+        }
+        let events = counts.len() as u64;
+        for t in [target, target * skew] {
+            let ms = partition_items(&offsets, t);
+            let mut event = 0u64;
+            for m in &ms {
+                prop_assert_eq!(m.first_row, event, "event-contiguous");
+                prop_assert!(m.end_row > m.first_row);
+                event = m.end_row;
+            }
+            prop_assert_eq!(event, events, "every event covered exactly once");
+        }
+    }
+
+    /// Caller-supplied claim order (the heavy-first LPT lever): for an
+    /// arbitrary permutation and worker count, results land in job order —
+    /// bitwise identical to the unordered run — every job runs exactly
+    /// once, and the serial path dispatches in exactly the claimed order.
+    #[test]
+    fn ordered_claims_reorder_dispatch_but_never_results(
+        n in 1usize..24,
+        seed in 0u64..u64::MAX,
+        threads in 1usize..5,
+    ) {
+        let order = shuffled(n, seed | 1);
+        let log = std::sync::Mutex::new(Vec::new());
+        let make_jobs = || -> Vec<_> {
+            (0..n)
+                .map(|i| {
+                    let log = &log;
+                    (
+                        move || -> Result<(), usize> {
+                            log.lock().unwrap().push(i);
+                            Ok(())
+                        },
+                        move |_ctx: JobCtx<'_, ()>| i * 31 + 7,
+                    )
+                })
+                .collect()
+        };
+
+        let (ordered, _) = run_jobs_traced_ordered(make_jobs(), threads, Some(order.clone()));
+        let dispatched = std::mem::take(&mut *log.lock().unwrap());
+        let (unordered, _) = run_jobs_traced_ordered(make_jobs(), threads, None);
+
+        let expect: Vec<usize> = (0..n).map(|i| i * 31 + 7).collect();
+        prop_assert_eq!(&ordered, &expect, "results in job order despite claim order");
+        prop_assert_eq!(&ordered, &unordered, "claim order is result-invariant");
+        if threads <= 1 || n == 1 {
+            // The inline serial path claims jobs in exactly the given order.
+            prop_assert_eq!(dispatched, order, "serial dispatch follows claim order");
+        } else {
+            let mut seen = dispatched;
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..n).collect::<Vec<_>>(), "every job gated exactly once");
+        }
+    }
+}

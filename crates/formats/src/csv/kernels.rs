@@ -1,0 +1,301 @@
+//! SWAR scan kernels: word-at-a-time byte search and classification.
+//!
+//! The paper's position is that tokenizing dominates raw CSV access, and the
+//! tokenizing inner loop is byte search: find the next delimiter/newline,
+//! count newlines/quotes in a probe window. These kernels do that search
+//! eight bytes per step with plain `u64` arithmetic — SWAR ("SIMD within a
+//! register") — so they are dependency-free and portable: **no `std::simd`,
+//! no `memchr` crate, no platform intrinsics**.
+//!
+//! ## The kernel contract
+//!
+//! - **Exact equivalence.** Every kernel is observationally identical to the
+//!   obvious scalar loop over the same bytes (`scalar` submodule holds the
+//!   reference implementations; the proptest suite in
+//!   `crates/formats/tests/kernel_proptests.rs` pins the equivalence over
+//!   arbitrary inputs, including matches straddling 8-byte word boundaries).
+//!   Callers' deterministic counters (`fields_tokenized`, `rows_scanned`,
+//!   morsel grids, the committed `BENCH_*.json` baselines) therefore must
+//!   not move when a scan switches from the byte loop to the SWAR path —
+//!   the kernels change *how fast* bytes are classified, never *what* they
+//!   are classified as.
+//! - **Alignment.** Words are loaded with `u64::from_le_bytes` on
+//!   `chunks_exact(8)` windows: explicit little-endian unaligned loads, so
+//!   an unaligned buffer head needs no special-casing and the code is
+//!   endian-independent (byte `i` of a window is always bits `8i..8i+8`).
+//! - **Tail.** The trailing 0–7 bytes that do not fill a word are scanned
+//!   with the scalar loop — never read past `buf.len()`, never masked in.
+//! - **Match masks are exact.** The per-byte equality mask is computed with
+//!   the carry-free form `!( ((x & !HI) + !HI) | x ) & HI` (x = word XOR
+//!   broadcast needle), which sets bit 7 of a byte *iff* that byte matches —
+//!   unlike the classic `(x - LO) & !x & HI` trick, whose borrows can mark
+//!   bytes above a true match. Exactness is what lets the same mask drive
+//!   both `memchr` (via `trailing_zeros`) and the counting kernels (via
+//!   `count_ones`).
+
+/// All-ones in the low bit of each byte lane.
+const LO: u64 = 0x0101_0101_0101_0101;
+/// All-ones in the high bit of each byte lane.
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// Broadcast a byte into all eight lanes of a word.
+#[inline]
+fn broadcast(b: u8) -> u64 {
+    u64::from(b) * LO
+}
+
+/// Load eight bytes as a little-endian word (an explicit unaligned load).
+#[inline]
+fn load(chunk: &[u8]) -> u64 {
+    u64::from_le_bytes(chunk.try_into().expect("8-byte window"))
+}
+
+/// Exact equality mask: bit 7 of byte lane `i` is set iff lane `i` of `w`
+/// equals lane `i` of the broadcast pattern `pat`. No false positives in
+/// any lane, for any input (see module docs).
+#[inline]
+fn match_mask(w: u64, pat: u64) -> u64 {
+    let x = w ^ pat;
+    // A lane of `x` is zero iff the bytes matched. `(x & !HI) + !HI` sets a
+    // lane's high bit iff its low 7 bits are non-zero (the add cannot carry
+    // across lanes); OR-ing `x` back in folds in the lane's own high bit.
+    let nonzero = (x & !HI).wrapping_add(!HI) | x;
+    !nonzero & HI
+}
+
+/// Byte index (within the word) of the lowest set lane of a non-zero mask.
+#[inline]
+fn first_lane(mask: u64) -> usize {
+    (mask.trailing_zeros() / 8) as usize
+}
+
+/// First position of `needle` in `hay`, if any.
+#[inline]
+pub fn memchr(needle: u8, hay: &[u8]) -> Option<usize> {
+    let pat = broadcast(needle);
+    let mut chunks = hay.chunks_exact(8);
+    let mut offset = 0usize;
+    for chunk in chunks.by_ref() {
+        let m = match_mask(load(chunk), pat);
+        if m != 0 {
+            return Some(offset + first_lane(m));
+        }
+        offset += 8;
+    }
+    chunks.remainder().iter().position(|&b| b == needle).map(|i| offset + i)
+}
+
+/// First position of `n1` or `n2` in `hay`, if any.
+#[inline]
+pub fn memchr2(n1: u8, n2: u8, hay: &[u8]) -> Option<usize> {
+    let (p1, p2) = (broadcast(n1), broadcast(n2));
+    let mut chunks = hay.chunks_exact(8);
+    let mut offset = 0usize;
+    for chunk in chunks.by_ref() {
+        let w = load(chunk);
+        let m = match_mask(w, p1) | match_mask(w, p2);
+        if m != 0 {
+            return Some(offset + first_lane(m));
+        }
+        offset += 8;
+    }
+    chunks.remainder().iter().position(|&b| b == n1 || b == n2).map(|i| offset + i)
+}
+
+/// First position of `n1`, `n2`, or `n3` in `hay`, if any.
+#[inline]
+pub fn memchr3(n1: u8, n2: u8, n3: u8, hay: &[u8]) -> Option<usize> {
+    let (p1, p2, p3) = (broadcast(n1), broadcast(n2), broadcast(n3));
+    let mut chunks = hay.chunks_exact(8);
+    let mut offset = 0usize;
+    for chunk in chunks.by_ref() {
+        let w = load(chunk);
+        let m = match_mask(w, p1) | match_mask(w, p2) | match_mask(w, p3);
+        if m != 0 {
+            return Some(offset + first_lane(m));
+        }
+        offset += 8;
+    }
+    chunks.remainder().iter().position(|&b| b == n1 || b == n2 || b == n3).map(|i| offset + i)
+}
+
+/// First position of any of four needles in `hay`, if any. The general
+/// (quoted/escaped) dialect needs all four special bytes at top level:
+/// delimiter, newline, quote, escape.
+#[inline]
+pub fn memchr4(n1: u8, n2: u8, n3: u8, n4: u8, hay: &[u8]) -> Option<usize> {
+    let (p1, p2, p3, p4) = (broadcast(n1), broadcast(n2), broadcast(n3), broadcast(n4));
+    let mut chunks = hay.chunks_exact(8);
+    let mut offset = 0usize;
+    for chunk in chunks.by_ref() {
+        let w = load(chunk);
+        let m = match_mask(w, p1) | match_mask(w, p2) | match_mask(w, p3) | match_mask(w, p4);
+        if m != 0 {
+            return Some(offset + first_lane(m));
+        }
+        offset += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == n1 || b == n2 || b == n3 || b == n4)
+        .map(|i| offset + i)
+}
+
+/// Number of occurrences of `needle` in `hay`.
+#[inline]
+pub fn count_byte(needle: u8, hay: &[u8]) -> u64 {
+    let pat = broadcast(needle);
+    let mut chunks = hay.chunks_exact(8);
+    let mut n = 0u64;
+    for chunk in chunks.by_ref() {
+        n += u64::from(match_mask(load(chunk), pat).count_ones());
+    }
+    n + chunks.remainder().iter().filter(|&&b| b == needle).count() as u64
+}
+
+/// Occurrence counts of two needles in one pass over `hay`.
+#[inline]
+pub fn count2(n1: u8, n2: u8, hay: &[u8]) -> (u64, u64) {
+    let (p1, p2) = (broadcast(n1), broadcast(n2));
+    let mut chunks = hay.chunks_exact(8);
+    let (mut c1, mut c2) = (0u64, 0u64);
+    for chunk in chunks.by_ref() {
+        let w = load(chunk);
+        c1 += u64::from(match_mask(w, p1).count_ones());
+        c2 += u64::from(match_mask(w, p2).count_ones());
+    }
+    for &b in chunks.remainder() {
+        c1 += u64::from(b == n1);
+        c2 += u64::from(b == n2);
+    }
+    (c1, c2)
+}
+
+/// Occurrence counts of three needles in one pass over `hay` — the single
+/// newline/quote/escape classifier shared by the morsel partition probes.
+#[inline]
+pub fn count3(n1: u8, n2: u8, n3: u8, hay: &[u8]) -> (u64, u64, u64) {
+    let (p1, p2, p3) = (broadcast(n1), broadcast(n2), broadcast(n3));
+    let mut chunks = hay.chunks_exact(8);
+    let (mut c1, mut c2, mut c3) = (0u64, 0u64, 0u64);
+    for chunk in chunks.by_ref() {
+        let w = load(chunk);
+        c1 += u64::from(match_mask(w, p1).count_ones());
+        c2 += u64::from(match_mask(w, p2).count_ones());
+        c3 += u64::from(match_mask(w, p3).count_ones());
+    }
+    for &b in chunks.remainder() {
+        c1 += u64::from(b == n1);
+        c2 += u64::from(b == n2);
+        c3 += u64::from(b == n3);
+    }
+    (c1, c2, c3)
+}
+
+/// Scalar reference implementations of every kernel: the obvious byte loops
+/// the SWAR paths must be observationally identical to. The proptest suite
+/// pins each kernel against its reference; the criterion microbench
+/// (`crates/bench/benches/kernels.rs`) measures the gap between them.
+pub mod scalar {
+    /// Reference [`super::memchr`].
+    pub fn memchr(needle: u8, hay: &[u8]) -> Option<usize> {
+        hay.iter().position(|&b| b == needle)
+    }
+
+    /// Reference [`super::memchr2`].
+    pub fn memchr2(n1: u8, n2: u8, hay: &[u8]) -> Option<usize> {
+        hay.iter().position(|&b| b == n1 || b == n2)
+    }
+
+    /// Reference [`super::memchr3`].
+    pub fn memchr3(n1: u8, n2: u8, n3: u8, hay: &[u8]) -> Option<usize> {
+        hay.iter().position(|&b| b == n1 || b == n2 || b == n3)
+    }
+
+    /// Reference [`super::memchr4`].
+    pub fn memchr4(n1: u8, n2: u8, n3: u8, n4: u8, hay: &[u8]) -> Option<usize> {
+        hay.iter().position(|&b| b == n1 || b == n2 || b == n3 || b == n4)
+    }
+
+    /// Reference [`super::count_byte`].
+    pub fn count_byte(needle: u8, hay: &[u8]) -> u64 {
+        hay.iter().filter(|&&b| b == needle).count() as u64
+    }
+
+    /// Reference [`super::count2`].
+    pub fn count2(n1: u8, n2: u8, hay: &[u8]) -> (u64, u64) {
+        let mut c = (0u64, 0u64);
+        for &b in hay {
+            c.0 += u64::from(b == n1);
+            c.1 += u64::from(b == n2);
+        }
+        c
+    }
+
+    /// Reference [`super::count3`].
+    pub fn count3(n1: u8, n2: u8, n3: u8, hay: &[u8]) -> (u64, u64, u64) {
+        let mut c = (0u64, 0u64, 0u64);
+        for &b in hay {
+            c.0 += u64::from(b == n1);
+            c.1 += u64::from(b == n2);
+            c.2 += u64::from(b == n3);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memchr_finds_first_match_in_every_lane() {
+        // One needle placed at each offset of a 24-byte buffer: matches in
+        // the unaligned head, mid-word, word boundaries, and the tail.
+        for pos in 0..24 {
+            let mut buf = vec![b'x'; 24];
+            buf[pos] = b',';
+            assert_eq!(memchr(b',', &buf), Some(pos), "needle at {pos}");
+        }
+        assert_eq!(memchr(b',', b""), None);
+        assert_eq!(memchr(b',', b"xxx"), None);
+    }
+
+    #[test]
+    fn memchr_ignores_later_matches() {
+        let buf = b"xxxxxxxxxx,yyyy,zz";
+        assert_eq!(memchr(b',', buf), Some(10));
+        assert_eq!(memchr2(b',', b'z', buf), Some(10));
+        assert_eq!(memchr3(b',', b'z', b'y', buf), Some(10));
+    }
+
+    #[test]
+    fn no_false_positives_around_byte_values() {
+        // The classic haszero trick miscounts bytes adjacent to true
+        // matches; the exact mask must not. Exercise every byte value next
+        // to a match.
+        for v in 0u8..=255 {
+            let buf = [0u8, v, v, 0, v, 0, 0, v, v];
+            let expect = scalar::count_byte(0, &buf);
+            assert_eq!(count_byte(0, &buf), expect, "value {v}");
+        }
+    }
+
+    #[test]
+    fn counts_match_scalar_on_csv_like_input() {
+        let buf = b"a,b,\"c\\\"d\"\ne,f,g\n\n,,\n";
+        assert_eq!(count_byte(b'\n', buf), scalar::count_byte(b'\n', buf));
+        assert_eq!(count2(b'\n', b'"', buf), scalar::count2(b'\n', b'"', buf));
+        assert_eq!(count3(b'\n', b'"', b'\\', buf), scalar::count3(b'\n', b'"', b'\\', buf));
+    }
+
+    #[test]
+    fn four_needle_search_matches_scalar() {
+        let buf = b"abc\\def\"ghi,jkl\nmno";
+        assert_eq!(
+            memchr4(b',', b'\n', b'"', b'\\', buf),
+            scalar::memchr4(b',', b'\n', b'"', b'\\', buf)
+        );
+    }
+}

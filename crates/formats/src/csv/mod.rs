@@ -2,6 +2,8 @@
 //!
 //! Split into the primitives the different access paths compose:
 //!
+//! - [`kernels`] — SWAR (u64 word-at-a-time) byte search and counting: the
+//!   hardware-speed layer every other module's inner loops stand on.
 //! - [`tokenizer`] — byte-level navigation: find delimiters, skip fields,
 //!   locate row boundaries. This is the "tokenizing" cost of the paper.
 //! - [`parse`] — converting field bytes into typed values (the "parsing" /
@@ -11,6 +13,7 @@
 //! - [`reader`] — a general-purpose row-wise reader (external-tables style).
 //! - [`writer`] — serializing columnar tables to CSV (datagen, tests).
 
+pub mod kernels;
 pub mod parse;
 pub mod reader;
 pub mod tokenizer;

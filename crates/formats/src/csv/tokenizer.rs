@@ -5,8 +5,16 @@
 //! those access paths is *how the calls are composed* (interpreted loop with
 //! per-field branching vs. an unrolled, specialized pipeline), not the
 //! primitives themselves.
+//!
+//! The inner loops are the SWAR search kernels in [`super::kernels`]: a
+//! field walk is "find the next delimiter-or-newline" eight bytes per step,
+//! not a per-byte branch. The kernels are observationally identical to the
+//! byte loops they replaced (see the kernel contract in the `kernels`
+//! module docs), so everything layered on top — field spans, row counts,
+//! `fields_tokenized`-style counters, morsel grids — is unchanged byte for
+//! byte; only the walk speed moves.
 
-use super::{DELIMITER, ESCAPE, NEWLINE, QUOTE};
+use super::{kernels, DELIMITER, ESCAPE, NEWLINE, QUOTE};
 
 /// Byte-level state of the **general-purpose (quoted/escaped) dialect**,
 /// carried across [`general_dialect_step`] calls. This state machine is the
@@ -88,17 +96,13 @@ impl FieldSpan {
 /// position *after* the terminating delimiter/newline (or end of buffer).
 #[inline]
 pub fn next_field(buf: &[u8], pos: usize) -> (FieldSpan, usize) {
-    let start = pos;
-    let mut i = pos;
-    while i < buf.len() {
-        let b = buf[i];
-        if b == DELIMITER || b == NEWLINE {
-            let next = i + 1;
-            return (FieldSpan { start, end: i }, next);
+    match kernels::memchr2(DELIMITER, NEWLINE, &buf[pos..]) {
+        Some(off) => {
+            let end = pos + off;
+            (FieldSpan { start: pos, end }, end + 1)
         }
-        i += 1;
+        None => (FieldSpan { start: pos, end: buf.len() }, buf.len()),
     }
-    (FieldSpan { start, end: i }, i)
 }
 
 /// Like [`next_field`], but also reports whether the field was the row's
@@ -108,33 +112,22 @@ pub fn next_field(buf: &[u8], pos: usize) -> (FieldSpan, usize) {
 /// sliding into the next row.
 #[inline]
 pub fn next_field_in_row(buf: &[u8], pos: usize) -> (FieldSpan, usize, bool) {
-    let start = pos;
-    let mut i = pos;
-    while i < buf.len() {
-        let b = buf[i];
-        if b == DELIMITER {
-            return (FieldSpan { start, end: i }, i + 1, false);
+    match kernels::memchr2(DELIMITER, NEWLINE, &buf[pos..]) {
+        Some(off) => {
+            let end = pos + off;
+            (FieldSpan { start: pos, end }, end + 1, buf[end] == NEWLINE)
         }
-        if b == NEWLINE {
-            return (FieldSpan { start, end: i }, i + 1, true);
-        }
-        i += 1;
+        None => (FieldSpan { start: pos, end: buf.len() }, buf.len(), true),
     }
-    (FieldSpan { start, end: i }, i, true)
 }
 
 /// Skip exactly one field; returns the position after its terminator.
 #[inline]
 pub fn skip_field(buf: &[u8], pos: usize) -> usize {
-    let mut i = pos;
-    while i < buf.len() {
-        let b = buf[i];
-        i += 1;
-        if b == DELIMITER || b == NEWLINE {
-            break;
-        }
+    match kernels::memchr2(DELIMITER, NEWLINE, &buf[pos..]) {
+        Some(off) => pos + off + 1,
+        None => buf.len(),
     }
-    i
 }
 
 /// Skip `n` fields; returns the position after the `n`-th terminator.
@@ -152,21 +145,18 @@ pub fn skip_fields(buf: &[u8], mut pos: usize, n: usize) -> usize {
 #[inline]
 pub fn skip_fields_in_row(buf: &[u8], mut pos: usize, n: usize) -> (usize, bool) {
     for _ in 0..n {
-        let mut ended = true;
-        while pos < buf.len() {
-            let b = buf[pos];
-            pos += 1;
-            if b == DELIMITER {
-                ended = false;
-                break;
+        match kernels::memchr2(DELIMITER, NEWLINE, &buf[pos..]) {
+            Some(off) => {
+                let hit = pos + off;
+                pos = hit + 1;
+                if buf[hit] == NEWLINE {
+                    return (pos, true);
+                }
             }
-            if b == NEWLINE {
-                return (pos, true);
+            None => {
+                // Buffer exhausted mid-row.
+                return (buf.len(), true);
             }
-        }
-        if ended {
-            // Buffer exhausted mid-row.
-            return (pos, true);
         }
     }
     (pos, false)
@@ -185,17 +175,102 @@ pub fn skip_to_next_row(buf: &[u8], pos: usize) -> usize {
 /// First position of `needle` in `buf[from..]`, if any.
 #[inline]
 pub fn memchr(buf: &[u8], from: usize, needle: u8) -> Option<usize> {
-    buf[from..].iter().position(|&b| b == needle).map(|i| from + i)
+    kernels::memchr(needle, &buf[from..]).map(|i| from + i)
 }
 
 /// Count the rows (newline-terminated lines; a trailing unterminated line
 /// counts as a row).
 pub fn count_rows(buf: &[u8]) -> u64 {
-    let newlines = buf.iter().filter(|&&b| b == NEWLINE).count() as u64;
+    let newlines = kernels::count_byte(NEWLINE, buf);
     match buf.last() {
         None => 0,
         Some(&NEWLINE) => newlines,
         Some(_) => newlines + 1,
+    }
+}
+
+/// The general-purpose (quoted/escaped) field tokenizer: scan from `pos` to
+/// the end of the current field under the full dialect. Returns the span,
+/// the position after the terminator, and whether the field ended its row
+/// (newline or end of buffer) — the signal scans use to reject ragged rows.
+///
+/// Semantically this walks [`general_dialect_step`] byte by byte (the
+/// proptest suite pins the equivalence); operationally it SWAR-searches for
+/// the next *special* byte — delimiter, newline, quote, or escape at top
+/// level; quote or escape inside a quoted section — and bulk-skips the
+/// plain content between them, which is where almost all bytes live.
+#[inline]
+pub fn general_next_field(buf: &[u8], pos: usize) -> (FieldSpan, usize, bool) {
+    let start = pos;
+    let mut i = pos;
+    loop {
+        match kernels::memchr4(DELIMITER, NEWLINE, QUOTE, ESCAPE, &buf[i..]) {
+            None => return (FieldSpan { start, end: buf.len() }, buf.len(), true),
+            Some(off) => {
+                i += off;
+                match buf[i] {
+                    DELIMITER => return (FieldSpan { start, end: i }, i + 1, false),
+                    NEWLINE => return (FieldSpan { start, end: i }, i + 1, true),
+                    // The escape makes the next byte content, whatever it is.
+                    ESCAPE => i = (i + 2).min(buf.len()),
+                    _quote => {
+                        i += 1;
+                        if !skip_quoted_section(buf, &mut i) {
+                            return (FieldSpan { start, end: buf.len() }, buf.len(), true);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Skip to the start of the next record under the general dialect — the
+/// tail-of-row counterpart of [`general_next_field`], so the fields a scan
+/// does *not* read obey the same quote/escape rules as the fields it does.
+/// (A raw-newline skip here would end the row inside a quoted trailing
+/// field, desynchronizing the scan from the dialect it parses with.)
+#[inline]
+pub fn general_skip_to_next_row(buf: &[u8], mut pos: usize) -> usize {
+    loop {
+        match kernels::memchr3(NEWLINE, QUOTE, ESCAPE, &buf[pos..]) {
+            None => return buf.len(),
+            Some(off) => {
+                pos += off;
+                match buf[pos] {
+                    NEWLINE => return pos + 1,
+                    ESCAPE => pos = (pos + 2).min(buf.len()),
+                    _quote => {
+                        pos += 1;
+                        if !skip_quoted_section(buf, &mut pos) {
+                            return buf.len();
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Advance `*i` past the end of a quoted section whose opening quote was
+/// just consumed. Inside quotes only the quote and escape bytes are special;
+/// everything else (delimiters and newlines included) is bulk-skipped
+/// content. Returns `false` if the buffer ended inside the section.
+#[inline]
+fn skip_quoted_section(buf: &[u8], i: &mut usize) -> bool {
+    loop {
+        match kernels::memchr2(QUOTE, ESCAPE, &buf[*i..]) {
+            None => return false,
+            Some(off) => {
+                *i += off;
+                if buf[*i] == ESCAPE {
+                    *i = (*i + 2).min(buf.len());
+                } else {
+                    *i += 1; // Closing quote.
+                    return true;
+                }
+            }
+        }
     }
 }
 
@@ -343,6 +418,66 @@ mod tests {
         let rows: Vec<_> = RowIter::new(b"a\nb").collect();
         assert_eq!(rows, vec![(0, 1), (2, 3)]);
         assert_eq!(RowIter::new(b"").count(), 0);
+    }
+
+    /// Scalar reference for [`general_next_field`]: step the dialect state
+    /// machine byte by byte.
+    fn general_next_field_ref(buf: &[u8], pos: usize) -> (FieldSpan, usize, bool) {
+        let start = pos;
+        let mut i = pos;
+        let mut state = GeneralDialectState::default();
+        while i < buf.len() {
+            match general_dialect_step(&mut state, buf[i]) {
+                DialectByte::Delimiter => return (FieldSpan { start, end: i }, i + 1, false),
+                DialectByte::RecordEnd => return (FieldSpan { start, end: i }, i + 1, true),
+                DialectByte::Content => i += 1,
+            }
+        }
+        (FieldSpan { start, end: i }, i, true)
+    }
+
+    /// Scalar reference for [`general_skip_to_next_row`].
+    fn general_skip_to_next_row_ref(buf: &[u8], mut pos: usize) -> usize {
+        let mut state = GeneralDialectState::default();
+        while pos < buf.len() {
+            let b = buf[pos];
+            pos += 1;
+            if general_dialect_step(&mut state, b) == DialectByte::RecordEnd {
+                break;
+            }
+        }
+        pos
+    }
+
+    #[test]
+    fn general_tokenizer_matches_state_machine() {
+        let cases: &[&[u8]] = &[
+            b"",
+            b"plain,fields\nhere",
+            b"a,\"quoted,with\ncontent\",b\n",
+            b"\\,escaped-delim,x\n",
+            b"\"esc inside \\\" quotes\",y\n",
+            b"trailing escape \\",
+            b"\"unterminated quote with , and \n inside",
+            b"\"q\"\\\n,after-escaped-newline\n",
+            b",,\n\n",
+        ];
+        for buf in cases {
+            for pos in 0..=buf.len() {
+                assert_eq!(
+                    general_next_field(buf, pos),
+                    general_next_field_ref(buf, pos),
+                    "next_field at {pos} in {:?}",
+                    String::from_utf8_lossy(buf)
+                );
+                assert_eq!(
+                    general_skip_to_next_row(buf, pos),
+                    general_skip_to_next_row_ref(buf, pos),
+                    "skip_to_next_row at {pos} in {:?}",
+                    String::from_utf8_lossy(buf)
+                );
+            }
+        }
     }
 
     #[test]

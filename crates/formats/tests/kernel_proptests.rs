@@ -1,0 +1,179 @@
+//! Property tests pinning every SWAR kernel against its scalar reference.
+//!
+//! The kernels' contract is *exact* equivalence over arbitrary byte strings:
+//! same first-match index, same per-needle counts. The generators lean on
+//! the failure modes word-stepped code actually has — needles straddling
+//! 8-byte word boundaries, unaligned heads (the kernels use unaligned loads,
+//! so any slice offset must behave), 0–7 byte tails handled by the scalar
+//! remainder loop, and empty input. The tokenizer-level general-dialect
+//! functions are additionally pinned against the `general_dialect_step`
+//! state machine from every possible start position.
+
+use proptest::prelude::*;
+
+use raw_formats::csv::kernels::{self, scalar};
+use raw_formats::csv::tokenizer::{
+    general_dialect_step, general_next_field, general_skip_to_next_row, DialectByte, FieldSpan,
+    GeneralDialectState,
+};
+use raw_formats::csv::{DELIMITER, ESCAPE, NEWLINE, QUOTE};
+
+/// CSV-significant bytes plus values adjacent to them: off-by-one bytes are
+/// exactly what a borrow-propagating (inexact) SWAR mask would misclassify.
+const PALETTE: [u8; 12] = [
+    DELIMITER,
+    NEWLINE,
+    QUOTE,
+    ESCAPE,
+    DELIMITER.wrapping_sub(1),
+    DELIMITER.wrapping_add(1),
+    NEWLINE.wrapping_sub(1),
+    NEWLINE.wrapping_add(1),
+    b'x',
+    b'7',
+    0x00,
+    0xFF,
+];
+
+/// A byte that is frequently CSV-significant but can be anything.
+fn byte() -> impl Strategy<Value = u8> {
+    (any::<bool>(), any::<u8>()).prop_map(|(pick, raw)| {
+        if pick {
+            PALETTE[raw as usize % PALETTE.len()]
+        } else {
+            raw
+        }
+    })
+}
+
+/// Byte strings that exercise every alignment case: lengths 0..=40 cover
+/// empty input, sub-word inputs (pure tail), one-word inputs, and inputs
+/// whose tail is each of 0..=7 bytes. The narrow alphabet makes needle hits
+/// (including adjacent and word-straddling ones) common instead of
+/// vanishingly rare.
+fn hay() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(byte(), 0..=40)
+}
+
+proptest! {
+    #[test]
+    fn memchr_matches_scalar(hay in hay(), n in byte(), head in 0usize..8) {
+        // Slicing off an arbitrary head shifts word alignment; the kernels
+        // must not care.
+        let hay = &hay[head.min(hay.len())..];
+        prop_assert_eq!(kernels::memchr(n, hay), scalar::memchr(n, hay));
+    }
+
+    #[test]
+    fn memchr2_matches_scalar(hay in hay(), n1 in byte(), n2 in byte(), head in 0usize..8) {
+        let hay = &hay[head.min(hay.len())..];
+        prop_assert_eq!(kernels::memchr2(n1, n2, hay), scalar::memchr2(n1, n2, hay));
+    }
+
+    #[test]
+    fn memchr3_matches_scalar(
+        hay in hay(), n1 in byte(), n2 in byte(), n3 in byte(), head in 0usize..8
+    ) {
+        let hay = &hay[head.min(hay.len())..];
+        prop_assert_eq!(kernels::memchr3(n1, n2, n3, hay), scalar::memchr3(n1, n2, n3, hay));
+    }
+
+    #[test]
+    fn memchr4_matches_scalar(
+        hay in hay(), n1 in byte(), n2 in byte(), n3 in byte(), n4 in byte(),
+        head in 0usize..8
+    ) {
+        let hay = &hay[head.min(hay.len())..];
+        prop_assert_eq!(
+            kernels::memchr4(n1, n2, n3, n4, hay),
+            scalar::memchr4(n1, n2, n3, n4, hay)
+        );
+    }
+
+    #[test]
+    fn count_byte_matches_scalar(hay in hay(), n in byte(), head in 0usize..8) {
+        let hay = &hay[head.min(hay.len())..];
+        prop_assert_eq!(kernels::count_byte(n, hay), scalar::count_byte(n, hay));
+    }
+
+    #[test]
+    fn count2_matches_scalar(hay in hay(), n1 in byte(), n2 in byte(), head in 0usize..8) {
+        let hay = &hay[head.min(hay.len())..];
+        prop_assert_eq!(kernels::count2(n1, n2, hay), scalar::count2(n1, n2, hay));
+    }
+
+    #[test]
+    fn count3_matches_scalar(
+        hay in hay(), n1 in byte(), n2 in byte(), n3 in byte(), head in 0usize..8
+    ) {
+        let hay = &hay[head.min(hay.len())..];
+        prop_assert_eq!(kernels::count3(n1, n2, n3, hay), scalar::count3(n1, n2, n3, hay));
+    }
+
+    #[test]
+    fn delimiters_straddling_word_boundaries(gap in 1usize..=17, reps in 1usize..=5) {
+        // Needles every `gap` bytes: gaps like 7, 8, 9 place matches on both
+        // sides of every 8-byte window edge over a few repetitions.
+        let mut buf = Vec::new();
+        for _ in 0..reps {
+            buf.extend(vec![b'x'; gap - 1]);
+            buf.push(DELIMITER);
+        }
+        for start in 0..buf.len() {
+            let window = &buf[start..];
+            prop_assert_eq!(kernels::memchr(DELIMITER, window), scalar::memchr(DELIMITER, window));
+            prop_assert_eq!(
+                kernels::count_byte(DELIMITER, window),
+                scalar::count_byte(DELIMITER, window)
+            );
+        }
+    }
+
+    #[test]
+    fn general_tokenizer_matches_state_machine_on_arbitrary_bytes(hay in hay()) {
+        // The SWAR-composed general-dialect tokenizer must agree with the
+        // byte-at-a-time state machine from every start position.
+        for pos in 0..=hay.len() {
+            prop_assert_eq!(
+                general_next_field(&hay, pos),
+                general_next_field_ref(&hay, pos),
+                "next_field diverged at pos {} of {:?}", pos, hay
+            );
+            prop_assert_eq!(
+                general_skip_to_next_row(&hay, pos),
+                general_skip_to_next_row_ref(&hay, pos),
+                "skip_to_next_row diverged at pos {} of {:?}", pos, hay
+            );
+        }
+    }
+}
+
+/// Reference `general_next_field`: drive `general_dialect_step` byte by byte
+/// (dialect state entered fresh at `pos` — the field-start contract).
+fn general_next_field_ref(buf: &[u8], pos: usize) -> (FieldSpan, usize, bool) {
+    let start = pos;
+    let mut i = pos;
+    let mut state = GeneralDialectState::default();
+    while i < buf.len() {
+        match general_dialect_step(&mut state, buf[i]) {
+            DialectByte::Delimiter => return (FieldSpan { start, end: i }, i + 1, false),
+            DialectByte::RecordEnd => return (FieldSpan { start, end: i }, i + 1, true),
+            DialectByte::Content => i += 1,
+        }
+    }
+    (FieldSpan { start, end: i }, i, true)
+}
+
+/// Reference `general_skip_to_next_row`: the same walk, returning only the
+/// next record start.
+fn general_skip_to_next_row_ref(buf: &[u8], mut pos: usize) -> usize {
+    let mut state = GeneralDialectState::default();
+    while pos < buf.len() {
+        let b = buf[pos];
+        pos += 1;
+        if general_dialect_step(&mut state, b) == DialectByte::RecordEnd {
+            break;
+        }
+    }
+    pos
+}
