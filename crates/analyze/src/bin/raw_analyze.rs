@@ -1,0 +1,53 @@
+//! CLI driver: scan a workspace and gate on findings.
+//!
+//! ```text
+//! raw-analyze [--root <path>]
+//! ```
+//!
+//! Prints a deterministic JSON report (files sorted, findings sorted by
+//! file/line/rule) and exits `1` if any findings remain after applying
+//! `analyze.allow.json`. With no `--root`, the workspace root is the
+//! current directory (CI runs it from the repo checkout).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use raw_analyze::scan::scan_workspace;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("raw-analyze: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: raw-analyze [--root <path>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("raw-analyze: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match scan_workspace(&root) {
+        Ok(report) => {
+            println!("{}", report.to_json().render_pretty(2));
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("raw-analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! A small Rust lexer, exactly deep enough for rule scanning.
+//!
+//! The rules in [`crate::rules`] match token *sequences* (`unsafe`,
+//! `Ordering :: SeqCst`, `std :: sync :: Mutex`, `. unwrap (`), so the
+//! lexer's one job is to make sure those sequences are real code: a
+//! `panic!` inside a string literal, an `unsafe` inside a doc comment, or
+//! a `"` inside a raw string must never produce tokens a rule could
+//! match. It therefore understands, with real Rust semantics:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! - string literals with escapes, including multi-line strings;
+//! - raw strings `r"…"` / `r#"…"#` (any number of `#`s), byte strings
+//!   `b"…"`, raw byte strings `br#"…"#`, and raw identifiers `r#type`;
+//! - char literals (`'a'`, `'\n'`, `'\u{1F600}'`), byte literals
+//!   (`b'x'`), and the lifetime-vs-char ambiguity (`'a` in `&'a str` is a
+//!   lifetime, not an unterminated char);
+//! - identifiers/keywords, numbers, and single-char punctuation.
+//!
+//! Everything carries a 1-based line number. Comments are tokens too —
+//! the rules need them to find `// SAFETY:` and `// ORDERING:`
+//! justifications adjacent to the sites they bless.
+
+/// What a token is. Literal bodies are deliberately not preserved except
+/// for comments (rules scan comment text) and identifiers (rules match
+/// names) — rule matching never looks inside string/char/number literals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `Ordering`, `unwrap`, …).
+    Ident,
+    /// One punctuation byte (`.`, `:`, `!`, `{`, …).
+    Punct,
+    /// `// …` (text includes the slashes).
+    LineComment,
+    /// `/* … */`, possibly nested (text includes the delimiters).
+    BlockComment,
+    /// Any string-ish literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    StrLit,
+    /// Char or byte literal: `'x'`, `b'\n'`.
+    CharLit,
+    /// Lifetime (`'a`) — kept distinct so it never reads as a char.
+    Lifetime,
+    /// Numeric literal (loosely lexed; rules never inspect it).
+    Number,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text. Empty for `StrLit`/`CharLit`/`Number` (unused by
+    /// rules); the comment text for comments; the name for idents; the
+    /// single byte for puncts.
+    pub text: String,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Lex `src` into a token stream. Never fails: unterminated literals
+/// consume to EOF (the scanned workspace compiles, so in practice the
+/// input is well-formed; the total functions keep the tool panic-free on
+/// adversarial fixtures).
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer { bytes: src.as_bytes(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'b' | b'r' if self.raw_or_byte_literal() => {}
+                _ if is_ident_start(b) => self.ident(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ => {
+                    self.push(TokKind::Punct, (b as char).to_string(), self.line);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    /// Advance one byte, counting newlines (multi-line literals).
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.bytes.get(self.pos).copied()?;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn line_comment(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        self.pos += 2; // consume `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: consume to EOF
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokKind::BlockComment, text, line);
+    }
+
+    /// A `"…"` string with `\` escapes; newlines are content.
+    fn string(&mut self) {
+        let line = self.line;
+        self.pos += 1; // opening quote
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::StrLit, String::new(), line);
+    }
+
+    /// Raw strings `r"…"`/`r#"…"#`, byte strings `b"…"`, raw byte strings
+    /// `br#"…"#`, byte chars `b'x'`, and raw identifiers `r#ident`.
+    /// Returns false when the `b`/`r` is just the start of a plain
+    /// identifier (`buffer`, `rows`), leaving the position untouched.
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let line = self.line;
+        let b0 = self.bytes[self.pos];
+        // `b"…"` byte string: delegate to the plain string lexer.
+        if b0 == b'b' && self.peek(1) == Some(b'"') {
+            self.pos += 1;
+            self.string();
+            return true;
+        }
+        // `b'x'` byte char.
+        if b0 == b'b' && self.peek(1) == Some(b'\'') {
+            self.pos += 1; // now at the quote
+            self.byte_char(line);
+            return true;
+        }
+        // `r`/`br` followed by hashes then a quote: raw (byte) string.
+        let hash_at = match (b0, self.peek(1)) {
+            (b'r', _) => 1,
+            (b'b', Some(b'r')) => 2,
+            _ => return false,
+        };
+        let mut hashes = 0usize;
+        while self.peek(hash_at + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek(hash_at + hashes) == Some(b'"') {
+            self.pos += hash_at + hashes + 1; // past `r##…"`
+            self.raw_string_body(hashes, line);
+            return true;
+        }
+        // `r#ident` raw identifier.
+        if b0 == b'r' && hashes == 1 && self.peek(2).is_some_and(is_ident_start) {
+            self.pos += 2;
+            let start = self.pos;
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.pos += 1;
+            }
+            let name = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+            self.push(TokKind::Ident, name, line);
+            return true;
+        }
+        false // plain identifier starting with b/r
+    }
+
+    /// Body of a raw string already opened with `hashes` hashes: consume
+    /// until `"` followed by the same number of `#`s. No escapes.
+    fn raw_string_body(&mut self, hashes: usize, line: u32) {
+        while let Some(b) = self.bump() {
+            if b == b'"' && (0..hashes).all(|i| self.peek(i) == Some(b'#')) {
+                self.pos += hashes;
+                break;
+            }
+        }
+        self.push(TokKind::StrLit, String::new(), line);
+    }
+
+    /// `'…'` char literal vs `'a` lifetime. A quote followed by an
+    /// escape is always a char; a quote followed by an identifier char is
+    /// a lifetime unless the char after that identifier char is `'`.
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Escaped char literal: consume to the closing quote.
+                self.pos += 2; // `'\`
+                self.bump(); // the escaped byte (enough for \u{…} too: see loop)
+                while let Some(b) = self.peek(0) {
+                    if b == b'\'' {
+                        self.pos += 1;
+                        break;
+                    }
+                    self.bump();
+                }
+                self.push(TokKind::CharLit, String::new(), line);
+            }
+            Some(c) if is_ident_start(c) && self.peek(2) != Some(b'\'') => {
+                // Lifetime: `'` + ident, no closing quote.
+                self.pos += 1;
+                let start = self.pos;
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.pos += 1;
+                }
+                let name = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                self.push(TokKind::Lifetime, name, line);
+            }
+            Some(_) => {
+                // Plain char literal `'x'` (possibly multi-byte UTF-8).
+                self.pos += 1;
+                while let Some(b) = self.bump() {
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::CharLit, String::new(), line);
+            }
+            None => {
+                self.push(TokKind::Punct, "'".to_string(), line);
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// `b'x'` byte char, entered with `pos` at the quote.
+    fn byte_char(&mut self, line: u32) {
+        self.pos += 1; // quote
+        if self.peek(0) == Some(b'\\') {
+            self.pos += 1;
+            self.bump();
+        } else {
+            self.bump();
+        }
+        while let Some(b) = self.peek(0) {
+            if b == b'\'' {
+                self.pos += 1;
+                break;
+            }
+            self.bump();
+        }
+        self.push(TokKind::CharLit, String::new(), line);
+    }
+
+    fn ident(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        let name = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokKind::Ident, name, line);
+    }
+
+    /// Numbers, lexed loosely: digits plus anything that can continue a
+    /// numeric literal (`0x1F`, `1_000`, `1.5e-3`, `8usize`). A trailing
+    /// range `1..n` is handled by refusing to consume `..`.
+    fn number(&mut self) {
+        let line = self.line;
+        while let Some(b) = self.peek(0) {
+            let continues = b.is_ascii_alphanumeric() || b == b'_';
+            let dot = b == b'.'
+                && self.peek(1) != Some(b'.')
+                && self.peek(1).is_none_or(|n| n.is_ascii_digit());
+            if continues || dot {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Number, String::new(), line);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn code_in_strings_and_comments_is_not_tokens() {
+        let src = r##"
+            let a = "unsafe { panic!() }";
+            // unsafe in a line comment
+            /* unsafe /* nested */ still comment */
+            let b = r#"unsafe "quoted" raw"#;
+            let c = 'u';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_swallow_code() {
+        // If `'a` were lexed as an unterminated char literal, the
+        // `unsafe` after it would vanish into the literal.
+        let ids = idents("fn f<'a>(x: &'a str) { unsafe { } }");
+        assert!(ids.contains(&"unsafe".to_string()));
+    }
+
+    #[test]
+    fn char_and_byte_literals_close_properly() {
+        for src in [
+            "let q = '\"'; unsafe {}",
+            r"let n = '\n'; unsafe {}",
+            r"let u = '\u{1F600}'; unsafe {}",
+            "let b = b'\\''; unsafe {}",
+            "let nl = b'\\n'; unsafe {}",
+        ] {
+            assert!(idents(src).contains(&"unsafe".to_string()), "{src}");
+        }
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        let src = "let s = r###\"has \"# and \"## inside\"###; panic!()";
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.kind == TokKind::StrLit));
+        assert!(idents(src).contains(&"panic".to_string()), "code after the raw string lexes");
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn comments_carry_text_and_lines() {
+        let toks = lex("// SAFETY: fine\nunsafe {}\n");
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert!(toks[0].text.contains("SAFETY:"));
+        assert_eq!(toks[0].line, 1);
+        let u = toks.iter().find(|t| t.text == "unsafe").unwrap();
+        assert_eq!(u.line, 2);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let ids = idents("for i in 0..n { x.f(); } let y = 1.5e-3 + 0xFF + 1_000u64;");
+        assert!(ids.contains(&"f".to_string()));
+        assert!(ids.contains(&"n".to_string()));
+    }
+}

@@ -1,0 +1,20 @@
+//! `raw-analyze` — project-specific static analysis for the RAW workspace.
+//!
+//! The engine's performance-critical core is hand-rolled unsafe and
+//! lock-free code the compiler cannot check; this crate machine-checks
+//! the conventions that keep it reviewable. See [`rules`] for the rule
+//! set (U1/A1/H1/L1), [`lexer`] for the string/comment/raw-string-aware
+//! token stream the rules run on, and [`scan`] for workspace walking,
+//! the expiring allowlist, and deterministic JSON reporting.
+//!
+//! Like `raw-trace`, this crate is dependency-free (it uses `raw-trace`
+//! itself only for the `Json` renderer) so the analysis gate never drags
+//! build dependencies into CI.
+//!
+//! Run it as `cargo run -p raw-analyze` from the workspace root, or give
+//! an explicit root: `raw-analyze --root <path>`. Exit status is `1` when
+//! findings remain after the allowlist, `0` otherwise.
+
+pub mod lexer;
+pub mod rules;
+pub mod scan;

@@ -1,0 +1,24 @@
+//! Corpus test: the lexer-stress fixture must yield exactly the three
+//! planted violations — nothing from the literals and comments that
+//! merely *mention* unsafe code.
+
+use raw_analyze::rules::check_file;
+
+#[test]
+fn tricky_fixture_yields_exactly_the_planted_findings() {
+    let src = include_str!("fixtures/tricky.rs");
+    let mut findings = check_file("crates/x/src/tricky.rs", src);
+    findings.sort();
+    let got: Vec<(&str, u32)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(got, vec![("U1", 29), ("A1", 33), ("L1", 37)], "findings: {findings:#?}");
+}
+
+#[test]
+fn fixture_is_invisible_to_the_workspace_scan() {
+    // The scanner must skip `fixtures` directories, or the planted
+    // violations above would fail the self-scan.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = raw_analyze::scan::collect_rs_files(root).unwrap();
+    assert!(files.iter().any(|f| f == "src/rules.rs"), "files: {files:?}");
+    assert!(!files.iter().any(|f| f.contains("fixtures")), "files: {files:?}");
+}

@@ -1,0 +1,44 @@
+//! Lexer-stress fixture: everything here that *looks* like a violation
+//! inside a literal or comment must NOT be reported; the three real
+//! violations are at the lines the corpus test pins.
+//!
+//! This file is never compiled (the `fixtures` path component is skipped
+//! by the workspace scan and excluded from the package build); it only
+//! feeds the lexer.
+
+/* nested /* block /* comments */ close */ properly: unsafe { } here is prose */
+
+fn literals() {
+    let plain = "unsafe { Ordering::SeqCst } std::sync::Mutex .unwrap()";
+    let escaped = "quote \" then unsafe \\";
+    let raw = r"no escapes: panic!() here";
+    let hashed = r#"a "quoted" unsafe block: unsafe { SeqCst }"#;
+    let double_hashed = r##"contains "# without closing: .expect("x")"##;
+    let byte_str = b"unsafe bytes";
+    let byte_raw = br#"raw unsafe bytes"#;
+    let ch = '"';
+    let escaped_ch = '\'';
+    let byte_ch = b'\'';
+    let lifetime: &'static str = "lifetimes are not chars";
+    let raw_ident = r#type_like_name();
+}
+
+// A comment mentioning unsafe and Ordering::SeqCst and panic! — prose only.
+
+fn real_violation_unsafe() {
+    unsafe { core::hint::unreachable_unchecked() } // line 29: U1
+}
+
+fn real_violation_ordering(x: &std::sync::atomic::AtomicU64) {
+    x.store(1, Ordering::Release); // line 33: A1
+}
+
+fn real_violation_mutex() {
+    let _m = std::sync::Mutex::new(0); // line 37: L1
+}
+
+// SAFETY: justified — must NOT be reported.
+fn justified_unsafe() {
+    // SAFETY: the pointer is valid for the whole call.
+    unsafe { do_thing() }
+}

@@ -1,0 +1,19 @@
+//! The gate, as a test: the workspace must scan clean with the committed
+//! allowlist. This makes plain `cargo test` catch a new violation before
+//! CI does, and pins that the committed `analyze.allow.json` parses.
+
+use std::path::Path;
+
+use raw_analyze::scan::scan_workspace;
+
+#[test]
+fn workspace_scans_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = scan_workspace(&root).expect("scan must succeed");
+    assert!(report.files_scanned > 100, "suspiciously few files: {}", report.files_scanned);
+    assert!(
+        report.findings.is_empty(),
+        "workspace must scan clean; findings:\n{}",
+        report.to_json().render_pretty(2)
+    );
+}

@@ -22,7 +22,7 @@ fn csv_buffer(bytes: usize) -> Vec<u8> {
         buf.push(DELIMITER);
         buf.extend_from_slice(b"3.14159");
         buf.push(DELIMITER);
-        if i % 7 == 0 {
+        if i.is_multiple_of(7) {
             buf.push(QUOTE);
             buf.extend_from_slice(b"quoted, with delimiter");
             buf.push(QUOTE);

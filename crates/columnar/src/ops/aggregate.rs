@@ -124,7 +124,8 @@ impl AggAccumulator {
             if acc.is_none() {
                 *acc = Some(make_acc(expr, col.data_type())?);
             }
-            update_acc(acc.as_mut().expect("just initialized"), expr.kind, col)?;
+            let Some(acc) = acc else { unreachable!("just initialized") };
+            update_acc(acc, expr.kind, col)?;
         }
         Ok(())
     }

@@ -163,7 +163,7 @@ impl GroupedAccumulator {
             if acc_slot.is_none() {
                 *acc_slot = Some(Self::acc_for(expr, col.data_type())?);
             }
-            let acc = acc_slot.as_mut().expect("just initialized");
+            let Some(acc) = acc_slot else { unreachable!("just initialized") };
             acc.grow_to(n_groups);
             match acc {
                 AccVec::Count(v) => {
@@ -324,10 +324,22 @@ impl GroupedAccumulator {
                         .collect(),
                 ),
                 Some(AccVec::Int(v)) => Column::Int64(
-                    order.iter().map(|&g| v[g as usize].expect("group has ≥1 row")).collect(),
+                    order
+                        .iter()
+                        .map(|&g| {
+                            let Some(x) = v[g as usize] else { unreachable!("group has ≥1 row") };
+                            x
+                        })
+                        .collect(),
                 ),
                 Some(AccVec::Float(v)) => Column::Float64(
-                    order.iter().map(|&g| v[g as usize].expect("group has ≥1 row")).collect(),
+                    order
+                        .iter()
+                        .map(|&g| {
+                            let Some(x) = v[g as usize] else { unreachable!("group has ≥1 row") };
+                            x
+                        })
+                        .collect(),
                 ),
             };
             columns.push(col);

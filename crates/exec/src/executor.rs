@@ -18,6 +18,11 @@
 //!   Count/sum/min/max over integers merge order-insensitively; AVG (and
 //!   float sums) are deterministic because the merge order is the morsel
 //!   order, which never depends on the thread count.
+//!
+//! The trace-merge contract (one trace per drained morsel, merged stream
+//! sorted by morsel index, identical for any claim order) is documented
+//! normatively in the repo-root `CONCURRENCY.md` and validated by
+//! [`validate_merged_traces`] under `--features checked`.
 
 use std::time::Instant;
 
@@ -211,6 +216,8 @@ pub fn execute_morsels_scheduled(
 
     let (results, sinks) = run_jobs_traced_ordered(jobs, threads, claim);
     let traces = merge_worker_sinks(sinks);
+    #[cfg(feature = "checked")]
+    validate_merged_traces(&traces, morsels, results.iter().all(Result::is_ok));
 
     let mut profile = PhaseProfile::default();
     let mut metrics = ScanMetrics::default();
@@ -253,6 +260,42 @@ pub fn execute_morsels_scheduled(
     }
 
     Ok(ParallelOutcome { batches, profile, metrics, morsels, traces })
+}
+
+/// The `checked` build's merge-contract validator: the trace stream coming
+/// out of [`merge_worker_sinks`] must be strictly increasing in morsel
+/// index (per-worker sinks merged and re-sorted, no duplicates), and —
+/// when every morsel drained successfully (`all_ok`) — cover each of the
+/// `morsels` indices exactly once. Failed or gate-rejected morsels record
+/// no trace, so completeness is only asserted on all-success runs.
+///
+/// Always compiled (so the seeded-violation tests run in every
+/// configuration); [`execute_morsels_scheduled`] only *calls* it under
+/// `feature = "checked"`.
+pub fn validate_merged_traces(traces: &[MorselTrace], morsels: usize, all_ok: bool) {
+    for pair in traces.windows(2) {
+        assert!(
+            pair[0].morsel < pair[1].morsel,
+            "checked: merged traces out of order or duplicated — morsel {} then {} (the per-worker sink merge must yield at most one trace per morsel, sorted)",
+            pair[0].morsel,
+            pair[1].morsel
+        );
+    }
+    if let Some(last) = traces.last() {
+        assert!(
+            last.morsel < morsels,
+            "checked: trace for morsel {} but the run only had {morsels} morsels",
+            last.morsel
+        );
+    }
+    if all_ok {
+        assert_eq!(
+            traces.len(),
+            morsels,
+            "checked: {} traces for {morsels} successful morsels — every drained morsel must record exactly one trace",
+            traces.len()
+        );
+    }
 }
 
 #[cfg(test)]

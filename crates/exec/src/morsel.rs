@@ -91,6 +91,66 @@ pub struct CsvPartition {
     pub saw_quote: bool,
 }
 
+/// Plan-time morsel-grid validator — the `checked` build's tiling
+/// sanitizer, called by every partitioner before its grid escapes. Asserts
+/// the grid tiles its row space `[0, total_rows)` exactly once: indices
+/// dense from 0, row ranges contiguous (each morsel starts where the
+/// previous ended), first at 0, last ending at `total_rows` — so no row is
+/// scanned twice and none is dropped. When `total_bytes` is given
+/// (byte-mapped CSV grids) the byte ranges must tile `[0, total_bytes)`
+/// the same way. An empty grid is never validated here: partitioners
+/// legitimately return no morsels for empty inputs or `target == 0`.
+///
+/// Always compiled (so the seeded-violation tests run in every
+/// configuration); the partitioners only *call* it under
+/// `feature = "checked"`.
+pub fn validate_grid(morsels: &[Morsel], total_rows: u64, total_bytes: Option<usize>) {
+    if morsels.is_empty() {
+        return;
+    }
+    let mut row = 0u64;
+    let mut byte = 0usize;
+    for (i, m) in morsels.iter().enumerate() {
+        assert_eq!(m.index, i, "checked: morsel index {} at grid position {i}", m.index);
+        assert_eq!(
+            m.first_row, row,
+            "checked: morsel {i} starts at row {} but the grid has covered rows up to {row} — the grid must tile the row space exactly once",
+            m.first_row
+        );
+        assert!(
+            m.end_row >= m.first_row,
+            "checked: morsel {i} has inverted row range {}..{}",
+            m.first_row,
+            m.end_row
+        );
+        row = m.end_row;
+        if total_bytes.is_some() {
+            assert_eq!(
+                m.byte_start, byte,
+                "checked: morsel {i} starts at byte {} but the grid has covered bytes up to {byte}",
+                m.byte_start
+            );
+            assert!(
+                m.byte_end >= m.byte_start,
+                "checked: morsel {i} has inverted byte range {}..{}",
+                m.byte_start,
+                m.byte_end
+            );
+            byte = m.byte_end;
+        }
+    }
+    assert_eq!(
+        row, total_rows,
+        "checked: grid covers rows [0, {row}) but the input has {total_rows} rows"
+    );
+    if let Some(total) = total_bytes {
+        assert_eq!(
+            byte, total,
+            "checked: grid covers bytes [0, {byte}) but the input has {total} bytes"
+        );
+    }
+}
+
 /// Split `total_rows` row-addressed records (fbin, rootsim events) into at
 /// most `target` balanced morsels — pure arithmetic, no I/O.
 pub fn partition_rows(total_rows: u64, target: usize) -> Vec<Morsel> {
@@ -113,6 +173,8 @@ pub fn partition_rows(total_rows: u64, target: usize) -> Vec<Morsel> {
         });
         row += len;
     }
+    #[cfg(feature = "checked")]
+    validate_grid(&morsels, total_rows, None);
     morsels
 }
 
@@ -128,7 +190,7 @@ pub fn partition_pages(total_rows: u64, rows_per_page: u32, target: usize) -> Ve
     }
     let rpp = u64::from(rows_per_page);
     let pages = total_rows.div_ceil(rpp);
-    partition_rows(pages, target)
+    let morsels: Vec<Morsel> = partition_rows(pages, target)
         .into_iter()
         .map(|m| Morsel {
             index: m.index,
@@ -137,7 +199,10 @@ pub fn partition_pages(total_rows: u64, rows_per_page: u32, target: usize) -> Ve
             byte_start: 0,
             byte_end: 0,
         })
-        .collect()
+        .collect();
+    #[cfg(feature = "checked")]
+    validate_grid(&morsels, total_rows, None);
+    morsels
 }
 
 /// Split the events of a variable-length collection into at most `target`
@@ -191,6 +256,8 @@ pub fn partition_items(offsets: &[u64], target: usize) -> Vec<Morsel> {
         byte_start: 0,
         byte_end: 0,
     });
+    #[cfg(feature = "checked")]
+    validate_grid(&morsels, events, None);
     morsels
 }
 
@@ -346,6 +413,8 @@ fn partition_csv_impl<B: ProbeBytes>(
         byte_start: cur_byte,
         byte_end: len,
     });
+    #[cfg(feature = "checked")]
+    validate_grid(&morsels, total_rows, Some(len));
     Ok(CsvPartition { morsels, total_rows, saw_quote })
 }
 
@@ -492,6 +561,8 @@ fn partition_csv_quoted_impl<B: ProbeBytes>(
         byte_start: cur_byte,
         byte_end: len,
     });
+    #[cfg(feature = "checked")]
+    validate_grid(&morsels, total_rows, Some(len));
     Ok(CsvPartition { morsels, total_rows, saw_quote })
 }
 
@@ -550,6 +621,8 @@ pub fn partition_csv_with_map(
         byte_start: cur_byte,
         byte_end: buf_len,
     });
+    #[cfg(feature = "checked")]
+    validate_grid(&morsels, total_rows, Some(buf_len));
     Some(morsels)
 }
 

@@ -18,6 +18,10 @@
 //! (reader I/O error) short-circuits the job into the gate's terminal
 //! result without running it.
 //!
+//! The per-worker sink discipline (private `Vec` per worker, published
+//! once at run end) and the merge contract the executor builds on it are
+//! documented normatively in the repo-root `CONCURRENCY.md`.
+//!
 //! ## Cold-path chunk-wait semantics
 //!
 //! The time a worker spends blocked inside a gate is *overlap slack*, not
@@ -165,7 +169,9 @@ where
         let mut results: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
         for k in 0..n {
             let i = claim_of(k);
-            let (gate, job) = slots[i].take().expect("each job claimed exactly once");
+            let Some((gate, job)) = slots[i].take() else {
+                unreachable!("each job claimed exactly once")
+            };
             let start = Instant::now();
             let out = match gate() {
                 Ok(()) => job(JobCtx { worker: 0, gate_wait: start.elapsed(), sink: &mut sink }),
@@ -173,7 +179,13 @@ where
             };
             results[i] = Some(out);
         }
-        let results = results.into_iter().map(|r| r.expect("every job ran")).collect();
+        let results = results
+            .into_iter()
+            .map(|r| {
+                let Some(out) = r else { unreachable!("every job ran") };
+                out
+            })
+            .collect();
         return (results, vec![sink]);
     }
 
@@ -200,8 +212,9 @@ where
                         break;
                     }
                     let i = claim_of(k);
-                    let (gate, job) =
-                        slots[i].lock().take().expect("each job claimed exactly once");
+                    let Some((gate, job)) = slots[i].lock().take() else {
+                        unreachable!("each job claimed exactly once")
+                    };
                     let start = Instant::now();
                     let out = match gate() {
                         Ok(()) => {
@@ -218,7 +231,10 @@ where
 
     let results = results
         .into_iter()
-        .map(|slot| slot.into_inner().expect("scope joined, every job ran"))
+        .map(|slot| {
+            let Some(out) = slot.into_inner() else { unreachable!("scope joined, every job ran") };
+            out
+        })
         .collect();
     let sinks = sinks.into_iter().map(|s| s.into_inner()).collect();
     (results, sinks)

@@ -47,7 +47,9 @@ fn broadcast(b: u8) -> u64 {
 /// Load eight bytes as a little-endian word (an explicit unaligned load).
 #[inline]
 fn load(chunk: &[u8]) -> u64 {
-    u64::from_le_bytes(chunk.try_into().expect("8-byte window"))
+    let mut word = [0u8; 8];
+    word.copy_from_slice(&chunk[..8]);
+    u64::from_le_bytes(word)
 }
 
 /// Exact equality mask: bit 7 of byte lane `i` is set iff lane `i` of `w`

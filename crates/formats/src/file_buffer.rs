@@ -27,6 +27,10 @@
 //! All scan paths go through this layer, so cold-run experiments charge the
 //! read (and the pool counts bytes read from disk for reporting).
 //!
+//! The single-writer chunk protocol, its one happens-before edge, and the
+//! `checked`-build shadow sanitizer are documented normatively in the
+//! repo-root `CONCURRENCY.md`.
+//!
 //! ## The cold/warm model, post-streaming
 //!
 //! "Cold" now means *chunk-streamed*, not whole-file-blocking: a cold
@@ -88,17 +92,185 @@ pub fn file_bytes(data: Vec<u8>) -> FileBytes {
 /// scan operator; revisit if tooling starts exploiting it.
 pub struct FileBuf {
     data: Box<[UnsafeCell<u8>]>,
+    /// `checked`-build shadow write states (see [`shadow`]).
+    #[cfg(feature = "checked")]
+    shadow: shadow::ShadowState,
 }
 
-// SAFETY: mutation happens only through `chunk_mut` under the protocol
-// documented on the type; all other access is read-only.
+/// The `checked` build's homegrown write sanitizer for [`FileBuf`] (this
+/// offline toolchain has no Miri/TSan): a shadow per-chunk state machine
+/// **Unwritten → Writing → Published** maintained alongside the real
+/// bytes. `chunk_mut` asserts exclusive writership (one writer thread,
+/// no overlap with in-flight or published chunks), `complete_chunk`
+/// records publication, and the gated read paths
+/// ([`ChunkedFileBuffer::wait_available`] /
+/// [`ChunkedFileBuffer::is_available`]) cross-check the chunk
+/// bookkeeping's "resident" answer against the shadow — catching a
+/// buffer whose bookkeeping and actual writes ever disagree. The shadow
+/// lock is independent of the production protocol, so enabling it
+/// cannot mask an ordering bug by accident; it only adds aborts.
+#[cfg(feature = "checked")]
+mod shadow {
+    use std::ops::Range;
+    use std::thread::{self, ThreadId};
+
+    use parking_lot::Mutex;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum WriteState {
+        Writing,
+        Published,
+    }
+
+    #[derive(Debug)]
+    struct Span {
+        start: usize,
+        end: usize,
+        state: WriteState,
+    }
+
+    /// Shadow write-state for one buffer. Bytes covered by no span are
+    /// Unwritten; spans are created by writes (Writing) or publication
+    /// (Published, directly for manual buffers that publish zero-filled
+    /// chunks without writing).
+    pub(super) struct ShadowState {
+        inner: Mutex<Inner>,
+    }
+
+    struct Inner {
+        spans: Vec<Span>,
+        writer: Option<ThreadId>,
+    }
+
+    impl ShadowState {
+        /// All `len` bytes Published — warm buffers built from owned
+        /// bytes (`From<Vec<u8>>`) were never partially written.
+        pub(super) fn published(len: usize) -> ShadowState {
+            let spans = if len > 0 {
+                vec![Span { start: 0, end: len, state: WriteState::Published }]
+            } else {
+                Vec::new()
+            };
+            ShadowState { inner: Mutex::new(Inner { spans, writer: None }) }
+        }
+
+        /// Reset every byte to Unwritten — a streaming target starts
+        /// blank and must be written and published chunk by chunk.
+        pub(super) fn reset_unwritten(&self) {
+            let mut inner = self.inner.lock();
+            inner.spans.clear();
+            inner.writer = None;
+        }
+
+        /// `chunk_mut` entry: record `range` as Writing, asserting the
+        /// single-writer protocol.
+        pub(super) fn begin_write(&self, range: Range<usize>) {
+            if range.start >= range.end {
+                return;
+            }
+            let mut inner = self.inner.lock();
+            let me = thread::current().id();
+            match inner.writer {
+                Some(writer) => assert!(
+                    writer == me,
+                    "checked: second writer thread {me:?} (after {writer:?}) — the chunk protocol allows exactly one writer per buffer"
+                ),
+                None => inner.writer = Some(me),
+            }
+            for s in &inner.spans {
+                assert!(
+                    range.end <= s.start || s.end <= range.start,
+                    "checked: write of {range:?} overlaps {:?} chunk {}..{} — published bytes are immutable and in-flight writes are exclusive",
+                    s.state,
+                    s.start,
+                    s.end
+                );
+            }
+            inner.spans.push(Span {
+                start: range.start,
+                end: range.end,
+                state: WriteState::Writing,
+            });
+        }
+
+        /// `complete_chunk` entry: mark `range` Published. Valid from
+        /// Writing (the reader thread's write→publish step) and from
+        /// Unwritten (manual buffers publish zero-filled chunks).
+        pub(super) fn publish(&self, range: Range<usize>) {
+            if range.start >= range.end {
+                return;
+            }
+            let mut inner = self.inner.lock();
+            if let Some(s) =
+                inner.spans.iter_mut().find(|s| s.start == range.start && s.end == range.end)
+            {
+                s.state = WriteState::Published;
+                return;
+            }
+            for s in &inner.spans {
+                assert!(
+                    range.end <= s.start || s.end <= range.start,
+                    "checked: publish of {range:?} partially overlaps shadow chunk {}..{} — publication must match the write grid",
+                    s.start,
+                    s.end
+                );
+            }
+            inner.spans.push(Span {
+                start: range.start,
+                end: range.end,
+                state: WriteState::Published,
+            });
+        }
+
+        /// Gated-read entry: every byte of `range` must be Published.
+        pub(super) fn assert_resident(&self, range: Range<usize>) {
+            if range.start >= range.end {
+                return;
+            }
+            let inner = self.inner.lock();
+            let mut published: Vec<(usize, usize)> = inner
+                .spans
+                .iter()
+                .filter(|s| s.state == WriteState::Published)
+                .map(|s| (s.start, s.end))
+                .collect();
+            published.sort_unstable();
+            let mut covered = range.start;
+            for (start, end) in published {
+                if start > covered {
+                    break;
+                }
+                covered = covered.max(end);
+                if covered >= range.end {
+                    break;
+                }
+            }
+            assert!(
+                covered >= range.end,
+                "checked: gated read of {range:?} reaches unpublished byte {covered} — chunk bookkeeping says resident, shadow write states disagree"
+            );
+        }
+    }
+}
+
+// SAFETY: `FileBuf` owns its bytes; sending it (or an `Arc` of it) to
+// another thread moves plain `u8` storage with no thread-affine state.
 unsafe impl Send for FileBuf {}
+// SAFETY: mutation happens only through `chunk_mut`, whose caller must be
+// the buffer's single writer; every other access is read-only and gated
+// on chunk completion, with the mutex+condvar in `ChunkedFileBuffer`
+// providing the write→read happens-before edge (see CONCURRENCY.md).
 unsafe impl Sync for FileBuf {}
 
 impl FileBuf {
     /// A zero-filled buffer of `len` bytes (the streaming reader's target).
     fn zeroed(len: usize) -> FileBuf {
-        FileBuf::from(vec![0u8; len])
+        let buf = FileBuf::from(vec![0u8; len]);
+        // A streaming target starts blank: every chunk must be written and
+        // published before gated reads may see it.
+        #[cfg(feature = "checked")]
+        buf.shadow.reset_unwritten();
+        buf
     }
 
     /// Writable view of `range`, for the streaming reader thread only.
@@ -111,6 +283,8 @@ impl FileBuf {
     // documented on the type; the &mut covers only the unpublished range.
     #[allow(clippy::mut_from_ref)]
     unsafe fn chunk_mut(&self, range: Range<usize>) -> &mut [u8] {
+        #[cfg(feature = "checked")]
+        self.shadow.begin_write(range.clone());
         let cells = &self.data[range];
         std::slice::from_raw_parts_mut(cells.as_ptr() as *mut u8, cells.len())
     }
@@ -129,10 +303,19 @@ impl std::ops::Deref for FileBuf {
 
 impl From<Vec<u8>> for FileBuf {
     fn from(data: Vec<u8>) -> FileBuf {
-        // `UnsafeCell<u8>` is `repr(transparent)` over `u8`, so the boxed
-        // slice can be reinterpreted in place — no copy.
+        #[cfg(feature = "checked")]
+        let len = data.len();
         let raw = Box::into_raw(data.into_boxed_slice());
-        FileBuf { data: unsafe { Box::from_raw(raw as *mut [UnsafeCell<u8>]) } }
+        FileBuf {
+            // SAFETY: `UnsafeCell<u8>` is `repr(transparent)` over `u8`, so
+            // the boxed slice can be reinterpreted in place — no copy. `raw`
+            // comes from `Box::into_raw` on this same allocation, and the
+            // cast preserves both element layout and slice length, so
+            // `Box::from_raw` reclaims exactly the allocation it was given.
+            data: unsafe { Box::from_raw(raw as *mut [UnsafeCell<u8>]) },
+            #[cfg(feature = "checked")]
+            shadow: shadow::ShadowState::published(len),
+        }
     }
 }
 
@@ -376,13 +559,28 @@ impl ChunkedFileBuffer {
 
     /// Mark chunk `i` complete and wake waiters (reader thread; manual
     /// buffers' tests). Completing a chunk twice is a no-op.
+    ///
+    /// This is the **publication point** of the single-writer protocol
+    /// (CONCURRENCY.md): the reader thread's writes to the chunk's bytes
+    /// precede this call in program order, and the mutex hand-off below
+    /// carries them to every consumer.
     pub fn complete_chunk(&self, i: usize) {
+        // ORDERING: the mutex release at the end of this critical section
+        // pairs with the acquire in `wait_available` / `is_available` —
+        // a consumer that observes `done[i] == true` under the lock also
+        // observes every byte the writer stored before publishing (write
+        // → release → acquire → read). This lock hand-off is the
+        // protocol's ONLY happens-before edge; no raw atomic ordering is
+        // involved (the `charge` counter below is an independent Relaxed
+        // statistic, see trace::metrics).
         let mut st = self.state.lock();
         if let Some(flag) = st.done.get_mut(i) {
             if !*flag {
                 *flag = true;
                 st.completed += 1;
                 let span = ChunkedFileBuffer::chunk_span(self.bytes.len(), self.chunk_bytes, i);
+                #[cfg(feature = "checked")]
+                self.bytes.shadow.publish(span.clone());
                 st.bytes_done += span.len() as u64;
                 if let Some(charge) = &self.charge {
                     charge.fetch_add(span.len() as u64, Ordering::Relaxed);
@@ -436,6 +634,10 @@ impl ChunkedFileBuffer {
     /// real overlap stalls, not polling traffic.
     pub fn wait_available(&self, range: Range<usize>) -> Result<()> {
         let chunks = self.covering_chunks(&range);
+        // ORDERING: this lock acquire (and each reacquire inside the
+        // condvar wait) pairs with the release in `complete_chunk`;
+        // observing `done[i]` here is what makes reading chunk `i`'s
+        // bytes race-free after we return `Ok`.
         let mut st = self.state.lock();
         let mut blocked_at: Option<Instant> = None;
         let outcome = loop {
@@ -452,6 +654,14 @@ impl ChunkedFileBuffer {
         if let (Some(m), Some(t0)) = (&self.metrics, blocked_at) {
             m.chunk_wait(t0.elapsed().as_nanos() as u64);
         }
+        // Cross-check the bookkeeping's "resident" answer against the
+        // shadow write states: the covering bytes must actually have been
+        // published, not merely flagged done.
+        #[cfg(feature = "checked")]
+        if outcome.is_ok() {
+            let len = self.bytes.len();
+            self.bytes.shadow.assert_resident(range.start.min(len)..range.end.min(len));
+        }
         outcome
     }
 
@@ -460,7 +670,16 @@ impl ChunkedFileBuffer {
     pub fn is_available(&self, range: Range<usize>) -> bool {
         let chunks = self.covering_chunks(&range);
         let st = self.state.lock();
-        st.failed.is_none() && chunks.clone().all(|i| st.done[i])
+        let available = st.failed.is_none() && chunks.clone().all(|i| st.done[i]);
+        drop(st);
+        // Same shadow cross-check as `wait_available`: an affirmative
+        // availability answer promises published bytes.
+        #[cfg(feature = "checked")]
+        if available {
+            let len = self.bytes.len();
+            self.bytes.shadow.assert_resident(range.start.min(len)..range.end.min(len));
+        }
+        available
     }
 
     /// Number of chunks completed so far.
@@ -1195,5 +1414,84 @@ mod tests {
         let ok = pool.read(&path).unwrap();
         assert_eq!(&ok[..], &content[..]);
         std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Seeded-violation tests for the `checked` shadow state machine: each
+/// test plants a deliberate protocol violation and pins that the shadow
+/// aborts — proving the sanitizer is live, not decorative. The one
+/// positive test pins that the legitimate write→publish→read flow runs
+/// clean under the shadow (the equivalence suites extend that proof to
+/// the full engine).
+#[cfg(all(test, feature = "checked"))]
+mod checked_tests {
+    use super::*;
+
+    #[test]
+    fn legitimate_write_publish_read_flow_is_clean() {
+        let buf = ChunkedFileBuffer::new_manual("shadow-ok", 100, 32);
+        for i in 0..ChunkedFileBuffer::chunk_count(100, 32) {
+            let span = ChunkedFileBuffer::chunk_span(100, 32, i);
+            // SAFETY: this test thread is the buffer's single writer and
+            // chunk `i` has not been published yet.
+            unsafe { buf.bytes().chunk_mut(span.clone()) }.fill(7);
+            buf.complete_chunk(i);
+        }
+        buf.wait_available(0..100).unwrap();
+        assert!(buf.is_available(10..90));
+        assert_eq!(buf.wait_all().unwrap()[50], 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "checked: write")]
+    fn seeded_write_after_publish_aborts() {
+        let buf = ChunkedFileBuffer::new_manual("shadow-wap", 64, 32);
+        let span = ChunkedFileBuffer::chunk_span(64, 32, 0);
+        // SAFETY: single writer, chunk unpublished — the legitimate write.
+        unsafe { buf.bytes().chunk_mut(span.clone()) }.fill(1);
+        buf.complete_chunk(0);
+        // SAFETY: deliberate protocol violation (writing a published
+        // chunk); the shadow must abort inside `chunk_mut` before any
+        // aliasable slice is produced.
+        let _ = unsafe { buf.bytes().chunk_mut(span) };
+    }
+
+    #[test]
+    #[should_panic(expected = "checked: write")]
+    fn seeded_overlapping_writes_abort() {
+        let buf = ChunkedFileBuffer::new_manual("shadow-overlap", 64, 32);
+        // SAFETY: single writer, chunk unpublished.
+        let _ = unsafe { buf.bytes().chunk_mut(0..32) };
+        // SAFETY: deliberate violation (overlapping in-flight write); the
+        // shadow aborts before the aliased slice exists.
+        let _ = unsafe { buf.bytes().chunk_mut(16..48) };
+    }
+
+    #[test]
+    #[should_panic(expected = "second writer")]
+    fn seeded_second_writer_thread_aborts() {
+        let buf = Arc::new(ChunkedFileBuffer::new_manual("shadow-2w", 64, 32));
+        // SAFETY: this thread is the single writer so far.
+        let _ = unsafe { buf.bytes().chunk_mut(0..32) };
+        let other = Arc::clone(&buf);
+        let err = std::thread::spawn(move || {
+            // SAFETY: deliberate violation (a second writer thread on a
+            // disjoint range); the shadow aborts before the slice exists.
+            let _ = unsafe { other.bytes().chunk_mut(32..64) };
+        })
+        .join()
+        .expect_err("second writer must abort");
+        std::panic::resume_unwind(err);
+    }
+
+    #[test]
+    #[should_panic(expected = "unpublished")]
+    fn seeded_blank_bytes_claimed_resident_abort() {
+        // Bookkeeping says every chunk is done, but nothing was ever
+        // written or published: a blank buffer handed to the warm-wrap
+        // constructor. The gated read's shadow cross-check must abort.
+        let blank: FileBytes = Arc::new(FileBuf::zeroed(64));
+        let buf = ChunkedFileBuffer::completed("shadow-blank", blank, 32);
+        let _ = buf.wait_available(0..64);
     }
 }

@@ -8,6 +8,22 @@
 //! lock, and reads are monotonic snapshots (exact once the engine is
 //! quiescent, e.g. between queries).
 //!
+//! ## Why `Relaxed` is safe here
+//!
+//! Every operation on these counters is a `fetch_add`/`fetch_max`/`load`
+//! on a *single* atomic: no counter update is ever used to publish other
+//! memory, and no reader dereferences anything based on a counter value —
+//! so there is no happens-before edge to establish and nothing a stronger
+//! ordering would protect. Atomic read-modify-writes are indivisible at
+//! every ordering, so `Relaxed` increments are never lost; the only
+//! latitude is that a snapshot taken mid-run may observe counter A's
+//! increment before counter B's from the same event. Quiescent reads
+//! (between queries, at report time) see exact totals because thread
+//! join/termination provides the synchronization (see CONCURRENCY.md).
+//! This is the project-standard pattern the `raw-analyze` A1/L1 rules
+//! enforce: `Relaxed` for independent counters, mutex/condvar edges (not
+//! `SeqCst`) where real publication is needed.
+//!
 //! ## Counter contract (what is charged, and when)
 //!
 //! | counter | charged when |
