@@ -49,6 +49,8 @@ use crate::lexer::{lex, Tok, TokKind};
 pub const HOT_PANIC_MODULES: &[&str] = &[
     "crates/formats/src/csv/kernels.rs",
     "crates/formats/src/csv/tokenizer.rs",
+    "crates/formats/src/rzb/codec.rs",
+    "crates/formats/src/rzb/decode.rs",
     "crates/columnar/src/ops/filter.rs",
     "crates/columnar/src/ops/aggregate.rs",
     "crates/columnar/src/ops/hash_aggregate.rs",
@@ -62,10 +64,14 @@ pub const HOT_PANIC_MODULES: &[&str] = &[
 /// modules get the panic ban but not the alloc ban: the pool deliberately
 /// allocates one private sink per worker inside its spawn loop, and the
 /// aggregates build their *output* batches in per-group finish loops;
-/// both are once-per-worker/once-per-group, not per-row.
+/// both are once-per-worker/once-per-group, not per-row. The rzb block
+/// codec's match/copy loops are per-byte and must not allocate (its
+/// function-top-level hash tables are fine); `decode.rs` is per-block
+/// orchestration — panic-banned, but its claim bookkeeping may allocate.
 pub const HOT_ALLOC_MODULES: &[&str] = &[
     "crates/formats/src/csv/kernels.rs",
     "crates/formats/src/csv/tokenizer.rs",
+    "crates/formats/src/rzb/codec.rs",
     "crates/columnar/src/ops/filter.rs",
 ];
 

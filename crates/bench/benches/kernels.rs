@@ -11,6 +11,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 use raw_formats::csv::kernels::{self, scalar};
 use raw_formats::csv::tokenizer::general_next_field;
 use raw_formats::csv::{DELIMITER, NEWLINE, QUOTE};
+use raw_formats::rzb;
 
 /// A CSV-shaped buffer of roughly `bytes` bytes: mixed narrow and wide
 /// fields, an occasional quoted field, one record per line.
@@ -122,5 +123,28 @@ fn tokenizer_walk(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, count_kernels, match_kernels, tokenizer_walk);
+fn rzb_codec(c: &mut Criterion) {
+    let buf = csv_buffer(1 << 20);
+    let mut group = c.benchmark_group("rzb_decode");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    // Throughput in *uncompressed* bytes — the number a scan consumes per
+    // second — so decode speed is directly comparable to the tokenizer
+    // kernels above it in the pipeline.
+    group.throughput(Throughput::Bytes(buf.len() as u64));
+    for block in [64 << 10, 256 << 10] {
+        let packed = rzb::compress(&buf, block);
+        let index = rzb::parse_index(&packed).expect("valid container");
+        group.bench_function(format!("decompress_all/block_{}k", block >> 10), |b| {
+            b.iter(|| rzb::decompress_all(black_box(&packed), &index, None).expect("clean decode"))
+        });
+        group.bench_function(format!("compress/block_{}k", block >> 10), |b| {
+            b.iter(|| rzb::compress(black_box(&buf), block))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, count_kernels, match_kernels, tokenizer_walk, rzb_codec);
 criterion_main!(benches);

@@ -104,6 +104,12 @@ pub fn workloads() -> Vec<Workload> {
             maker: datasets::engine_muon_collection,
             sql: "SELECT MAX(pt), COUNT(pt) FROM muons WHERE pt > 20.0".to_owned(),
         },
+        Workload {
+            key: "fig15_rzb",
+            description: "cold blocked-compressed (.rzb) CSV scan aggregate",
+            maker: datasets::engine_narrow_csv_rzb,
+            sql: q1("file1", x),
+        },
     ]
 }
 
@@ -128,6 +134,32 @@ pub fn counters_of(stats: &QueryStats) -> Vec<(&'static str, u64)> {
         ("posmaps_built", stats.posmaps_built as u64),
         ("shreds_recorded", stats.shreds_recorded as u64),
     ]
+}
+
+/// Per-key differences between two rendered counter objects (as returned by
+/// `Json::as_obj` on the `counters` field): missing keys in either
+/// direction and exact-value mismatches. Empty means bitwise-equal
+/// counters. Shared by `check_bench` and the stability test so a drifting
+/// run names the offending counters instead of dumping two JSON blobs.
+pub fn diff_counters(old: &[(String, Json)], new: &[(String, Json)]) -> Vec<String> {
+    let mut diffs = Vec::new();
+    for (key, old_value) in old {
+        match new.iter().find(|(k, _)| k == key) {
+            None => diffs.push(format!("counter {key} present in baseline but no longer produced")),
+            Some((_, new_value)) if new_value != old_value => diffs.push(format!(
+                "counter {key} changed: baseline {} vs fresh {}",
+                old_value.render(),
+                new_value.render()
+            )),
+            Some(_) => {}
+        }
+    }
+    for (key, _) in new {
+        if !old.iter().any(|(k, _)| k == key) {
+            diffs.push(format!("new counter {key} not in baseline; re-run `reproduce baselines`"));
+        }
+    }
+    diffs
 }
 
 /// Run one workload cold under the pinned configuration and serialize it.
@@ -264,11 +296,14 @@ mod tests {
         for w in &workloads() {
             let a = run_one(&scale, w);
             let b = run_one(&scale, w);
-            assert_eq!(
-                a.get("counters").expect("counters").render(),
-                b.get("counters").expect("counters").render(),
-                "counters drift across runs: {}",
-                w.key
+            let ca = a.get("counters").and_then(Json::as_obj).expect("counters");
+            let cb = b.get("counters").and_then(Json::as_obj).expect("counters");
+            let diffs = diff_counters(ca, cb);
+            assert!(
+                diffs.is_empty(),
+                "counters drift across runs for {}:\n  {}",
+                w.key,
+                diffs.join("\n  ")
             );
             // Everything except times is stable, not just the counters.
             let strip = |doc: &Json| match doc {

@@ -74,29 +74,9 @@ fn main() {
         // Every key must exist on both sides (a vanished metric is a
         // regression in observability, not just in value), and values
         // match exactly.
-        for (key, old_value) in old {
-            match new.iter().find(|(k, _)| k == key) {
-                None => failures.push(format!(
-                    "{}: counter {key} present in baseline but no longer produced",
-                    w.key
-                )),
-                Some((_, new_value)) if new_value != old_value => failures.push(format!(
-                    "{}: counter {key} changed: baseline {} vs fresh {}",
-                    w.key,
-                    old_value.render(),
-                    new_value.render()
-                )),
-                Some(_) => {}
-            }
-        }
-        for (key, _) in new {
-            if !old.iter().any(|(k, _)| k == key) {
-                failures.push(format!(
-                    "{}: new counter {key} not in baseline; re-run `reproduce baselines`",
-                    w.key
-                ));
-            }
-        }
+        failures.extend(
+            baseline::diff_counters(old, new).into_iter().map(|d| format!("{}: {d}", w.key)),
+        );
 
         // Times: advisory report, strict only on request.
         let wall =

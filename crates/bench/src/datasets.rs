@@ -37,6 +37,19 @@ pub fn narrow_csv(scale: &Scale) -> PathBuf {
     })
 }
 
+/// The narrow CSV re-packed as a blocked-compressed `.rzb` container. The
+/// block size is pinned at 4 KiB **in the file name and the writer call** —
+/// not `RAW_RZB_BLOCK_BYTES` — so the compressed byte counts (and therefore
+/// the `io_bytes` baseline counter) are a pure function of the scale.
+pub fn narrow_csv_rzb(scale: &Scale) -> PathBuf {
+    const BLOCK: usize = 4096;
+    let path = data_dir().join(format!("narrow_{}x30_b{BLOCK}.csv.rzb", scale.narrow_rows));
+    ensure(&path, |p| {
+        let plain = narrow_csv(scale);
+        raw_formats::rzb::write_file(&plain, p, BLOCK).expect("write rzb");
+    })
+}
+
 /// The same table as fixed-width binary.
 pub fn narrow_fbin(scale: &Scale) -> PathBuf {
     let path = data_dir().join(format!("narrow_{}x30.fbin", scale.narrow_rows));
@@ -131,6 +144,20 @@ pub fn engine_narrow_csv(scale: &Scale, config: EngineConfig) -> RawEngine {
         name: "file1".into(),
         schema: Schema::uniform(30, DataType::Int64),
         source: TableSource::Csv { path: narrow_csv(scale) },
+    });
+    engine
+}
+
+/// Register the `.rzb`-compressed narrow table as `file1` (CSV) in a fresh
+/// engine: byte-identical query surface to [`engine_narrow_csv`], but every
+/// scan routes through the block decoder and `io_bytes` counts compressed
+/// bytes.
+pub fn engine_narrow_csv_rzb(scale: &Scale, config: EngineConfig) -> RawEngine {
+    let mut engine = RawEngine::new(config);
+    engine.register_table(TableDef {
+        name: "file1".into(),
+        schema: Schema::uniform(30, DataType::Int64),
+        source: TableSource::Csv { path: narrow_csv_rzb(scale) },
     });
     engine
 }

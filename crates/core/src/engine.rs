@@ -149,6 +149,18 @@ pub struct EngineConfig {
     /// morsel counters at the default, which is why refinement is opt-in
     /// rather than always-on.)
     pub skew_split: usize,
+    /// Uncompressed block size used when *writing* `.rzb` containers
+    /// (default 256 KiB; env `RAW_RZB_BLOCK_BYTES`). Reading always honors
+    /// the block size recorded in the file's header, so this knob never
+    /// affects query results — only the granularity at which new containers
+    /// compress and later decode in parallel.
+    pub rzb_block_bytes: usize,
+    /// Byte budget for the warm file-buffer pool (default 512 MiB; env
+    /// `RAW_FILE_POOL_BYTES`; `0` = unlimited). When a cold read would push
+    /// resident bytes past the budget, least-recently-used warm entries are
+    /// evicted (never the entry being read) and counted in
+    /// `file_pool_evictions`. Mirrors the shred pool's byte-budget design.
+    pub file_pool_bytes: usize,
 }
 
 impl Default for EngineConfig {
@@ -167,6 +179,8 @@ impl Default for EngineConfig {
             morsel_bytes: 256 << 10,
             read_chunk_bytes: 4 << 20,
             skew_split: 1,
+            rzb_block_bytes: 256 << 10,
+            file_pool_bytes: 512 << 20,
         }
     }
 }
@@ -176,8 +190,11 @@ impl EngineConfig {
     /// `RAW_PARALLELISM` (worker threads; `1` forces the serial path),
     /// `RAW_MORSEL_BYTES` (target bytes per morsel),
     /// `RAW_READ_CHUNK_BYTES` (cold-read streaming chunk; `0` disables
-    /// streaming entirely), and `RAW_SKEW_SPLIT` (morsel-grid refinement
-    /// factor; `1` = natural grid). Unset or unparsable variables leave the default
+    /// streaming entirely), `RAW_SKEW_SPLIT` (morsel-grid refinement
+    /// factor; `1` = natural grid), `RAW_RZB_BLOCK_BYTES` (uncompressed
+    /// block size for newly written `.rzb` containers), and
+    /// `RAW_FILE_POOL_BYTES` (warm file-pool byte budget; `0` = unlimited).
+    /// Unset or unparsable variables leave the default
     /// untouched. Test suites build engines through this so CI can exercise
     /// the whole suite under a forced parallel (and forced tiny-chunk
     /// streaming) configuration.
@@ -197,6 +214,12 @@ impl EngineConfig {
         }
         if let Some(n) = env_usize("RAW_SKEW_SPLIT") {
             config.skew_split = n.max(1);
+        }
+        if let Some(n) = env_usize("RAW_RZB_BLOCK_BYTES") {
+            config.rzb_block_bytes = n.max(1);
+        }
+        if let Some(n) = env_usize("RAW_FILE_POOL_BYTES") {
+            config.file_pool_bytes = n; // 0 = unlimited
         }
         config
     }
@@ -264,11 +287,17 @@ impl RawEngine {
             TemplateCache::with_simulated_compile_latency(config.simulated_compile_latency)
         };
         let metrics = Arc::new(EngineMetrics::new());
+        let files = Arc::new(FileBufferPool::with_metrics(Arc::clone(&metrics)));
+        files.set_budget_bytes(if config.file_pool_bytes == 0 {
+            u64::MAX
+        } else {
+            config.file_pool_bytes as u64
+        });
         RawEngine {
             catalog: Catalog::new(),
             pool: ShredPool::new(config.shred_pool_bytes),
             config,
-            files: Arc::new(FileBufferPool::with_metrics(Arc::clone(&metrics))),
+            files,
             templates,
             posmaps: HashMap::new(),
             loaded: HashMap::new(),

@@ -57,6 +57,7 @@ use raw_columnar::{Batch, ColumnarError};
 use raw_formats::fbin::FbinLayout;
 use raw_formats::file_buffer::ChunkedFileBuffer;
 use raw_formats::ibin::IbinLayout;
+use raw_formats::rzb::{self, RzbDecoder};
 
 use crate::catalog::{TableDef, TableSource};
 use crate::engine::{AccessMode, ShredStrategy};
@@ -137,7 +138,7 @@ pub(crate) fn try_plan(
     let Some(parted) = partition(&mut planner, &q.tables[0], &driving)? else {
         return Ok(None); // nothing to parallelize
     };
-    let Partitioned { morsels, stream, ready } = parted;
+    let Partitioned { morsels, stream, decoder, ready } = parted;
     let text_format = matches!(driving.source, TableSource::Csv { .. });
     let format = source_format(&driving.source);
     let morsel_meta: Vec<MorselMeta> = morsels
@@ -163,6 +164,11 @@ pub(crate) fn try_plan(
             if q.tables.len() > 1 {
                 let build_def = planner.ctx.catalog.get(&q.tables[1])?;
                 if build_def.source.path() == driving.source.path() {
+                    // The decoded rzb buffer fills only when the decoder is
+                    // driven; decode everything, then the wait is immediate.
+                    if let Some(d) = &decoder {
+                        d.ensure_all().map_err(EngineError::from)?;
+                    }
                     st.wait_all().map_err(EngineError::from)?;
                 }
             }
@@ -346,22 +352,38 @@ pub(crate) fn try_plan(
     ));
     let explain = std::mem::take(&mut planner.explain);
 
-    // Availability gates: morsel i runs once bytes ..ready[i] are resident.
-    // The reader fills sequentially, so waiting on the prefix is exact; a
-    // reader I/O failure surfaces through the gate as this morsel's error.
-    let gates: Vec<Option<MorselGate>> = match &stream {
-        Some(st) => ready
+    // Availability gates: morsel i runs once bytes ready[i] are resident.
+    // Plain streams fill sequentially, so waiting on the prefix is exact;
+    // rzb gates actively decode exactly the blocks covering their morsel's
+    // range (claims deduplicated across gates), so decode work fans out
+    // over the worker pool. A reader I/O failure (or a corrupt block)
+    // surfaces through the gate as this morsel's error.
+    let gates: Vec<Option<MorselGate>> = match (&stream, &decoder) {
+        (Some(_), Some(dec)) => ready
             .iter()
-            .map(|&upto| {
-                let st = Arc::clone(st);
+            .cloned()
+            .map(|r| {
+                let dec = Arc::clone(dec);
                 let gate: MorselGate = Box::new(move || {
-                    st.wait_available(0..upto)
+                    dec.ensure_decoded(r)
                         .map_err(|e| ColumnarError::External { message: e.to_string() })
                 });
                 Some(gate)
             })
             .collect(),
-        None => Vec::new(),
+        (Some(st), None) => ready
+            .iter()
+            .cloned()
+            .map(|r| {
+                let st = Arc::clone(st);
+                let gate: MorselGate = Box::new(move || {
+                    st.wait_available(r)
+                        .map_err(|e| ColumnarError::External { message: e.to_string() })
+                });
+                Some(gate)
+            })
+            .collect(),
+        _ => Vec::new(),
     };
 
     Ok(Some(ParallelPlan {
@@ -425,12 +447,20 @@ struct Partitioned {
     /// (`read_chunk_bytes > 0`). `None` means everything the pipelines
     /// touch is resident by plan time (warm, blocking, or root formats).
     stream: Option<Arc<ChunkedFileBuffer>>,
-    /// Per-morsel resident-prefix requirement, aligned with `morsels`:
-    /// morsel `i` may dispatch once bytes `..ready[i]` are resident. The
-    /// reader is sequential, so a prefix bound is exact even for formats
-    /// whose morsels read several disjoint ranges. Empty when `stream` is
+    /// The block decoder behind `stream` — `Some` only for `.rzb` sources.
+    /// When present, `stream` is the decoder's *uncompressed* buffer and
+    /// every morsel gate routes through [`RzbDecoder::ensure_decoded`]
+    /// (which decodes exactly the blocks covering the range) instead of
+    /// passively waiting: the decoded buffer has no background filler.
+    decoder: Option<Arc<RzbDecoder>>,
+    /// Per-morsel resident-byte requirement, aligned with `morsels`: morsel
+    /// `i` may dispatch once bytes `ready[i]` are resident. Plain streams
+    /// fill sequentially, so their requirement is the prefix `0..byte_end`
+    /// (exact even for formats whose morsels read several disjoint ranges);
+    /// `.rzb` gates use the morsel's own `byte_start..byte_end` so each
+    /// gate decodes only its covering blocks. Empty when `stream` is
     /// `None`.
-    ready: Vec<usize>,
+    ready: Vec<std::ops::Range<usize>>,
 }
 
 /// Wait until the fbin header (magic + ncols + types + nrows) is resident,
@@ -446,6 +476,20 @@ fn wait_fbin_header(st: &ChunkedFileBuffer) -> Result<()> {
     }
     let ncols = u32::from_le_bytes(st.bytes()[8..12].try_into().expect("sized")) as usize;
     st.wait_available(0..(12 + ncols + 8).min(len)).map_err(EngineError::from)?;
+    Ok(())
+}
+
+/// [`wait_fbin_header`] for a blocked-compressed source: the decoded buffer
+/// has no background filler, so the header's covering blocks must be
+/// *decoded* (not merely awaited) before `FbinLayout::parse` reads them.
+fn wait_fbin_header_rzb(d: &RzbDecoder) -> Result<()> {
+    let len = d.len();
+    d.ensure_decoded(0..12.min(len)).map_err(EngineError::from)?;
+    if len < 12 {
+        return Ok(());
+    }
+    let ncols = u32::from_le_bytes(d.decoded().bytes()[8..12].try_into().expect("sized")) as usize;
+    d.ensure_decoded(0..(12 + ncols + 8).min(len)).map_err(EngineError::from)?;
     Ok(())
 }
 
@@ -471,29 +515,49 @@ fn partition(
     if skew > 1 {
         planner.note(format!("skew split x{skew}: refined morsel grid"));
     }
-    let stream: Option<Arc<ChunkedFileBuffer>> = if chunk_bytes > 0
-        && matches!(
-            def.source,
-            TableSource::Csv { .. } | TableSource::Fbin { .. } | TableSource::Ibin { .. }
-        ) {
-        let cold = !planner.ctx.files.is_warm(def.source.path());
-        let st = planner.ctx.files.read_streaming(def.source.path(), chunk_bytes)?;
-        if cold {
-            // Deterministic observability: the read went through the chunked
-            // reader thread (whether or not it is still in flight by the
-            // time planning finishes — small files often complete first).
-            planner.note(format!(
-                "cold stream: {} chunks x {} bytes",
-                ChunkedFileBuffer::chunk_count(st.len(), st.chunk_bytes()),
-                st.chunk_bytes(),
-            ));
-        }
-        Some(st)
-    } else {
-        None
-    };
+    let flat = matches!(
+        def.source,
+        TableSource::Csv { .. } | TableSource::Fbin { .. } | TableSource::Ibin { .. }
+    );
+    let mut decoder: Option<Arc<RzbDecoder>> = None;
+    let stream: Option<Arc<ChunkedFileBuffer>> =
+        if chunk_bytes > 0 && flat && rzb::is_rzb_path(def.source.path()) {
+            // Blocked-compressed source: the compressed bytes stream off disk
+            // while morsel gates decode exactly the blocks they cover, so early
+            // morsels scan while later blocks are still being read AND decoded.
+            let cold = !planner.ctx.files.is_warm(def.source.path());
+            let dec = planner.ctx.files.read_rzb_streaming(def.source.path(), chunk_bytes)?;
+            if cold {
+                planner.note(format!(
+                    "cold rzb stream: {} blocks x {} bytes (compressed {} -> {} bytes)",
+                    dec.block_count(),
+                    dec.block_bytes(),
+                    dec.compressed_len(),
+                    dec.len(),
+                ));
+            }
+            let st = Arc::clone(dec.decoded());
+            decoder = Some(dec);
+            Some(st)
+        } else if chunk_bytes > 0 && flat {
+            let cold = !planner.ctx.files.is_warm(def.source.path());
+            let st = planner.ctx.files.read_streaming(def.source.path(), chunk_bytes)?;
+            if cold {
+                // Deterministic observability: the read went through the chunked
+                // reader thread (whether or not it is still in flight by the
+                // time planning finishes — small files often complete first).
+                planner.note(format!(
+                    "cold stream: {} chunks x {} bytes",
+                    ChunkedFileBuffer::chunk_count(st.len(), st.chunk_bytes()),
+                    st.chunk_bytes(),
+                ));
+            }
+            Some(st)
+        } else {
+            None
+        };
 
-    let mut ready: Vec<usize> = Vec::new();
+    let mut ready: Vec<std::ops::Range<usize>> = Vec::new();
     let morsels: Vec<Morsel> = match &def.source {
         TableSource::Csv { .. } => {
             // Streamed reads probe the in-flight buffer; blocking reads a
@@ -514,6 +578,17 @@ fn partition(
             // overlap.
             let hinted =
                 planner.ctx.posmaps.get(name).and_then(|m| partition_csv_with_map(m, len, target));
+            if hinted.is_none() {
+                if let Some(d) = &decoder {
+                    // No split hints: the probe has to follow the bytes, and
+                    // the decoded buffer has no background filler — decode
+                    // everything at plan time. The probe below then sees a
+                    // complete buffer (the gates turn into no-ops and are
+                    // dropped). With a positional map the probe is skipped
+                    // and per-morsel block decoding overlaps the scan.
+                    d.ensure_all().map_err(EngineError::from)?;
+                }
+            }
             // Cold probe otherwise: split on the dialect the scan will use.
             // The general-purpose in-situ scan is quote-aware (a quoted
             // field may contain a newline); the JIT dialect treats every
@@ -534,18 +609,27 @@ fn partition(
             if stream.is_some() {
                 // A morsel reads its own byte range only (scans, posmap
                 // tracking, and late posmap-navigated fetches all address
-                // record positions inside the segment).
-                ready = morsels.iter().map(|m| m.byte_end).collect();
+                // record positions inside the segment) — so rzb gates decode
+                // just the covering blocks, while plain sequential streams
+                // wait on the prefix.
+                ready = match &decoder {
+                    Some(_) => morsels.iter().map(|m| m.byte_start..m.byte_end).collect(),
+                    None => morsels.iter().map(|m| 0..m.byte_end).collect(),
+                };
             }
             morsels
         }
         TableSource::Fbin { .. } => {
-            let layout = match &stream {
-                Some(st) => {
+            let layout = match (&stream, &decoder) {
+                (Some(st), Some(d)) => {
+                    wait_fbin_header_rzb(d)?;
+                    FbinLayout::parse(st.bytes())?
+                }
+                (Some(st), None) => {
                     wait_fbin_header(st)?;
                     FbinLayout::parse(st.bytes())?
                 }
-                None => FbinLayout::parse(&planner.ctx.files.read(def.source.path())?)?,
+                _ => FbinLayout::parse(&planner.ctx.files.read(def.source.path())?)?,
             };
             let rows_per_morsel = (morsel_bytes / layout.row_width.max(1)).max(1) as u64;
             let target = refine_target(
@@ -555,11 +639,16 @@ fn partition(
             let morsels = partition_rows(layout.rows, target);
             if stream.is_some() {
                 // Rows are fixed-width and contiguous: morsel i's bytes end
-                // at data_start + end_row * row_width.
-                ready = morsels
-                    .iter()
-                    .map(|m| layout.data_start + m.end_row as usize * layout.row_width)
-                    .collect();
+                // at data_start + end_row * row_width. An rzb gate needs only
+                // its own row span's bytes; plain streams wait on the prefix.
+                let row_bytes = |row: u64| layout.data_start + row as usize * layout.row_width;
+                ready = match &decoder {
+                    Some(_) => morsels
+                        .iter()
+                        .map(|m| row_bytes(m.first_row)..row_bytes(m.end_row))
+                        .collect(),
+                    None => morsels.iter().map(|m| 0..row_bytes(m.end_row)).collect(),
+                };
             }
             morsels
         }
@@ -577,12 +666,19 @@ fn partition(
             // read/scan overlap and morsels run ungated. The streamed
             // path still exists so the read itself, the counters, and the
             // buffer-identity rules match the other flat formats.
-            let layout = match &stream {
-                Some(st) => {
+            let layout = match (&stream, &decoder) {
+                (Some(st), Some(d)) => {
+                    // Same full-residency requirement, but the decoded
+                    // buffer has no background filler: drive the decode
+                    // here rather than waiting on bytes nobody produces.
+                    d.ensure_all().map_err(EngineError::from)?;
+                    IbinLayout::parse(st.bytes())?
+                }
+                (Some(st), None) => {
                     st.wait_all().map_err(EngineError::from)?;
                     IbinLayout::parse(st.bytes())?
                 }
-                None => IbinLayout::parse(&planner.ctx.files.read(def.source.path())?)?,
+                _ => IbinLayout::parse(&planner.ctx.files.read(def.source.path())?)?,
             };
             let rows_per_morsel = (morsel_bytes / layout.row_width.max(1)).max(1) as u64;
             let target = refine_target(
@@ -641,11 +737,13 @@ fn partition(
         // read, identical counters to the blocking path).
         return Ok(None);
     }
-    // An already-complete stream (tiny file, warm wrapper, or the JIT-ibin
-    // full wait) needs no gates; an in-flight one gates every morsel.
+    // An already-complete stream (tiny file, warm wrapper, a fully-decoded
+    // rzb buffer, or the JIT-ibin full wait) needs no gates; an in-flight
+    // one gates every morsel.
     let stream = stream.filter(|st| !st.is_complete());
+    let decoder = if stream.is_some() { decoder } else { None };
     let ready = if stream.is_some() { ready } else { Vec::new() };
-    Ok(Some(Partitioned { morsels, stream, ready }))
+    Ok(Some(Partitioned { morsels, stream, decoder, ready }))
 }
 
 /// Stage 4: how per-morsel outputs combine, resolved against the (shared)

@@ -1,0 +1,119 @@
+//! CLI driver for `.rzb` containers: compress raw files into the
+//! blocked-compressed format and verify existing containers.
+//!
+//! ```text
+//! raw-pack <input> [output]          # compress (default output: <input>.rzb)
+//! raw-pack --verify <file.rzb>...    # parse index, decode every block, CRC-check
+//! ```
+//!
+//! The uncompressed block size defaults to 256 KiB and honors
+//! `RAW_RZB_BLOCK_BYTES` (the same knob the engine's writer path uses), or
+//! an explicit `--block-bytes <n>`. Verification decodes the whole
+//! container and reports the compression ratio; any structural error,
+//! truncation, or CRC mismatch exits nonzero with the offending block.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use raw_formats::rzb;
+
+fn block_bytes_from_env() -> usize {
+    std::env::var("RAW_RZB_BLOCK_BYTES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(rzb::DEFAULT_BLOCK_BYTES)
+}
+
+fn verify(path: &PathBuf) -> Result<(), String> {
+    let data = std::fs::read(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let index = rzb::parse_index(&data).map_err(|e| e.to_string())?;
+    let out = rzb::decompress_all(&data, &index, None).map_err(|e| e.to_string())?;
+    println!(
+        "{}: ok ({} blocks x {} bytes, {} -> {} bytes, ratio {:.2}x)",
+        path.display(),
+        index.block_count(),
+        index.block_bytes(),
+        data.len(),
+        out.len(),
+        out.len().max(1) as f64 / data.len().max(1) as f64,
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut verify_mode = false;
+    let mut block_bytes = block_bytes_from_env();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--verify" => verify_mode = true,
+            "--block-bytes" => match args.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) {
+                Some(n) => block_bytes = n,
+                None => {
+                    eprintln!("raw-pack: --block-bytes requires a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: raw-pack [--block-bytes <n>] <input> [output]");
+                println!("       raw-pack --verify <file.rzb>...");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("raw-pack: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+
+    if verify_mode {
+        if paths.is_empty() {
+            eprintln!("raw-pack: --verify requires at least one file");
+            return ExitCode::from(2);
+        }
+        let mut failed = false;
+        for path in &paths {
+            if let Err(e) = verify(path) {
+                eprintln!("{}: FAILED: {e}", path.display());
+                failed = true;
+            }
+        }
+        return if failed { ExitCode::FAILURE } else { ExitCode::SUCCESS };
+    }
+
+    let input = match paths.first() {
+        Some(p) => p.clone(),
+        None => {
+            eprintln!("usage: raw-pack [--block-bytes <n>] <input> [output]");
+            return ExitCode::from(2);
+        }
+    };
+    let output = paths.get(1).cloned().unwrap_or_else(|| {
+        let mut s = input.clone().into_os_string();
+        s.push(".rzb");
+        PathBuf::from(s)
+    });
+    match rzb::write_file(&input, &output, block_bytes) {
+        Ok(index) => {
+            let comp = std::fs::metadata(&output).map(|m| m.len()).unwrap_or(0);
+            println!(
+                "{} -> {} ({} blocks x {} bytes, {} -> {} bytes, ratio {:.2}x)",
+                input.display(),
+                output.display(),
+                index.block_count(),
+                index.block_bytes(),
+                index.uncompressed_len(),
+                comp,
+                index.uncompressed_len().max(1) as f64 / comp.max(1) as f64,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("raw-pack: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

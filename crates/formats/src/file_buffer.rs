@@ -55,6 +55,7 @@ use parking_lot::{Condvar, Mutex};
 use raw_trace::EngineMetrics;
 
 use crate::error::{FormatError, Result};
+use crate::rzb::{self, RzbDecoder};
 
 /// Shared, immutable-once-published bytes of one file.
 pub type FileBytes = Arc<FileBuf>;
@@ -140,6 +141,10 @@ mod shadow {
     struct Inner {
         spans: Vec<Span>,
         writer: Option<ThreadId>,
+        /// Multi-writer mode (rzb block decode): many threads may write,
+        /// each to its own exclusive span. Only the one-thread assert is
+        /// relaxed — overlap and write-after-publish still abort.
+        multi_writer: bool,
     }
 
     impl ShadowState {
@@ -151,7 +156,7 @@ mod shadow {
             } else {
                 Vec::new()
             };
-            ShadowState { inner: Mutex::new(Inner { spans, writer: None }) }
+            ShadowState { inner: Mutex::new(Inner { spans, writer: None, multi_writer: false }) }
         }
 
         /// Reset every byte to Unwritten — a streaming target starts
@@ -162,6 +167,11 @@ mod shadow {
             inner.writer = None;
         }
 
+        /// Switch to multi-writer mode (see [`Inner::multi_writer`]).
+        pub(super) fn allow_multi_writer(&self) {
+            self.inner.lock().multi_writer = true;
+        }
+
         /// `chunk_mut` entry: record `range` as Writing, asserting the
         /// single-writer protocol.
         pub(super) fn begin_write(&self, range: Range<usize>) {
@@ -170,12 +180,14 @@ mod shadow {
             }
             let mut inner = self.inner.lock();
             let me = thread::current().id();
-            match inner.writer {
-                Some(writer) => assert!(
-                    writer == me,
-                    "checked: second writer thread {me:?} (after {writer:?}) — the chunk protocol allows exactly one writer per buffer"
-                ),
-                None => inner.writer = Some(me),
+            if !inner.multi_writer {
+                match inner.writer {
+                    Some(writer) => assert!(
+                        writer == me,
+                        "checked: second writer thread {me:?} (after {writer:?}) — the chunk protocol allows exactly one writer per buffer"
+                    ),
+                    None => inner.writer = Some(me),
+                }
             }
             for s in &inner.spans {
                 assert!(
@@ -273,16 +285,29 @@ impl FileBuf {
         buf
     }
 
-    /// Writable view of `range`, for the streaming reader thread only.
+    /// Relax the `checked` shadow to multi-writer mode for this buffer:
+    /// the rzb block decoder legitimately writes from many worker
+    /// threads, one exclusive block span each. Overlap and
+    /// write-after-publish checks stay armed.
+    #[cfg(feature = "checked")]
+    pub(crate) fn allow_multi_writer(&self) {
+        self.shadow.allow_multi_writer();
+    }
+
+    /// Writable view of `range`, for the buffer's writer(s) only: the
+    /// streaming reader thread, or — for an rzb decoded buffer — the
+    /// worker holding the block's exclusive Decoding claim.
     ///
     /// # Safety
-    /// The caller must be the buffer's single writer and must not have
-    /// published (marked complete) any chunk overlapping `range`.
-    // The &self → &mut shape is the point: the one writer mutates through
+    /// The caller must hold exclusive write rights to `range` under the
+    /// chunk protocol (single writer, or one claimed block per thread in
+    /// the decoder's multi-writer extension) and must not have published
+    /// (marked complete) any chunk overlapping `range`.
+    // The &self → &mut shape is the point: the writer mutates through
     // the cells while readers hold the same Arc, under the protocol
     // documented on the type; the &mut covers only the unpublished range.
     #[allow(clippy::mut_from_ref)]
-    unsafe fn chunk_mut(&self, range: Range<usize>) -> &mut [u8] {
+    pub(crate) unsafe fn chunk_mut(&self, range: Range<usize>) -> &mut [u8] {
         #[cfg(feature = "checked")]
         self.shadow.begin_write(range.clone());
         let cells = &self.data[range];
@@ -706,24 +731,66 @@ impl ChunkedFileBuffer {
     }
 }
 
+/// One warm-map entry: the resident bytes plus the LRU clock stamp of
+/// the last access.
+#[derive(Debug)]
+struct PoolEntry {
+    bytes: FileBytes,
+    last_used: u64,
+}
+
 /// A pool of file buffers: the stand-in for `mmap` + OS page cache.
-#[derive(Debug, Default)]
+///
+/// The warm map is bounded by a byte budget (mirroring `ShredPool`'s
+/// policy): when resident warm bytes exceed
+/// [`FileBufferPool::set_budget_bytes`], least-recently-used entries are
+/// evicted — never the entry just served — and each eviction is counted.
+/// The default budget is unlimited, preserving the historical behavior
+/// for pools that never set one. In-flight streams and decoders are
+/// transient and not subject to the budget.
+#[derive(Debug)]
 pub struct FileBufferPool {
-    buffers: Mutex<HashMap<PathBuf, FileBytes>>,
+    buffers: Mutex<HashMap<PathBuf, PoolEntry>>,
     /// Streaming reads in flight (or completed but not yet published —
     /// publication happens lazily when the next access observes
     /// completion).
     streams: Mutex<HashMap<PathBuf, Arc<ChunkedFileBuffer>>>,
+    /// Parallel rzb decodes in flight (same lazy-publication lifecycle
+    /// as `streams`, holding compressed + decoded buffers).
+    decoders: Mutex<HashMap<PathBuf, Arc<RzbDecoder>>>,
     /// Shared with each stream's reader thread, which credits it per
     /// completed chunk.
     bytes_from_disk: Arc<AtomicU64>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Warm-map byte budget; `u64::MAX` means unlimited (the default).
+    budget_bytes: AtomicU64,
+    /// LRU clock, bumped on every warm-map touch.
+    clock: AtomicU64,
+    /// Warm-map entries evicted by the byte budget.
+    evictions: AtomicU64,
     /// Engine-lifetime registry mirroring the pool counters and tracking
     /// the resident-buffer gauge. Set at construction
     /// ([`FileBufferPool::with_metrics`]); `None` means unobserved (the
     /// pool's own counters still work).
     metrics: Option<Arc<EngineMetrics>>,
+}
+
+impl Default for FileBufferPool {
+    fn default() -> FileBufferPool {
+        FileBufferPool {
+            buffers: Mutex::new(HashMap::new()),
+            streams: Mutex::new(HashMap::new()),
+            decoders: Mutex::new(HashMap::new()),
+            bytes_from_disk: Arc::new(AtomicU64::new(0)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            budget_bytes: AtomicU64::new(u64::MAX),
+            clock: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            metrics: None,
+        }
+    }
 }
 
 impl FileBufferPool {
@@ -771,15 +838,86 @@ impl FileBufferPool {
         }
     }
 
+    /// Next LRU clock stamp.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Set the warm-map byte budget (`u64::MAX` = unlimited). Takes
+    /// effect on the next insert; already-resident bytes are not
+    /// retroactively evicted.
+    pub fn set_budget_bytes(&self, bytes: u64) {
+        self.budget_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Warm-map entries evicted by the byte budget since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Serve `path` from the warm map, stamping the LRU clock.
+    fn warm_hit(&self, path: &Path) -> Option<FileBytes> {
+        let mut buffers = self.buffers.lock();
+        let entry = buffers.get_mut(path)?;
+        entry.last_used = self.tick();
+        let bytes = Arc::clone(&entry.bytes);
+        drop(buffers);
+        self.count_hit();
+        Some(bytes)
+    }
+
+    /// The byte-budget LRU sweep: evict least-recently-used warm entries
+    /// (never `keep`, the entry just served) until the warm map fits the
+    /// budget, keeping the resident-byte gauge consistent per eviction.
+    fn enforce_budget(&self, keep: &Path) {
+        let budget = self.budget_bytes.load(Ordering::Relaxed);
+        if budget == u64::MAX {
+            return;
+        }
+        let mut buffers = self.buffers.lock();
+        let mut total: u64 = buffers.values().map(|e| e.bytes.len() as u64).sum();
+        while total > budget {
+            let victim = buffers
+                .iter()
+                .filter(|(p, _)| p.as_path() != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(p, _)| p.clone());
+            let Some(victim) = victim else { break };
+            if let Some(old) = buffers.remove(&victim) {
+                total -= old.bytes.len() as u64;
+                self.gauge_sub(old.bytes.len());
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.metrics {
+                    m.file_evicted();
+                }
+            }
+        }
+    }
+
     /// Fetch the bytes of `path`, reading from disk on first access. The
-    /// returned bytes are fully resident: a streaming read in flight for
-    /// `path` is joined (waited to completion) rather than duplicated, so
-    /// one cold access costs exactly one disk read no matter how callers
-    /// mix `read` and `read_streaming`.
+    /// returned bytes are fully resident: a streaming read (or parallel
+    /// rzb decode) in flight for `path` is joined (waited to completion)
+    /// rather than duplicated, so one cold access costs exactly one disk
+    /// read no matter how callers mix `read` and the streaming entries.
+    ///
+    /// For an `.rzb` path the returned bytes are the *decoded* payload;
+    /// `bytes_from_disk` charges the compressed file length — what was
+    /// actually read — on both the blocking and streamed paths.
     pub fn read(&self, path: &Path) -> Result<FileBytes> {
-        if let Some(buf) = self.buffers.lock().get(path) {
-            self.count_hit();
-            return Ok(Arc::clone(buf));
+        if let Some(buf) = self.warm_hit(path) {
+            return Ok(buf);
+        }
+        if let Some(dec) = self.decoder_for(path) {
+            return match dec.wait_all() {
+                Ok(bytes) => {
+                    self.count_hit();
+                    Ok(self.publish_decoder(path, &dec, bytes))
+                }
+                Err(e) => {
+                    self.drop_failed_decoder(path, &dec);
+                    Err(e)
+                }
+            };
         }
         if let Some(stream) = self.stream_for(path) {
             let bytes = match stream.wait_all() {
@@ -792,25 +930,53 @@ impl FileBufferPool {
             self.count_hit();
             return Ok(self.publish_stream(path, &stream, bytes));
         }
+        if rzb::is_rzb_path(path) {
+            return self.read_rzb_blocking(path);
+        }
         let data = std::fs::read(path).map_err(|e| FormatError::io(path, e))?;
+        self.publish_cold_read(path, data.len() as u64, data)
+    }
+
+    /// Blocking cold read of an `.rzb` container: read the compressed
+    /// file, decompress every block (CRC-verified), and publish the
+    /// decoded bytes under the container path. Charges the *compressed*
+    /// length — the bytes that actually crossed the disk.
+    fn read_rzb_blocking(&self, path: &Path) -> Result<FileBytes> {
+        let data = std::fs::read(path).map_err(|e| FormatError::io(path, e))?;
+        let index = rzb::parse_index(&data)?;
+        let decoded = rzb::decompress_all(&data, &index, self.metrics.as_deref())?;
+        self.publish_cold_read(path, data.len() as u64, decoded)
+    }
+
+    /// Shared tail of the blocking cold paths: insert-wins re-check,
+    /// charge, publish, budget sweep.
+    fn publish_cold_read(&self, path: &Path, disk_bytes: u64, data: Vec<u8>) -> Result<FileBytes> {
         // Two workers can both find the pool cold and read the same file;
         // re-check under the lock so the first insert wins, every caller
         // shares that buffer, and the losing read is discarded — served from
         // the pool, so counted as a hit, with no second disk read charged.
         // Counters stay consistent: one miss per charged read.
         let mut buffers = self.buffers.lock();
-        if let Some(existing) = buffers.get(path) {
+        if let Some(existing) = buffers.get_mut(path) {
+            existing.last_used = self.tick();
+            let bytes = Arc::clone(&existing.bytes);
+            drop(buffers);
             self.count_hit();
-            return Ok(Arc::clone(existing));
+            return Ok(bytes);
         }
         self.count_miss();
-        self.bytes_from_disk.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.bytes_from_disk.fetch_add(disk_bytes, Ordering::Relaxed);
         if let Some(m) = &self.metrics {
-            m.disk_bytes(data.len() as u64);
+            m.disk_bytes(disk_bytes);
         }
         let buf = file_bytes(data);
-        buffers.insert(path.to_path_buf(), Arc::clone(&buf));
+        buffers.insert(
+            path.to_path_buf(),
+            PoolEntry { bytes: Arc::clone(&buf), last_used: self.tick() },
+        );
         self.gauge_add(buf.len());
+        drop(buffers);
+        self.enforce_budget(path);
         Ok(buf)
     }
 
@@ -835,9 +1001,17 @@ impl FileBufferPool {
         path: &Path,
         chunk_bytes: usize,
     ) -> Result<Arc<ChunkedFileBuffer>> {
-        if let Some(buf) = self.buffers.lock().get(path) {
-            self.count_hit();
-            return Ok(Arc::new(ChunkedFileBuffer::completed(path, Arc::clone(buf), chunk_bytes)));
+        if rzb::is_rzb_path(path) {
+            // An `.rzb` container's raw byte stream is useless to scan
+            // consumers, and a decoded buffer nobody decodes into would
+            // gate-wait forever — serve fully decoded bytes instead. The
+            // planner's overlapped compressed cold path goes through
+            // `read_rzb_streaming`.
+            let bytes = self.read(path)?;
+            return Ok(Arc::new(ChunkedFileBuffer::completed(path, bytes, chunk_bytes)));
+        }
+        if let Some(buf) = self.warm_hit(path) {
+            return Ok(Arc::new(ChunkedFileBuffer::completed(path, buf, chunk_bytes)));
         }
         if let Some(stream) = self.stream_for(path) {
             if stream.is_failed() {
@@ -897,6 +1071,113 @@ impl FileBufferPool {
         self.streams.lock().get(path).map(Arc::clone)
     }
 
+    fn decoder_for(&self, path: &Path) -> Option<Arc<RzbDecoder>> {
+        self.decoders.lock().get(path).map(Arc::clone)
+    }
+
+    /// Start (or join) an overlapped cold read of an `.rzb` container:
+    /// the returned [`RzbDecoder`] streams *compressed* bytes off disk
+    /// on a reader thread while availability gates decode blocks into
+    /// the uncompressed-coordinate buffer on whichever workers need
+    /// them. The counter contract matches `read_streaming`: warm = hit,
+    /// in-flight join = hit, fresh start = one miss charging the
+    /// compressed length as chunks complete. The index peek (tail →
+    /// footer → header, three small reads) is uncharged — the stream
+    /// charges the full compressed file including those bytes.
+    pub fn read_rzb_streaming(&self, path: &Path, chunk_bytes: usize) -> Result<Arc<RzbDecoder>> {
+        if let Some(buf) = self.warm_hit(path) {
+            return Ok(RzbDecoder::completed(path, buf));
+        }
+        if let Some(dec) = self.decoder_for(path) {
+            if dec.is_failed() {
+                // Terminal: drop it so the retry below starts fresh.
+                self.drop_failed_decoder(path, &dec);
+            } else if dec.is_complete() {
+                // Lazily publish the decoded bytes and serve the winner.
+                self.count_hit();
+                let bytes = self.publish_decoder(path, &dec, Arc::clone(dec.decoded().bytes()));
+                return Ok(RzbDecoder::completed(path, bytes));
+            } else {
+                self.count_hit();
+                return Ok(dec);
+            }
+        }
+        // Index peek + open before taking the decoders lock (blocking
+        // I/O must not stall unrelated paths), then re-check under the
+        // lock: the first starter wins and later racers join.
+        let (source, index) = rzb::CompressedChunkSource::open(path)?;
+        let mut decoders = self.decoders.lock();
+        if let Some(existing) = decoders.get(path) {
+            if !existing.is_failed() {
+                let joined = Arc::clone(existing);
+                drop(decoders);
+                self.count_hit();
+                return Ok(joined);
+            }
+            let dead = Arc::clone(existing);
+            decoders.remove(path);
+            self.gauge_sub(dead.compressed_len() + dead.len());
+        }
+        self.count_miss();
+        let compressed = ChunkedFileBuffer::spawn_observed(
+            path,
+            source,
+            index.file_len(),
+            chunk_bytes,
+            Some(Arc::clone(&self.bytes_from_disk)),
+            self.metrics.clone(),
+        );
+        let dec = RzbDecoder::new(path, index, compressed, self.metrics.clone());
+        decoders.insert(path.to_path_buf(), Arc::clone(&dec));
+        // Both buffers are resident while the decode is in flight.
+        self.gauge_add(dec.compressed_len() + dec.len());
+        Ok(dec)
+    }
+
+    /// Move a completed decoder's decoded bytes into the warm pool —
+    /// the decoder counterpart of [`FileBufferPool::publish_stream`],
+    /// with the same insert-wins rule. The compressed buffer leaves the
+    /// gauge; the decoded bytes move (or leave, if an insert won).
+    fn publish_decoder(&self, path: &Path, dec: &Arc<RzbDecoder>, bytes: FileBytes) -> FileBytes {
+        let mut buffers = self.buffers.lock();
+        let (winner, moved) = match buffers.get_mut(path) {
+            Some(existing) => {
+                existing.last_used = self.tick();
+                (Arc::clone(&existing.bytes), false)
+            }
+            None => {
+                buffers.insert(
+                    path.to_path_buf(),
+                    PoolEntry { bytes: Arc::clone(&bytes), last_used: self.tick() },
+                );
+                (bytes, true)
+            }
+        };
+        drop(buffers);
+        let mut decoders = self.decoders.lock();
+        if let Some(current) = decoders.get(path) {
+            if Arc::ptr_eq(current, dec) {
+                decoders.remove(path);
+                let decoded = if moved { 0 } else { dec.len() };
+                self.gauge_sub(dec.compressed_len() + decoded);
+            }
+        }
+        drop(decoders);
+        self.enforce_budget(path);
+        winner
+    }
+
+    /// Forget a failed decoder so the next read retries from scratch.
+    fn drop_failed_decoder(&self, path: &Path, dec: &Arc<RzbDecoder>) {
+        let mut decoders = self.decoders.lock();
+        if let Some(current) = decoders.get(path) {
+            if Arc::ptr_eq(current, dec) {
+                decoders.remove(path);
+                self.gauge_sub(dec.compressed_len() + dec.len());
+            }
+        }
+    }
+
     /// Move a completed stream's bytes into the warm pool. The insert-wins
     /// rule: if a buffer is already registered for `path` (an `insert`
     /// raced the stream), that buffer stays and is returned.
@@ -911,10 +1192,16 @@ impl FileBufferPool {
         // *move* between maps (no add, no sub — the bytes stay resident);
         // when an insert already won, the stream's superseded bytes leave
         // the gauge with the stream entry below.
-        let (winner, moved) = match buffers.get(path) {
-            Some(existing) => (Arc::clone(existing), false),
+        let (winner, moved) = match buffers.get_mut(path) {
+            Some(existing) => {
+                existing.last_used = self.tick();
+                (Arc::clone(&existing.bytes), false)
+            }
             None => {
-                buffers.insert(path.to_path_buf(), Arc::clone(&bytes));
+                buffers.insert(
+                    path.to_path_buf(),
+                    PoolEntry { bytes: Arc::clone(&bytes), last_used: self.tick() },
+                );
                 (bytes, true)
             }
         };
@@ -928,6 +1215,8 @@ impl FileBufferPool {
                 }
             }
         }
+        drop(streams);
+        self.enforce_budget(path);
         winner
     }
 
@@ -948,35 +1237,45 @@ impl FileBufferPool {
     pub fn insert(&self, path: impl Into<PathBuf>, data: Vec<u8>) -> FileBytes {
         let path = path.into();
         let buf = file_bytes(data);
-        if let Some(old) = self.buffers.lock().insert(path.clone(), Arc::clone(&buf)) {
-            self.gauge_sub(old.len());
+        let entry = PoolEntry { bytes: Arc::clone(&buf), last_used: self.tick() };
+        if let Some(old) = self.buffers.lock().insert(path.clone(), entry) {
+            self.gauge_sub(old.bytes.len());
         }
         self.gauge_add(buf.len());
-        // Forget any stream for the path: with the insert in the warm map
-        // no access would ever reach it again, so keeping it would pin the
-        // whole in-flight buffer for the pool's lifetime. Its holders keep
-        // their bytes; its reader thread finishes into the dropped buffer.
+        // Forget any stream or decoder for the path: with the insert in the
+        // warm map no access would ever reach it again, so keeping it would
+        // pin the whole in-flight buffer for the pool's lifetime. Its
+        // holders keep their bytes; its reader thread finishes into the
+        // dropped buffer.
         if let Some(stream) = self.streams.lock().remove(&path) {
             self.gauge_sub(stream.len());
         }
+        if let Some(dec) = self.decoders.lock().remove(&path) {
+            self.gauge_sub(dec.compressed_len() + dec.len());
+        }
+        self.enforce_budget(&path);
         buf
     }
 
-    /// Drop one file's buffer (next read is cold). An in-flight stream for
-    /// the path is forgotten too (its holders keep their bytes).
+    /// Drop one file's buffer (next read is cold). An in-flight stream or
+    /// decoder for the path is forgotten too (its holders keep their
+    /// bytes).
     pub fn evict(&self, path: &Path) {
         if let Some(old) = self.buffers.lock().remove(path) {
-            self.gauge_sub(old.len());
+            self.gauge_sub(old.bytes.len());
         }
         if let Some(stream) = self.streams.lock().remove(path) {
             self.gauge_sub(stream.len());
+        }
+        if let Some(dec) = self.decoders.lock().remove(path) {
+            self.gauge_sub(dec.compressed_len() + dec.len());
         }
     }
 
     /// Drop everything: the "cold caches" switch for experiments.
     pub fn evict_all(&self) {
         let mut buffers = self.buffers.lock();
-        let dropped: usize = buffers.values().map(|b| b.len()).sum();
+        let dropped: usize = buffers.values().map(|e| e.bytes.len()).sum();
         buffers.clear();
         drop(buffers);
         self.gauge_sub(dropped);
@@ -985,14 +1284,27 @@ impl FileBufferPool {
         streams.clear();
         drop(streams);
         self.gauge_sub(dropped);
+        let mut decoders = self.decoders.lock();
+        let dropped: usize = decoders.values().map(|d| d.compressed_len() + d.len()).sum();
+        decoders.clear();
+        drop(decoders);
+        self.gauge_sub(dropped);
     }
 
     /// Whether `path` is currently buffered (i.e. a read would be warm).
-    /// A completed-but-unpublished stream counts as warm — and is published
-    /// on observation, so the answer stays truthful afterwards too.
+    /// A completed-but-unpublished stream or decoder counts as warm — and
+    /// is published on observation, so the answer stays truthful
+    /// afterwards too.
     pub fn is_warm(&self, path: &Path) -> bool {
         if self.buffers.lock().contains_key(path) {
             return true;
+        }
+        if let Some(dec) = self.decoder_for(path) {
+            if dec.is_complete() {
+                self.publish_decoder(path, &dec, Arc::clone(dec.decoded().bytes()));
+                return true;
+            }
+            return false;
         }
         match self.stream_for(path) {
             Some(stream) if stream.is_complete() => {
@@ -1414,6 +1726,157 @@ mod tests {
         let ok = pool.read(&path).unwrap();
         assert_eq!(&ok[..], &content[..]);
         std::fs::remove_file(&path).ok();
+    }
+
+    // -- byte-budget LRU ----------------------------------------------------
+
+    #[test]
+    fn budget_evicts_least_recently_used_first() {
+        let metrics = Arc::new(EngineMetrics::new());
+        let pool = FileBufferPool::with_metrics(Arc::clone(&metrics));
+        pool.set_budget_bytes(250);
+        let a = temp_file("lru_a.bin", &[1u8; 100]);
+        let b = temp_file("lru_b.bin", &[2u8; 100]);
+        let c = temp_file("lru_c.bin", &[3u8; 100]);
+        pool.read(&a).unwrap();
+        pool.read(&b).unwrap();
+        pool.read(&a).unwrap(); // touch a: b is now least recently used
+        pool.read(&c).unwrap(); // 300 > 250: evict b, not a
+        assert!(pool.is_warm(&a), "recently-used entry survives");
+        assert!(!pool.is_warm(&b), "LRU entry evicted");
+        assert!(pool.is_warm(&c), "the entry being read is never evicted");
+        assert_eq!(pool.evictions(), 1);
+        assert_eq!(metric(&metrics, "file_pool_evictions"), 1);
+        assert_eq!(metric(&metrics, "resident_bytes"), 200, "gauge tracks evictions");
+        for p in [&a, &b, &c] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn oversized_read_keeps_itself_and_evicts_the_rest() {
+        let metrics = Arc::new(EngineMetrics::new());
+        let pool = FileBufferPool::with_metrics(Arc::clone(&metrics));
+        pool.set_budget_bytes(100);
+        let small = temp_file("lru_small.bin", &[1u8; 50]);
+        let big = temp_file("lru_big.bin", &[2u8; 500]);
+        pool.read(&small).unwrap();
+        // The big read busts the budget on its own: everything else goes,
+        // but the buffer just read stays warm (its caller holds it anyway).
+        let bytes = pool.read(&big).unwrap();
+        assert_eq!(bytes.len(), 500);
+        assert!(!pool.is_warm(&small));
+        assert!(pool.is_warm(&big), "the entry being read is immune");
+        assert_eq!(metric(&metrics, "resident_bytes"), 500);
+        pool.evict_all();
+        assert_eq!(metric(&metrics, "resident_bytes"), 0, "gauge empty after evict_all");
+        for p in [&small, &big] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_never_evicts() {
+        let pool = FileBufferPool::new(); // default: unlimited
+        let paths: Vec<PathBuf> =
+            (0..4).map(|i| temp_file(&format!("lru_u{i}.bin"), &vec![i as u8; 10_000])).collect();
+        for p in &paths {
+            pool.read(p).unwrap();
+        }
+        for p in &paths {
+            assert!(pool.is_warm(p));
+        }
+        assert_eq!(pool.evictions(), 0);
+        for p in &paths {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    // -- rzb routing ---------------------------------------------------------
+
+    #[test]
+    fn rzb_read_decompresses_and_charges_compressed_bytes() {
+        let src: Vec<u8> = (0..50_000).map(|i| (i % 13) as u8).collect();
+        let dir = std::env::temp_dir();
+        let plain = dir.join(format!("raw_fbp_{}_rzb_plain.bin", std::process::id()));
+        let packed = dir.join(format!("raw_fbp_{}_rzb.bin.rzb", std::process::id()));
+        std::fs::write(&plain, &src).unwrap();
+        crate::rzb::write_file(&plain, &packed, 4096).unwrap();
+        let comp_len = std::fs::metadata(&packed).unwrap().len();
+        assert!(comp_len < src.len() as u64, "fixture compresses");
+
+        let metrics = Arc::new(EngineMetrics::new());
+        let pool = FileBufferPool::with_metrics(Arc::clone(&metrics));
+        // Blocking read: transparently decompressed, charged at the
+        // compressed length.
+        let bytes = pool.read(&packed).unwrap();
+        assert_eq!(&bytes[..], &src[..]);
+        assert_eq!(pool.bytes_from_disk(), comp_len);
+        assert_eq!(metric(&metrics, "rzb_blocks_decoded"), 50_000u64.div_ceil(4096));
+        assert!(pool.is_warm(&packed));
+        // Warm re-read: shared buffer, no disk, no decode.
+        let again = pool.read(&packed).unwrap();
+        assert!(Arc::ptr_eq(&bytes, &again));
+        assert_eq!(pool.bytes_from_disk(), comp_len);
+        assert_eq!(pool.hit_miss(), (1, 1));
+        for p in [&plain, &packed] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn rzb_streaming_read_decodes_through_the_decoder() {
+        let src: Vec<u8> = (0..60_000).map(|i| ((i * 7) % 31) as u8).collect();
+        let dir = std::env::temp_dir();
+        let plain = dir.join(format!("raw_fbp_{}_rzbs_plain.bin", std::process::id()));
+        let packed = dir.join(format!("raw_fbp_{}_rzbs.bin.rzb", std::process::id()));
+        std::fs::write(&plain, &src).unwrap();
+        crate::rzb::write_file(&plain, &packed, 4096).unwrap();
+        let comp_len = std::fs::metadata(&packed).unwrap().len();
+
+        let metrics = Arc::new(EngineMetrics::new());
+        let pool = FileBufferPool::with_metrics(Arc::clone(&metrics));
+        let dec = pool.read_rzb_streaming(&packed, 2048).unwrap();
+        assert_eq!(dec.len(), src.len());
+        // Decode a middle range only: exactly its covering blocks publish.
+        dec.ensure_decoded(10_000..12_000).unwrap();
+        assert!(dec.decoded().is_available(10_000..12_000));
+        // Joining via blocking `read` drives the rest and publishes warm.
+        let bytes = pool.read(&packed).unwrap();
+        assert_eq!(&bytes[..], &src[..]);
+        assert_eq!(pool.bytes_from_disk(), comp_len, "streamed rzb charges compressed length");
+        assert!(pool.is_warm(&packed));
+        // Warm rzb streaming read: a completed no-op decoder.
+        let warm = pool.read_rzb_streaming(&packed, 2048).unwrap();
+        assert!(warm.is_complete());
+        assert_eq!(metric(&metrics, "resident_bytes"), src.len() as u64, "compressed bytes freed");
+        for p in [&plain, &packed] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn corrupt_rzb_read_errors_and_retries_cleanly() {
+        let src = vec![5u8; 20_000];
+        let dir = std::env::temp_dir();
+        let plain = dir.join(format!("raw_fbp_{}_rzbc_plain.bin", std::process::id()));
+        let packed = dir.join(format!("raw_fbp_{}_rzbc.bin.rzb", std::process::id()));
+        std::fs::write(&plain, &src).unwrap();
+        crate::rzb::write_file(&plain, &packed, 4096).unwrap();
+        let mut bad = std::fs::read(&packed).unwrap();
+        let len = bad.len();
+        bad[len - 30] ^= 0xFF; // inside the footer: index parsing must fail
+        std::fs::write(&packed, &bad).unwrap();
+
+        let pool = FileBufferPool::new();
+        assert!(pool.read(&packed).is_err(), "corrupt container errors");
+        assert!(!pool.is_warm(&packed), "nothing cached from a failed read");
+        // Restore and retry: clean read.
+        crate::rzb::write_file(&plain, &packed, 4096).unwrap();
+        assert_eq!(&pool.read(&packed).unwrap()[..], &src[..]);
+        for p in [&plain, &packed] {
+            std::fs::remove_file(p).ok();
+        }
     }
 }
 

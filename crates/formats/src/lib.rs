@@ -33,6 +33,7 @@ pub mod fbin;
 pub mod file_buffer;
 pub mod ibin;
 pub mod rootsim;
+pub mod rzb;
 
 pub use error::{FormatError, Result};
 pub use file_buffer::FileBufferPool;

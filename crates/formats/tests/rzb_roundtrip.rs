@@ -1,0 +1,159 @@
+//! Property tests for the `.rzb` block codec and container:
+//! compress∘decompress ≡ identity on adversarial inputs (small palettes
+//! full of matches, incompressible noise, block-boundary straddles), the
+//! block index's binary search agrees with direct arithmetic, and corrupt
+//! or truncated containers surface `FormatError`s — never panics — from
+//! parsing and decoding alike.
+
+use proptest::prelude::*;
+
+use raw_formats::rzb::{self, codec};
+use raw_formats::FormatError;
+
+/// Adversarial payload generator: palette size controls match density
+/// (palette 1–4 = long runs and dense LZ matches; 255 = mostly literals).
+fn payload_strategy() -> impl Strategy<Value = Vec<u8>> {
+    (1u16..=255, 0usize..20_000).prop_flat_map(|(palette, len)| {
+        proptest::collection::vec((0u16..palette).prop_map(|v| v as u8), len)
+    })
+}
+
+/// Block sizes that force boundary straddles on unaligned payloads.
+fn block_strategy() -> impl Strategy<Value = usize> {
+    (0usize..3).prop_map(|i| [512, 1000, 4096][i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whole-container round trip at block sizes that force straddles:
+    /// payloads rarely align to 512/1024-byte blocks, so morsel-shaped
+    /// reads cross block boundaries constantly.
+    #[test]
+    fn container_roundtrip_is_identity(src in payload_strategy(), block in block_strategy()) {
+        let packed = rzb::compress(&src, block);
+        prop_assert!(rzb::sniff(&packed));
+        let index = rzb::parse_index(&packed).unwrap();
+        prop_assert_eq!(index.uncompressed_len(), src.len());
+        prop_assert_eq!(index.block_count(), src.len().div_ceil(block));
+        let out = rzb::decompress_all(&packed, &index, None).unwrap();
+        prop_assert_eq!(out, src);
+    }
+
+    /// Single-block codec round trip, including incompressible noise that
+    /// must take the raw-literal fallback without expanding past len + 1.
+    #[test]
+    fn block_roundtrip_is_identity(src in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        let mut packed = Vec::new();
+        codec::encode_block(&src, &mut packed);
+        prop_assert!(packed.len() <= src.len() + 1, "never expands past the tag byte");
+        let mut out = vec![0u8; src.len()];
+        codec::decode_block(&packed, &mut out).unwrap();
+        prop_assert_eq!(out, src);
+    }
+
+    /// The index's binary search agrees with direct block arithmetic for
+    /// every offset, and `blocks_for` covers exactly the touched blocks.
+    #[test]
+    fn block_index_search_matches_arithmetic(
+        len in 0usize..30_000,
+        block in block_strategy(),
+        probe in 0usize..40_000,
+    ) {
+        let src: Vec<u8> = (0..len).map(|i| (i % 7) as u8).collect();
+        let packed = rzb::compress(&src, block);
+        let index = rzb::parse_index(&packed).unwrap();
+        let expect = (probe < len).then_some(probe / block);
+        prop_assert_eq!(index.block_containing(probe), expect);
+        if let Some(b) = expect {
+            let span = index.block_span(b);
+            prop_assert!(span.contains(&probe));
+            // A range around the probe covers exactly the straddled blocks.
+            let end = (probe + block).min(len);
+            let covered = index.blocks_for(probe..end);
+            prop_assert_eq!(covered.start, b);
+            prop_assert_eq!(covered.end, (end - 1) / block + 1);
+        }
+        prop_assert_eq!(index.blocks_for(len..len + 10).len(), 0, "past-end ranges cover nothing");
+    }
+
+    /// Truncating a valid container anywhere yields a `FormatError` from
+    /// index parsing or block decoding — never a panic.
+    #[test]
+    fn truncated_containers_error_cleanly(src in payload_strategy(), cut_frac in 0.0f64..1.0) {
+        let packed = rzb::compress(&src, 1024);
+        let cut = ((packed.len() as f64) * cut_frac) as usize;
+        if cut == packed.len() {
+            return Ok(()); // not truncated
+        }
+        let truncated = &packed[..cut];
+        match rzb::parse_index(truncated) {
+            Err(_) => {} // the common case: the tail/footer is gone
+            Ok(index) => {
+                // Index survived (cut inside payload area is impossible —
+                // entries are bounds-checked against footer_off — so any
+                // parsed index implies decode must fail or succeed cleanly).
+                let _ = rzb::decompress_all(truncated, &index, None);
+            }
+        }
+    }
+
+    /// Flipping any single byte of the container yields a `FormatError`
+    /// from parsing or decoding, or (for flips inside literal runs that
+    /// happen to keep the LZ stream well-formed) a CRC mismatch — never a
+    /// panic, never silent wrong bytes.
+    #[test]
+    fn corrupt_containers_error_or_fail_crc(src in payload_strategy(), at_frac in 0.0f64..1.0, flip in 1u8..=255) {
+        if src.is_empty() {
+            return Ok(()); // nothing to flip that blocks read
+        }
+        let mut packed = rzb::compress(&src, 1024);
+        let at = (((packed.len() - 1) as f64) * at_frac) as usize;
+        packed[at] ^= flip;
+        match rzb::parse_index(&packed) {
+            Err(_) => {}
+            Ok(index) => match rzb::decompress_all(&packed, &index, None) {
+                Err(FormatError::Corrupt { .. }) => {}
+                Err(_) => {}
+                Ok(out) => {
+                    // The flip landed somewhere the decode path never reads
+                    // (e.g. padding-free containers have none, but a flip in
+                    // an unread index *copy* of redundant data could). The
+                    // output must still be exactly the source.
+                    prop_assert_eq!(out, src.clone(), "silent corruption");
+                }
+            },
+        }
+    }
+}
+
+/// Deterministic spot checks that the proptest generators may not hit.
+#[test]
+fn known_edge_cases_roundtrip() {
+    for (src, block) in [
+        (Vec::new(), 512usize),
+        (vec![0u8; 1], 512),
+        (vec![7u8; 100_000], 4096), // one long run
+        ((0..100_000u32).flat_map(|i| i.to_le_bytes()).collect(), 4096), // structured
+    ] {
+        let packed = rzb::compress(&src, block);
+        let index = rzb::parse_index(&packed).unwrap();
+        assert_eq!(rzb::decompress_all(&packed, &index, None).unwrap(), src);
+    }
+}
+
+/// A CRC flip that preserves LZ structure is still caught: corrupt the
+/// stored CRC itself.
+#[test]
+fn stored_crc_flip_is_caught() {
+    let src: Vec<u8> = (0..5000).map(|i| (i % 13) as u8).collect();
+    let packed = rzb::compress(&src, 1024);
+    let clean = rzb::parse_index(&packed).unwrap();
+    // The footer holds 16-byte entries with the CRC in bytes 12..16; flip
+    // block 2's stored CRC and re-parse (the footer CRC guards the footer
+    // bytes, so re-parsing must fail instead).
+    let footer_off = packed.len() - 24 - clean.block_count() * 16;
+    let mut bad = packed.clone();
+    bad[footer_off + 2 * 16 + 12] ^= 0xFF;
+    assert!(rzb::parse_index(&bad).is_err(), "footer CRC catches index tampering");
+}

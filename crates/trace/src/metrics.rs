@@ -40,6 +40,10 @@
 //! | `queries` / `parallel_queries` | each query executed / each that took the morsel-parallel path |
 //! | `resident_bytes` | gauge: bytes currently held by warm buffers + in-flight streams |
 //! | `peak_resident_bytes` | high-water mark of `resident_bytes` |
+//! | `file_pool_evictions` | each warm entry the file pool evicted to stay under its byte budget |
+//! | `rzb_blocks_decoded` | each `.rzb` block decompressed (blocking or per-morsel path) |
+//! | `rzb_compressed_bytes` / `rzb_uncompressed_bytes` | compressed payload bytes in / uncompressed bytes out, per decoded block |
+//! | `rzb_decode_nanos` | total nanoseconds spent in block decompression (summed across workers; may exceed wall time) |
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -86,6 +90,16 @@ pub struct EngineMetrics {
     pub resident_bytes: AtomicU64,
     /// High-water mark of `resident_bytes`.
     pub peak_resident_bytes: AtomicU64,
+    /// Warm file-pool entries evicted to stay under the byte budget.
+    pub file_pool_evictions: AtomicU64,
+    /// `.rzb` blocks decompressed.
+    pub rzb_blocks_decoded: AtomicU64,
+    /// Compressed payload bytes consumed by block decompression.
+    pub rzb_compressed_bytes: AtomicU64,
+    /// Uncompressed bytes produced by block decompression.
+    pub rzb_uncompressed_bytes: AtomicU64,
+    /// Nanoseconds spent decompressing blocks (summed across workers).
+    pub rzb_decode_nanos: AtomicU64,
 }
 
 impl EngineMetrics {
@@ -184,6 +198,20 @@ impl EngineMetrics {
         }
     }
 
+    /// One warm pool entry evicted under byte-budget pressure.
+    pub fn file_evicted(&self) {
+        self.file_pool_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One `.rzb` block decoded: `comp` compressed payload bytes in,
+    /// `uncomp` bytes out, taking `nanos` ns of decode work.
+    pub fn rzb_block_decoded(&self, comp: u64, uncomp: u64, nanos: u64) {
+        self.rzb_blocks_decoded.fetch_add(1, Ordering::Relaxed);
+        self.rzb_compressed_bytes.fetch_add(comp, Ordering::Relaxed);
+        self.rzb_uncompressed_bytes.fetch_add(uncomp, Ordering::Relaxed);
+        self.rzb_decode_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
     // -- reading -------------------------------------------------------------
 
     /// Every counter as `(name, value)`, in a fixed canonical order.
@@ -194,6 +222,7 @@ impl EngineMetrics {
             ("chunk_wait_nanos", g(&self.chunk_wait_nanos)),
             ("chunk_waits", g(&self.chunk_waits)),
             ("chunks_completed", g(&self.chunks_completed)),
+            ("file_pool_evictions", g(&self.file_pool_evictions)),
             ("file_pool_hits", g(&self.file_pool_hits)),
             ("file_pool_misses", g(&self.file_pool_misses)),
             ("morsels_dispatched", g(&self.morsels_dispatched)),
@@ -202,6 +231,10 @@ impl EngineMetrics {
             ("peak_resident_bytes", g(&self.peak_resident_bytes)),
             ("queries", g(&self.queries)),
             ("resident_bytes", g(&self.resident_bytes)),
+            ("rzb_blocks_decoded", g(&self.rzb_blocks_decoded)),
+            ("rzb_compressed_bytes", g(&self.rzb_compressed_bytes)),
+            ("rzb_decode_nanos", g(&self.rzb_decode_nanos)),
+            ("rzb_uncompressed_bytes", g(&self.rzb_uncompressed_bytes)),
             ("shred_hits", g(&self.shred_hits)),
             ("shred_misses", g(&self.shred_misses)),
             ("stream_failed_bytes", g(&self.stream_failed_bytes)),
@@ -275,6 +308,20 @@ mod tests {
         let snap: std::collections::HashMap<_, _> = m.snapshot().into_iter().collect();
         assert_eq!(snap["stream_failures"], 1);
         assert_eq!(snap["stream_failed_bytes"], 4096);
+    }
+
+    #[test]
+    fn rzb_and_eviction_counters_accumulate() {
+        let m = EngineMetrics::new();
+        m.rzb_block_decoded(100, 400, 7);
+        m.rzb_block_decoded(50, 400, 3);
+        m.file_evicted();
+        let snap: std::collections::HashMap<_, _> = m.snapshot().into_iter().collect();
+        assert_eq!(snap["rzb_blocks_decoded"], 2);
+        assert_eq!(snap["rzb_compressed_bytes"], 150);
+        assert_eq!(snap["rzb_uncompressed_bytes"], 800);
+        assert_eq!(snap["rzb_decode_nanos"], 10);
+        assert_eq!(snap["file_pool_evictions"], 1);
     }
 
     #[test]

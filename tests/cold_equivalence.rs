@@ -275,6 +275,144 @@ fn insitu_streaming_matches_blocking_including_quoted_csv() {
     }
 }
 
+/// Blocked-compressed twins of the flat fixtures: `t.csv.rzb` etc., written
+/// with deliberately small blocks so test-sized files span many blocks
+/// (multi-block decode, morsels straddling block boundaries).
+fn write_rzb_twins(dir: &TempDir) {
+    for name in ["t.csv", "t.fbin", "t.ibin"] {
+        raw::formats::rzb::write_file(&dir.path(name), &dir.path(&format!("{name}.rzb")), 2048)
+            .unwrap();
+    }
+}
+
+/// The same logical tables as [`engine_over`], sourced from the `.rzb`
+/// twins — `SELECT ... FROM t_csv` must behave identically either way.
+fn engine_over_rzb(dir: &TempDir, config: EngineConfig) -> RawEngine {
+    let mut engine = RawEngine::new(config);
+    engine.register_table(TableDef {
+        name: "t_csv".into(),
+        schema: Schema::uniform(COLS, DataType::Int64),
+        source: TableSource::Csv { path: dir.path("t.csv.rzb") },
+    });
+    engine.register_table(TableDef {
+        name: "t_fbin".into(),
+        schema: Schema::uniform(COLS, DataType::Int64),
+        source: TableSource::Fbin { path: dir.path("t.fbin.rzb") },
+    });
+    engine.register_table(TableDef {
+        name: "t_ibin".into(),
+        schema: Schema::uniform(COLS, DataType::Int64),
+        source: TableSource::Ibin { path: dir.path("t.ibin.rzb") },
+    });
+    engine
+}
+
+fn observe_rzb(dir: &TempDir, config: EngineConfig, sql: &str) -> Observation {
+    let mut engine = engine_over_rzb(dir, config);
+    let cold = engine.query(sql).unwrap();
+    let cold_hit_miss = engine.files().hit_miss();
+    let warm = engine.query(sql).unwrap();
+    Observation {
+        names: cold.column_names,
+        cold_batch: cold.batch,
+        warm_batch: warm.batch,
+        cold_io_bytes: cold.stats.io_bytes,
+        warm_io_bytes: warm.stats.io_bytes,
+        cold_hit_miss,
+    }
+}
+
+/// The compressed regime of the equivalence matrix: every flat-format query
+/// over the `.rzb` twin is bitwise-identical to the plain file — at every
+/// worker count, streamed (per-morsel block decode) and blocking (whole-file
+/// decompress), cold and warm. Within the compressed format, the streamed
+/// and blocking paths charge identical `bytes_from_disk` (the *compressed*
+/// length) and identical hit/miss counters.
+#[test]
+fn rzb_matches_plain_across_parallelism_and_paths() {
+    let dir = TempDir::new("rzb_matrix");
+    write_dataset(&dir);
+    write_rzb_twins(&dir);
+
+    for (table, sql) in queries() {
+        if table == "t_root" || table == "muons" {
+            continue; // rootsim has no flat-file byte image to compress
+        }
+        let reference = observe(&dir, config(1, AccessMode::Jit, 0), &sql);
+
+        for parallelism in [1usize, 2, 4, 8] {
+            let blocking = observe_rzb(&dir, config(parallelism, AccessMode::Jit, 0), &sql);
+            assert_eq!(
+                blocking.cold_batch, reference.cold_batch,
+                "rzb blocking diverges from plain at parallelism {parallelism}: {sql}"
+            );
+            assert_eq!(blocking.names, reference.names, "{sql}");
+            assert_eq!(
+                blocking.warm_batch, reference.warm_batch,
+                "rzb warm diverges from plain at parallelism {parallelism}: {sql}"
+            );
+            assert_eq!(blocking.warm_io_bytes, 0, "rzb warm run reads nothing: {sql}");
+
+            for chunk in [4096usize, 4 << 20] {
+                let streamed = observe_rzb(&dir, config(parallelism, AccessMode::Jit, chunk), &sql);
+                assert_eq!(
+                    streamed.cold_batch, blocking.cold_batch,
+                    "rzb streamed != rzb blocking at parallelism {parallelism}, chunk {chunk}: {sql}"
+                );
+                assert_eq!(
+                    streamed.cold_io_bytes, blocking.cold_io_bytes,
+                    "rzb bytes_from_disk diverges at parallelism {parallelism}, chunk {chunk}: {sql}"
+                );
+                assert_eq!(
+                    streamed.cold_hit_miss, blocking.cold_hit_miss,
+                    "rzb hit/miss counters diverge at parallelism {parallelism}, chunk {chunk}: {sql}"
+                );
+                assert_eq!(streamed.warm_batch, blocking.warm_batch, "{sql}");
+                assert_eq!(streamed.warm_io_bytes, 0, "{sql}");
+            }
+        }
+    }
+}
+
+/// Compression is observable where it should be (decode counters, disk
+/// bytes = compressed length) and invisible where it must be (results,
+/// positional maps, shred-pool reuse).
+#[test]
+fn rzb_side_effects_and_counters_match_plain() {
+    let dir = TempDir::new("rzb_sidefx");
+    write_dataset(&dir);
+    write_rzb_twins(&dir);
+
+    let x = datagen::literal_for_selectivity(0.4);
+    let sql = format!("SELECT MAX(col3) FROM t_csv WHERE col1 < {x}");
+
+    let mut plain = engine_over(&dir, config(4, AccessMode::Jit, 0));
+    let mut rzb = engine_over_rzb(&dir, config(4, AccessMode::Jit, 4096));
+    let a = plain.query(&sql).unwrap();
+    let b = rzb.query(&sql).unwrap();
+    assert_eq!(a.batch, b.batch);
+
+    // The positional map records *uncompressed* coordinates: identical to
+    // the one built over the plain file.
+    let map_plain = plain.posmap("t_csv").expect("plain builds a posmap");
+    let map_rzb = rzb.posmap("t_csv").expect("rzb builds a posmap");
+    assert_eq!(map_plain.as_ref(), map_rzb.as_ref(), "identical positional maps");
+    assert_eq!(plain.table_stats().table_rows("t_csv"), rzb.table_stats().table_rows("t_csv"));
+
+    // Decode observability: blocks decoded, compressed < uncompressed for
+    // this compressible fixture, and disk bytes = the compressed file.
+    let snap: std::collections::HashMap<_, _> = rzb.metrics().snapshot().into_iter().collect();
+    assert!(snap["rzb_blocks_decoded"] > 0, "decode counters recorded");
+    assert!(snap["rzb_compressed_bytes"] < snap["rzb_uncompressed_bytes"]);
+    let comp_len = std::fs::metadata(dir.path("t.csv.rzb")).unwrap().len();
+    assert_eq!(b.stats.io_bytes, comp_len, "cold rzb read charges the compressed length");
+
+    // Follow-ups served from the rzb run's shred pool agree with plain.
+    let follow = format!("SELECT MAX(col3) FROM t_csv WHERE col1 < {}", x / 2);
+    assert_eq!(plain.query(&follow).unwrap().batch, rzb.query(&follow).unwrap().batch);
+    assert!(rzb.shred_pool_stats().hits > 0, "warm follow-up hits the rzb-built shreds");
+}
+
 /// Positional maps and shred pools built under cold streaming equal those
 /// built under cold blocking — the adaptive side effects are path-invariant
 /// too, so a streamed first query leaves the engine in the identical state.
