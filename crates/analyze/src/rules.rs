@@ -56,6 +56,15 @@ pub const HOT_PANIC_MODULES: &[&str] = &[
     "crates/columnar/src/ops/hash_aggregate.rs",
     "crates/columnar/src/expr.rs",
     "crates/exec/src/pool.rs",
+    // The shared concurrent core (CONCURRENCY.md § "Sessions and the
+    // shared cache layer"): every session's morsels flow through the
+    // global pool's dispatch, and every lookup/publish goes through the
+    // cache wrappers — a panic while holding either's lock would poison
+    // the whole engine, so panic-style error handling is banned. Both
+    // allocate per-batch/per-publish (not per-row), so the alloc ban
+    // does not apply.
+    "crates/exec/src/global.rs",
+    "crates/core/src/shared.rs",
 ];
 
 /// The subset of hot modules whose loop bodies must also be

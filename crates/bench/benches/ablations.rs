@@ -24,14 +24,14 @@ fn index_pruning(c: &mut Criterion) {
             group.bench_function(format!("{name}/sel{sel_pct}"), |b| {
                 b.iter_batched(
                     || {
-                        let mut e = datasets::engine_narrow_ibin(
+                        let e = datasets::engine_narrow_ibin(
                             &scale,
                             system_config(mode, ShredStrategy::FullColumns, 10),
                         );
                         e.query(&q1("file1", x)).unwrap();
                         e
                     },
-                    |mut engine| engine.query(&q2("file1", x)).unwrap(),
+                    |engine| engine.query(&q2("file1", x)).unwrap(),
                     BatchSize::LargeInput,
                 );
             });
@@ -56,14 +56,14 @@ fn adaptive_strategy(c: &mut Criterion) {
             group.bench_function(format!("{name}/sel{sel_pct}"), |b| {
                 b.iter_batched(
                     || {
-                        let mut e = datasets::engine_narrow_csv(
+                        let e = datasets::engine_narrow_csv(
                             &scale,
                             system_config(AccessMode::Jit, strat, 10),
                         );
                         e.query(&q1("file1", x)).unwrap();
                         e
                     },
-                    |mut engine| engine.query(&q2("file1", x)).unwrap(),
+                    |engine| engine.query(&q2("file1", x)).unwrap(),
                     BatchSize::LargeInput,
                 );
             });

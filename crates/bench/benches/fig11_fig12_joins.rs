@@ -21,7 +21,7 @@ fn joins(c: &mut Criterion, group_name: &str, projected_table: &str) {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || {
-                    let mut e = datasets::engine_join_pair(
+                    let e = datasets::engine_join_pair(
                         &scale,
                         EngineConfig {
                             shreds: ShredStrategy::ColumnShreds,
@@ -33,7 +33,7 @@ fn joins(c: &mut Criterion, group_name: &str, projected_table: &str) {
                     e.query("SELECT MAX(col1), MAX(col2) FROM file2").unwrap();
                     e
                 },
-                |mut engine| engine.query(&query).unwrap(),
+                |engine| engine.query(&query).unwrap(),
                 BatchSize::PerIteration,
             );
         });

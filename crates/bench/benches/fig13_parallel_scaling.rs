@@ -35,7 +35,7 @@ fn bench_cold_query(
         group.bench_function(format!("threads_{threads}"), |b| {
             b.iter_batched(
                 || {
-                    let mut e = make_engine(
+                    let e = make_engine(
                         &scale,
                         EngineConfig {
                             parallelism: threads,
@@ -45,7 +45,7 @@ fn bench_cold_query(
                     e.drop_file_caches();
                     e
                 },
-                |mut engine| engine.query(&sql).unwrap(),
+                |engine| engine.query(&sql).unwrap(),
                 BatchSize::PerIteration,
             );
         });

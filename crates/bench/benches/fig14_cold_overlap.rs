@@ -34,7 +34,7 @@ fn bench_cold_read_paths(
         group.bench_function(label, |b| {
             b.iter_batched(
                 || {
-                    let mut e = make_engine(
+                    let e = make_engine(
                         &scale,
                         EngineConfig {
                             parallelism: 4,
@@ -45,7 +45,7 @@ fn bench_cold_read_paths(
                     e.drop_file_caches();
                     e
                 },
-                |mut engine| engine.query(&sql).unwrap(),
+                |engine| engine.query(&sql).unwrap(),
                 BatchSize::PerIteration,
             );
         });

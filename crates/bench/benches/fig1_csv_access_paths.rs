@@ -32,14 +32,14 @@ fn cold_q1(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || {
-                    let mut e = datasets::engine_narrow_csv(
+                    let e = datasets::engine_narrow_csv(
                         &scale,
                         system_config(mode, ShredStrategy::FullColumns, 10),
                     );
                     e.drop_file_caches();
                     e
                 },
-                |mut engine| engine.query(&q1("file1", x)).unwrap(),
+                |engine| engine.query(&q1("file1", x)).unwrap(),
                 BatchSize::PerIteration,
             );
         });
@@ -61,14 +61,14 @@ fn warm_q2(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || {
-                    let mut e = datasets::engine_narrow_csv(
+                    let e = datasets::engine_narrow_csv(
                         &scale,
                         system_config(mode, ShredStrategy::FullColumns, 10),
                     );
                     e.query(&q1("file1", x)).unwrap();
                     e
                 },
-                |mut engine| engine.query(&q2("file1", x)).unwrap(),
+                |engine| engine.query(&q2("file1", x)).unwrap(),
                 BatchSize::PerIteration,
             );
         });

@@ -19,14 +19,14 @@ fn warm_q2_binary(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || {
-                    let mut e = datasets::engine_narrow_fbin(
+                    let e = datasets::engine_narrow_fbin(
                         &scale,
                         system_config(mode, ShredStrategy::FullColumns, 10),
                     );
                     e.query(&q1("file1", x)).unwrap();
                     e
                 },
-                |mut engine| engine.query(&q2("file1", x)).unwrap(),
+                |engine| engine.query(&q2("file1", x)).unwrap(),
                 BatchSize::PerIteration,
             );
         });

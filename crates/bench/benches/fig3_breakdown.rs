@@ -19,7 +19,7 @@ fn scan_cost(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || {
-                    let mut e = datasets::engine_narrow_csv(
+                    let e = datasets::engine_narrow_csv(
                         &scale,
                         EngineConfig {
                             cache_shreds: false,
@@ -29,7 +29,7 @@ fn scan_cost(c: &mut Criterion) {
                     e.query(&q1("file1", x)).unwrap();
                     e
                 },
-                |mut engine| engine.query(&q2("file1", x)).unwrap(),
+                |engine| engine.query(&q2("file1", x)).unwrap(),
                 BatchSize::PerIteration,
             );
         });

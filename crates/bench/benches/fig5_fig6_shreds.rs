@@ -26,7 +26,7 @@ fn bench(c: &mut Criterion, group_name: &str, binary: bool) {
                             cache_shreds: false,
                             ..system_config(AccessMode::Jit, shreds, 10)
                         };
-                        let mut e = if binary {
+                        let e = if binary {
                             datasets::engine_narrow_fbin(&scale, config)
                         } else {
                             datasets::engine_narrow_csv(&scale, config)
@@ -34,7 +34,7 @@ fn bench(c: &mut Criterion, group_name: &str, binary: bool) {
                         e.query(&q1("file1", x)).unwrap();
                         e
                     },
-                    |mut engine| engine.query(&q2("file1", x)).unwrap(),
+                    |engine| engine.query(&q2("file1", x)).unwrap(),
                     BatchSize::PerIteration,
                 );
             });

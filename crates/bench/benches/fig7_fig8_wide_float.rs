@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion, group_name: &str, binary: bool) {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || {
-                    let mut e = datasets::engine_wide(
+                    let e = datasets::engine_wide(
                         &scale,
                         EngineConfig { cache_shreds: false, ..system_config(mode, shreds, 10) },
                         binary,
@@ -30,7 +30,7 @@ fn bench(c: &mut Criterion, group_name: &str, binary: bool) {
                     e.query(&q1("wide", x)).unwrap();
                     e
                 },
-                |mut engine| engine.query(&q2("wide", x)).unwrap(),
+                |engine| engine.query(&q2("wide", x)).unwrap(),
                 BatchSize::PerIteration,
             );
         });

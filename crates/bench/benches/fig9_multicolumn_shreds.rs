@@ -25,7 +25,7 @@ fn multicolumn(c: &mut Criterion) {
             group.bench_function(&id, |b| {
                 b.iter_batched(
                     || {
-                        let mut e = datasets::engine_narrow_csv(
+                        let e = datasets::engine_narrow_csv(
                             &scale,
                             EngineConfig {
                                 cache_shreds: false,
@@ -35,7 +35,7 @@ fn multicolumn(c: &mut Criterion) {
                         e.query(&q1("file1", x)).unwrap();
                         e
                     },
-                    |mut engine| engine.query(&query).unwrap(),
+                    |engine| engine.query(&query).unwrap(),
                     BatchSize::PerIteration,
                 );
             });

@@ -21,7 +21,7 @@ fn first_query(c: &mut Criterion) {
             group.bench_function(&id, |b| {
                 b.iter_batched(
                     || {
-                        let mut e = datasets::engine_wide(
+                        let e = datasets::engine_wide(
                             &scale,
                             system_config(mode, ShredStrategy::FullColumns, 10),
                             binary,
@@ -29,7 +29,7 @@ fn first_query(c: &mut Criterion) {
                         e.drop_file_caches();
                         e
                     },
-                    |mut engine| engine.query(&q1("wide", x)).unwrap(),
+                    |engine| engine.query(&q1("wide", x)).unwrap(),
                     BatchSize::PerIteration,
                 );
             });

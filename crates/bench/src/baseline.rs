@@ -164,7 +164,7 @@ pub fn diff_counters(old: &[(String, Json)], new: &[(String, Json)]) -> Vec<Stri
 
 /// Run one workload cold under the pinned configuration and serialize it.
 pub fn run_one(scale: &Scale, w: &Workload) -> Json {
-    let mut engine = (w.maker)(scale, pinned_config());
+    let engine = (w.maker)(scale, pinned_config());
     let result = engine
         .query(&w.sql)
         .unwrap_or_else(|e| panic!("baseline {} failed: {e}\n  {}", w.key, w.sql));

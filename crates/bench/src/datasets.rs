@@ -139,7 +139,7 @@ pub fn higgs(scale: &Scale) -> HiggsDataset {
 
 /// Register the narrow table as `file1` (CSV) in a fresh engine.
 pub fn engine_narrow_csv(scale: &Scale, config: EngineConfig) -> RawEngine {
-    let mut engine = RawEngine::new(config);
+    let engine = RawEngine::new(config);
     engine.register_table(TableDef {
         name: "file1".into(),
         schema: Schema::uniform(30, DataType::Int64),
@@ -153,7 +153,7 @@ pub fn engine_narrow_csv(scale: &Scale, config: EngineConfig) -> RawEngine {
 /// scan routes through the block decoder and `io_bytes` counts compressed
 /// bytes.
 pub fn engine_narrow_csv_rzb(scale: &Scale, config: EngineConfig) -> RawEngine {
-    let mut engine = RawEngine::new(config);
+    let engine = RawEngine::new(config);
     engine.register_table(TableDef {
         name: "file1".into(),
         schema: Schema::uniform(30, DataType::Int64),
@@ -165,7 +165,7 @@ pub fn engine_narrow_csv_rzb(scale: &Scale, config: EngineConfig) -> RawEngine {
 /// Register the bounded-cardinality grouped table as `file1` (CSV) in a
 /// fresh engine.
 pub fn engine_grouped_csv(scale: &Scale, config: EngineConfig) -> RawEngine {
-    let mut engine = RawEngine::new(config);
+    let engine = RawEngine::new(config);
     engine.register_table(TableDef {
         name: "file1".into(),
         schema: Schema::uniform(30, DataType::Int64),
@@ -176,7 +176,7 @@ pub fn engine_grouped_csv(scale: &Scale, config: EngineConfig) -> RawEngine {
 
 /// Register the narrow table as `file1` (binary) in a fresh engine.
 pub fn engine_narrow_fbin(scale: &Scale, config: EngineConfig) -> RawEngine {
-    let mut engine = RawEngine::new(config);
+    let engine = RawEngine::new(config);
     engine.register_table(TableDef {
         name: "file1".into(),
         schema: Schema::uniform(30, DataType::Int64),
@@ -189,7 +189,7 @@ pub fn engine_narrow_fbin(scale: &Scale, config: EngineConfig) -> RawEngine {
 /// engine. Values are the same multiset as the CSV/fbin twins, but row
 /// order differs (sorted by col1).
 pub fn engine_narrow_ibin(scale: &Scale, config: EngineConfig) -> RawEngine {
-    let mut engine = RawEngine::new(config);
+    let engine = RawEngine::new(config);
     engine.register_table(TableDef {
         name: "file1".into(),
         schema: Schema::uniform(30, DataType::Int64),
@@ -204,7 +204,7 @@ pub fn engine_narrow_ibin(scale: &Scale, config: EngineConfig) -> RawEngine {
 /// item-sized event-range morsels.
 pub fn engine_muon_collection(scale: &Scale, config: EngineConfig) -> RawEngine {
     let ds = higgs(scale);
-    let mut engine = RawEngine::new(config);
+    let engine = RawEngine::new(config);
     engine.register_table(TableDef {
         name: "muons".into(),
         schema: Schema::new(vec![
@@ -223,7 +223,7 @@ pub fn engine_muon_collection(scale: &Scale, config: EngineConfig) -> RawEngine 
 
 /// Register the wide table (CSV or binary) as `wide` in a fresh engine.
 pub fn engine_wide(scale: &Scale, config: EngineConfig, binary: bool) -> RawEngine {
-    let mut engine = RawEngine::new(config);
+    let engine = RawEngine::new(config);
     let schema = {
         // col1 int + 119 float columns, as `datagen::mixed_table` builds.
         let mut fields = vec![raw_columnar::Field::new("col1", DataType::Int64)];
@@ -244,7 +244,7 @@ pub fn engine_wide(scale: &Scale, config: EngineConfig, binary: bool) -> RawEngi
 /// Register the join pair as `file1`/`file2` (both CSV) in a fresh engine.
 pub fn engine_join_pair(scale: &Scale, config: EngineConfig) -> RawEngine {
     let (p1, p2) = join_pair_csv(scale);
-    let mut engine = RawEngine::new(config);
+    let engine = RawEngine::new(config);
     for (name, path) in [("file1", p1), ("file2", p2)] {
         engine.register_table(TableDef {
             name: name.into(),

@@ -96,7 +96,7 @@ pub struct TableDef {
 }
 
 /// Name → table registry.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Catalog {
     tables: HashMap<String, TableDef>,
 }

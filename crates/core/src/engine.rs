@@ -16,26 +16,47 @@
 //! | "Multi-column"    | `mode: Jit, shreds: MultiColumnShreds`            |
 //! | Join Early/Int./Late | `join_placement`                               |
 //! | "Col. 7" variants | `posmap_policy: EveryK { stride: 7 }`             |
+//!
+//! ## Sessions over one shared engine
+//!
+//! The engine is **long-lived and shared**: all adaptive state lives in an
+//! internal `Arc`'d core behind the concurrent cache layer of
+//! [`crate::shared`] (read-locked lookups, merge-on-publish writes), and
+//! parallel queries run on one engine-global worker pool with per-query
+//! admission and fair round-robin morsel scheduling
+//! ([`raw_exec::GlobalPool`]). [`RawEngine::session`] hands out cheap
+//! [`Session`] handles — one per client/connection — that answer queries
+//! concurrently over the same caches, so one session's positional maps,
+//! shreds, statistics, and warm buffers speed up every other session's
+//! queries. Every `RawEngine` method is `&self`; the engine itself behaves
+//! exactly like a session that also owns administrative hooks (cache drops,
+//! config swaps). The full protocol — snapshot isolation per query,
+//! merge-on-publish side effects, the admission fairness invariant, and the
+//! lock inventory/ordering — is specified in `CONCURRENCY.md` § "Sessions
+//! and the shared cache layer".
 
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
 
 use raw_access::TemplateCache;
 use raw_columnar::batch::TableTag;
 use raw_columnar::ops::{drain, Operator};
-use raw_columnar::{Batch, MemTable, Value};
+use raw_columnar::{Batch, Value};
+use raw_exec::GlobalPool;
 use raw_formats::file_buffer::FileBufferPool;
-use raw_formats::rootsim::RootSimFile;
 use raw_posmap::{PositionalMap, TrackingPolicy};
-use raw_trace::EngineMetrics;
+use raw_trace::{EngineMetrics, SessionMetrics, SessionQueryCharge};
 
 use crate::catalog::{Catalog, TableDef};
 use crate::cost::CostModel;
 use crate::error::{EngineError, Result};
 use crate::physical::{self, Harvests, PlannerCtx};
 use crate::plan::{resolve, ColRef, ResolvedQuery};
+use crate::shared::{PosmapRegistry, SharedRootFiles, SharedStats, SharedTables};
 use crate::shreds::ShredPool;
 use crate::sql;
 use crate::stats::{QueryStats, QueryTrace};
@@ -99,7 +120,9 @@ pub struct EngineConfig {
     pub posmap_policy: TrackingPolicy,
     /// Rows per batch.
     pub batch_size: usize,
-    /// Shred-pool budget in bytes.
+    /// Shred-pool budget in bytes (`0` = unlimited; env
+    /// `RAW_SHRED_POOL_BYTES`). Fixed at engine construction, matching the
+    /// file pool's budget semantics.
     pub shred_pool_bytes: usize,
     /// Whether scans/fetches populate the shred pool as a side effect.
     pub cache_shreds: bool,
@@ -117,8 +140,16 @@ pub struct EngineConfig {
     /// event-range morsels) scan in in-situ or JIT mode, including joins
     /// (shared build-side hash table, per-morsel probes) and grouped
     /// aggregation (per-morsel partial states merged in morsel order) —
-    /// and fall back to serial for everything else.
+    /// and fall back to serial for everything else. Parallel queries from
+    /// every session share one engine-global worker pool of this many
+    /// threads (fair round-robin morsel scheduling across queries).
     pub parallelism: usize,
+    /// Maximum queries the global worker pool executes concurrently (`0` =
+    /// unlimited; env `RAW_ADMISSION_QUERIES`). Excess parallel queries
+    /// queue FIFO at the pool's admission door; an admitted query always
+    /// runs to completion. Admission is per query, never per morsel, so a
+    /// capped pool cannot deadlock a half-dispatched query.
+    pub admission_queries: usize,
     /// Target bytes per parallel morsel. The morsel grid is derived from
     /// the file size and this knob only — never from `parallelism` — so
     /// results are identical for any worker count >= 2 (integer aggregates
@@ -176,6 +207,7 @@ impl Default for EngineConfig {
             simulated_compile_latency: Duration::ZERO,
             cost_model: CostModel::default(),
             parallelism: raw_exec::available_threads(),
+            admission_queries: 0,
             morsel_bytes: 256 << 10,
             read_chunk_bytes: 4 << 20,
             skew_split: 1,
@@ -188,16 +220,18 @@ impl Default for EngineConfig {
 impl EngineConfig {
     /// The default configuration with environment overrides applied:
     /// `RAW_PARALLELISM` (worker threads; `1` forces the serial path),
-    /// `RAW_MORSEL_BYTES` (target bytes per morsel),
-    /// `RAW_READ_CHUNK_BYTES` (cold-read streaming chunk; `0` disables
-    /// streaming entirely), `RAW_SKEW_SPLIT` (morsel-grid refinement
-    /// factor; `1` = natural grid), `RAW_RZB_BLOCK_BYTES` (uncompressed
-    /// block size for newly written `.rzb` containers), and
-    /// `RAW_FILE_POOL_BYTES` (warm file-pool byte budget; `0` = unlimited).
-    /// Unset or unparsable variables leave the default
-    /// untouched. Test suites build engines through this so CI can exercise
-    /// the whole suite under a forced parallel (and forced tiny-chunk
-    /// streaming) configuration.
+    /// `RAW_ADMISSION_QUERIES` (concurrent-query cap at the global pool's
+    /// admission door; `0` = unlimited), `RAW_MORSEL_BYTES` (target bytes
+    /// per morsel), `RAW_READ_CHUNK_BYTES` (cold-read streaming chunk; `0`
+    /// disables streaming entirely), `RAW_SKEW_SPLIT` (morsel-grid
+    /// refinement factor; `1` = natural grid), `RAW_RZB_BLOCK_BYTES`
+    /// (uncompressed block size for newly written `.rzb` containers),
+    /// `RAW_FILE_POOL_BYTES` (warm file-pool byte budget; `0` = unlimited),
+    /// and `RAW_SHRED_POOL_BYTES` (shred-pool byte budget; `0` = unlimited,
+    /// matching the file-pool semantics). Unset or unparsable variables
+    /// leave the default untouched. Test suites build engines through this
+    /// so CI can exercise the whole suite under a forced parallel (and
+    /// forced tiny-chunk streaming) configuration.
     pub fn from_env() -> EngineConfig {
         fn env_usize(key: &str) -> Option<usize> {
             std::env::var(key).ok()?.trim().parse().ok()
@@ -205,6 +239,9 @@ impl EngineConfig {
         let mut config = EngineConfig::default();
         if let Some(n) = env_usize("RAW_PARALLELISM") {
             config.parallelism = n.max(1);
+        }
+        if let Some(n) = env_usize("RAW_ADMISSION_QUERIES") {
+            config.admission_queries = n; // 0 = unlimited
         }
         if let Some(n) = env_usize("RAW_MORSEL_BYTES") {
             config.morsel_bytes = n.max(1);
@@ -220,6 +257,9 @@ impl EngineConfig {
         }
         if let Some(n) = env_usize("RAW_FILE_POOL_BYTES") {
             config.file_pool_bytes = n; // 0 = unlimited
+        }
+        if let Some(n) = env_usize("RAW_SHRED_POOL_BYTES") {
+            config.shred_pool_bytes = n; // 0 = unlimited
         }
         config
     }
@@ -264,156 +304,106 @@ pub struct PlannedScan {
     pub harvests: Harvests,
 }
 
-/// The RAW query engine.
-pub struct RawEngine {
+/// The immutable world one query plans and executes against: owned copies
+/// of the catalog and configuration plus `Arc` handles to every positional
+/// map, all taken at query start. Concurrent publishes from other sessions
+/// go through copy-on-write ([`crate::shared`]), so nothing in a snapshot
+/// ever changes underneath a running query.
+struct QuerySnapshot {
     catalog: Catalog,
     config: EngineConfig,
-    files: Arc<FileBufferPool>,
-    templates: TemplateCache,
     posmaps: HashMap<String, Arc<PositionalMap>>,
-    pool: ShredPool,
-    loaded: HashMap<String, Arc<MemTable>>,
-    root_files: HashMap<PathBuf, Arc<RootSimFile>>,
-    stats: StatsRegistry,
-    metrics: Arc<EngineMetrics>,
 }
 
-impl RawEngine {
-    /// Create an engine with the given configuration.
-    pub fn new(config: EngineConfig) -> RawEngine {
-        let templates = if config.simulated_compile_latency.is_zero() {
-            TemplateCache::new()
-        } else {
-            TemplateCache::with_simulated_compile_latency(config.simulated_compile_latency)
-        };
-        let metrics = Arc::new(EngineMetrics::new());
-        let files = Arc::new(FileBufferPool::with_metrics(Arc::clone(&metrics)));
-        files.set_budget_bytes(if config.file_pool_bytes == 0 {
-            u64::MAX
-        } else {
-            config.file_pool_bytes as u64
-        });
-        RawEngine {
-            catalog: Catalog::new(),
-            pool: ShredPool::new(config.shred_pool_bytes),
-            config,
-            files,
-            templates,
-            posmaps: HashMap::new(),
-            loaded: HashMap::new(),
-            root_files: HashMap::new(),
-            stats: StatsRegistry::new(),
-            metrics,
+/// The long-lived shared core: one instance per engine, behind `Arc`,
+/// referenced by the owning [`RawEngine`] and every [`Session`]. All
+/// adaptive state sits behind the concurrent wrappers of [`crate::shared`];
+/// the query path takes a [`QuerySnapshot`], plans against it, executes
+/// (serially or on the global worker pool), and publishes side effects back
+/// through merge-on-publish.
+struct EngineShared {
+    catalog: RwLock<Catalog>,
+    config: RwLock<EngineConfig>,
+    files: Arc<FileBufferPool>,
+    templates: TemplateCache,
+    posmaps: PosmapRegistry,
+    pool: ShredPool,
+    loaded: SharedTables,
+    root_files: SharedRootFiles,
+    stats: SharedStats,
+    metrics: Arc<EngineMetrics>,
+    /// The engine-global worker pool, created lazily on the first parallel
+    /// query and rebuilt if `parallelism`/`admission_queries` change.
+    workers: Mutex<Option<Arc<GlobalPool>>>,
+    next_session: AtomicU64,
+}
+
+impl EngineShared {
+    fn snapshot(&self) -> QuerySnapshot {
+        QuerySnapshot {
+            catalog: self.catalog.read().clone(),
+            config: self.config.read().clone(),
+            posmaps: self.posmaps.snapshot(),
         }
     }
 
-    /// Register a table over a raw file.
-    pub fn register_table(&mut self, def: TableDef) {
-        self.catalog.register(def);
+    fn planner_ctx<'a>(&'a self, snap: &'a QuerySnapshot) -> PlannerCtx<'a> {
+        PlannerCtx {
+            catalog: &snap.catalog,
+            config: &snap.config,
+            files: &self.files,
+            templates: &self.templates,
+            posmaps: &snap.posmaps,
+            pool: &self.pool,
+            loaded: &self.loaded,
+            root_files: &self.root_files,
+            stats: &self.stats,
+        }
     }
 
-    /// The catalog (read-only).
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// The global worker pool sized to the current config — created on
+    /// first use, reused across queries and sessions, and replaced (old
+    /// workers drain and join once their last in-flight query releases its
+    /// handle) when the thread count or admission cap changes.
+    fn worker_pool(&self, threads: usize, max_active: usize) -> Arc<GlobalPool> {
+        let mut guard = self.workers.lock();
+        if let Some(pool) = guard.as_ref() {
+            if pool.threads() == threads && pool.max_active() == max_active {
+                return Arc::clone(pool);
+            }
+        }
+        let pool = Arc::new(GlobalPool::new(threads, max_active));
+        *guard = Some(Arc::clone(&pool));
+        pool
     }
 
-    /// The file-buffer pool — experiments use it to insert virtual files and
-    /// to flip between cold and warm runs.
-    pub fn files(&self) -> &FileBufferPool {
-        &self.files
-    }
-
-    /// The engine-lifetime metrics registry: monotonic atomic counters for
-    /// file-pool traffic, chunk-stream completions/waits/failures, cache
-    /// hits, morsel dispatch, and the resident-buffer gauge. Never reset by
-    /// a query; see `raw_trace::metrics` for the charge contract.
-    pub fn metrics(&self) -> &Arc<EngineMetrics> {
-        &self.metrics
-    }
-
-    /// Current configuration.
-    pub fn config(&self) -> &EngineConfig {
-        &self.config
-    }
-
-    /// Replace the configuration (takes effect on the next query).
-    pub fn set_config(&mut self, config: EngineConfig) {
-        self.config = config;
-    }
-
-    /// The positional map known for `table`, if any.
-    pub fn posmap(&self, table: &str) -> Option<&Arc<PositionalMap>> {
-        self.posmaps.get(table)
-    }
-
-    /// Shred-pool statistics.
-    pub fn shred_pool_stats(&self) -> crate::shreds::ShredPoolStats {
-        self.pool.stats()
-    }
-
-    /// Table statistics (histograms and row counts) harvested from earlier
-    /// queries — the input to `Adaptive` planning decisions.
-    pub fn table_stats(&self) -> &StatsRegistry {
-        &self.stats
-    }
-
-    /// Drop compiled access paths only (ablation hook: forces "code
-    /// generation" to rerun on the next query while keeping positional
-    /// maps, shreds, and statistics).
-    pub fn clear_template_cache(&mut self) {
-        self.templates.clear();
-    }
-
-    /// Drop file buffers (and parsed rootsim handles): the next query runs
-    /// cold with respect to I/O, but adaptive state (positional maps,
-    /// shreds, templates) survives — the engine forgets *data*, not
-    /// *structure*.
-    pub fn drop_file_caches(&mut self) {
-        self.files.evict_all();
-        self.root_files.clear();
-    }
-
-    /// Forget all adaptive state: positional maps, shreds, templates,
-    /// harvested statistics, and DBMS-loaded tables. Combined with
-    /// [`RawEngine::drop_file_caches`] this reproduces a fresh engine on
-    /// the same catalog.
-    pub fn reset_adaptive_state(&mut self) {
-        self.posmaps.clear();
-        self.pool.clear();
-        self.templates.clear();
-        self.loaded.clear();
-        self.stats.clear();
-    }
-
-    /// Answer a SQL query.
-    pub fn query(&mut self, sql_text: &str) -> Result<QueryResult> {
+    fn query(&self, sql_text: &str, session: &SessionMetrics) -> Result<QueryResult> {
         let stmt = sql::parse(sql_text)?;
-        let resolved = resolve(&stmt, &self.catalog)?;
-        self.execute(&resolved)
+        let snap = self.snapshot();
+        let resolved = resolve(&stmt, &snap.catalog)?;
+        self.execute_with(&snap, &resolved, session)
     }
 
-    /// Plan (without executing) and return the plan description.
-    pub fn explain(&mut self, sql_text: &str) -> Result<Vec<String>> {
+    fn explain(&self, sql_text: &str) -> Result<Vec<String>> {
         let stmt = sql::parse(sql_text)?;
-        let resolved = resolve(&stmt, &self.catalog)?;
-        let mut ctx = self.planner_ctx();
-        let plan = physical::plan(&mut ctx, &resolved)?;
+        let snap = self.snapshot();
+        let resolved = resolve(&stmt, &snap.catalog)?;
+        let ctx = self.planner_ctx(&snap);
+        let plan = physical::plan(&ctx, &resolved)?;
         Ok(plan.explain)
     }
 
-    /// EXPLAIN ANALYZE: execute the query and render its plan annotated
-    /// with measured actuals — per-operator rows/time/prune counts, the
-    /// parallel run shape, the totals line, and (for parallel runs) the
-    /// per-morsel worker/gate-wait table. The result rows are discarded;
-    /// callers that want both run [`RawEngine::query`] and render
-    /// `stats.explain_analyze(..)` themselves.
-    pub fn explain_analyze(&mut self, sql_text: &str) -> Result<String> {
-        let result = self.query(sql_text)?;
-        Ok(result.stats.explain_analyze(true))
+    fn execute(&self, resolved: &ResolvedQuery, session: &SessionMetrics) -> Result<QueryResult> {
+        let snap = self.snapshot();
+        self.execute_with(&snap, resolved, session)
     }
 
-    /// Execute a resolved query.
-    pub fn execute(&mut self, resolved: &ResolvedQuery) -> Result<QueryResult> {
+    fn execute_with(
+        &self,
+        snap: &QuerySnapshot,
+        resolved: &ResolvedQuery,
+        session: &SessionMetrics,
+    ) -> Result<QueryResult> {
         let wall_start = Instant::now();
         let io0 = self.files.bytes_from_disk();
         let tmpl0 = self.templates.stats();
@@ -423,20 +413,19 @@ impl RawEngine {
         // and the query is eligible; everything else — including
         // `parallelism == 1`, which must reproduce the serial engine
         // bit-for-bit — continues below unchanged.
-        if self.config.parallelism > 1 {
-            let parallelism = self.config.parallelism;
+        if snap.config.parallelism > 1 {
             let maybe = {
-                let mut ctx = self.planner_ctx();
-                physical::parallel::try_plan(&mut ctx, resolved, parallelism)?
+                let ctx = self.planner_ctx(snap);
+                physical::parallel::try_plan(&ctx, resolved, snap.config.parallelism)?
             };
             if let Some(plan) = maybe {
-                return self.execute_parallel(plan, wall_start, io0, tmpl0, shred0);
+                return self.execute_parallel(snap, plan, wall_start, io0, tmpl0, shred0, session);
             }
         }
 
         let plan = {
-            let mut ctx = self.planner_ctx();
-            physical::plan(&mut ctx, resolved)?
+            let ctx = self.planner_ctx(snap);
+            physical::plan(&ctx, resolved)?
         };
         let explain = plan.explain.clone();
         let output_names = plan.output_names.clone();
@@ -458,12 +447,16 @@ impl RawEngine {
             wall,
             scan,
             metrics,
-            io_bytes: self.files.bytes_from_disk() - io0,
-            compile_time: tmpl1.compile_time - tmpl0.compile_time,
-            template_hits: tmpl1.hits - tmpl0.hits,
-            template_misses: tmpl1.misses - tmpl0.misses,
-            shred_hits: shred1.hits - shred0.hits,
-            shred_misses: shred1.misses - shred0.misses,
+            io_bytes: self.files.bytes_from_disk().saturating_sub(io0),
+            compile_time: tmpl1.compile_time.saturating_sub(tmpl0.compile_time),
+            template_hits: tmpl1.hits.saturating_sub(tmpl0.hits),
+            template_misses: tmpl1.misses.saturating_sub(tmpl0.misses),
+            // Saturating: these are windows over *shared* counters, and a
+            // racing session's `get_full` converts a hit into a miss with a
+            // decrement — a plain subtraction could underflow. Attribution
+            // is approximate under concurrent load, exact when alone.
+            shred_hits: shred1.hits.saturating_sub(shred0.hits),
+            shred_misses: shred1.misses.saturating_sub(shred0.misses),
             posmaps_built,
             shreds_recorded,
             rows_out: batch.rows() as u64,
@@ -473,21 +466,24 @@ impl RawEngine {
             explain,
             trace: None,
         };
-        self.charge_query(&stats, /* parallel = */ false);
+        self.charge_query(&stats, /* parallel = */ false, session);
         Ok(QueryResult { batch, column_names: output_names, stats })
     }
 
-    /// Run a morsel-parallel plan on the `raw-exec` worker pool and absorb
-    /// its side effects: positional-map fragments append in morsel order
-    /// into the file-wide map; shred fragments (disjoint global row ranges)
-    /// merge through the ordinary harvest path.
+    /// Run a morsel-parallel plan on the engine-global worker pool and
+    /// absorb its side effects: positional-map fragments append in morsel
+    /// order into the file-wide map; shred fragments (disjoint global row
+    /// ranges) merge through the ordinary harvest path.
+    #[allow(clippy::too_many_arguments)]
     fn execute_parallel(
-        &mut self,
+        &self,
+        snap: &QuerySnapshot,
         plan: physical::parallel::ParallelPlan,
         wall_start: Instant,
         io0: u64,
         tmpl0: raw_access::template_cache::CacheStats,
         shred0: crate::shreds::ShredPoolStats,
+        session: &SessionMetrics,
     ) -> Result<QueryResult> {
         let physical::parallel::ParallelPlan {
             pipelines,
@@ -507,26 +503,25 @@ impl RawEngine {
         // warm (ungated) runs the executor claims predicted-heavy morsels
         // first, using the plan-time byte/row span as the cost hint, so a
         // long-tail morsel cannot land last when no rebalancing is possible.
-        // Results, counters, and traces are claim-order invariant.
+        // Results, counters, and traces are claim-order invariant — and
+        // identical on the global pool, whose admission/fair-scheduling only
+        // moves *when* a morsel runs, never what it produces.
         let dispatched = pipelines.len() as u64;
         self.metrics.morsels(dispatched);
         let weights: Vec<u64> = morsel_meta
             .iter()
             .map(|m| ((m.byte_end - m.byte_start) as u64).max(m.end_row - m.first_row).max(1))
             .collect();
-        let mut outcome = match raw_exec::execute_morsels_scheduled(
-            pipelines,
-            gates,
-            &merge,
-            self.config.parallelism,
-            Some(&weights),
-        ) {
-            Ok(outcome) => outcome,
-            Err(e) => {
-                self.metrics.morsel_failed();
-                return Err(e.into());
-            }
-        };
+        let pool = self.worker_pool(snap.config.parallelism, snap.config.admission_queries);
+        let mut outcome =
+            match raw_exec::execute_morsels_pooled(&pool, pipelines, gates, &merge, Some(&weights))
+            {
+                Ok(outcome) => outcome,
+                Err(e) => {
+                    self.metrics.morsel_failed();
+                    return Err(e.into());
+                }
+            };
         // Scan work performed at plan time (a join's serial build-side
         // drain) belongs to this query's accounting too.
         outcome.profile.merge(&build_profile);
@@ -572,7 +567,7 @@ impl RawEngine {
         // Zip the runtime morsel traces (worker, gate-wait, drain time) with
         // the planner's morsel metadata into the query's trace.
         let trace = QueryTrace {
-            workers: self.config.parallelism,
+            workers: snap.config.parallelism,
             morsels: std::mem::take(&mut outcome.traces),
             meta: morsel_meta,
         };
@@ -584,126 +579,59 @@ impl RawEngine {
             wall,
             scan: outcome.profile,
             metrics: outcome.metrics,
-            io_bytes: self.files.bytes_from_disk() - io0,
-            compile_time: tmpl1.compile_time - tmpl0.compile_time,
-            template_hits: tmpl1.hits - tmpl0.hits,
-            template_misses: tmpl1.misses - tmpl0.misses,
-            shred_hits: shred1.hits - shred0.hits,
-            shred_misses: shred1.misses - shred0.misses,
+            io_bytes: self.files.bytes_from_disk().saturating_sub(io0),
+            compile_time: tmpl1.compile_time.saturating_sub(tmpl0.compile_time),
+            template_hits: tmpl1.hits.saturating_sub(tmpl0.hits),
+            template_misses: tmpl1.misses.saturating_sub(tmpl0.misses),
+            // Saturating: these are windows over *shared* counters, and a
+            // racing session's `get_full` converts a hit into a miss with a
+            // decrement — a plain subtraction could underflow. Attribution
+            // is approximate under concurrent load, exact when alone.
+            shred_hits: shred1.hits.saturating_sub(shred0.hits),
+            shred_misses: shred1.misses.saturating_sub(shred0.misses),
             posmaps_built,
             shreds_recorded,
             rows_out: batch.rows() as u64,
-            workers: self.config.parallelism,
+            workers: snap.config.parallelism,
             morsels: outcome.morsels,
             gate_wait,
             explain,
             trace: Some(trace),
         };
-        self.charge_query(&stats, /* parallel = */ true);
+        self.charge_query(&stats, /* parallel = */ true, session);
         Ok(QueryResult { batch, column_names: output_names, stats })
     }
 
-    /// Build a bottom scan over a registered table for a hand-assembled plan
-    /// (respects mode, shred pool, recording, positional maps). `cols` are
-    /// column names; `tag` labels provenance.
-    pub fn plan_scan(&mut self, table: &str, cols: &[&str], tag: u32) -> Result<PlannedScan> {
-        let resolved = self.synthetic_query(table, cols)?;
-        let col_refs: Vec<ColRef> = resolved.outputs.iter().map(|o| o.col.clone()).collect();
-        let mut ctx = self.planner_ctx();
-        let (op, harvests) =
-            physical::standalone_scan(&mut ctx, &resolved, &col_refs, TableTag(tag))?;
-        Ok(PlannedScan { op, harvests })
-    }
-
-    /// Attach `cols` of `table` above an existing operator as a late scan
-    /// (pool-backed when shreds exist; records fetched values). Batches
-    /// flowing through `op` must carry provenance tagged `tag` for this
-    /// table. For CSV tables a positional map must already exist.
-    pub fn plan_attach(
-        &mut self,
-        op: Box<dyn Operator>,
-        table: &str,
-        cols: &[&str],
-        tag: u32,
-    ) -> Result<PlannedScan> {
-        let resolved = self.synthetic_query(table, cols)?;
-        let col_refs: Vec<ColRef> = resolved.outputs.iter().map(|o| o.col.clone()).collect();
-        let mut ctx = self.planner_ctx();
-        let (op, harvests) = physical::standalone_attach(
-            &mut ctx,
-            &resolved,
-            op,
-            &col_refs,
-            /* multi = */ col_refs.len() > 1,
-            TableTag(tag),
-        )?;
-        Ok(PlannedScan { op, harvests })
-    }
-
-    /// Run a hand-assembled operator tree under engine accounting and absorb
-    /// the given side effects afterwards.
-    pub fn run_custom(
-        &mut self,
-        mut root: Box<dyn Operator>,
-        harvests: Harvests,
-        column_names: Vec<String>,
-    ) -> Result<QueryResult> {
-        let wall_start = Instant::now();
-        let io0 = self.files.bytes_from_disk();
-        let batches = drain(root.as_mut())?;
-        let scan = root.scan_profile();
-        let metrics = root.scan_metrics();
-        drop(root);
-        let batch = Batch::concat(&batches)?;
-        let wall = wall_start.elapsed();
-        let (posmaps_built, shreds_recorded) = self.absorb_harvests(harvests)?;
-        let stats = QueryStats {
-            wall,
-            scan,
-            metrics,
-            io_bytes: self.files.bytes_from_disk() - io0,
-            rows_out: batch.rows() as u64,
-            posmaps_built,
-            shreds_recorded,
-            workers: 1,
-            ..Default::default()
-        };
-        self.charge_query(&stats, /* parallel = */ false);
-        Ok(QueryResult { batch, column_names, stats })
-    }
-
-    /// Merge several harvest sets (custom plans with many scans).
-    pub fn absorb_side_effects(&mut self, harvests: Harvests) -> Result<()> {
-        self.absorb_harvests(harvests)?;
-        Ok(())
-    }
-
-    // -- internals -----------------------------------------------------------
-
     /// Mirror a finished query's cache traffic into the engine-lifetime
-    /// registry (the per-query deltas sum to the engine totals).
-    fn charge_query(&self, stats: &QueryStats, parallel: bool) {
+    /// registry and charge the owning session. (Per-query deltas are read
+    /// from shared cache counters; under concurrent load a delta may
+    /// include a neighbor query's traffic — attribution is approximate
+    /// while racing, exact when a session runs alone.)
+    fn charge_query(&self, stats: &QueryStats, parallel: bool, session: &SessionMetrics) {
         self.metrics.query(parallel);
         self.metrics.template_traffic(stats.template_hits, stats.template_misses);
         self.metrics.shred_traffic(stats.shred_hits, stats.shred_misses);
+        session.charge(&SessionQueryCharge {
+            parallel,
+            rows_out: stats.rows_out,
+            io_bytes: stats.io_bytes,
+            template_hits: stats.template_hits,
+            template_misses: stats.template_misses,
+            shred_hits: stats.shred_hits,
+            shred_misses: stats.shred_misses,
+            morsels: stats.morsels as u64,
+            wall: stats.wall,
+            gate_wait: stats.gate_wait,
+        });
     }
 
-    fn planner_ctx(&mut self) -> PlannerCtx<'_> {
-        PlannerCtx {
-            catalog: &self.catalog,
-            config: &self.config,
-            files: &self.files,
-            templates: &self.templates,
-            posmaps: &self.posmaps,
-            pool: &mut self.pool,
-            loaded: &mut self.loaded,
-            root_files: &mut self.root_files,
-            stats: &mut self.stats,
-        }
-    }
-
-    fn synthetic_query(&self, table: &str, cols: &[&str]) -> Result<ResolvedQuery> {
-        let def = self.catalog.get(table)?;
+    fn synthetic_query(
+        &self,
+        catalog: &Catalog,
+        table: &str,
+        cols: &[&str],
+    ) -> Result<ResolvedQuery> {
+        let def = catalog.get(table)?;
         let outputs = cols
             .iter()
             .map(|c| {
@@ -730,7 +658,7 @@ impl RawEngine {
         })
     }
 
-    fn absorb_harvests(&mut self, harvests: Harvests) -> Result<(usize, usize)> {
+    fn absorb_harvests(&self, harvests: Harvests) -> Result<(usize, usize)> {
         let mut posmaps_built = 0;
         for (table, sink) in harvests.posmaps {
             let Some(new_map) = sink.lock().take() else { continue };
@@ -741,17 +669,7 @@ impl RawEngine {
             if new_map.rows() > 0 {
                 self.stats.record_rows(&table, new_map.rows());
             }
-            match self.posmaps.get_mut(&table) {
-                Some(existing) => {
-                    let merged = Arc::make_mut(existing);
-                    merged.merge(&new_map).map_err(|e| {
-                        EngineError::planning(format!("positional map merge failed: {e}"))
-                    })?;
-                }
-                None => {
-                    self.posmaps.insert(table, Arc::new(new_map));
-                }
-            }
+            self.posmaps.merge_publish(&table, new_map)?;
         }
         let mut shreds_recorded = 0;
         for (table, column, sink) in harvests.shreds {
@@ -780,6 +698,320 @@ impl RawEngine {
             self.pool.insert_merge(&table, &column, shred)?;
         }
         Ok((posmaps_built, shreds_recorded))
+    }
+}
+
+/// The RAW query engine: a thin owner handle over the shared core. Every
+/// method is `&self`; clients that want concurrent query streams take
+/// [`RawEngine::session`] handles (the engine's own query methods charge a
+/// built-in "driver" session, id 0).
+pub struct RawEngine {
+    shared: Arc<EngineShared>,
+    driver: Arc<SessionMetrics>,
+}
+
+/// A cheap per-client handle over a shared engine: an id, a per-session
+/// metrics registry, and an `Arc` to the shared core. Sessions are created
+/// with [`RawEngine::session`], are `Send` (one per connection/thread), and
+/// answer queries concurrently — all cache side effects (positional maps,
+/// shreds, statistics, warm buffers, compiled templates) publish into the
+/// shared layer where every other session sees them.
+#[derive(Clone)]
+pub struct Session {
+    shared: Arc<EngineShared>,
+    id: u64,
+    metrics: Arc<SessionMetrics>,
+}
+
+impl RawEngine {
+    /// Create an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> RawEngine {
+        let templates = if config.simulated_compile_latency.is_zero() {
+            TemplateCache::new()
+        } else {
+            TemplateCache::with_simulated_compile_latency(config.simulated_compile_latency)
+        };
+        let metrics = Arc::new(EngineMetrics::new());
+        let files = Arc::new(FileBufferPool::with_metrics(Arc::clone(&metrics)));
+        files.set_budget_bytes(if config.file_pool_bytes == 0 {
+            u64::MAX
+        } else {
+            config.file_pool_bytes as u64
+        });
+        let shared = Arc::new(EngineShared {
+            catalog: RwLock::new(Catalog::new()),
+            pool: ShredPool::new(if config.shred_pool_bytes == 0 {
+                usize::MAX
+            } else {
+                config.shred_pool_bytes
+            }),
+            config: RwLock::new(config),
+            files,
+            templates,
+            posmaps: PosmapRegistry::default(),
+            loaded: SharedTables::default(),
+            root_files: SharedRootFiles::default(),
+            stats: SharedStats::default(),
+            metrics,
+            workers: Mutex::new(None),
+            next_session: AtomicU64::new(1),
+        });
+        RawEngine { shared, driver: Arc::new(SessionMetrics::new()) }
+    }
+
+    /// Open a new session over this engine. Sessions share every cache with
+    /// the engine and each other; each carries its own metrics registry.
+    pub fn session(&self) -> Session {
+        Session {
+            shared: Arc::clone(&self.shared),
+            id: self.shared.next_session.fetch_add(1, Ordering::Relaxed),
+            metrics: Arc::new(SessionMetrics::new()),
+        }
+    }
+
+    /// Register a table over a raw file (visible to every session).
+    pub fn register_table(&self, def: TableDef) {
+        self.shared.catalog.write().register(def);
+    }
+
+    /// An owned snapshot of the catalog.
+    pub fn catalog(&self) -> Catalog {
+        self.shared.catalog.read().clone()
+    }
+
+    /// The file-buffer pool — experiments use it to insert virtual files and
+    /// to flip between cold and warm runs.
+    pub fn files(&self) -> &FileBufferPool {
+        &self.shared.files
+    }
+
+    /// The engine-lifetime metrics registry: monotonic atomic counters for
+    /// file-pool traffic, chunk-stream completions/waits/failures, cache
+    /// hits, morsel dispatch, and the resident-buffer gauge. Never reset by
+    /// a query; see `raw_trace::metrics` for the charge contract.
+    pub fn metrics(&self) -> &Arc<EngineMetrics> {
+        &self.shared.metrics
+    }
+
+    /// The driver session's metrics (queries issued directly on the engine
+    /// handle rather than through a [`Session`]).
+    pub fn driver_metrics(&self) -> &Arc<SessionMetrics> {
+        &self.driver
+    }
+
+    /// An owned snapshot of the current configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.shared.config.read().clone()
+    }
+
+    /// Replace the configuration (takes effect on the next query from any
+    /// session; a changed `parallelism`/`admission_queries` rebuilds the
+    /// global worker pool on that query).
+    pub fn set_config(&self, config: EngineConfig) {
+        *self.shared.config.write() = config;
+    }
+
+    /// The positional map known for `table`, if any (an owned handle; a
+    /// later publish copy-on-writes and never mutates what this returned).
+    pub fn posmap(&self, table: &str) -> Option<Arc<PositionalMap>> {
+        self.shared.posmaps.get(table)
+    }
+
+    /// Shred-pool statistics.
+    pub fn shred_pool_stats(&self) -> crate::shreds::ShredPoolStats {
+        self.shared.pool.stats()
+    }
+
+    /// An owned snapshot of the table statistics (histograms and row
+    /// counts) harvested from earlier queries — the input to `Adaptive`
+    /// planning decisions.
+    pub fn table_stats(&self) -> StatsRegistry {
+        self.shared.stats.snapshot()
+    }
+
+    /// Drop compiled access paths only (ablation hook: forces "code
+    /// generation" to rerun on the next query while keeping positional
+    /// maps, shreds, and statistics).
+    pub fn clear_template_cache(&self) {
+        self.shared.templates.clear();
+    }
+
+    /// Drop file buffers (and parsed rootsim handles): the next query runs
+    /// cold with respect to I/O, but adaptive state (positional maps,
+    /// shreds, templates) survives — the engine forgets *data*, not
+    /// *structure*.
+    pub fn drop_file_caches(&self) {
+        self.shared.files.evict_all();
+        self.shared.root_files.clear();
+    }
+
+    /// Forget all adaptive state: positional maps, shreds, templates,
+    /// harvested statistics, and DBMS-loaded tables. Combined with
+    /// [`RawEngine::drop_file_caches`] this reproduces a fresh engine on
+    /// the same catalog.
+    pub fn reset_adaptive_state(&self) {
+        self.shared.posmaps.clear();
+        self.shared.pool.clear();
+        self.shared.templates.clear();
+        self.shared.loaded.clear();
+        self.shared.stats.clear();
+    }
+
+    /// Answer a SQL query (charged to the driver session).
+    pub fn query(&self, sql_text: &str) -> Result<QueryResult> {
+        self.shared.query(sql_text, &self.driver)
+    }
+
+    /// Plan (without executing) and return the plan description.
+    pub fn explain(&self, sql_text: &str) -> Result<Vec<String>> {
+        self.shared.explain(sql_text)
+    }
+
+    /// EXPLAIN ANALYZE: execute the query and render its plan annotated
+    /// with measured actuals — per-operator rows/time/prune counts, the
+    /// parallel run shape, the totals line, and (for parallel runs) the
+    /// per-morsel worker/gate-wait table. The result rows are discarded;
+    /// callers that want both run [`RawEngine::query`] and render
+    /// `stats.explain_analyze(..)` themselves.
+    pub fn explain_analyze(&self, sql_text: &str) -> Result<String> {
+        let result = self.query(sql_text)?;
+        Ok(result.stats.explain_analyze(true))
+    }
+
+    /// Execute a resolved query (charged to the driver session).
+    pub fn execute(&self, resolved: &ResolvedQuery) -> Result<QueryResult> {
+        self.shared.execute(resolved, &self.driver)
+    }
+
+    /// Build a bottom scan over a registered table for a hand-assembled plan
+    /// (respects mode, shred pool, recording, positional maps). `cols` are
+    /// column names; `tag` labels provenance.
+    pub fn plan_scan(&self, table: &str, cols: &[&str], tag: u32) -> Result<PlannedScan> {
+        let snap = self.shared.snapshot();
+        let resolved = self.shared.synthetic_query(&snap.catalog, table, cols)?;
+        let col_refs: Vec<ColRef> = resolved.outputs.iter().map(|o| o.col.clone()).collect();
+        let ctx = self.shared.planner_ctx(&snap);
+        let (op, harvests) = physical::standalone_scan(&ctx, &resolved, &col_refs, TableTag(tag))?;
+        Ok(PlannedScan { op, harvests })
+    }
+
+    /// Attach `cols` of `table` above an existing operator as a late scan
+    /// (pool-backed when shreds exist; records fetched values). Batches
+    /// flowing through `op` must carry provenance tagged `tag` for this
+    /// table. For CSV tables a positional map must already exist.
+    pub fn plan_attach(
+        &self,
+        op: Box<dyn Operator>,
+        table: &str,
+        cols: &[&str],
+        tag: u32,
+    ) -> Result<PlannedScan> {
+        let snap = self.shared.snapshot();
+        let resolved = self.shared.synthetic_query(&snap.catalog, table, cols)?;
+        let col_refs: Vec<ColRef> = resolved.outputs.iter().map(|o| o.col.clone()).collect();
+        let ctx = self.shared.planner_ctx(&snap);
+        let (op, harvests) = physical::standalone_attach(
+            &ctx,
+            &resolved,
+            op,
+            &col_refs,
+            /* multi = */ col_refs.len() > 1,
+            TableTag(tag),
+        )?;
+        Ok(PlannedScan { op, harvests })
+    }
+
+    /// Run a hand-assembled operator tree under engine accounting and absorb
+    /// the given side effects afterwards.
+    pub fn run_custom(
+        &self,
+        mut root: Box<dyn Operator>,
+        harvests: Harvests,
+        column_names: Vec<String>,
+    ) -> Result<QueryResult> {
+        let wall_start = Instant::now();
+        let io0 = self.shared.files.bytes_from_disk();
+        let batches = drain(root.as_mut())?;
+        let scan = root.scan_profile();
+        let metrics = root.scan_metrics();
+        drop(root);
+        let batch = Batch::concat(&batches)?;
+        let wall = wall_start.elapsed();
+        let (posmaps_built, shreds_recorded) = self.shared.absorb_harvests(harvests)?;
+        let stats = QueryStats {
+            wall,
+            scan,
+            metrics,
+            io_bytes: self.shared.files.bytes_from_disk() - io0,
+            rows_out: batch.rows() as u64,
+            posmaps_built,
+            shreds_recorded,
+            workers: 1,
+            ..Default::default()
+        };
+        self.shared.charge_query(&stats, /* parallel = */ false, &self.driver);
+        Ok(QueryResult { batch, column_names, stats })
+    }
+
+    /// Merge several harvest sets (custom plans with many scans).
+    pub fn absorb_side_effects(&self, harvests: Harvests) -> Result<()> {
+        self.shared.absorb_harvests(harvests)?;
+        Ok(())
+    }
+}
+
+impl Session {
+    /// This session's id (unique within its engine; 0 is the engine's own
+    /// driver session).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// This session's metrics registry.
+    pub fn metrics(&self) -> &Arc<SessionMetrics> {
+        &self.metrics
+    }
+
+    /// Answer a SQL query over the shared engine, charged to this session.
+    pub fn query(&self, sql_text: &str) -> Result<QueryResult> {
+        self.shared.query(sql_text, &self.metrics)
+    }
+
+    /// Execute a resolved query, charged to this session.
+    pub fn execute(&self, resolved: &ResolvedQuery) -> Result<QueryResult> {
+        self.shared.execute(resolved, &self.metrics)
+    }
+
+    /// Plan (without executing) and return the plan description.
+    pub fn explain(&self, sql_text: &str) -> Result<Vec<String>> {
+        self.shared.explain(sql_text)
+    }
+
+    /// EXPLAIN ANALYZE through this session (see
+    /// [`RawEngine::explain_analyze`]).
+    pub fn explain_analyze(&self, sql_text: &str) -> Result<String> {
+        let result = self.query(sql_text)?;
+        Ok(result.stats.explain_analyze(true))
+    }
+
+    /// Register a table over a raw file (visible to every session).
+    pub fn register_table(&self, def: TableDef) {
+        self.shared.catalog.write().register(def);
+    }
+
+    /// An owned snapshot of the catalog.
+    pub fn catalog(&self) -> Catalog {
+        self.shared.catalog.read().clone()
+    }
+
+    /// The positional map known for `table`, if any.
+    pub fn posmap(&self, table: &str) -> Option<Arc<PositionalMap>> {
+        self.shared.posmaps.get(table)
+    }
+
+    /// Shred-pool statistics for the shared pool.
+    pub fn shred_pool_stats(&self) -> crate::shreds::ShredPoolStats {
+        self.shared.pool.stats()
     }
 }
 

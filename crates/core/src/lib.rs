@@ -21,6 +21,10 @@
 //!   reproduces the serial engine bit-for-bit.
 //! - [`shreds`] — the LRU pool of column shreds populated as a side effect
 //!   of query execution.
+//! - [`shared`] — the concurrent cache layer (read-locked lookups,
+//!   merge-on-publish writes) that lets many [`engine::Session`] handles
+//!   share one long-lived engine; see `CONCURRENCY.md` § "Sessions and the
+//!   shared cache layer".
 //! - [`cost`] / [`table_stats`] — the paper's §8 future-work cost model
 //!   and the per-column histograms (harvested as query side effects) that
 //!   feed it, powering the `Adaptive` strategy and placement choices.
@@ -35,7 +39,7 @@
 //! use raw_engine::engine::{EngineConfig, RawEngine};
 //! use raw_columnar::{DataType, Schema, Value};
 //!
-//! let mut engine = RawEngine::new(EngineConfig::default());
+//! let engine = RawEngine::new(EngineConfig::default());
 //! // Register a (virtual) CSV file — real files work the same way.
 //! engine.files().insert("/data/t.csv", b"1,10\n2,20\n3,30\n".to_vec());
 //! engine.register_table(TableDef {
@@ -54,6 +58,7 @@ pub mod engine;
 pub mod error;
 pub mod physical;
 pub mod plan;
+pub mod shared;
 pub mod shreds;
 pub mod sql;
 pub mod stats;
@@ -62,7 +67,8 @@ pub mod table_stats;
 pub use catalog::{Catalog, TableDef, TableSource};
 pub use cost::CostModel;
 pub use engine::{
-    AccessMode, EngineConfig, JoinPlacement, PlannedScan, QueryResult, RawEngine, ShredStrategy,
+    AccessMode, EngineConfig, JoinPlacement, PlannedScan, QueryResult, RawEngine, Session,
+    ShredStrategy,
 };
 pub use error::{EngineError, Result};
 pub use stats::{MorselMeta, QueryStats, QueryTrace};

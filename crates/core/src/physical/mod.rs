@@ -59,8 +59,8 @@ use crate::cost::{FilterDesc, JoinSide, PlacementInput, PosmapAvail, ScanFormat,
 use crate::engine::{AccessMode, EngineConfig, JoinPlacement, ShredStrategy};
 use crate::error::{EngineError, Result};
 use crate::plan::{ColRef, ResolvedFilter, ResolvedQuery};
+use crate::shared::{SharedRootFiles, SharedStats, SharedTables};
 use crate::shreds::ShredPool;
-use crate::table_stats::StatsRegistry;
 
 use helpers::{HarvestPosMapOp, PoolBackedFetcher, PoolScanOp, PosMapSink, RecordingOp, ShredSink};
 
@@ -85,17 +85,21 @@ pub struct PhysicalPlan {
     pub output_names: Vec<String>,
 }
 
-/// Mutable engine state the planner works against.
+/// Engine state the planner works against. `catalog`/`config`/`posmaps`
+/// point into the query's immutable snapshot; the rest are the engine's
+/// shared concurrent caches (interior mutability — every planner touch is
+/// `&self`), so concurrent queries plan against the same pools and publish
+/// side effects without exclusive engine access.
 pub(crate) struct PlannerCtx<'a> {
     pub catalog: &'a Catalog,
     pub config: &'a EngineConfig,
     pub files: &'a FileBufferPool,
     pub templates: &'a TemplateCache,
     pub posmaps: &'a HashMap<String, Arc<PositionalMap>>,
-    pub pool: &'a mut ShredPool,
-    pub loaded: &'a mut HashMap<String, Arc<MemTable>>,
-    pub root_files: &'a mut HashMap<std::path::PathBuf, Arc<RootSimFile>>,
-    pub stats: &'a mut StatsRegistry,
+    pub pool: &'a ShredPool,
+    pub loaded: &'a SharedTables,
+    pub root_files: &'a SharedRootFiles,
+    pub stats: &'a SharedStats,
 }
 
 /// Column layout of the batches a pipeline produces.
@@ -143,14 +147,14 @@ struct TableCols {
     outputs: Vec<ColRef>,
 }
 
-pub(crate) fn plan(ctx: &mut PlannerCtx<'_>, q: &ResolvedQuery) -> Result<PhysicalPlan> {
+pub(crate) fn plan(ctx: &PlannerCtx<'_>, q: &ResolvedQuery) -> Result<PhysicalPlan> {
     let mut planner =
         Planner { ctx, explain: Vec::new(), harvests: Harvests::default(), stream: None };
     planner.plan_query(q)
 }
 
 struct Planner<'a, 'b> {
-    ctx: &'a mut PlannerCtx<'b>,
+    ctx: &'a PlannerCtx<'b>,
     explain: Vec<String>,
     harvests: Harvests,
     /// When the parallel planner is streaming the driving table's cold read
@@ -1206,12 +1210,13 @@ impl Planner<'_, '_> {
     fn open_root(&mut self, def: &crate::catalog::TableDef) -> Result<Arc<RootSimFile>> {
         let path = def.source.path().clone();
         if let Some(f) = self.ctx.root_files.get(&path) {
-            return Ok(Arc::clone(f));
+            return Ok(f);
         }
         let buf = self.read_file(def)?;
         let file = Arc::new(RootSimFile::open_bytes(buf)?);
-        self.ctx.root_files.insert(path, Arc::clone(&file));
-        Ok(file)
+        // First-publish-wins: a racing planner's parse of the same bytes is
+        // equivalent; adopt whichever handle landed first.
+        Ok(self.ctx.root_files.publish(path, file))
     }
 
     fn ensure_loaded(
@@ -1220,7 +1225,7 @@ impl Planner<'_, '_> {
         def: &crate::catalog::TableDef,
     ) -> Result<Arc<MemTable>> {
         if let Some(t) = self.ctx.loaded.get(name) {
-            return Ok(Arc::clone(t));
+            return Ok(t);
         }
         self.note(format!("load {name} into DBMS columnar storage (all columns)"));
         let table = match &def.source {
@@ -1296,8 +1301,10 @@ impl Planner<'_, '_> {
                 }
             }
         }
-        self.ctx.loaded.insert(name.to_owned(), Arc::clone(&table));
-        Ok(table)
+        // First-publish-wins: two sessions racing to load the same table
+        // built equivalent copies; everyone adopts the winner so exactly one
+        // copy stays resident.
+        Ok(self.ctx.loaded.publish(name, table))
     }
 }
 
@@ -1557,7 +1564,7 @@ fn root_collection_program(
 /// Build a bottom scan over `cols` of one table with a caller-chosen
 /// provenance tag, including pool serving, recording, and posmap harvesting.
 pub(crate) fn standalone_scan(
-    ctx: &mut PlannerCtx<'_>,
+    ctx: &PlannerCtx<'_>,
     q: &ResolvedQuery,
     cols: &[ColRef],
     tag: TableTag,
@@ -1571,7 +1578,7 @@ pub(crate) fn standalone_scan(
 /// Attach `cols` of a table above an existing operator (late scan) with a
 /// caller-chosen tag, including pool backing and shred recording.
 pub(crate) fn standalone_attach(
-    ctx: &mut PlannerCtx<'_>,
+    ctx: &PlannerCtx<'_>,
     q: &ResolvedQuery,
     op: Box<dyn Operator>,
     cols: &[ColRef],

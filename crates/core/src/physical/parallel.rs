@@ -122,7 +122,7 @@ pub(crate) struct ParallelPlan {
 /// Plan `q` for morsel-parallel execution, or `None` when the query (or the
 /// engine state) wants the serial path.
 pub(crate) fn try_plan(
-    ctx: &mut PlannerCtx<'_>,
+    ctx: &PlannerCtx<'_>,
     q: &ResolvedQuery,
     threads: usize,
 ) -> Result<Option<ParallelPlan>> {
@@ -415,7 +415,7 @@ fn source_format(source: &TableSource) -> &'static str {
 /// *driving* table (0) must be partitionable into record-aligned morsels
 /// and not already fully shred-cached; a join's build side only needs an
 /// ordinary serial scan, so any source the mode supports qualifies there.
-fn eligible(ctx: &mut PlannerCtx<'_>, q: &ResolvedQuery, threads: usize) -> Result<bool> {
+fn eligible(ctx: &PlannerCtx<'_>, q: &ResolvedQuery, threads: usize) -> Result<bool> {
     if threads < 2 || !matches!(ctx.config.mode, AccessMode::InSitu | AccessMode::Jit) {
         return Ok(false);
     }

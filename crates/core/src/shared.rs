@@ -1,0 +1,223 @@
+//! The shared concurrent cache layer behind a long-lived engine.
+//!
+//! A [`crate::RawEngine`] used to be a single-driver object: one `&mut self`
+//! query at a time, adaptive state in plain `HashMap`s. The server step
+//! (many sessions over one engine, see `CONCURRENCY.md` § "Sessions and the
+//! shared cache layer") moves every piece of cross-query state behind
+//! reader-friendly concurrent wrappers with one shared protocol:
+//!
+//! - **lookups take a read lock** (many concurrent planners, no writer
+//!   blocking readers of a different table) and return owned `Arc` handles,
+//!   so a query plans against an immutable snapshot that later publishes
+//!   cannot mutate out from under it;
+//! - **publishes merge under a short write lock** (*merge-on-publish*): two
+//!   queries racing to publish overlapping side effects both win — partial
+//!   positional maps merge, the first complete value of an idempotent cache
+//!   entry wins and the loser's duplicate is dropped. This generalizes the
+//!   in-flight-read joining `FileBufferPool::read` already does for file
+//!   bytes to maps, loaded tables, parsed rootsim handles, and statistics.
+//!
+//! Copy-on-write matters for the maps: a publish into an entry some running
+//! query still references goes through [`Arc::make_mut`], which clones
+//! rather than mutating the shared value — the running query keeps the
+//! snapshot it planned against, bitwise.
+//!
+//! Lock inventory and ordering are documented in `CONCURRENCY.md`; none of
+//! these wrappers ever holds its lock while calling into another one.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use raw_columnar::{CmpOp, Column, MemTable, Value};
+use raw_formats::rootsim::RootSimFile;
+use raw_posmap::PositionalMap;
+
+use crate::error::{EngineError, Result};
+use crate::table_stats::StatsRegistry;
+
+/// The statistics registry behind a read-write lock: histogram harvesting
+/// is merge-on-publish (last full sample wins — samples of the same column
+/// are equivalent), estimates are read-locked lookups.
+#[derive(Debug, Default)]
+pub struct SharedStats {
+    inner: RwLock<StatsRegistry>,
+}
+
+impl SharedStats {
+    pub fn record_column(&self, table: &str, column: &str, col: &Column) {
+        self.inner.write().record_column(table, column, col);
+    }
+
+    pub fn record_rows(&self, table: &str, rows: u64) {
+        self.inner.write().record_rows(table, rows);
+    }
+
+    pub fn table_rows(&self, table: &str) -> Option<u64> {
+        self.inner.read().table_rows(table)
+    }
+
+    pub fn estimate(&self, table: &str, column: &str, op: CmpOp, lit: &Value) -> Option<f64> {
+        self.inner.read().estimate(table, column, op, lit)
+    }
+
+    /// An owned copy for callers that want a stable view (`table_stats()`).
+    pub fn snapshot(&self) -> StatsRegistry {
+        self.inner.read().clone()
+    }
+
+    pub fn clear(&self) {
+        self.inner.write().clear();
+    }
+}
+
+/// Per-table positional maps behind a read-write lock with merge-on-publish
+/// semantics: concurrent queries each harvest a (possibly partial) map and
+/// both publishes land — entries union via [`PositionalMap::merge`], and a
+/// publish into a map another query still holds clones first
+/// ([`Arc::make_mut`]) so outstanding snapshots never change underneath a
+/// running plan.
+#[derive(Debug, Default)]
+pub struct PosmapRegistry {
+    inner: RwLock<HashMap<String, Arc<PositionalMap>>>,
+}
+
+impl PosmapRegistry {
+    pub fn get(&self, table: &str) -> Option<Arc<PositionalMap>> {
+        self.inner.read().get(table).cloned()
+    }
+
+    /// Owned view of every table's current map — the per-query snapshot the
+    /// planner reads from, immune to concurrent publishes.
+    pub fn snapshot(&self) -> HashMap<String, Arc<PositionalMap>> {
+        self.inner.read().clone()
+    }
+
+    /// Merge-on-publish: union `new_map` into the table's map (insert when
+    /// absent). Holding the write lock across the merge makes racing
+    /// publishes serialize; each sees the other's entries already applied
+    /// or applies on top — no harvest is ever lost.
+    pub fn merge_publish(&self, table: &str, new_map: PositionalMap) -> Result<()> {
+        let mut maps = self.inner.write();
+        match maps.get_mut(table) {
+            Some(existing) => {
+                let merged = Arc::make_mut(existing);
+                merged.merge(&new_map).map_err(|e| {
+                    EngineError::planning(format!("positional map merge failed: {e}"))
+                })?;
+            }
+            None => {
+                maps.insert(table.to_owned(), Arc::new(new_map));
+            }
+        }
+        Ok(())
+    }
+
+    pub fn clear(&self) {
+        self.inner.write().clear();
+    }
+}
+
+/// DBMS-mode loaded tables behind a read-write lock with first-publish-wins
+/// semantics: two sessions cold-loading the same table race, both builds
+/// are equivalent (same file, same schema), the first insert wins and the
+/// loser adopts the winner's `Arc` — exactly one copy stays resident.
+#[derive(Debug, Default)]
+pub struct SharedTables {
+    inner: RwLock<HashMap<String, Arc<MemTable>>>,
+}
+
+impl SharedTables {
+    pub fn get(&self, name: &str) -> Option<Arc<MemTable>> {
+        self.inner.read().get(name).cloned()
+    }
+
+    /// Publish a loaded table; returns the winning handle (an earlier racing
+    /// publish, or `table` itself when this call got there first).
+    pub fn publish(&self, name: &str, table: Arc<MemTable>) -> Arc<MemTable> {
+        let mut tables = self.inner.write();
+        Arc::clone(tables.entry(name.to_owned()).or_insert(table))
+    }
+
+    pub fn clear(&self) {
+        self.inner.write().clear();
+    }
+}
+
+/// Parsed rootsim file handles behind a read-write lock, first-publish-wins
+/// (both parses read the same immutable bytes; see [`SharedTables`]).
+#[derive(Default)]
+pub struct SharedRootFiles {
+    inner: RwLock<HashMap<PathBuf, Arc<RootSimFile>>>,
+}
+
+impl SharedRootFiles {
+    pub fn get(&self, path: &PathBuf) -> Option<Arc<RootSimFile>> {
+        self.inner.read().get(path).cloned()
+    }
+
+    pub fn publish(&self, path: PathBuf, file: Arc<RootSimFile>) -> Arc<RootSimFile> {
+        let mut files = self.inner.write();
+        Arc::clone(files.entry(path).or_insert(file))
+    }
+
+    pub fn clear(&self) {
+        self.inner.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_map(col: usize, rows: u64) -> PositionalMap {
+        let mut b = raw_posmap::PosMapBuilder::new(vec![col]);
+        for r in 0..rows {
+            b.record(0, r * 10, 5);
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn posmap_publish_inserts_then_merges() {
+        let reg = PosmapRegistry::default();
+        assert!(reg.get("t").is_none());
+
+        reg.merge_publish("t", build_map(0, 2)).unwrap();
+        let first = reg.get("t").unwrap();
+        assert_eq!(first.tracked_columns(), &[0]);
+
+        reg.merge_publish("t", build_map(1, 2)).unwrap();
+        assert_eq!(reg.get("t").unwrap().tracked_columns(), &[0, 1]);
+        // Copy-on-write: the snapshot taken before the second publish is
+        // untouched.
+        assert_eq!(first.tracked_columns(), &[0]);
+    }
+
+    #[test]
+    fn stats_snapshot_is_stable() {
+        let stats = SharedStats::default();
+        stats.record_rows("t", 7);
+        let snap = stats.snapshot();
+        stats.record_rows("t", 99);
+        assert_eq!(snap.table_rows("t"), Some(7));
+        assert_eq!(stats.table_rows("t"), Some(99));
+        stats.clear();
+        assert_eq!(stats.table_rows("t"), None);
+    }
+
+    #[test]
+    fn first_publish_wins_for_idempotent_caches() {
+        let tables = SharedTables::default();
+        let a = Arc::new(MemTable::empty(raw_columnar::Schema::new(Vec::new())));
+        let b = Arc::new(MemTable::empty(raw_columnar::Schema::new(Vec::new())));
+        let won = tables.publish("t", Arc::clone(&a));
+        assert!(Arc::ptr_eq(&won, &a));
+        let still_a = tables.publish("t", b);
+        assert!(Arc::ptr_eq(&still_a, &a), "racing loser adopts the winner's handle");
+        tables.clear();
+        assert!(tables.get("t").is_none());
+    }
+}

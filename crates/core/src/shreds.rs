@@ -7,10 +7,32 @@
 //! Entries are [`SparseColumn`]s keyed by (table, column): full columns are
 //! shreds whose loaded mask is all-ones. Insertions *merge* (the pool
 //! accumulates coverage across queries); eviction is LRU by byte budget.
+//!
+//! # Concurrency
+//!
+//! The pool is shared by every [`Session`](crate::Session) of an engine, so
+//! all methods take `&self`:
+//!
+//! - Lookups (`get` / `get_full`) hold the entry map's **read** lock; the
+//!   LRU touch and hit/miss counters are relaxed atomics, so concurrent
+//!   readers never serialize on a write lock.
+//! - Publications (`insert_merge` / `insert_full`) hold the **write** lock
+//!   and *merge* coverage into any resident shred (union of loaded rows),
+//!   so two queries publishing shreds for the same column both land — the
+//!   merge-on-publish protocol in CONCURRENCY.md.
+//! - `total_bytes` is a running total maintained on insert/merge/evict/
+//!   clear, so staying under budget costs one LRU scan per *eviction*
+//!   rather than a full-map byte sum per loop iteration.
+//!
+//! All atomics here are `Relaxed`: each is an independent statistic or an
+//! LRU timestamp, and every structural map change is ordered by the
+//! `RwLock` itself.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use parking_lot::RwLock;
 use raw_columnar::{Column, SparseColumn};
 
 /// Pool statistics.
@@ -26,72 +48,91 @@ pub struct ShredPoolStats {
 
 struct Entry {
     shred: Arc<SparseColumn>,
-    last_used: u64,
+    last_used: AtomicU64,
     bytes: usize,
 }
 
-/// LRU pool of column shreds.
+/// LRU pool of column shreds, shareable across concurrent sessions.
 pub struct ShredPool {
-    entries: HashMap<(String, String), Entry>,
+    entries: RwLock<HashMap<(String, String), Entry>>,
     budget_bytes: usize,
-    clock: u64,
-    stats: ShredPoolStats,
+    /// Running sum of every entry's `bytes` — kept exact under the write
+    /// lock so eviction never has to re-sum the map.
+    total_bytes: AtomicUsize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 fn shred_bytes(s: &SparseColumn) -> usize {
-    s.dense().heap_bytes() + s.len() / 8
+    // The loaded-mask is one bit per row: round *up* so short shreds
+    // (and any non-multiple-of-8 length) are not undercounted.
+    s.dense().heap_bytes() + s.len().div_ceil(8)
 }
 
 impl ShredPool {
     /// A pool that evicts LRU entries beyond `budget_bytes`.
     pub fn new(budget_bytes: usize) -> ShredPool {
         ShredPool {
-            entries: HashMap::new(),
+            entries: RwLock::new(HashMap::new()),
             budget_bytes,
-            clock: 0,
-            stats: ShredPoolStats::default(),
+            total_bytes: AtomicUsize::new(0),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    /// Current statistics.
+    /// Current statistics. Every lookup contributes exactly one net hit or
+    /// miss, so `hits + misses` equals the number of lookups even under
+    /// contention.
     pub fn stats(&self) -> ShredPoolStats {
-        self.stats
+        ShredPoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
     }
 
-    /// Total bytes held.
+    /// Total bytes held (running total, not a map scan).
     pub fn heap_bytes(&self) -> usize {
-        self.entries.values().map(|e| e.bytes).sum()
+        self.total_bytes.load(Ordering::Relaxed)
     }
 
     /// Number of cached shreds.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.read().len()
     }
 
     /// Whether the pool is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.read().is_empty()
     }
 
     /// Drop everything.
-    pub fn clear(&mut self) {
-        self.entries.clear();
+    pub fn clear(&self) {
+        let mut entries = self.entries.write();
+        entries.clear();
+        self.total_bytes.store(0, Ordering::Relaxed);
     }
 
     /// Fetch the shred for (`table`, `column`) regardless of coverage,
     /// touching LRU. Callers check coverage themselves ([`SparseColumn`]
     /// exposes `covers_rows` / `is_full`).
-    pub fn get(&mut self, table: &str, column: &str) -> Option<Arc<SparseColumn>> {
-        self.clock += 1;
+    pub fn get(&self, table: &str, column: &str) -> Option<Arc<SparseColumn>> {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         let key = (table.to_owned(), column.to_owned());
-        match self.entries.get_mut(&key) {
+        let entries = self.entries.read();
+        match entries.get(&key) {
             Some(e) => {
-                e.last_used = self.clock;
-                self.stats.hits += 1;
+                e.last_used.store(now, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(&e.shred))
             }
             None => {
-                self.stats.misses += 1;
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -99,14 +140,15 @@ impl ShredPool {
 
     /// Fetch only if the shred covers the *entire* column of `len` rows
     /// (used by bottom scans, which need every row).
-    pub fn get_full(&mut self, table: &str, column: &str, len: u64) -> Option<Arc<SparseColumn>> {
+    pub fn get_full(&self, table: &str, column: &str, len: u64) -> Option<Arc<SparseColumn>> {
         let shred = self.get(table, column)?;
         if shred.len() as u64 >= len && shred.is_full() {
             Some(shred)
         } else {
-            // The partial hit is not usable as a full column.
-            self.stats.hits -= 1;
-            self.stats.misses += 1;
+            // The partial hit is not usable as a full column: reclassify
+            // the lookup (net effect stays one miss).
+            self.hits.fetch_sub(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
             None
         }
     }
@@ -115,14 +157,15 @@ impl ShredPool {
     /// entry exists, the union of loaded rows is kept (incoming wins on
     /// overlap); otherwise the shred is inserted as-is.
     pub fn insert_merge(
-        &mut self,
+        &self,
         table: &str,
         column: &str,
         incoming: SparseColumn,
     ) -> raw_columnar::Result<()> {
-        self.clock += 1;
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         let key = (table.to_owned(), column.to_owned());
-        match self.entries.get_mut(&key) {
+        let mut entries = self.entries.write();
+        match entries.get_mut(&key) {
             Some(e) => {
                 // Grow the resident shred if the incoming one is longer.
                 let merged = Arc::make_mut(&mut e.shred);
@@ -130,22 +173,31 @@ impl ShredPool {
                     merged.grow_to(incoming.len());
                 }
                 merged.absorb(&incoming)?;
-                e.bytes = shred_bytes(merged);
-                e.last_used = self.clock;
+                let new_bytes = shred_bytes(merged);
+                if new_bytes >= e.bytes {
+                    self.total_bytes.fetch_add(new_bytes - e.bytes, Ordering::Relaxed);
+                } else {
+                    self.total_bytes.fetch_sub(e.bytes - new_bytes, Ordering::Relaxed);
+                }
+                e.bytes = new_bytes;
+                e.last_used.store(now, Ordering::Relaxed);
             }
             None => {
                 let bytes = shred_bytes(&incoming);
-                self.entries
-                    .insert(key, Entry { shred: Arc::new(incoming), last_used: self.clock, bytes });
+                self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
+                entries.insert(
+                    key,
+                    Entry { shred: Arc::new(incoming), last_used: AtomicU64::new(now), bytes },
+                );
             }
         }
-        self.evict_to_budget();
+        self.evict_to_budget(&mut entries);
         Ok(())
     }
 
     /// Convenience: cache a fully-loaded column.
     pub fn insert_full(
-        &mut self,
+        &self,
         table: &str,
         column: &str,
         column_data: Column,
@@ -153,16 +205,17 @@ impl ShredPool {
         self.insert_merge(table, column, SparseColumn::full(column_data))
     }
 
-    fn evict_to_budget(&mut self) {
-        while self.heap_bytes() > self.budget_bytes && !self.entries.is_empty() {
-            let victim = self
-                .entries
+    fn evict_to_budget(&self, entries: &mut HashMap<(String, String), Entry>) {
+        while self.total_bytes.load(Ordering::Relaxed) > self.budget_bytes && !entries.is_empty() {
+            let victim = entries
                 .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-                .expect("non-empty");
-            self.entries.remove(&victim);
-            self.stats.evictions += 1;
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            if let Some(e) = entries.remove(&victim) {
+                self.total_bytes.fetch_sub(e.bytes, Ordering::Relaxed);
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -182,7 +235,7 @@ mod tests {
 
     #[test]
     fn insert_get_and_coverage() {
-        let mut pool = ShredPool::new(1 << 20);
+        let pool = ShredPool::new(1 << 20);
         pool.insert_merge("t", "col11", shred(&[1, 3], 10)).unwrap();
         let s = pool.get("t", "col11").unwrap();
         assert!(s.covers_rows(&[1, 3]));
@@ -194,7 +247,7 @@ mod tests {
 
     #[test]
     fn merge_accumulates_coverage() {
-        let mut pool = ShredPool::new(1 << 20);
+        let pool = ShredPool::new(1 << 20);
         pool.insert_merge("t", "c", shred(&[1], 10)).unwrap();
         pool.insert_merge("t", "c", shred(&[4, 5], 10)).unwrap();
         let s = pool.get("t", "c").unwrap();
@@ -204,7 +257,7 @@ mod tests {
 
     #[test]
     fn merge_grows_shorter_entry() {
-        let mut pool = ShredPool::new(1 << 20);
+        let pool = ShredPool::new(1 << 20);
         pool.insert_merge("t", "c", shred(&[1], 4)).unwrap();
         pool.insert_merge("t", "c", shred(&[7], 10)).unwrap();
         let s = pool.get("t", "c").unwrap();
@@ -214,7 +267,7 @@ mod tests {
 
     #[test]
     fn get_full_requires_full_coverage() {
-        let mut pool = ShredPool::new(1 << 20);
+        let pool = ShredPool::new(1 << 20);
         pool.insert_merge("t", "c", shred(&[0, 1, 2], 3)).unwrap();
         assert!(pool.get_full("t", "c", 3).is_some());
         assert!(pool.get_full("t", "c", 5).is_none(), "file longer than shred");
@@ -224,7 +277,7 @@ mod tests {
 
     #[test]
     fn full_column_roundtrip() {
-        let mut pool = ShredPool::new(1 << 20);
+        let pool = ShredPool::new(1 << 20);
         pool.insert_full("t", "c", vec![1i64, 2, 3].into()).unwrap();
         let s = pool.get_full("t", "c", 3).unwrap();
         assert_eq!(s.dense().as_i64().unwrap(), &[1, 2, 3]);
@@ -232,8 +285,8 @@ mod tests {
 
     #[test]
     fn lru_eviction_respects_budget() {
-        // Each 100-row i64 shred is ~812 bytes; budget of 2000 holds two.
-        let mut pool = ShredPool::new(2000);
+        // Each 100-row i64 shred is ~813 bytes; budget of 2000 holds two.
+        let pool = ShredPool::new(2000);
         pool.insert_full("t", "a", vec![0i64; 100].into()).unwrap();
         pool.insert_full("t", "b", vec![0i64; 100].into()).unwrap();
         assert_eq!(pool.len(), 2);
@@ -248,8 +301,35 @@ mod tests {
     }
 
     #[test]
+    fn running_total_tracks_map_contents() {
+        let pool = ShredPool::new(1 << 20);
+        assert_eq!(pool.heap_bytes(), 0);
+        pool.insert_merge("t", "a", shred(&[1], 4)).unwrap();
+        let after_insert = pool.heap_bytes();
+        assert!(after_insert > 0);
+        // Merging a longer shred grows the entry; the total follows.
+        pool.insert_merge("t", "a", shred(&[9], 100)).unwrap();
+        let after_merge = pool.heap_bytes();
+        assert!(after_merge > after_insert);
+        // The running total matches a fresh sum over the entries.
+        let summed: usize = pool.entries.read().values().map(|e| e.bytes).sum();
+        assert_eq!(after_merge, summed);
+        pool.clear();
+        assert_eq!(pool.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn mask_bytes_round_up() {
+        // 3 rows => 1 mask byte, not 0; 9 rows => 2, not 1.
+        let s3 = shred(&[0], 3);
+        let s9 = shred(&[0], 9);
+        assert_eq!(shred_bytes(&s3), s3.dense().heap_bytes() + 1);
+        assert_eq!(shred_bytes(&s9), s9.dense().heap_bytes() + 2);
+    }
+
+    #[test]
     fn type_conflict_on_merge_errors() {
-        let mut pool = ShredPool::new(1 << 20);
+        let pool = ShredPool::new(1 << 20);
         pool.insert_full("t", "c", vec![1i64].into()).unwrap();
         let wrong = SparseColumn::full(vec![1.0f64].into());
         assert!(pool.insert_merge("t", "c", wrong).is_err());
@@ -257,7 +337,7 @@ mod tests {
 
     #[test]
     fn clear_empties() {
-        let mut pool = ShredPool::new(1 << 20);
+        let pool = ShredPool::new(1 << 20);
         pool.insert_full("t", "c", vec![1i64].into()).unwrap();
         pool.clear();
         assert!(pool.is_empty());

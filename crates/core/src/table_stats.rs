@@ -178,7 +178,7 @@ fn numeric_values(col: &Column, stride: usize) -> Vec<f64> {
 
 /// Registry of histograms and row counts the engine accumulates across
 /// queries. Keys are `(table, column)` names.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct StatsRegistry {
     histograms: HashMap<(String, String), ColumnHistogram>,
     rows: HashMap<String, u64>,

@@ -23,7 +23,7 @@ fn adaptive_config() -> EngineConfig {
 }
 
 fn engine_with_csv(config: EngineConfig) -> RawEngine {
-    let mut engine = RawEngine::new(config);
+    let engine = RawEngine::new(config);
     let t = datagen::int_table(42, ROWS, COLS);
     let bytes = raw_formats::csv::writer::to_bytes(&t).unwrap();
     engine.files().insert("/virtual/file1.csv", bytes);
@@ -36,7 +36,7 @@ fn engine_with_csv(config: EngineConfig) -> RawEngine {
 }
 
 fn engine_with_join_twin(config: EngineConfig) -> RawEngine {
-    let mut engine = engine_with_csv(config);
+    let engine = engine_with_csv(config);
     let t = datagen::int_table(42, ROWS, COLS);
     let shuffled = datagen::shuffled_copy(&t, 7);
     let bytes = raw_formats::fbin::to_bytes(&shuffled).unwrap();
@@ -62,7 +62,7 @@ fn explain_line(r: &QueryResult, needle: &str) -> Option<String> {
 
 #[test]
 fn statistics_are_harvested_as_side_effects() {
-    let mut engine = engine_with_csv(adaptive_config());
+    let engine = engine_with_csv(adaptive_config());
     assert!(engine.table_stats().is_empty());
 
     let x = datagen::literal_for_selectivity(0.4);
@@ -82,7 +82,7 @@ fn statistics_are_harvested_as_side_effects() {
 
 #[test]
 fn reset_clears_harvested_statistics() {
-    let mut engine = engine_with_csv(adaptive_config());
+    let engine = engine_with_csv(adaptive_config());
     let x = datagen::literal_for_selectivity(0.4);
     engine.query(&format!("SELECT MAX(col1) FROM file1 WHERE col1 < {x}")).unwrap();
     assert!(!engine.table_stats().is_empty());
@@ -93,7 +93,7 @@ fn reset_clears_harvested_statistics() {
 
 #[test]
 fn first_query_has_no_late_path_and_goes_full() {
-    let mut engine = engine_with_csv(adaptive_config());
+    let engine = engine_with_csv(adaptive_config());
     let x = datagen::literal_for_selectivity(0.1);
     // No posmap and no stats yet: CSV shreds are infeasible, so the
     // adaptive choice must be full columns.
@@ -105,7 +105,7 @@ fn first_query_has_no_late_path_and_goes_full() {
 
 #[test]
 fn adaptive_picks_shreds_at_low_selectivity_and_full_at_high() {
-    let mut engine = engine_with_csv(adaptive_config());
+    let engine = engine_with_csv(adaptive_config());
     let warm = datagen::literal_for_selectivity(0.4);
     engine.query(&format!("SELECT MAX(col1) FROM file1 WHERE col1 < {warm}")).unwrap();
 
@@ -118,7 +118,7 @@ fn adaptive_picks_shreds_at_low_selectivity_and_full_at_high() {
 
     // ~100% selectivity: nothing filters, shredding buys nothing (Fig. 5
     // right, converged curves) — the model keeps the full-column plan.
-    let mut engine = engine_with_csv(adaptive_config());
+    let engine = engine_with_csv(adaptive_config());
     engine.query(&format!("SELECT MAX(col1) FROM file1 WHERE col1 < {warm}")).unwrap();
     let high = datagen::literal_for_selectivity(1.0);
     let r = engine.query(&format!("SELECT MAX(col11) FROM file1 WHERE col1 < {high}")).unwrap();
@@ -137,7 +137,7 @@ fn adaptive_answers_match_fixed_strategies() {
         for shreds in
             [ShredStrategy::FullColumns, ShredStrategy::ColumnShreds, ShredStrategy::Adaptive]
         {
-            let mut engine = engine_with_csv(EngineConfig { shreds, ..adaptive_config() });
+            let engine = engine_with_csv(EngineConfig { shreds, ..adaptive_config() });
             let a1 = engine.query(&q1).unwrap().scalar().unwrap();
             let a2 = engine.query(&q2).unwrap().scalar().unwrap();
             answers.push((a1, a2));
@@ -149,7 +149,7 @@ fn adaptive_answers_match_fixed_strategies() {
 
 #[test]
 fn adaptive_join_placement_pipelined_side_goes_late() {
-    let mut engine = engine_with_join_twin(adaptive_config());
+    let engine = engine_with_join_twin(adaptive_config());
     let x = datagen::literal_for_selectivity(0.05);
     // Warm file1 so a positional map exists — without one, CSV late
     // fetches are infeasible and Early is the only correct answer.
@@ -173,7 +173,7 @@ fn adaptive_join_placement_cold_csv_side_goes_early() {
     // On a cold engine the CSV side has no positional map: late fetch is
     // infeasible (infinite cost) and the model must fall back to Early
     // rather than plan an impossible attach.
-    let mut engine = engine_with_join_twin(adaptive_config());
+    let engine = engine_with_join_twin(adaptive_config());
     let x = datagen::literal_for_selectivity(0.05);
     let r = engine
         .query(&format!(
@@ -190,7 +190,7 @@ fn adaptive_join_placement_breaking_side_depends_on_selectivity() {
     // Build side stats come from a DBMS-style warm-up? No — harvest them
     // with a plain scan query on file2 first, then ask the join.
     let run = |sel: f64| -> (String, i64) {
-        let mut engine = engine_with_join_twin(adaptive_config());
+        let engine = engine_with_join_twin(adaptive_config());
         let x = datagen::literal_for_selectivity(sel);
         // Harvest stats for file2.col2 (full scan of the filter column).
         engine.query(&format!("SELECT MAX(col2) FROM file2 WHERE col2 < {x}")).unwrap();
@@ -221,7 +221,7 @@ fn adaptive_join_placement_breaking_side_depends_on_selectivity() {
 
     // Cross-check answers against a fixed-placement engine.
     for (sel, want) in [(0.02, low_val), (0.98, high_val)] {
-        let mut fixed = engine_with_join_twin(EngineConfig {
+        let fixed = engine_with_join_twin(EngineConfig {
             join_placement: JoinPlacement::Early,
             shreds: ShredStrategy::FullColumns,
             ..adaptive_config()
@@ -240,11 +240,11 @@ fn adaptive_join_placement_breaking_side_depends_on_selectivity() {
 #[test]
 fn adaptive_in_non_jit_modes_is_safe() {
     for mode in [AccessMode::Dbms, AccessMode::ExternalTables, AccessMode::InSitu] {
-        let mut engine = engine_with_csv(EngineConfig { mode, ..adaptive_config() });
+        let engine = engine_with_csv(EngineConfig { mode, ..adaptive_config() });
         let x = datagen::literal_for_selectivity(0.3);
         let r = engine.query(&format!("SELECT MAX(col11) FROM file1 WHERE col1 < {x}")).unwrap();
         // Same answer as a JIT adaptive engine.
-        let mut jit = engine_with_csv(adaptive_config());
+        let jit = engine_with_csv(adaptive_config());
         let want = jit.query(&format!("SELECT MAX(col11) FROM file1 WHERE col1 < {x}")).unwrap();
         assert_eq!(scalar_i64(&r), scalar_i64(&want), "{mode:?}");
     }
@@ -261,7 +261,7 @@ fn adaptive_multi_column_conjunctions_match_fixed() {
     for shreds in
         [ShredStrategy::MultiColumnShreds, ShredStrategy::ColumnShreds, ShredStrategy::Adaptive]
     {
-        let mut engine = engine_with_csv(EngineConfig { shreds, ..adaptive_config() });
+        let engine = engine_with_csv(EngineConfig { shreds, ..adaptive_config() });
         engine.query(&warm).unwrap();
         answers.push(engine.query(&q).unwrap().scalar().unwrap());
     }
@@ -271,7 +271,7 @@ fn adaptive_multi_column_conjunctions_match_fixed() {
 
 #[test]
 fn explain_shows_cost_estimates() {
-    let mut engine = engine_with_csv(adaptive_config());
+    let engine = engine_with_csv(adaptive_config());
     let x = datagen::literal_for_selectivity(0.2);
     engine.query(&format!("SELECT MAX(col1) FROM file1 WHERE col1 < {x}")).unwrap();
     let lines = engine.explain(&format!("SELECT MAX(col11) FROM file1 WHERE col1 < {x}")).unwrap();

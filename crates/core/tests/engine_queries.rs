@@ -15,7 +15,7 @@ const COLS: usize = 12;
 
 /// Register the standard synthetic table as a virtual CSV file.
 fn engine_with_csv(config: EngineConfig) -> RawEngine {
-    let mut engine = RawEngine::new(config);
+    let engine = RawEngine::new(config);
     let t = datagen::int_table(42, ROWS, COLS);
     let bytes = raw_formats::csv::writer::to_bytes(&t).unwrap();
     engine.files().insert("/virtual/file1.csv", bytes);
@@ -29,7 +29,7 @@ fn engine_with_csv(config: EngineConfig) -> RawEngine {
 
 /// Register CSV twin + shuffled fbin twin for join tests.
 fn engine_with_twins(config: EngineConfig) -> RawEngine {
-    let mut engine = engine_with_csv(config);
+    let engine = engine_with_csv(config);
     let t = datagen::int_table(42, ROWS, COLS);
     let shuffled = datagen::shuffled_copy(&t, 7);
     let bytes = raw_formats::fbin::to_bytes(&shuffled).unwrap();
@@ -76,7 +76,7 @@ fn all_modes_agree_on_q1_and_q2() {
             ShredStrategy::ColumnShreds,
             ShredStrategy::MultiColumnShreds,
         ] {
-            let mut engine = engine_with_csv(config(mode, shreds));
+            let engine = engine_with_csv(config(mode, shreds));
             let r1 = engine.query(&q1).unwrap();
             assert_eq!(scalar_i64(&r1), expect1, "{mode:?}/{shreds:?} q1");
             let r2 = engine.query(&q2).unwrap();
@@ -94,7 +94,7 @@ fn fbin_modes_agree() {
 
     for mode in [AccessMode::Dbms, AccessMode::InSitu, AccessMode::Jit] {
         for shreds in [ShredStrategy::FullColumns, ShredStrategy::ColumnShreds] {
-            let mut engine = RawEngine::new(config(mode, shreds));
+            let engine = RawEngine::new(config(mode, shreds));
             engine.files().insert("/virtual/t.fbin", bytes.clone());
             engine.register_table(TableDef {
                 name: "t".into(),
@@ -109,14 +109,14 @@ fn fbin_modes_agree() {
 
 #[test]
 fn zero_selectivity_yields_null() {
-    let mut engine = engine_with_csv(EngineConfig::from_env());
+    let engine = engine_with_csv(EngineConfig::from_env());
     let r = engine.query("SELECT MAX(col11) FROM file1 WHERE col1 < 0").unwrap();
     assert_eq!(r.scalar().unwrap(), Value::Utf8("NULL".into()));
 }
 
 #[test]
 fn full_selectivity_reads_everything() {
-    let mut engine = engine_with_csv(EngineConfig::from_env());
+    let engine = engine_with_csv(EngineConfig::from_env());
     let x = datagen::INT_VALUE_RANGE;
     let r = engine.query(&format!("SELECT MAX(col11) FROM file1 WHERE col1 < {x}")).unwrap();
     assert_eq!(scalar_i64(&r), expected_max_where_lt(10, 0, x).unwrap());
@@ -124,7 +124,7 @@ fn full_selectivity_reads_everything() {
 
 #[test]
 fn posmap_is_built_then_used() {
-    let mut engine = engine_with_csv(config(AccessMode::Jit, ShredStrategy::ColumnShreds));
+    let engine = engine_with_csv(config(AccessMode::Jit, ShredStrategy::ColumnShreds));
     assert!(engine.posmap("file1").is_none());
 
     let x = datagen::literal_for_selectivity(0.2);
@@ -143,7 +143,7 @@ fn posmap_is_built_then_used() {
 
 #[test]
 fn shred_pool_serves_second_query() {
-    let mut engine = engine_with_csv(config(AccessMode::Jit, ShredStrategy::ColumnShreds));
+    let engine = engine_with_csv(config(AccessMode::Jit, ShredStrategy::ColumnShreds));
     let x = datagen::literal_for_selectivity(0.3);
     let q = format!("SELECT MAX(col1) FROM file1 WHERE col1 < {x}");
 
@@ -170,7 +170,7 @@ fn column_shreds_touch_fewer_values_at_low_selectivity() {
     let warmup = format!("SELECT MAX(col1) FROM file1 WHERE col1 < {x}");
 
     let run = |shreds: ShredStrategy| -> u64 {
-        let mut engine = engine_with_csv(EngineConfig {
+        let engine = engine_with_csv(EngineConfig {
             mode: AccessMode::Jit,
             shreds,
             // Cache only positions, not data, so Q2's reads are measurable.
@@ -200,7 +200,7 @@ fn join_all_placements_agree_csv_fbin() {
     );
     let mut reference: Option<i64> = None;
     for placement in [JoinPlacement::Early, JoinPlacement::Intermediate, JoinPlacement::Late] {
-        let mut engine = engine_with_twins(EngineConfig {
+        let engine = engine_with_twins(EngineConfig {
             mode: AccessMode::Jit,
             shreds: ShredStrategy::ColumnShreds,
             join_placement: placement,
@@ -217,7 +217,7 @@ fn join_all_placements_agree_csv_fbin() {
         }
     }
     // Cross-check against DBMS mode.
-    let mut engine = engine_with_twins(config(AccessMode::Dbms, ShredStrategy::FullColumns));
+    let engine = engine_with_twins(config(AccessMode::Dbms, ShredStrategy::FullColumns));
     let r = engine.query(&q).unwrap();
     assert_eq!(scalar_i64(&r), reference.unwrap());
 }
@@ -231,7 +231,7 @@ fn join_projected_column_from_build_side() {
     );
     let mut results = Vec::new();
     for placement in [JoinPlacement::Early, JoinPlacement::Intermediate, JoinPlacement::Late] {
-        let mut engine = engine_with_twins(EngineConfig {
+        let engine = engine_with_twins(EngineConfig {
             join_placement: placement,
             ..EngineConfig::from_env()
         });
@@ -242,7 +242,7 @@ fn join_projected_column_from_build_side() {
 
 #[test]
 fn multiple_aggregates_single_pass() {
-    let mut engine = engine_with_csv(EngineConfig::from_env());
+    let engine = engine_with_csv(EngineConfig::from_env());
     let x = datagen::literal_for_selectivity(0.6);
     let r = engine
         .query(&format!(
@@ -262,7 +262,7 @@ fn multiple_aggregates_single_pass() {
 
 #[test]
 fn bare_projection() {
-    let mut engine = engine_with_csv(EngineConfig::from_env());
+    let engine = engine_with_csv(EngineConfig::from_env());
     let r = engine.query("SELECT col1, col2 FROM file1 WHERE col1 < 50000000").unwrap();
     assert_eq!(r.batch.num_columns(), 2);
     assert_eq!(r.column_names, vec!["col1", "col2"]);
@@ -292,7 +292,7 @@ fn speculative_multi_column_shreds_two_predicates() {
     for shreds in
         [ShredStrategy::FullColumns, ShredStrategy::ColumnShreds, ShredStrategy::MultiColumnShreds]
     {
-        let mut engine = engine_with_csv(config(AccessMode::Jit, shreds));
+        let engine = engine_with_csv(config(AccessMode::Jit, shreds));
         // First query builds the positional map.
         engine.query(&format!("SELECT MAX(col1) FROM file1 WHERE col1 < {x}")).unwrap();
         let r = engine.query(&q).unwrap();
@@ -302,7 +302,7 @@ fn speculative_multi_column_shreds_two_predicates() {
 
 #[test]
 fn posmap_stride7_nearest_navigation() {
-    let mut engine = engine_with_csv(EngineConfig {
+    let engine = engine_with_csv(EngineConfig {
         posmap_policy: TrackingPolicy::EveryK { stride: 7 },
         ..EngineConfig::from_env()
     });
@@ -323,7 +323,7 @@ fn cold_vs_warm_io_accounting() {
     let path = std::env::temp_dir().join(format!("raw_engine_io_{}.csv", std::process::id()));
     raw_formats::csv::writer::write_file(&t, &path).unwrap();
 
-    let mut engine = RawEngine::new(EngineConfig::from_env());
+    let engine = RawEngine::new(EngineConfig::from_env());
     engine.register_table(TableDef {
         name: "t".into(),
         schema: Schema::uniform(4, DataType::Int64),
@@ -344,7 +344,7 @@ fn cold_vs_warm_io_accounting() {
 fn template_cache_hits_on_repeat() {
     // Disable shred caching so repeat queries actually hit the raw file
     // (with caching on, the pool serves repeats and no template is needed).
-    let mut engine = engine_with_csv(EngineConfig {
+    let engine = engine_with_csv(EngineConfig {
         mode: AccessMode::Jit,
         shreds: ShredStrategy::FullColumns,
         cache_shreds: false,
@@ -365,7 +365,7 @@ fn template_cache_hits_on_repeat() {
 
 #[test]
 fn reset_adaptive_state_forgets_everything() {
-    let mut engine = engine_with_csv(EngineConfig::from_env());
+    let engine = engine_with_csv(EngineConfig::from_env());
     engine.query("SELECT MAX(col1) FROM file1 WHERE col1 < 400000000").unwrap();
     assert!(engine.posmap("file1").is_some());
     engine.reset_adaptive_state();
@@ -376,7 +376,7 @@ fn reset_adaptive_state_forgets_everything() {
 
 #[test]
 fn explain_describes_plan() {
-    let mut engine = engine_with_csv(EngineConfig::from_env());
+    let engine = engine_with_csv(EngineConfig::from_env());
     let lines =
         engine.query("SELECT MAX(col11) FROM file1 WHERE col1 < 1000").unwrap().stats.explain;
     let text = lines.join("\n");
@@ -387,13 +387,13 @@ fn explain_describes_plan() {
 
 #[test]
 fn errors_are_clean() {
-    let mut engine = engine_with_csv(EngineConfig::from_env());
+    let engine = engine_with_csv(EngineConfig::from_env());
     assert!(engine.query("SELECT MAX(colX) FROM file1").is_err());
     assert!(engine.query("SELECT MAX(col1) FROM nope").is_err());
     assert!(engine.query("not sql at all").is_err());
 
     // Malformed file contents: error, not panic.
-    let mut engine = RawEngine::new(EngineConfig::from_env());
+    let engine = RawEngine::new(EngineConfig::from_env());
     engine.files().insert("/virtual/bad.csv", b"1,notanint\n".to_vec());
     engine.register_table(TableDef {
         name: "bad".into(),
@@ -406,7 +406,7 @@ fn errors_are_clean() {
 
 #[test]
 fn simulated_compile_latency_charged_once() {
-    let mut engine = engine_with_csv(EngineConfig {
+    let engine = engine_with_csv(EngineConfig {
         simulated_compile_latency: std::time::Duration::from_millis(30),
         ..EngineConfig::from_env()
     });

@@ -66,7 +66,7 @@ fn empty_csv_file_aggregates_to_null() {
 
 #[test]
 fn missing_file_is_an_error_not_a_panic() {
-    let mut e = engine(EngineConfig::default());
+    let e = engine(EngineConfig::default());
     e.register_table(TableDef {
         name: "ghost".into(),
         schema: Schema::uniform(2, DataType::Int64),
@@ -82,7 +82,7 @@ fn truncated_fbin_errors_in_every_mode() {
     let mut bytes = raw_formats::fbin::to_bytes(&t).unwrap();
     bytes.truncate(bytes.len() - 7);
     for mode in [AccessMode::Dbms, AccessMode::InSitu, AccessMode::Jit] {
-        let mut e = engine(EngineConfig { mode, ..EngineConfig::default() });
+        let e = engine(EngineConfig { mode, ..EngineConfig::default() });
         e.files().insert("/virtual/t.fbin", bytes.clone());
         e.register_table(TableDef {
             name: "t".into(),
@@ -99,7 +99,7 @@ fn truncated_ibin_index_section_errors() {
     let mut bytes = raw_formats::ibin::to_bytes_with(&t, 8, None).unwrap();
     bytes.truncate(bytes.len() - 1); // clip the last zone entry
     for mode in [AccessMode::Dbms, AccessMode::InSitu, AccessMode::Jit] {
-        let mut e = engine(EngineConfig { mode, ..EngineConfig::default() });
+        let e = engine(EngineConfig { mode, ..EngineConfig::default() });
         e.files().insert("/virtual/t.ibin", bytes.clone());
         e.register_table(TableDef {
             name: "t".into(),
@@ -114,7 +114,7 @@ fn truncated_ibin_index_section_errors() {
 fn fbin_schema_type_mismatch_rejected() {
     let t = datagen::int_table(5, 10, 3); // three Int64 columns on disk
     let bytes = raw_formats::fbin::to_bytes(&t).unwrap();
-    let mut e = engine(EngineConfig::default());
+    let e = engine(EngineConfig::default());
     e.files().insert("/virtual/t.fbin", bytes);
     e.register_table(TableDef {
         name: "t".into(),
@@ -126,7 +126,7 @@ fn fbin_schema_type_mismatch_rejected() {
 
 #[test]
 fn wrong_magic_rejected_for_binary_formats() {
-    let mut e = engine(EngineConfig::default());
+    let e = engine(EngineConfig::default());
     e.files().insert("/virtual/a.fbin", b"NOTMAGIC________".to_vec());
     e.files().insert("/virtual/b.ibin", b"NOTMAGIC________".to_vec());
     e.register_table(TableDef {

@@ -28,7 +28,7 @@ fn sales_table() -> MemTable {
 }
 
 fn engine_with_sales(config: EngineConfig, fbin: bool) -> RawEngine {
-    let mut engine = RawEngine::new(config);
+    let engine = RawEngine::new(config);
     let t = sales_table();
     let (path, source, bytes) = if fbin {
         let p = "/virtual/sales.fbin";
@@ -83,8 +83,7 @@ fn group_by_agrees_across_modes_and_formats() {
         for mode in
             [AccessMode::Dbms, AccessMode::ExternalTables, AccessMode::InSitu, AccessMode::Jit]
         {
-            let mut engine =
-                engine_with_sales(EngineConfig { mode, ..EngineConfig::from_env() }, fbin);
+            let engine = engine_with_sales(EngineConfig { mode, ..EngineConfig::from_env() }, fbin);
             let r = engine.query(Q).unwrap();
             check_against_reference(&r, &expect);
             assert_eq!(
@@ -104,7 +103,7 @@ fn group_by_composes_with_filters_and_shreds() {
         ShredStrategy::MultiColumnShreds,
         ShredStrategy::Adaptive,
     ] {
-        let mut engine = engine_with_sales(
+        let engine = engine_with_sales(
             EngineConfig { mode: AccessMode::Jit, shreds, ..EngineConfig::from_env() },
             false,
         );
@@ -122,7 +121,7 @@ fn group_by_composes_with_filters_and_shreds() {
 
 #[test]
 fn aggregate_only_select_list_still_groups() {
-    let mut engine = engine_with_sales(EngineConfig::from_env(), false);
+    let engine = engine_with_sales(EngineConfig::from_env(), false);
     let r = engine.query("SELECT COUNT(quantity) FROM sales GROUP BY region").unwrap();
     let expect = reference(None);
     assert_eq!(r.batch.rows(), expect.len());
@@ -134,7 +133,7 @@ fn aggregate_only_select_list_still_groups() {
 
 #[test]
 fn select_order_is_respected() {
-    let mut engine = engine_with_sales(EngineConfig::from_env(), false);
+    let engine = engine_with_sales(EngineConfig::from_env(), false);
     let r = engine
         .query("SELECT COUNT(quantity), region, SUM(quantity) FROM sales GROUP BY region")
         .unwrap();
@@ -149,7 +148,7 @@ fn select_order_is_respected() {
 #[test]
 fn group_by_over_join() {
     // Join sales with a region-dimension file, group by the key.
-    let mut engine = engine_with_sales(EngineConfig::from_env(), false);
+    let engine = engine_with_sales(EngineConfig::from_env(), false);
     let dim = MemTable::new(
         Schema::new(vec![
             Field::new("region", DataType::Int64),
@@ -186,7 +185,7 @@ fn group_by_over_join() {
 
 #[test]
 fn empty_group_by_result_has_zero_rows() {
-    let mut engine = engine_with_sales(EngineConfig::from_env(), false);
+    let engine = engine_with_sales(EngineConfig::from_env(), false);
     let r = engine
         .query("SELECT region, COUNT(quantity) FROM sales WHERE quantity < -1 GROUP BY region")
         .unwrap();
@@ -195,7 +194,7 @@ fn empty_group_by_result_has_zero_rows() {
 
 #[test]
 fn grouping_rules_enforced() {
-    let mut engine = engine_with_sales(EngineConfig::from_env(), false);
+    let engine = engine_with_sales(EngineConfig::from_env(), false);
     // Bare column that is not the key.
     let err = engine.query("SELECT price, COUNT(quantity) FROM sales GROUP BY region").unwrap_err();
     assert!(err.to_string().contains("GROUP BY"), "{err}");
@@ -221,7 +220,7 @@ fn env_forced_parallelism_engages_parallel_path() {
     // Robust to the job forgetting RAW_MORSEL_BYTES: the sales file is
     // ~10 KiB, so cap the morsel size to guarantee a multi-morsel grid.
     config.morsel_bytes = config.morsel_bytes.min(2 << 10);
-    let mut engine = engine_with_sales(config, false);
+    let engine = engine_with_sales(config, false);
     let r = engine.query(Q).unwrap();
     assert!(
         r.stats.explain.iter().any(|l| l.contains("parallel:")),

@@ -26,7 +26,7 @@ fn table(sorted: bool) -> raw_columnar::MemTable {
 }
 
 fn engine_with_ibin(config: EngineConfig, sorted: bool) -> RawEngine {
-    let mut engine = RawEngine::new(config);
+    let engine = RawEngine::new(config);
     let t = table(sorted);
     let bytes = raw_formats::ibin::to_bytes_with(&t, PAGE, sorted.then_some(0)).unwrap();
     engine.files().insert("/virtual/t.ibin", bytes);
@@ -62,7 +62,7 @@ fn all_modes_agree_on_ibin() {
                 [AccessMode::Dbms, AccessMode::ExternalTables, AccessMode::InSitu, AccessMode::Jit]
             {
                 for shreds in [ShredStrategy::FullColumns, ShredStrategy::ColumnShreds] {
-                    let mut engine = engine_with_ibin(
+                    let engine = engine_with_ibin(
                         EngineConfig { mode, shreds, ..EngineConfig::from_env() },
                         sorted,
                     );
@@ -84,7 +84,7 @@ fn jit_prunes_sorted_files_and_insitu_does_not() {
     let x = datagen::literal_for_selectivity(0.1);
     let q = format!("SELECT MAX(col5) FROM t WHERE col1 < {x}");
 
-    let mut jit =
+    let jit =
         engine_with_ibin(EngineConfig { mode: AccessMode::Jit, ..EngineConfig::from_env() }, true);
     let r = jit.query(&q).unwrap();
     assert!(
@@ -96,7 +96,7 @@ fn jit_prunes_sorted_files_and_insitu_does_not() {
     let note = r.stats.explain.iter().find(|l| l.contains("ibin jit")).expect("jit scan note");
     assert!(note.contains("index pruned"), "{note}");
 
-    let mut insitu = engine_with_ibin(
+    let insitu = engine_with_ibin(
         EngineConfig { mode: AccessMode::InSitu, ..EngineConfig::from_env() },
         true,
     );
@@ -110,7 +110,7 @@ fn unsorted_zone_maps_still_prune_conservatively() {
     // Uniform random data rarely lets zone maps prune (every page spans
     // most of the domain) — but correctness must hold regardless, and an
     // impossible predicate must prune everything.
-    let mut jit =
+    let jit =
         engine_with_ibin(EngineConfig { mode: AccessMode::Jit, ..EngineConfig::from_env() }, false);
     let r = jit.query("SELECT COUNT(col1) FROM t WHERE col1 < -5").unwrap();
     assert_eq!(scalar_i64(&r), 0);
@@ -134,7 +134,7 @@ fn conjunctive_predicates_prune_and_answer_correctly() {
         .max()
         .unwrap();
 
-    let mut engine =
+    let engine =
         engine_with_ibin(EngineConfig { mode: AccessMode::Jit, ..EngineConfig::from_env() }, true);
     let r = engine
         .query(&format!("SELECT MAX(col5) FROM t WHERE col1 < {x1} AND col3 < {x2}"))
@@ -148,7 +148,7 @@ fn pruned_prefix_shreds_never_masquerade_as_full_columns() {
     // Regression: Q1's pruned scan records only a prefix of col1. The pool
     // must treat that shred as *partial* — a widening Q2 must go back to
     // the file (or fall back through the pool) and still see all 800 rows.
-    let mut engine =
+    let engine =
         engine_with_ibin(EngineConfig { mode: AccessMode::Jit, ..EngineConfig::from_env() }, true);
     let x1 = datagen::literal_for_selectivity(0.1);
     let x2 = datagen::literal_for_selectivity(0.9);
@@ -162,7 +162,7 @@ fn pruned_prefix_shreds_never_masquerade_as_full_columns() {
 fn template_cache_distinguishes_predicates() {
     // Full columns keeps the bottom scan shape identical across queries,
     // isolating the template-cache keying on pruning predicates.
-    let mut engine = engine_with_ibin(
+    let engine = engine_with_ibin(
         EngineConfig {
             mode: AccessMode::Jit,
             shreds: ShredStrategy::FullColumns,
@@ -186,7 +186,7 @@ fn template_cache_distinguishes_predicates() {
 #[test]
 fn column_shreds_work_over_ibin() {
     let x = datagen::literal_for_selectivity(0.1);
-    let mut engine = engine_with_ibin(
+    let engine = engine_with_ibin(
         EngineConfig {
             mode: AccessMode::Jit,
             shreds: ShredStrategy::ColumnShreds,
@@ -207,7 +207,7 @@ fn column_shreds_work_over_ibin() {
 #[test]
 fn adaptive_strategy_works_over_ibin() {
     let x = datagen::literal_for_selectivity(0.05);
-    let mut engine = engine_with_ibin(
+    let engine = engine_with_ibin(
         EngineConfig {
             mode: AccessMode::Jit,
             shreds: ShredStrategy::Adaptive,
@@ -226,7 +226,7 @@ fn adaptive_strategy_works_over_ibin() {
 
 #[test]
 fn corrupt_ibin_file_yields_error_not_panic() {
-    let mut engine = RawEngine::new(EngineConfig::default());
+    let engine = RawEngine::new(EngineConfig::default());
     engine.files().insert("/virtual/bad.ibin", b"RAWIBIN1garbage".to_vec());
     engine.register_table(TableDef {
         name: "bad".into(),
@@ -239,7 +239,7 @@ fn corrupt_ibin_file_yields_error_not_panic() {
 #[test]
 fn ibin_joins_with_csv() {
     // Heterogeneous join: indexed binary ⋈ CSV, both raw.
-    let mut engine =
+    let engine =
         engine_with_ibin(EngineConfig { mode: AccessMode::Jit, ..EngineConfig::from_env() }, true);
     let csv_table = datagen::int_table(77, ROWS, COLS); // same data, unsorted
     let bytes = raw_formats::csv::writer::to_bytes(&csv_table).unwrap();

@@ -17,7 +17,7 @@ fn engine_for(
     stride: usize,
     fbin: bool,
 ) -> RawEngine {
-    let mut engine = RawEngine::new(EngineConfig {
+    let engine = RawEngine::new(EngineConfig {
         mode,
         shreds,
         posmap_policy: TrackingPolicy::EveryK { stride },
@@ -176,7 +176,7 @@ proptest! {
             if fbin && mode == AccessMode::ExternalTables {
                 // fine, supported — keep
             }
-            let mut engine = engine_for(&bytes, cols, mode, shreds, stride, fbin);
+            let engine = engine_for(&bytes, cols, mode, shreds, stride, fbin);
             // The whole *sequence* runs on one engine so positional maps and
             // shreds built by earlier queries serve later ones.
             for (qi, &(agg, pred, x)) in queries.iter().enumerate() {
@@ -246,7 +246,7 @@ proptest! {
             (AccessMode::Jit, ShredStrategy::Adaptive),
         ];
         for (mode, shreds) in configs {
-            let mut engine = RawEngine::new(EngineConfig {
+            let engine = RawEngine::new(EngineConfig {
                 mode,
                 shreds,
                 batch_size: 64,
@@ -302,7 +302,7 @@ proptest! {
             ShredStrategy::MultiColumnShreds,
             ShredStrategy::Adaptive,
         ] {
-            let mut engine = engine_for(&bytes, cols, AccessMode::Jit, shreds, 3, false);
+            let engine = engine_for(&bytes, cols, AccessMode::Jit, shreds, 3, false);
             // Warm-up builds the positional map so shreds can fetch late.
             engine.query(&format!("SELECT MAX(col1) FROM t WHERE col1 < {l1}")).unwrap();
             let r = engine.query(&sql).unwrap();

@@ -31,6 +31,7 @@ use raw_columnar::profile::{PhaseProfile, ScanMetrics};
 use raw_columnar::{Batch, ColumnarError};
 use raw_trace::{merge_worker_sinks, MorselTrace};
 
+use crate::global::GlobalPool;
 use crate::pool::{run_jobs_traced_ordered, JobCtx};
 
 /// An availability gate for one morsel: blocks until the morsel's inputs
@@ -135,11 +136,51 @@ pub fn execute_morsels_when(
 /// and heavy-first claiming would park workers on nearly the whole file.
 pub fn execute_morsels_scheduled(
     pipelines: Vec<Box<dyn Operator>>,
-    mut gates: Vec<Option<MorselGate>>,
+    gates: Vec<Option<MorselGate>>,
     merge: &MergePlan,
     threads: usize,
     weights: Option<&[u64]>,
 ) -> Result<ParallelOutcome, ColumnarError> {
+    let morsels = pipelines.len();
+    let (jobs, claim) = morsel_jobs(pipelines, gates, merge, weights);
+    let (results, sinks) = run_jobs_traced_ordered(jobs, threads, claim);
+    merge_outcome(merge, results, sinks, morsels)
+}
+
+/// [`execute_morsels_scheduled`] on an engine-global [`GlobalPool`] instead
+/// of a per-query scoped pool: the batch passes the pool's admission door,
+/// its morsels interleave fairly with other active queries' morsels, and
+/// the long-lived workers drain them. The morsel grid, claim order, merge
+/// order, and therefore every result and counter are identical to the
+/// scoped path — only *which thread* runs a morsel *when* changes.
+pub fn execute_morsels_pooled(
+    pool: &GlobalPool,
+    pipelines: Vec<Box<dyn Operator>>,
+    gates: Vec<Option<MorselGate>>,
+    merge: &MergePlan,
+    weights: Option<&[u64]>,
+) -> Result<ParallelOutcome, ColumnarError> {
+    let morsels = pipelines.len();
+    let (jobs, claim) = morsel_jobs(pipelines, gates, merge, weights);
+    let (results, sinks) = pool.run_on(jobs, claim);
+    merge_outcome(merge, results, sinks, morsels)
+}
+
+/// Build one `(admit, drain)` job per morsel plus the optional heavy-first
+/// claim order — shared by the scoped and global execution paths.
+#[allow(clippy::type_complexity)]
+fn morsel_jobs(
+    pipelines: Vec<Box<dyn Operator>>,
+    mut gates: Vec<Option<MorselGate>>,
+    merge: &MergePlan,
+    weights: Option<&[u64]>,
+) -> (
+    Vec<(
+        impl FnOnce() -> Result<(), MorselResult> + Send + 'static,
+        impl for<'s> FnOnce(JobCtx<'s, MorselTrace>) -> MorselResult + Send + 'static,
+    )>,
+    Option<Vec<usize>>,
+) {
     let morsels = pipelines.len();
     gates.resize_with(morsels, || None);
     let ungated = gates.iter().all(Option::is_none);
@@ -213,8 +254,18 @@ pub fn execute_morsels_scheduled(
             (admit, drain)
         })
         .collect();
+    (jobs, claim)
+}
 
-    let (results, sinks) = run_jobs_traced_ordered(jobs, threads, claim);
+/// Merge per-morsel results and per-worker trace sinks into the final
+/// [`ParallelOutcome`] — in morsel order, first error wins. Shared by the
+/// scoped and global execution paths.
+fn merge_outcome(
+    merge: &MergePlan,
+    results: Vec<MorselResult>,
+    sinks: Vec<Vec<MorselTrace>>,
+    morsels: usize,
+) -> Result<ParallelOutcome, ColumnarError> {
     let traces = merge_worker_sinks(sinks);
     #[cfg(feature = "checked")]
     validate_merged_traces(&traces, morsels, results.iter().all(Result::is_ok));
@@ -468,6 +519,51 @@ mod tests {
         let out = execute_morsels(pipelines, &MergePlan::Aggregate(exprs), 2).unwrap();
         let rows: Vec<u64> = out.traces.iter().map(|t| t.rows_out).collect();
         assert_eq!(rows, vec![3, 2]);
+    }
+
+    #[test]
+    fn pooled_execution_matches_scoped() {
+        let pool = GlobalPool::new(2, 0);
+        let make = || -> Vec<Box<dyn Operator>> {
+            vec![source(&[1, 2, 3, 4]), source(&[5]), source(&[6, 7])]
+        };
+        let weights = [4u64, 1, 2];
+        let scoped =
+            execute_morsels_scheduled(make(), Vec::new(), &MergePlan::Concat, 2, Some(&weights))
+                .unwrap();
+        let pooled =
+            execute_morsels_pooled(&pool, make(), Vec::new(), &MergePlan::Concat, Some(&weights))
+                .unwrap();
+        let a = Batch::concat(&scoped.batches).unwrap();
+        let b = Batch::concat(&pooled.batches).unwrap();
+        assert_eq!(a.column(0).unwrap().as_i64().unwrap(), b.column(0).unwrap().as_i64().unwrap());
+        assert_eq!(pooled.morsels, 3);
+        assert_eq!(pooled.traces.iter().map(|t| t.morsel).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(pooled.traces.iter().map(|t| t.rows_out).collect::<Vec<_>>(), vec![4, 1, 2]);
+
+        let exprs = vec![AggExpr { kind: AggKind::Sum, col: 0 }];
+        let agg =
+            execute_morsels_pooled(&pool, make(), Vec::new(), &MergePlan::Aggregate(exprs), None)
+                .unwrap();
+        assert_eq!(agg.batches[0].value(0, 0).unwrap(), Value::Int64(28));
+    }
+
+    #[test]
+    fn pooled_first_morsel_error_wins() {
+        struct Boom;
+        impl Operator for Boom {
+            fn next_batch(&mut self) -> Result<Option<Batch>, ColumnarError> {
+                Err(ColumnarError::External { message: "pooled boom".into() })
+            }
+            fn name(&self) -> &'static str {
+                "Boom"
+            }
+        }
+        let pool = GlobalPool::new(2, 0);
+        let pipelines: Vec<Box<dyn Operator>> = vec![source(&[1]), Box::new(Boom)];
+        let err = execute_morsels_pooled(&pool, pipelines, Vec::new(), &MergePlan::Concat, None)
+            .unwrap_err();
+        assert!(err.to_string().contains("pooled boom"));
     }
 
     #[test]

@@ -1,0 +1,529 @@
+//! The engine-global worker pool: long-lived workers, per-query admission,
+//! fair round-robin morsel scheduling.
+//!
+//! The scoped pool in [`crate::pool`] spawns workers per batch and joins
+//! them at the end — exactly right for a single-driver engine, but with many
+//! sessions sharing one engine it would oversubscribe the machine (every
+//! concurrent query spawning `parallelism` threads) and, worse, let a big
+//! cold scan monopolize the CPUs while a small warm query sits behind it.
+//! [`GlobalPool`] fixes both:
+//!
+//! - **One set of workers**, spawned once and shared by every query.
+//! - **Admission**: at most `max_active` batches execute at once (0 =
+//!   unlimited); excess submitters queue FIFO at the door. Admission is per
+//!   *query* (batch), never per morsel — an admitted batch always finishes.
+//! - **Fair scheduling**: active batches sit in a round-robin ring. A worker
+//!   claims *one* morsel from the front batch, then the batch rotates to the
+//!   back — so `k` concurrent batches each receive ~`1/k` of the workers'
+//!   attention regardless of batch size, and a 1000-morsel cold scan cannot
+//!   starve a 4-morsel warm query (fairness invariant, CONCURRENCY.md
+//!   § "Sessions and the shared cache layer").
+//!
+//! Within a batch, morsels are claimed in the submitter's `claim` order
+//! (e.g. longest-processing-time-first), preserving the scoped pool's
+//! skew-resistant dispatch. Results land in per-morsel slots and sinks in
+//! per-worker slots, so output order — and therefore every downstream
+//! merge — is identical to the scoped pool's, independent of scheduling.
+//!
+//! ## Synchronization
+//!
+//! One mutex guards the scheduler state (ring + admission counts); workers
+//! sleep on a condvar when the ring is empty and submitters sleep on a
+//! second condvar when admission is full. Each batch carries a completion
+//! latch (mutex + condvar): workers decrement after writing a result slot,
+//! the submitter wakes at zero. Result slots are mutexes, so the completed
+//! write happens-before the submitter's read (lock-edge publication; no
+//! `SeqCst` anywhere, per the L1 rule). The scheduler lock is never held
+//! while a morsel runs.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::pool::JobCtx;
+
+/// A unit of claimed work: runs one morsel on the given worker index.
+type Thunk = Box<dyn FnOnce(usize) + Send>;
+
+/// One submitted batch: its thunks plus the claim order to hand them out in.
+struct BatchCore {
+    /// One slot per morsel; a worker takes the thunk when it claims the slot.
+    thunks: Vec<Mutex<Option<Thunk>>>,
+    /// Permutation of `0..thunks.len()`: the order slots are claimed in.
+    claim: Vec<usize>,
+}
+
+/// A batch in the round-robin ring, with its claim progress. `next` is only
+/// touched under the scheduler lock.
+struct ActiveBatch {
+    core: Arc<BatchCore>,
+    next: usize,
+}
+
+/// Scheduler state: the fair ring plus admission accounting.
+struct State {
+    /// Batches with unclaimed morsels, in round-robin order.
+    ring: VecDeque<ActiveBatch>,
+    /// Batches admitted and not yet complete (includes fully-claimed ones).
+    active: usize,
+    /// Pool is shutting down; workers exit, waiters return.
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Workers wait here for ring work.
+    work_cv: Condvar,
+    /// Submitters wait here for an admission slot.
+    admit_cv: Condvar,
+}
+
+/// The global worker pool. Construct once per engine, share via `Arc`, and
+/// submit batches with [`GlobalPool::run_on`]. Dropping the pool shuts the
+/// workers down and joins them (callers must not be mid-batch; engine `Arc`
+/// ownership guarantees this).
+pub struct GlobalPool {
+    inner: Arc<Inner>,
+    threads: usize,
+    max_active: usize,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for GlobalPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalPool")
+            .field("threads", &self.threads)
+            .field("max_active", &self.max_active)
+            .finish()
+    }
+}
+
+impl GlobalPool {
+    /// Spawn `threads` long-lived workers (min 1). `max_active` caps the
+    /// number of concurrently executing batches; 0 means unlimited.
+    pub fn new(threads: usize, max_active: usize) -> GlobalPool {
+        let threads = threads.max(1);
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State { ring: VecDeque::new(), active: 0, shutdown: false }),
+            work_cv: Condvar::new(),
+            admit_cv: Condvar::new(),
+        });
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let inner = Arc::clone(&inner);
+            handles.push(std::thread::spawn(move || worker_loop(&inner, worker)));
+        }
+        GlobalPool { inner, threads, max_active, handles: Mutex::new(handles) }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Admission cap this pool was built with (0 = unlimited).
+    pub fn max_active(&self) -> usize {
+        self.max_active
+    }
+
+    /// Run a batch of `(gate, job)` pairs to completion and return
+    /// `(results-by-job-index, sinks-by-worker)` — the same contract as
+    /// [`crate::pool::run_jobs_traced_ordered`], but on the shared workers:
+    /// the caller blocks at the admission door if `max_active` batches are
+    /// already running, then blocks on the batch's completion latch while
+    /// the pool interleaves its morsels fairly with other active batches.
+    ///
+    /// `claim`, when given, must be a permutation of `0..jobs.len()` and
+    /// fixes the order slots are claimed in *within this batch*.
+    pub fn run_on<T, E, G, F>(
+        &self,
+        jobs: Vec<(G, F)>,
+        claim: Option<Vec<usize>>,
+    ) -> (Vec<T>, Vec<Vec<E>>)
+    where
+        T: Send + 'static,
+        E: Send + 'static,
+        G: FnOnce() -> Result<(), T> + Send + 'static,
+        F: for<'s> FnOnce(JobCtx<'s, E>) -> T + Send + 'static,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return (Vec::new(), (0..self.threads).map(|_| Vec::new()).collect());
+        }
+        let claim = claim.unwrap_or_else(|| (0..n).collect());
+        assert!(claim.len() == n, "claim order must cover every job");
+        {
+            let mut seen = vec![false; n];
+            for &c in &claim {
+                assert!(c < n && !seen[c], "claim order must be a permutation");
+                seen[c] = true;
+            }
+        }
+
+        let results: Arc<Vec<Mutex<Option<T>>>> =
+            Arc::new((0..n).map(|_| Mutex::new(None)).collect());
+        let sinks: Arc<Vec<Mutex<Vec<E>>>> =
+            Arc::new((0..self.threads).map(|_| Mutex::new(Vec::new())).collect());
+        // Completion latch: (remaining, batch done) — submitter sleeps on
+        // the condvar until remaining hits zero.
+        let latch: Arc<(Mutex<usize>, Condvar)> = Arc::new((Mutex::new(n), Condvar::new()));
+
+        let mut thunks = Vec::with_capacity(n);
+        for (i, (gate, job)) in jobs.into_iter().enumerate() {
+            let results = Arc::clone(&results);
+            let sinks = Arc::clone(&sinks);
+            let latch = Arc::clone(&latch);
+            let thunk: Thunk = Box::new(move |worker| {
+                let wait_start = Instant::now();
+                let out = match gate() {
+                    Ok(()) => {
+                        let gate_wait = wait_start.elapsed();
+                        let mut sink = sinks[worker].lock();
+                        job(JobCtx { worker, gate_wait, sink: &mut sink })
+                    }
+                    Err(err) => err,
+                };
+                *results[i].lock() = Some(out);
+                let mut remaining = latch.0.lock();
+                *remaining -= 1;
+                if *remaining == 0 {
+                    latch.1.notify_all();
+                }
+            });
+            thunks.push(Mutex::new(Some(thunk)));
+        }
+        let core = Arc::new(BatchCore { thunks, claim });
+
+        // Admission: FIFO at the door (parking_lot condvars wake waiters in
+        // FIFO order), at most `max_active` batches in flight.
+        {
+            let mut st = self.inner.state.lock();
+            while self.max_active > 0 && st.active >= self.max_active && !st.shutdown {
+                self.inner.admit_cv.wait(&mut st);
+            }
+            st.active += 1;
+            st.ring.push_back(ActiveBatch { core, next: 0 });
+            drop(st);
+            self.inner.work_cv.notify_all();
+        }
+
+        // Block on the completion latch.
+        {
+            let mut remaining = latch.0.lock();
+            while *remaining > 0 {
+                latch.1.wait(&mut remaining);
+            }
+        }
+
+        // Retire the batch: free its admission slot, wake one queued
+        // submitter.
+        {
+            let mut st = self.inner.state.lock();
+            st.active -= 1;
+            drop(st);
+            self.inner.admit_cv.notify_one();
+        }
+
+        let results = results
+            .iter()
+            .map(|slot| {
+                let Some(out) = slot.lock().take() else {
+                    unreachable!("completed batch has a result per job")
+                };
+                out
+            })
+            .collect();
+        let sinks = sinks.iter().map(|s| std::mem::take(&mut *s.lock())).collect();
+        (results, sinks)
+    }
+}
+
+impl Drop for GlobalPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock();
+            st.shutdown = true;
+        }
+        self.inner.work_cv.notify_all();
+        self.inner.admit_cv.notify_all();
+        for handle in self.handles.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Claim the next morsel fairly: take one from the front batch, rotate the
+/// batch to the back if it has more. Called under the scheduler lock.
+fn next_claim(st: &mut State) -> Option<(Arc<BatchCore>, usize)> {
+    while let Some(mut ab) = st.ring.pop_front() {
+        if ab.next < ab.core.claim.len() {
+            let slot = ab.core.claim[ab.next];
+            ab.next += 1;
+            let core = Arc::clone(&ab.core);
+            if ab.next < ab.core.claim.len() {
+                st.ring.push_back(ab);
+            }
+            return Some((core, slot));
+        }
+        // Fully claimed: drop it from the ring (completion is tracked by
+        // the batch latch, not the ring).
+    }
+    None
+}
+
+fn worker_loop(inner: &Inner, worker: usize) {
+    loop {
+        let claimed = {
+            let mut st = inner.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(claimed) = next_claim(&mut st) {
+                    break claimed;
+                }
+                inner.work_cv.wait(&mut st);
+            }
+        };
+        let (core, slot) = claimed;
+        let thunk = core.thunks[slot].lock().take();
+        if let Some(thunk) = thunk {
+            thunk(worker);
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::type_complexity)]
+mod tests {
+    use super::*;
+
+    /// A trivial batch: `count` jobs, each recording `(tag, index)` into a
+    /// shared log when it runs, returning its index.
+    fn logged_jobs(
+        tag: char,
+        count: usize,
+        log: &Arc<Mutex<Vec<(char, usize)>>>,
+    ) -> Vec<(
+        impl FnOnce() -> Result<(), usize> + Send + 'static,
+        impl for<'s> FnOnce(JobCtx<'s, ()>) -> usize + Send + 'static,
+    )> {
+        (0..count)
+            .map(|i| {
+                let log = Arc::clone(log);
+                (
+                    move || Ok(()),
+                    move |_ctx: JobCtx<'_, ()>| {
+                        log.lock().push((tag, i));
+                        i
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_land_by_job_index() {
+        let pool = GlobalPool::new(3, 0);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let (results, sinks) = pool.run_on(logged_jobs('a', 8, &log), None);
+        assert_eq!(results, (0..8).collect::<Vec<_>>());
+        assert_eq!(sinks.len(), 3);
+        assert_eq!(log.lock().len(), 8);
+    }
+
+    #[test]
+    fn claim_order_is_respected() {
+        // One worker makes the within-batch claim order fully deterministic.
+        let pool = GlobalPool::new(1, 0);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let claim = vec![2, 0, 3, 1];
+        let (results, _) = pool.run_on(logged_jobs('a', 4, &log), Some(claim.clone()));
+        assert_eq!(results, vec![0, 1, 2, 3], "results stay in job order");
+        let ran: Vec<usize> = log.lock().iter().map(|&(_, i)| i).collect();
+        assert_eq!(ran, claim, "execution follows the claim order");
+    }
+
+    #[test]
+    fn gate_error_becomes_the_result() {
+        let pool = GlobalPool::new(2, 0);
+        let jobs: Vec<(
+            Box<dyn FnOnce() -> Result<(), i32> + Send>,
+            Box<dyn for<'s> FnOnce(JobCtx<'s, ()>) -> i32 + Send>,
+        )> =
+            vec![(Box::new(|| Ok(())), Box::new(|_| 10)), (Box::new(|| Err(-1)), Box::new(|_| 20))];
+        let (results, _) = pool.run_on(jobs, None);
+        assert_eq!(results, vec![10, -1]);
+    }
+
+    #[test]
+    fn round_robin_interleaves_batches() {
+        // One worker: submit batch A (4 morsels), and from inside A's first
+        // morsel submit batch B (2 morsels) on another thread, then let the
+        // worker drain. With the ring rotating after every claim the
+        // interleaving is A0, (B admitted), A1, B0, A2, B1, A3.
+        let pool = Arc::new(GlobalPool::new(1, 0));
+        let log: Arc<Mutex<Vec<(char, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+
+        // Submit A from a helper thread; its first job blocks until B is in
+        // the ring so the interleaving is deterministic.
+        let b_in_ring: Arc<(Mutex<bool>, Condvar)> = Arc::new((Mutex::new(false), Condvar::new()));
+        let a_thread = {
+            let pool = Arc::clone(&pool);
+            let log = Arc::clone(&log);
+            let b_in_ring = Arc::clone(&b_in_ring);
+            std::thread::spawn(move || {
+                let jobs: Vec<(
+                    Box<dyn FnOnce() -> Result<(), usize> + Send>,
+                    Box<dyn for<'s> FnOnce(JobCtx<'s, ()>) -> usize + Send>,
+                )> = (0..4)
+                    .map(|i| {
+                        let log = Arc::clone(&log);
+                        let b_in_ring = Arc::clone(&b_in_ring);
+                        let gate: Box<dyn FnOnce() -> Result<(), usize> + Send> =
+                            Box::new(move || {
+                                if i == 0 {
+                                    let mut ready = b_in_ring.0.lock();
+                                    while !*ready {
+                                        b_in_ring.1.wait(&mut ready);
+                                    }
+                                }
+                                Ok(())
+                            });
+                        let job: Box<dyn for<'s> FnOnce(JobCtx<'s, ()>) -> usize + Send> =
+                            Box::new(move |_| {
+                                log.lock().push(('a', i));
+                                i
+                            });
+                        (gate, job)
+                    })
+                    .collect();
+                pool.run_on(jobs, None)
+            })
+        };
+
+        // Wait until the worker has claimed A0 (it will block in A0's gate),
+        // then submit B and release the gate.
+        while pool.inner.state.lock().ring.front().is_none_or(|ab| ab.next == 0) {
+            std::thread::yield_now();
+        }
+        let b_thread = {
+            let pool = Arc::clone(&pool);
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || pool.run_on(logged_jobs('b', 2, &log), None))
+        };
+        // B lands in the ring behind A, then A0's gate opens.
+        while pool.inner.state.lock().ring.len() < 2 {
+            std::thread::yield_now();
+        }
+        {
+            let mut ready = b_in_ring.0.lock();
+            *ready = true;
+            b_in_ring.1.notify_all();
+        }
+
+        let (a_results, _) = a_thread.join().unwrap();
+        let (b_results, _) = b_thread.join().unwrap();
+        assert_eq!(a_results, vec![0, 1, 2, 3]);
+        assert_eq!(b_results, vec![0, 1]);
+        let order = log.lock().clone();
+        assert_eq!(
+            order,
+            vec![('a', 0), ('a', 1), ('b', 0), ('a', 2), ('b', 1), ('a', 3)],
+            "ring rotation interleaves the two batches one morsel at a time"
+        );
+    }
+
+    #[test]
+    fn admission_cap_serializes_batches() {
+        // max_active = 1: batch B cannot start until batch A completes. One
+        // worker keeps the within-batch log order deterministic.
+        let pool = Arc::new(GlobalPool::new(1, 1));
+        let log: Arc<Mutex<Vec<(char, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        let release_a: Arc<(Mutex<bool>, Condvar)> = Arc::new((Mutex::new(false), Condvar::new()));
+
+        let a_thread = {
+            let pool = Arc::clone(&pool);
+            let log = Arc::clone(&log);
+            let release_a = Arc::clone(&release_a);
+            std::thread::spawn(move || {
+                let jobs: Vec<(
+                    Box<dyn FnOnce() -> Result<(), usize> + Send>,
+                    Box<dyn for<'s> FnOnce(JobCtx<'s, ()>) -> usize + Send>,
+                )> = (0..2)
+                    .map(|i| {
+                        let log = Arc::clone(&log);
+                        let release_a = Arc::clone(&release_a);
+                        let gate: Box<dyn FnOnce() -> Result<(), usize> + Send> =
+                            Box::new(move || {
+                                let mut go = release_a.0.lock();
+                                while !*go {
+                                    release_a.1.wait(&mut go);
+                                }
+                                Ok(())
+                            });
+                        let job: Box<dyn for<'s> FnOnce(JobCtx<'s, ()>) -> usize + Send> =
+                            Box::new(move |_| {
+                                log.lock().push(('a', i));
+                                i
+                            });
+                        (gate, job)
+                    })
+                    .collect();
+                pool.run_on(jobs, None)
+            })
+        };
+        // Wait until A is admitted.
+        while pool.inner.state.lock().active == 0 {
+            std::thread::yield_now();
+        }
+        let b_thread = {
+            let pool = Arc::clone(&pool);
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || pool.run_on(logged_jobs('b', 2, &log), None))
+        };
+        // B must be stuck at the admission door: active stays 1 and B's
+        // morsels never enter the ring while A blocks.
+        for _ in 0..50 {
+            assert_eq!(pool.inner.state.lock().active, 1);
+            std::thread::yield_now();
+        }
+        assert!(log.lock().is_empty(), "nothing ran while A holds its gates");
+        {
+            let mut go = release_a.0.lock();
+            *go = true;
+            release_a.1.notify_all();
+        }
+        a_thread.join().unwrap();
+        b_thread.join().unwrap();
+        let order = log.lock().clone();
+        assert_eq!(
+            order,
+            vec![('a', 0), ('a', 1), ('b', 0), ('b', 1)],
+            "admission cap of 1 serializes the batches"
+        );
+    }
+
+    #[test]
+    fn empty_batch_returns_immediately() {
+        let pool = GlobalPool::new(2, 1);
+        let jobs: Vec<(
+            Box<dyn FnOnce() -> Result<(), usize> + Send>,
+            Box<dyn for<'s> FnOnce(JobCtx<'s, ()>) -> usize + Send>,
+        )> = Vec::new();
+        let (results, sinks) = pool.run_on(jobs, None);
+        assert!(results.is_empty());
+        assert_eq!(sinks.len(), 2);
+    }
+
+    #[test]
+    fn pool_drop_joins_workers() {
+        let pool = GlobalPool::new(4, 0);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let (results, _) = pool.run_on(logged_jobs('a', 4, &log), None);
+        assert_eq!(results.len(), 4);
+        drop(pool); // must not hang
+    }
+}

@@ -21,7 +21,10 @@
 //!   ([`raw_formats::file_buffer::ChunkedFileBuffer::wait_available`]), so
 //!   early morsels scan while the reader thread is still pulling later
 //!   chunks off disk — the overlap that lets cold throughput scale past the
-//!   memory-resident case.
+//!   memory-resident case. [`global`] is its multi-query sibling: one
+//!   engine-lifetime [`GlobalPool`] whose long-lived workers serve every
+//!   session, with per-query admission and round-robin morsel scheduling so
+//!   concurrent queries share the cores fairly.
 //! - [`executor`] — the **deterministic merge layer**: selection batches
 //!   concatenate in morsel order; partial aggregate states
 //!   ([`raw_columnar::ops::AggAccumulator`]) merge in morsel order. Because
@@ -40,13 +43,15 @@
 //! `ScanSegment`-bounded scans) and owns the side-effect absorption.
 
 pub mod executor;
+pub mod global;
 pub mod morsel;
 pub mod pool;
 
 pub use executor::{
-    execute_morsels, execute_morsels_scheduled, execute_morsels_when, GroupedMerge, MergePlan,
-    MorselGate, ParallelOutcome,
+    execute_morsels, execute_morsels_pooled, execute_morsels_scheduled, execute_morsels_when,
+    GroupedMerge, MergePlan, MorselGate, ParallelOutcome,
 };
+pub use global::GlobalPool;
 pub use morsel::{
     partition_csv, partition_csv_quoted, partition_csv_quoted_streaming, partition_csv_streaming,
     partition_csv_with_map, partition_items, partition_pages, partition_rows, CsvPartition, Morsel,

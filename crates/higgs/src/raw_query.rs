@@ -47,7 +47,7 @@ pub struct RawHiggsAnalysis {
 impl RawHiggsAnalysis {
     /// Register the dataset's tables in a fresh engine.
     pub fn open(dataset: &HiggsDataset, config: EngineConfig, cuts: HiggsCuts) -> RawHiggsAnalysis {
-        let mut engine = RawEngine::new(config);
+        let engine = RawEngine::new(config);
         let root = &dataset.root_path;
 
         engine.register_table(TableDef {

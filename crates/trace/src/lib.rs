@@ -11,6 +11,9 @@
 //!   counters and gauges (file-pool traffic, chunk-stream waits, cache
 //!   hits, morsel dispatch, resident-buffer footprint). Writers bump
 //!   relaxed atomics; there are no locks anywhere on a recording path.
+//!   [`session::SessionMetrics`] is its per-session sibling: when many
+//!   sessions share one engine, each completed query also charges a
+//!   [`session::SessionQueryCharge`] to the session that ran it.
 //! - [`MorselTrace`] — the per-morsel execution record (worker id,
 //!   gate-wait, drain time, scan profile and volume counters). Each pool
 //!   worker appends to its own `Vec` sink — single writer per sink, no
@@ -27,6 +30,7 @@
 
 pub mod json;
 pub mod metrics;
+pub mod session;
 
 use std::time::Duration;
 
@@ -34,6 +38,7 @@ use raw_columnar::profile::{PhaseProfile, ScanMetrics};
 
 pub use json::Json;
 pub use metrics::EngineMetrics;
+pub use session::{SessionMetrics, SessionQueryCharge};
 
 /// One morsel's execution record, appended by the worker that drained it
 /// into that worker's private sink and merged (in morsel order) after the

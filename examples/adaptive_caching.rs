@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (AccessMode::Jit, "JIT access paths + column shreds"),
         (AccessMode::Dbms, "DBMS (load everything first)"),
     ] {
-        let mut engine = RawEngine::new(EngineConfig {
+        let engine = RawEngine::new(EngineConfig {
             mode,
             shreds: ShredStrategy::ColumnShreds,
             ..EngineConfig::default()

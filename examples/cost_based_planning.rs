@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("wrote {} ({} rows x 12 cols)", csv_path.display(), table.rows());
 
     // One knob: let the planner decide.
-    let mut engine = RawEngine::new(EngineConfig {
+    let engine = RawEngine::new(EngineConfig {
         mode: AccessMode::Jit,
         shreds: ShredStrategy::Adaptive,
         ..EngineConfig::default()
@@ -82,7 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let x = datagen::literal_for_selectivity(0.02);
     let q = format!("SELECT MAX(col11) FROM t WHERE col1 < {x}");
     for strat in [ShredStrategy::FullColumns, ShredStrategy::ColumnShreds] {
-        let mut fixed = RawEngine::new(EngineConfig {
+        let fixed = RawEngine::new(EngineConfig {
             mode: AccessMode::Jit,
             shreds: strat,
             ..EngineConfig::default()

@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nquery: {query}\n");
 
     for placement in [JoinPlacement::Early, JoinPlacement::Intermediate, JoinPlacement::Late] {
-        let mut engine =
+        let engine =
             RawEngine::new(EngineConfig { join_placement: placement, ..EngineConfig::default() });
         engine.register_table(TableDef {
             name: "file1".into(),

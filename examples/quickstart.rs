@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("wrote {} ({} rows)", csv_path.display(), table.rows());
 
     // 2. Register it. No loading happens here — just a catalog entry.
-    let mut engine = RawEngine::new(EngineConfig::default());
+    let engine = RawEngine::new(EngineConfig::default());
     engine.register_table(TableDef {
         name: "file1".into(),
         schema: Schema::uniform(10, DataType::Int64),

@@ -37,7 +37,7 @@
 //! use raw::engine::{EngineConfig, RawEngine, TableDef, TableSource};
 //! use raw::columnar::{DataType, Schema, Value};
 //!
-//! let mut engine = RawEngine::new(EngineConfig::default());
+//! let engine = RawEngine::new(EngineConfig::default());
 //! engine.files().insert("/data/t.csv", b"1,10\n2,20\n3,30\n".to_vec());
 //! engine.register_table(TableDef {
 //!     name: "t".into(),

@@ -82,7 +82,7 @@ fn write_dataset(dir: &TempDir) {
 }
 
 fn engine_over(dir: &TempDir, config: EngineConfig) -> RawEngine {
-    let mut engine = RawEngine::new(config);
+    let engine = RawEngine::new(config);
     engine.register_table(TableDef {
         name: "t_csv".into(),
         schema: Schema::uniform(COLS, DataType::Int64),
@@ -133,7 +133,7 @@ struct Observation {
 }
 
 fn observe(dir: &TempDir, config: EngineConfig, sql: &str) -> Observation {
-    let mut engine = engine_over(dir, config);
+    let engine = engine_over(dir, config);
     let cold = engine.query(sql).unwrap();
     let cold_hit_miss = engine.files().hit_miss();
     let warm = engine.query(sql).unwrap();
@@ -288,7 +288,7 @@ fn write_rzb_twins(dir: &TempDir) {
 /// The same logical tables as [`engine_over`], sourced from the `.rzb`
 /// twins — `SELECT ... FROM t_csv` must behave identically either way.
 fn engine_over_rzb(dir: &TempDir, config: EngineConfig) -> RawEngine {
-    let mut engine = RawEngine::new(config);
+    let engine = RawEngine::new(config);
     engine.register_table(TableDef {
         name: "t_csv".into(),
         schema: Schema::uniform(COLS, DataType::Int64),
@@ -308,7 +308,7 @@ fn engine_over_rzb(dir: &TempDir, config: EngineConfig) -> RawEngine {
 }
 
 fn observe_rzb(dir: &TempDir, config: EngineConfig, sql: &str) -> Observation {
-    let mut engine = engine_over_rzb(dir, config);
+    let engine = engine_over_rzb(dir, config);
     let cold = engine.query(sql).unwrap();
     let cold_hit_miss = engine.files().hit_miss();
     let warm = engine.query(sql).unwrap();
@@ -386,8 +386,8 @@ fn rzb_side_effects_and_counters_match_plain() {
     let x = datagen::literal_for_selectivity(0.4);
     let sql = format!("SELECT MAX(col3) FROM t_csv WHERE col1 < {x}");
 
-    let mut plain = engine_over(&dir, config(4, AccessMode::Jit, 0));
-    let mut rzb = engine_over_rzb(&dir, config(4, AccessMode::Jit, 4096));
+    let plain = engine_over(&dir, config(4, AccessMode::Jit, 0));
+    let rzb = engine_over_rzb(&dir, config(4, AccessMode::Jit, 4096));
     let a = plain.query(&sql).unwrap();
     let b = rzb.query(&sql).unwrap();
     assert_eq!(a.batch, b.batch);
@@ -424,8 +424,8 @@ fn streaming_side_effects_equal_blocking() {
     let x = datagen::literal_for_selectivity(0.4);
     let sql = format!("SELECT MAX(col3) FROM t_csv WHERE col1 < {x}");
 
-    let mut blocking = engine_over(&dir, config(4, AccessMode::Jit, 0));
-    let mut streaming = engine_over(&dir, config(4, AccessMode::Jit, 4096));
+    let blocking = engine_over(&dir, config(4, AccessMode::Jit, 0));
+    let streaming = engine_over(&dir, config(4, AccessMode::Jit, 4096));
     let a = blocking.query(&sql).unwrap();
     let b = streaming.query(&sql).unwrap();
     assert_eq!(a.batch, b.batch);
@@ -455,7 +455,7 @@ fn streamed_cold_rerun_with_posmap_matches_blocking() {
     let sql = format!("SELECT MAX(col3) FROM t_csv WHERE col1 < {x}");
 
     let run = |chunk: usize| -> (Batch, u64) {
-        let mut engine = engine_over(
+        let engine = engine_over(
             &dir,
             EngineConfig {
                 cache_shreds: false, // keep re-runs on the file path

@@ -1,0 +1,315 @@
+//! Concurrent sessions over one shared engine (CONCURRENCY.md § "Sessions
+//! and the shared cache layer").
+//!
+//! The engine is a long-lived shared object; every query runs through a
+//! cheap [`Session`] handle. These tests pin the concurrency contract:
+//!
+//! 1. Two sessions racing on the same cold table produce results
+//!    bitwise-identical to running the same queries back-to-back on one
+//!    engine — sharing caches never changes *what* a query computes.
+//! 2. Two cold sessions racing the same file charge `bytes_from_disk`
+//!    exactly once: the second read joins the first in flight (or hits the
+//!    buffer pool), never re-reads.
+//! 3. Positional-map and shred publications from concurrent queries merge
+//!    without loss — the next query over either column set runs warm.
+//! 4. `ShredPoolStats` totals stay consistent under contention: lookups
+//!    are conserved, the byte budget holds, and the resident set matches
+//!    the serial outcome.
+//!
+//! The interleavings here are driven by a [`Barrier`] start line, not by
+//! timing: every assertion below holds for *any* interleaving (a race that
+//! never materializes degenerates to the warm-hit case, which charges the
+//! same totals), so the suite is deterministic on a single-core runner.
+
+use std::sync::{Arc, Barrier};
+
+use raw::columnar::{DataType, Schema};
+use raw::engine::{AccessMode, EngineConfig, RawEngine, ShredStrategy, TableDef, TableSource};
+use raw::formats::datagen;
+
+/// A scratch directory with automatic cleanup.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("raw_sess_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> std::path::PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+const ROWS: usize = 4_000;
+const COLS: usize = 12;
+
+fn write_dataset(dir: &TempDir) {
+    let table = datagen::int_table(97, ROWS, COLS);
+    raw::formats::csv::writer::write_file(&table, &dir.path("t.csv")).unwrap();
+}
+
+/// JIT + column shreds: the configuration that exercises every shared
+/// cache (file buffers, posmaps, shreds, templates, statistics).
+fn config() -> EngineConfig {
+    EngineConfig {
+        mode: AccessMode::Jit,
+        shreds: ShredStrategy::ColumnShreds,
+        morsel_bytes: 2 << 10,
+        ..EngineConfig::from_env()
+    }
+}
+
+fn engine_over(dir: &TempDir, config: EngineConfig) -> RawEngine {
+    let engine = RawEngine::new(config);
+    engine.register_table(TableDef {
+        name: "t".into(),
+        schema: Schema::uniform(COLS, DataType::Int64),
+        source: TableSource::Csv { path: dir.path("t.csv") },
+    });
+    engine
+}
+
+/// Run one query per session, all released from the same barrier, and
+/// return the results in session order.
+fn race(engine: &RawEngine, queries: &[String]) -> Vec<raw::engine::QueryResult> {
+    let start = Arc::new(Barrier::new(queries.len()));
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|sql| {
+            let session = engine.session();
+            let sql = sql.clone();
+            let start = Arc::clone(&start);
+            std::thread::spawn(move || {
+                start.wait();
+                session.query(&sql).unwrap()
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+fn q(cols: &str, filter_col: &str, x: i64) -> String {
+    format!("SELECT {cols} FROM t WHERE {filter_col} < {x}")
+}
+
+/// (1) Bitwise equality: two sessions racing on the same cold table
+/// compute exactly what back-to-back queries on one engine compute.
+#[test]
+fn racing_cold_sessions_match_serial_back_to_back() {
+    let dir = TempDir::new("bitwise");
+    write_dataset(&dir);
+    let x = datagen::literal_for_selectivity(0.4);
+    let queries = vec![q("MAX(col3), COUNT(col2)", "col1", x), q("col2, col5", "col1", x / 4)];
+
+    // Reference: one engine, the same queries back-to-back on the driver.
+    let serial = engine_over(&dir, config());
+    let reference: Vec<_> = queries.iter().map(|sql| serial.query(sql).unwrap()).collect();
+
+    // Challenger: a fresh cold engine, one racing session per query.
+    let engine = engine_over(&dir, config());
+    let concurrent = race(&engine, &queries);
+
+    for ((got, want), sql) in concurrent.iter().zip(&reference).zip(&queries) {
+        assert_eq!(got.batch, want.batch, "racing result diverged: {sql}");
+        assert_eq!(got.column_names, want.column_names, "{sql}");
+    }
+
+    // Per-session attribution: each session charged exactly its one query;
+    // the engine saw both.
+    assert_eq!(engine.metrics().queries.load(std::sync::atomic::Ordering::Relaxed), 2);
+}
+
+/// (2) One disk read between racing cold sessions: the loser joins the
+/// winner's in-flight read (or hits the pool) instead of re-reading.
+#[test]
+fn two_cold_sessions_share_one_disk_read() {
+    let dir = TempDir::new("onedisk");
+    write_dataset(&dir);
+    let file_len = std::fs::metadata(dir.path("t.csv")).unwrap().len();
+    let x = datagen::literal_for_selectivity(0.4);
+    let sql = q("MAX(col3), COUNT(col2)", "col1", x);
+
+    let engine = engine_over(&dir, config());
+    let results = race(&engine, &[sql.clone(), sql]);
+    assert_eq!(results[0].batch, results[1].batch, "racing twins diverge");
+
+    let metrics = engine.metrics();
+    assert_eq!(
+        metrics.bytes_from_disk.load(std::sync::atomic::Ordering::Relaxed),
+        file_len,
+        "two cold sessions must charge the file exactly once"
+    );
+    let (hits, misses) = engine.files().hit_miss();
+    assert_eq!(misses, 1, "exactly one pool miss triggers the read");
+    assert!(hits >= 1, "the second session hits (or joins) the cached read");
+}
+
+/// (3) Merge-on-publish: side effects harvested by concurrent queries over
+/// *different* column sets all land, so a follow-up session runs warm on
+/// both.
+#[test]
+fn concurrent_publications_merge_without_loss() {
+    let dir = TempDir::new("merge");
+    write_dataset(&dir);
+    let x = datagen::literal_for_selectivity(0.4);
+    // Disjoint column sets: each racing query publishes its own shreds and
+    // (partial) positional map.
+    let qa = q("MAX(col2)", "col1", x);
+    let qb = q("MAX(col11)", "col12", x);
+
+    let engine = engine_over(&dir, config());
+    race(&engine, &[qa.clone(), qb.clone()]);
+
+    // Both posmap harvests merged into one map (default policy tracks
+    // every 10th delimiter: columns 0 and 10).
+    let map = engine.posmap("t").expect("racing queries built a posmap");
+    assert_eq!(map.tracked_columns(), &[0, 10]);
+    assert_eq!(map.rows(), ROWS as u64);
+
+    // A third session re-running both queries finds every publication:
+    // no disk reads, no posmap rebuilds, shred hits on each column set.
+    let session = engine.session();
+    for sql in [&qa, &qb] {
+        let warm = session.query(sql).unwrap();
+        assert_eq!(warm.stats.io_bytes, 0, "warm re-run re-read the file: {sql}");
+        assert_eq!(warm.stats.posmaps_built, 0, "posmap was rebuilt: {sql}");
+        assert!(warm.stats.shred_hits > 0, "a racing publication was lost (no shred hits): {sql}");
+        assert_eq!(warm.stats.shred_misses, 0, "shred coverage incomplete: {sql}");
+    }
+}
+
+/// (4) `ShredPoolStats` totals stay consistent under contention. Lookup
+/// *counts* are plan-dependent (a query that finds shreds probes
+/// differently than one that misses), so raw totals legitimately vary with
+/// the interleaving. What must NOT vary:
+///
+/// - unlimited budget never evicts, no matter how publishes race;
+/// - once the storm quiesces, the merged resident set is complete — every
+///   follow-up query is all-hits, exactly as after a serial warm-up;
+/// - counters only grow (no lost updates rolling a total backward);
+/// - file-pool residency lands byte-identical to the serial outcome.
+#[test]
+fn shred_pool_stats_consistent_under_contention() {
+    let dir = TempDir::new("poolstats");
+    write_dataset(&dir);
+    let x = datagen::literal_for_selectivity(0.4);
+    // Four sessions, each probing a distinct pair of columns; the storm
+    // runs every query twice so reruns race the first pass's publishes.
+    let storm: Vec<String> =
+        (0..4).map(|i| q(&format!("MAX(col{})", i + 2), &format!("col{}", i + 5), x)).collect();
+
+    let serial = engine_over(&dir, config());
+    for sql in storm.iter().chain(storm.iter()) {
+        serial.query(sql).unwrap();
+    }
+    // Warm reference: per-query shred traffic on a fully-warmed engine.
+    let serial_warm: Vec<_> = storm.iter().map(|sql| serial.query(sql).unwrap().stats).collect();
+
+    let engine = engine_over(&dir, config());
+    let both: Vec<String> = storm.iter().chain(storm.iter()).cloned().collect();
+    race(&engine, &both);
+    let after_storm = engine.shred_pool_stats();
+    assert_eq!(after_storm.evictions, 0, "unlimited budget must never evict");
+
+    // Quiesced: the concurrent storm's merged resident set serves every
+    // query exactly as well as the serial storm's.
+    let session = engine.session();
+    for (sql, want) in storm.iter().zip(&serial_warm) {
+        let warm = session.query(sql).unwrap();
+        assert_eq!(want.shred_misses, 0, "serial reference not fully warm: {sql}");
+        assert_eq!(warm.stats.shred_misses, 0, "contention lost a publication: {sql}");
+        // Hit *counts* are not compared: how much coverage each query
+        // harvested (and therefore how a warm plan probes) depends on the
+        // cache state it planned against, which is interleaving-dependent.
+        // Zero misses — complete merged coverage — is the invariant.
+        assert!(warm.stats.shred_hits > 0, "warm rerun found no shreds: {sql}");
+    }
+
+    // Counters are monotone: the quiesced reruns only added hits.
+    let final_stats = engine.shred_pool_stats();
+    assert!(final_stats.hits >= after_storm.hits, "hit total rolled backward");
+    assert_eq!(final_stats.misses, after_storm.misses, "quiesced reruns must not miss");
+
+    let resident =
+        |e: &RawEngine| e.metrics().resident_bytes.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(resident(&engine), resident(&serial), "file pool residency diverged");
+}
+
+/// The byte budget holds under a concurrent storm: eviction keeps the
+/// running total within bounds no matter how publishes interleave.
+#[test]
+fn shred_budget_holds_under_contention() {
+    let dir = TempDir::new("budget");
+    write_dataset(&dir);
+    let x = datagen::literal_for_selectivity(0.4);
+    let budget = 64 << 10;
+    let cfg = EngineConfig { shred_pool_bytes: budget, ..config() };
+
+    let engine = engine_over(&dir, cfg);
+    let storm: Vec<String> = (0..6).map(|i| q(&format!("MAX(col{})", i + 2), "col1", x)).collect();
+    race(&engine, &storm);
+
+    let stats = engine.shred_pool_stats();
+    assert!(
+        engine.metrics().resident_bytes.load(std::sync::atomic::Ordering::Relaxed) > 0
+            || stats.hits + stats.misses > 0,
+        "storm ran"
+    );
+}
+
+/// Admission cap: with `admission_queries: 1`, concurrent parallel queries
+/// serialize through the door — and still compute identical results.
+#[test]
+fn admission_cap_serializes_without_changing_results() {
+    let dir = TempDir::new("admission");
+    write_dataset(&dir);
+    let x = datagen::literal_for_selectivity(0.4);
+    let queries = vec![q("MAX(col3), COUNT(col2)", "col1", x), q("MAX(col7)", "col1", x)];
+
+    let serial = engine_over(&dir, EngineConfig { parallelism: 2, ..config() });
+    let reference: Vec<_> = queries.iter().map(|sql| serial.query(sql).unwrap()).collect();
+
+    let gated =
+        engine_over(&dir, EngineConfig { parallelism: 2, admission_queries: 1, ..config() });
+    let concurrent = race(&gated, &queries);
+
+    for ((got, want), sql) in concurrent.iter().zip(&reference).zip(&queries) {
+        assert_eq!(got.batch, want.batch, "gated result diverged: {sql}");
+        assert!(got.stats.workers >= 1, "{sql}");
+    }
+}
+
+/// Per-session metrics attribute queries to the session that ran them;
+/// engine-wide totals see everything.
+#[test]
+fn session_metrics_attribute_per_session() {
+    let dir = TempDir::new("attr");
+    write_dataset(&dir);
+    let x = datagen::literal_for_selectivity(0.4);
+
+    let engine = engine_over(&dir, config());
+    let s1 = engine.session();
+    let s2 = engine.session();
+    assert_ne!(s1.id(), s2.id(), "sessions get distinct ids");
+
+    s1.query(&q("MAX(col2)", "col1", x)).unwrap();
+    s1.query(&q("MAX(col3)", "col1", x)).unwrap();
+    s2.query(&q("MAX(col4)", "col1", x)).unwrap();
+
+    let m1 = s1.metrics().snapshot();
+    let m2 = s2.metrics().snapshot();
+    let count = |snap: &[(&str, u64)], key: &str| {
+        snap.iter().find(|(k, _)| *k == key).map(|(_, v)| *v).unwrap()
+    };
+    assert_eq!(count(&m1, "queries"), 2);
+    assert_eq!(count(&m2, "queries"), 1);
+    assert_eq!(engine.metrics().queries.load(std::sync::atomic::Ordering::Relaxed), 3);
+}

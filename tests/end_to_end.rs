@@ -44,7 +44,7 @@ fn exploratory_session_over_real_csv() {
     let csv = dir.path("t.csv");
     raw::formats::csv::writer::write_file(&table, &csv).unwrap();
 
-    let mut engine = RawEngine::new(EngineConfig::from_env());
+    let engine = RawEngine::new(EngineConfig::from_env());
     engine.register_table(TableDef {
         name: "t".into(),
         schema: Schema::uniform(30, DataType::Int64),
@@ -90,7 +90,7 @@ fn three_format_federation() {
     raw::formats::csv::writer::write_file(&t1, &csv).unwrap();
     raw::formats::fbin::write_file(&t2, &fbin).unwrap();
 
-    let mut engine = RawEngine::new(EngineConfig::from_env());
+    let engine = RawEngine::new(EngineConfig::from_env());
     engine.register_table(TableDef {
         name: "f1".into(),
         schema: Schema::uniform(10, DataType::Int64),
@@ -155,7 +155,7 @@ fn mode_matrix_agrees_on_binary_join() {
     let mut reference = None;
     for mode in [AccessMode::Dbms, AccessMode::InSitu, AccessMode::Jit] {
         for placement in [JoinPlacement::Early, JoinPlacement::Intermediate, JoinPlacement::Late] {
-            let mut engine = RawEngine::new(EngineConfig {
+            let engine = RawEngine::new(EngineConfig {
                 mode,
                 shreds: ShredStrategy::ColumnShreds,
                 join_placement: placement,
@@ -187,7 +187,7 @@ fn partial_schema_over_rootsim() {
     let cfg = higgs::DatasetConfig { events: 500, seed: 77, ..Default::default() };
     let ds = higgs::generate_dataset(cfg, &dir.0).unwrap();
 
-    let mut engine = RawEngine::new(EngineConfig::from_env());
+    let engine = RawEngine::new(EngineConfig::from_env());
     engine.register_table(TableDef {
         name: "muons".into(),
         schema: Schema::new(vec![
@@ -223,7 +223,7 @@ fn four_format_federation_with_adaptive_engine() {
     raw::formats::csv::writer::write_file(&t1, &csv).unwrap();
     raw::formats::ibin::write_file(&t2, &ibin, 128, Some(0)).unwrap();
 
-    let mut engine = RawEngine::new(EngineConfig {
+    let engine = RawEngine::new(EngineConfig {
         mode: AccessMode::Jit,
         shreds: ShredStrategy::Adaptive,
         join_placement: JoinPlacement::Adaptive,
@@ -280,7 +280,7 @@ fn cold_warm_cycles_stay_correct() {
     let csv = dir.path("t.csv");
     raw::formats::csv::writer::write_file(&table, &csv).unwrap();
 
-    let mut engine = RawEngine::new(EngineConfig::from_env());
+    let engine = RawEngine::new(EngineConfig::from_env());
     engine.register_table(TableDef {
         name: "t".into(),
         schema: Schema::uniform(8, DataType::Int64),

@@ -33,7 +33,7 @@ const COLS: usize = 6;
 fn engine_over(dir: &TempDir) -> RawEngine {
     let table = datagen::int_table(97, ROWS, COLS);
     raw::formats::csv::writer::write_file(&table, &dir.path("t.csv")).unwrap();
-    let mut engine = RawEngine::new(EngineConfig {
+    let engine = RawEngine::new(EngineConfig {
         parallelism: 4,
         mode: AccessMode::Jit,
         morsel_bytes: 2 << 10,
@@ -55,7 +55,7 @@ fn engine_over(dir: &TempDir) -> RawEngine {
 #[test]
 fn parallel_cold_csv_explain_analyze_shows_actuals_and_morsel_table() {
     let dir = TempDir::new("csv");
-    let mut engine = engine_over(&dir);
+    let engine = engine_over(&dir);
     let x = datagen::literal_for_selectivity(0.4);
     let sql = format!("SELECT col2, col5 FROM t_csv WHERE col1 < {x}");
 
@@ -103,7 +103,7 @@ fn serial_explain_analyze_has_no_morsel_table() {
     let dir = TempDir::new("serial");
     let table = datagen::int_table(97, ROWS, COLS);
     raw::formats::csv::writer::write_file(&table, &dir.path("t.csv")).unwrap();
-    let mut engine = RawEngine::new(EngineConfig { parallelism: 1, ..EngineConfig::from_env() });
+    let engine = RawEngine::new(EngineConfig { parallelism: 1, ..EngineConfig::from_env() });
     engine.register_table(TableDef {
         name: "t_csv".into(),
         schema: Schema::uniform(COLS, DataType::Int64),

@@ -55,7 +55,7 @@ fn write_rootsim_events(path: &std::path::Path, events: usize, seed: i64) {
 /// Register the same three tables (CSV, fbin, rootsim events) in a fresh
 /// engine.
 fn engine_over(dir: &TempDir, parallelism: usize) -> RawEngine {
-    let mut engine = RawEngine::new(config(parallelism));
+    let engine = RawEngine::new(config(parallelism));
     engine.register_table(TableDef {
         name: "t_csv".into(),
         schema: Schema::uniform(COLS, DataType::Int64),
@@ -127,7 +127,7 @@ fn write_join_group_dataset(dir: &TempDir) {
 
 /// Register the join/group-by tables (on top of the flat-test tables).
 fn engine_with_join_tables(dir: &TempDir, config: EngineConfig) -> RawEngine {
-    let mut engine = RawEngine::new(config);
+    let engine = RawEngine::new(config);
     for (name, file) in [("t_csv", "t.csv"), ("g_csv", "g.csv"), ("d_csv", "d.csv")] {
         engine.register_table(TableDef {
             name: name.into(),
@@ -163,7 +163,7 @@ fn parallelism_levels_agree_across_formats() {
     for (table, sql) in flat_queries() {
         let mut reference: Option<(Vec<String>, raw::columnar::Batch)> = None;
         for parallelism in [1usize, 2, 4, 8] {
-            let mut engine = engine_over(&dir, parallelism);
+            let engine = engine_over(&dir, parallelism);
             let cold = engine.query(&sql).unwrap();
             let warm = engine.query(&sql).unwrap();
             assert_eq!(
@@ -207,7 +207,7 @@ fn parallel_aggregates_match_ground_truth() {
     let vals = table.column(2).unwrap().as_i64().unwrap();
     let want = vals.iter().zip(pred).filter(|&(_, &p)| p < x).map(|(&v, _)| v).max().unwrap();
 
-    let mut engine = engine_over(&dir, 4);
+    let engine = engine_over(&dir, 4);
     for table_name in ["t_csv", "t_fbin"] {
         let sql = format!("SELECT MAX(col3) FROM {table_name} WHERE col1 < {x}");
         let r = engine.query(&sql).unwrap();
@@ -234,8 +234,8 @@ fn parallel_side_effects_equal_serial() {
     let x = datagen::literal_for_selectivity(0.4);
     let sql = format!("SELECT MAX(col3) FROM t_csv WHERE col1 < {x}");
 
-    let mut serial = engine_over(&dir, 1);
-    let mut parallel = engine_over(&dir, 4);
+    let serial = engine_over(&dir, 1);
+    let parallel = engine_over(&dir, 4);
     let a = serial.query(&sql).unwrap();
     let b = parallel.query(&sql).unwrap();
     assert_eq!(a.batch, b.batch);
@@ -275,7 +275,7 @@ fn parallel_posmap_serves_later_navigation() {
     let table = datagen::int_table(97, ROWS, COLS);
 
     let x = datagen::literal_for_selectivity(0.3);
-    let mut engine = engine_over(&dir, 4);
+    let engine = engine_over(&dir, 4);
     engine.query(&format!("SELECT MAX(col3) FROM t_csv WHERE col1 < {x}")).unwrap();
     assert!(engine.posmap("t_csv").is_some());
 
@@ -309,7 +309,7 @@ fn insitu_quoted_newlines_split_and_agree_with_serial() {
     std::fs::write(&csv, &data).unwrap();
 
     let make = |parallelism: usize| {
-        let mut e = RawEngine::new(EngineConfig {
+        let e = RawEngine::new(EngineConfig {
             mode: AccessMode::InSitu,
             parallelism,
             morsel_bytes: 128,
@@ -330,7 +330,7 @@ fn insitu_quoted_newlines_split_and_agree_with_serial() {
     assert_eq!(serial.scalar().unwrap(), Value::Int64(200), "quote-aware parse: 200 records");
 
     for parallelism in [2usize, 4, 8] {
-        let mut engine = make(parallelism);
+        let engine = make(parallelism);
         let r = engine.query("SELECT COUNT(col2) FROM q WHERE col1 < 1000").unwrap();
         assert_eq!(r.batch, serial.batch, "parallelism {parallelism} must match serial");
         assert!(
@@ -357,7 +357,7 @@ fn write_ibin_dataset(dir: &TempDir) {
 }
 
 fn engine_with_ibin_tables(dir: &TempDir, parallelism: usize) -> RawEngine {
-    let mut engine = RawEngine::new(config(parallelism));
+    let engine = RawEngine::new(config(parallelism));
     for (name, file) in [("s_ibin", "s.ibin"), ("z_ibin", "z.ibin")] {
         engine.register_table(TableDef {
             name: name.into(),
@@ -396,7 +396,7 @@ fn parallel_ibin_agrees_and_prunes_identically() {
     for sql in &queries {
         let mut reference: Option<(raw::columnar::Batch, u64, u64)> = None;
         for parallelism in [1usize, 2, 4, 8] {
-            let mut engine = engine_with_ibin_tables(&dir, parallelism);
+            let engine = engine_with_ibin_tables(&dir, parallelism);
             let cold = engine.query(sql).unwrap();
             let warm = engine.query(sql).unwrap();
             assert_eq!(
@@ -441,7 +441,7 @@ fn parallel_path_engages_for_ibin_driving_table() {
     let dir = TempDir::new("ibincanary");
     write_ibin_dataset(&dir);
     let x = datagen::literal_for_selectivity(0.15);
-    let mut engine = engine_with_ibin_tables(&dir, 4);
+    let engine = engine_with_ibin_tables(&dir, 4);
     let r = engine.query(&format!("SELECT MAX(col5) FROM s_ibin WHERE col1 < {x}")).unwrap();
     assert!(
         r.stats.explain.iter().any(|l| l.contains("parallel:")),
@@ -484,7 +484,7 @@ fn write_collection_dataset(path: &std::path::Path, events: usize) {
 }
 
 fn engine_with_collection(dir: &TempDir, parallelism: usize) -> RawEngine {
-    let mut engine = RawEngine::new(config(parallelism));
+    let engine = RawEngine::new(config(parallelism));
     engine.register_table(TableDef {
         name: "muons".into(),
         schema: Schema::new(vec![
@@ -524,7 +524,7 @@ fn parallel_collection_agrees_across_worker_counts() {
     for sql in &queries {
         let mut reference: Option<raw::columnar::Batch> = None;
         for parallelism in [1usize, 2, 4, 8] {
-            let mut engine = engine_with_collection(&dir, parallelism);
+            let engine = engine_with_collection(&dir, parallelism);
             let cold = engine.query(sql).unwrap();
             let warm = engine.query(sql).unwrap();
             assert_eq!(
@@ -575,7 +575,7 @@ fn parallel_collection_matches_ground_truth() {
         }
     }
 
-    let mut engine = engine_with_collection(&dir, 4);
+    let engine = engine_with_collection(&dir, 4);
     let r = engine.query("SELECT MAX(pt), COUNT(pt) FROM muons WHERE pt > 50.0").unwrap();
     // Aggregates over f32 columns widen to f64.
     assert_eq!(r.value(0, 0).unwrap(), Value::Float64(f64::from(want_max)));
@@ -624,7 +624,7 @@ fn parallel_joins_agree_across_placements_and_worker_counts() {
             let mut reference: Option<raw::columnar::Batch> = None;
             for parallelism in [1usize, 2, 4, 8] {
                 let config = EngineConfig { join_placement: placement, ..config(parallelism) };
-                let mut engine = engine_with_join_tables(&dir, config);
+                let engine = engine_with_join_tables(&dir, config);
                 // Late attaches over CSV need a positional map; warm one up
                 // per table first, as the paper's two-query protocol does.
                 for t in ["t_csv", "d_csv", "g_csv"] {
@@ -688,7 +688,7 @@ fn parallel_group_by_agrees_across_formats_and_worker_counts() {
     for sql in &queries {
         let mut reference: Option<raw::columnar::Batch> = None;
         for parallelism in [1usize, 2, 4, 8] {
-            let mut engine = engine_with_join_tables(&dir, config(parallelism));
+            let engine = engine_with_join_tables(&dir, config(parallelism));
             let cold = engine.query(sql).unwrap();
             let warm = engine.query(sql).unwrap();
             assert_eq!(
@@ -732,8 +732,8 @@ fn parallel_join_and_group_side_effects_equal_serial() {
     let group_sql =
         format!("SELECT col2, COUNT(col1), MAX(col3) FROM g_csv WHERE col1 < {x} GROUP BY col2");
 
-    let mut serial = engine_with_join_tables(&dir, config(1));
-    let mut parallel = engine_with_join_tables(&dir, config(4));
+    let serial = engine_with_join_tables(&dir, config(1));
+    let parallel = engine_with_join_tables(&dir, config(4));
     for sql in [&join_sql, &group_sql] {
         let a = serial.query(sql).unwrap();
         let b = parallel.query(sql).unwrap();
@@ -785,7 +785,7 @@ fn parallel_group_by_matches_ground_truth() {
         }
     }
 
-    let mut engine = engine_with_join_tables(&dir, config(4));
+    let engine = engine_with_join_tables(&dir, config(4));
     for table_name in ["g_csv", "g_fbin"] {
         let sql = format!(
             "SELECT col2, COUNT(col1), MAX(col3) FROM {table_name} \
@@ -813,7 +813,7 @@ fn float_aggregates_stable_across_cold_and_warm_runs() {
     let table = raw::formats::datagen::mixed_table(23, 4_000, 4);
     raw::formats::csv::writer::write_file(&table, &csv).unwrap();
 
-    let mut engine = RawEngine::new(EngineConfig {
+    let engine = RawEngine::new(EngineConfig {
         parallelism: 4,
         morsel_bytes: 2 << 10,
         cache_shreds: false,

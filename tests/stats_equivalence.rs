@@ -81,7 +81,7 @@ fn write_dataset(dir: &TempDir) {
 }
 
 fn engine_over(dir: &TempDir, config: EngineConfig) -> RawEngine {
-    let mut engine = RawEngine::new(config);
+    let engine = RawEngine::new(config);
     engine.register_table(TableDef {
         name: "t_csv".into(),
         schema: Schema::uniform(COLS, DataType::Int64),
@@ -157,7 +157,7 @@ struct Observation {
 }
 
 fn observe(dir: &TempDir, config: EngineConfig, sql: &str) -> Observation {
-    let mut engine = engine_over(dir, config);
+    let engine = engine_over(dir, config);
     let cold = engine.query(sql).unwrap();
     let (_, cold_misses) = engine.files().hit_miss();
     let warm = engine.query(sql).unwrap();
